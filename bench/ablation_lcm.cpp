@@ -1,0 +1,124 @@
+// Ablation bench for the design choices DESIGN.md calls out (not a paper
+// figure): on the PDGEQRF tuning workload,
+//   * Q — number of latent functions in the LCM (paper: Q <= delta),
+//   * n_start — multi-start count for hyperparameter optimization (§4.3),
+//   * EI vs posterior-mean-only acquisition,
+//   * Latin hypercube vs uniform-random initial design,
+//   * log-objective transform on vs off.
+// Each variant reports the mean best runtime over tasks (geometric mean
+// over seeds); lower is better.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "apps/scalapack_sim.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/mla.hpp"
+
+namespace {
+
+using namespace gptune;
+
+constexpr std::size_t kDelta = 5;
+constexpr std::size_t kEps = 10;
+constexpr int kSeeds = 2;
+
+double run_variant(const apps::PdgeqrfSim& qr,
+                   const std::vector<core::TaskVector>& tasks,
+                   const core::MlaOptions& base) {
+  double log_sum = 0.0;
+  int count = 0;
+  for (int s = 0; s < kSeeds; ++s) {
+    core::MlaOptions opt = base;
+    opt.seed = base.seed + 1000 * s;
+    core::MultitaskTuner tuner(qr.tuning_space(), qr.objective(3), opt);
+    auto result = tuner.run(tasks);
+    for (const auto& th : result.tasks) {
+      log_sum += std::log(th.best());
+      ++count;
+    }
+  }
+  return std::exp(log_sum / count);
+}
+
+}  // namespace
+
+int main() {
+  using namespace gptune::bench;
+
+  apps::MachineConfig machine;
+  machine.nodes = 16;
+  apps::PdgeqrfSim qr(machine);
+
+  common::Rng rng(77);
+  std::vector<core::TaskVector> tasks;
+  for (std::size_t i = 0; i < kDelta; ++i) {
+    tasks.push_back({std::floor(rng.uniform(4000, 20000)),
+                     std::floor(rng.uniform(4000, 20000))});
+  }
+
+  core::MlaOptions base;
+  base.budget_per_task = kEps;
+  base.model_restarts = 2;
+  base.max_lbfgs_iterations = 20;
+  base.refit_period = 2;
+  base.log_objective = true;
+  base.seed = 9;
+
+  section("ablation: LCM latent count Q (geometric-mean best runtime)");
+  double q_results[3];
+  const std::size_t q_values[3] = {1, 3, kDelta};
+  for (int k = 0; k < 3; ++k) {
+    core::MlaOptions opt = base;
+    opt.num_latent = q_values[k];
+    q_results[k] = run_variant(qr, tasks, opt);
+    row("Q=%zu  -> %.4fs", q_values[k], q_results[k]);
+  }
+  shape_check(q_results[1] <= 1.15 * q_results[0] &&
+                  q_results[1] <= 1.15 * q_results[2],
+              "moderate Q (3) is competitive with both extremes");
+
+  section("ablation: hyperparameter multi-start count n_start");
+  for (std::size_t n_start : {1, 2, 4}) {
+    core::MlaOptions opt = base;
+    opt.model_restarts = n_start;
+    row("n_start=%zu -> %.4fs", n_start, run_variant(qr, tasks, opt));
+  }
+
+  section("ablation: acquisition function");
+  core::MlaOptions ei = base;
+  core::MlaOptions mean_only = base;
+  mean_only.use_ei = false;
+  const double with_ei = run_variant(qr, tasks, ei);
+  const double with_mean = run_variant(qr, tasks, mean_only);
+  row("EI              -> %.4fs", with_ei);
+  row("posterior mean  -> %.4fs", with_mean);
+  shape_check(with_ei <= 1.25 * with_mean,
+              "EI (exploration) at least competitive with pure "
+              "exploitation");
+
+  section("ablation: initial design");
+  core::MlaOptions lhs = base;
+  core::MlaOptions uniform = base;
+  uniform.initial_design = core::InitialDesign::kUniform;
+  const double with_lhs = run_variant(qr, tasks, lhs);
+  const double with_uniform = run_variant(qr, tasks, uniform);
+  row("Latin hypercube -> %.4fs", with_lhs);
+  row("uniform random  -> %.4fs", with_uniform);
+  shape_check(with_lhs <= 1.2 * with_uniform,
+              "LHS at least competitive with uniform initial design");
+
+  section("ablation: log-objective transform");
+  core::MlaOptions log_on = base;
+  core::MlaOptions log_off = base;
+  log_off.log_objective = false;
+  const double with_log = run_variant(qr, tasks, log_on);
+  const double without_log = run_variant(qr, tasks, log_off);
+  row("log(y)          -> %.4fs", with_log);
+  row("raw y           -> %.4fs", without_log);
+  shape_check(with_log <= 1.1 * without_log,
+              "log transform helps (or ties) on positive runtimes");
+
+  return finish("ablation_lcm");
+}

@@ -1,0 +1,45 @@
+// Shared helpers for the paper-reproduction bench harnesses: section
+// headers, aligned table rows, and qualitative shape checks (each bench
+// verifies the *shape* the paper reports — who wins, rough factors,
+// crossovers — not Cori's absolute numbers; see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gptune::bench {
+
+inline int g_checks_passed = 0;
+inline int g_checks_failed = 0;
+
+inline void section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// Records and prints a qualitative shape check.
+inline void shape_check(bool ok, const std::string& claim) {
+  std::printf("[%s] %s\n", ok ? "SHAPE-OK" : "SHAPE-MISS", claim.c_str());
+  if (ok) {
+    ++g_checks_passed;
+  } else {
+    ++g_checks_failed;
+  }
+}
+
+inline int finish(const char* bench_name) {
+  std::printf("\n%s: %d shape checks passed, %d missed\n", bench_name,
+              g_checks_passed, g_checks_failed);
+  return 0;  // misses are reported, not fatal: shapes depend on seeds
+}
+
+}  // namespace gptune::bench

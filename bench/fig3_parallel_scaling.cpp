@@ -1,0 +1,167 @@
+// Reproduces paper Fig. 3: modeling- and search-phase time for 1 vs 32
+// ranks on the analytical objective, delta = 20 tasks, one MLA iteration,
+// as the per-task sample count grows.
+//
+// Serial times are measured wall-clock on this host. The 32-rank times are
+// virtual-clock makespans (see DESIGN.md §1): real 32-way speedups cannot
+// materialize on a 1-core container, so
+//   * the modeling phase charges the blocked-Cholesky tile critical path
+//     over P ranks (the ScaLAPACK role of paper §4.3), and
+//   * the search phase list-schedules the measured per-task search times
+//     onto P ranks (the paper's task-over-ranks parallelization, speedup
+//     bounded by delta = 20).
+// Expected shapes: modeling ~ O((eps*delta)^3), search ~ O((eps*delta)^2),
+// large modeling speedups at large covariance sizes, search speedup <= 20.
+#include <cmath>
+#include <vector>
+
+#include "apps/analytical.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/acquisition.hpp"
+#include "gp/trainer.hpp"
+#include "opt/pso.hpp"
+#include "runtime/virtual_clock.hpp"
+
+namespace {
+
+using namespace gptune;
+
+// Critical-path flops of a blocked right-looking Cholesky of size n with
+// tile size nb over p ranks (panel POTRF serial; TRSM row and GEMM update
+// tiles list-scheduled).
+double cholesky_critical_path(double n, double nb, double p) {
+  const double t_potrf = nb * nb * nb / 3.0;
+  const double t_trsm = nb * nb * nb;
+  const double t_gemm = 2.0 * nb * nb * nb;
+  double makespan = 0.0;
+  for (double k = 0.0; k < n; k += nb) {
+    const double below = std::max(0.0, std::floor((n - k - nb) / nb));
+    makespan += t_potrf;
+    makespan += std::ceil(below / p) * t_trsm;
+    const double update_tiles = below * (below + 1.0) / 2.0;
+    makespan += std::ceil(update_tiles / p) * t_gemm;
+  }
+  return makespan;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gptune::bench;
+
+  constexpr std::size_t kDelta = 20;
+  constexpr std::size_t kRanks = 32;
+  const std::vector<std::size_t> eps_values = {10, 20, 40, 80};
+
+  std::vector<core::TaskVector> tasks;
+  for (std::size_t i = 0; i < kDelta; ++i) {
+    tasks.push_back({0.5 * static_cast<double>(i)});
+  }
+
+  section("Fig. 3: modeling & search time, delta=20 tasks, 1 vs 32 ranks");
+  row("%6s %6s | %12s %12s %8s | %12s %12s %8s", "eps", "N", "model_1(s)",
+      "model_32(s)", "speedup", "search_1(s)", "search_32(s)", "speedup");
+
+  std::vector<double> model_serial, search_serial, sizes;
+  double model_speedup_last = 0.0, search_speedup_last = 0.0;
+  double model_speedup_first = 0.0;
+
+  for (std::size_t eps : eps_values) {
+    // One MLA iteration: eps-1 random samples per task, then one
+    // modeling phase and one search phase.
+    common::Rng rng(31 + eps);
+    gp::MultiTaskData data;
+    for (std::size_t i = 0; i < kDelta; ++i) {
+      gp::Matrix x(eps - 1, 1);
+      gp::Vector y(eps - 1);
+      for (std::size_t j = 0; j + 1 < eps; ++j) {
+        x(j, 0) = rng.uniform();
+        y[j] = apps::analytical_objective(tasks[i][0], x(j, 0));
+      }
+      data.x.push_back(std::move(x));
+      data.y.push_back(std::move(y));
+    }
+    const double n = static_cast<double>(data.total_samples());
+
+    // --- modeling phase (measured serial) ---
+    gp::LcmFitOptions fit;
+    fit.num_latent = 2;
+    fit.num_restarts = 1;
+    fit.max_lbfgs_iterations = 4;
+    fit.seed = eps;
+    common::Timer model_timer;
+    auto model = gp::fit_lcm(data, fit);
+    const double model_1 = model_timer.seconds();
+    if (!model) {
+      row("eps=%zu: model fit failed", eps);
+      continue;
+    }
+
+    // Simulated 32-rank modeling: the O(N^3) factorization dominates; its
+    // distributed-tile critical path sets the parallel time.
+    const double cp1 = cholesky_critical_path(n, 128.0, 1.0);
+    const double cp32 =
+        cholesky_critical_path(n, 128.0, static_cast<double>(kRanks));
+    const double model_32 = model_1 * cp32 / cp1;
+
+    // --- search phase (per-task times measured, then list-scheduled) ---
+    std::vector<double> per_task_search(kDelta);
+    double search_1 = 0.0;
+    for (std::size_t i = 0; i < kDelta; ++i) {
+      double incumbent = 1e300;
+      for (double v : data.y[i]) incumbent = std::min(incumbent, v);
+      common::Timer t;
+      common::Rng search_rng(1000 + i);
+      opt::PsoOptions pso;
+      auto acq = [&](const opt::Point& u) {
+        const auto pred = model->predict(i, u);
+        return -core::expected_improvement(pred.mean, pred.variance,
+                                           incumbent);
+      };
+      opt::pso_minimize(acq, opt::Box::unit(1), search_rng, pso);
+      per_task_search[i] = t.seconds();
+      search_1 += per_task_search[i];
+    }
+    rt::VirtualRanks ranks(kRanks);
+    ranks.schedule_greedy(per_task_search);
+    const double search_32 = ranks.makespan();
+
+    row("%6zu %6.0f | %12.3f %12.3f %8.1f | %12.3f %12.3f %8.1f", eps, n,
+        model_1, model_32, model_1 / model_32, search_1, search_32,
+        search_1 / search_32);
+
+    sizes.push_back(n);
+    model_serial.push_back(model_1);
+    search_serial.push_back(search_1);
+    if (model_speedup_first == 0.0) model_speedup_first = model_1 / model_32;
+    model_speedup_last = model_1 / model_32;
+    search_speedup_last = search_1 / search_32;
+  }
+
+  // Scaling exponents from the largest size pair.
+  const std::size_t last = sizes.size() - 1;
+  const double model_exp =
+      std::log(model_serial[last] / model_serial[last - 1]) /
+      std::log(sizes[last] / sizes[last - 1]);
+  const double search_exp =
+      std::log(search_serial[last] / search_serial[last - 1]) /
+      std::log(sizes[last] / sizes[last - 1]);
+  row("\nfitted scaling exponents (largest sizes): modeling %.2f "
+      "(theory 3), search %.2f (theory 2)",
+      model_exp, search_exp);
+
+  shape_check(model_exp > 2.0 && model_exp < 4.0,
+              "modeling phase scales ~O(N^3)");
+  shape_check(search_exp > 1.0 && search_exp < 3.0,
+              "search phase scales ~O(N^2)");
+  shape_check(model_speedup_last > 6.0,
+              "32-rank modeling speedup is large at large covariance sizes");
+  shape_check(model_speedup_last > model_speedup_first,
+              "modeling speedup grows with problem size (toward ideal)");
+  shape_check(search_speedup_last <= 20.0 + 1e-9 && search_speedup_last > 4.0,
+              "search speedup bounded by delta=20, substantial (paper: 11X)");
+
+  return finish("fig3_parallel_scaling");
+}

@@ -1,0 +1,160 @@
+// Reproduces paper Fig. 4: the advantage of coarse performance models.
+//
+// Left: the analytical function (Eq. 11) with the noisy model
+//   y~(t,x) = (1 + 0.1 r) y(t,x); MLA with vs without the model across a
+//   task sweep and several budgets. Paper: the model always helps or ties
+//   (ratio >= 1), more so for complex tasks (large t) and small budgets.
+// Right: ScaLAPACK PDGEQRF with the Eq. (7) analytic model whose
+//   t_flop/t_msg/t_vol coefficients are estimated on the fly (§3.3).
+//   Paper: up to 35% improvement at eps_tot = 10, fading as eps grows.
+//
+// Scaled down for a single-core host: delta = 10 tasks (paper 20) on the
+// left, eps in {10, 20, 40} (paper {20, 40, 80}); 5 tasks, eps in {10, 20}
+// (paper {10, 20, 40}) on the right. See EXPERIMENTS.md.
+#include <cmath>
+#include <vector>
+
+#include "apps/analytical.hpp"
+#include "apps/scalapack_sim.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/mla.hpp"
+
+namespace {
+
+using namespace gptune;
+
+core::MlaOptions base_options(std::size_t eps, std::uint64_t seed) {
+  core::MlaOptions opt;
+  opt.budget_per_task = eps;
+  opt.model_restarts = 2;
+  opt.max_lbfgs_iterations = 20;
+  opt.refit_period = 2;
+  opt.seed = seed;
+  return opt;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gptune::bench;
+
+  // ---------------- left: analytical function ----------------
+  section("Fig. 4 (left): analytical function, MLA with vs without the "
+          "noisy performance model");
+
+  constexpr std::size_t kDelta = 10;
+  std::vector<core::TaskVector> tasks;
+  for (std::size_t i = 0; i < kDelta; ++i) {
+    tasks.push_back({static_cast<double>(i)});
+  }
+  core::CallableModel noisy_model(
+      [](const core::TaskVector& t, const core::Config& c) {
+        return std::vector<double>{
+            apps::analytical_noisy_model(t[0], c[0], 777)};
+      },
+      1);
+
+  double small_eps_mean_ratio = 0.0, large_eps_mean_ratio = 0.0;
+  for (std::size_t eps : {10, 20, 40}) {
+    core::MlaOptions with_opt = base_options(eps, 3);
+    with_opt.performance_model = &noisy_model;
+    core::MultitaskTuner with_tuner(apps::analytical_tuning_space(),
+                                    apps::analytical_fn(), with_opt);
+    auto with = with_tuner.run(tasks);
+
+    core::MlaOptions without_opt = base_options(eps, 3);
+    core::MultitaskTuner without_tuner(apps::analytical_tuning_space(),
+                                       apps::analytical_fn(), without_opt);
+    auto without = without_tuner.run(tasks);
+
+    row("\neps_tot=%zu: ratio = best(no model) / best(with model), "
+        "and truth ratio = true min / best(with model)",
+        eps);
+    row("%6s %12s %12s", "t", "ratio", "truth-ratio");
+    std::size_t model_geq = 0;
+    double mean_ratio = 0.0;
+    for (std::size_t i = 0; i < kDelta; ++i) {
+      // Shift to positive scale before forming ratios: the objective can
+      // be near zero/negative, the paper's QR ratios are of runtimes.
+      const double shift = 1.0;
+      const double w = with.tasks[i].best() + shift;
+      const double wo = without.tasks[i].best() + shift;
+      const double truth =
+          apps::analytical_true_minimum(tasks[i][0], 100001) + shift;
+      const double ratio = wo / w;
+      row("%6.1f %12.4f %12.4f", tasks[i][0], ratio, truth / w);
+      if (ratio >= 0.999) ++model_geq;
+      mean_ratio += ratio / kDelta;
+    }
+    row("model >= no-model on %zu/%zu tasks, mean ratio %.3f", model_geq,
+        kDelta, mean_ratio);
+    if (eps == 20) small_eps_mean_ratio = mean_ratio;
+    if (eps == 40) large_eps_mean_ratio = mean_ratio;
+    shape_check(model_geq * 2 >= kDelta,
+                "eps=" + std::to_string(eps) +
+                    ": the performance model helps or ties on most tasks");
+  }
+  // At eps=10 both variants sit near the random-design floor; the paper's
+  // "higher ratios for smaller eps_tot" is checked on the informative
+  // budgets (20 vs 40).
+  shape_check(small_eps_mean_ratio >= large_eps_mean_ratio - 0.10,
+              "model advantage does not shrink from eps=20 to eps=40");
+
+  // ---------------- right: PDGEQRF with Eq. (7) model ----------------
+  section("Fig. 4 (right): PDGEQRF, MLA with vs without the Eq. (7) model "
+          "(on-the-fly coefficient estimation)");
+
+  apps::MachineConfig machine;
+  machine.nodes = 16;  // paper: 16 Cori nodes
+  apps::PdgeqrfSim qr(machine);
+  common::Rng task_rng(5);
+  std::vector<core::TaskVector> qr_tasks;
+  for (int i = 0; i < 5; ++i) {
+    qr_tasks.push_back(
+        {std::floor(task_rng.uniform(1000, 20000)),
+         std::floor(task_rng.uniform(1000, 20000))});
+  }
+
+  double qr_best_improvement = 0.0;
+  for (std::size_t eps : {10, 20}) {
+    auto model = qr.make_performance_model();
+    core::MlaOptions with_opt = base_options(eps, 17);
+    with_opt.log_objective = true;
+    with_opt.performance_model = &model;
+    core::MultitaskTuner with_tuner(qr.tuning_space(), qr.objective(3),
+                                    with_opt);
+    auto with = with_tuner.run(qr_tasks);
+
+    core::MlaOptions without_opt = base_options(eps, 17);
+    without_opt.log_objective = true;
+    core::MultitaskTuner without_tuner(qr.tuning_space(), qr.objective(3),
+                                       without_opt);
+    auto without = without_tuner.run(qr_tasks);
+
+    row("\neps_tot=%zu:", eps);
+    row("%16s %12s %12s %8s", "task (m x n)", "no-model(s)", "model(s)",
+        "ratio");
+    std::size_t geq = 0;
+    for (std::size_t i = 0; i < qr_tasks.size(); ++i) {
+      const double w = with.tasks[i].best();
+      const double wo = without.tasks[i].best();
+      row("%7.0f x %-7.0f %12.4f %12.4f %8.3f", qr_tasks[i][0],
+          qr_tasks[i][1], wo, w, wo / w);
+      if (wo / w >= 0.999) ++geq;
+      qr_best_improvement = std::max(qr_best_improvement, wo / w - 1.0);
+    }
+    row("model >= no-model on %zu/%zu tasks; fitted coefficients "
+        "t_flop=%.2e t_msg=%.2e t_vol=%.2e",
+        geq, qr_tasks.size(), model.coefficients()[0],
+        model.coefficients()[1], model.coefficients()[2]);
+    shape_check(geq >= 3, "eps=" + std::to_string(eps) +
+                              ": Eq. (7) model helps or ties on most tasks");
+  }
+  // The paper saw up to 35% on real PDGEQRF; our simulator adds starvation
+  // cliffs that lie outside the Eq. (7) feature set, damping the gain.
+  shape_check(qr_best_improvement > 0.03,
+              "best-case model improvement is material (paper: up to 35%)");
+
+  return finish("fig4_perf_model");
+}

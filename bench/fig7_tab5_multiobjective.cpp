@@ -1,0 +1,199 @@
+// Reproduces paper Table 5 and Fig. 7: multi-objective tuning of
+// SuperLU_DIST (factorization time, memory) on 8 nodes.
+//
+// Table 5: default vs the optimal parameters from single-objective time
+//   tuning and single-objective memory tuning on matrix Si2. Paper: the
+//   optima differ vastly from the default (time wants large NSUP, memory
+//   wants small NSUP); tuned performance improves up to 83% in time /
+//   93% in memory over default.
+// Fig. 7 left: the multi-objective Pareto front for Si2; the two
+//   single-objective minima lie on or near the front; the default is far
+//   from optimal in both dimensions.
+// Fig. 7 right: 8 PARSEC matrices, single-task vs multitask
+//   multi-objective tuning — very few single-task points Pareto-dominate
+//   the multitask front.
+#include <algorithm>
+#include <vector>
+
+#include "apps/superlu_sim.hpp"
+#include "bench_util.hpp"
+#include "core/mla.hpp"
+#include "opt/nsga2.hpp"
+
+namespace {
+
+using namespace gptune;
+
+core::MlaOptions mo_options(std::size_t eps, std::uint64_t seed,
+                            std::size_t gamma) {
+  core::MlaOptions opt;
+  opt.num_objectives = gamma;
+  opt.budget_per_task = eps;
+  opt.batch_k = 4;
+  opt.model_restarts = 2;
+  opt.max_lbfgs_iterations = 15;
+  opt.refit_period = 3;
+  opt.log_objective = true;
+  opt.seed = seed;
+  return opt;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gptune::bench;
+
+  apps::SuperluSim superlu(apps::MachineConfig{8, 32});
+  const core::Space space = superlu.tuning_space();
+  const double si2 =
+      static_cast<double>(apps::SuperluSim::matrix_index("Si2"));
+
+  // ---------------- Table 5: single-objective optima on Si2 ----------------
+  section("Table 5: default vs single-objective optimal parameters, Si2");
+
+  const core::Config default_cfg = apps::SuperluSim::default_config();
+  const auto default_result = superlu.factorize({si2}, default_cfg);
+
+  // Single-objective time tuning.
+  core::MultitaskTuner time_tuner(space, superlu.objective_time(1),
+                                  mo_options(80, 71, 1));
+  auto time_result = time_tuner.run({{si2}});
+  const core::Config time_cfg = time_result.tasks[0].best_config();
+
+  // Single-objective memory tuning.
+  auto memory_objective = [&superlu](const core::TaskVector& t,
+                                     const core::Config& x) {
+    return std::vector<double>{superlu.factorize(t, x).memory_bytes};
+  };
+  core::MultitaskTuner mem_tuner(space, memory_objective,
+                                 mo_options(80, 72, 1));
+  auto mem_result = mem_tuner.run({{si2}});
+  const core::Config mem_cfg = mem_result.tasks[0].best_config();
+
+  row("%-8s %s", "Default", space.format(default_cfg).c_str());
+  row("%-8s %s", "Time", space.format(time_cfg).c_str());
+  row("%-8s %s", "Memory", space.format(mem_cfg).c_str());
+
+  const auto time_opt = superlu.factorize({si2}, time_cfg);
+  const auto mem_opt = superlu.factorize({si2}, mem_cfg);
+  const double time_improvement =
+      1.0 - time_opt.time_seconds / default_result.time_seconds;
+  const double mem_improvement =
+      1.0 - mem_opt.memory_bytes / default_result.memory_bytes;
+  row("\ndefault: time %.4fs memory %.1f MB", default_result.time_seconds,
+      default_result.memory_bytes / 1e6);
+  row("tuned:   time %.4fs (-%.0f%%) | memory %.1f MB (-%.0f%%)",
+      time_opt.time_seconds, 100.0 * time_improvement,
+      mem_opt.memory_bytes / 1e6, 100.0 * mem_improvement);
+
+  // Paper: 83% on the real code, where a 769-dof matrix on 256 processes
+  // is catastrophically latency-bound; our analytic model compresses that
+  // regime, so the reproducible shape is "material improvement".
+  shape_check(time_improvement > 0.15,
+              "Table 5: material time improvement over default (paper: "
+              "83%)");
+  shape_check(mem_improvement > 0.3,
+              "Table 5: large memory improvement over default (paper: 93%)");
+  // NSUP direction: time optimum uses larger supernodes than the memory
+  // optimum (paper: 295 vs 31).
+  const std::size_t nsup_index = space.index_of("NSUP");
+  shape_check(time_cfg[nsup_index] > mem_cfg[nsup_index],
+              "Table 5: time optimum uses larger NSUP than memory optimum");
+
+  // ---------------- Fig. 7 left: Pareto front for Si2 ----------------
+  section("Fig. 7 (left): multi-objective Pareto front, Si2");
+
+  core::MultitaskTuner mo_tuner(space, superlu.objective_time_memory(1),
+                                mo_options(80, 73, 2));
+  auto mo_result = mo_tuner.run({{si2}});
+  auto front = mo_result.tasks[0].pareto();
+  std::sort(front.begin(), front.end(),
+            [](const core::EvalRecord& a, const core::EvalRecord& b) {
+              return a.objectives[0] < b.objectives[0];
+            });
+  row("%10s %12s", "time(s)", "memory(MB)");
+  for (const auto& e : front) {
+    row("%10.4f %12.1f", e.objectives[0], e.objectives[1] / 1e6);
+  }
+
+  // The single-objective minima should lie on or near the front: no front
+  // point should dominate them by a wide margin in their own objective.
+  double front_best_time = 1e300, front_best_mem = 1e300;
+  for (const auto& e : front) {
+    front_best_time = std::min(front_best_time, e.objectives[0]);
+    front_best_mem = std::min(front_best_mem, e.objectives[1]);
+  }
+  row("\nfront extremes: time %.4fs, memory %.1f MB; single-objective "
+      "minima: time %.4fs, memory %.1f MB",
+      front_best_time, front_best_mem / 1e6, time_opt.time_seconds,
+      mem_opt.memory_bytes / 1e6);
+  shape_check(front_best_time < 1.6 * time_opt.time_seconds,
+              "Fig. 7: front's best time close to single-objective optimum");
+  shape_check(front_best_mem < 1.6 * mem_opt.memory_bytes,
+              "Fig. 7: front's best memory close to single-objective "
+              "optimum");
+  const std::vector<double> default_point = {default_result.time_seconds,
+                                             default_result.memory_bytes};
+  std::size_t dominating_default = 0;
+  for (const auto& e : front) {
+    if (opt::dominates(e.objectives, default_point)) ++dominating_default;
+  }
+  shape_check(dominating_default >= 1,
+              "Fig. 7: the default is Pareto-dominated by the tuned front");
+
+  // ---------------- Fig. 7 right: single-task vs multitask ----------------
+  section("Fig. 7 (right): 8 PARSEC matrices, single-task vs multitask "
+          "multi-objective tuning");
+
+  std::vector<core::TaskVector> all_tasks;
+  for (std::size_t i = 0; i < apps::SuperluSim::catalog().size(); ++i) {
+    all_tasks.push_back({static_cast<double>(i)});
+  }
+  constexpr std::size_t kEps = 40;  // scaled from the paper's 80
+
+  core::MultitaskTuner multi_tuner(space, superlu.objective_time_memory(1),
+                                   mo_options(kEps, 74, 2));
+  auto multi_result = multi_tuner.run(all_tasks);
+
+  std::size_t single_dominates = 0, multi_dominates = 0;
+  for (std::size_t i = 0; i < all_tasks.size(); ++i) {
+    core::MultitaskTuner single_tuner(space,
+                                      superlu.objective_time_memory(1),
+                                      mo_options(kEps, 75 + i, 2));
+    auto single_result = single_tuner.run({all_tasks[i]});
+    const auto sf = single_result.tasks[0].pareto();
+    const auto mf = multi_result.tasks[i].pareto();
+    // Count cross-dominations between the two fronts.
+    std::size_t s_dom = 0, m_dom = 0;
+    for (const auto& sp : sf) {
+      for (const auto& mp : mf) {
+        if (opt::dominates(sp.objectives, mp.objectives)) {
+          ++s_dom;
+          break;
+        }
+      }
+    }
+    for (const auto& mp : mf) {
+      for (const auto& sp : sf) {
+        if (opt::dominates(mp.objectives, sp.objectives)) {
+          ++m_dom;
+          break;
+        }
+      }
+    }
+    single_dominates += s_dom;
+    multi_dominates += m_dom;
+    row("%-10s single front %2zu pts (%2zu dominate multi) | multi front "
+        "%2zu pts (%2zu dominate single)",
+        apps::SuperluSim::catalog()[i].name.c_str(), sf.size(), s_dom,
+        mf.size(), m_dom);
+  }
+  row("\ntotals: single-task points dominating multitask: %zu; multitask "
+      "dominating single-task: %zu",
+      single_dominates, multi_dominates);
+  shape_check(multi_dominates >= single_dominates,
+              "Fig. 7: very few single-task points dominate the multitask "
+              "fronts (paper: 'very few data points')");
+
+  return finish("fig7_tab5_multiobjective");
+}

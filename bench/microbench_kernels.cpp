@@ -1,0 +1,145 @@
+// google-benchmark microbenchmarks of the kernels the tuner's cost is made
+// of: covariance assembly, Cholesky factorization (unblocked vs blocked),
+// LCM likelihood+gradient, posterior prediction, and EI search. These are
+// the raw numbers behind the Fig. 3 phase-time scaling.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/acquisition.hpp"
+#include "gp/kernel.hpp"
+#include "gp/lcm.hpp"
+#include "gp/trainer.hpp"
+#include "linalg/blocked_cholesky.hpp"
+#include "linalg/cholesky.hpp"
+#include "opt/pso.hpp"
+
+namespace {
+
+using namespace gptune;
+
+linalg::Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  linalg::Matrix a(n, n + 4);
+  for (auto& v : a.data()) v = rng.normal();
+  linalg::Matrix s = linalg::syrk(a);
+  for (std::size_t i = 0; i < n; ++i) s(i, i) += 1.0;
+  return s;
+}
+
+gp::MultiTaskData random_data(std::size_t tasks, std::size_t samples,
+                              std::size_t dim, std::uint64_t seed) {
+  common::Rng rng(seed);
+  gp::MultiTaskData data;
+  for (std::size_t i = 0; i < tasks; ++i) {
+    gp::Matrix x(samples, dim);
+    gp::Vector y(samples);
+    for (std::size_t j = 0; j < samples; ++j) {
+      for (std::size_t m = 0; m < dim; ++m) x(j, m) = rng.uniform();
+      y[j] = rng.normal();
+    }
+    data.x.push_back(std::move(x));
+    data.y.push_back(std::move(y));
+  }
+  return data;
+}
+
+void BM_CholeskyUnblocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_spd(n, 1);
+  for (auto _ : state) {
+    auto f = linalg::CholeskyFactor::factor(a);
+    benchmark::DoNotOptimize(f);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CholeskyUnblocked)->RangeMultiplier(2)->Range(64, 512)
+    ->Complexity(benchmark::oNCubed);
+
+void BM_CholeskyBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_spd(n, 2);
+  for (auto _ : state) {
+    auto f = linalg::blocked_cholesky(a, 96);
+    benchmark::DoNotOptimize(f);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CholeskyBlocked)->RangeMultiplier(2)->Range(64, 512)
+    ->Complexity(benchmark::oNCubed);
+
+void BM_SeArdGram(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(3);
+  gp::Matrix x(n, 4);
+  for (auto& v : x.data()) v = rng.uniform();
+  const std::vector<double> ls = {0.3, 0.5, 0.4, 0.6};
+  for (auto _ : state) {
+    auto k = gp::se_ard_gram(x, ls);
+    benchmark::DoNotOptimize(k);
+  }
+}
+BENCHMARK(BM_SeArdGram)->RangeMultiplier(2)->Range(64, 512);
+
+void BM_LcmLikelihoodGradient(benchmark::State& state) {
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  const auto data = random_data(5, samples, 3, 4);
+  gp::Matrix ax;
+  gp::Vector ay;
+  std::vector<std::size_t> task_of;
+  data.flatten(&ax, &ay, &task_of);
+  gp::LcmShape shape{3, 3, 5};
+  common::Rng rng(5);
+  const auto theta = gp::random_lcm_theta(shape, rng);
+  std::vector<double> grad;
+  for (auto _ : state) {
+    auto lml = gp::lcm_lml(shape, theta, ax, ay, task_of, &grad);
+    benchmark::DoNotOptimize(lml);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(5 * samples));
+}
+BENCHMARK(BM_LcmLikelihoodGradient)->Arg(10)->Arg(20)->Arg(40)->Arg(80)
+    ->Complexity(benchmark::oNCubed);
+
+void BM_LcmPredict(benchmark::State& state) {
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  const auto data = random_data(5, samples, 3, 6);
+  gp::LcmShape shape{3, 3, 5};
+  common::Rng rng(7);
+  auto model = gp::LcmModel::build(data, shape,
+                                   gp::random_lcm_theta(shape, rng));
+  const gp::Vector x_star = {0.3, 0.5, 0.7};
+  for (auto _ : state) {
+    auto pred = model->predict(2, x_star);
+    benchmark::DoNotOptimize(pred);
+  }
+}
+BENCHMARK(BM_LcmPredict)->Arg(10)->Arg(40)->Arg(160);
+
+void BM_EiSearchPso(benchmark::State& state) {
+  const auto data = random_data(3, 20, 3, 8);
+  gp::LcmShape shape{2, 3, 3};
+  common::Rng rng(9);
+  auto model = gp::LcmModel::build(data, shape,
+                                   gp::random_lcm_theta(shape, rng));
+  for (auto _ : state) {
+    common::Rng search_rng(11);
+    auto acq = [&](const opt::Point& u) {
+      const auto pred = model->predict(0, u);
+      return -core::expected_improvement(pred.mean, pred.variance, 0.0);
+    };
+    auto best = opt::pso_minimize(acq, opt::Box::unit(3), search_rng);
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_EiSearchPso);
+
+void BM_ExpectedImprovement(benchmark::State& state) {
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += core::expected_improvement(0.5, 1.3, 0.7);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ExpectedImprovement);
+
+}  // namespace

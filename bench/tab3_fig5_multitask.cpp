@@ -1,0 +1,300 @@
+// Reproduces paper Table 3 and Fig. 5: single-task vs multitask MLA on
+// PDGEQRF, PDSYEVX, M3D_C1, and NIMROD.
+//
+// Paper claims reproduced as shapes:
+//   * multitask reaches minima similar to single-task on the shared task
+//     while spending much less total application time (Table 3);
+//   * Fig. 5 left: per-task best/worst PDGEQRF runtimes ordered by flop
+//     count; Fig. 5 right: PDSYEVX best runtime scales ~O(m^3), larger
+//     eps_tot slightly improves the best;
+//   * PDSYEVX single-task: the best over all eps_tot samples beats the
+//     best over the eps_tot/2 initial samples (Bayesian optimization
+//     usefulness);
+//   * M3D_C1/NIMROD: tuning on cheap few-step tasks transfers to the
+//     expensive many-step task.
+//
+// The "objective" column is *simulated application seconds* (the sum of
+// all simulated runs, 3 trials per evaluation where the paper repeats 3x);
+// "modeling"/"search" are host wall-clock of the tuner itself.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "apps/mhd_sim.hpp"
+#include "apps/scalapack_sim.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/mla.hpp"
+
+namespace {
+
+using namespace gptune;
+
+// Wraps a best-of-trials simulator objective while accumulating the total
+// simulated application seconds (all trials).
+template <typename RuntimeFn>
+core::MultiObjectiveFn counting_objective(RuntimeFn runtime, int trials,
+                                          double* total_app_seconds) {
+  return [runtime, trials, total_app_seconds](
+             const core::TaskVector& t,
+             const core::Config& x) -> std::vector<double> {
+    double best = 0.0;
+    for (int trial = 0; trial < trials; ++trial) {
+      const double v = runtime(t, x, static_cast<std::uint64_t>(trial));
+      *total_app_seconds += v;
+      if (trial == 0 || v < best) best = v;
+    }
+    return {best};
+  };
+}
+
+core::MlaOptions tuned_options(std::size_t eps, std::uint64_t seed) {
+  core::MlaOptions opt;
+  opt.budget_per_task = eps;
+  opt.model_restarts = 2;
+  opt.max_lbfgs_iterations = 20;
+  opt.refit_period = eps > 40 ? 5 : 2;
+  opt.log_objective = true;
+  opt.seed = seed;
+  return opt;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gptune::bench;
+
+  // ---------------- PDGEQRF (64 nodes / 2048 cores) ----------------
+  section("Table 3 (upper) + Fig. 5 (left): PDGEQRF, 64 nodes, budget "
+          "delta*eps = 100");
+
+  apps::MachineConfig big_machine;
+  big_machine.nodes = 64;
+  apps::PdgeqrfSim qr(big_machine);
+
+  // The shared expensive task plus 9 random cheaper ones. The paper draws
+  // m, n < 40000 and notes the random tasks are "less expensive" than
+  // (23324, 26545); we cap the draw below the shared task's size so that
+  // property holds deterministically (see EXPERIMENTS.md).
+  std::vector<core::TaskVector> qr_tasks = {{23324, 26545}};
+  common::Rng task_rng(11);
+  for (int i = 0; i < 9; ++i) {
+    qr_tasks.push_back({std::floor(task_rng.uniform(2000, 23000)),
+                        std::floor(task_rng.uniform(2000, 23000))});
+  }
+
+  // Single-task: all 100 evaluations on the big task.
+  double single_app_seconds = 0.0;
+  {
+    auto objective = counting_objective(
+        [&qr](const core::TaskVector& t, const core::Config& x,
+              std::uint64_t trial) { return qr.runtime(t, x, trial); },
+        3, &single_app_seconds);
+    core::MultitaskTuner tuner(qr.tuning_space(), objective,
+                               tuned_options(100, 21));
+    auto result = tuner.run({qr_tasks[0]});
+    const double best = result.tasks[0].best();
+    const double tflops =
+        apps::PdgeqrfSim::qr_flops(qr_tasks[0][0], qr_tasks[0][1]) / best /
+        1e12;
+    row("%-12s total_app=%9.1fs modeling=%6.2fs search=%6.2fs | "
+        "task0 best=%7.3fs (%.2f TFLOPS)",
+        "Single-task", single_app_seconds, result.times.modeling,
+        result.times.search, best, tflops);
+
+    // Multitask: 10 tasks x 10 evaluations.
+    double multi_app_seconds = 0.0;
+    auto mobjective = counting_objective(
+        [&qr](const core::TaskVector& t, const core::Config& x,
+              std::uint64_t trial) { return qr.runtime(t, x, trial); },
+        3, &multi_app_seconds);
+    // delta=10 x eps=10 is cheap tuner-side; spend more modeling/search
+    // effort per sample (refit every iteration, more restarts) as the
+    // paper's configuration does.
+    core::MlaOptions multi_opt = tuned_options(10, 22);
+    multi_opt.model_restarts = 3;
+    multi_opt.refit_period = 1;
+    multi_opt.pso.iterations = 100;
+    core::MultitaskTuner mtuner(qr.tuning_space(), mobjective, multi_opt);
+    auto mresult = mtuner.run(qr_tasks);
+    const double mbest = mresult.tasks[0].best();
+    row("%-12s total_app=%9.1fs modeling=%6.2fs search=%6.2fs | "
+        "task0 best=%7.3fs (%.2f TFLOPS)",
+        "Multitask", multi_app_seconds, mresult.times.modeling,
+        mresult.times.search, mbest,
+        apps::PdgeqrfSim::qr_flops(qr_tasks[0][0], qr_tasks[0][1]) / mbest /
+            1e12);
+
+    shape_check(multi_app_seconds < single_app_seconds,
+                "PDGEQRF: multitask spends less application time (it mixes "
+                "in 9 cheaper tasks)");
+    shape_check(mbest < 1.35 * best,
+                "PDGEQRF: multitask minimum on the shared task is similar "
+                "to single-task (paper: 'very similar minimum')");
+
+    // Fig. 5 left: per-task best & worst, sorted by flop count.
+    row("\nFig. 5 (left): multitask per-task best/worst runtime, sorted by "
+        "flops");
+    std::vector<std::size_t> order(qr_tasks.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return apps::PdgeqrfSim::qr_flops(qr_tasks[a][0], qr_tasks[a][1]) <
+             apps::PdgeqrfSim::qr_flops(qr_tasks[b][0], qr_tasks[b][1]);
+    });
+    row("%18s %12s %10s %10s", "task (m x n)", "flops", "best(s)",
+        "worst(s)");
+    std::size_t monotone_pairs = 0;
+    double prev_best = 0.0;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const auto i = order[k];
+      const double flops =
+          apps::PdgeqrfSim::qr_flops(qr_tasks[i][0], qr_tasks[i][1]);
+      const double best_i = mresult.tasks[i].best();
+      row("%8.0f x %-8.0f %12.3e %10.3f %10.3f", qr_tasks[i][0],
+          qr_tasks[i][1], flops, best_i, mresult.tasks[i].worst());
+      if (k > 0 && best_i >= prev_best) ++monotone_pairs;
+      prev_best = best_i;
+    }
+    shape_check(monotone_pairs >= 6,
+                "PDGEQRF: best runtime mostly increases with task flops");
+  }
+
+  // ---------------- PDSYEVX (1 node) ----------------
+  section("Table 3 + Fig. 5 (right): PDSYEVX, 1 node");
+  apps::MachineConfig one_node;
+  apps::PdsyevxSim evx(one_node);
+
+  // Single-task m = 7000 with eps in {90, 180}: best of the random half
+  // vs best after Bayesian optimization.
+  double single_evx_best = 0.0;
+  for (std::size_t eps : {90, 180}) {
+    double app_seconds = 0.0;
+    auto objective = counting_objective(
+        [&evx](const core::TaskVector& t, const core::Config& x,
+               std::uint64_t trial) { return evx.runtime(t, x, trial); },
+        3, &app_seconds);
+    core::MultitaskTuner tuner(evx.tuning_space(), objective,
+                               tuned_options(eps, 30 + eps));
+    auto result = tuner.run({{7000}});
+    const auto curve = result.tasks[0].best_so_far();
+    const double best_initial = curve[eps / 2 - 1];
+    const double best_final = curve.back();
+    row("Single-task m=7000 eps=%3zu: best after eps/2 samples %7.3fs, "
+        "after all %7.3fs | total_app=%9.1fs modeling=%5.2fs search=%5.2fs",
+        eps, best_initial, best_final, app_seconds, result.times.modeling,
+        result.times.search);
+    shape_check(best_final <= best_initial,
+                "PDSYEVX eps=" + std::to_string(eps) +
+                    ": BO half improves on the random half");
+    single_evx_best = best_final;
+  }
+
+  // Multitask delta = 9, m = 3000..7000.
+  std::vector<core::TaskVector> evx_tasks;
+  for (int m = 3000; m <= 7000; m += 500) {
+    evx_tasks.push_back({static_cast<double>(m)});
+  }
+  for (std::size_t eps : {10, 20}) {
+    double app_seconds = 0.0;
+    auto objective = counting_objective(
+        [&evx](const core::TaskVector& t, const core::Config& x,
+               std::uint64_t trial) { return evx.runtime(t, x, trial); },
+        3, &app_seconds);
+    core::MultitaskTuner tuner(evx.tuning_space(), objective,
+                               tuned_options(eps, 40 + eps));
+    auto result = tuner.run(evx_tasks);
+    row("\nMultitask delta=9 eps=%zu: total_app=%9.1fs modeling=%5.2fs "
+        "search=%5.2fs",
+        eps, app_seconds, result.times.modeling, result.times.search);
+    row("%8s %10s %10s", "m", "best(s)", "worst(s)");
+    for (std::size_t i = 0; i < evx_tasks.size(); ++i) {
+      row("%8.0f %10.3f %10.3f", evx_tasks[i][0], result.tasks[i].best(),
+          result.tasks[i].worst());
+    }
+    // O(m^3) scaling of the best runtime.
+    const double exponent =
+        std::log(result.tasks.back().best() / result.tasks.front().best()) /
+        std::log(7000.0 / 3000.0);
+    row("fitted best-runtime exponent vs m: %.2f (theory 3)", exponent);
+    shape_check(exponent > 2.0 && exponent < 4.0,
+                "PDSYEVX eps=" + std::to_string(eps) +
+                    ": best runtime scales ~O(m^3)");
+    if (eps == 20) {
+      shape_check(result.tasks.back().best() < 1.4 * single_evx_best,
+                  "PDSYEVX: multitask m=7000 best similar to single-task");
+    }
+  }
+
+  // ---------------- M3D_C1 and NIMROD (Table 3 lower) ----------------
+  section("Table 3 (lower): M3D_C1 (t=3) and NIMROD (t=15), single vs "
+          "multitask");
+
+  {
+    apps::M3dc1Sim m3d(one_node);
+    double single_app = 0.0, multi_app = 0.0;
+    auto sobj = counting_objective(
+        [&m3d](const core::TaskVector& t, const core::Config& x,
+               std::uint64_t trial) { return m3d.runtime(t, x, trial); },
+        1, &single_app);
+    core::MultitaskTuner stuner(m3d.tuning_space(), sobj,
+                                tuned_options(80, 51));
+    auto sres = stuner.run({{3}});
+
+    auto mobj = counting_objective(
+        [&m3d](const core::TaskVector& t, const core::Config& x,
+               std::uint64_t trial) { return m3d.runtime(t, x, trial); },
+        1, &multi_app);
+    core::MultitaskTuner mtuner(m3d.tuning_space(), mobj,
+                                tuned_options(20, 52));
+    auto mres = mtuner.run({{1}, {1}, {1}, {3}});
+
+    row("M3D_C1  %-12s minimum(t=3)=%8.3fs total_app=%9.1fs", "Single-task",
+        sres.tasks[0].best(), single_app);
+    row("M3D_C1  %-12s minimum(t=3)=%8.3fs total_app=%9.1fs", "Multitask",
+        mres.tasks[3].best(), multi_app);
+    shape_check(mres.tasks[3].best() < 1.15 * sres.tasks[0].best(),
+                "M3D_C1: multitask minimum within ~15% of single-task");
+    shape_check(multi_app < 0.8 * single_app,
+                "M3D_C1: multitask total application time much smaller");
+
+    // Improvement over a typical default configuration.
+    const core::Config default_cfg = {1, 3, 16, 128, 20};
+    const double default_time = m3d.runtime({3}, default_cfg, 0);
+    row("M3D_C1  default config -> %8.3fs; tuned improvement %.0f%%",
+        default_time,
+        100.0 * (default_time - mres.tasks[3].best()) / default_time);
+    shape_check(mres.tasks[3].best() < 0.95 * default_time,
+                "M3D_C1: tuning improves over the default (paper: 15-20%)");
+  }
+
+  {
+    apps::NimrodSim nimrod;  // 6 nodes
+    double single_app = 0.0, multi_app = 0.0;
+    auto sobj = counting_objective(
+        [&nimrod](const core::TaskVector& t, const core::Config& x,
+                  std::uint64_t trial) { return nimrod.runtime(t, x, trial); },
+        1, &single_app);
+    core::MultitaskTuner stuner(nimrod.tuning_space(), sobj,
+                                tuned_options(80, 61));
+    auto sres = stuner.run({{15}});
+
+    auto mobj = counting_objective(
+        [&nimrod](const core::TaskVector& t, const core::Config& x,
+                  std::uint64_t trial) { return nimrod.runtime(t, x, trial); },
+        1, &multi_app);
+    core::MultitaskTuner mtuner(nimrod.tuning_space(), mobj,
+                                tuned_options(20, 62));
+    auto mres = mtuner.run({{3}, {3}, {3}, {15}});
+
+    row("NIMROD  %-12s minimum(t=15)=%7.2fs total_app=%9.1fs", "Single-task",
+        sres.tasks[0].best(), single_app);
+    row("NIMROD  %-12s minimum(t=15)=%7.2fs total_app=%9.1fs", "Multitask",
+        mres.tasks[3].best(), multi_app);
+    shape_check(mres.tasks[3].best() < 1.15 * sres.tasks[0].best(),
+                "NIMROD: multitask minimum within ~15% of single-task");
+    shape_check(multi_app < 0.8 * single_app,
+                "NIMROD: multitask total application time much smaller");
+  }
+
+  return finish("tab3_fig5_multitask");
+}

@@ -1,0 +1,56 @@
+// Driving multiple autotuners through one interface (paper §6.1: "our
+// interface allows the user to invoke them as well").
+//
+// Runs GPTune (single-task adapter), OpenTuner-lite, and HpBandSter-lite
+// on the same SuperLU_DIST task with the same budget and prints the
+// best-so-far trajectories — the anytime-performance view of paper §6.6.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/superlu_sim.hpp"
+#include "baselines/hpbandster_lite.hpp"
+#include "baselines/opentuner_lite.hpp"
+#include "baselines/single_task_gptune.hpp"
+#include "baselines/ytopt_lite.hpp"
+
+int main() {
+  using namespace gptune;
+
+  apps::SuperluSim superlu(apps::MachineConfig{8, 32});
+  const core::Space space = superlu.tuning_space();
+  const auto objective = superlu.objective_time();
+  const core::TaskVector task = {
+      static_cast<double>(apps::SuperluSim::matrix_index("Si10H16"))};
+  constexpr std::size_t kBudget = 20;
+
+  core::MlaOptions gptune_options;
+  gptune_options.log_objective = true;
+  std::vector<std::unique_ptr<baselines::SingleTaskTuner>> tuners;
+  tuners.push_back(
+      std::make_unique<baselines::SingleTaskGpTune>(gptune_options));
+  tuners.push_back(std::make_unique<baselines::OpenTunerLite>());
+  tuners.push_back(std::make_unique<baselines::HpBandSterLite>());
+  tuners.push_back(std::make_unique<baselines::YtoptLite>());
+
+  std::vector<std::vector<double>> curves;
+  std::printf("tuning SuperLU_DIST factorization of Si10H16, budget %zu\n\n",
+              kBudget);
+  for (auto& tuner : tuners) {
+    auto history = tuner->tune(task, space, objective, kBudget, 42);
+    curves.push_back(history.best_so_far());
+    std::printf("%-12s best %.4fs  config: %s\n", tuner->name().c_str(),
+                history.best(),
+                space.format(history.best_config()).c_str());
+  }
+
+  std::printf("\nbest-so-far after each evaluation:\n%6s", "eval");
+  for (auto& tuner : tuners) std::printf(" %12s", tuner->name().c_str());
+  std::printf("\n");
+  for (std::size_t e = 0; e < kBudget; ++e) {
+    std::printf("%6zu", e + 1);
+    for (const auto& curve : curves) std::printf(" %12.4f", curve[e]);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Archiving and reusing tuning data across sessions (paper goal 3:
+// "Support archiving and reusing tuning data from multiple executions to
+// allow tuning to improve over time").
+//
+// Session 1 tunes a hypre problem and saves every evaluation to a history
+// file. Session 2 reloads the file; archived samples for matching tasks
+// enter the new run as free data, so the second session starts from the
+// first session's knowledge instead of from scratch.
+#include <cstdio>
+
+#include "apps/hypre_sim.hpp"
+#include "core/history.hpp"
+#include "core/mla.hpp"
+
+namespace {
+
+constexpr const char* kHistoryPath = "/tmp/gptune_hypre_history.txt";
+
+double run_session(gptune::core::HistoryDb* db, std::size_t budget,
+                   std::uint64_t seed) {
+  using namespace gptune;
+  apps::HypreSim hypre(apps::MachineConfig{1, 32});
+  core::MlaOptions options;
+  options.budget_per_task = budget;
+  options.seed = seed;
+  options.log_objective = true;
+  options.history = db;
+  core::MultitaskTuner tuner(hypre.tuning_space(), hypre.objective(),
+                             options);
+  auto result = tuner.run({{60, 60, 60}});
+  return result.tasks[0].best();
+}
+
+}  // namespace
+
+int main() {
+  using namespace gptune;
+
+  // --- session 1: tune from scratch, archive everything ---
+  core::HistoryDb db;
+  const double first_best = run_session(&db, 16, 100);
+  db.save(kHistoryPath);
+  std::printf("session 1: best %.4fs with %zu evaluations archived to %s\n",
+              first_best, db.size(), kHistoryPath);
+
+  // --- session 2 (fresh process in real life): reload and continue ---
+  auto reloaded = core::HistoryDb::load(kHistoryPath);
+  if (!reloaded) {
+    std::printf("failed to reload history\n");
+    return 1;
+  }
+  const double second_best = run_session(&*reloaded, 8, 200);
+  std::printf(
+      "session 2: best %.4fs spending only 8 new evaluations on top of %zu "
+      "archived ones\n",
+      second_best, db.size());
+
+  // The reused run can never end up worse than the archive's best.
+  const double archived_best =
+      reloaded->best_for_task({60, 60, 60})->objectives[0];
+  std::printf("archived best was %.4fs -> reuse %s\n", archived_best,
+              second_best <= archived_best + 1e-12 ? "kept or improved it"
+                                                   : "REGRESSED (bug!)");
+  std::remove(kHistoryPath);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Transfer Learning Autotuning (TLA): propose a configuration for a brand
+// new task with ZERO evaluations, from an archive of previously tuned
+// tasks.
+//
+// Scenario: PDGEQRF was tuned overnight on several matrix sizes and the
+// results were archived. A user now needs to factor a size nobody tuned.
+// TLA regresses the archived per-task optima over the task space and
+// predicts a configuration immediately; we compare it against the true
+// cost of a few reference choices.
+#include <cstdio>
+
+#include "apps/scalapack_sim.hpp"
+#include "core/mla.hpp"
+#include "core/tla.hpp"
+
+int main() {
+  using namespace gptune;
+
+  apps::MachineConfig machine;
+  machine.nodes = 16;
+  apps::PdgeqrfSim qr(machine);
+  core::Space tuning_space = qr.tuning_space();
+
+  core::Space task_space;  // normalizes (m, n) for the kernel regression
+  task_space.add_integer("m", 1000, 40000, /*log_scale=*/true);
+  task_space.add_integer("n", 1000, 40000, /*log_scale=*/true);
+
+  // --- "overnight": tune 4 source sizes, archive everything ---
+  core::HistoryDb archive;
+  core::MlaOptions options;
+  options.budget_per_task = 12;
+  options.seed = 77;
+  options.log_objective = true;
+  options.history = &archive;
+  core::MultitaskTuner tuner(tuning_space, qr.objective(3), options);
+  std::vector<core::TaskVector> sources = {
+      {4000, 4000}, {10000, 10000}, {20000, 20000}, {36000, 36000}};
+  tuner.run(sources);
+  std::printf("archived %zu evaluations from %zu source tasks\n\n",
+              archive.size(), sources.size());
+
+  // --- "now": a new size appears; no budget for tuning runs ---
+  const core::TaskVector new_task = {15000, 15000};
+  auto transferred = core::transfer_best_config(archive, task_space,
+                                                tuning_space, new_task);
+  if (!transferred) {
+    std::printf("transfer failed: empty archive\n");
+    return 1;
+  }
+
+  const double transferred_time = qr.best_of_trials(new_task, *transferred);
+  std::printf("new task %gx%g\n", new_task[0], new_task[1]);
+  std::printf("  TLA transferred config: %-34s -> %7.3fs\n",
+              tuning_space.format(*transferred).c_str(), transferred_time);
+
+  // References: a generic default and the average of 50 random configs.
+  const core::Config generic = {64, 256, 16};
+  std::printf("  generic default:        %-34s -> %7.3fs\n",
+              tuning_space.format(generic).c_str(),
+              qr.best_of_trials(new_task, generic));
+  common::Rng rng(1);
+  double random_sum = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    random_sum += qr.best_of_trials(new_task,
+                                    tuning_space.sample_feasible(rng));
+  }
+  std::printf("  mean of 50 random configs:%41.3fs\n", random_sum / 50.0);
+  return 0;
+}

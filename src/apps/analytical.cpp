@@ -1,0 +1,74 @@
+#include "apps/analytical.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "apps/machine.hpp"
+#include "common/rng.hpp"
+
+namespace gptune::apps {
+
+double analytical_objective(double t, double x) {
+  const double two_pi = 2.0 * std::numbers::pi;
+  double s = 0.0;
+  for (int i = 1; i <= 5; ++i) {
+    s += std::sin(two_pi * x * std::pow(t + 2.0, i));
+  }
+  return 1.0 + std::exp(-std::pow(x + 1.0, t + 1.0)) * std::cos(two_pi * x) * s;
+}
+
+core::Space analytical_tuning_space() {
+  core::Space space;
+  space.add_real("x", 0.0, 1.0);
+  return space;
+}
+
+core::MultiObjectiveFn analytical_fn() {
+  return [](const core::TaskVector& task, const core::Config& config) {
+    return std::vector<double>{analytical_objective(task[0], config[0])};
+  };
+}
+
+double analytical_noisy_model(double t, double x, std::uint64_t seed) {
+  std::uint64_t h = hash_double(hash_double(seed, t), x);
+  common::Rng rng(h);
+  return (1.0 + 0.1 * rng.normal()) * analytical_objective(t, x);
+}
+
+double analytical_true_minimum(double t, std::size_t grid) {
+  double best = analytical_objective(t, 0.0);
+  double best_x = 0.0;
+  for (std::size_t i = 1; i < grid; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(grid - 1);
+    const double v = analytical_objective(t, x);
+    if (v < best) {
+      best = v;
+      best_x = x;
+    }
+  }
+  // Golden-section refinement around the grid winner.
+  const double h = 1.0 / static_cast<double>(grid - 1);
+  double lo = std::max(0.0, best_x - h), hi = std::min(1.0, best_x + h);
+  const double invphi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double c = hi - invphi * (hi - lo);
+  double d = lo + invphi * (hi - lo);
+  double fc = analytical_objective(t, c), fd = analytical_objective(t, d);
+  for (int it = 0; it < 60; ++it) {
+    if (fc < fd) {
+      hi = d;
+      d = c;
+      fd = fc;
+      c = hi - invphi * (hi - lo);
+      fc = analytical_objective(t, c);
+    } else {
+      lo = c;
+      c = d;
+      fc = fd;
+      d = lo + invphi * (hi - lo);
+      fd = analytical_objective(t, d);
+    }
+  }
+  return std::min({best, fc, fd});
+}
+
+}  // namespace gptune::apps

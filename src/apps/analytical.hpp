@@ -1,0 +1,33 @@
+// The analytical test objective of paper Eq. (11):
+//
+//   y(t, x) = 1 + e^{-(x+1)^{t+1}} cos(2 pi x) sum_{i=1..5} sin(2 pi x (t+2)^i)
+//
+// Highly non-convex in x for larger t; used by Figs. 2-4 and the parallel
+// speedup study.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mla.hpp"
+#include "core/space.hpp"
+
+namespace gptune::apps {
+
+/// Exact objective value.
+double analytical_objective(double t, double x);
+
+/// Tuning space: single real x in [0, 1].
+core::Space analytical_tuning_space();
+
+/// Objective adapter for the tuner (task = [t], config = [x]).
+core::MultiObjectiveFn analytical_fn();
+
+/// Noisy "performance model" used by Fig. 4 (left):
+///   y~(t, x) = (1 + 0.1 r) y(t, x), r ~ N(0,1) deterministic in (t, x, seed).
+double analytical_noisy_model(double t, double x, std::uint64_t seed);
+
+/// Global minimum over x in [0,1] by dense grid + local refinement.
+double analytical_true_minimum(double t, std::size_t grid = 200001);
+
+}  // namespace gptune::apps

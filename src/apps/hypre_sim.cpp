@@ -1,0 +1,202 @@
+#include "apps/hypre_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace gptune::apps {
+
+namespace {
+
+double noise_factor(std::uint64_t seed, double sigma,
+                    const core::TaskVector& task, const core::Config& x,
+                    std::uint64_t trial) {
+  std::uint64_t h = seed;
+  for (double v : task) h = hash_double(h, v);
+  for (double v : x) h = hash_double(h, v);
+  h = hash_mix(h, trial);
+  common::Rng rng(h);
+  return rng.lognormal(0.0, sigma);
+}
+
+// Convergence-factor multiplier and setup/operator-complexity multiplier
+// per coarsening algorithm (index order of tuning_space()).
+struct CoarsenTraits {
+  double rho_mult;
+  double complexity;
+  double setup_mult;
+};
+constexpr CoarsenTraits kCoarsen[6] = {
+    {1.00, 1.60, 1.45},  // CLJP: strong convergence, heavy complexity
+    {0.95, 1.45, 1.25},  // Falgout
+    {1.25, 1.10, 0.90},  // PMIS: cheap, weaker convergence
+    {1.12, 1.18, 0.95},  // HMIS
+    {0.92, 1.55, 1.35},  // Ruge-Stueben
+    {1.08, 1.30, 1.10},  // CGC
+};
+
+struct RelaxTraits {
+  double rho_mult;
+  double flops_per_point;
+};
+constexpr RelaxTraits kRelax[4] = {
+    {1.30, 2.0},  // Jacobi: cheap, weak
+    {1.00, 3.0},  // hybrid Gauss-Seidel
+    {0.92, 4.0},  // L1 Gauss-Seidel
+    {0.88, 6.0},  // Chebyshev: strong, pricier
+};
+
+struct InterpTraits {
+  double rho_mult;
+  double complexity;
+};
+constexpr InterpTraits kInterp[6] = {
+    {1.10, 1.25},  // classical
+    {1.25, 1.00},  // direct
+    {1.05, 1.12},  // multipass
+    {0.90, 1.20},  // extended+i
+    {1.00, 1.15},  // standard
+    {1.15, 1.05},  // FF
+};
+
+}  // namespace
+
+HypreSim::HypreSim(MachineConfig machine, double noise_sigma,
+                   std::uint64_t noise_seed)
+    : machine_(machine), noise_sigma_(noise_sigma), noise_seed_(noise_seed) {}
+
+core::Space HypreSim::tuning_space() const {
+  const long cores = static_cast<long>(machine_.total_cores());
+  core::Space space;
+  space.add_categorical("CoarsenType",
+                        {"CLJP", "Falgout", "PMIS", "HMIS", "RS", "CGC"});
+  space.add_categorical("RelaxType", {"Jacobi", "HybridGS", "L1GS", "Cheby"});
+  space.add_categorical("InterpType", {"classical", "direct", "multipass",
+                                       "ext+i", "standard", "FF"});
+  space.add_real("strong_threshold", 0.1, 0.9);
+  space.add_real("trunc_factor", 0.0, 0.5);
+  space.add_integer("P_max_elmts", 1, 12);
+  space.add_integer("agg_num_levels", 0, 4);
+  space.add_real("relax_weight", 0.5, 1.5);
+  space.add_real("outer_weight", 0.5, 1.5);
+  space.add_integer("npx", 1, cores);
+  space.add_integer("npy", 1, cores);
+  space.add_integer("npz", 1, cores);
+  space.add_constraint("npx*npy*npz <= cores",
+                       [cores](const core::Config& c) {
+                         return c[9] * c[10] * c[11] <=
+                                static_cast<double>(cores);
+                       });
+  return space;
+}
+
+double HypreSim::iterations(const core::TaskVector& task,
+                            const core::Config& x) const {
+  const double n1 = task[0], n2 = task[1], n3 = task[2];
+  const double total = n1 * n2 * n3;
+  const auto coarsen = kCoarsen[static_cast<std::size_t>(x[0])];
+  const auto relax = kRelax[static_cast<std::size_t>(x[1])];
+  const auto interp = kInterp[static_cast<std::size_t>(x[2])];
+  const double theta = x[3];
+  const double trunc = x[4];
+  const double pmax = x[5];
+  const double agg = x[6];
+  const double relax_wt = x[7];
+  const double outer_wt = x[8];
+
+  // Grid-dependent optimal strong threshold: larger/more anisotropic
+  // problems want larger theta (this is the task dependence multitask
+  // learning exploits).
+  const double aspect =
+      std::max({n1, n2, n3}) / std::max(1.0, std::min({n1, n2, n3}));
+  double theta_opt = 0.25 + 0.04 * std::log2(std::max(total, 8.0) / 1e3) +
+                     0.08 * std::log2(aspect);
+  theta_opt = std::clamp(theta_opt, 0.2, 0.75);
+
+  double rho = 0.12 * coarsen.rho_mult * relax.rho_mult * interp.rho_mult;
+  rho *= 1.0 + 2.5 * (theta - theta_opt) * (theta - theta_opt);
+  // Interpolation truncation: mild truncation is free, heavy truncation
+  // hurts convergence; low P_max caps interpolation quality.
+  rho *= 1.0 + 1.2 * trunc * trunc;
+  rho *= 1.0 + 0.35 / (1.0 + pmax);
+  // Aggressive coarsening trades convergence for complexity.
+  rho *= 1.0 + 0.10 * agg;
+  // Damping weights: quadratic penalty around the sweet spot.
+  rho *= 1.0 + 0.8 * (relax_wt - 1.05) * (relax_wt - 1.05);
+  rho *= 1.0 + 0.4 * (outer_wt - 1.0) * (outer_wt - 1.0);
+  rho = std::clamp(rho, 0.02, 0.95);
+
+  // GMRES to 1e-8 with AMG convergence factor rho per cycle.
+  return std::ceil(std::log(1e-8) / std::log(rho));
+}
+
+double HypreSim::solve_time(const core::TaskVector& task,
+                            const core::Config& x,
+                            std::uint64_t trial) const {
+  const double n1 = task[0], n2 = task[1], n3 = task[2];
+  const double total = n1 * n2 * n3;
+  const auto coarsen = kCoarsen[static_cast<std::size_t>(x[0])];
+  const auto relax = kRelax[static_cast<std::size_t>(x[1])];
+  const auto interp = kInterp[static_cast<std::size_t>(x[2])];
+  const double trunc = x[4];
+  const double pmax = x[5];
+  const double agg = x[6];
+  const double npx = std::max(1.0, x[9]);
+  const double npy = std::max(1.0, x[10]);
+  const double npz = std::max(1.0, x[11]);
+  const double p = npx * npy * npz;
+
+  // Operator complexity: sum over levels of nnz relative to the fine grid.
+  double complexity = coarsen.complexity * interp.complexity;
+  complexity *= (1.0 - 0.07 * agg);                 // aggressive coarsening
+  complexity *= (1.0 - 0.25 * trunc);               // truncation trims P
+  complexity *= (1.0 + 0.015 * pmax);               // rich interpolation
+  complexity = std::max(complexity, 1.02);
+
+  // Local block and surface-to-volume communication of the decomposition.
+  const double lx = std::ceil(n1 / npx), ly = std::ceil(n2 / npy),
+               lz = std::ceil(n3 / npz);
+  const double local = lx * ly * lz;
+  const double imbalance = local * p / total;       // >= 1
+  const double surface = 2.0 * (lx * ly + ly * lz + lz * lx);
+  const double levels =
+      std::max(2.0, std::log2(std::max(total, 8.0)) / 3.0);
+
+  const double rate = 0.08 * machine_.peak_flops_per_core;  // memory bound
+  const double iters = iterations(task, x);
+
+  // Per V-cycle: smoothing+residual+transfer work over all levels
+  // (complexity folds the level sum in), plus per-level halo exchanges.
+  const double flops_per_cycle =
+      7.0 * complexity * local * relax.flops_per_point * imbalance;
+  const double t_cycle_comp = flops_per_cycle / rate;
+  const double t_cycle_comm =
+      levels * (8.0 * machine_.network_latency +
+                surface * machine_.network_word_time * 1.5);
+  // GMRES orthogonalization on top of each preconditioner application.
+  const double t_gmres =
+      (6.0 * local * imbalance) / rate +
+      2.0 * std::log2(std::max(p, 2.0)) * machine_.network_latency;
+
+  // Setup: strength graph, coarsening, interpolation assembly.
+  const double t_setup =
+      coarsen.setup_mult * 25.0 * complexity * local * imbalance / rate +
+      levels * 12.0 * machine_.network_latency;
+
+  const double time =
+      t_setup + iters * (t_cycle_comp + t_cycle_comm + t_gmres) + 1e-4;
+  return time * noise_factor(noise_seed_, noise_sigma_, task, x, trial);
+}
+
+core::MultiObjectiveFn HypreSim::objective(int trials) const {
+  return [this, trials](const core::TaskVector& task, const core::Config& x) {
+    double best = solve_time(task, x, 0);
+    for (int t = 1; t < trials; ++t) {
+      best = std::min(best, solve_time(task, x, static_cast<std::uint64_t>(t)));
+    }
+    return std::vector<double>{best};
+  };
+}
+
+}  // namespace gptune::apps

@@ -1,0 +1,54 @@
+// hypre simulator: GMRES preconditioned with BoomerAMG on a 3D Poisson
+// problem (paper §6.2, Table 4).
+//
+// SUBSTITUTION NOTE (see DESIGN.md §1): the real hypre library is replaced
+// by an algebraic-multigrid performance model with the paper's structure:
+// a task is the grid (n1, n2, n3); the 12 tuning parameters are the 3D
+// process grid plus the usual BoomerAMG knobs (coarsening, interpolation,
+// smoother choices and their real-valued parameters). The model computes
+//   * an AMG convergence factor rho from the algorithmic choices (each
+//     choice shifts rho and the operator complexity; the optimal strong
+//     threshold depends on the grid, which is what makes multitask
+//     transfer valuable),
+//   * iteration count from rho,
+//   * setup + per-iteration costs from operator complexity, local block
+//     sizes, and the surface-to-volume communication of the 3D
+//     decomposition.
+//
+// Tuning parameters (beta = 12, paper Table 2):
+//   [CoarsenType, RelaxType, InterpType, strong_threshold, trunc_factor,
+//    P_max_elmts, agg_num_levels, relax_weight, outer_weight, npx, npy, npz]
+// with constraint npx*npy*npz <= total cores.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/machine.hpp"
+#include "core/mla.hpp"
+#include "core/space.hpp"
+
+namespace gptune::apps {
+
+class HypreSim {
+ public:
+  explicit HypreSim(MachineConfig machine = {}, double noise_sigma = 0.04,
+                    std::uint64_t noise_seed = 4242);
+
+  core::Space tuning_space() const;
+
+  /// Simulated GMRES+BoomerAMG solve time for task [n1, n2, n3].
+  double solve_time(const core::TaskVector& task, const core::Config& x,
+                    std::uint64_t trial = 0) const;
+
+  core::MultiObjectiveFn objective(int trials = 1) const;
+
+  /// Iteration count the model predicts (exposed for tests).
+  double iterations(const core::TaskVector& task, const core::Config& x) const;
+
+ private:
+  MachineConfig machine_;
+  double noise_sigma_;
+  std::uint64_t noise_seed_;
+};
+
+}  // namespace gptune::apps

@@ -1,0 +1,58 @@
+// Machine model shared by the application simulators.
+//
+// The paper's experiments ran on NERSC Cori Haswell nodes (2x16-core Xeon
+// E5-2698v3, Cray Aries interconnect). Since that testbed is unavailable,
+// the simulators convert analytic operation counts into seconds through
+// this model; the constants loosely follow one Cori Haswell node. Absolute
+// values are not the point — the response-surface *shape* (block-size
+// efficiency curves, latency/bandwidth trade-offs, thread scaling) is what
+// the tuner sees and what the reproduction depends on.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace gptune::apps {
+
+struct MachineConfig {
+  std::size_t nodes = 1;
+  std::size_t cores_per_node = 32;
+  double peak_flops_per_core = 30.0e9;  ///< sustained DGEMM rate
+  double network_latency = 2.0e-6;      ///< seconds per message
+  double network_word_time = 1.4e-9;    ///< seconds per 8-byte word
+  double memory_per_node_bytes = 128.0 * (1ull << 30);
+
+  std::size_t total_cores() const { return nodes * cores_per_node; }
+
+  /// Dense-kernel efficiency of block size b: small blocks degenerate to
+  /// BLAS-2 (memory bound), large blocks saturate. Smooth saturating curve.
+  static double block_efficiency(double b) {
+    return b / (b + 40.0);
+  }
+
+  /// Per-process flop rate with `threads` OpenMP threads (sub-linear
+  /// scaling: memory-bandwidth contention).
+  double process_flops(double threads, double block) const {
+    const double t = std::max(1.0, threads);
+    return peak_flops_per_core * std::pow(t, 0.92) *
+           block_efficiency(block);
+  }
+};
+
+/// Deterministic 64-bit mix for reproducible simulator noise: same inputs,
+/// same "measurement".
+inline std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  return h ^ (h >> 31);
+}
+
+inline std::uint64_t hash_double(std::uint64_t h, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  return hash_mix(h, bits);
+}
+
+}  // namespace gptune::apps

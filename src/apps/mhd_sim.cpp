@@ -1,0 +1,184 @@
+#include "apps/mhd_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace gptune::apps {
+
+namespace {
+
+double log2p(double v) { return std::log2(std::max(v, 1.0)); }
+
+double noise_factor(std::uint64_t seed, double sigma,
+                    const core::TaskVector& task, const core::Config& x,
+                    std::uint64_t trial) {
+  std::uint64_t h = seed;
+  for (double v : task) h = hash_double(h, v);
+  for (double v : x) h = hash_double(h, v);
+  h = hash_mix(h, trial);
+  common::Rng rng(h);
+  return rng.lognormal(0.0, sigma);
+}
+
+/// Shared solver-core cost model: factorization of the poloidal-plane
+/// matrix plus per-step GMRES with triangular solves. Returns
+/// {factor_seconds, per_step_seconds}.
+struct SolverCost {
+  double factor = 0.0;
+  double per_step = 0.0;
+};
+
+SolverCost plane_solver_cost(const MachineConfig& machine, double n_plane,
+                             double nnz_plane, double rowperm,
+                             std::size_t colperm, double p, double pr,
+                             double nsup, double nrel) {
+  // Fill-in: column permutation dominates; a poor numerical-stability row
+  // permutation causes pivoting-induced extra fill (ROWPERM=NOROWPERM is
+  // risky on these indefinite systems).
+  static constexpr double kColpermFill[4] = {3.0, 1.3, 1.12, 1.0};
+  const double rowperm_fill = rowperm < 0.5 ? 1.35 : 1.0;
+  const double fill = 14.0 * kColpermFill[colperm] * rowperm_fill;
+  const double nnz_f = nnz_plane * fill;
+  const double avg_height = nnz_f / n_plane;
+
+  const double pc = std::max(1.0, std::floor(p / pr));
+  const double sn_eff = nsup / (nsup + 96.0);
+  const double relax_overhead = 1.0 + 4.0 / std::max(nrel, 1.0);
+  const double pad = 1.0 + 0.0025 * nsup;
+  const double aspect_tall = std::max(1.0, pr / pc);
+  const double grid = 1.0 + 0.22 * std::pow(aspect_tall - 1.0, 0.8) +
+                      0.07 * std::pow(std::max(1.0, pc / pr) - 1.0, 0.8);
+
+  const double flops = 2.2 * nnz_f * avg_height;
+  const double p_eff = std::pow(p, 0.75);
+  SolverCost cost;
+  cost.factor = flops * relax_overhead * pad * grid /
+                    (machine.peak_flops_per_core * sn_eff * p_eff) +
+                (n_plane / nsup) * (log2p(pr) + log2p(pc)) *
+                    machine.network_latency;
+
+  // Per step: ~12 GMRES iterations, each one triangular solve (latency
+  // bound: one message per supernode level) plus a matvec.
+  const double gmres_iters = 12.0;
+  const double t_trisolve =
+      2.0 * nnz_f / (0.15 * machine.peak_flops_per_core * p_eff) +
+      (n_plane / nsup) * 0.5 * machine.network_latency * (pr + pc) * 0.1;
+  const double t_matvec =
+      2.0 * nnz_plane / (0.1 * machine.peak_flops_per_core * p_eff);
+  cost.per_step = gmres_iters * (t_trisolve + t_matvec);
+  return cost;
+}
+
+}  // namespace
+
+// --- M3D_C1 ---
+
+M3dc1Sim::M3dc1Sim(MachineConfig machine, double noise_sigma,
+                   std::uint64_t noise_seed)
+    : machine_(machine), noise_sigma_(noise_sigma), noise_seed_(noise_seed) {}
+
+core::Space M3dc1Sim::tuning_space() const {
+  const long p = static_cast<long>(machine_.total_cores());
+  core::Space space;
+  space.add_categorical("ROWPERM", {"NOROWPERM", "LargeDiag"});
+  space.add_categorical("COLPERM", {"NATURAL", "MMD_ATA", "MMD_AT_PLUS_A",
+                                    "METIS_AT_PLUS_A"});
+  space.add_integer("p_r", 1, p, /*log_scale=*/true);
+  space.add_integer("NSUP", 16, 512, /*log_scale=*/true);
+  space.add_integer("NREL", 4, 64, /*log_scale=*/true);
+  return space;
+}
+
+double M3dc1Sim::runtime(const core::TaskVector& task, const core::Config& x,
+                         std::uint64_t trial) const {
+  const double steps = std::max(1.0, task[0]);
+  const double p = static_cast<double>(machine_.total_cores());
+  // C1 finite elements on the poloidal plane: dense 12-dof blocks.
+  const double n_plane = 180000.0;
+  const double nnz_plane = n_plane * 75.0;
+
+  const auto cost = plane_solver_cost(
+      machine_, n_plane, nnz_plane, x[0], static_cast<std::size_t>(x[1]), p,
+      std::clamp(x[2], 1.0, p), std::max(8.0, x[3]), std::max(1.0, x[4]));
+
+  // The preconditioner is refactored every few steps as the system drifts.
+  const double refactor_every = 3.0;
+  const double time = cost.factor * (1.0 + std::floor(steps / refactor_every)) +
+                      steps * cost.per_step + 0.05;
+  return time * noise_factor(noise_seed_, noise_sigma_, task, x, trial);
+}
+
+core::MultiObjectiveFn M3dc1Sim::objective(int trials) const {
+  return [this, trials](const core::TaskVector& task, const core::Config& x) {
+    double best = runtime(task, x, 0);
+    for (int t = 1; t < trials; ++t) {
+      best = std::min(best, runtime(task, x, static_cast<std::uint64_t>(t)));
+    }
+    return std::vector<double>{best};
+  };
+}
+
+// --- NIMROD ---
+
+NimrodSim::NimrodSim(MachineConfig machine, double noise_sigma,
+                     std::uint64_t noise_seed)
+    : machine_(machine), noise_sigma_(noise_sigma), noise_seed_(noise_seed) {}
+
+core::Space NimrodSim::tuning_space() const {
+  const long p = static_cast<long>(machine_.total_cores());
+  core::Space space;
+  space.add_categorical("ROWPERM", {"NOROWPERM", "LargeDiag"});
+  space.add_categorical("COLPERM", {"NATURAL", "MMD_ATA", "MMD_AT_PLUS_A",
+                                    "METIS_AT_PLUS_A"});
+  space.add_integer("p_r", 1, p, /*log_scale=*/true);
+  space.add_integer("NSUP", 16, 512, /*log_scale=*/true);
+  space.add_integer("NREL", 4, 64, /*log_scale=*/true);
+  space.add_integer("nxbl", 1, 32);
+  space.add_integer("nybl", 1, 32);
+  return space;
+}
+
+double NimrodSim::runtime(const core::TaskVector& task, const core::Config& x,
+                          std::uint64_t trial) const {
+  const double steps = std::max(1.0, task[0]);
+  const double p = static_cast<double>(machine_.total_cores());
+  // Spectral elements on the poloidal plane, Fourier in the third dim.
+  const double n_plane = 90000.0;
+  const double nnz_plane = n_plane * 110.0;
+
+  const auto cost = plane_solver_cost(
+      machine_, n_plane, nnz_plane, x[0], static_cast<std::size_t>(x[1]), p,
+      std::clamp(x[2], 1.0, p), std::max(8.0, x[3]), std::max(1.0, x[4]));
+
+  // Matrix assembly per step: decomposing the poloidal plane into
+  // nxbl x nybl blocks trades per-block overhead (too many tiny blocks)
+  // against cache misses and imbalance (too few huge blocks).
+  const double nxbl = std::max(1.0, x[5]);
+  const double nybl = std::max(1.0, x[6]);
+  const double blocks = nxbl * nybl;
+  const double block_pts = n_plane / blocks;
+  const double assembly_eff =
+      1.0 / (1.0 + 1500.0 / block_pts + blocks / 300.0);
+  const double t_assembly =
+      60.0 * nnz_plane /
+      (0.2 * machine_.peak_flops_per_core * std::pow(p, 0.8) * assembly_eff);
+
+  const double refactor_every = 5.0;
+  const double time = cost.factor * (1.0 + std::floor(steps / refactor_every)) +
+                      steps * (cost.per_step + t_assembly) + 0.1;
+  return time * noise_factor(noise_seed_, noise_sigma_, task, x, trial);
+}
+
+core::MultiObjectiveFn NimrodSim::objective(int trials) const {
+  return [this, trials](const core::TaskVector& task, const core::Config& x) {
+    double best = runtime(task, x, 0);
+    for (int t = 1; t < trials; ++t) {
+      best = std::min(best, runtime(task, x, static_cast<std::uint64_t>(t)));
+    }
+    return std::vector<double>{best};
+  };
+}
+
+}  // namespace gptune::apps

@@ -1,0 +1,67 @@
+// M3D_C1 and NIMROD simulators: time-marching extended-MHD fusion codes
+// whose inner kernel is a preconditioned GMRES solve with SuperLU_DIST as a
+// block-Jacobi subdomain solver (paper §6.2).
+//
+// SUBSTITUTION NOTE (see DESIGN.md §1): the production codes are replaced
+// by a time-stepping cost model: a one-time SuperLU-style factorization of
+// the poloidal-plane matrix (cost depends on the SuperLU tuning parameters,
+// reusing the SuperluSim cost structure) plus, per time step, GMRES
+// iterations of triangular solves and matvecs, and (NIMROD only) matrix
+// assembly whose cost depends on the nxbl/nybl blocking. The task parameter
+// is the number of time steps — small-step tasks are cheap proxies for the
+// expensive production run, exactly the regime the paper's Table 3 (lower)
+// exploits with multitask learning.
+//
+// Tuning parameters:
+//   M3D_C1 (beta = 5): [ROWPERM, COLPERM, p_r, NSUP, NREL]
+//   NIMROD (beta = 7): [ROWPERM, COLPERM, p_r, NSUP, NREL, nxbl, nybl]
+// MPI count p is fixed per app (paper: 1 node for M3D_C1, 6 for NIMROD).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/machine.hpp"
+#include "core/mla.hpp"
+#include "core/space.hpp"
+
+namespace gptune::apps {
+
+class M3dc1Sim {
+ public:
+  explicit M3dc1Sim(MachineConfig machine = {}, double noise_sigma = 0.05,
+                    std::uint64_t noise_seed = 3141);
+
+  core::Space tuning_space() const;
+
+  /// Simulated wall time for task [steps].
+  double runtime(const core::TaskVector& task, const core::Config& x,
+                 std::uint64_t trial = 0) const;
+
+  core::MultiObjectiveFn objective(int trials = 1) const;
+
+ protected:
+  MachineConfig machine_;
+  double noise_sigma_;
+  std::uint64_t noise_seed_;
+};
+
+class NimrodSim {
+ public:
+  explicit NimrodSim(MachineConfig machine = MachineConfig{6, 32},
+                     double noise_sigma = 0.05,
+                     std::uint64_t noise_seed = 2718);
+
+  core::Space tuning_space() const;
+
+  double runtime(const core::TaskVector& task, const core::Config& x,
+                 std::uint64_t trial = 0) const;
+
+  core::MultiObjectiveFn objective(int trials = 1) const;
+
+ private:
+  MachineConfig machine_;
+  double noise_sigma_;
+  std::uint64_t noise_seed_;
+};
+
+}  // namespace gptune::apps

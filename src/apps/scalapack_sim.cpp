@@ -1,0 +1,212 @@
+#include "apps/scalapack_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace gptune::apps {
+
+namespace {
+
+double log2p(double v) { return std::log2(std::max(v, 1.0)); }
+
+/// Multiplicative lognormal measurement noise, deterministic in all inputs.
+double noise_factor(std::uint64_t seed, double sigma,
+                    const core::TaskVector& task, const core::Config& x,
+                    std::uint64_t trial) {
+  std::uint64_t h = seed;
+  for (double v : task) h = hash_double(h, v);
+  for (double v : x) h = hash_double(h, v);
+  h = hash_mix(h, trial);
+  common::Rng rng(h);
+  return rng.lognormal(0.0, sigma);
+}
+
+}  // namespace
+
+// --- PDGEQRF ---
+
+PdgeqrfSim::PdgeqrfSim(MachineConfig machine, double noise_sigma,
+                       std::uint64_t noise_seed)
+    : machine_(machine), noise_sigma_(noise_sigma), noise_seed_(noise_seed) {}
+
+core::Space PdgeqrfSim::tuning_space() const {
+  const long cores = static_cast<long>(machine_.total_cores());
+  core::Space space;
+  space.add_integer("b", 4, 512, /*log_scale=*/true);
+  space.add_integer("p", std::max<long>(4, cores / 16), cores,
+                    /*log_scale=*/true);
+  space.add_integer("p_r", 1, cores, /*log_scale=*/true);
+  space.add_constraint("p_r <= p", [](const core::Config& c) {
+    return c[2] <= c[1];
+  });
+  return space;
+}
+
+double PdgeqrfSim::qr_flops(double m, double n) {
+  if (m < n) std::swap(m, n);  // wide QR = LQ of the transpose
+  return 2.0 * n * n * (3.0 * m - n) / 3.0;
+}
+
+std::vector<double> PdgeqrfSim::model_features(const core::TaskVector& task,
+                                               const core::Config& x) {
+  // Eqs. (8)-(10) assume a tall matrix (m >= n); a wide QR costs the same
+  // as the LQ of its transpose, so normalize the orientation first.
+  const double m = std::max(task[0], task[1]);
+  const double n = std::min(task[0], task[1]);
+  const double b = x[0];
+  const double p = x[1];
+  const double pr = std::min(x[2], p);
+  const double pc = std::max(1.0, std::floor(p / pr));
+
+  // Paper Eqs. (8)-(10) with b_r = b_c = b.
+  const double c_flop = 2.0 * n * n * (3.0 * m - n) / (3.0 * p) +
+                        b * n * n / (2.0 * pc) +
+                        3.0 * b * n * (2.0 * m - n) / (2.0 * pr) +
+                        b * b * n / (3.0 * pr);
+  const double c_msg = 3.0 * n * log2p(pr) + (2.0 * n / b) * log2p(pc);
+  const double c_vol =
+      (n * n / pc + b * n) * log2p(pr) +
+      ((m * n - n * n / 2.0) / pr + b * n / 2.0) * log2p(pc);
+  return {c_flop, c_msg, c_vol};
+}
+
+double PdgeqrfSim::runtime(const core::TaskVector& task,
+                           const core::Config& x, std::uint64_t trial) const {
+  const double m = std::max(task[0], task[1]);
+  const double n = std::min(task[0], task[1]);
+  const double b = x[0];
+  const double p = std::max(1.0, x[1]);
+  const double pr = std::clamp(x[2], 1.0, p);
+  const double pc = std::max(1.0, std::floor(p / pr));
+  const double threads =
+      std::max(1.0, std::floor(static_cast<double>(machine_.total_cores()) /
+                               p));
+
+  const auto f = model_features(task, x);
+
+  // Flop term: per-process flop count over the effective process rate,
+  // inflated by block-cyclic load imbalance (too-large blocks starve
+  // small local sub-grids).
+  const double imbalance =
+      1.0 + 0.5 * b * pr / std::max(m, 1.0) + 0.5 * b * pc / std::max(n, 1.0);
+  const double t_flop =
+      f[0] / machine_.process_flops(threads, b) * imbalance;
+  const double t_msg = f[1] * machine_.network_latency;
+  const double t_vol = f[2] * machine_.network_word_time;
+
+  // Penalty when the grid is deeper than the matrix: surplus processes
+  // idle but still join every broadcast, so the slowdown saturates rather
+  // than growing without bound.
+  double starve = 1.0;
+  if (m / pr < b) starve += std::min(4.0, b * pr / m - 1.0);
+  if (n / pc < b) starve += std::min(4.0, b * pc / n - 1.0);
+
+  const double base = (t_flop + t_msg + t_vol) * starve + 1e-3;
+  return base * noise_factor(noise_seed_, noise_sigma_, task, x, trial);
+}
+
+double PdgeqrfSim::best_of_trials(const core::TaskVector& task,
+                                  const core::Config& x, int trials) const {
+  double best = runtime(task, x, 0);
+  for (int t = 1; t < trials; ++t) {
+    best = std::min(best, runtime(task, x, static_cast<std::uint64_t>(t)));
+  }
+  return best;
+}
+
+core::MultiObjectiveFn PdgeqrfSim::objective(int trials) const {
+  return [this, trials](const core::TaskVector& task,
+                        const core::Config& x) {
+    return std::vector<double>{best_of_trials(task, x, trials)};
+  };
+}
+
+core::LinearCombinationModel PdgeqrfSim::make_performance_model() const {
+  // Initial coefficients: one over peak rate, latency, word time — the
+  // "textbook" guess that update() then refits against observations.
+  return core::LinearCombinationModel(
+      &PdgeqrfSim::model_features,
+      {1.0 / machine_.peak_flops_per_core, machine_.network_latency,
+       machine_.network_word_time});
+}
+
+// --- PDSYEVX ---
+
+PdsyevxSim::PdsyevxSim(MachineConfig machine, double noise_sigma,
+                       std::uint64_t noise_seed)
+    : machine_(machine), noise_sigma_(noise_sigma), noise_seed_(noise_seed) {}
+
+core::Space PdsyevxSim::tuning_space() const {
+  const long cores = static_cast<long>(machine_.total_cores());
+  core::Space space;
+  space.add_integer("b", 4, 256, /*log_scale=*/true);
+  space.add_integer("p", std::max<long>(1, cores / 16), cores,
+                    /*log_scale=*/true);
+  space.add_integer("p_r", 1, cores, /*log_scale=*/true);
+  space.add_constraint("p_r <= p", [](const core::Config& c) {
+    return c[2] <= c[1];
+  });
+  return space;
+}
+
+double PdsyevxSim::runtime(const core::TaskVector& task,
+                           const core::Config& x, std::uint64_t trial) const {
+  const double m = task[0];
+  const double b = x[0];
+  const double p = std::max(1.0, x[1]);
+  const double pr = std::clamp(x[2], 1.0, p);
+  const double pc = std::max(1.0, std::floor(p / pr));
+  const double threads =
+      std::max(1.0, std::floor(static_cast<double>(machine_.total_cores()) /
+                               p));
+
+  // Householder tridiagonalization (4/3 m^3, half BLAS-2 and memory-bound)
+  // plus eigenvector back-transformation (~2 m^3 BLAS-3).
+  const double tri_flops = 4.0 / 3.0 * m * m * m / p;
+  const double back_flops = 2.0 * m * m * m / p;
+  // BLAS-2 half saturates at ~25% of peak regardless of block size.
+  const double blas2_rate =
+      0.25 * machine_.peak_flops_per_core * std::pow(threads, 0.85);
+  const double blas3_rate = machine_.process_flops(threads, b);
+
+  const double imbalance = 1.0 + 0.5 * b * (pr + pc) / std::max(m, 1.0);
+  const double t_flop =
+      (0.5 * tri_flops / blas2_rate + (0.5 * tri_flops + back_flops) /
+                                          blas3_rate) *
+      imbalance;
+
+  // Panel broadcasts/reductions each of the ~m/b iterations.
+  const double c_msg = (m / b) * (6.0 * log2p(pr) + 4.0 * log2p(pc));
+  const double c_vol = (m * m / pc + b * m) * log2p(pr) +
+                       (m * m / (2.0 * pr)) * log2p(pc);
+  const double t_msg = c_msg * machine_.network_latency;
+  const double t_vol = c_vol * machine_.network_word_time;
+
+  double starve = 1.0;
+  if (m / pr < b) starve += std::min(4.0, b * pr / m - 1.0);
+  if (m / pc < b) starve += std::min(4.0, b * pc / m - 1.0);
+
+  const double base = (t_flop + t_msg + t_vol) * starve + 1e-3;
+  return base * noise_factor(noise_seed_, noise_sigma_, task, x, trial);
+}
+
+double PdsyevxSim::best_of_trials(const core::TaskVector& task,
+                                  const core::Config& x, int trials) const {
+  double best = runtime(task, x, 0);
+  for (int t = 1; t < trials; ++t) {
+    best = std::min(best, runtime(task, x, static_cast<std::uint64_t>(t)));
+  }
+  return best;
+}
+
+core::MultiObjectiveFn PdsyevxSim::objective(int trials) const {
+  return [this, trials](const core::TaskVector& task,
+                        const core::Config& x) {
+    return std::vector<double>{best_of_trials(task, x, trials)};
+  };
+}
+
+}  // namespace gptune::apps

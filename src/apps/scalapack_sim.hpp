@@ -1,0 +1,89 @@
+// ScaLAPACK simulators: PDGEQRF (dense QR) and PDSYEVX (dense symmetric
+// eigenvalue), the paper's primary math-library tuning targets.
+//
+// SUBSTITUTION NOTE (see DESIGN.md §1): the real routines on Cori are
+// replaced by analytic runtime models built from the communication-optimal
+// QR cost analysis the paper itself uses for its performance model
+// (Eqs. 8-10, citing Demmel et al. 2012), composed with the MachineConfig
+// constants, a block-size efficiency curve, process-grid load-imbalance
+// terms, and deterministic multiplicative lognormal noise. The tuner treats
+// these as black boxes exactly as it would treat the real codes.
+//
+// Task parameters: t = [m, n] (PDGEQRF), t = [m] (PDSYEVX, m = n).
+// Tuning parameters (beta = 3, paper Table 2): x = [b, p, p_r] with
+// b = b_r = b_c, p MPI processes, p_r rows of the process grid, and the
+// constraint p_r <= p. Threads per process = total_cores / p (paper §2).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/machine.hpp"
+#include "core/mla.hpp"
+#include "core/perf_model.hpp"
+#include "core/space.hpp"
+
+namespace gptune::apps {
+
+class PdgeqrfSim {
+ public:
+  explicit PdgeqrfSim(MachineConfig machine = {}, double noise_sigma = 0.05,
+                      std::uint64_t noise_seed = 2021);
+
+  /// b in [4, 512] (log), p in [cores/8, cores], p_r in [1, cores];
+  /// constraint p_r <= p.
+  core::Space tuning_space() const;
+
+  /// Simulated runtime in seconds for task [m, n] at configuration x,
+  /// trial-indexed reproducible noise.
+  double runtime(const core::TaskVector& task, const core::Config& x,
+                 std::uint64_t trial = 0) const;
+
+  /// min over `trials` repeated runs (the paper runs 3x and keeps the min).
+  double best_of_trials(const core::TaskVector& task, const core::Config& x,
+                        int trials = 3) const;
+
+  /// Tuner adapter returning {best_of_trials}.
+  core::MultiObjectiveFn objective(int trials = 3) const;
+
+  /// QR flop count 2n^2(3m - n)/3 (used to sort tasks in Fig. 5).
+  static double qr_flops(double m, double n);
+
+  /// The (C_flop, C_msg, C_vol) features of paper Eqs. (8)-(10), for the
+  /// Eq. (7) performance model with NNLS-refit coefficients.
+  static std::vector<double> model_features(const core::TaskVector& task,
+                                            const core::Config& x);
+
+  /// Ready-to-use Eq. (7) model with on-the-fly coefficient estimation.
+  core::LinearCombinationModel make_performance_model() const;
+
+  const MachineConfig& machine() const { return machine_; }
+
+ private:
+  MachineConfig machine_;
+  double noise_sigma_;
+  std::uint64_t noise_seed_;
+};
+
+class PdsyevxSim {
+ public:
+  explicit PdsyevxSim(MachineConfig machine = {}, double noise_sigma = 0.05,
+                      std::uint64_t noise_seed = 2022);
+
+  core::Space tuning_space() const;
+
+  /// Simulated runtime for task [m] (symmetric m x m).
+  double runtime(const core::TaskVector& task, const core::Config& x,
+                 std::uint64_t trial = 0) const;
+
+  double best_of_trials(const core::TaskVector& task, const core::Config& x,
+                        int trials = 3) const;
+
+  core::MultiObjectiveFn objective(int trials = 3) const;
+
+ private:
+  MachineConfig machine_;
+  double noise_sigma_;
+  std::uint64_t noise_seed_;
+};
+
+}  // namespace gptune::apps

@@ -1,0 +1,80 @@
+// SuperLU_DIST simulator: sparse LU factorization time and memory.
+//
+// SUBSTITUTION NOTE (see DESIGN.md §1): the paper tunes SuperLU_DIST on
+// PARSEC matrices from the SuiteSparse collection. Neither the solver nor
+// the downloads are available here, so this module carries a catalog of
+// synthetic matrix statistics named after the paper's matrices (dimensions
+// and nonzero counts follow the published SuiteSparse values) and an
+// analytic cost model of right-looking supernodal sparse LU:
+//   * fill-in depends on the column permutation (COLPERM, categorical);
+//   * BLAS-3 efficiency grows with the maximum supernode size NSUP while
+//     padding overhead grows too (the time/memory trade-off behind the
+//     paper's Fig. 7 Pareto fronts);
+//   * relaxed supernodes (NREL) amortize small-column overhead;
+//   * look-ahead depth (LOOK) hides pipeline idle time;
+//   * the 2D process grid (p, p_r) trades off imbalance and communication.
+//
+// Tuning parameters (beta = 6, paper Table 2):
+//   x = [COLPERM, LOOK, p, p_r, NSUP, NREL], constraint p_r <= p.
+// Task parameter: matrix index into catalog().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/machine.hpp"
+#include "core/mla.hpp"
+#include "core/space.hpp"
+
+namespace gptune::apps {
+
+struct SparseMatrixStats {
+  std::string name;
+  double n = 0;           ///< dimension
+  double nnz = 0;         ///< nonzeros of A
+  double base_fill = 0;   ///< nnz(L+U)/nnz(A) under the best ordering
+};
+
+class SuperluSim {
+ public:
+  explicit SuperluSim(MachineConfig machine = {}, double noise_sigma = 0.04,
+                      std::uint64_t noise_seed = 1807);
+
+  /// The 8 PARSEC matrices of paper Figs. 6-7 (synthetic statistics).
+  static const std::vector<SparseMatrixStats>& catalog();
+
+  /// Index of `name` in catalog(); throws std::out_of_range if absent.
+  static std::size_t matrix_index(const std::string& name);
+
+  core::Space tuning_space() const;
+
+  /// Paper Table 5's default configuration.
+  static core::Config default_config();
+
+  struct FactorizationResult {
+    double time_seconds = 0.0;
+    double memory_bytes = 0.0;
+  };
+
+  /// Simulates one factorization of catalog()[task[0]] at configuration x.
+  FactorizationResult factorize(const core::TaskVector& task,
+                                const core::Config& x,
+                                std::uint64_t trial = 0) const;
+
+  double time_of_best_trial(const core::TaskVector& task,
+                            const core::Config& x, int trials = 1) const;
+
+  /// gamma = 1 adapter: {factorization time}.
+  core::MultiObjectiveFn objective_time(int trials = 1) const;
+
+  /// gamma = 2 adapter: {factorization time, memory} (paper §6.7).
+  core::MultiObjectiveFn objective_time_memory(int trials = 1) const;
+
+ private:
+  MachineConfig machine_;
+  double noise_sigma_;
+  std::uint64_t noise_seed_;
+};
+
+}  // namespace gptune::apps

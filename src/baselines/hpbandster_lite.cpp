@@ -1,0 +1,172 @@
+#include "baselines/hpbandster_lite.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace gptune::baselines {
+
+namespace {
+
+using core::Config;
+using core::Space;
+
+/// One-dimensional kernel density estimate over normalized values in [0,1]
+/// (numeric parameters) or category indices (categoricals).
+struct DimensionKde {
+  bool categorical = false;
+  std::size_t num_categories = 0;
+  std::vector<double> points;      ///< normalized samples (numeric)
+  std::vector<double> cat_counts;  ///< smoothed counts (categorical)
+  double bandwidth = 0.1;
+
+  double density(double v) const {
+    if (categorical) {
+      const auto k = static_cast<std::size_t>(v);
+      double total = 0.0;
+      for (double c : cat_counts) total += c;
+      return cat_counts[std::min(k, cat_counts.size() - 1)] / total;
+    }
+    double s = 0.0;
+    for (double p : points) {
+      const double z = (v - p) / bandwidth;
+      s += std::exp(-0.5 * z * z);
+    }
+    return s / (static_cast<double>(points.size()) * bandwidth *
+                std::sqrt(2.0 * std::numbers::pi)) +
+           1e-12;
+  }
+};
+
+DimensionKde build_kde(const Space& space, std::size_t dim,
+                       const std::vector<Config>& configs,
+                       double bandwidth_floor) {
+  DimensionKde kde;
+  const auto& param = space.parameter(dim);
+  if (param.type == core::ParamType::kCategorical) {
+    kde.categorical = true;
+    kde.num_categories = param.num_categories();
+    kde.cat_counts.assign(kde.num_categories, 1.0);  // Laplace smoothing
+    for (const auto& c : configs) {
+      kde.cat_counts[static_cast<std::size_t>(c[dim])] += 1.0;
+    }
+    return kde;
+  }
+  for (const auto& c : configs) {
+    kde.points.push_back(space.normalize(c)[dim]);
+  }
+  // Scott's rule on [0,1]-normalized data, floored to stay exploratory.
+  double mean = 0.0;
+  for (double p : kde.points) mean += p;
+  mean /= std::max<std::size_t>(1, kde.points.size());
+  double var = 0.0;
+  for (double p : kde.points) var += (p - mean) * (p - mean);
+  var /= std::max<std::size_t>(1, kde.points.size());
+  kde.bandwidth = std::max(
+      bandwidth_floor,
+      1.06 * std::sqrt(var) *
+          std::pow(static_cast<double>(std::max<std::size_t>(
+                       1, kde.points.size())),
+                   -0.2));
+  return kde;
+}
+
+/// Draws a candidate from the product of per-dimension "good" KDEs:
+/// pick a good sample per dimension and jitter by the bandwidth.
+Config sample_from_l(const Space& space, const std::vector<DimensionKde>& l,
+                     const std::vector<Config>& good, common::Rng& rng) {
+  opt::Point u(space.dim());
+  for (std::size_t d = 0; d < space.dim(); ++d) {
+    if (l[d].categorical) {
+      u[d] = static_cast<double>(rng.categorical(l[d].cat_counts)) /
+             std::max(1.0, static_cast<double>(l[d].num_categories - 1));
+      if (l[d].num_categories == 1) u[d] = 0.0;
+    } else {
+      const auto pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(good.size()) - 1));
+      const double center = space.normalize(good[pick])[d];
+      u[d] = std::clamp(center + rng.normal(0.0, l[d].bandwidth), 0.0, 1.0);
+    }
+  }
+  return space.denormalize(u);
+}
+
+double log_density_ratio(const Space& space,
+                         const std::vector<DimensionKde>& l,
+                         const std::vector<DimensionKde>& g,
+                         const Config& c) {
+  const opt::Point u = space.normalize(c);
+  double score = 0.0;
+  for (std::size_t d = 0; d < space.dim(); ++d) {
+    const double v = l[d].categorical ? c[d] : u[d];
+    score += std::log(l[d].density(v)) - std::log(g[d].density(v));
+  }
+  return score;
+}
+
+}  // namespace
+
+core::TaskHistory HpBandSterLite::tune(const core::TaskVector& task,
+                                       const core::Space& space,
+                                       const core::MultiObjectiveFn& objective,
+                                       std::size_t budget,
+                                       std::uint64_t seed) {
+  common::Rng rng(seed);
+  core::TaskHistory history;
+  history.task = task;
+
+  const std::size_t min_points = options_.min_points_in_model > 0
+                                     ? options_.min_points_in_model
+                                     : space.dim() + 2;
+
+  for (std::size_t e = 0; e < budget; ++e) {
+    Config candidate;
+    const bool random_step =
+        history.evals.size() < min_points ||
+        rng.uniform() < options_.random_fraction;
+    if (random_step) {
+      candidate = space.sample_feasible(rng);
+    } else {
+      // Split observations into good (top quantile) and bad.
+      std::vector<std::size_t> idx(history.evals.size());
+      for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+      std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+        return history.evals[a].objectives[0] <
+               history.evals[b].objectives[0];
+      });
+      const std::size_t n_good = std::max<std::size_t>(
+          2, static_cast<std::size_t>(options_.good_fraction *
+                                      static_cast<double>(idx.size())));
+      std::vector<Config> good, bad;
+      for (std::size_t i = 0; i < idx.size(); ++i) {
+        (i < n_good ? good : bad).push_back(history.evals[idx[i]].config);
+      }
+      if (bad.size() < 2) {
+        candidate = space.sample_feasible(rng);
+      } else {
+        std::vector<DimensionKde> l(space.dim()), g(space.dim());
+        for (std::size_t d = 0; d < space.dim(); ++d) {
+          l[d] = build_kde(space, d, good, options_.bandwidth_floor);
+          g[d] = build_kde(space, d, bad, options_.bandwidth_floor);
+        }
+        double best_score = -std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < options_.num_candidates; ++c) {
+          Config trial = sample_from_l(space, l, good, rng);
+          if (!space.feasible(trial)) continue;
+          const double score = log_density_ratio(space, l, g, trial);
+          if (score > best_score) {
+            best_score = score;
+            candidate = std::move(trial);
+          }
+        }
+        if (candidate.empty()) candidate = space.sample_feasible(rng);
+      }
+    }
+    const auto y = objective(task, candidate);
+    history.evals.push_back({std::move(candidate), y});
+  }
+  return history;
+}
+
+}  // namespace gptune::baselines

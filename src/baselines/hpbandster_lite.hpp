@@ -1,0 +1,42 @@
+// HpBandSter-style tuner (Falkner et al., ICML 2018 "BOHB"; paper §5).
+//
+// HpBandSter couples Hyperband with a Tree Parzen Estimator (TPE): instead
+// of directly maximizing EI on a GP, it models the densities l(x) of the
+// best gamma-quantile observations and g(x) of the rest, and proposes the
+// candidate maximizing l(x)/g(x). Following the paper's comparison setup
+// (§6.6: "we disabled the multi-armed bandit feature since it requires
+// running applications with varying fidelity"), only the TPE component is
+// reproduced here: full-fidelity evaluations, KDE per dimension (Gaussian
+// kernels on normalized numeric parameters, smoothed frequencies on
+// categoricals).
+#pragma once
+
+#include "baselines/tuner_iface.hpp"
+
+namespace gptune::baselines {
+
+struct HpBandSterOptions {
+  std::size_t min_points_in_model = 0;  ///< 0 means dim + 2
+  double good_fraction = 0.25;          ///< top quantile modeled as l(x)
+  std::size_t num_candidates = 32;      ///< samples from l(x) per step
+  double bandwidth_floor = 0.03;        ///< minimum KDE bandwidth
+  double random_fraction = 0.2;         ///< fraction of pure-random steps
+};
+
+class HpBandSterLite : public SingleTaskTuner {
+ public:
+  explicit HpBandSterLite(HpBandSterOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "HpBandSter"; }
+
+  core::TaskHistory tune(const core::TaskVector& task,
+                         const core::Space& space,
+                         const core::MultiObjectiveFn& objective,
+                         std::size_t budget, std::uint64_t seed) override;
+
+ private:
+  HpBandSterOptions options_;
+};
+
+}  // namespace gptune::baselines

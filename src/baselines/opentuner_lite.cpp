@@ -1,0 +1,180 @@
+#include "baselines/opentuner_lite.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "opt/genetic.hpp"
+
+namespace gptune::baselines {
+
+namespace {
+
+using core::Config;
+using core::Space;
+using core::TaskHistory;
+
+/// Indices of the `k` best evaluations so far (by first objective).
+std::vector<std::size_t> elite_indices(const TaskHistory& history,
+                                       std::size_t k) {
+  std::vector<std::size_t> idx(history.evals.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return history.evals[a].objectives[0] < history.evals[b].objectives[0];
+  });
+  if (idx.size() > k) idx.resize(k);
+  return idx;
+}
+
+// --- the five arms ---
+
+Config arm_random(const Space& space, const TaskHistory&, common::Rng& rng,
+                  std::size_t) {
+  return space.sample_feasible(rng);
+}
+
+Config arm_genetic(const Space& space, const TaskHistory& history,
+                   common::Rng& rng, std::size_t elite_size) {
+  if (history.evals.size() < 2) return space.sample_feasible(rng);
+  const auto elites = elite_indices(history, elite_size);
+  const auto pick = [&] {
+    return elites[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(elites.size()) - 1))];
+  };
+  const opt::Point p1 = space.normalize(history.evals[pick()].config);
+  const opt::Point p2 = space.normalize(history.evals[pick()].config);
+  opt::Point c1, c2;
+  const auto box = opt::Box::unit(space.dim());
+  opt::sbx_crossover(p1, p2, box, 15.0, 1.0, rng, c1, c2);
+  opt::polynomial_mutation(c1, box, 20.0,
+                           1.0 / static_cast<double>(space.dim()), rng);
+  Config c = space.denormalize(c1);
+  return space.feasible(c) ? c : space.sample_feasible(rng);
+}
+
+Config arm_annealing(const Space& space, const TaskHistory& history,
+                     common::Rng& rng, std::size_t) {
+  if (history.evals.empty()) return space.sample_feasible(rng);
+  // Walk around a random recent configuration with a temperature that
+  // cools as the budget is consumed.
+  const std::size_t n = history.evals.size();
+  const std::size_t back = std::min<std::size_t>(5, n);
+  const std::size_t base = n - 1 - static_cast<std::size_t>(rng.uniform_int(
+                                       0, static_cast<std::int64_t>(back) - 1));
+  opt::Point u = space.normalize(history.evals[base].config);
+  const double temperature = 0.3 * std::exp(-static_cast<double>(n) / 40.0) +
+                             0.02;
+  for (double& v : u) v += rng.normal(0.0, temperature);
+  opt::Box::unit(space.dim()).clamp(u);
+  Config c = space.denormalize(u);
+  return space.feasible(c) ? c : space.sample_feasible(rng);
+}
+
+Config arm_pattern(const Space& space, const TaskHistory& history,
+                   common::Rng& rng, std::size_t) {
+  if (history.evals.empty()) return space.sample_feasible(rng);
+  // Coordinate step around the incumbent with a step that halves as the
+  // history grows (Hooke-Jeeves flavored).
+  opt::Point u = space.normalize(history.best_config(0));
+  const double step =
+      std::max(0.02, 0.4 * std::pow(0.9, static_cast<double>(
+                                             history.evals.size())));
+  const auto d = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(space.dim()) - 1));
+  u[d] += rng.uniform() < 0.5 ? step : -step;
+  opt::Box::unit(space.dim()).clamp(u);
+  Config c = space.denormalize(u);
+  return space.feasible(c) ? c : space.sample_feasible(rng);
+}
+
+Config arm_de(const Space& space, const TaskHistory& history,
+              common::Rng& rng, std::size_t) {
+  if (history.evals.size() < 3) return space.sample_feasible(rng);
+  const std::size_t n = history.evals.size();
+  const auto pick = [&] {
+    return static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  };
+  opt::Point best = space.normalize(history.best_config(0));
+  const opt::Point r1 = space.normalize(history.evals[pick()].config);
+  const opt::Point r2 = space.normalize(history.evals[pick()].config);
+  for (std::size_t i = 0; i < best.size(); ++i) {
+    best[i] += 0.7 * (r1[i] - r2[i]);
+  }
+  opt::Box::unit(space.dim()).clamp(best);
+  Config c = space.denormalize(best);
+  return space.feasible(c) ? c : space.sample_feasible(rng);
+}
+
+using ArmFn = Config (*)(const Space&, const TaskHistory&, common::Rng&,
+                         std::size_t);
+
+}  // namespace
+
+core::TaskHistory OpenTunerLite::tune(const core::TaskVector& task,
+                                      const core::Space& space,
+                                      const core::MultiObjectiveFn& objective,
+                                      std::size_t budget,
+                                      std::uint64_t seed) {
+  static constexpr ArmFn kArms[] = {arm_random, arm_genetic, arm_annealing,
+                                    arm_pattern, arm_de};
+  constexpr std::size_t kNumArms = sizeof(kArms) / sizeof(kArms[0]);
+
+  common::Rng rng(seed);
+  TaskHistory history;
+  history.task = task;
+
+  // Sliding window of (arm, improved?) outcomes for AUC credit: a recent
+  // improvement is worth more than an old one.
+  std::deque<std::pair<std::size_t, bool>> window;
+  std::vector<std::size_t> uses(kNumArms, 0);
+  double best = std::numeric_limits<double>::infinity();
+
+  for (std::size_t e = 0; e < budget; ++e) {
+    // Choose the arm: each arm at least once, then UCB on AUC credit.
+    std::size_t arm;
+    if (e < kNumArms) {
+      arm = e;
+    } else {
+      double best_score = -std::numeric_limits<double>::infinity();
+      arm = 0;
+      for (std::size_t a = 0; a < kNumArms; ++a) {
+        // AUC credit: sum of recency weights of this arm's improvements
+        // within the window, normalized by its window usage.
+        double credit = 0.0, weight_sum = 0.0;
+        double w = 1.0;
+        for (auto it = window.rbegin(); it != window.rend(); ++it) {
+          if (it->first == a) {
+            weight_sum += w;
+            if (it->second) credit += w;
+          }
+          w *= 0.95;
+        }
+        const double exploit = weight_sum > 0.0 ? credit / weight_sum : 0.5;
+        const double explore =
+            options_.exploration *
+            std::sqrt(2.0 * std::log(static_cast<double>(e + 1)) /
+                      static_cast<double>(std::max<std::size_t>(1, uses[a])));
+        const double score = exploit + explore;
+        if (score > best_score) {
+          best_score = score;
+          arm = a;
+        }
+      }
+    }
+
+    const Config c = kArms[arm](space, history, rng, options_.elite_size);
+    const auto y = objective(task, c);
+    history.evals.push_back({c, y});
+    ++uses[arm];
+
+    const bool improved = y[0] < best;
+    if (improved) best = y[0];
+    window.emplace_back(arm, improved);
+    if (window.size() > options_.bandit_window) window.pop_front();
+  }
+  return history;
+}
+
+}  // namespace gptune::baselines

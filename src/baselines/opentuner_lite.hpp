@@ -1,0 +1,41 @@
+// OpenTuner-style ensemble tuner (Ansel et al., PACT 2014; paper §5).
+//
+// OpenTuner frames autotuning as a multi-armed bandit over a collection of
+// model-free search techniques: function evaluations are the resource, and
+// a sliding-window AUC credit assignment adaptively allocates them to the
+// technique that has recently produced the most improvements. This
+// from-scratch reproduction implements the same structure with five arms:
+//   random search, genetic crossover/mutation of elites, simulated-
+//   annealing random walk, pattern (coordinate) search with step halving,
+//   and differential-evolution steps around the incumbent.
+// Arms are ask/tell: each proposes one configuration given the shared
+// evaluation history.
+#pragma once
+
+#include "baselines/tuner_iface.hpp"
+
+namespace gptune::baselines {
+
+struct OpenTunerOptions {
+  std::size_t bandit_window = 20;    ///< sliding window for AUC credit
+  double exploration = 1.0;          ///< UCB exploration constant
+  std::size_t elite_size = 5;        ///< parents pool for the GA arm
+};
+
+class OpenTunerLite : public SingleTaskTuner {
+ public:
+  explicit OpenTunerLite(OpenTunerOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "OpenTuner"; }
+
+  core::TaskHistory tune(const core::TaskVector& task,
+                         const core::Space& space,
+                         const core::MultiObjectiveFn& objective,
+                         std::size_t budget, std::uint64_t seed) override;
+
+ private:
+  OpenTunerOptions options_;
+};
+
+}  // namespace gptune::baselines

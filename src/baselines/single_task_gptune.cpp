@@ -1,0 +1,21 @@
+#include "baselines/single_task_gptune.hpp"
+
+namespace gptune::baselines {
+
+core::TaskHistory SingleTaskGpTune::tune(
+    const core::TaskVector& task, const core::Space& space,
+    const core::MultiObjectiveFn& objective, std::size_t budget,
+    std::uint64_t seed) {
+  core::MlaOptions options = options_;
+  options.budget_per_task = budget;
+  options.seed = seed;
+  options.num_latent = 1;  // delta = 1: plain GP
+  core::MultitaskTuner tuner(space, objective, options);
+  core::MlaResult result = tuner.run({task});
+  times_.objective += result.times.objective;
+  times_.modeling += result.times.modeling;
+  times_.search += result.times.search;
+  return std::move(result.tasks.front());
+}
+
+}  // namespace gptune::baselines

@@ -1,0 +1,34 @@
+// GPTune restricted to a single task (delta = 1): the MLA machinery with an
+// ordinary single-task GP. Used as the "Single-task" rows of paper Table 3
+// / Fig. 5 and to drive GPTune through the common SingleTaskTuner
+// interface in the tuner-comparison benches.
+#pragma once
+
+#include "baselines/tuner_iface.hpp"
+
+namespace gptune::baselines {
+
+class SingleTaskGpTune : public SingleTaskTuner {
+ public:
+  /// `options` configures the underlying MLA run; budget/seed/task count
+  /// are overridden per tune() call.
+  explicit SingleTaskGpTune(core::MlaOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "GPTune-1task"; }
+
+  core::TaskHistory tune(const core::TaskVector& task,
+                         const core::Space& space,
+                         const core::MultiObjectiveFn& objective,
+                         std::size_t budget, std::uint64_t seed) override;
+
+  /// Phase times accumulated over all tune() calls (paper Table 3).
+  const core::PhaseTimes& times() const { return times_; }
+  void reset_times() { times_ = {}; }
+
+ private:
+  core::MlaOptions options_;
+  core::PhaseTimes times_;
+};
+
+}  // namespace gptune::baselines

@@ -1,0 +1,31 @@
+// Common single-task tuner interface.
+//
+// Paper §6.1: "To make it easier for users to try different autotuners, our
+// interface allows the user to invoke them as well." Every baseline (and a
+// delta=1 GPTune adapter) implements this interface, so the comparison
+// benches drive all tuners identically.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/mla.hpp"
+#include "core/space.hpp"
+
+namespace gptune::baselines {
+
+class SingleTaskTuner {
+ public:
+  virtual ~SingleTaskTuner() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Spends `budget` evaluations of `objective` on one task; returns the
+  /// full evaluation history (first objective is the one minimized).
+  virtual core::TaskHistory tune(const core::TaskVector& task,
+                                 const core::Space& space,
+                                 const core::MultiObjectiveFn& objective,
+                                 std::size_t budget, std::uint64_t seed) = 0;
+};
+
+}  // namespace gptune::baselines

@@ -1,0 +1,34 @@
+// ytopt-style tuner (paper §6.1 lists it as the third supported external
+// tuner; §5 describes the approach via Menon et al., IPDPS 2020): Bayesian
+// optimization that selects candidates with a Tree Parzen Estimator, like
+// HpBandSter, but *without* the multi-armed bandit / multi-fidelity
+// framework — every step is pure TPE once the initial design is done.
+#pragma once
+
+#include "baselines/hpbandster_lite.hpp"
+
+namespace gptune::baselines {
+
+class YtoptLite : public SingleTaskTuner {
+ public:
+  YtoptLite() {
+    HpBandSterOptions options;
+    options.random_fraction = 0.0;  // no bandit, no random interleaving
+    options.good_fraction = 0.3;
+    tpe_ = HpBandSterLite(options);
+  }
+
+  std::string name() const override { return "ytopt"; }
+
+  core::TaskHistory tune(const core::TaskVector& task,
+                         const core::Space& space,
+                         const core::MultiObjectiveFn& objective,
+                         std::size_t budget, std::uint64_t seed) override {
+    return tpe_.tune(task, space, objective, budget, seed);
+  }
+
+ private:
+  HpBandSterLite tpe_{HpBandSterOptions{}};
+};
+
+}  // namespace gptune::baselines

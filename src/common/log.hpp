@@ -1,0 +1,62 @@
+// Minimal leveled logging to stderr, controllable at runtime.
+//
+// Used by the tuner to report phase progress (the paper's "stats:" runlog)
+// without polluting bench stdout, which carries the reproduced table rows.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gptune::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default: kWarn.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line `[level] message` to stderr if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() > LogLevel::kDebug) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_message(LogLevel::kDebug, os.str());
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() > LogLevel::kInfo) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_message(LogLevel::kInfo, os.str());
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() > LogLevel::kWarn) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_message(LogLevel::kWarn, os.str());
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_level() > LogLevel::kError) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_message(LogLevel::kError, os.str());
+}
+
+}  // namespace gptune::common

@@ -1,0 +1,64 @@
+// Seeded, splittable random number generation.
+//
+// Everything stochastic in the library (sampling, optimizer populations,
+// simulator noise) draws from an explicitly seeded Rng so that runs are
+// reproducible bit-for-bit. Rng wraps the xoshiro256** generator, which is
+// small, fast, and has well-understood statistical quality.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace gptune::common {
+
+/// Counter-based splittable PRNG (xoshiro256**).
+///
+/// `split()` derives an independent stream, so parallel components can each
+/// own a generator without sharing mutable state across threads.
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal variate (Box–Muller with caching).
+  double normal();
+
+  /// Normal variate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Lognormal variate: exp(N(mu_log, sigma_log)).
+  double lognormal(double mu_log, double sigma_log);
+
+  /// Gamma variate (Marsaglia–Tsang), shape k > 0, scale theta > 0.
+  double gamma(double shape, double scale);
+
+  /// Index in [0, weights.size()) drawn proportionally to `weights`
+  /// (non-negative, not all zero).
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derives an independent generator; deterministic in (state, call order).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace gptune::common

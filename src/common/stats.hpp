@@ -1,0 +1,57 @@
+// Small statistics helpers shared across the library: summary statistics,
+// normal distribution functions used by Expected Improvement, and an online
+// accumulator for streaming means/variances.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gptune::common {
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(const std::vector<double>& v);
+
+/// Unbiased sample variance; 0 for fewer than two elements.
+double variance(const std::vector<double>& v);
+
+/// Square root of `variance`.
+double stddev(const std::vector<double>& v);
+
+/// Minimum element; +inf for an empty range.
+double min(const std::vector<double>& v);
+
+/// Maximum element; -inf for an empty range.
+double max(const std::vector<double>& v);
+
+/// Median (average of middle two for even sizes); NaN for an empty range.
+double median(std::vector<double> v);
+
+/// Linear-interpolated quantile, q in [0, 1]; NaN for an empty range.
+double quantile(std::vector<double> v, double q);
+
+/// Standard normal probability density.
+double normal_pdf(double z);
+
+/// Standard normal cumulative distribution (via erfc for tail accuracy).
+double normal_cdf(double z);
+
+/// Welford online accumulator for mean/variance without storing samples.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace gptune::common

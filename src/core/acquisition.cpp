@@ -1,0 +1,22 @@
+#include "core/acquisition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace gptune::core {
+
+double expected_improvement(double mean, double variance, double best) {
+  const double sigma = std::sqrt(std::max(variance, 0.0));
+  if (sigma < 1e-12) return std::max(best - mean, 0.0);
+  const double z = (best - mean) / sigma;
+  return (best - mean) * common::normal_cdf(z) +
+         sigma * common::normal_pdf(z);
+}
+
+double lower_confidence_bound(double mean, double variance, double kappa) {
+  return mean - kappa * std::sqrt(std::max(variance, 0.0));
+}
+
+}  // namespace gptune::core

@@ -1,0 +1,22 @@
+// Acquisition functions for the MLA search phase (paper §3.1, phase 3).
+//
+// Expected Improvement for minimization:
+//   EI(x) = (y_best - mu) Phi(z) + sigma phi(z),  z = (y_best - mu) / sigma.
+// The search phase maximizes EI per task with PSO; the multi-objective
+// variant exposes the per-objective EI vector to NSGA-II (paper §3.2).
+#pragma once
+
+#include <functional>
+
+namespace gptune::core {
+
+/// EI for minimization given posterior (mean, variance) and the incumbent
+/// best observed value. Zero when variance is (numerically) zero and the
+/// mean offers no improvement.
+double expected_improvement(double mean, double variance, double best);
+
+/// Lower confidence bound mu - kappa*sigma (exploitation ablation uses
+/// kappa = 0, i.e. posterior mean only).
+double lower_confidence_bound(double mean, double variance, double kappa);
+
+}  // namespace gptune::core

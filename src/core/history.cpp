@@ -1,0 +1,101 @@
+#include "core/history.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace gptune::core {
+
+namespace {
+bool task_matches(const TaskVector& a, const TaskVector& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+}  // namespace
+
+void HistoryDb::add(HistoryRecord record) {
+  records_.push_back(std::move(record));
+}
+
+std::vector<HistoryRecord> HistoryDb::for_task(const TaskVector& task,
+                                               double tol) const {
+  std::vector<HistoryRecord> out;
+  for (const auto& r : records_) {
+    if (task_matches(r.task, task, tol)) out.push_back(r);
+  }
+  return out;
+}
+
+std::optional<HistoryRecord> HistoryDb::best_for_task(
+    const TaskVector& task, std::size_t objective_index, double tol) const {
+  std::optional<HistoryRecord> best;
+  double best_value = std::numeric_limits<double>::infinity();
+  for (const auto& r : records_) {
+    if (!task_matches(r.task, task, tol)) continue;
+    if (objective_index >= r.objectives.size()) continue;
+    if (r.objectives[objective_index] < best_value) {
+      best_value = r.objectives[objective_index];
+      best = r;
+    }
+  }
+  return best;
+}
+
+void HistoryDb::merge(const HistoryDb& other) {
+  records_.insert(records_.end(), other.records_.begin(),
+                  other.records_.end());
+}
+
+bool HistoryDb::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "gptune-history v1\n";
+  os.precision(17);
+  for (const auto& r : records_) {
+    os << r.task.size() << " " << r.config.size() << " "
+       << r.objectives.size();
+    for (double v : r.task) os << " " << v;
+    for (double v : r.config) os << " " << v;
+    for (double v : r.objectives) os << " " << v;
+    os << "\n";
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<HistoryDb> HistoryDb::load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  std::string header;
+  std::getline(is, header);
+  if (header != "gptune-history v1") return std::nullopt;
+
+  HistoryDb db;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::size_t nt = 0, nc = 0, no = 0;
+    if (!(ls >> nt >> nc >> no)) return std::nullopt;
+    HistoryRecord r;
+    r.task.resize(nt);
+    r.config.resize(nc);
+    r.objectives.resize(no);
+    for (double& v : r.task) {
+      if (!(ls >> v)) return std::nullopt;
+    }
+    for (double& v : r.config) {
+      if (!(ls >> v)) return std::nullopt;
+    }
+    for (double& v : r.objectives) {
+      if (!(ls >> v)) return std::nullopt;
+    }
+    db.add(std::move(r));
+  }
+  return db;
+}
+
+}  // namespace gptune::core

@@ -1,0 +1,55 @@
+// Tuning-data archive (paper goal 3: "Support archiving and reusing tuning
+// data from multiple executions to allow tuning to improve over time").
+//
+// Every function evaluation (task parameters, tuning configuration,
+// objective values) can be appended to a HistoryDb, saved to a plain-text
+// file, reloaded in a later session, and injected into a new MLA run as
+// pre-existing samples for matching tasks.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/space.hpp"
+
+namespace gptune::core {
+
+using TaskVector = std::vector<double>;
+
+struct HistoryRecord {
+  TaskVector task;
+  Config config;
+  std::vector<double> objectives;
+};
+
+class HistoryDb {
+ public:
+  void add(HistoryRecord record);
+  const std::vector<HistoryRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  /// Records whose task vector matches `task` within `tol` per component.
+  std::vector<HistoryRecord> for_task(const TaskVector& task,
+                                      double tol = 1e-9) const;
+
+  /// Best (minimal objectives[objective_index]) record for `task`.
+  std::optional<HistoryRecord> best_for_task(
+      const TaskVector& task, std::size_t objective_index = 0,
+      double tol = 1e-9) const;
+
+  /// Appends every record of `other`.
+  void merge(const HistoryDb& other);
+
+  /// Writes a versioned whitespace-separated text file. Returns false on
+  /// I/O failure.
+  bool save(const std::string& path) const;
+
+  /// Loads a file produced by save(); nullopt on parse or I/O failure.
+  static std::optional<HistoryDb> load(const std::string& path);
+
+ private:
+  std::vector<HistoryRecord> records_;
+};
+
+}  // namespace gptune::core

@@ -1,0 +1,46 @@
+#include "core/metrics.hpp"
+
+#include <cassert>
+
+namespace gptune::core {
+
+double win_task(const std::vector<double>& best_a,
+                const std::vector<double>& best_b) {
+  assert(best_a.size() == best_b.size());
+  if (best_a.empty()) return 0.0;
+  std::size_t wins = 0;
+  for (std::size_t i = 0; i < best_a.size(); ++i) {
+    if (best_a[i] <= best_b[i]) ++wins;
+  }
+  return static_cast<double>(wins) / static_cast<double>(best_a.size());
+}
+
+double stability(const AnytimeCurve& best_so_far, double y_star) {
+  if (best_so_far.empty() || y_star <= 0.0) return 0.0;
+  double s = 0.0;
+  for (double v : best_so_far) s += v / y_star;
+  return s / static_cast<double>(best_so_far.size());
+}
+
+double mean_stability(const std::vector<AnytimeCurve>& curves,
+                      const std::vector<double>& y_star) {
+  assert(curves.size() == y_star.size());
+  if (curves.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    s += stability(curves[i], y_star[i]);
+  }
+  return s / static_cast<double>(curves.size());
+}
+
+std::vector<double> best_ratio(const std::vector<double>& best_a,
+                               const std::vector<double>& best_b) {
+  assert(best_a.size() == best_b.size());
+  std::vector<double> r(best_a.size());
+  for (std::size_t i = 0; i < best_a.size(); ++i) {
+    r[i] = best_a[i] > 0.0 ? best_b[i] / best_a[i] : 1.0;
+  }
+  return r;
+}
+
+}  // namespace gptune::core

@@ -1,0 +1,36 @@
+// Evaluation metrics of paper §6.6: final performance (WinTask) and anytime
+// performance (stability).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gptune::core {
+
+/// best-so-far curve of one tuner on one task: element j is the best
+/// objective among samples 0..j.
+using AnytimeCurve = std::vector<double>;
+
+/// Fraction (in [0,1]) of tasks where tuner A's final best is at least as
+/// good as tuner B's (ratio best_B / best_A >= 1, matching the paper's
+/// figure legends). `best_a[i]` / `best_b[i]` are the per-task minima.
+double win_task(const std::vector<double>& best_a,
+                const std::vector<double>& best_b);
+
+/// Stability of one tuner on one task (paper §6.6):
+///   mean_j ( best-so-far_j ) / y_star
+/// where y_star is the best value found by ANY tuner on that task.
+/// 1.0 is ideal; larger is worse.
+double stability(const AnytimeCurve& best_so_far, double y_star);
+
+/// Mean stability over tasks: curves[i] is tuner's anytime curve on task i,
+/// y_star[i] the cross-tuner best for task i.
+double mean_stability(const std::vector<AnytimeCurve>& curves,
+                      const std::vector<double>& y_star);
+
+/// Per-task ratios best_b[i] / best_a[i] (paper Fig. 6's y-axis; >= 1 means
+/// tuner A wins task i).
+std::vector<double> best_ratio(const std::vector<double>& best_a,
+                               const std::vector<double>& best_b);
+
+}  // namespace gptune::core

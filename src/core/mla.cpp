@@ -1,0 +1,514 @@
+#include "core/mla.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "core/acquisition.hpp"
+#include "runtime/comm.hpp"
+
+namespace gptune::core {
+
+// --- TaskHistory ---
+
+double TaskHistory::best(std::size_t index) const {
+  double b = std::numeric_limits<double>::infinity();
+  for (const auto& e : evals) {
+    if (index < e.objectives.size()) b = std::min(b, e.objectives[index]);
+  }
+  return b;
+}
+
+Config TaskHistory::best_config(std::size_t index) const {
+  double b = std::numeric_limits<double>::infinity();
+  Config c;
+  for (const auto& e : evals) {
+    if (index < e.objectives.size() && e.objectives[index] < b) {
+      b = e.objectives[index];
+      c = e.config;
+    }
+  }
+  return c;
+}
+
+double TaskHistory::worst(std::size_t index) const {
+  double w = -std::numeric_limits<double>::infinity();
+  for (const auto& e : evals) {
+    if (index < e.objectives.size()) w = std::max(w, e.objectives[index]);
+  }
+  return w;
+}
+
+std::vector<double> TaskHistory::best_so_far(std::size_t index) const {
+  std::vector<double> curve;
+  curve.reserve(evals.size());
+  double b = std::numeric_limits<double>::infinity();
+  for (const auto& e : evals) {
+    if (index < e.objectives.size()) b = std::min(b, e.objectives[index]);
+    curve.push_back(b);
+  }
+  return curve;
+}
+
+std::vector<EvalRecord> TaskHistory::pareto() const {
+  std::vector<std::vector<double>> values;
+  values.reserve(evals.size());
+  for (const auto& e : evals) values.push_back(e.objectives);
+  std::vector<EvalRecord> front;
+  for (std::size_t idx : opt::pareto_filter(values)) {
+    front.push_back(evals[idx]);
+  }
+  return front;
+}
+
+// --- State ---
+
+struct MultitaskTuner::State {
+  std::vector<TaskVector> tasks;
+  common::Rng rng{0};
+  MlaResult result;
+
+  // One model (and warm-start hyperparameters) per objective.
+  std::vector<std::optional<gp::LcmModel>> models;
+  std::vector<std::vector<double>> warm_theta;
+
+  // Performance-model feature normalization (min/max of the signed-log
+  // transform over the current samples), refreshed every modeling phase.
+  std::vector<double> feature_lo, feature_hi;
+
+  std::size_t iteration = 0;
+};
+
+namespace {
+
+double signed_log(double v) {
+  return v >= 0.0 ? std::log1p(v) : -std::log1p(-v);
+}
+
+double maybe_log(bool log_objective, double v) {
+  return log_objective ? std::log(std::max(v, 1e-300)) : v;
+}
+
+}  // namespace
+
+MultitaskTuner::MultitaskTuner(Space tuning_space, MultiObjectiveFn objective,
+                               MlaOptions options)
+    : space_(std::move(tuning_space)),
+      objective_(std::move(objective)),
+      options_(std::move(options)) {
+  if (options_.initial_samples == 0) {
+    options_.initial_samples = std::max<std::size_t>(
+        2, options_.budget_per_task / 2);
+  }
+  options_.initial_samples =
+      std::min(options_.initial_samples, options_.budget_per_task);
+}
+
+// Encodes (task, config) for the GP: normalized tuning parameters plus,
+// when a performance model is attached, its normalized outputs (§3.3).
+namespace {
+
+std::vector<double> encode_config(const Space& space,
+                                  const PerformanceModel* model,
+                                  const std::vector<double>& feature_lo,
+                                  const std::vector<double>& feature_hi,
+                                  const TaskVector& task, const Config& c) {
+  std::vector<double> enc = space.normalize(c);
+  if (model) {
+    const auto raw = model->evaluate(task, c);
+    for (std::size_t k = 0; k < raw.size(); ++k) {
+      const double g = signed_log(raw[k]);
+      double u = 0.5;
+      if (k < feature_lo.size() && feature_hi[k] - feature_lo[k] > 1e-12) {
+        u = std::clamp((g - feature_lo[k]) / (feature_hi[k] - feature_lo[k]),
+                       0.0, 1.0);
+      }
+      enc.push_back(u);
+    }
+  }
+  return enc;
+}
+
+}  // namespace
+
+void MultitaskTuner::sampling_phase(State& state) {
+  const std::size_t delta = state.tasks.size();
+  state.result.tasks.resize(delta);
+  std::vector<std::vector<Config>> batches(delta);
+
+  for (std::size_t i = 0; i < delta; ++i) {
+    state.result.tasks[i].task = state.tasks[i];
+    std::size_t needed = options_.initial_samples;
+
+    // Reuse archived evaluations for this exact task (free samples).
+    if (options_.history) {
+      for (const auto& rec : options_.history->for_task(state.tasks[i])) {
+        if (rec.objectives.size() != options_.num_objectives) continue;
+        if (rec.config.size() != space_.dim()) continue;
+        state.result.tasks[i].evals.push_back({rec.config, rec.objectives});
+      }
+    }
+
+    auto configs =
+        sample_initial_configs(space_, needed, state.rng,
+                               options_.initial_design);
+    batches[i] = std::move(configs);
+  }
+  evaluate_batch(state, batches);
+}
+
+void MultitaskTuner::modeling_phase(State& state, bool refit) {
+  const std::size_t delta = state.tasks.size();
+
+  // Performance-model update phase (§3.3): refit model coefficients from
+  // all observed primary-objective samples, then refresh the feature
+  // normalization used by the enriched encoding.
+  if (options_.performance_model) {
+    std::vector<TaskVector> tasks;
+    std::vector<Config> configs;
+    std::vector<double> y0;
+    for (const auto& th : state.result.tasks) {
+      for (const auto& e : th.evals) {
+        tasks.push_back(th.task);
+        configs.push_back(e.config);
+        y0.push_back(e.objectives[0]);
+      }
+    }
+    options_.performance_model->update(tasks, configs, y0);
+
+    const std::size_t fd = options_.performance_model->output_dim();
+    state.feature_lo.assign(fd, std::numeric_limits<double>::infinity());
+    state.feature_hi.assign(fd, -std::numeric_limits<double>::infinity());
+    for (std::size_t n = 0; n < tasks.size(); ++n) {
+      const auto raw =
+          options_.performance_model->evaluate(tasks[n], configs[n]);
+      for (std::size_t k = 0; k < fd; ++k) {
+        const double g = signed_log(raw[k]);
+        state.feature_lo[k] = std::min(state.feature_lo[k], g);
+        state.feature_hi[k] = std::max(state.feature_hi[k], g);
+      }
+    }
+  }
+
+  state.models.resize(options_.num_objectives);
+  state.warm_theta.resize(options_.num_objectives);
+
+  for (std::size_t s = 0; s < options_.num_objectives; ++s) {
+    gp::MultiTaskData data;
+    data.x.resize(delta);
+    data.y.resize(delta);
+    for (std::size_t i = 0; i < delta; ++i) {
+      const auto& evals = state.result.tasks[i].evals;
+      const std::size_t extra =
+          options_.performance_model
+              ? options_.performance_model->output_dim()
+              : 0;
+      data.x[i] = gp::Matrix(evals.size(), space_.dim() + extra);
+      data.y[i].resize(evals.size());
+      for (std::size_t j = 0; j < evals.size(); ++j) {
+        const auto enc =
+            encode_config(space_, options_.performance_model,
+                          state.feature_lo, state.feature_hi,
+                          state.tasks[i], evals[j].config);
+        for (std::size_t m = 0; m < enc.size(); ++m) data.x[i](j, m) = enc[m];
+        data.y[i][j] = maybe_log(options_.log_objective,
+                                 evals[j].objectives[s]);
+      }
+    }
+
+    gp::LcmShape shape;
+    shape.num_tasks = delta;
+    shape.dim = data.dim();
+    shape.num_latent = options_.num_latent > 0
+                           ? options_.num_latent
+                           : std::min<std::size_t>(delta, 3);
+
+    if (refit || state.warm_theta[s].size() != shape.num_hyperparameters()) {
+      gp::LcmFitOptions fit;
+      fit.num_latent = shape.num_latent;
+      fit.num_restarts = options_.model_restarts;
+      fit.max_lbfgs_iterations = options_.max_lbfgs_iterations;
+      fit.seed = options_.seed + 7919 * (state.iteration + 1) + s;
+      fit.num_workers = options_.model_workers;
+      fit.warm_start = state.warm_theta[s];
+      auto model = gp::fit_lcm(data, fit);
+      if (model) {
+        state.warm_theta[s] = model->theta();
+        state.models[s] = std::move(model);
+        ++state.result.model_refits;
+      } else {
+        common::log_warn("modeling phase: objective ", s,
+                         " fit failed; keeping previous model");
+      }
+    } else {
+      // Posterior refresh at cached hyperparameters: new samples enter the
+      // covariance without re-optimizing theta.
+      auto model = gp::LcmModel::build(data, shape, state.warm_theta[s]);
+      if (model) state.models[s] = std::move(model);
+    }
+  }
+}
+
+void MultitaskTuner::search_phase_single(State& state) {
+  const std::size_t delta = state.tasks.size();
+  if (!state.models[0]) {
+    // No model (all fits failed): fall back to random sampling.
+    std::vector<std::vector<Config>> batches(delta);
+    for (std::size_t i = 0; i < delta; ++i) {
+      if (state.result.tasks[i].evals.size() < options_.budget_per_task) {
+        batches[i].push_back(space_.sample_feasible(state.rng));
+      }
+    }
+    evaluate_batch(state, batches);
+    return;
+  }
+  const gp::LcmModel& model = *state.models[0];
+
+  // Candidate search for one task: PSO maximizing EI in the unit box.
+  auto search_task = [&](std::size_t i, common::Rng& rng) -> Config {
+    const double incumbent =
+        maybe_log(options_.log_objective, state.result.tasks[i].best(0));
+    auto acquisition = [&](const opt::Point& u) -> double {
+      Config c = space_.denormalize(u);
+      if (!space_.feasible(c)) return 1e6;
+      const auto enc =
+          encode_config(space_, options_.performance_model, state.feature_lo,
+                        state.feature_hi, state.tasks[i], c);
+      const auto pred = model.predict(i, enc);
+      if (options_.use_ei) {
+        return -expected_improvement(pred.mean, pred.variance, incumbent);
+      }
+      return pred.mean;
+    };
+    // Seed half the swarm at feasible configurations: with tight
+    // constraints (e.g. 3D process grids) a uniformly initialized swarm
+    // can start entirely inside the infeasibility penalty plateau.
+    opt::PsoOptions pso = options_.pso;
+    for (std::size_t s = 0; s < pso.swarm_size / 2; ++s) {
+      pso.initial_points.push_back(
+          space_.normalize(space_.sample_feasible(rng)));
+    }
+    auto best = opt::pso_minimize(acquisition, opt::Box::unit(space_.dim()),
+                                  rng, pso);
+    Config candidate = space_.denormalize(best.x);
+
+    // Deduplicate: an already-evaluated configuration carries no new
+    // information; replace with a random feasible draw.
+    for (const auto& e : state.result.tasks[i].evals) {
+      if (e.config == candidate) {
+        candidate = space_.sample_feasible(rng);
+        break;
+      }
+    }
+    if (!space_.feasible(candidate)) candidate = space_.sample_feasible(rng);
+    return candidate;
+  };
+
+  std::vector<std::vector<Config>> batches(delta);
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < delta; ++i) {
+    if (state.result.tasks[i].evals.size() < options_.budget_per_task) {
+      active.push_back(i);
+    }
+  }
+
+  if (options_.search_workers <= 1 || active.size() <= 1) {
+    for (std::size_t i : active) {
+      common::Rng rng(options_.seed ^ (0x5bd1e995ULL * (i + 1)) ^
+                      (state.iteration << 20));
+      batches[i].push_back(search_task(i, rng));
+    }
+  } else {
+    // Distribute per-task searches over spawned ranks (paper §4.3): each
+    // worker handles a strided slice of tasks and sends its candidate back
+    // tagged with the task index.
+    const std::size_t workers =
+        std::min(options_.search_workers, active.size());
+    const std::size_t iteration = state.iteration;
+    const std::uint64_t seed = options_.seed;
+    rt::World::run(1, [&](rt::Comm& master) {
+      auto handle = master.spawn(
+          workers, [&](rt::Comm& worker, rt::InterComm& parent) {
+            for (std::size_t a = worker.rank(); a < active.size();
+                 a += worker.size()) {
+              const std::size_t i = active[a];
+              common::Rng rng(seed ^ (0x5bd1e995ULL * (i + 1)) ^
+                              (iteration << 20));
+              Config c = search_task(i, rng);
+              parent.send(0, static_cast<int>(i), std::move(c));
+            }
+          });
+      for (std::size_t received = 0; received < active.size(); ++received) {
+        rt::Message msg = handle.comm().recv();
+        batches[static_cast<std::size_t>(msg.tag)].push_back(
+            std::move(msg.data));
+      }
+      handle.join();
+    });
+  }
+  evaluate_batch(state, batches);
+}
+
+void MultitaskTuner::search_phase_multi(State& state) {
+  const std::size_t delta = state.tasks.size();
+  const std::size_t gamma = options_.num_objectives;
+  std::vector<std::vector<Config>> batches(delta);
+
+  for (std::size_t i = 0; i < delta; ++i) {
+    auto& th = state.result.tasks[i];
+    const std::size_t remaining =
+        options_.budget_per_task > th.evals.size()
+            ? options_.budget_per_task - th.evals.size()
+            : 0;
+    if (remaining == 0) continue;
+    const std::size_t k = std::min(options_.batch_k, remaining);
+
+    std::vector<double> incumbents(gamma);
+    for (std::size_t s = 0; s < gamma; ++s) {
+      incumbents[s] = maybe_log(options_.log_objective, th.best(s));
+    }
+
+    // Vector acquisition: minimize (-EI_1, ..., -EI_gamma) with NSGA-II.
+    auto acquisition =
+        [&](const opt::Point& u) -> std::vector<double> {
+      Config c = space_.denormalize(u);
+      std::vector<double> out(gamma, 1e6);
+      if (!space_.feasible(c)) return out;
+      const auto enc =
+          encode_config(space_, options_.performance_model, state.feature_lo,
+                        state.feature_hi, state.tasks[i], c);
+      for (std::size_t s = 0; s < gamma; ++s) {
+        if (!state.models[s]) continue;
+        const auto pred = state.models[s]->predict(i, enc);
+        out[s] = options_.use_ei
+                     ? -expected_improvement(pred.mean, pred.variance,
+                                             incumbents[s])
+                     : pred.mean;
+      }
+      return out;
+    };
+
+    common::Rng rng(options_.seed ^ (0xc2b2ae35ULL * (i + 1)) ^
+                    (state.iteration << 18));
+    opt::Nsga2Options nsga2 = options_.nsga2;
+    for (std::size_t s = 0; s < nsga2.population / 2; ++s) {
+      nsga2.initial_points.push_back(
+          space_.normalize(space_.sample_feasible(rng)));
+    }
+    auto front = opt::nsga2_minimize(acquisition,
+                                     opt::Box::unit(space_.dim()), rng,
+                                     nsga2);
+
+    // Pick up to k distinct new configurations from the acquisition front.
+    std::vector<Config> chosen;
+    for (const auto& u : front.points) {
+      if (chosen.size() >= k) break;
+      Config c = space_.denormalize(u);
+      if (!space_.feasible(c)) continue;
+      bool duplicate = false;
+      for (const auto& e : th.evals) {
+        if (e.config == c) {
+          duplicate = true;
+          break;
+        }
+      }
+      for (const auto& b : chosen) {
+        if (b == c) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) chosen.push_back(std::move(c));
+    }
+    while (chosen.size() < k) {
+      chosen.push_back(space_.sample_feasible(rng));
+    }
+    batches[i] = std::move(chosen);
+  }
+  evaluate_batch(state, batches);
+}
+
+void MultitaskTuner::evaluate_batch(
+    State& state, const std::vector<std::vector<Config>>& per_task) {
+  common::Timer timer;
+  for (std::size_t i = 0; i < per_task.size(); ++i) {
+    for (const auto& c : per_task[i]) {
+      std::vector<double> y = objective_(state.tasks[i], c);
+      assert(y.size() == options_.num_objectives);
+      // Failure injection tolerance: an application run can crash or
+      // diverge (NaN/inf). Record a large-but-finite penalty so the model
+      // learns to avoid the region instead of breaking the GP.
+      for (std::size_t s = 0; s < y.size(); ++s) {
+        if (!std::isfinite(y[s])) {
+          double worst = 10.0;
+          for (const auto& th : state.result.tasks) {
+            for (const auto& e : th.evals) {
+              if (s < e.objectives.size() &&
+                  std::isfinite(e.objectives[s])) {
+                worst = std::max(worst, e.objectives[s]);
+              }
+            }
+          }
+          common::log_warn("objective ", s, " returned non-finite value; ",
+                           "recording penalty ", 10.0 * worst);
+          y[s] = 10.0 * worst;
+        }
+      }
+      state.result.tasks[i].evals.push_back({c, y});
+      ++state.result.evaluations;
+      if (options_.history) {
+        options_.history->add({state.tasks[i], c, std::move(y)});
+      }
+    }
+  }
+  state.result.times.objective += timer.seconds();
+}
+
+MlaResult MultitaskTuner::run(const std::vector<TaskVector>& tasks) {
+  assert(!tasks.empty());
+  State state;
+  state.tasks = tasks;
+  state.rng = common::Rng(options_.seed);
+
+  sampling_phase(state);
+
+  auto budget_left = [&] {
+    for (const auto& th : state.result.tasks) {
+      if (th.evals.size() < options_.budget_per_task) return true;
+    }
+    return false;
+  };
+
+  while (budget_left()) {
+    {
+      common::Timer timer;
+      const bool refit = options_.refit_period == 0
+                             ? state.iteration == 0
+                             : state.iteration % options_.refit_period == 0;
+      modeling_phase(state, refit);
+      state.result.times.modeling += timer.seconds();
+    }
+    {
+      common::Timer timer;
+      // evaluate_batch accounts its own time under `objective`; subtract it
+      // from the search bucket afterwards.
+      const double objective_before = state.result.times.objective;
+      if (options_.num_objectives == 1) {
+        search_phase_single(state);
+      } else {
+        search_phase_multi(state);
+      }
+      state.result.times.search +=
+          timer.seconds() -
+          (state.result.times.objective - objective_before);
+    }
+    ++state.iteration;
+  }
+  return state.result;
+}
+
+}  // namespace gptune::core

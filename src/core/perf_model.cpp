@@ -1,0 +1,48 @@
+#include "core/perf_model.hpp"
+
+#include <cassert>
+
+#include "linalg/qr.hpp"
+
+namespace gptune::core {
+
+LinearCombinationModel::LinearCombinationModel(
+    FeatureFn features, std::vector<double> initial_coefficients)
+    : features_(std::move(features)),
+      coefficients_(std::move(initial_coefficients)) {}
+
+std::vector<double> LinearCombinationModel::evaluate(
+    const TaskVector& task, const Config& config) const {
+  const auto f = features_(task, config);
+  assert(f.size() == coefficients_.size());
+  double s = 0.0;
+  for (std::size_t k = 0; k < f.size(); ++k) s += coefficients_[k] * f[k];
+  return {s};
+}
+
+void LinearCombinationModel::update(const std::vector<TaskVector>& tasks,
+                                    const std::vector<Config>& configs,
+                                    const std::vector<double>& objectives) {
+  assert(tasks.size() == configs.size() &&
+         configs.size() == objectives.size());
+  const std::size_t n = tasks.size();
+  const std::size_t k = coefficients_.size();
+  if (n < k) return;  // not enough data to refit
+
+  linalg::Matrix a(n, k);
+  linalg::Vector b(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto f = features_(tasks[r], configs[r]);
+    assert(f.size() == k);
+    for (std::size_t c = 0; c < k; ++c) a(r, c) = f[c];
+    b[r] = objectives[r];
+  }
+  // The coefficients are per-operation times, so non-negativity is physical.
+  linalg::Vector fit = linalg::nnls(a, b);
+  // Keep the previous coefficients if the fit degenerated to all-zero.
+  double sum = 0.0;
+  for (double v : fit) sum += v;
+  if (sum > 0.0) coefficients_ = std::move(fit);
+}
+
+}  // namespace gptune::core

@@ -1,0 +1,92 @@
+// Coarse performance models (paper §3.3).
+//
+// A performance model is an analytic estimate y~(t, x) of some feature of
+// the objective (flops, messages, volume, time). GPTune appends the model
+// values as extra GP input features: the enriched point is [x, y~(t, x)]
+// in a space of dimension beta + gamma-tilde, which lets the LCM exploit
+// the model's shape with far fewer samples.
+//
+// Models may carry their own hyperparameters (the t_flop/t_msg/t_vol
+// coefficients of Eq. 7); update() refits them from the observed samples
+// before each modeling phase, as §3.3 prescribes ("a bad hyperparameter
+// estimate will result in worse tuning performance").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/space.hpp"
+
+namespace gptune::core {
+
+using TaskVector = std::vector<double>;
+
+class PerformanceModel {
+ public:
+  virtual ~PerformanceModel() = default;
+
+  /// gamma-tilde: number of model outputs appended as GP features.
+  virtual std::size_t output_dim() const = 0;
+
+  /// Model estimates for (task, configuration).
+  virtual std::vector<double> evaluate(const TaskVector& task,
+                                       const Config& config) const = 0;
+
+  /// Refits internal hyperparameters from observed objective samples.
+  /// Default: stateless model, nothing to update.
+  virtual void update(const std::vector<TaskVector>& /*tasks*/,
+                      const std::vector<Config>& /*configs*/,
+                      const std::vector<double>& /*objectives*/) {}
+};
+
+/// A model of the form y~ = sum_k c_k * f_k(t, x) with non-negative
+/// coefficients c_k refit by NNLS against the observed objective in every
+/// update() — the generic machinery behind paper Eq. (7), where
+/// f = (C_flop, C_msg, C_vol) and c = (t_flop, t_msg, t_vol).
+class LinearCombinationModel : public PerformanceModel {
+ public:
+  using FeatureFn =
+      std::function<std::vector<double>(const TaskVector&, const Config&)>;
+
+  /// `features` returns the k feature values; `initial_coefficients` seeds
+  /// c before the first update (size must match the feature count).
+  LinearCombinationModel(FeatureFn features,
+                         std::vector<double> initial_coefficients);
+
+  std::size_t output_dim() const override { return 1; }
+
+  std::vector<double> evaluate(const TaskVector& task,
+                               const Config& config) const override;
+
+  void update(const std::vector<TaskVector>& tasks,
+              const std::vector<Config>& configs,
+              const std::vector<double>& objectives) override;
+
+  const std::vector<double>& coefficients() const { return coefficients_; }
+
+ private:
+  FeatureFn features_;
+  std::vector<double> coefficients_;
+};
+
+/// Wraps a plain callable as a stateless PerformanceModel.
+class CallableModel : public PerformanceModel {
+ public:
+  using Fn = std::function<std::vector<double>(const TaskVector&,
+                                               const Config&)>;
+  CallableModel(Fn fn, std::size_t output_dim)
+      : fn_(std::move(fn)), output_dim_(output_dim) {}
+
+  std::size_t output_dim() const override { return output_dim_; }
+  std::vector<double> evaluate(const TaskVector& task,
+                               const Config& config) const override {
+    return fn_(task, config);
+  }
+
+ private:
+  Fn fn_;
+  std::size_t output_dim_;
+};
+
+}  // namespace gptune::core

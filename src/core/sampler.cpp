@@ -1,0 +1,43 @@
+#include "core/sampler.hpp"
+
+namespace gptune::core {
+
+std::vector<opt::Point> latin_hypercube(std::size_t n, std::size_t dim,
+                                        common::Rng& rng) {
+  std::vector<opt::Point> points(n, opt::Point(dim));
+  for (std::size_t d = 0; d < dim; ++d) {
+    const auto perm = rng.permutation(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double cell = static_cast<double>(perm[i]);
+      points[i][d] = (cell + rng.uniform()) / static_cast<double>(n);
+    }
+  }
+  return points;
+}
+
+std::vector<opt::Point> uniform_design(std::size_t n, std::size_t dim,
+                                       common::Rng& rng) {
+  std::vector<opt::Point> points(n, opt::Point(dim));
+  for (auto& p : points) {
+    for (double& v : p) v = rng.uniform();
+  }
+  return points;
+}
+
+std::vector<Config> sample_initial_configs(const Space& space, std::size_t n,
+                                           common::Rng& rng,
+                                           InitialDesign design) {
+  const auto unit = design == InitialDesign::kLatinHypercube
+                        ? latin_hypercube(n, space.dim(), rng)
+                        : uniform_design(n, space.dim(), rng);
+  std::vector<Config> configs;
+  configs.reserve(n);
+  for (const auto& u : unit) {
+    Config c = space.denormalize(u);
+    if (!space.feasible(c)) c = space.sample_feasible(rng);
+    configs.push_back(std::move(c));
+  }
+  return configs;
+}
+
+}  // namespace gptune::core

@@ -1,0 +1,35 @@
+// Initial sampling designs for the MLA sampling phase (paper §3.1, phase 1).
+//
+// GPTune draws the epsilon_tot/2 initial configurations per task with Latin
+// hypercube sampling (its Python code uses lhsmdu); an LHS design stratifies
+// every dimension so few samples still cover the box. Constrained spaces are
+// handled by rejection against Space::feasible.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/space.hpp"
+#include "opt/problem.hpp"
+
+namespace gptune::core {
+
+/// `n` points in [0,1]^dim, one per row stratum per dimension (maximin-free
+/// plain LHS: each dimension's [0,1] is split into n cells, each cell used
+/// exactly once, position within a cell uniform).
+std::vector<opt::Point> latin_hypercube(std::size_t n, std::size_t dim,
+                                        common::Rng& rng);
+
+/// `n` i.i.d. uniform points in [0,1]^dim.
+std::vector<opt::Point> uniform_design(std::size_t n, std::size_t dim,
+                                       common::Rng& rng);
+
+enum class InitialDesign { kLatinHypercube, kUniform };
+
+/// `n` feasible concrete configurations of `space`. LHS points that violate
+/// constraints are replaced by feasible rejection samples, preserving count.
+std::vector<Config> sample_initial_configs(
+    const Space& space, std::size_t n, common::Rng& rng,
+    InitialDesign design = InitialDesign::kLatinHypercube);
+
+}  // namespace gptune::core

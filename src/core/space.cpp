@@ -1,0 +1,180 @@
+#include "core/space.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace gptune::core {
+
+Space& Space::add_real(std::string name, double lo, double hi,
+                       bool log_scale) {
+  if (!(lo < hi)) throw std::invalid_argument("add_real: need lo < hi");
+  if (log_scale && lo <= 0.0) {
+    throw std::invalid_argument("add_real: log scale needs lo > 0");
+  }
+  Parameter p;
+  p.name = std::move(name);
+  p.type = ParamType::kReal;
+  p.lo = lo;
+  p.hi = hi;
+  p.log_scale = log_scale;
+  params_.push_back(std::move(p));
+  return *this;
+}
+
+Space& Space::add_integer(std::string name, long lo, long hi,
+                          bool log_scale) {
+  if (!(lo <= hi)) throw std::invalid_argument("add_integer: need lo <= hi");
+  if (log_scale && lo <= 0) {
+    throw std::invalid_argument("add_integer: log scale needs lo > 0");
+  }
+  Parameter p;
+  p.name = std::move(name);
+  p.type = ParamType::kInteger;
+  p.lo = static_cast<double>(lo);
+  p.hi = static_cast<double>(hi);
+  p.log_scale = log_scale;
+  params_.push_back(std::move(p));
+  return *this;
+}
+
+Space& Space::add_categorical(std::string name,
+                              std::vector<std::string> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("add_categorical: need at least one value");
+  }
+  Parameter p;
+  p.name = std::move(name);
+  p.type = ParamType::kCategorical;
+  p.lo = 0.0;
+  p.hi = static_cast<double>(values.size() - 1);
+  p.categories = std::move(values);
+  params_.push_back(std::move(p));
+  return *this;
+}
+
+Space& Space::add_constraint(std::string name,
+                             std::function<bool(const Config&)> predicate) {
+  constraints_.push_back({std::move(name), std::move(predicate)});
+  return *this;
+}
+
+std::size_t Space::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i].name == name) return i;
+  }
+  return params_.size();
+}
+
+double Space::normalize_one(std::size_t i, double v) const {
+  const Parameter& p = params_[i];
+  switch (p.type) {
+    case ParamType::kCategorical: {
+      if (p.categories.size() == 1) return 0.5;
+      return std::clamp(v / (static_cast<double>(p.categories.size()) - 1.0),
+                        0.0, 1.0);
+    }
+    case ParamType::kReal:
+    case ParamType::kInteger: {
+      double lo = p.lo, hi = p.hi, x = v;
+      if (p.log_scale) {
+        lo = std::log(lo);
+        hi = std::log(hi);
+        x = std::log(std::max(v, p.lo));
+      }
+      if (hi - lo <= 0.0) return 0.5;
+      return std::clamp((x - lo) / (hi - lo), 0.0, 1.0);
+    }
+  }
+  return 0.0;
+}
+
+double Space::denormalize_one(std::size_t i, double u) const {
+  const Parameter& p = params_[i];
+  u = std::clamp(u, 0.0, 1.0);
+  switch (p.type) {
+    case ParamType::kCategorical: {
+      const double k = static_cast<double>(p.categories.size());
+      return std::min(std::floor(u * k), k - 1.0);
+    }
+    case ParamType::kReal: {
+      if (p.log_scale) {
+        return std::exp(std::log(p.lo) +
+                        u * (std::log(p.hi) - std::log(p.lo)));
+      }
+      return p.lo + u * (p.hi - p.lo);
+    }
+    case ParamType::kInteger: {
+      double v;
+      if (p.log_scale) {
+        v = std::exp(std::log(p.lo) + u * (std::log(p.hi) - std::log(p.lo)));
+      } else {
+        v = p.lo + u * (p.hi - p.lo);
+      }
+      return std::clamp(std::round(v), p.lo, p.hi);
+    }
+  }
+  return 0.0;
+}
+
+opt::Point Space::normalize(const Config& concrete) const {
+  assert(concrete.size() == dim());
+  opt::Point u(dim());
+  for (std::size_t i = 0; i < dim(); ++i) {
+    u[i] = normalize_one(i, concrete[i]);
+  }
+  return u;
+}
+
+Config Space::denormalize(const opt::Point& unit) const {
+  assert(unit.size() == dim());
+  Config c(dim());
+  for (std::size_t i = 0; i < dim(); ++i) {
+    c[i] = denormalize_one(i, unit[i]);
+  }
+  return c;
+}
+
+bool Space::feasible(const Config& concrete) const {
+  for (const auto& constraint : constraints_) {
+    if (!constraint.predicate(concrete)) return false;
+  }
+  return true;
+}
+
+Config Space::sample_feasible(common::Rng& rng,
+                              std::size_t max_attempts) const {
+  Config c(dim());
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    for (std::size_t i = 0; i < dim(); ++i) {
+      c[i] = denormalize_one(i, rng.uniform());
+    }
+    if (feasible(c)) return c;
+  }
+  return c;  // best effort: caller may re-check feasibility
+}
+
+std::string Space::format(const Config& concrete) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    if (i) os << ", ";
+    const Parameter& p = params_[i];
+    os << p.name << "=";
+    switch (p.type) {
+      case ParamType::kCategorical:
+        os << p.categories[static_cast<std::size_t>(concrete[i])];
+        break;
+      case ParamType::kInteger:
+        os << static_cast<long>(concrete[i]);
+        break;
+      case ParamType::kReal:
+        os << concrete[i];
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace gptune::core

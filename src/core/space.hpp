@@ -1,0 +1,88 @@
+// Parameter spaces (paper §2): the Task Parameter Input Space IS, the Tuning
+// Parameter Space PS, and the constraints between parameters.
+//
+// Each parameter is real, integer, or categorical (the paper's three types,
+// e.g. SuperLU_DIST's COLPERM). Concrete configurations are stored as
+// vectors of doubles (integers rounded, categoricals as indices); the GP
+// operates on a normalized [0,1]^beta encoding produced here. Constraints
+// (e.g. p_r <= p for acceptable process grids) are arbitrary predicates on
+// concrete values, checked at sampling/search time.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "opt/problem.hpp"
+
+namespace gptune::core {
+
+/// A concrete parameter assignment: one double per parameter
+/// (integers rounded, categoricals by index).
+using Config = std::vector<double>;
+
+enum class ParamType { kReal, kInteger, kCategorical };
+
+struct Parameter {
+  std::string name;
+  ParamType type = ParamType::kReal;
+  double lo = 0.0;                       ///< real/integer lower bound
+  double hi = 1.0;                       ///< real/integer upper bound
+  bool log_scale = false;                ///< normalize in log space
+  std::vector<std::string> categories;   ///< categorical labels
+
+  std::size_t num_categories() const { return categories.size(); }
+};
+
+/// Predicate over concrete configurations.
+struct Constraint {
+  std::string name;
+  std::function<bool(const Config&)> predicate;
+};
+
+/// An ordered set of parameters plus constraints; used for both task
+/// parameters (IS) and tuning parameters (PS).
+class Space {
+ public:
+  Space& add_real(std::string name, double lo, double hi,
+                  bool log_scale = false);
+  Space& add_integer(std::string name, long lo, long hi,
+                     bool log_scale = false);
+  Space& add_categorical(std::string name, std::vector<std::string> values);
+  Space& add_constraint(std::string name,
+                        std::function<bool(const Config&)> predicate);
+
+  std::size_t dim() const { return params_.size(); }
+  const Parameter& parameter(std::size_t i) const { return params_[i]; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  /// Index of the parameter with `name`; dim() if absent.
+  std::size_t index_of(const std::string& name) const;
+
+  /// Concrete -> unit box.
+  opt::Point normalize(const Config& concrete) const;
+
+  /// Unit box -> concrete (rounds integers, snaps categoricals).
+  Config denormalize(const opt::Point& unit) const;
+
+  /// All constraints satisfied?
+  bool feasible(const Config& concrete) const;
+
+  /// Uniform random *feasible* concrete configuration; at most
+  /// `max_attempts` rejections before returning the last draw regardless.
+  Config sample_feasible(common::Rng& rng,
+                         std::size_t max_attempts = 1000) const;
+
+  /// Human-readable rendering "name=value, ..." for logs and tables.
+  std::string format(const Config& concrete) const;
+
+ private:
+  double normalize_one(std::size_t i, double v) const;
+  double denormalize_one(std::size_t i, double u) const;
+
+  std::vector<Parameter> params_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace gptune::core

@@ -1,0 +1,113 @@
+#include "core/tla.hpp"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace gptune::core {
+
+namespace {
+
+/// Distinct task vectors in the archive with each one's best config.
+struct SourceTask {
+  TaskVector task;
+  Config best_config;
+  double best_value;
+};
+
+}  // namespace
+
+std::optional<Config> transfer_best_config(const HistoryDb& history,
+                                           const Space& task_space,
+                                           const Space& tuning_space,
+                                           const TaskVector& new_task,
+                                           const TlaOptions& options) {
+  // Group records by task vector (exact match keys the archive's tasks).
+  std::map<TaskVector, SourceTask> sources;
+  for (const auto& r : history.records()) {
+    if (r.task.size() != task_space.dim()) continue;
+    if (r.config.size() != tuning_space.dim()) continue;
+    if (options.objective_index >= r.objectives.size()) continue;
+    const double v = r.objectives[options.objective_index];
+    auto it = sources.find(r.task);
+    if (it == sources.end()) {
+      sources.emplace(r.task, SourceTask{r.task, r.config, v});
+    } else if (v < it->second.best_value) {
+      it->second.best_config = r.config;
+      it->second.best_value = v;
+    }
+  }
+  if (sources.empty()) return std::nullopt;
+
+  const opt::Point u_new = task_space.normalize(new_task);
+  const double h2 = options.bandwidth * options.bandwidth;
+
+  // Kernel weights per source task.
+  std::vector<const SourceTask*> tasks;
+  std::vector<double> weights;
+  double weight_sum = 0.0;
+  for (const auto& [key, src] : sources) {
+    const opt::Point u_src = task_space.normalize(src.task);
+    double dist2 = 0.0;
+    for (std::size_t k = 0; k < u_new.size(); ++k) {
+      const double diff = u_new[k] - u_src[k];
+      dist2 += diff * diff;
+    }
+    const double w = std::exp(-0.5 * dist2 / h2);
+    tasks.push_back(&src);
+    weights.push_back(w);
+    weight_sum += w;
+  }
+  if (weight_sum <= 0.0) {
+    // All sources are effectively infinitely far: fall back to the
+    // globally best archived configuration.
+    const SourceTask* best = tasks.front();
+    for (const auto* t : tasks) {
+      if (t->best_value < best->best_value) best = t;
+    }
+    return best->best_config;
+  }
+
+  // Blend per parameter: weighted mean in normalized coordinates for
+  // numeric parameters, weighted mode for categoricals.
+  opt::Point blended(tuning_space.dim(), 0.0);
+  for (std::size_t p = 0; p < tuning_space.dim(); ++p) {
+    if (tuning_space.parameter(p).type == ParamType::kCategorical) {
+      std::map<double, double> votes;
+      for (std::size_t s = 0; s < tasks.size(); ++s) {
+        votes[tasks[s]->best_config[p]] += weights[s];
+      }
+      double best_cat = 0.0, best_votes = -1.0;
+      for (const auto& [cat, v] : votes) {
+        if (v > best_votes) {
+          best_votes = v;
+          best_cat = cat;
+        }
+      }
+      // Represent the chosen category in normalized coordinates so the
+      // final denormalize maps it back exactly.
+      Config probe(tuning_space.dim(), 0.0);
+      probe[p] = best_cat;
+      blended[p] = tuning_space.normalize(probe)[p];
+    } else {
+      double acc = 0.0;
+      for (std::size_t s = 0; s < tasks.size(); ++s) {
+        acc += weights[s] *
+               tuning_space.normalize(tasks[s]->best_config)[p];
+      }
+      blended[p] = acc / weight_sum;
+    }
+  }
+  Config result = tuning_space.denormalize(blended);
+  if (!tuning_space.feasible(result)) {
+    // Nearest-source fallback keeps feasibility guarantees simple.
+    std::size_t nearest = 0;
+    for (std::size_t s = 1; s < weights.size(); ++s) {
+      if (weights[s] > weights[nearest]) nearest = s;
+    }
+    result = tasks[nearest]->best_config;
+  }
+  return result;
+}
+
+}  // namespace gptune::core

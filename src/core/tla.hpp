@@ -1,0 +1,40 @@
+// Transfer Learning Autotuning (TLA): propose a configuration for a task
+// that has never been evaluated, from archived results of related tasks.
+//
+// This is the GPTune software's companion feature to MLA (the paper's goal
+// 3 — reuse of tuning data — taken one step further): when an application
+// must run *now* on a new problem size, the archive of previously tuned
+// tasks is regressed to predict a good configuration with zero new
+// evaluations. The estimator is Nadaraya-Watson kernel regression over the
+// normalized task space: numeric tuning parameters are the kernel-weighted
+// mean of the per-source-task best configurations, categoricals the
+// kernel-weighted mode.
+#pragma once
+
+#include <optional>
+
+#include "core/history.hpp"
+#include "core/space.hpp"
+
+namespace gptune::core {
+
+struct TlaOptions {
+  /// Gaussian kernel bandwidth in normalized task space.
+  double bandwidth = 0.3;
+  /// Objective index defining "best" per source task.
+  std::size_t objective_index = 0;
+};
+
+/// Predicts a configuration for `new_task` from the archive.
+///
+/// `task_space` normalizes task vectors so distances are meaningful across
+/// task parameters of different scales. Source tasks are the distinct task
+/// vectors present in `history`. Returns nullopt if the archive contains
+/// no usable source task.
+std::optional<Config> transfer_best_config(const HistoryDb& history,
+                                           const Space& task_space,
+                                           const Space& tuning_space,
+                                           const TaskVector& new_task,
+                                           const TlaOptions& options = {});
+
+}  // namespace gptune::core

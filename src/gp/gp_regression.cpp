@@ -1,0 +1,191 @@
+#include "gp/gp_regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "gp/kernel.hpp"
+
+namespace gptune::gp {
+
+std::vector<double> GpHyperparameters::pack() const {
+  std::vector<double> theta;
+  theta.reserve(lengthscales.size() + 2);
+  for (double l : lengthscales) theta.push_back(std::log(l));
+  theta.push_back(std::log(signal_variance));
+  theta.push_back(std::log(noise_variance));
+  return theta;
+}
+
+GpHyperparameters GpHyperparameters::unpack(const std::vector<double>& theta,
+                                            std::size_t dim) {
+  GpHyperparameters hp;
+  hp.lengthscales.resize(dim);
+  for (std::size_t i = 0; i < dim; ++i) hp.lengthscales[i] = std::exp(theta[i]);
+  hp.signal_variance = std::exp(theta[dim]);
+  hp.noise_variance = std::exp(theta[dim + 1]);
+  return hp;
+}
+
+std::optional<double> GpRegression::lml_and_gradient(
+    const Matrix& x, const Vector& y, const std::vector<double>& theta,
+    std::vector<double>* grad) {
+  const std::size_t n = x.rows(), d = x.cols();
+  const GpHyperparameters hp = GpHyperparameters::unpack(theta, d);
+
+  const auto dist = squared_distance_per_dim(x);
+  Matrix kbase = se_ard_gram_from_distances(dist, hp.lengthscales);
+  Matrix k = kbase;
+  for (double& v : k.data()) v *= hp.signal_variance;
+  for (std::size_t i = 0; i < n; ++i) k(i, i) += hp.noise_variance;
+
+  auto factor = linalg::CholeskyFactor::factor(k);
+  if (!factor) return std::nullopt;
+
+  const Vector alpha = factor->solve(y);
+  const double lml = -0.5 * linalg::dot(y, alpha) - 0.5 * factor->log_det() -
+                     0.5 * static_cast<double>(n) *
+                         std::log(2.0 * std::numbers::pi);
+  if (!grad) return lml;
+
+  // M = alpha alpha^T - K^{-1}; dL/dtheta = 0.5 * sum_ij M_ij dK_ij/dtheta.
+  Matrix m = factor->inverse();
+  m *= -1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) += alpha[i] * alpha[j];
+  }
+
+  grad->assign(theta.size(), 0.0);
+  // d/dlog l_m: K_ij * D_m(i,j) / l_m^2 (with signal variance folded in).
+  for (std::size_t mdim = 0; mdim < d; ++mdim) {
+    const double inv_l2 =
+        1.0 / (hp.lengthscales[mdim] * hp.lengthscales[mdim]);
+    double s = 0.0;
+    const auto& dd = dist[mdim].data();
+    const auto& kb = kbase.data();
+    const auto& mm = m.data();
+    for (std::size_t idx = 0; idx < mm.size(); ++idx) {
+      s += mm[idx] * hp.signal_variance * kb[idx] * dd[idx] * inv_l2;
+    }
+    (*grad)[mdim] = 0.5 * s;
+  }
+  // d/dlog sf2: sf2 * kbase.
+  {
+    double s = 0.0;
+    const auto& kb = kbase.data();
+    const auto& mm = m.data();
+    for (std::size_t idx = 0; idx < mm.size(); ++idx) {
+      s += mm[idx] * hp.signal_variance * kb[idx];
+    }
+    (*grad)[d] = 0.5 * s;
+  }
+  // d/dlog sn2: sn2 * I.
+  {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += m(i, i) * hp.noise_variance;
+    (*grad)[d + 1] = 0.5 * s;
+  }
+  return lml;
+}
+
+std::optional<GpRegression> GpRegression::with_hyperparameters(
+    const Matrix& x, const Vector& y, const GpHyperparameters& hp) {
+  const std::size_t n = x.rows();
+  GpRegression gp;
+  gp.x_ = x;
+  gp.y_mean_ = 0.0;
+  for (double v : y) gp.y_mean_ += v;
+  gp.y_mean_ /= std::max<std::size_t>(1, n);
+  gp.y_ = y;
+  for (double& v : gp.y_) v -= gp.y_mean_;
+  gp.hp_ = hp;
+
+  Matrix k = se_ard_gram(x, hp.lengthscales);
+  for (double& v : k.data()) v *= hp.signal_variance;
+  for (std::size_t i = 0; i < n; ++i) k(i, i) += hp.noise_variance;
+  auto factor = linalg::CholeskyFactor::factor_with_jitter(k);
+  if (!factor) return std::nullopt;
+  gp.factor_ = std::move(*factor);
+  gp.alpha_ = gp.factor_.solve(gp.y_);
+  gp.lml_ = -0.5 * linalg::dot(gp.y_, gp.alpha_) - 0.5 * gp.factor_.log_det() -
+            0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
+  return gp;
+}
+
+std::optional<GpRegression> GpRegression::fit(const Matrix& x, const Vector& y,
+                                              const GpFitOptions& options) {
+  const std::size_t d = x.cols();
+  common::Rng rng(options.seed);
+
+  // Center y so the zero-mean prior is sensible; variance scales set the
+  // initial signal variance.
+  Vector yc = y;
+  double ymean = 0.0;
+  for (double v : yc) ymean += v;
+  ymean /= std::max<std::size_t>(1, yc.size());
+  for (double& v : yc) v -= ymean;
+  double yvar = 0.0;
+  for (double v : yc) yvar += v * v;
+  yvar = std::max(yvar / std::max<std::size_t>(1, yc.size()), 1e-12);
+
+  double best_lml = -std::numeric_limits<double>::infinity();
+  std::vector<double> best_theta;
+
+  for (std::size_t restart = 0; restart < options.num_restarts; ++restart) {
+    std::vector<double> theta0(d + 2);
+    for (std::size_t i = 0; i < d; ++i) {
+      theta0[i] = std::log(rng.uniform(0.1, 1.0));
+    }
+    theta0[d] = std::log(yvar * rng.uniform(0.5, 2.0));
+    theta0[d + 1] = std::log(std::max(1e-4 * yvar,
+                                      options.min_noise_variance));
+
+    auto objective = [&x, &yc, &options](const std::vector<double>& theta,
+                                         std::vector<double>& grad)
+        -> double {
+      // Clamp noise from below via the floor in unpack-space: the optimizer
+      // works on log values, so a hard bound is enforced by projection here.
+      std::vector<double> t = theta;
+      const double log_floor = std::log(options.min_noise_variance);
+      if (t.back() < log_floor) t.back() = log_floor;
+      auto lml = lml_and_gradient(x, yc, t, &grad);
+      if (!lml) {
+        grad.assign(theta.size(), 0.0);
+        return 1e10;  // infeasible region; push the optimizer away
+      }
+      for (double& g : grad) g = -g;
+      return -*lml;
+    };
+
+    auto result = opt::lbfgs_minimize(objective, theta0, options.lbfgs);
+    auto lml = lml_and_gradient(x, yc, result.x, nullptr);
+    if (lml && *lml > best_lml) {
+      best_lml = *lml;
+      best_theta = result.x;
+    }
+  }
+  if (best_theta.empty()) return std::nullopt;
+
+  GpHyperparameters hp = GpHyperparameters::unpack(best_theta, d);
+  hp.noise_variance = std::max(hp.noise_variance, options.min_noise_variance);
+  return with_hyperparameters(x, y, hp);
+}
+
+GpPrediction GpRegression::predict(const Vector& x_star) const {
+  const std::size_t n = x_.rows();
+  Vector k_star(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector xi(x_.cols());
+    for (std::size_t m = 0; m < x_.cols(); ++m) xi[m] = x_(i, m);
+    k_star[i] = hp_.signal_variance * se_ard(x_star, xi, hp_.lengthscales);
+  }
+  GpPrediction pred;
+  pred.mean = y_mean_ + linalg::dot(k_star, alpha_);
+  const Vector v = factor_.solve_lower(k_star);
+  pred.variance =
+      std::max(0.0, hp_.signal_variance - linalg::dot(v, v));
+  return pred;
+}
+
+}  // namespace gptune::gp

@@ -1,0 +1,93 @@
+#include "gp/kernel.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace gptune::gp {
+
+double se_ard(const Vector& x1, const Vector& x2,
+              const std::vector<double>& lengthscales) {
+  assert(x1.size() == x2.size() && x1.size() == lengthscales.size());
+  double s = 0.0;
+  for (std::size_t m = 0; m < x1.size(); ++m) {
+    const double d = x1[m] - x2[m];
+    s += d * d / (2.0 * lengthscales[m] * lengthscales[m]);
+  }
+  return std::exp(-s);
+}
+
+Matrix se_ard_gram(const Matrix& x, const std::vector<double>& lengthscales) {
+  const std::size_t n = x.rows(), d = x.cols();
+  assert(lengthscales.size() == d);
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      double s = 0.0;
+      const double* xi = x.row_ptr(i);
+      const double* xj = x.row_ptr(j);
+      for (std::size_t m = 0; m < d; ++m) {
+        const double diff = xi[m] - xj[m];
+        s += diff * diff / (2.0 * lengthscales[m] * lengthscales[m]);
+      }
+      const double v = std::exp(-s);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+Matrix se_ard_cross(const Matrix& x1, const Matrix& x2,
+                    const std::vector<double>& lengthscales) {
+  const std::size_t n1 = x1.rows(), n2 = x2.rows(), d = x1.cols();
+  assert(x2.cols() == d && lengthscales.size() == d);
+  Matrix k(n1, n2);
+  for (std::size_t i = 0; i < n1; ++i) {
+    const double* xi = x1.row_ptr(i);
+    for (std::size_t j = 0; j < n2; ++j) {
+      const double* xj = x2.row_ptr(j);
+      double s = 0.0;
+      for (std::size_t m = 0; m < d; ++m) {
+        const double diff = xi[m] - xj[m];
+        s += diff * diff / (2.0 * lengthscales[m] * lengthscales[m]);
+      }
+      k(i, j) = std::exp(-s);
+    }
+  }
+  return k;
+}
+
+std::vector<Matrix> squared_distance_per_dim(const Matrix& x) {
+  const std::size_t n = x.rows(), d = x.cols();
+  std::vector<Matrix> dist(d, Matrix(n, n, 0.0));
+  for (std::size_t m = 0; m < d; ++m) {
+    Matrix& dm = dist[m];
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        const double diff = x(i, m) - x(j, m);
+        const double v = diff * diff;
+        dm(i, j) = v;
+        dm(j, i) = v;
+      }
+    }
+  }
+  return dist;
+}
+
+Matrix se_ard_gram_from_distances(const std::vector<Matrix>& dist,
+                                  const std::vector<double>& lengthscales) {
+  assert(!dist.empty() && dist.size() == lengthscales.size());
+  const std::size_t n = dist[0].rows();
+  Matrix k(n, n, 0.0);
+  for (std::size_t m = 0; m < dist.size(); ++m) {
+    const double inv = 1.0 / (2.0 * lengthscales[m] * lengthscales[m]);
+    const auto& dm = dist[m].data();
+    auto& kd = k.data();
+    for (std::size_t idx = 0; idx < kd.size(); ++idx) kd[idx] += dm[idx] * inv;
+  }
+  for (double& v : k.data()) v = std::exp(-v);
+  return k;
+}
+
+}  // namespace gptune::gp

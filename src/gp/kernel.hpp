@@ -1,0 +1,35 @@
+// Squared-exponential kernel with automatic relevance determination (ARD):
+// the Gaussian kernel of paper Eq. (3),
+//   k(x, x') = sigma^2 exp( -sum_m (x_m - x'_m)^2 / (2 l_m^2) ).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace gptune::gp {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// k(x, x') with unit signal variance.
+double se_ard(const Vector& x1, const Vector& x2,
+              const std::vector<double>& lengthscales);
+
+/// Gram matrix K(X, X) with unit signal variance; X rows are points.
+Matrix se_ard_gram(const Matrix& x, const std::vector<double>& lengthscales);
+
+/// Cross matrix K(X1, X2) with unit signal variance.
+Matrix se_ard_cross(const Matrix& x1, const Matrix& x2,
+                    const std::vector<double>& lengthscales);
+
+/// Per-dimension squared-distance matrices D_m(i,j) = (x_i,m - x_j,m)^2.
+/// Precomputed once per fit; reused by every likelihood/gradient evaluation.
+std::vector<Matrix> squared_distance_per_dim(const Matrix& x);
+
+/// Gram matrix from precomputed distances:
+/// K(i,j) = exp(-sum_m D_m(i,j) / (2 l_m^2)).
+Matrix se_ard_gram_from_distances(const std::vector<Matrix>& dist,
+                                  const std::vector<double>& lengthscales);
+
+}  // namespace gptune::gp

@@ -1,0 +1,294 @@
+#include "gp/lcm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "gp/kernel.hpp"
+
+namespace gptune::gp {
+
+std::size_t MultiTaskData::total_samples() const {
+  std::size_t n = 0;
+  for (const auto& xi : x) n += xi.rows();
+  return n;
+}
+
+void MultiTaskData::flatten(Matrix* all_x, Vector* all_y,
+                            std::vector<std::size_t>* task_of) const {
+  const std::size_t n = total_samples();
+  const std::size_t d = dim();
+  *all_x = Matrix(n, d);
+  all_y->assign(n, 0.0);
+  task_of->assign(n, 0);
+  std::size_t row = 0;
+  for (std::size_t i = 0; i < num_tasks(); ++i) {
+    assert(x[i].rows() == y[i].size());
+    for (std::size_t j = 0; j < x[i].rows(); ++j, ++row) {
+      for (std::size_t m = 0; m < d; ++m) (*all_x)(row, m) = x[i](j, m);
+      (*all_y)[row] = y[i][j];
+      (*task_of)[row] = i;
+    }
+  }
+}
+
+namespace {
+
+/// Unpacked view of one latent process's parameters.
+struct LatentView {
+  std::vector<double> lengthscales;  // beta
+  std::vector<double> a;             // delta
+  std::vector<double> b;             // delta
+};
+
+struct UnpackedTheta {
+  std::vector<LatentView> latents;  // Q entries
+  std::vector<double> d;            // delta nuggets
+};
+
+UnpackedTheta unpack(const LcmShape& s, const std::vector<double>& theta) {
+  assert(theta.size() == s.num_hyperparameters());
+  UnpackedTheta u;
+  u.latents.resize(s.num_latent);
+  for (std::size_t q = 0; q < s.num_latent; ++q) {
+    auto& lv = u.latents[q];
+    lv.lengthscales.resize(s.dim);
+    for (std::size_t m = 0; m < s.dim; ++m) {
+      lv.lengthscales[m] = std::exp(theta[s.idx_log_l(q, m)]);
+    }
+    lv.a.resize(s.num_tasks);
+    lv.b.resize(s.num_tasks);
+    for (std::size_t i = 0; i < s.num_tasks; ++i) {
+      lv.a[i] = theta[s.idx_a(q, i)];
+      lv.b[i] = std::exp(theta[s.idx_log_b(q, i)]);
+    }
+  }
+  u.d.resize(s.num_tasks);
+  for (std::size_t i = 0; i < s.num_tasks; ++i) {
+    u.d[i] = std::exp(theta[s.idx_log_d(i)]);
+  }
+  return u;
+}
+
+}  // namespace
+
+Matrix lcm_covariance(const LcmShape& shape, const std::vector<double>& theta,
+                      const Matrix& all_x,
+                      const std::vector<std::size_t>& task_of) {
+  const std::size_t n = all_x.rows();
+  const UnpackedTheta u = unpack(shape, theta);
+  Matrix k(n, n, 0.0);
+  for (std::size_t q = 0; q < shape.num_latent; ++q) {
+    const auto& lv = u.latents[q];
+    const Matrix gq = se_ard_gram(all_x, lv.lengthscales);
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::size_t ti = task_of[p];
+      for (std::size_t r = 0; r < n; ++r) {
+        const std::size_t tj = task_of[r];
+        double w = lv.a[ti] * lv.a[tj];
+        if (ti == tj) w += lv.b[ti];
+        k(p, r) += w * gq(p, r);
+      }
+    }
+  }
+  for (std::size_t p = 0; p < n; ++p) k(p, p) += u.d[task_of[p]];
+  return k;
+}
+
+std::optional<double> lcm_lml(const LcmShape& shape,
+                              const std::vector<double>& theta,
+                              const Matrix& all_x, const Vector& all_y,
+                              const std::vector<std::size_t>& task_of,
+                              std::vector<double>* grad,
+                              const linalg::TaskBatchRunner& runner) {
+  const std::size_t n = all_x.rows();
+  const std::size_t q_count = shape.num_latent;
+  const UnpackedTheta u = unpack(shape, theta);
+
+  // Per-dimension squared distances, reused by every latent kernel and by
+  // the lengthscale gradients.
+  const auto dist = squared_distance_per_dim(all_x);
+
+  // Per-latent Gram matrices G_q (unit variance).
+  std::vector<Matrix> g(q_count);
+  for (std::size_t q = 0; q < q_count; ++q) {
+    g[q] = se_ard_gram_from_distances(dist, u.latents[q].lengthscales);
+  }
+
+  // Assemble K.
+  Matrix k(n, n, 0.0);
+  for (std::size_t q = 0; q < q_count; ++q) {
+    const auto& lv = u.latents[q];
+    const auto& gq = g[q];
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::size_t ti = task_of[p];
+      double* krow = k.row_ptr(p);
+      const double* grow = gq.row_ptr(p);
+      for (std::size_t r = 0; r < n; ++r) {
+        const std::size_t tj = task_of[r];
+        double w = lv.a[ti] * lv.a[tj];
+        if (ti == tj) w += lv.b[ti];
+        krow[r] += w * grow[r];
+      }
+    }
+  }
+  for (std::size_t p = 0; p < n; ++p) k(p, p) += u.d[task_of[p]];
+
+  // Factor (parallel blocked path when a runner with workers is supplied).
+  std::optional<linalg::CholeskyFactor> factor;
+  {
+    auto blocked = linalg::blocked_cholesky(k, 128, runner);
+    if (blocked) {
+      factor = std::move(blocked);
+    } else {
+      // Fall back to jittered factorization for near-singular K.
+      factor = linalg::CholeskyFactor::factor_with_jitter(k);
+      if (!factor) return std::nullopt;
+    }
+  }
+
+  const Vector alpha = factor->solve(all_y);
+  const double lml = -0.5 * linalg::dot(all_y, alpha) -
+                     0.5 * factor->log_det() -
+                     0.5 * static_cast<double>(n) *
+                         std::log(2.0 * std::numbers::pi);
+  if (!grad) return lml;
+
+  // M = alpha alpha^T - K^{-1}.
+  Matrix m = factor->inverse();
+  m *= -1.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    double* mrow = m.row_ptr(p);
+    const double ap = alpha[p];
+    for (std::size_t r = 0; r < n; ++r) mrow[r] += ap * alpha[r];
+  }
+
+  grad->assign(theta.size(), 0.0);
+
+  for (std::size_t q = 0; q < q_count; ++q) {
+    const auto& lv = u.latents[q];
+    const auto& gq = g[q];
+
+    // Element-wise H = M .* G_q, plus W_q weighting where needed.
+    // d/dlog l^q_m needs sum over (p,r) of M*W*G*dist_m / l^2.
+    std::vector<double> dlogl(shape.dim, 0.0);
+    // d/da_{i,q} = sum_{p in task i, r} M(p,r) a_{tau(r),q} G(p,r).
+    std::vector<double> da(shape.num_tasks, 0.0);
+    // d/dlog b_{i,q} = 0.5 b_i sum_{p,r in task i} M(p,r) G(p,r).
+    std::vector<double> db(shape.num_tasks, 0.0);
+
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::size_t ti = task_of[p];
+      const double* mrow = m.row_ptr(p);
+      const double* grow = gq.row_ptr(p);
+      for (std::size_t r = 0; r < n; ++r) {
+        const std::size_t tj = task_of[r];
+        const double mg = mrow[r] * grow[r];
+        double w = lv.a[ti] * lv.a[tj];
+        if (ti == tj) {
+          w += lv.b[ti];
+          db[ti] += mg;
+        }
+        da[ti] += mg * lv.a[tj];
+        const double mwg = mg * w;
+        for (std::size_t dim_m = 0; dim_m < shape.dim; ++dim_m) {
+          dlogl[dim_m] += mwg * dist[dim_m](p, r);
+        }
+      }
+    }
+    for (std::size_t dim_m = 0; dim_m < shape.dim; ++dim_m) {
+      const double l = lv.lengthscales[dim_m];
+      (*grad)[shape.idx_log_l(q, dim_m)] = 0.5 * dlogl[dim_m] / (l * l);
+    }
+    for (std::size_t i = 0; i < shape.num_tasks; ++i) {
+      (*grad)[shape.idx_a(q, i)] = da[i];
+      (*grad)[shape.idx_log_b(q, i)] = 0.5 * lv.b[i] * db[i];
+    }
+  }
+  for (std::size_t p = 0; p < n; ++p) {
+    (*grad)[shape.idx_log_d(task_of[p])] += 0.5 * u.d[task_of[p]] * m(p, p);
+  }
+  return lml;
+}
+
+std::optional<LcmModel> LcmModel::build(const MultiTaskData& data,
+                                        const LcmShape& shape,
+                                        std::vector<double> theta) {
+  LcmModel model;
+  model.shape_ = shape;
+  model.theta_ = std::move(theta);
+
+  // Standardize y per task.
+  const std::size_t delta = data.num_tasks();
+  model.y_mean_.resize(delta);
+  model.y_scale_.resize(delta);
+  MultiTaskData standardized = data;
+  for (std::size_t i = 0; i < delta; ++i) {
+    double mu = 0.0;
+    for (double v : data.y[i]) mu += v;
+    mu /= std::max<std::size_t>(1, data.y[i].size());
+    double var = 0.0;
+    for (double v : data.y[i]) var += (v - mu) * (v - mu);
+    var /= std::max<std::size_t>(1, data.y[i].size());
+    const double scale = var > 1e-20 ? std::sqrt(var) : 1.0;
+    model.y_mean_[i] = mu;
+    model.y_scale_[i] = scale;
+    for (double& v : standardized.y[i]) v = (v - mu) / scale;
+  }
+
+  Vector all_y;
+  standardized.flatten(&model.all_x_, &all_y, &model.task_of_);
+
+  const Matrix k =
+      lcm_covariance(shape, model.theta_, model.all_x_, model.task_of_);
+  auto factor = linalg::CholeskyFactor::factor_with_jitter(k);
+  if (!factor) return std::nullopt;
+  model.factor_ = std::move(*factor);
+  model.alpha_ = model.factor_.solve(all_y);
+  model.lml_ = -0.5 * linalg::dot(all_y, model.alpha_) -
+               0.5 * model.factor_.log_det() -
+               0.5 * static_cast<double>(all_y.size()) *
+                   std::log(2.0 * std::numbers::pi);
+  return model;
+}
+
+LcmModel::Prediction LcmModel::predict(std::size_t task,
+                                       const Vector& x_star) const {
+  assert(task < shape_.num_tasks);
+  const std::size_t n = all_x_.rows();
+  const UnpackedTheta u = unpack(shape_, theta_);
+
+  Vector k_star(n, 0.0);
+  Vector xi(shape_.dim);
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t m = 0; m < shape_.dim; ++m) xi[m] = all_x_(p, m);
+    const std::size_t tj = task_of_[p];
+    double v = 0.0;
+    for (std::size_t q = 0; q < shape_.num_latent; ++q) {
+      const auto& lv = u.latents[q];
+      double w = lv.a[task] * lv.a[tj];
+      if (task == tj) w += lv.b[task];
+      if (w != 0.0) v += w * se_ard(x_star, xi, lv.lengthscales);
+    }
+    k_star[p] = v;
+  }
+
+  double prior = 0.0;
+  for (std::size_t q = 0; q < shape_.num_latent; ++q) {
+    const auto& lv = u.latents[q];
+    prior += lv.a[task] * lv.a[task] + lv.b[task];
+  }
+
+  Prediction pred;
+  const double std_mean = linalg::dot(k_star, alpha_);
+  const Vector v = factor_.solve_lower(k_star);
+  const double std_var = std::max(0.0, prior - linalg::dot(v, v));
+
+  // Back to original units.
+  pred.mean = y_mean_[task] + y_scale_[task] * std_mean;
+  pred.variance = y_scale_[task] * y_scale_[task] * std_var;
+  return pred;
+}
+
+}  // namespace gptune::gp

@@ -1,0 +1,215 @@
+#include "gp/trainer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <mutex>
+
+#include "common/log.hpp"
+#include "runtime/comm.hpp"
+
+namespace gptune::gp {
+
+std::vector<double> random_lcm_theta(const LcmShape& shape,
+                                     common::Rng& rng) {
+  std::vector<double> theta(shape.num_hyperparameters());
+  const double a_scale =
+      1.0 / std::sqrt(static_cast<double>(shape.num_latent));
+  for (std::size_t q = 0; q < shape.num_latent; ++q) {
+    for (std::size_t m = 0; m < shape.dim; ++m) {
+      theta[shape.idx_log_l(q, m)] = std::log(rng.uniform(0.1, 1.0));
+    }
+    for (std::size_t i = 0; i < shape.num_tasks; ++i) {
+      theta[shape.idx_a(q, i)] = rng.normal(0.0, a_scale);
+      theta[shape.idx_log_b(q, i)] = std::log(rng.uniform(0.01, 0.1));
+    }
+  }
+  for (std::size_t i = 0; i < shape.num_tasks; ++i) {
+    theta[shape.idx_log_d(i)] = std::log(rng.uniform(1e-4, 1e-2));
+  }
+  return theta;
+}
+
+namespace {
+
+struct RestartOutcome {
+  std::vector<double> theta;
+  double lml = -std::numeric_limits<double>::infinity();
+  std::size_t evaluations = 0;
+  bool ok = false;
+};
+
+RestartOutcome run_restart(const LcmShape& shape, const Matrix& all_x,
+                           const Vector& all_y,
+                           const std::vector<std::size_t>& task_of,
+                           const std::vector<double>& theta0,
+                           std::size_t max_iterations) {
+  RestartOutcome out;
+  // Clamp log-space parameters into sane boxes to keep the covariance well
+  // conditioned: lengthscales in [1e-3, 1e3], b in [1e-8, 1e3],
+  // d in [1e-8, 1e2].
+  auto project = [&shape](std::vector<double> t) {
+    auto clamp = [](double v, double lo, double hi) {
+      return std::min(std::max(v, lo), hi);
+    };
+    for (std::size_t q = 0; q < shape.num_latent; ++q) {
+      for (std::size_t m = 0; m < shape.dim; ++m) {
+        auto& v = t[shape.idx_log_l(q, m)];
+        v = clamp(v, std::log(1e-3), std::log(1e3));
+      }
+      for (std::size_t i = 0; i < shape.num_tasks; ++i) {
+        auto& vb = t[shape.idx_log_b(q, i)];
+        vb = clamp(vb, std::log(1e-8), std::log(1e3));
+        auto& va = t[shape.idx_a(q, i)];
+        va = clamp(va, -1e3, 1e3);
+      }
+    }
+    for (std::size_t i = 0; i < shape.num_tasks; ++i) {
+      auto& v = t[shape.idx_log_d(i)];
+      v = clamp(v, std::log(1e-8), std::log(1e2));
+    }
+    return t;
+  };
+
+  std::size_t evals = 0;
+  auto objective = [&](const std::vector<double>& theta,
+                       std::vector<double>& grad) -> double {
+    ++evals;
+    const auto t = project(theta);
+    auto lml = lcm_lml(shape, t, all_x, all_y, task_of, &grad);
+    if (!lml || !std::isfinite(*lml)) {
+      grad.assign(theta.size(), 0.0);
+      return 1e10;
+    }
+    for (double& g : grad) g = -g;
+    return -*lml;
+  };
+
+  opt::LbfgsOptions lopt;
+  lopt.max_iterations = max_iterations;
+  lopt.gradient_tolerance = 1e-4;
+  // Each objective evaluation factors the full covariance; keep the
+  // line search short rather than exact (weak-Wolfe acceptance is fine
+  // for a multi-start outer loop).
+  lopt.max_line_search_steps = 8;
+  auto result = opt::lbfgs_minimize(objective, theta0, lopt);
+  out.evaluations = evals;
+
+  const auto final_theta = project(result.x);
+  auto lml = lcm_lml(shape, final_theta, all_x, all_y, task_of, nullptr);
+  if (lml && std::isfinite(*lml)) {
+    out.theta = final_theta;
+    out.lml = *lml;
+    out.ok = true;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<LcmModel> fit_lcm(const MultiTaskData& data,
+                                const LcmFitOptions& options,
+                                LcmFitStats* stats) {
+  LcmShape shape;
+  shape.num_tasks = data.num_tasks();
+  shape.dim = data.dim();
+  shape.num_latent = options.num_latent > 0
+                         ? options.num_latent
+                         : std::min<std::size_t>(shape.num_tasks, 3);
+
+  // Standardize per task exactly as LcmModel::build does, so the likelihood
+  // optimized here matches the posterior built there.
+  MultiTaskData standardized = data;
+  for (std::size_t i = 0; i < data.num_tasks(); ++i) {
+    double mu = 0.0;
+    for (double v : data.y[i]) mu += v;
+    mu /= std::max<std::size_t>(1, data.y[i].size());
+    double var = 0.0;
+    for (double v : data.y[i]) var += (v - mu) * (v - mu);
+    var /= std::max<std::size_t>(1, data.y[i].size());
+    const double scale = var > 1e-20 ? std::sqrt(var) : 1.0;
+    for (double& v : standardized.y[i]) v = (v - mu) / scale;
+  }
+  Matrix all_x;
+  Vector all_y;
+  std::vector<std::size_t> task_of;
+  standardized.flatten(&all_x, &all_y, &task_of);
+
+  // Build the restart list: warm start first (if usable), then random draws.
+  common::Rng rng(options.seed);
+  std::vector<std::vector<double>> starts;
+  if (options.warm_start.size() == shape.num_hyperparameters()) {
+    starts.push_back(options.warm_start);
+  }
+  while (starts.size() < std::max<std::size_t>(1, options.num_restarts)) {
+    starts.push_back(random_lcm_theta(shape, rng));
+  }
+
+  std::vector<RestartOutcome> outcomes(starts.size());
+  const std::size_t workers =
+      std::min(std::max<std::size_t>(1, options.num_workers), starts.size());
+  if (workers == 1) {
+    for (std::size_t s = 0; s < starts.size(); ++s) {
+      outcomes[s] = run_restart(shape, all_x, all_y, task_of, starts[s],
+                                options.max_lbfgs_iterations);
+    }
+  } else {
+    // Distribute restarts over spawned worker ranks (paper Fig. 1). Results
+    // return to the master through the inter-communicator: each worker
+    // sends one message per restart tagged by restart index, payload
+    // [lml, ok, evaluations, theta...].
+    rt::World::run(1, [&](rt::Comm& master) {
+      auto handle = master.spawn(
+          workers, [&](rt::Comm& worker, rt::InterComm& parent) {
+            for (std::size_t s = worker.rank(); s < starts.size();
+                 s += worker.size()) {
+              RestartOutcome out =
+                  run_restart(shape, all_x, all_y, task_of, starts[s],
+                              options.max_lbfgs_iterations);
+              std::vector<double> payload;
+              payload.push_back(out.lml);
+              payload.push_back(out.ok ? 1.0 : 0.0);
+              payload.push_back(static_cast<double>(out.evaluations));
+              payload.insert(payload.end(), out.theta.begin(),
+                             out.theta.end());
+              parent.send(0, static_cast<int>(s), std::move(payload));
+            }
+          });
+      for (std::size_t received = 0; received < starts.size(); ++received) {
+        rt::Message msg = handle.comm().recv();
+        RestartOutcome& out = outcomes[static_cast<std::size_t>(msg.tag)];
+        out.lml = msg.data[0];
+        out.ok = msg.data[1] > 0.5;
+        out.evaluations = static_cast<std::size_t>(msg.data[2]);
+        out.theta.assign(msg.data.begin() + 3, msg.data.end());
+      }
+      handle.join();
+    });
+  }
+
+  const RestartOutcome* best = nullptr;
+  std::size_t failed = 0;
+  std::size_t total_evals = 0;
+  for (const auto& out : outcomes) {
+    total_evals += out.evaluations;
+    if (!out.ok) {
+      ++failed;
+      continue;
+    }
+    if (!best || out.lml > best->lml) best = &out;
+  }
+  if (stats) {
+    stats->restarts_attempted = outcomes.size();
+    stats->restarts_failed = failed;
+    stats->total_lbfgs_evaluations = total_evals;
+    stats->best_lml = best ? best->lml : 0.0;
+  }
+  if (!best) {
+    common::log_warn("fit_lcm: all ", outcomes.size(), " restarts failed");
+    return std::nullopt;
+  }
+  return LcmModel::build(data, shape, best->theta);
+}
+
+}  // namespace gptune::gp

@@ -1,0 +1,50 @@
+// Multi-start hyperparameter training for the LCM model (paper §4.3).
+//
+// The modeling phase runs n_start L-BFGS searches from random initial
+// hyperparameters and keeps the best log-likelihood. Mirroring GPTune's MPI
+// design, the restarts are distributed over spawned worker ranks (paper
+// Fig. 1): the master spawns a group, each worker optimizes its share of
+// restarts, and (theta, lml) pairs flow back over the inter-communicator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "gp/lcm.hpp"
+#include "opt/lbfgs.hpp"
+
+namespace gptune::gp {
+
+struct LcmFitOptions {
+  std::size_t num_latent = 0;     ///< Q; 0 means min(num_tasks, 3)
+  std::size_t num_restarts = 2;   ///< n_start in the paper
+  std::size_t max_lbfgs_iterations = 40;
+  std::uint64_t seed = 7;
+  /// Worker ranks to spawn for the restarts; 1 runs in the master.
+  std::size_t num_workers = 1;
+  /// Hyperparameters of a previous fit to warm-start the first restart
+  /// (the MLA loop refits after every new sample; warm starting makes the
+  /// refits cheap). Ignored if the size does not match.
+  std::vector<double> warm_start;
+};
+
+struct LcmFitStats {
+  double best_lml = 0.0;
+  std::size_t restarts_attempted = 0;
+  std::size_t restarts_failed = 0;
+  std::size_t total_lbfgs_evaluations = 0;
+};
+
+/// Fits the LCM hyperparameters on `data` and builds the posterior model.
+/// Returns nullopt if every restart fails to produce a factorizable model.
+std::optional<LcmModel> fit_lcm(const MultiTaskData& data,
+                                const LcmFitOptions& options,
+                                LcmFitStats* stats = nullptr);
+
+/// Draws a random initial hyperparameter vector appropriate for per-task
+/// standardized outputs (unit variance). Exposed for tests and benches.
+std::vector<double> random_lcm_theta(const LcmShape& shape,
+                                     common::Rng& rng);
+
+}  // namespace gptune::gp

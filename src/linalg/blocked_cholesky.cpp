@@ -1,0 +1,121 @@
+#include "linalg/blocked_cholesky.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <cmath>
+
+namespace gptune::linalg {
+
+TaskBatchRunner serial_runner() {
+  return [](std::vector<std::function<void()>>&& tasks) {
+    for (auto& t : tasks) t();
+  };
+}
+
+namespace {
+
+// Solves X * L_kk^T = A_ik for the panel tile in place:
+// row i of the factor, column block k. A_ik is nr x nb, L_kk is nb x nb lower.
+void trsm_tile(Matrix& a, std::size_t i0, std::size_t k0, std::size_t nr,
+               std::size_t nb) {
+  for (std::size_t r = 0; r < nr; ++r) {
+    double* arow = a.row_ptr(i0 + r) + k0;
+    for (std::size_t c = 0; c < nb; ++c) {
+      double s = arow[c];
+      const double* lrow = a.row_ptr(k0 + c) + k0;
+      for (std::size_t k = 0; k < c; ++k) s -= arow[k] * lrow[k];
+      arow[c] = s / lrow[c];
+    }
+  }
+}
+
+// A_ij -= L_ik * L_jk^T for trailing tiles (i >= j in the lower triangle).
+void update_tile(Matrix& a, std::size_t i0, std::size_t j0, std::size_t k0,
+                 std::size_t ni, std::size_t nj, std::size_t nb) {
+  for (std::size_t r = 0; r < ni; ++r) {
+    const double* li = a.row_ptr(i0 + r) + k0;
+    double* arow = a.row_ptr(i0 + r) + j0;
+    // When i0 == j0 only the lower part of the diagonal tile is needed,
+    // but computing the full tile keeps the kernel branch-free; the upper
+    // triangle is discarded by the final POTRF pass.
+    for (std::size_t c = 0; c < nj; ++c) {
+      const double* lj = a.row_ptr(j0 + c) + k0;
+      double s = 0.0;
+      for (std::size_t k = 0; k < nb; ++k) s += li[k] * lj[k];
+      arow[c] -= s;
+    }
+  }
+}
+
+// Unblocked Cholesky of the nb x nb diagonal tile at (k0, k0).
+bool potrf_tile(Matrix& a, std::size_t k0, std::size_t nb) {
+  for (std::size_t j = 0; j < nb; ++j) {
+    double* lj = a.row_ptr(k0 + j) + k0;
+    double d = lj[j];
+    for (std::size_t k = 0; k < j; ++k) d -= lj[k] * lj[k];
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    lj[j] = std::sqrt(d);
+    const double inv = 1.0 / lj[j];
+    for (std::size_t i = j + 1; i < nb; ++i) {
+      double* li = a.row_ptr(k0 + i) + k0;
+      double s = li[j];
+      for (std::size_t k = 0; k < j; ++k) s -= li[k] * lj[k];
+      li[j] = s * inv;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<CholeskyFactor> blocked_cholesky(const Matrix& a,
+                                               std::size_t block_size,
+                                               const TaskBatchRunner& runner) {
+  const std::size_t n = a.rows();
+  assert(a.cols() == n);
+  if (block_size == 0) block_size = 64;
+  Matrix l = a;
+
+  for (std::size_t k0 = 0; k0 < n; k0 += block_size) {
+    const std::size_t nb = std::min(block_size, n - k0);
+    if (!potrf_tile(l, k0, nb)) return std::nullopt;
+
+    // Panel: all row tiles below the diagonal tile are independent.
+    {
+      std::vector<std::function<void()>> tasks;
+      for (std::size_t i0 = k0 + nb; i0 < n; i0 += block_size) {
+        const std::size_t ni = std::min(block_size, n - i0);
+        tasks.push_back([&l, i0, k0, ni, nb] { trsm_tile(l, i0, k0, ni, nb); });
+      }
+      if (!tasks.empty()) runner(std::move(tasks));
+    }
+
+    // Trailing update: all (i, j) tile pairs with i >= j are independent.
+    {
+      std::vector<std::function<void()>> tasks;
+      for (std::size_t j0 = k0 + nb; j0 < n; j0 += block_size) {
+        const std::size_t nj = std::min(block_size, n - j0);
+        for (std::size_t i0 = j0; i0 < n; i0 += block_size) {
+          const std::size_t ni = std::min(block_size, n - i0);
+          tasks.push_back([&l, i0, j0, k0, ni, nj, nb] {
+            update_tile(l, i0, j0, k0, ni, nj, nb);
+          });
+        }
+      }
+      if (!tasks.empty()) runner(std::move(tasks));
+    }
+  }
+
+  // Zero the strictly upper triangle.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) l(i, j) = 0.0;
+  }
+  return CholeskyFactor::from_lower(std::move(l));
+}
+
+double cholesky_flops(std::size_t n) {
+  const double nd = static_cast<double>(n);
+  return nd * nd * nd / 3.0;
+}
+
+}  // namespace gptune::linalg

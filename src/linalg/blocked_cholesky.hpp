@@ -1,0 +1,41 @@
+// Blocked right-looking Cholesky with pluggable parallel execution.
+//
+// This plays the role ScaLAPACK plays inside GPTune's modeling phase: the
+// delta*epsilon covariance matrix is factored in tiles, and the independent
+// tile updates of each step are handed to an executor that may run them on
+// worker ranks (see runtime/). The algorithm is the textbook right-looking
+// variant: POTRF on the diagonal tile, TRSM down the panel, SYRK/GEMM on the
+// trailing submatrix.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+
+namespace gptune::linalg {
+
+/// Runs a batch of independent tasks to completion (order irrelevant).
+/// The serial default just invokes them in sequence; runtime/ provides a
+/// worker-pool implementation.
+using TaskBatchRunner =
+    std::function<void(std::vector<std::function<void()>>&&)>;
+
+/// Executes every task in the calling thread.
+TaskBatchRunner serial_runner();
+
+/// Factors symmetric positive definite `a` into the lower-triangular L
+/// (returned via CholeskyFactor) using tiles of `block_size`, dispatching
+/// the independent updates of each step through `runner`.
+/// Returns nullopt on a non-positive pivot.
+std::optional<CholeskyFactor> blocked_cholesky(
+    const Matrix& a, std::size_t block_size,
+    const TaskBatchRunner& runner = serial_runner());
+
+/// Flop count of an n x n Cholesky (n^3/3 leading order), used by the
+/// virtual-clock speedup study to charge simulated time per tile.
+double cholesky_flops(std::size_t n);
+
+}  // namespace gptune::linalg

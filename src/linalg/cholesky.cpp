@@ -1,0 +1,138 @@
+#include "linalg/cholesky.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace gptune::linalg {
+
+bool cholesky_in_place(Matrix& a) {
+  const std::size_t n = a.rows();
+  assert(a.cols() == n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    const double* lj = a.row_ptr(j);
+    for (std::size_t k = 0; k < j; ++k) d -= lj[k] * lj[k];
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    a(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      const double* li = a.row_ptr(i);
+      for (std::size_t k = 0; k < j; ++k) s -= li[k] * lj[k];
+      a(i, j) = s * inv;
+    }
+  }
+  // Zero the strictly upper triangle so lower() is a clean factor.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) a(i, j) = 0.0;
+  }
+  return true;
+}
+
+std::optional<CholeskyFactor> CholeskyFactor::factor(const Matrix& a) {
+  Matrix l = a;
+  if (!cholesky_in_place(l)) return std::nullopt;
+  return CholeskyFactor(std::move(l));
+}
+
+std::optional<CholeskyFactor> CholeskyFactor::factor_with_jitter(
+    const Matrix& a, double initial_jitter, double max_jitter,
+    double* applied_jitter) {
+  if (auto f = factor(a)) {
+    if (applied_jitter) *applied_jitter = 0.0;
+    return f;
+  }
+  for (double jitter = initial_jitter; jitter <= max_jitter; jitter *= 10.0) {
+    Matrix b = a;
+    for (std::size_t i = 0; i < b.rows(); ++i) b(i, i) += jitter;
+    if (auto f = factor(b)) {
+      if (applied_jitter) *applied_jitter = jitter;
+      return f;
+    }
+  }
+  return std::nullopt;
+}
+
+Vector CholeskyFactor::solve_lower(const Vector& b) const {
+  const std::size_t n = size();
+  assert(b.size() == n);
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    const double* li = l_.row_ptr(i);
+    for (std::size_t k = 0; k < i; ++k) s -= li[k] * x[k];
+    x[i] = s / li[i];
+  }
+  return x;
+}
+
+Vector CholeskyFactor::solve_lower_transposed(const Vector& b) const {
+  const std::size_t n = size();
+  assert(b.size() == n);
+  Vector x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double s = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= l_(k, i) * x[k];
+    x[i] = s / l_(i, i);
+  }
+  return x;
+}
+
+Vector CholeskyFactor::solve(const Vector& b) const {
+  return solve_lower_transposed(solve_lower(b));
+}
+
+Matrix CholeskyFactor::solve(const Matrix& b) const {
+  const std::size_t n = size();
+  assert(b.rows() == n);
+  Matrix x(n, b.cols());
+  Vector col(n);
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < n; ++r) col[r] = b(r, c);
+    Vector sol = solve(col);
+    for (std::size_t r = 0; r < n; ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+double CholeskyFactor::log_det() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+Matrix CholeskyFactor::inverse() const {
+  const std::size_t n = size();
+  // Invert L, storing the transpose so both phases stream rows:
+  // linvt(c, i) = (L^{-1})(i, c). Row c of linvt is column c of L^{-1},
+  // contiguous in k for the substitution's inner dot product.
+  Matrix linvt(n, n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    double* lc = linvt.row_ptr(c);
+    lc[c] = 1.0 / l_(c, c);
+    for (std::size_t i = c + 1; i < n; ++i) {
+      const double* li = l_.row_ptr(i);
+      double s = 0.0;
+      for (std::size_t k = c; k < i; ++k) s -= li[k] * lc[k];
+      lc[i] = s / li[i];
+    }
+  }
+  // A^{-1}(i,j) = sum_{k >= max(i,j)} linvt(i,k) * linvt(j,k): a dot of
+  // two contiguous row tails.
+  Matrix inv(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* ri = linvt.row_ptr(i);
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double* rj = linvt.row_ptr(j);
+      double s = 0.0;
+      for (std::size_t k = i; k < n; ++k) s += ri[k] * rj[k];
+      inv(i, j) = s;
+      inv(j, i) = s;
+    }
+  }
+  return inv;
+}
+
+}  // namespace gptune::linalg

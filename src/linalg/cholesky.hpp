@@ -1,0 +1,66 @@
+// Cholesky factorization and solves for symmetric positive definite systems.
+//
+// The GP stack factors covariance matrices here. `CholeskyFactor` keeps the
+// lower-triangular factor and exposes the operations marginal-likelihood
+// computation needs: solve, log-determinant, and explicit inverse (for the
+// trace terms in the gradient).
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace gptune::linalg {
+
+/// Lower-triangular Cholesky factor L with A = L L^T.
+class CholeskyFactor {
+ public:
+  /// Factors `a` (symmetric positive definite). Returns nullopt if a
+  /// non-positive pivot is hit (matrix not PD to working precision).
+  static std::optional<CholeskyFactor> factor(const Matrix& a);
+
+  /// Factors `a + jitter*I`, growing jitter by 10x up to `max_jitter` until
+  /// the factorization succeeds. Returns nullopt if even max_jitter fails.
+  /// `applied_jitter`, when non-null, receives the jitter actually used.
+  static std::optional<CholeskyFactor> factor_with_jitter(
+      const Matrix& a, double initial_jitter = 1e-10,
+      double max_jitter = 1e-2, double* applied_jitter = nullptr);
+
+  /// Wraps an already-computed lower-triangular factor (e.g. from the
+  /// blocked algorithm). The caller guarantees `l` is a valid factor.
+  static CholeskyFactor from_lower(Matrix l) {
+    return CholeskyFactor(std::move(l));
+  }
+
+  std::size_t size() const { return l_.rows(); }
+  const Matrix& lower() const { return l_; }
+
+  /// Solves A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Solves A X = B column-wise.
+  Matrix solve(const Matrix& b) const;
+
+  /// Solves L x = b (forward substitution).
+  Vector solve_lower(const Vector& b) const;
+
+  /// Solves L^T x = b (back substitution).
+  Vector solve_lower_transposed(const Vector& b) const;
+
+  /// log det(A) = 2 * sum log L_ii.
+  double log_det() const;
+
+  /// Explicit A^{-1} (symmetric). O(n^3); used for gradient trace terms.
+  Matrix inverse() const;
+
+ private:
+  explicit CholeskyFactor(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+/// In-place unblocked lower Cholesky of the leading n x n of `a`.
+/// Returns false on a non-positive pivot. Upper triangle is left untouched.
+/// Exposed separately so the blocked algorithm can reuse it per diagonal tile.
+bool cholesky_in_place(Matrix& a);
+
+}  // namespace gptune::linalg

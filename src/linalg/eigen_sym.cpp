@@ -1,0 +1,81 @@
+#include "linalg/eigen_sym.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace gptune::linalg {
+
+EigenSym eigen_sym(const Matrix& a_in, double tol, std::size_t max_sweeps) {
+  const std::size_t n = a_in.rows();
+  assert(a_in.cols() == n);
+  Matrix a = a_in;
+  Matrix v = Matrix::identity(n);
+
+  auto off_norm = [&a, n] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) s += a(i, j) * a(i, j);
+    }
+    return std::sqrt(2.0 * s);
+  };
+
+  const double scale = std::max(a.frobenius_norm(), 1e-300);
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_norm() <= tol * scale) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/cols p, q of A.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenSym result;
+  result.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.values[i] = a(i, i);
+  // Sort ascending and permute eigenvector columns accordingly.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&result](std::size_t x, std::size_t y) {
+    return result.values[x] < result.values[y];
+  });
+  Vector sorted_vals(n);
+  Matrix sorted_vecs(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted_vals[j] = result.values[order[j]];
+    for (std::size_t i = 0; i < n; ++i) sorted_vecs(i, j) = v(i, order[j]);
+  }
+  result.values = std::move(sorted_vals);
+  result.vectors = std::move(sorted_vecs);
+  return result;
+}
+
+double min_eigenvalue(const Matrix& a) {
+  return eigen_sym(a).values.front();
+}
+
+}  // namespace gptune::linalg

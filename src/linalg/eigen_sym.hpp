@@ -1,0 +1,24 @@
+// Symmetric eigendecomposition (cyclic Jacobi).
+//
+// Used as the dense reference behind the PDSYEVX simulator and by tests that
+// check kernel matrices are positive semi-definite.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace gptune::linalg {
+
+struct EigenSym {
+  Vector values;        ///< Ascending eigenvalues.
+  Matrix vectors;       ///< Column j is the eigenvector for values[j].
+};
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+/// Robust and simple; O(n^3) per sweep, adequate for test-sized matrices.
+EigenSym eigen_sym(const Matrix& a, double tol = 1e-12,
+                   std::size_t max_sweeps = 64);
+
+/// Smallest eigenvalue (convenience for PSD checks).
+double min_eigenvalue(const Matrix& a);
+
+}  // namespace gptune::linalg

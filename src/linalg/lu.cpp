@@ -1,0 +1,73 @@
+#include "linalg/lu.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace gptune::linalg {
+
+std::optional<LuFactor> LuFactor::factor(const Matrix& a) {
+  const std::size_t n = a.rows();
+  assert(a.cols() == n);
+  Matrix lu = a;
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  int sign = 1;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |entry| in column k at or below the diagonal.
+    std::size_t piv = k;
+    double best = std::abs(lu(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best == 0.0 || !std::isfinite(best)) return std::nullopt;
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu(k, c), lu(piv, c));
+      std::swap(perm[k], perm[piv]);
+      sign = -sign;
+    }
+    const double pivot = lu(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = lu(i, k) / pivot;
+      lu(i, k) = m;
+      double* li = lu.row_ptr(i);
+      const double* lk = lu.row_ptr(k);
+      for (std::size_t c = k + 1; c < n; ++c) li[c] -= m * lk[c];
+    }
+  }
+  return LuFactor(std::move(lu), std::move(perm), sign);
+}
+
+Vector LuFactor::solve(const Vector& b) const {
+  const std::size_t n = size();
+  assert(b.size() == n);
+  Vector x(n);
+  // Apply permutation, then forward substitution with unit L.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    const double* li = lu_.row_ptr(i);
+    for (std::size_t k = 0; k < i; ++k) s -= li[k] * x[k];
+    x[i] = s;
+  }
+  // Back substitution with U.
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double s = x[i];
+    const double* li = lu_.row_ptr(i);
+    for (std::size_t k = i + 1; k < n; ++k) s -= li[k] * x[k];
+    x[i] = s / li[i];
+  }
+  return x;
+}
+
+double LuFactor::det() const {
+  double d = static_cast<double>(sign_);
+  for (std::size_t i = 0; i < size(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+}  // namespace gptune::linalg

@@ -1,0 +1,36 @@
+// LU factorization with partial pivoting, for general square systems.
+//
+// Used by the application simulators (e.g. the SuperLU cost calibration) and
+// as a reference solver in tests.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace gptune::linalg {
+
+/// PA = LU with partial pivoting; L unit-lower and U upper share `lu_`.
+class LuFactor {
+ public:
+  /// Returns nullopt if the matrix is singular to working precision.
+  static std::optional<LuFactor> factor(const Matrix& a);
+
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Solves A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// det(A), including the pivot sign.
+  double det() const;
+
+ private:
+  LuFactor(Matrix lu, std::vector<std::size_t> perm, int sign)
+      : lu_(std::move(lu)), perm_(std::move(perm)), sign_(sign) {}
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int sign_;
+};
+
+}  // namespace gptune::linalg

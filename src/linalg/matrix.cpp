@@ -1,0 +1,192 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace gptune::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* src = row_ptr(r);
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = src[c];
+  }
+  return t;
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
+                     std::size_t nc) const {
+  assert(r0 + nr <= rows_ && c0 + nc <= cols_);
+  Matrix b(nr, nc);
+  for (std::size_t r = 0; r < nr; ++r) {
+    const double* src = row_ptr(r0 + r) + c0;
+    std::copy(src, src + nc, b.row_ptr(r));
+  }
+  return b;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    m = std::max(m, std::abs(a.data_[i] - b.data_[i]));
+  }
+  return m;
+}
+
+Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+Matrix operator*(Matrix a, double s) { return a *= s; }
+Matrix operator*(double s, Matrix a) { return a *= s; }
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n, 0.0);
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t ii = 0; ii < m; ii += kBlock) {
+    const std::size_t i_end = std::min(ii + kBlock, m);
+    for (std::size_t kk = 0; kk < k; kk += kBlock) {
+      const std::size_t k_end = std::min(kk + kBlock, k);
+      for (std::size_t i = ii; i < i_end; ++i) {
+        double* crow = c.row_ptr(i);
+        const double* arow = a.row_ptr(i);
+        for (std::size_t p = kk; p < k_end; ++p) {
+          const double av = arow[p];
+          const double* brow = b.row_ptr(p);
+          for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Vector matvec(const Matrix& a, const Vector& x) {
+  assert(a.cols() == x.size());
+  Vector y(a.rows(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* arow = a.row_ptr(r);
+    double s = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) s += arow[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+Vector matvec_transposed(const Matrix& a, const Vector& x) {
+  assert(a.rows() == x.size());
+  Vector y(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* arow = a.row_ptr(r);
+    const double xv = x[r];
+    for (std::size_t c = 0; c < a.cols(); ++c) y[c] += arow[c] * xv;
+  }
+  return y;
+}
+
+Matrix syrk(const Matrix& a) {
+  const std::size_t m = a.rows(), k = a.cols();
+  Matrix c(m, m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ai = a.row_ptr(i);
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double* aj = a.row_ptr(j);
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += ai[p] * aj[p];
+      c(i, j) = s;
+      c(j, i) = s;
+    }
+  }
+  return c;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(Vector& v, double s) {
+  for (double& x : v) x *= s;
+}
+
+Vector operator+(Vector a, const Vector& b) {
+  axpy(1.0, b, a);
+  return a;
+}
+
+Vector operator-(Vector a, const Vector& b) {
+  axpy(-1.0, b, a);
+  return a;
+}
+
+Vector operator*(Vector a, double s) {
+  scale(a, s);
+  return a;
+}
+
+double max_abs_diff(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace gptune::linalg

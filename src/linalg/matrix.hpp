@@ -1,0 +1,95 @@
+// Dense row-major matrix and the vector/matrix kernels the GP stack needs.
+//
+// This is the repo's "LAPACK substrate": deliberately dependency-free,
+// cache-blocked where it matters (matmul, syrk), and sized for covariance
+// matrices of a few thousand rows.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace gptune::linalg {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Builds from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw pointer to the start of row r (contiguous cols() doubles).
+  double* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  Matrix transpose() const;
+
+  /// Copies the sub-block [r0, r0+nr) x [c0, c0+nc).
+  Matrix block(std::size_t r0, std::size_t c0, std::size_t nr,
+               std::size_t nc) const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Max |a_ij - b_ij|; matrices must be the same shape.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(Matrix a, double s);
+Matrix operator*(double s, Matrix a);
+
+/// C = A * B (cache-blocked ikj loop order).
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// y = A * x.
+Vector matvec(const Matrix& a, const Vector& x);
+
+/// y = A^T * x.
+Vector matvec_transposed(const Matrix& a, const Vector& x);
+
+/// C = A * A^T (symmetric rank-k update, only computes lower then mirrors).
+Matrix syrk(const Matrix& a);
+
+// --- vector kernels ---
+
+double dot(const Vector& a, const Vector& b);
+double norm2(const Vector& a);
+/// y += alpha * x.
+void axpy(double alpha, const Vector& x, Vector& y);
+void scale(Vector& v, double s);
+Vector operator+(Vector a, const Vector& b);
+Vector operator-(Vector a, const Vector& b);
+Vector operator*(Vector a, double s);
+double max_abs_diff(const Vector& a, const Vector& b);
+
+}  // namespace gptune::linalg

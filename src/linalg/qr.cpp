@@ -1,0 +1,191 @@
+#include "linalg/qr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gptune::linalg {
+
+QrFactor QrFactor::factor(const Matrix& a) {
+  const std::size_t m = a.rows(), n = a.cols();
+  assert(m >= n);
+  Matrix qr = a;
+  Vector tau(n, 0.0);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k, rows k..m-1.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += qr(i, k) * qr(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      tau[k] = 0.0;
+      continue;
+    }
+    const double alpha = qr(k, k) >= 0.0 ? -norm : norm;
+    const double v0 = qr(k, k) - alpha;
+    // Normalize so v[k] = 1 implicitly; store v[i]/v0 below the diagonal.
+    for (std::size_t i = k + 1; i < m; ++i) qr(i, k) /= v0;
+    tau[k] = -v0 / alpha;  // tau = 2 / (v^T v) with v[k] = 1 normalization
+    qr(k, k) = alpha;
+
+    // Apply H = I - tau v v^T to the remaining columns.
+    for (std::size_t c = k + 1; c < n; ++c) {
+      double s = qr(k, c);
+      for (std::size_t i = k + 1; i < m; ++i) s += qr(i, k) * qr(i, c);
+      s *= tau[k];
+      qr(k, c) -= s;
+      for (std::size_t i = k + 1; i < m; ++i) qr(i, c) -= s * qr(i, k);
+    }
+  }
+  return QrFactor(std::move(qr), std::move(tau));
+}
+
+Matrix QrFactor::r() const {
+  const std::size_t n = cols();
+  Matrix r(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) r(i, j) = qr_(i, j);
+  }
+  return r;
+}
+
+Vector QrFactor::apply_qt(const Vector& b) const {
+  const std::size_t m = rows(), n = cols();
+  assert(b.size() == m);
+  Vector y = b;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (tau_[k] == 0.0) continue;
+    double s = y[k];
+    for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * y[i];
+    s *= tau_[k];
+    y[k] -= s;
+    for (std::size_t i = k + 1; i < m; ++i) y[i] -= s * qr_(i, k);
+  }
+  return y;
+}
+
+Matrix QrFactor::thin_q() const {
+  const std::size_t m = rows(), n = cols();
+  Matrix q(m, n, 0.0);
+  // Q = H_0 H_1 ... H_{n-1} applied to the first n identity columns.
+  // Build column by column: Q e_j = H_0 ... H_{n-1} e_j.
+  for (std::size_t j = 0; j < n; ++j) {
+    Vector e(m, 0.0);
+    e[j] = 1.0;
+    // Apply H_{n-1} ... H_0 in reverse so the product equals Q.
+    for (std::size_t kk = n; kk > 0; --kk) {
+      const std::size_t k = kk - 1;
+      if (tau_[k] == 0.0) continue;
+      double s = e[k];
+      for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * e[i];
+      s *= tau_[k];
+      e[k] -= s;
+      for (std::size_t i = k + 1; i < m; ++i) e[i] -= s * qr_(i, k);
+    }
+    for (std::size_t i = 0; i < m; ++i) q(i, j) = e[i];
+  }
+  return q;
+}
+
+std::optional<Vector> QrFactor::solve_least_squares(const Vector& b) const {
+  const std::size_t n = cols();
+  Vector y = apply_qt(b);
+  // Singular if any diagonal of R is negligible relative to the largest.
+  double rmax = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    rmax = std::max(rmax, std::abs(qr_(i, i)));
+  }
+  // Back substitution on R.
+  Vector x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    const double rii = qr_(i, i);
+    if (std::abs(rii) <= 1e-12 * rmax) return std::nullopt;
+    double s = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= qr_(i, k) * x[k];
+    x[i] = s / rii;
+  }
+  return x;
+}
+
+std::optional<Vector> least_squares(const Matrix& a, const Vector& b) {
+  return QrFactor::factor(a).solve_least_squares(b);
+}
+
+Vector nnls(const Matrix& a, const Vector& b, std::size_t max_iter) {
+  const std::size_t m = a.rows(), n = a.cols();
+  assert(b.size() == m);
+  if (max_iter == 0) max_iter = 3 * n + 30;
+
+  Vector x(n, 0.0);
+  std::vector<bool> passive(n, false);
+  Vector residual = b;  // b - A x, x = 0 initially
+
+  for (std::size_t iter = 0; iter < max_iter; ++iter) {
+    // Gradient of 1/2||Ax-b||^2 is -A^T residual; pick the most negative
+    // component among the active (zero) set.
+    Vector w = matvec_transposed(a, residual);
+    std::size_t best = n;
+    double best_w = 1e-10;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!passive[j] && w[j] > best_w) {
+        best_w = w[j];
+        best = j;
+      }
+    }
+    if (best == n) break;  // KKT satisfied
+    passive[best] = true;
+
+    // Inner loop: solve unconstrained LS on the passive set; move variables
+    // that go negative back to the active set.
+    for (;;) {
+      std::vector<std::size_t> pidx;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (passive[j]) pidx.push_back(j);
+      }
+      Matrix ap(m, pidx.size());
+      for (std::size_t r = 0; r < m; ++r) {
+        for (std::size_t c = 0; c < pidx.size(); ++c) {
+          ap(r, c) = a(r, pidx[c]);
+        }
+      }
+      auto z = least_squares(ap, b);
+      if (!z) {
+        // Rank-deficient subproblem: drop the most recently added variable.
+        passive[best] = false;
+        break;
+      }
+      bool all_positive = true;
+      for (double v : *z) {
+        if (v <= 0.0) {
+          all_positive = false;
+          break;
+        }
+      }
+      if (all_positive) {
+        std::fill(x.begin(), x.end(), 0.0);
+        for (std::size_t c = 0; c < pidx.size(); ++c) x[pidx[c]] = (*z)[c];
+        break;
+      }
+      // Step from x toward z, stopping at the first variable hitting zero.
+      double alpha = 1.0;
+      for (std::size_t c = 0; c < pidx.size(); ++c) {
+        const double xj = x[pidx[c]];
+        const double zj = (*z)[c];
+        if (zj <= 0.0) alpha = std::min(alpha, xj / (xj - zj));
+      }
+      for (std::size_t c = 0; c < pidx.size(); ++c) {
+        const std::size_t j = pidx[c];
+        x[j] += alpha * ((*z)[c] - x[j]);
+        if (x[j] <= 1e-12) {
+          x[j] = 0.0;
+          passive[j] = false;
+        }
+      }
+    }
+    residual = b - matvec(a, x);
+  }
+  return x;
+}
+
+}  // namespace gptune::linalg

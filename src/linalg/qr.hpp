@@ -1,0 +1,47 @@
+// Householder QR, linear least squares, and non-negative least squares.
+//
+// The tuner fits performance-model coefficients (t_flop, t_msg, t_vol in
+// paper Eq. 7) with NNLS each iteration; tests use QR as the dense reference
+// the ScaLAPACK PDGEQRF simulator is modeled after.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace gptune::linalg {
+
+/// Householder QR of an m x n matrix (m >= n), A = Q R.
+class QrFactor {
+ public:
+  static QrFactor factor(const Matrix& a);
+
+  std::size_t rows() const { return qr_.rows(); }
+  std::size_t cols() const { return qr_.cols(); }
+
+  /// Upper-triangular R (n x n).
+  Matrix r() const;
+
+  /// Explicit thin Q (m x n). O(m n^2); intended for tests.
+  Matrix thin_q() const;
+
+  /// Applies Q^T to a length-m vector.
+  Vector apply_qt(const Vector& b) const;
+
+  /// Minimizes ||A x - b||_2. Returns nullopt if R is numerically singular.
+  std::optional<Vector> solve_least_squares(const Vector& b) const;
+
+ private:
+  QrFactor(Matrix qr, Vector tau) : qr_(std::move(qr)), tau_(std::move(tau)) {}
+  Matrix qr_;   // R in the upper triangle, Householder vectors below.
+  Vector tau_;  // Householder scalars.
+};
+
+/// Least squares ||A x - b|| via QR; nullopt if rank-deficient.
+std::optional<Vector> least_squares(const Matrix& a, const Vector& b);
+
+/// Non-negative least squares (Lawson–Hanson active set):
+/// argmin_{x >= 0} ||A x - b||_2. Always returns (possibly zero) x.
+Vector nnls(const Matrix& a, const Vector& b, std::size_t max_iter = 0);
+
+}  // namespace gptune::linalg

@@ -1,0 +1,187 @@
+#include "opt/cmaes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "linalg/eigen_sym.hpp"
+#include "linalg/matrix.hpp"
+
+namespace gptune::opt {
+
+Result cmaes_minimize(const Objective& f, const Box& box, common::Rng& rng,
+                      const CmaEsOptions& options) {
+  const std::size_t d = box.dim();
+  const double nd = static_cast<double>(d);
+
+  const std::size_t lambda =
+      options.population > 0
+          ? options.population
+          : static_cast<std::size_t>(4.0 + std::floor(3.0 * std::log(nd)));
+  const std::size_t mu = lambda / 2;
+
+  // Log-linear recombination weights.
+  std::vector<double> weights(mu);
+  double wsum = 0.0;
+  for (std::size_t i = 0; i < mu; ++i) {
+    weights[i] = std::log(static_cast<double>(mu) + 0.5) -
+                 std::log(static_cast<double>(i + 1));
+    wsum += weights[i];
+  }
+  for (double& w : weights) w /= wsum;
+  double mueff = 0.0;
+  for (double w : weights) mueff += w * w;
+  mueff = 1.0 / mueff;
+
+  // Strategy parameters (Hansen's defaults).
+  const double cc = (4.0 + mueff / nd) / (nd + 4.0 + 2.0 * mueff / nd);
+  const double cs = (mueff + 2.0) / (nd + mueff + 5.0);
+  const double c1 = 2.0 / ((nd + 1.3) * (nd + 1.3) + mueff);
+  const double cmu = std::min(
+      1.0 - c1, 2.0 * (mueff - 2.0 + 1.0 / mueff) /
+                    ((nd + 2.0) * (nd + 2.0) + mueff));
+  const double damps =
+      1.0 + 2.0 * std::max(0.0, std::sqrt((mueff - 1.0) / (nd + 1.0)) - 1.0) +
+      cs;
+  const double chi_n =
+      std::sqrt(nd) * (1.0 - 1.0 / (4.0 * nd) + 1.0 / (21.0 * nd * nd));
+
+  // State: mean in normalized coordinates (work in box units directly).
+  Point mean(d);
+  std::vector<double> width(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    width[i] = box.hi[i] - box.lo[i];
+    mean[i] = rng.uniform(box.lo[i], box.hi[i]);
+  }
+  double sigma = options.initial_sigma;
+  linalg::Matrix c_mat = linalg::Matrix::identity(d);
+  Point p_c(d, 0.0), p_s(d, 0.0);
+
+  Result best;
+  best.value = std::numeric_limits<double>::infinity();
+
+  linalg::Matrix bd = linalg::Matrix::identity(d);  // B * diag(sqrt(w))
+  linalg::Matrix b_mat = linalg::Matrix::identity(d);
+  Point d_vec(d, 1.0);
+  std::size_t eigen_stale = 0;
+
+  while (best.evaluations < options.max_evaluations) {
+    // Refresh the eigendecomposition occasionally.
+    if (eigen_stale == 0) {
+      auto eig = linalg::eigen_sym(c_mat);
+      b_mat = eig.vectors;
+      for (std::size_t i = 0; i < d; ++i) {
+        d_vec[i] = std::sqrt(std::max(eig.values[i], 1e-20));
+      }
+      for (std::size_t r = 0; r < d; ++r) {
+        for (std::size_t col = 0; col < d; ++col) {
+          bd(r, col) = b_mat(r, col) * d_vec[col];
+        }
+      }
+      eigen_stale = 1 + d / 10;
+    }
+    --eigen_stale;
+
+    // Sample lambda offspring y_k = B D z_k.
+    struct Offspring {
+      Point x;       // evaluated (clamped) point
+      Point y;       // pre-clamp step in C-coordinates
+      double value;
+    };
+    std::vector<Offspring> pop(lambda);
+    std::size_t evaluated = 0;
+    for (auto& o : pop) {
+      Point z(d);
+      for (double& v : z) v = rng.normal();
+      o.y.assign(d, 0.0);
+      for (std::size_t r = 0; r < d; ++r) {
+        double s = 0.0;
+        for (std::size_t col = 0; col < d; ++col) s += bd(r, col) * z[col];
+        o.y[r] = s;
+      }
+      o.x.resize(d);
+      for (std::size_t i = 0; i < d; ++i) {
+        o.x[i] = mean[i] + sigma * o.y[i] * width[i];
+      }
+      box.clamp(o.x);
+      o.value = f(o.x);
+      ++best.evaluations;
+      ++evaluated;
+      if (o.value < best.value) {
+        best.value = o.value;
+        best.x = o.x;
+      }
+      if (best.evaluations >= options.max_evaluations) break;
+    }
+    // A truncated final generation cannot drive a meaningful update.
+    pop.resize(evaluated);
+    if (pop.size() < 2) break;
+    std::sort(pop.begin(), pop.end(),
+              [](const Offspring& a, const Offspring& b) {
+                return a.value < b.value;
+              });
+
+    // Recombination: new mean and the weighted step y_w.
+    Point y_w(d, 0.0);
+    for (std::size_t i = 0; i < std::min(mu, pop.size()); ++i) {
+      for (std::size_t k = 0; k < d; ++k) {
+        y_w[k] += weights[i] * pop[i].y[k];
+      }
+    }
+    for (std::size_t k = 0; k < d; ++k) {
+      mean[k] += sigma * y_w[k] * width[k];
+      mean[k] = std::clamp(mean[k], box.lo[k], box.hi[k]);
+    }
+
+    // Evolution paths. C^{-1/2} y = B D^{-1} B^T y.
+    Point tmp(d, 0.0);
+    for (std::size_t r = 0; r < d; ++r) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < d; ++k) s += b_mat(k, r) * y_w[k];
+      tmp[r] = s / d_vec[r];
+    }
+    Point c_inv_sqrt_yw(d, 0.0);
+    for (std::size_t r = 0; r < d; ++r) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < d; ++k) s += b_mat(r, k) * tmp[k];
+      c_inv_sqrt_yw[r] = s;
+    }
+    for (std::size_t k = 0; k < d; ++k) {
+      p_s[k] = (1.0 - cs) * p_s[k] +
+               std::sqrt(cs * (2.0 - cs) * mueff) * c_inv_sqrt_yw[k];
+    }
+    const double ps_norm = linalg::norm2(p_s);
+    const bool hsig =
+        ps_norm / std::sqrt(1.0 - std::pow(1.0 - cs,
+                                           2.0 * (best.evaluations /
+                                                  std::max<std::size_t>(
+                                                      1, lambda)))) <
+        (1.4 + 2.0 / (nd + 1.0)) * chi_n;
+    for (std::size_t k = 0; k < d; ++k) {
+      p_c[k] = (1.0 - cc) * p_c[k] +
+               (hsig ? std::sqrt(cc * (2.0 - cc) * mueff) * y_w[k] : 0.0);
+    }
+
+    // Covariance update: rank-1 (p_c) + rank-mu (weighted steps).
+    const double c1a =
+        c1 * (1.0 - (hsig ? 0.0 : 1.0) * cc * (2.0 - cc));
+    for (std::size_t r = 0; r < d; ++r) {
+      for (std::size_t col = 0; col < d; ++col) {
+        double rank_mu = 0.0;
+        for (std::size_t i = 0; i < std::min(mu, pop.size()); ++i) {
+          rank_mu += weights[i] * pop[i].y[r] * pop[i].y[col];
+        }
+        c_mat(r, col) = (1.0 - c1a - cmu) * c_mat(r, col) +
+                        c1 * p_c[r] * p_c[col] + cmu * rank_mu;
+      }
+    }
+
+    // Step-size control.
+    sigma *= std::exp((cs / damps) * (ps_norm / chi_n - 1.0));
+    sigma = std::clamp(sigma, 1e-12, 10.0);
+  }
+  return best;
+}
+
+}  // namespace gptune::opt

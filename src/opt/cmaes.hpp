@@ -1,0 +1,23 @@
+// CMA-ES: covariance matrix adaptation evolution strategy (Hansen).
+//
+// A strong model-free global optimizer; included as an additional
+// OpenTuner-style technique and as an ablation reference against the
+// Bayesian tuner on continuous spaces.
+#pragma once
+
+#include "common/rng.hpp"
+#include "opt/problem.hpp"
+
+namespace gptune::opt {
+
+struct CmaEsOptions {
+  std::size_t max_evaluations = 600;
+  std::size_t population = 0;      ///< lambda; 0 means 4 + 3 ln(dim)
+  double initial_sigma = 0.3;      ///< step size, fraction of box width
+};
+
+/// Minimizes `f` over `box` (points clamped to the box before evaluation).
+Result cmaes_minimize(const Objective& f, const Box& box, common::Rng& rng,
+                      const CmaEsOptions& options = {});
+
+}  // namespace gptune::opt

@@ -1,0 +1,73 @@
+#include "opt/differential_evolution.hpp"
+
+#include <limits>
+
+namespace gptune::opt {
+
+Result differential_evolution_minimize(
+    const Objective& f, const Box& box, common::Rng& rng,
+    const DifferentialEvolutionOptions& options) {
+  const std::size_t d = box.dim();
+  const std::size_t np = std::max<std::size_t>(4, options.population);
+
+  std::vector<Point> pop(np, Point(d));
+  std::vector<double> fitness(np);
+  Result best;
+  best.value = std::numeric_limits<double>::infinity();
+
+  auto eval = [&](const Point& x) {
+    ++best.evaluations;
+    const double v = f(x);
+    if (v < best.value) {
+      best.value = v;
+      best.x = x;
+    }
+    return v;
+  };
+
+  for (std::size_t p = 0; p < np; ++p) {
+    for (std::size_t i = 0; i < d; ++i) {
+      pop[p][i] = rng.uniform(box.lo[i], box.hi[i]);
+    }
+    fitness[p] = eval(pop[p]);
+  }
+
+  auto pick_distinct = [&](std::size_t exclude) {
+    std::size_t r;
+    do {
+      r = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(np) - 1));
+    } while (r == exclude);
+    return r;
+  };
+
+  while (best.evaluations < options.max_evaluations) {
+    for (std::size_t p = 0;
+         p < np && best.evaluations < options.max_evaluations; ++p) {
+      const std::size_t a = pick_distinct(p);
+      std::size_t b = pick_distinct(p);
+      while (b == a) b = pick_distinct(p);
+      std::size_t c = pick_distinct(p);
+      while (c == a || c == b) c = pick_distinct(p);
+
+      Point trial = pop[p];
+      const auto forced = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(d) - 1));
+      for (std::size_t i = 0; i < d; ++i) {
+        if (i == forced || rng.uniform() < options.crossover_probability) {
+          trial[i] = pop[a][i] +
+                     options.differential_weight * (pop[b][i] - pop[c][i]);
+        }
+      }
+      box.clamp(trial);
+      const double trial_f = eval(trial);
+      if (trial_f <= fitness[p]) {
+        pop[p] = std::move(trial);
+        fitness[p] = trial_f;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace gptune::opt

@@ -1,0 +1,21 @@
+// Differential evolution (DE/rand/1/bin). Extra model-free global method
+// used in the ablation benches and available as a tuner arm.
+#pragma once
+
+#include "common/rng.hpp"
+#include "opt/problem.hpp"
+
+namespace gptune::opt {
+
+struct DifferentialEvolutionOptions {
+  std::size_t population = 30;
+  std::size_t max_evaluations = 500;
+  double differential_weight = 0.7;   ///< F
+  double crossover_probability = 0.9; ///< CR
+};
+
+Result differential_evolution_minimize(
+    const Objective& f, const Box& box, common::Rng& rng,
+    const DifferentialEvolutionOptions& options = {});
+
+}  // namespace gptune::opt

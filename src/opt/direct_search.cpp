@@ -1,0 +1,63 @@
+#include "opt/direct_search.hpp"
+
+#include <limits>
+
+namespace gptune::opt {
+
+Result random_search_minimize(const Objective& f, const Box& box,
+                              common::Rng& rng,
+                              std::size_t max_evaluations) {
+  const std::size_t d = box.dim();
+  Result best;
+  best.value = std::numeric_limits<double>::infinity();
+  Point x(d);
+  for (std::size_t e = 0; e < max_evaluations; ++e) {
+    for (std::size_t i = 0; i < d; ++i) {
+      x[i] = rng.uniform(box.lo[i], box.hi[i]);
+    }
+    const double v = f(x);
+    ++best.evaluations;
+    if (v < best.value) {
+      best.value = v;
+      best.x = x;
+    }
+  }
+  return best;
+}
+
+Result grid_search_minimize(const Objective& f, const Box& box,
+                            std::size_t points_per_dim) {
+  const std::size_t d = box.dim();
+  Result best;
+  best.value = std::numeric_limits<double>::infinity();
+  if (points_per_dim == 0) return best;
+
+  Point x(d);
+  std::vector<std::size_t> index(d, 0);
+  for (;;) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const double frac =
+          points_per_dim == 1
+              ? 0.5
+              : static_cast<double>(index[i]) /
+                    static_cast<double>(points_per_dim - 1);
+      x[i] = box.lo[i] + frac * (box.hi[i] - box.lo[i]);
+    }
+    const double v = f(x);
+    ++best.evaluations;
+    if (v < best.value) {
+      best.value = v;
+      best.x = x;
+    }
+    // Odometer increment.
+    std::size_t i = 0;
+    while (i < d && ++index[i] == points_per_dim) {
+      index[i] = 0;
+      ++i;
+    }
+    if (i == d) break;
+  }
+  return best;
+}
+
+}  // namespace gptune::opt

@@ -1,0 +1,19 @@
+// The two baseline searches every autotuning paper starts from (paper §5):
+// stochastic random search and exhaustive grid search.
+#pragma once
+
+#include "common/rng.hpp"
+#include "opt/problem.hpp"
+
+namespace gptune::opt {
+
+/// Uniform random sampling; best of `max_evaluations` draws.
+Result random_search_minimize(const Objective& f, const Box& box,
+                              common::Rng& rng, std::size_t max_evaluations);
+
+/// Full factorial grid with `points_per_dim` levels per dimension.
+/// Evaluation count is points_per_dim^dim — callers keep dim small.
+Result grid_search_minimize(const Objective& f, const Box& box,
+                            std::size_t points_per_dim);
+
+}  // namespace gptune::opt

@@ -1,0 +1,129 @@
+#include "opt/genetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gptune::opt {
+
+void sbx_crossover(const Point& p1, const Point& p2, const Box& box,
+                   double eta, double probability, common::Rng& rng,
+                   Point& c1, Point& c2) {
+  const std::size_t d = p1.size();
+  c1 = p1;
+  c2 = p2;
+  if (rng.uniform() > probability) return;
+  for (std::size_t i = 0; i < d; ++i) {
+    if (rng.uniform() > 0.5) continue;
+    if (std::abs(p1[i] - p2[i]) < 1e-14) continue;
+    const double u = rng.uniform();
+    double beta;
+    if (u <= 0.5) {
+      beta = std::pow(2.0 * u, 1.0 / (eta + 1.0));
+    } else {
+      beta = std::pow(1.0 / (2.0 * (1.0 - u)), 1.0 / (eta + 1.0));
+    }
+    const double mean = 0.5 * (p1[i] + p2[i]);
+    const double spread = 0.5 * std::abs(p2[i] - p1[i]);
+    c1[i] = mean - beta * spread;
+    c2[i] = mean + beta * spread;
+  }
+  box.clamp(c1);
+  box.clamp(c2);
+}
+
+void polynomial_mutation(Point& x, const Box& box, double eta,
+                         double probability, common::Rng& rng) {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (rng.uniform() > probability) continue;
+    const double lo = box.lo[i], hi = box.hi[i];
+    const double width = hi - lo;
+    if (width <= 0.0) continue;
+    const double u = rng.uniform();
+    double delta;
+    if (u < 0.5) {
+      const double dl = (x[i] - lo) / width;
+      delta = std::pow(2.0 * u + (1.0 - 2.0 * u) *
+                                     std::pow(1.0 - dl, eta + 1.0),
+                       1.0 / (eta + 1.0)) -
+              1.0;
+    } else {
+      const double dr = (hi - x[i]) / width;
+      delta = 1.0 - std::pow(2.0 * (1.0 - u) + (2.0 * u - 1.0) *
+                                                   std::pow(1.0 - dr,
+                                                            eta + 1.0),
+                             1.0 / (eta + 1.0));
+    }
+    x[i] += delta * width;
+  }
+  box.clamp(x);
+}
+
+Result genetic_minimize(const Objective& f, const Box& box, common::Rng& rng,
+                        const GeneticOptions& options) {
+  const std::size_t d = box.dim();
+  const std::size_t pop_size = std::max<std::size_t>(4, options.population);
+  const double pm = options.mutation_probability < 0.0
+                        ? 1.0 / static_cast<double>(d)
+                        : options.mutation_probability;
+
+  struct Individual {
+    Point x;
+    double f;
+  };
+  std::vector<Individual> pop(pop_size);
+
+  Result best;
+  best.value = std::numeric_limits<double>::infinity();
+  auto eval = [&](const Point& x) {
+    ++best.evaluations;
+    const double v = f(x);
+    if (v < best.value) {
+      best.value = v;
+      best.x = x;
+    }
+    return v;
+  };
+
+  for (auto& ind : pop) {
+    ind.x.resize(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      ind.x[i] = rng.uniform(box.lo[i], box.hi[i]);
+    }
+    ind.f = eval(ind.x);
+  }
+
+  auto tournament = [&]() -> const Individual& {
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pop_size) - 1));
+    const auto b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pop_size) - 1));
+    return pop[a].f <= pop[b].f ? pop[a] : pop[b];
+  };
+
+  while (best.evaluations < options.max_evaluations) {
+    std::vector<Individual> children;
+    children.reserve(pop_size);
+    while (children.size() < pop_size &&
+           best.evaluations + 2 <= options.max_evaluations) {
+      Point c1, c2;
+      sbx_crossover(tournament().x, tournament().x, box, options.sbx_eta,
+                    options.crossover_probability, rng, c1, c2);
+      polynomial_mutation(c1, box, options.mutation_eta, pm, rng);
+      polynomial_mutation(c2, box, options.mutation_eta, pm, rng);
+      children.push_back({c1, eval(c1)});
+      children.push_back({c2, eval(c2)});
+    }
+    if (children.empty()) break;
+    // (mu + lambda) elitist survival.
+    for (auto& c : children) pop.push_back(std::move(c));
+    std::sort(pop.begin(), pop.end(),
+              [](const Individual& a, const Individual& b) {
+                return a.f < b.f;
+              });
+    pop.resize(pop_size);
+  }
+  return best;
+}
+
+}  // namespace gptune::opt

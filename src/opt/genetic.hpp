@@ -1,0 +1,35 @@
+// Real-coded genetic algorithm: binary-tournament selection, simulated
+// binary crossover (SBX), polynomial mutation, elitism.
+// A model-free "global" method (paper §5); an OpenTuner-style arm; its
+// variation operators are shared with NSGA-II.
+#pragma once
+
+#include "common/rng.hpp"
+#include "opt/problem.hpp"
+
+namespace gptune::opt {
+
+struct GeneticOptions {
+  std::size_t population = 30;
+  std::size_t max_evaluations = 500;
+  double crossover_probability = 0.9;
+  double mutation_probability = -1.0;  ///< <0 means 1/dim
+  double sbx_eta = 15.0;               ///< SBX distribution index
+  double mutation_eta = 20.0;          ///< polynomial mutation index
+};
+
+Result genetic_minimize(const Objective& f, const Box& box, common::Rng& rng,
+                        const GeneticOptions& options = {});
+
+// --- variation operators shared with NSGA-II ---
+
+/// Simulated binary crossover: produces two children from two parents.
+void sbx_crossover(const Point& p1, const Point& p2, const Box& box,
+                   double eta, double probability, common::Rng& rng,
+                   Point& c1, Point& c2);
+
+/// Polynomial mutation in place.
+void polynomial_mutation(Point& x, const Box& box, double eta,
+                         double probability, common::Rng& rng);
+
+}  // namespace gptune::opt

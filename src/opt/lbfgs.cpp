@@ -1,0 +1,206 @@
+#include "opt/lbfgs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "linalg/matrix.hpp"
+
+namespace gptune::opt {
+
+namespace {
+
+using linalg::axpy;
+using linalg::dot;
+
+double inf_norm(const Point& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+struct LineSearchResult {
+  double step = 0.0;
+  double f = 0.0;
+  Point x;
+  Point g;
+  std::size_t evaluations = 0;
+  bool ok = false;
+};
+
+// Strong-Wolfe line search (Nocedal & Wright Alg. 3.5/3.6, bisection zoom).
+LineSearchResult line_search(const GradObjective& f, const Point& x0,
+                             double f0, const Point& g0,
+                             const Point& direction,
+                             const LbfgsOptions& opt) {
+  LineSearchResult out;
+  const double d0 = dot(g0, direction);
+  if (d0 >= 0.0) return out;  // not a descent direction
+
+  auto eval_at = [&](double alpha, double& fv, Point& xv, Point& gv) {
+    xv = x0;
+    axpy(alpha, direction, xv);
+    fv = f(xv, gv);
+    ++out.evaluations;
+  };
+
+  double alpha_prev = 0.0, f_prev = f0;
+  double alpha = 1.0;
+  double alpha_max = 1e6;
+
+  Point x_try, g_try;
+  double f_try = 0.0;
+
+  auto zoom = [&](double lo, double flo, double hi) -> bool {
+    for (std::size_t i = 0; i < opt.max_line_search_steps; ++i) {
+      const double a = 0.5 * (lo + hi);
+      eval_at(a, f_try, x_try, g_try);
+      if (f_try > f0 + opt.wolfe_c1 * a * d0 || f_try >= flo) {
+        hi = a;
+      } else {
+        const double da = dot(g_try, direction);
+        if (std::abs(da) <= -opt.wolfe_c2 * d0) {
+          out.step = a;
+          out.f = f_try;
+          out.x = std::move(x_try);
+          out.g = std::move(g_try);
+          out.ok = true;
+          return true;
+        }
+        if (da * (hi - lo) >= 0.0) hi = lo;
+        lo = a;
+        flo = f_try;
+      }
+      if (std::abs(hi - lo) < 1e-16) break;
+    }
+    // Accept the best point found if it at least decreases f.
+    if (f_try < f0) {
+      out.step = 0.5 * (lo + hi);
+      out.f = f_try;
+      out.x = std::move(x_try);
+      out.g = std::move(g_try);
+      out.ok = true;
+      return true;
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < opt.max_line_search_steps; ++i) {
+    eval_at(alpha, f_try, x_try, g_try);
+    if (!std::isfinite(f_try)) {
+      alpha *= 0.5;  // overflowed; shrink
+      continue;
+    }
+    if (f_try > f0 + opt.wolfe_c1 * alpha * d0 ||
+        (i > 0 && f_try >= f_prev)) {
+      zoom(alpha_prev, f_prev, alpha);
+      return out;
+    }
+    const double da = dot(g_try, direction);
+    if (std::abs(da) <= -opt.wolfe_c2 * d0) {
+      out.step = alpha;
+      out.f = f_try;
+      out.x = std::move(x_try);
+      out.g = std::move(g_try);
+      out.ok = true;
+      return out;
+    }
+    if (da >= 0.0) {
+      zoom(alpha, f_try, alpha_prev);
+      return out;
+    }
+    alpha_prev = alpha;
+    f_prev = f_try;
+    alpha = std::min(2.0 * alpha, alpha_max);
+  }
+  return out;
+}
+
+}  // namespace
+
+LbfgsResult lbfgs_minimize(const GradObjective& f, const Point& x0,
+                           const LbfgsOptions& options) {
+  const std::size_t n = x0.size();
+  LbfgsResult result;
+  result.x = x0;
+  result.gradient.resize(n);
+  result.value = f(result.x, result.gradient);
+  result.evaluations = 1;
+
+  std::deque<Point> s_list, y_list;
+  std::deque<double> rho_list;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter;
+    if (inf_norm(result.gradient) <= options.gradient_tolerance) {
+      result.converged = true;
+      return result;
+    }
+
+    // Two-loop recursion: d = -H g.
+    Point q = result.gradient;
+    std::vector<double> alphas(s_list.size());
+    for (std::size_t k = s_list.size(); k > 0; --k) {
+      const std::size_t i = k - 1;
+      alphas[i] = rho_list[i] * dot(s_list[i], q);
+      axpy(-alphas[i], y_list[i], q);
+    }
+    // Initial Hessian scaling gamma = s^T y / y^T y.
+    if (!s_list.empty()) {
+      const double sy = dot(s_list.back(), y_list.back());
+      const double yy = dot(y_list.back(), y_list.back());
+      if (yy > 0.0) linalg::scale(q, sy / yy);
+    }
+    for (std::size_t i = 0; i < s_list.size(); ++i) {
+      const double beta = rho_list[i] * dot(y_list[i], q);
+      axpy(alphas[i] - beta, s_list[i], q);
+    }
+    Point direction = q;
+    linalg::scale(direction, -1.0);
+
+    LineSearchResult ls =
+        line_search(f, result.x, result.value, result.gradient, direction,
+                    options);
+    result.evaluations += ls.evaluations;
+    if (!ls.ok) {
+      // Try steepest descent once; if that also fails, stop.
+      Point sd = result.gradient;
+      linalg::scale(sd, -1.0 / std::max(inf_norm(result.gradient), 1e-12));
+      ls = line_search(f, result.x, result.value, result.gradient, sd,
+                       options);
+      result.evaluations += ls.evaluations;
+      if (!ls.ok) return result;
+      direction = std::move(sd);
+    }
+
+    Point s = ls.x;
+    for (std::size_t i = 0; i < n; ++i) s[i] -= result.x[i];
+    Point y = ls.g;
+    for (std::size_t i = 0; i < n; ++i) y[i] -= result.gradient[i];
+
+    const double f_old = result.value;
+    result.x = std::move(ls.x);
+    result.value = ls.f;
+    result.gradient = std::move(ls.g);
+
+    const double sy = dot(s, y);
+    if (sy > 1e-12 * linalg::norm2(s) * linalg::norm2(y)) {
+      s_list.push_back(std::move(s));
+      y_list.push_back(std::move(y));
+      rho_list.push_back(1.0 / sy);
+      if (s_list.size() > options.history) {
+        s_list.pop_front();
+        y_list.pop_front();
+        rho_list.pop_front();
+      }
+    }
+
+    if (std::abs(f_old - result.value) <=
+        options.f_tolerance * (std::abs(f_old) + 1e-12)) {
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace gptune::opt

@@ -1,0 +1,35 @@
+// Limited-memory BFGS with strong-Wolfe line search.
+//
+// This is the hyperparameter optimizer of the modeling phase (paper §3.1):
+// it maximizes the LCM log marginal likelihood from multiple random starts.
+// The implementation minimizes, so callers negate.
+#pragma once
+
+#include "opt/problem.hpp"
+
+namespace gptune::opt {
+
+struct LbfgsOptions {
+  std::size_t max_iterations = 200;
+  std::size_t history = 10;          ///< number of (s, y) correction pairs
+  double gradient_tolerance = 1e-6;  ///< stop when ||g||_inf below this
+  double f_tolerance = 1e-12;        ///< stop on relative f stagnation
+  std::size_t max_line_search_steps = 30;
+  double wolfe_c1 = 1e-4;            ///< Armijo (sufficient decrease)
+  double wolfe_c2 = 0.9;             ///< curvature condition
+};
+
+struct LbfgsResult {
+  Point x;
+  double value = 0.0;
+  Point gradient;
+  std::size_t iterations = 0;
+  std::size_t evaluations = 0;
+  bool converged = false;  ///< gradient tolerance reached
+};
+
+/// Minimizes `f` from `x0` (unconstrained).
+LbfgsResult lbfgs_minimize(const GradObjective& f, const Point& x0,
+                           const LbfgsOptions& options = {});
+
+}  // namespace gptune::opt

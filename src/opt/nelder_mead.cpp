@@ -1,0 +1,122 @@
+#include "opt/nelder_mead.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace gptune::opt {
+
+namespace {
+
+struct SimplexVertex {
+  Point x;
+  double f = 0.0;
+};
+
+// One Nelder–Mead run from a random start; spends at most `budget` evals.
+Result run_once(const Objective& f, const Box& box, common::Rng& rng,
+                const NelderMeadOptions& opt, std::size_t budget) {
+  const std::size_t d = box.dim();
+  Result out;
+  out.value = std::numeric_limits<double>::infinity();
+
+  auto eval = [&](const Point& x) {
+    ++out.evaluations;
+    const double v = f(x);
+    if (v < out.value) {
+      out.value = v;
+      out.x = x;
+    }
+    return v;
+  };
+
+  std::vector<SimplexVertex> simplex(d + 1);
+  Point origin(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    origin[i] = rng.uniform(box.lo[i], box.hi[i]);
+  }
+  simplex[0] = {origin, eval(origin)};
+  for (std::size_t v = 1; v <= d; ++v) {
+    Point x = origin;
+    const std::size_t i = v - 1;
+    const double width = box.hi[i] - box.lo[i];
+    x[i] += opt.initial_scale * width *
+            (x[i] + opt.initial_scale * width <= box.hi[i] ? 1.0 : -1.0);
+    box.clamp(x);
+    simplex[v] = {x, eval(x)};
+  }
+
+  constexpr double kAlpha = 1.0, kGamma = 2.0, kRho = 0.5, kSigma = 0.5;
+  while (out.evaluations < budget) {
+    std::sort(simplex.begin(), simplex.end(),
+              [](const SimplexVertex& a, const SimplexVertex& b) {
+                return a.f < b.f;
+              });
+    if (simplex.back().f - simplex.front().f < opt.tolerance) break;
+
+    // Centroid of all but the worst vertex.
+    Point centroid(d, 0.0);
+    for (std::size_t v = 0; v < d; ++v) {
+      for (std::size_t i = 0; i < d; ++i) centroid[i] += simplex[v].x[i];
+    }
+    for (double& c : centroid) c /= static_cast<double>(d);
+
+    auto affine = [&](double coeff) {
+      Point x(d);
+      for (std::size_t i = 0; i < d; ++i) {
+        x[i] = centroid[i] + coeff * (centroid[i] - simplex.back().x[i]);
+      }
+      box.clamp(x);
+      return x;
+    };
+
+    const Point xr = affine(kAlpha);
+    const double fr = eval(xr);
+    if (fr < simplex.front().f) {
+      const Point xe = affine(kGamma);
+      const double fe = eval(xe);
+      simplex.back() = fe < fr ? SimplexVertex{xe, fe} : SimplexVertex{xr, fr};
+    } else if (fr < simplex[d - 1].f) {
+      simplex.back() = {xr, fr};
+    } else {
+      const Point xc = affine(-kRho);
+      const double fc = eval(xc);
+      if (fc < simplex.back().f) {
+        simplex.back() = {xc, fc};
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t v = 1; v <= d; ++v) {
+          for (std::size_t i = 0; i < d; ++i) {
+            simplex[v].x[i] = simplex[0].x[i] +
+                              kSigma * (simplex[v].x[i] - simplex[0].x[i]);
+          }
+          simplex[v].f = eval(simplex[v].x);
+          if (out.evaluations >= budget) break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result nelder_mead_minimize(const Objective& f, const Box& box,
+                            common::Rng& rng,
+                            const NelderMeadOptions& options) {
+  const std::size_t runs = std::max<std::size_t>(1, options.restarts);
+  const std::size_t per_run = options.max_evaluations / runs;
+  Result best;
+  best.value = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < runs; ++r) {
+    Result one = run_once(f, box, rng, options, per_run);
+    best.evaluations += one.evaluations;
+    if (one.value < best.value) {
+      best.value = one.value;
+      best.x = one.x;
+    }
+  }
+  return best;
+}
+
+}  // namespace gptune::opt

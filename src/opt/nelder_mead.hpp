@@ -1,0 +1,21 @@
+// Nelder–Mead downhill simplex (1965) with box projection and restarts.
+// One of the model-free "local" methods of paper §5; an OpenTuner-style arm.
+#pragma once
+
+#include "common/rng.hpp"
+#include "opt/problem.hpp"
+
+namespace gptune::opt {
+
+struct NelderMeadOptions {
+  std::size_t max_evaluations = 500;
+  double initial_scale = 0.2;    ///< simplex edge as fraction of box width
+  double tolerance = 1e-10;      ///< spread of simplex values to stop at
+  std::size_t restarts = 3;      ///< random restarts within the budget
+};
+
+Result nelder_mead_minimize(const Objective& f, const Box& box,
+                            common::Rng& rng,
+                            const NelderMeadOptions& options = {});
+
+}  // namespace gptune::opt

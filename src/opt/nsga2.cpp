@@ -1,0 +1,211 @@
+#include "opt/nsga2.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "opt/genetic.hpp"
+
+namespace gptune::opt {
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<std::vector<std::size_t>> non_dominated_sort(
+    const std::vector<std::vector<double>>& values) {
+  const std::size_t n = values.size();
+  std::vector<std::vector<std::size_t>> dominated_by(n);
+  std::vector<std::size_t> domination_count(n, 0);
+  std::vector<std::vector<std::size_t>> fronts;
+
+  std::vector<std::size_t> first;
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < n; ++q) {
+      if (p == q) continue;
+      if (dominates(values[p], values[q])) {
+        dominated_by[p].push_back(q);
+      } else if (dominates(values[q], values[p])) {
+        ++domination_count[p];
+      }
+    }
+    if (domination_count[p] == 0) first.push_back(p);
+  }
+  fronts.push_back(std::move(first));
+
+  std::size_t i = 0;
+  while (!fronts[i].empty()) {
+    std::vector<std::size_t> next;
+    for (std::size_t p : fronts[i]) {
+      for (std::size_t q : dominated_by[p]) {
+        if (--domination_count[q] == 0) next.push_back(q);
+      }
+    }
+    if (next.empty()) break;
+    fronts.push_back(std::move(next));
+    ++i;
+  }
+  return fronts;
+}
+
+std::vector<double> crowding_distance(
+    const std::vector<std::vector<double>>& values,
+    const std::vector<std::size_t>& front) {
+  const std::size_t n = front.size();
+  std::vector<double> distance(n, 0.0);
+  if (n <= 2) {
+    std::fill(distance.begin(), distance.end(),
+              std::numeric_limits<double>::infinity());
+    return distance;
+  }
+  const std::size_t m = values[front[0]].size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t obj = 0; obj < m; ++obj) {
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return values[front[a]][obj] < values[front[b]][obj];
+              });
+    const double lo = values[front[order.front()]][obj];
+    const double hi = values[front[order.back()]][obj];
+    distance[order.front()] = std::numeric_limits<double>::infinity();
+    distance[order.back()] = std::numeric_limits<double>::infinity();
+    if (hi - lo < 1e-300) continue;
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      distance[order[i]] += (values[front[order[i + 1]]][obj] -
+                             values[front[order[i - 1]]][obj]) /
+                            (hi - lo);
+    }
+  }
+  return distance;
+}
+
+std::vector<std::size_t> pareto_filter(
+    const std::vector<std::vector<double>>& values) {
+  std::vector<std::size_t> keep;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    bool is_dominated = false;
+    for (std::size_t j = 0; j < values.size(); ++j) {
+      if (i != j && dominates(values[j], values[i])) {
+        is_dominated = true;
+        break;
+      }
+    }
+    if (!is_dominated) keep.push_back(i);
+  }
+  return keep;
+}
+
+ParetoFront nsga2_minimize(const MultiObjective& f, const Box& box,
+                           common::Rng& rng, const Nsga2Options& options) {
+  const std::size_t d = box.dim();
+  const std::size_t pop_size = std::max<std::size_t>(4, options.population);
+  const double pm = options.mutation_probability < 0.0
+                        ? 1.0 / static_cast<double>(d)
+                        : options.mutation_probability;
+
+  struct Individual {
+    Point x;
+    std::vector<double> f;
+    std::size_t rank = 0;
+    double crowding = 0.0;
+  };
+  std::vector<Individual> pop(pop_size);
+  for (std::size_t p = 0; p < pop_size; ++p) {
+    auto& ind = pop[p];
+    if (p < options.initial_points.size() &&
+        options.initial_points[p].size() == d) {
+      ind.x = options.initial_points[p];
+      box.clamp(ind.x);
+    } else {
+      ind.x.resize(d);
+      for (std::size_t i = 0; i < d; ++i) {
+        ind.x[i] = rng.uniform(box.lo[i], box.hi[i]);
+      }
+    }
+    ind.f = f(ind.x);
+  }
+
+  auto assign_rank_and_crowding = [&](std::vector<Individual>& individuals) {
+    std::vector<std::vector<double>> vals(individuals.size());
+    for (std::size_t i = 0; i < individuals.size(); ++i) {
+      vals[i] = individuals[i].f;
+    }
+    auto fronts = non_dominated_sort(vals);
+    for (std::size_t r = 0; r < fronts.size(); ++r) {
+      auto cd = crowding_distance(vals, fronts[r]);
+      for (std::size_t i = 0; i < fronts[r].size(); ++i) {
+        individuals[fronts[r][i]].rank = r;
+        individuals[fronts[r][i]].crowding = cd[i];
+      }
+    }
+    return fronts;
+  };
+  assign_rank_and_crowding(pop);
+
+  auto crowded_less = [](const Individual& a, const Individual& b) {
+    return a.rank < b.rank || (a.rank == b.rank && a.crowding > b.crowding);
+  };
+  auto tournament = [&]() -> const Individual& {
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pop.size()) - 1));
+    const auto b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pop.size()) - 1));
+    return crowded_less(pop[a], pop[b]) ? pop[a] : pop[b];
+  };
+
+  for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    std::vector<Individual> combined = pop;
+    while (combined.size() < 2 * pop_size) {
+      Point c1, c2;
+      sbx_crossover(tournament().x, tournament().x, box, options.sbx_eta,
+                    options.crossover_probability, rng, c1, c2);
+      polynomial_mutation(c1, box, options.mutation_eta, pm, rng);
+      polynomial_mutation(c2, box, options.mutation_eta, pm, rng);
+      combined.push_back({c1, f(c1), 0, 0.0});
+      if (combined.size() < 2 * pop_size) {
+        combined.push_back({c2, f(c2), 0, 0.0});
+      }
+    }
+    auto fronts = assign_rank_and_crowding(combined);
+
+    // Elitist survival: fill by whole fronts, break ties by crowding.
+    std::vector<Individual> next;
+    next.reserve(pop_size);
+    for (const auto& front : fronts) {
+      if (next.size() + front.size() <= pop_size) {
+        for (std::size_t idx : front) next.push_back(combined[idx]);
+      } else {
+        std::vector<std::size_t> sorted = front;
+        std::sort(sorted.begin(), sorted.end(),
+                  [&](std::size_t a, std::size_t b) {
+                    return combined[a].crowding > combined[b].crowding;
+                  });
+        for (std::size_t idx : sorted) {
+          if (next.size() >= pop_size) break;
+          next.push_back(combined[idx]);
+        }
+      }
+      if (next.size() >= pop_size) break;
+    }
+    pop = std::move(next);
+    assign_rank_and_crowding(pop);
+  }
+
+  ParetoFront front;
+  std::vector<std::vector<double>> vals(pop.size());
+  for (std::size_t i = 0; i < pop.size(); ++i) vals[i] = pop[i].f;
+  for (std::size_t idx : pareto_filter(vals)) {
+    front.points.push_back(pop[idx].x);
+    front.values.push_back(pop[idx].f);
+  }
+  return front;
+}
+
+}  // namespace gptune::opt

@@ -1,0 +1,57 @@
+// NSGA-II (Deb et al. 2002): fast non-dominated sorting, crowding distance,
+// elitist (mu + lambda) survival. GPTune's multi-objective search phase
+// (paper §3.2, Algorithm 2) runs NSGA-II over the per-objective EI vector.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "opt/problem.hpp"
+
+namespace gptune::opt {
+
+struct Nsga2Options {
+  std::size_t population = 60;
+  std::size_t generations = 40;
+  double crossover_probability = 0.9;
+  double mutation_probability = -1.0;  ///< <0 means 1/dim
+  double sbx_eta = 15.0;
+  double mutation_eta = 20.0;
+  /// Optional seed positions for the initial population (clamped to the
+  /// box); see PsoOptions::initial_points.
+  std::vector<Point> initial_points;
+};
+
+/// A set of mutually non-dominating solutions.
+struct ParetoFront {
+  std::vector<Point> points;
+  std::vector<std::vector<double>> values;  ///< same order as points
+
+  std::size_t size() const { return points.size(); }
+};
+
+/// Minimizes all components of `f` over `box`; returns the final
+/// non-dominated front.
+ParetoFront nsga2_minimize(const MultiObjective& f, const Box& box,
+                           common::Rng& rng, const Nsga2Options& options = {});
+
+// --- Pareto utilities (shared with the tuner core and metrics) ---
+
+/// True if `a` Pareto-dominates `b` (<= everywhere, < somewhere; minimization).
+bool dominates(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Fronts[0] is the non-dominated set, fronts[1] the next layer, etc.
+/// Returns indices into `values`.
+std::vector<std::vector<std::size_t>> non_dominated_sort(
+    const std::vector<std::vector<double>>& values);
+
+/// Crowding distance of each index within one front (Deb et al. §III-B).
+std::vector<double> crowding_distance(
+    const std::vector<std::vector<double>>& values,
+    const std::vector<std::size_t>& front);
+
+/// Indices of the non-dominated subset of `values`.
+std::vector<std::size_t> pareto_filter(
+    const std::vector<std::vector<double>>& values);
+
+}  // namespace gptune::opt

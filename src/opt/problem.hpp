@@ -1,0 +1,61 @@
+// Shared interfaces for the optimizer suite.
+//
+// Every optimizer works on a box-constrained continuous problem; the tuner
+// core maps its mixed integer/real/categorical spaces into the unit box
+// before calling in (see core/space.hpp).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace gptune::opt {
+
+using Point = std::vector<double>;
+
+/// Scalar objective to MINIMIZE.
+using Objective = std::function<double(const Point&)>;
+
+/// Objective with analytic gradient (for L-BFGS).
+/// Returns f(x) and fills `grad` (resized by the callee if needed).
+using GradObjective = std::function<double(const Point&, Point&)>;
+
+/// Vector objective to MINIMIZE component-wise (for NSGA-II).
+using MultiObjective = std::function<std::vector<double>(const Point&)>;
+
+/// Axis-aligned box constraints.
+struct Box {
+  Point lo;
+  Point hi;
+
+  std::size_t dim() const { return lo.size(); }
+
+  /// Unit box [0,1]^d.
+  static Box unit(std::size_t d) {
+    return Box{Point(d, 0.0), Point(d, 1.0)};
+  }
+
+  /// Clamps x into the box in place.
+  void clamp(Point& x) const {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x[i] < lo[i]) x[i] = lo[i];
+      if (x[i] > hi[i]) x[i] = hi[i];
+    }
+  }
+
+  bool contains(const Point& x) const {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x[i] < lo[i] || x[i] > hi[i]) return false;
+    }
+    return true;
+  }
+};
+
+/// Result of a single-objective run.
+struct Result {
+  Point x;
+  double value = 0.0;
+  std::size_t evaluations = 0;
+};
+
+}  // namespace gptune::opt

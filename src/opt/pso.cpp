@@ -1,0 +1,77 @@
+#include "opt/pso.hpp"
+
+#include <limits>
+
+namespace gptune::opt {
+
+Result pso_minimize(const Objective& f, const Box& box, common::Rng& rng,
+                    const PsoOptions& options) {
+  const std::size_t d = box.dim();
+  const std::size_t m = options.swarm_size;
+
+  std::vector<Point> pos(m, Point(d)), vel(m, Point(d)), best_pos(m);
+  std::vector<double> best_val(m, std::numeric_limits<double>::infinity());
+  Result global;
+  global.value = std::numeric_limits<double>::infinity();
+
+  for (std::size_t p = 0; p < m; ++p) {
+    if (p < options.initial_points.size() &&
+        options.initial_points[p].size() == d) {
+      pos[p] = options.initial_points[p];
+      box.clamp(pos[p]);
+      for (std::size_t i = 0; i < d; ++i) {
+        vel[p][i] = rng.uniform(-1.0, 1.0) *
+                    options.initial_velocity_scale * (box.hi[i] - box.lo[i]);
+      }
+    } else {
+      for (std::size_t i = 0; i < d; ++i) {
+        const double width = box.hi[i] - box.lo[i];
+        pos[p][i] = rng.uniform(box.lo[i], box.hi[i]);
+        vel[p][i] = rng.uniform(-1.0, 1.0) * options.initial_velocity_scale *
+                    width;
+      }
+    }
+    const double v = f(pos[p]);
+    ++global.evaluations;
+    best_pos[p] = pos[p];
+    best_val[p] = v;
+    if (v < global.value) {
+      global.value = v;
+      global.x = pos[p];
+    }
+  }
+
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    for (std::size_t p = 0; p < m; ++p) {
+      for (std::size_t i = 0; i < d; ++i) {
+        const double r1 = rng.uniform();
+        const double r2 = rng.uniform();
+        vel[p][i] = options.inertia * vel[p][i] +
+                    options.cognitive * r1 * (best_pos[p][i] - pos[p][i]) +
+                    options.social * r2 * (global.x[i] - pos[p][i]);
+        pos[p][i] += vel[p][i];
+        // Reflect at box boundaries to keep particles interior.
+        if (pos[p][i] < box.lo[i]) {
+          pos[p][i] = box.lo[i];
+          vel[p][i] = -0.5 * vel[p][i];
+        } else if (pos[p][i] > box.hi[i]) {
+          pos[p][i] = box.hi[i];
+          vel[p][i] = -0.5 * vel[p][i];
+        }
+      }
+      const double v = f(pos[p]);
+      ++global.evaluations;
+      if (v < best_val[p]) {
+        best_val[p] = v;
+        best_pos[p] = pos[p];
+        if (v < global.value) {
+          global.value = v;
+          global.x = pos[p];
+        }
+      }
+    }
+  }
+  return global;
+}
+
+}  // namespace gptune::opt

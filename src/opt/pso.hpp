@@ -1,0 +1,29 @@
+// Particle Swarm Optimization (Kennedy & Eberhart 1995).
+//
+// GPTune's search phase maximizes the Expected Improvement with PSO
+// (paper §3.1, search phase); PSO is also one of the OpenTuner-style arms.
+#pragma once
+
+#include "common/rng.hpp"
+#include "opt/problem.hpp"
+
+namespace gptune::opt {
+
+struct PsoOptions {
+  std::size_t swarm_size = 40;
+  std::size_t iterations = 60;
+  double inertia = 0.72;           ///< velocity damping (Clerc constriction)
+  double cognitive = 1.49;         ///< pull toward particle best
+  double social = 1.49;            ///< pull toward swarm best
+  double initial_velocity_scale = 0.1;  ///< fraction of box width
+  /// Optional seed positions for the first particles (clamped to the box).
+  /// Callers with constrained problems seed feasible points here so the
+  /// swarm does not start entirely inside a penalty plateau.
+  std::vector<Point> initial_points;
+};
+
+/// Minimizes `f` over `box`.
+Result pso_minimize(const Objective& f, const Box& box, common::Rng& rng,
+                    const PsoOptions& options = {});
+
+}  // namespace gptune::opt

@@ -1,0 +1,50 @@
+#include "opt/simulated_annealing.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace gptune::opt {
+
+Result simulated_annealing_minimize(const Objective& f, const Box& box,
+                                    common::Rng& rng,
+                                    const SimulatedAnnealingOptions& options) {
+  const std::size_t d = box.dim();
+  Result best;
+
+  Point current(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    current[i] = rng.uniform(box.lo[i], box.hi[i]);
+  }
+  double current_f = f(current);
+  best.evaluations = 1;
+  best.x = current;
+  best.value = current_f;
+
+  double temperature = options.initial_temperature;
+  while (best.evaluations < options.max_evaluations) {
+    Point proposal = current;
+    for (std::size_t i = 0; i < d; ++i) {
+      const double width = box.hi[i] - box.lo[i];
+      proposal[i] += rng.normal(0.0, options.step_scale * width * temperature /
+                                          options.initial_temperature);
+    }
+    box.clamp(proposal);
+    const double proposal_f = f(proposal);
+    ++best.evaluations;
+
+    const double delta = proposal_f - current_f;
+    if (delta <= 0.0 ||
+        rng.uniform() < std::exp(-delta / std::max(temperature, 1e-12))) {
+      current = std::move(proposal);
+      current_f = proposal_f;
+      if (current_f < best.value) {
+        best.value = current_f;
+        best.x = current;
+      }
+    }
+    temperature *= options.cooling_rate;
+  }
+  return best;
+}
+
+}  // namespace gptune::opt

@@ -1,0 +1,21 @@
+// Simulated annealing (Kirkpatrick et al. 1983) with geometric cooling.
+// One of the model-free "global" methods of paper §5; an OpenTuner-style arm.
+#pragma once
+
+#include "common/rng.hpp"
+#include "opt/problem.hpp"
+
+namespace gptune::opt {
+
+struct SimulatedAnnealingOptions {
+  std::size_t max_evaluations = 500;
+  double initial_temperature = 1.0;
+  double cooling_rate = 0.98;      ///< T <- rate * T per step
+  double step_scale = 0.15;        ///< proposal stddev as box-width fraction
+};
+
+Result simulated_annealing_minimize(
+    const Objective& f, const Box& box, common::Rng& rng,
+    const SimulatedAnnealingOptions& options = {});
+
+}  // namespace gptune::opt

@@ -1,0 +1,218 @@
+#include "runtime/comm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gptune::rt {
+
+namespace detail {
+
+void Mailbox::post(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+namespace {
+bool matches(const Message& m, int source, int tag) {
+  return (source == kAnySource || m.source == source) &&
+         (tag == kAnyTag || m.tag == tag);
+}
+}  // namespace
+
+Message Mailbox::take(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        Message m = std::move(*it);
+        queue_.erase(it);
+        return m;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::try_take(int source, int tag, Message* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, source, tag)) {
+      *out = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+GroupState::GroupState(std::size_t n) : mailboxes(n), size(n) {}
+
+InterChannel::InterChannel(std::size_t local_n, std::size_t remote_n)
+    : to_local(local_n), to_remote(remote_n) {}
+
+}  // namespace detail
+
+// --- InterComm ---
+
+void InterComm::send(std::size_t remote_rank, int tag,
+                     std::vector<double> data) {
+  assert(remote_rank < remote_size_);
+  Message m;
+  m.source = static_cast<int>(local_rank_);
+  m.tag = tag;
+  m.data = std::move(data);
+  auto& box = is_parent_side_ ? channel_->to_remote[remote_rank]
+                              : channel_->to_local[remote_rank];
+  box.post(std::move(m));
+}
+
+Message InterComm::recv(int source, int tag) {
+  auto& box = is_parent_side_ ? channel_->to_local[local_rank_]
+                              : channel_->to_remote[local_rank_];
+  return box.take(source, tag);
+}
+
+bool InterComm::try_recv(int source, int tag, Message* out) {
+  auto& box = is_parent_side_ ? channel_->to_local[local_rank_]
+                              : channel_->to_remote[local_rank_];
+  return box.try_take(source, tag, out);
+}
+
+void SpawnHandle::join() {
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+// --- Comm ---
+
+void Comm::send(std::size_t dest, int tag, std::vector<double> data) {
+  assert(dest < size());
+  Message m;
+  m.source = static_cast<int>(rank_);
+  m.tag = tag;
+  m.data = std::move(data);
+  group_->mailboxes[dest].post(std::move(m));
+}
+
+Message Comm::recv(int source, int tag) {
+  return group_->mailboxes[rank_].take(source, tag);
+}
+
+bool Comm::try_recv(int source, int tag, Message* out) {
+  return group_->mailboxes[rank_].try_take(source, tag, out);
+}
+
+void Comm::barrier() {
+  auto& g = *group_;
+  std::unique_lock<std::mutex> lock(g.barrier_mutex);
+  const std::size_t my_generation = g.barrier_generation;
+  if (++g.barrier_count == g.size) {
+    g.barrier_count = 0;
+    ++g.barrier_generation;
+    g.barrier_cv.notify_all();
+  } else {
+    g.barrier_cv.wait(lock, [&g, my_generation] {
+      return g.barrier_generation != my_generation;
+    });
+  }
+}
+
+namespace {
+constexpr int kCollectiveTag = -1000;  // reserved; below user tag space
+}
+
+void Comm::bcast(std::vector<double>& data, std::size_t root) {
+  if (size() == 1) return;
+  if (rank_ == root) {
+    for (std::size_t r = 0; r < size(); ++r) {
+      if (r != root) send(r, kCollectiveTag, data);
+    }
+  } else {
+    data = recv(static_cast<int>(root), kCollectiveTag).data;
+  }
+}
+
+std::vector<double> Comm::reduce_sum(const std::vector<double>& contribution,
+                                     std::size_t root) {
+  if (rank_ != root) {
+    send(root, kCollectiveTag, contribution);
+    return {};
+  }
+  // Receive from each source explicitly: with kAnySource a fast rank's
+  // contribution to the *next* reduction could be folded into this one.
+  std::vector<double> acc = contribution;
+  for (std::size_t r = 0; r < size(); ++r) {
+    if (r == root) continue;
+    Message m = recv(static_cast<int>(r), kCollectiveTag);
+    assert(m.data.size() == acc.size());
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += m.data[i];
+  }
+  return acc;
+}
+
+std::vector<double> Comm::allreduce_sum(
+    const std::vector<double>& contribution) {
+  std::vector<double> result = reduce_sum(contribution, 0);
+  if (rank_ != 0) result.resize(contribution.size());
+  bcast(result, 0);
+  return result;
+}
+
+std::vector<std::vector<double>> Comm::gather(const std::vector<double>& data,
+                                              std::size_t root) {
+  if (rank_ != root) {
+    send(root, kCollectiveTag, data);
+    return {};
+  }
+  std::vector<std::vector<double>> all(size());
+  all[root] = data;
+  for (std::size_t r = 0; r < size(); ++r) {
+    if (r == root) continue;
+    Message m = recv(static_cast<int>(r), kCollectiveTag);
+    all[r] = std::move(m.data);
+  }
+  return all;
+}
+
+SpawnHandle Comm::spawn(std::size_t n,
+                        std::function<void(Comm&, InterComm&)> fn) const {
+  assert(n >= 1);
+  auto channel = std::make_shared<detail::InterChannel>(1, n);
+  auto child_group = std::make_shared<detail::GroupState>(n);
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    threads.emplace_back([channel, child_group, r, n, fn] {
+      Comm child_comm(child_group, r);
+      InterComm parent(channel, /*is_parent_side=*/false, r,
+                       /*remote_size=*/1);
+      fn(child_comm, parent);
+    });
+  }
+  InterComm spawned(channel, /*is_parent_side=*/true, /*local_rank=*/0, n);
+  return SpawnHandle(std::move(spawned), std::move(threads));
+}
+
+// --- World ---
+
+void World::run(std::size_t n, const std::function<void(Comm&)>& fn) {
+  assert(n >= 1);
+  auto group = std::make_shared<detail::GroupState>(n);
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    threads.emplace_back([group, r, &fn] {
+      Comm comm(group, r);
+      fn(comm);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace gptune::rt

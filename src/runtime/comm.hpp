@@ -1,0 +1,173 @@
+// Message-passing runtime modeled on the MPI subset GPTune uses (paper §4).
+//
+// The paper's driver runs on one MPI process and *spawns* worker groups via
+// mpi4py's Spawn; master and workers exchange data through the resulting
+// inter-communicator (paper Fig. 1). This module reproduces that programming
+// model over std::thread:
+//
+//   * World::run(n, fn)       — launch an intra-communicator group of n ranks
+//   * Comm                    — rank/size, send/recv, barrier, bcast,
+//                               reduce/allreduce, gather
+//   * Comm::spawn(n, fn)      — create a child group; the parent receives an
+//                               InterComm (the paper's "SpawnedComm"), each
+//                               child receives its own InterComm
+//                               (the paper's "ParentComm" via Get_parent)
+//
+// Messages carry vectors of doubles plus an integer tag; that covers the
+// tuner's needs (samples, hyperparameters, objective values) while keeping
+// the transport simple and easily swappable for real MPI.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gptune::rt {
+
+/// Wildcards for recv matching (mirror MPI_ANY_SOURCE / MPI_ANY_TAG).
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// A received message: payload plus the envelope that matched.
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<double> data;
+};
+
+namespace detail {
+
+/// One rank's inbox: a mutex-protected deque supporting selective receive.
+class Mailbox {
+ public:
+  void post(Message msg);
+  /// Blocks until a message matching (source, tag) is available and pops it.
+  Message take(int source, int tag);
+  /// Non-blocking variant; returns false if no matching message is queued.
+  bool try_take(int source, int tag, Message* out);
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+/// Shared state of one intra-communicator group.
+struct GroupState {
+  explicit GroupState(std::size_t n);
+  std::vector<Mailbox> mailboxes;
+  // Sense-reversing central barrier.
+  std::mutex barrier_mutex;
+  std::condition_variable barrier_cv;
+  std::size_t barrier_count = 0;
+  std::size_t barrier_generation = 0;
+  std::size_t size = 0;
+};
+
+/// Channel backing an inter-communicator: mailboxes for both directions.
+struct InterChannel {
+  explicit InterChannel(std::size_t local_n, std::size_t remote_n);
+  std::vector<Mailbox> to_local;   // indexed by local rank
+  std::vector<Mailbox> to_remote;  // indexed by remote rank
+};
+
+}  // namespace detail
+
+class Comm;
+
+/// Handle to a remote group created by Comm::spawn (or received by the
+/// spawned ranks). Mirrors an MPI inter-communicator: sends address ranks of
+/// the *remote* group; receives read this rank's inbox on the channel.
+class InterComm {
+ public:
+  std::size_t local_rank() const { return local_rank_; }
+  std::size_t remote_size() const { return remote_size_; }
+
+  void send(std::size_t remote_rank, int tag, std::vector<double> data);
+  Message recv(int source = kAnySource, int tag = kAnyTag);
+  bool try_recv(int source, int tag, Message* out);
+
+ private:
+  friend class Comm;
+  InterComm(std::shared_ptr<detail::InterChannel> channel, bool is_parent_side,
+            std::size_t local_rank, std::size_t remote_size)
+      : channel_(std::move(channel)),
+        is_parent_side_(is_parent_side),
+        local_rank_(local_rank),
+        remote_size_(remote_size) {}
+
+  std::shared_ptr<detail::InterChannel> channel_;
+  bool is_parent_side_;
+  std::size_t local_rank_;
+  std::size_t remote_size_;
+};
+
+/// Joinable handle to a spawned child group (parent side).
+class SpawnHandle {
+ public:
+  SpawnHandle(InterComm comm, std::vector<std::thread> threads)
+      : comm_(std::move(comm)), threads_(std::move(threads)) {}
+  ~SpawnHandle() { join(); }
+  SpawnHandle(SpawnHandle&&) = default;
+
+  InterComm& comm() { return comm_; }
+  /// Blocks until every spawned rank's function returns.
+  void join();
+
+ private:
+  InterComm comm_;
+  std::vector<std::thread> threads_;
+};
+
+/// Intra-communicator endpoint owned by one rank.
+class Comm {
+ public:
+  std::size_t rank() const { return rank_; }
+  std::size_t size() const { return group_->size; }
+
+  // --- point to point ---
+  void send(std::size_t dest, int tag, std::vector<double> data);
+  Message recv(int source = kAnySource, int tag = kAnyTag);
+  bool try_recv(int source, int tag, Message* out);
+
+  // --- collectives (implemented over point-to-point, rooted at 0) ---
+  void barrier();
+  /// Root's `data` is distributed to all; others receive into `data`.
+  void bcast(std::vector<double>& data, std::size_t root = 0);
+  /// Element-wise sum across ranks; result valid on root only.
+  std::vector<double> reduce_sum(const std::vector<double>& contribution,
+                                 std::size_t root = 0);
+  /// Element-wise sum, result on every rank.
+  std::vector<double> allreduce_sum(const std::vector<double>& contribution);
+  /// Concatenation of per-rank contributions in rank order; root only.
+  std::vector<std::vector<double>> gather(const std::vector<double>& data,
+                                          std::size_t root = 0);
+
+  // --- dynamic process management (paper §4.1) ---
+  /// Spawns `n` worker ranks, each running `fn(worker_comm, parent_comm)`.
+  /// Returns the parent-side inter-communicator handle.
+  SpawnHandle spawn(std::size_t n,
+                    std::function<void(Comm&, InterComm&)> fn) const;
+
+ private:
+  friend class World;
+  Comm(std::shared_ptr<detail::GroupState> group, std::size_t rank)
+      : group_(std::move(group)), rank_(rank) {}
+
+  std::shared_ptr<detail::GroupState> group_;
+  std::size_t rank_;
+};
+
+/// Launches an intra-communicator group.
+class World {
+ public:
+  /// Runs `fn(comm)` on `n` ranks (threads) and blocks until all return.
+  static void run(std::size_t n, const std::function<void(Comm&)>& fn);
+};
+
+}  // namespace gptune::rt

@@ -1,0 +1,54 @@
+// Fixed-size worker pool used to execute independent task batches
+// (tile updates in the blocked Cholesky, per-task EI searches, multi-start
+// hyperparameter optimizations).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "linalg/blocked_cholesky.hpp"
+
+namespace gptune::rt {
+
+/// Worker pool with a shared FIFO queue. Threads live for the pool lifetime.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return threads_.size(); }
+
+  /// Enqueues one task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+  /// Runs a batch of independent tasks to completion (submit + wait).
+  void run_batch(std::vector<std::function<void()>>&& tasks);
+
+  /// Adapts this pool to the linalg TaskBatchRunner interface.
+  linalg::TaskBatchRunner batch_runner();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace gptune::rt

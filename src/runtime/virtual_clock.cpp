@@ -1,0 +1,43 @@
+#include "runtime/virtual_clock.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gptune::rt {
+
+VirtualRanks::VirtualRanks(std::size_t num_ranks)
+    : busy_(num_ranks == 0 ? 1 : num_ranks, 0.0) {}
+
+void VirtualRanks::charge(std::size_t r, double seconds) {
+  assert(r < busy_.size());
+  busy_[r] += seconds;
+}
+
+void VirtualRanks::charge_all(double seconds) {
+  for (double& b : busy_) b += seconds;
+}
+
+double VirtualRanks::schedule_greedy(const std::vector<double>& task_costs) {
+  const double before = makespan();
+  for (double cost : task_costs) {
+    auto it = std::min_element(busy_.begin(), busy_.end());
+    *it += cost;
+  }
+  return makespan() - before;
+}
+
+double VirtualRanks::makespan() const {
+  return *std::max_element(busy_.begin(), busy_.end());
+}
+
+double VirtualRanks::total_work() const {
+  double s = 0.0;
+  for (double b : busy_) s += b;
+  return s;
+}
+
+void VirtualRanks::reset() {
+  std::fill(busy_.begin(), busy_.end(), 0.0);
+}
+
+}  // namespace gptune::rt

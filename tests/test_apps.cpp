@@ -1,0 +1,385 @@
+// Sanity tests for the application simulators: determinism per seed/trial,
+// monotone scaling in task size, interior optima in the tuning parameters,
+// and the qualitative structure each paper experiment relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/analytical.hpp"
+#include "apps/hypre_sim.hpp"
+#include "apps/machine.hpp"
+#include "apps/mhd_sim.hpp"
+#include "apps/scalapack_sim.hpp"
+#include "apps/superlu_sim.hpp"
+
+namespace {
+
+using namespace gptune::apps;
+using gptune::core::Config;
+using gptune::core::TaskVector;
+
+// --- analytical (Eq. 11) ---
+
+TEST(Analytical, MatchesFormulaAtKnownPoint) {
+  // At x = 0: cos = 1, all sin terms are 0 => y = 1.
+  EXPECT_NEAR(analytical_objective(1.0, 0.0), 1.0, 1e-12);
+}
+
+TEST(Analytical, EnvelopeBoundsFunction) {
+  // |y - 1| <= 5 * exp(-(x+1)^(t+1)).
+  for (double t : {0.0, 2.0, 5.0}) {
+    for (double x = 0.0; x <= 1.0; x += 0.01) {
+      const double bound = 5.0 * std::exp(-std::pow(x + 1.0, t + 1.0));
+      EXPECT_LE(std::abs(analytical_objective(t, x) - 1.0), bound + 1e-9);
+    }
+  }
+}
+
+TEST(Analytical, HigherTaskMoreOscillatory) {
+  // Count sign changes of the derivative (sampled) as a roughness proxy.
+  auto roughness = [](double t) {
+    int changes = 0;
+    double prev = analytical_objective(t, 0.0);
+    double prev_diff = 0.0;
+    for (double x = 0.001; x <= 0.3; x += 0.001) {
+      const double v = analytical_objective(t, x);
+      const double diff = v - prev;
+      if (diff * prev_diff < 0.0) ++changes;
+      prev = v;
+      prev_diff = diff;
+    }
+    return changes;
+  };
+  EXPECT_GT(roughness(6.0), roughness(0.0));
+}
+
+TEST(Analytical, TrueMinimumBelowOne) {
+  for (double t : {0.0, 1.0, 3.0}) {
+    EXPECT_LT(analytical_true_minimum(t, 20001), 1.0);
+  }
+}
+
+TEST(Analytical, NoisyModelDeterministicAndClose) {
+  const double a = analytical_noisy_model(2.0, 0.4, 7);
+  const double b = analytical_noisy_model(2.0, 0.4, 7);
+  EXPECT_DOUBLE_EQ(a, b);
+  const double c = analytical_noisy_model(2.0, 0.4, 8);
+  EXPECT_NE(a, c);
+  // 10% noise: the model tracks the objective.
+  const double y = analytical_objective(2.0, 0.4);
+  EXPECT_NEAR(a, y, std::abs(y) * 0.5 + 1e-9);
+}
+
+TEST(Analytical, TunerAdapter) {
+  const auto fn = analytical_fn();
+  const auto out = fn({1.5}, {0.3});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], analytical_objective(1.5, 0.3));
+}
+
+// --- PDGEQRF ---
+
+class PdgeqrfTest : public ::testing::Test {
+ protected:
+  MachineConfig mc_{64, 32};  // paper: 64 Cori nodes
+  PdgeqrfSim sim_{mc_};
+  TaskVector task_{10000, 10000};
+  Config good_{64, 1024, 32};  // b, p, p_r
+};
+
+TEST_F(PdgeqrfTest, DeterministicPerTrial) {
+  EXPECT_DOUBLE_EQ(sim_.runtime(task_, good_, 0), sim_.runtime(task_, good_, 0));
+  EXPECT_NE(sim_.runtime(task_, good_, 0), sim_.runtime(task_, good_, 1));
+}
+
+TEST_F(PdgeqrfTest, BestOfTrialsIsMin) {
+  const double b3 = sim_.best_of_trials(task_, good_, 3);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_LE(b3, sim_.runtime(task_, good_, t) + 1e-15);
+  }
+}
+
+TEST_F(PdgeqrfTest, RuntimeGrowsWithMatrixSize) {
+  const double small = sim_.best_of_trials({4000, 4000}, good_);
+  const double large = sim_.best_of_trials({20000, 20000}, good_);
+  EXPECT_GT(large, 5.0 * small);  // O(n^3): 125x flops, comm dilutes it
+}
+
+TEST_F(PdgeqrfTest, BlockSizeHasInteriorOptimum) {
+  const double tiny = sim_.best_of_trials(task_, {4, 1024, 32});
+  const double mid = sim_.best_of_trials(task_, {64, 1024, 32});
+  const double huge = sim_.best_of_trials(task_, {512, 1024, 32});
+  EXPECT_LT(mid, tiny);
+  EXPECT_LT(mid, huge);
+}
+
+TEST_F(PdgeqrfTest, ExtremeGridAspectIsSlow) {
+  const double balanced = sim_.best_of_trials(task_, {64, 1024, 32});
+  const double column_grid = sim_.best_of_trials(task_, {64, 1024, 1024});
+  EXPECT_LT(balanced, column_grid);
+}
+
+TEST_F(PdgeqrfTest, WideMatrixPositiveAndSymmetric) {
+  // Regression: m < n made the Eq. (10) volume term negative. A wide QR
+  // must cost the same as the tall QR of the transpose.
+  const double wide = sim_.best_of_trials({10000, 30000}, good_);
+  const double tall = sim_.best_of_trials({30000, 10000}, good_);
+  EXPECT_GT(wide, 0.0);
+  // Identical cost model; only the measurement noise (hashed from the raw
+  // task vector) differs between the two orientations.
+  EXPECT_NEAR(wide, tall, 0.25 * tall);
+  for (double b : {8.0, 64.0, 512.0}) {
+    EXPECT_GT(sim_.runtime({5000, 18000}, {b, 512, 16}), 0.0);
+  }
+}
+
+TEST_F(PdgeqrfTest, QrFlopsFormula) {
+  EXPECT_DOUBLE_EQ(PdgeqrfSim::qr_flops(3000, 3000),
+                   2.0 * 9e6 * 6000.0 / 3.0);
+}
+
+TEST_F(PdgeqrfTest, ModelFeaturesPositive) {
+  const auto f = PdgeqrfSim::model_features(task_, good_);
+  ASSERT_EQ(f.size(), 3u);
+  for (double v : f) EXPECT_GT(v, 0.0);
+}
+
+TEST_F(PdgeqrfTest, PerformanceModelCorrelatesWithRuntime) {
+  // The Eq. 7 model (even with textbook coefficients) must rank a good
+  // configuration under a terrible one.
+  auto model = sim_.make_performance_model();
+  const Config bad = {4, 128, 128};
+  EXPECT_LT(model.evaluate(task_, good_)[0], model.evaluate(task_, bad)[0]);
+}
+
+TEST_F(PdgeqrfTest, TuningSpaceConstraint) {
+  auto space = sim_.tuning_space();
+  EXPECT_EQ(space.dim(), 3u);
+  EXPECT_FALSE(space.feasible({64, 128, 256}));  // p_r > p
+  EXPECT_TRUE(space.feasible({64, 256, 128}));
+}
+
+// --- PDSYEVX ---
+
+TEST(Pdsyevx, CubicScalingInM) {
+  PdsyevxSim sim{MachineConfig{1, 32}};
+  const Config x = {32, 32, 4};
+  const double t1 = sim.best_of_trials({3000}, x);
+  const double t2 = sim.best_of_trials({7000}, x);
+  // (7/3)^3 = 12.7; communication dilutes, expect at least ~6x.
+  EXPECT_GT(t2, 6.0 * t1);
+}
+
+TEST(Pdsyevx, ProcessCountTradeoffExists) {
+  PdsyevxSim sim{MachineConfig{1, 32}};
+  // With one node, more MPI processes means fewer threads each; both
+  // extremes should lose against something in between or be close.
+  const double p1 = sim.best_of_trials({7000}, {32, 1, 1});
+  const double p32 = sim.best_of_trials({7000}, {32, 32, 4});
+  EXPECT_GT(p1, 0.0);
+  EXPECT_GT(p32, 0.0);
+}
+
+TEST(Pdsyevx, ObjectiveAdapterShape) {
+  PdsyevxSim sim{MachineConfig{1, 32}};
+  const auto out = sim.objective(3)({5000}, {32, 16, 4});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_GT(out[0], 0.0);
+}
+
+// --- SuperLU ---
+
+TEST(Superlu, CatalogHasPaperMatrices) {
+  const auto& cat = SuperluSim::catalog();
+  EXPECT_EQ(cat.size(), 8u);
+  EXPECT_EQ(SuperluSim::matrix_index("Si2"), 0u);
+  EXPECT_EQ(SuperluSim::matrix_index("SiO"), 7u);
+  EXPECT_THROW(SuperluSim::matrix_index("nope"), std::out_of_range);
+}
+
+TEST(Superlu, LargerMatrixTakesLonger) {
+  SuperluSim sim{MachineConfig{8, 32}};
+  const Config x = SuperluSim::default_config();
+  const double si2 = sim.factorize({0}, x).time_seconds;    // Si2 (small)
+  const double sio = sim.factorize({7}, x).time_seconds;    // SiO (large)
+  EXPECT_GT(sio, 10.0 * si2);
+}
+
+TEST(Superlu, NaturalOrderingIsWorst) {
+  SuperluSim sim{MachineConfig{8, 32}};
+  for (double matrix : {1.0, 5.0, 7.0}) {
+    Config natural = SuperluSim::default_config();
+    natural[0] = 0;  // NATURAL
+    Config metis = SuperluSim::default_config();
+    metis[0] = 3;  // METIS
+    EXPECT_GT(sim.factorize({matrix}, natural).time_seconds,
+              sim.factorize({matrix}, metis).time_seconds);
+  }
+}
+
+TEST(Superlu, TimeMemoryTradeoffInNsup) {
+  // Large supernodes: faster, more memory. Small: slower, leaner — the
+  // structure behind the paper's Fig. 7 Pareto front and Table 5.
+  SuperluSim sim{MachineConfig{8, 32}};
+  Config small_nsup = SuperluSim::default_config();
+  small_nsup[4] = 32;
+  Config large_nsup = SuperluSim::default_config();
+  large_nsup[4] = 320;
+  const auto rs = sim.factorize({6}, small_nsup);
+  const auto rl = sim.factorize({6}, large_nsup);
+  EXPECT_LT(rl.time_seconds, rs.time_seconds);
+  EXPECT_GT(rl.memory_bytes, rs.memory_bytes);
+}
+
+TEST(Superlu, LookaheadHelpsThenSaturates) {
+  SuperluSim sim{MachineConfig{8, 32}};
+  Config look2 = SuperluSim::default_config();
+  look2[1] = 2;
+  Config look10 = SuperluSim::default_config();
+  look10[1] = 10;
+  EXPECT_GT(sim.factorize({6}, look2).time_seconds,
+            sim.factorize({6}, look10).time_seconds);
+}
+
+TEST(Superlu, MultiObjectiveAdapterShape) {
+  SuperluSim sim{MachineConfig{8, 32}};
+  const auto out = sim.objective_time_memory()({0}, SuperluSim::default_config());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_GT(out[0], 0.0);
+  EXPECT_GT(out[1], 0.0);
+}
+
+TEST(Superlu, DeterministicPerTrial) {
+  SuperluSim sim;
+  const auto a = sim.factorize({3}, SuperluSim::default_config(), 5);
+  const auto b = sim.factorize({3}, SuperluSim::default_config(), 5);
+  EXPECT_DOUBLE_EQ(a.time_seconds, b.time_seconds);
+  EXPECT_DOUBLE_EQ(a.memory_bytes, b.memory_bytes);
+}
+
+// --- hypre ---
+
+TEST(Hypre, TwelveParameters) {
+  HypreSim sim{MachineConfig{1, 32}};
+  EXPECT_EQ(sim.tuning_space().dim(), 12u);
+}
+
+TEST(Hypre, ProcessGridConstraint) {
+  HypreSim sim{MachineConfig{1, 32}};
+  auto space = sim.tuning_space();
+  Config c = {1, 1, 0, 0.5, 0.1, 4, 1, 1.0, 1.0, 4, 4, 2};  // 32 procs: ok
+  EXPECT_TRUE(space.feasible(c));
+  c[9] = 8;
+  c[10] = 8;
+  c[11] = 8;  // 512 > 32
+  EXPECT_FALSE(space.feasible(c));
+}
+
+TEST(Hypre, LargerGridTakesLonger) {
+  // A 20^3 grid on 32 processes is latency bound, so the gap is smaller
+  // than the 125x point ratio; it must still be decisively slower.
+  HypreSim sim{MachineConfig{1, 32}};
+  const Config x = {1, 1, 3, 0.4, 0.05, 4, 1, 1.0, 1.0, 4, 4, 2};
+  const double small = sim.solve_time({20, 20, 20}, x);
+  const double large = sim.solve_time({100, 100, 100}, x);
+  EXPECT_GT(large, 5.0 * small);
+}
+
+TEST(Hypre, StrongThresholdHasInteriorOptimum) {
+  HypreSim sim{MachineConfig{1, 32}};
+  const TaskVector task = {60, 60, 60};
+  auto with_theta = [&](double theta) {
+    const Config x = {1, 1, 3, theta, 0.05, 4, 1, 1.0, 1.0, 4, 4, 2};
+    return sim.iterations(task, x);
+  };
+  // Iterations at the extremes should exceed a mid value.
+  const double lo = with_theta(0.1);
+  const double mid = with_theta(0.45);
+  const double hi = with_theta(0.9);
+  EXPECT_LE(mid, lo);
+  EXPECT_LE(mid, hi);
+}
+
+TEST(Hypre, IterationCountDrivesTime) {
+  HypreSim sim{MachineConfig{1, 32}};
+  const TaskVector task = {50, 50, 50};
+  // Jacobi (weak smoother) needs more iterations than Chebyshev.
+  Config jacobi = {2, 0, 1, 0.4, 0.05, 4, 1, 1.0, 1.0, 4, 4, 2};
+  Config cheby = jacobi;
+  cheby[1] = 3;
+  EXPECT_GT(sim.iterations(task, jacobi), sim.iterations(task, cheby));
+}
+
+TEST(Hypre, DecompositionAffectsTime) {
+  HypreSim sim{MachineConfig{1, 32}};
+  const TaskVector task = {100, 100, 10};  // slab-shaped domain
+  const Config balanced = {1, 1, 3, 0.4, 0.05, 4, 1, 1.0, 1.0, 8, 4, 1};
+  const Config bad = {1, 1, 3, 0.4, 0.05, 4, 1, 1.0, 1.0, 1, 1, 32};
+  EXPECT_LT(sim.solve_time(task, balanced, 0),
+            sim.solve_time(task, bad, 0));
+}
+
+// --- MHD codes ---
+
+TEST(M3dc1, RuntimeScalesWithSteps) {
+  // Periodic refactorization plus per-step solves: super-linear in chunks
+  // of refactor_every, bounded by perfectly linear scaling.
+  M3dc1Sim sim{MachineConfig{1, 32}};
+  const Config x = {1, 3, 4, 128, 20};
+  const double t1 = sim.runtime({1}, x);
+  const double t10 = sim.runtime({10}, x);
+  EXPECT_GT(t10, 3.0 * t1);
+  EXPECT_LT(t10, 20.0 * t1);
+}
+
+TEST(M3dc1, OptimalConfigStableAcrossSteps) {
+  // The paper's trick: tune on few steps, deploy on many. The ordering of
+  // two configurations must be preserved between t=1 and t=15.
+  M3dc1Sim sim{MachineConfig{1, 32}};
+  const Config good = {1, 3, 4, 192, 24};
+  const Config bad = {0, 0, 32, 16, 4};
+  EXPECT_LT(sim.runtime({1}, good), sim.runtime({1}, bad));
+  EXPECT_LT(sim.runtime({15}, good), sim.runtime({15}, bad));
+}
+
+TEST(M3dc1, FiveTuningParameters) {
+  M3dc1Sim sim{MachineConfig{1, 32}};
+  EXPECT_EQ(sim.tuning_space().dim(), 5u);
+}
+
+TEST(Nimrod, SevenTuningParameters) {
+  NimrodSim sim;
+  EXPECT_EQ(sim.tuning_space().dim(), 7u);
+}
+
+TEST(Nimrod, AssemblyBlockingHasInteriorOptimum) {
+  NimrodSim sim;
+  auto with_blocks = [&](double nb) {
+    return sim.runtime({5}, {1, 3, 8, 128, 20, nb, nb});
+  };
+  const double b1 = with_blocks(1);
+  const double b8 = with_blocks(8);
+  const double b32 = with_blocks(32);
+  EXPECT_LT(b8, b1);
+  EXPECT_LT(b8, b32);
+}
+
+TEST(Nimrod, StepsDominateRuntime) {
+  NimrodSim sim;
+  const Config x = {1, 3, 8, 128, 20, 8, 8};
+  EXPECT_GT(sim.runtime({15}, x), 3.0 * sim.runtime({3}, x));
+}
+
+TEST(MachineModel, BlockEfficiencyMonotone) {
+  EXPECT_LT(MachineConfig::block_efficiency(4),
+            MachineConfig::block_efficiency(64));
+  EXPECT_LT(MachineConfig::block_efficiency(64), 1.0);
+}
+
+TEST(MachineModel, HashDeterministic) {
+  EXPECT_EQ(hash_double(1, 3.14), hash_double(1, 3.14));
+  EXPECT_NE(hash_double(1, 3.14), hash_double(2, 3.14));
+  EXPECT_NE(hash_double(1, 3.14), hash_double(1, 3.15));
+}
+
+}  // namespace

@@ -1,0 +1,259 @@
+// Unit tests for common/: RNG determinism and distribution sanity,
+// statistics helpers, logging levels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace {
+
+using gptune::common::Rng;
+using gptune::common::RunningStats;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double s = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) s += rng.uniform();
+  EXPECT_NEAR(s / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(2, 6);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(19);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(23);
+  const int n = 200000;
+  double s = 0.0, s2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    s += v;
+    s2 += v * v;
+  }
+  EXPECT_NEAR(s / n, 0.0, 0.02);
+  EXPECT_NEAR(s2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(29);
+  const int n = 50000;
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(s / n, 10.0, 0.1);
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+  }
+}
+
+TEST(Rng, LognormalMedianNearOne) {
+  Rng rng(37);
+  std::vector<double> v(20001);
+  for (auto& x : v) x = rng.lognormal(0.0, 0.3);
+  EXPECT_NEAR(gptune::common::median(v), 1.0, 0.05);
+}
+
+TEST(Rng, GammaMeanIsShapeTimesScale) {
+  Rng rng(41);
+  const int n = 50000;
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += rng.gamma(3.0, 2.0);
+  EXPECT_NEAR(s / n, 6.0, 0.15);
+}
+
+TEST(Rng, GammaShapeBelowOne) {
+  Rng rng(43);
+  const int n = 50000;
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gamma(0.5, 1.0);
+    EXPECT_GT(v, 0.0);
+    s += v;
+  }
+  EXPECT_NEAR(s / n, 0.5, 0.05);
+}
+
+TEST(Rng, GammaRejectsBadArguments) {
+  Rng rng(47);
+  EXPECT_THROW(rng.gamma(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.gamma(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, CategoricalProportions) {
+  Rng rng(53);
+  std::vector<double> w = {1.0, 3.0};
+  int count1 = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.categorical(w) == 1) ++count1;
+  }
+  EXPECT_NEAR(static_cast<double>(count1) / n, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalSkipsZeroWeight) {
+  Rng rng(59);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.categorical(w), 1u);
+}
+
+TEST(Rng, CategoricalThrowsOnAllZero) {
+  Rng rng(61);
+  std::vector<double> w = {0.0, 0.0};
+  EXPECT_THROW(rng.categorical(w), std::invalid_argument);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(67);
+  const auto p = rng.permutation(50);
+  std::set<std::size_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 50u);
+  EXPECT_EQ(*s.begin(), 0u);
+  EXPECT_EQ(*s.rbegin(), 49u);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(71);
+  Rng child = parent.split();
+  // The child stream should differ from the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// --- stats ---
+
+TEST(Stats, MeanAndVariance) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(gptune::common::mean(v), 2.5);
+  EXPECT_NEAR(gptune::common::variance(v), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, EmptyVectorDefaults) {
+  std::vector<double> v;
+  EXPECT_EQ(gptune::common::mean(v), 0.0);
+  EXPECT_EQ(gptune::common::variance(v), 0.0);
+  EXPECT_TRUE(std::isinf(gptune::common::min(v)));
+  EXPECT_TRUE(std::isnan(gptune::common::median(v)));
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(gptune::common::median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(gptune::common::median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> v = {0.0, 1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(gptune::common::quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(gptune::common::quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(gptune::common::quantile(v, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(gptune::common::quantile(v, 0.5), 2.0);
+}
+
+TEST(Stats, MinMax) {
+  std::vector<double> v = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(gptune::common::min(v), -1.0);
+  EXPECT_DOUBLE_EQ(gptune::common::max(v), 7.0);
+}
+
+TEST(Stats, NormalPdfPeak) {
+  EXPECT_NEAR(gptune::common::normal_pdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_NEAR(gptune::common::normal_pdf(1.0),
+              gptune::common::normal_pdf(-1.0), 1e-15);
+}
+
+TEST(Stats, NormalCdfValues) {
+  EXPECT_NEAR(gptune::common::normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(gptune::common::normal_cdf(1.959964), 0.975, 1e-5);
+  EXPECT_NEAR(gptune::common::normal_cdf(-1.959964), 0.025, 1e-5);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  gptune::common::Rng rng(73);
+  std::vector<double> v(500);
+  RunningStats rs;
+  for (auto& x : v) {
+    x = rng.normal(3.0, 2.0);
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_NEAR(rs.mean(), gptune::common::mean(v), 1e-10);
+  EXPECT_NEAR(rs.variance(), gptune::common::variance(v), 1e-8);
+  EXPECT_DOUBLE_EQ(rs.min(), gptune::common::min(v));
+  EXPECT_DOUBLE_EQ(rs.max(), gptune::common::max(v));
+}
+
+TEST(Stats, RunningStatsEmpty) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+// --- log ---
+
+TEST(Log, LevelFilters) {
+  using gptune::common::LogLevel;
+  gptune::common::set_log_level(LogLevel::kError);
+  EXPECT_EQ(gptune::common::log_level(), LogLevel::kError);
+  gptune::common::log_info("suppressed ", 42);  // must not crash
+  gptune::common::set_log_level(LogLevel::kWarn);
+}
+
+}  // namespace

@@ -1,0 +1,238 @@
+// Tests for the extension features: CMA-ES, transfer-learning autotuning
+// (TLA), and MLA's tolerance to failing (non-finite) objective
+// evaluations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/mla.hpp"
+#include "core/tla.hpp"
+#include "opt/cmaes.hpp"
+#include "opt/direct_search.hpp"
+
+namespace {
+
+using namespace gptune;
+using gptune::common::Rng;
+
+// --- CMA-ES ---
+
+double sphere(const opt::Point& x) {
+  double s = 0.0;
+  for (double v : x) s += (v - 0.3) * (v - 0.3);
+  return s;
+}
+
+double rosenbrock_box(const opt::Point& x) {
+  // Rosenbrock shifted into the unit box; optimum at (0.6, 0.36).
+  const double a = 0.6 - x[0];
+  const double b = x[1] - x[0] * x[0];
+  return a * a + 20.0 * b * b;
+}
+
+class CmaEsDims : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CmaEsDims, SolvesSphere) {
+  Rng rng(10 + GetParam());
+  opt::CmaEsOptions opt;
+  opt.max_evaluations = 1500;
+  auto r = opt::cmaes_minimize(sphere, opt::Box::unit(GetParam()), rng, opt);
+  EXPECT_LT(r.value, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, CmaEsDims, ::testing::Values(1, 2, 4, 8));
+
+TEST(CmaEs, SolvesRosenbrockValley) {
+  Rng rng(3);
+  opt::CmaEsOptions opt;
+  opt.max_evaluations = 3000;
+  auto r = opt::cmaes_minimize(rosenbrock_box, opt::Box::unit(2), rng, opt);
+  EXPECT_LT(r.value, 1e-3);
+}
+
+TEST(CmaEs, RespectsBudgetAndBox) {
+  Rng rng(4);
+  opt::CmaEsOptions opt;
+  opt.max_evaluations = 123;
+  const auto box = opt::Box::unit(3);
+  int outside = 0;
+  auto f = [&](const opt::Point& x) {
+    if (!box.contains(x)) ++outside;
+    return sphere(x);
+  };
+  auto r = opt::cmaes_minimize(f, box, rng, opt);
+  EXPECT_EQ(r.evaluations, 123u);
+  EXPECT_EQ(outside, 0);
+}
+
+TEST(CmaEs, BeatsRandomSearchOnIllConditioned) {
+  auto f = [](const opt::Point& x) {
+    // Strongly anisotropic quadratic: CMA adapts the covariance.
+    const double a = x[0] - 0.7;
+    const double b = x[1] - 0.2;
+    return 1000.0 * (a + b) * (a + b) + (a - b) * (a - b);
+  };
+  int wins = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng1(seed), rng2(seed + 50);
+    opt::CmaEsOptions opt;
+    opt.max_evaluations = 500;
+    auto cma = opt::cmaes_minimize(f, opt::Box::unit(2), rng1, opt);
+    auto rnd = opt::random_search_minimize(f, opt::Box::unit(2), rng2, 500);
+    if (cma.value <= rnd.value) ++wins;
+  }
+  EXPECT_GE(wins, 4);
+}
+
+// --- TLA ---
+
+core::Space tla_task_space() {
+  core::Space s;
+  s.add_real("t", 0.0, 1.0);
+  return s;
+}
+
+core::Space tla_tuning_space() {
+  core::Space s;
+  s.add_real("x", 0.0, 1.0);
+  s.add_real("y", 0.0, 1.0);
+  s.add_categorical("alg", {"a", "b"});
+  return s;
+}
+
+// Archive where the best config for task t is (t, 1-t, alg = t > 0.5).
+core::HistoryDb tla_archive() {
+  core::HistoryDb db;
+  for (double t : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    // Best record plus some worse distractors.
+    db.add({{t}, {t, 1.0 - t, t > 0.5 ? 1.0 : 0.0}, {0.01}});
+    db.add({{t}, {0.9, 0.9, 0.0}, {1.0}});
+    db.add({{t}, {0.1, 0.1, 1.0}, {2.0}});
+  }
+  return db;
+}
+
+TEST(Tla, InterpolatesNumericParameters) {
+  const auto db = tla_archive();
+  auto cfg = core::transfer_best_config(db, tla_task_space(),
+                                        tla_tuning_space(), {0.4});
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_NEAR((*cfg)[0], 0.4, 0.15);
+  EXPECT_NEAR((*cfg)[1], 0.6, 0.15);
+}
+
+TEST(Tla, NearestTaskDominatesWithSmallBandwidth) {
+  const auto db = tla_archive();
+  core::TlaOptions opt;
+  opt.bandwidth = 0.05;
+  auto cfg = core::transfer_best_config(db, tla_task_space(),
+                                        tla_tuning_space(), {0.68}, opt);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_NEAR((*cfg)[0], 0.7, 0.08);
+}
+
+TEST(Tla, CategoricalUsesWeightedMode) {
+  const auto db = tla_archive();
+  core::TlaOptions opt;
+  opt.bandwidth = 0.15;
+  auto low = core::transfer_best_config(db, tla_task_space(),
+                                        tla_tuning_space(), {0.1}, opt);
+  auto high = core::transfer_best_config(db, tla_task_space(),
+                                         tla_tuning_space(), {0.9}, opt);
+  ASSERT_TRUE(low && high);
+  EXPECT_DOUBLE_EQ((*low)[2], 0.0);   // alg = a for small t
+  EXPECT_DOUBLE_EQ((*high)[2], 1.0);  // alg = b for large t
+}
+
+TEST(Tla, EmptyArchiveReturnsNull) {
+  core::HistoryDb empty;
+  EXPECT_FALSE(core::transfer_best_config(empty, tla_task_space(),
+                                          tla_tuning_space(), {0.5})
+                   .has_value());
+}
+
+TEST(Tla, IgnoresMismatchedRecords) {
+  core::HistoryDb db;
+  db.add({{0.5, 0.5}, {0.1, 0.2, 0.0}, {1.0}});  // wrong task dim
+  db.add({{0.5}, {0.1}, {1.0}});                 // wrong config dim
+  EXPECT_FALSE(core::transfer_best_config(db, tla_task_space(),
+                                          tla_tuning_space(), {0.5})
+                   .has_value());
+}
+
+TEST(Tla, TransferredConfigIsGoodOnTheObjective) {
+  // End-to-end: tune three source tasks with MLA, archive, transfer to a
+  // held-out task; the transferred config should be decent without any
+  // evaluation of the new task.
+  core::Space space;
+  space.add_real("x", 0.0, 1.0);
+  space.add_real("y", 0.0, 1.0);
+  auto fn = [](const core::TaskVector& t, const core::Config& c) {
+    const double dx = c[0] - t[0];
+    const double dy = c[1] - (1.0 - t[0]);
+    return std::vector<double>{dx * dx + dy * dy + 0.01};
+  };
+  core::HistoryDb db;
+  core::MlaOptions opt;
+  opt.budget_per_task = 14;
+  opt.seed = 5;
+  opt.history = &db;
+  core::MultitaskTuner tuner(space, fn, opt);
+  tuner.run({{0.2}, {0.5}, {0.8}});
+
+  auto cfg = core::transfer_best_config(db, tla_task_space(), space, {0.35});
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_LT(fn({0.35}, *cfg)[0], 0.15);  // random config averages ~0.35
+}
+
+// --- failure injection ---
+
+TEST(MlaRobustness, SurvivesNonFiniteObjectives) {
+  core::Space space;
+  space.add_real("x", 0.0, 1.0);
+  int calls = 0;
+  auto fn = [&calls](const core::TaskVector&,
+                     const core::Config& c) -> std::vector<double> {
+    ++calls;
+    if (c[0] > 0.8) {
+      return {std::numeric_limits<double>::infinity()};  // "crash" region
+    }
+    if (calls % 7 == 0) {
+      return {std::numeric_limits<double>::quiet_NaN()};  // flaky failure
+    }
+    return {(c[0] - 0.4) * (c[0] - 0.4) + 0.01};
+  };
+  core::MlaOptions opt;
+  opt.budget_per_task = 16;
+  opt.seed = 8;
+  core::MultitaskTuner tuner(space, fn, opt);
+  auto result = tuner.run({{0.0}});
+  ASSERT_EQ(result.tasks[0].evals.size(), 16u);
+  // All recorded values are finite and a good point was still found.
+  for (const auto& e : result.tasks[0].evals) {
+    EXPECT_TRUE(std::isfinite(e.objectives[0]));
+  }
+  EXPECT_LT(result.tasks[0].best(), 0.2);
+}
+
+TEST(MlaRobustness, PenaltyScalesWithObservedWorst) {
+  core::Space space;
+  space.add_real("x", 0.0, 1.0);
+  auto fn = [](const core::TaskVector&,
+               const core::Config& c) -> std::vector<double> {
+    if (c[0] < 0.1) return {std::numeric_limits<double>::infinity()};
+    return {100.0 + c[0]};
+  };
+  core::MlaOptions opt;
+  opt.budget_per_task = 10;
+  opt.seed = 9;
+  core::MultitaskTuner tuner(space, fn, opt);
+  auto result = tuner.run({{0.0}});
+  for (const auto& e : result.tasks[0].evals) {
+    // Penalties are 10x the worst finite observation, not a fixed 1e300.
+    EXPECT_LE(e.objectives[0], 10.0 * 101.0 + 1.0);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,242 @@
+// Tests for the single-task GP stack: kernel identities and positive
+// semi-definiteness, marginal-likelihood gradient vs finite differences
+// (property sweep), posterior interpolation and uncertainty behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "gp/gp_regression.hpp"
+#include "gp/kernel.hpp"
+#include "linalg/eigen_sym.hpp"
+
+namespace {
+
+using namespace gptune::gp;
+using gptune::common::Rng;
+
+Matrix random_points(std::size_t n, std::size_t d, Rng& rng) {
+  Matrix x(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) x(i, j) = rng.uniform();
+  }
+  return x;
+}
+
+TEST(Kernel, UnitAtZeroDistance) {
+  std::vector<double> ls = {0.5, 0.2};
+  EXPECT_DOUBLE_EQ(se_ard({0.3, 0.7}, {0.3, 0.7}, ls), 1.0);
+}
+
+TEST(Kernel, SymmetricAndBounded) {
+  Rng rng(1);
+  std::vector<double> ls = {0.4, 0.6, 0.3};
+  for (int i = 0; i < 50; ++i) {
+    Vector a = {rng.uniform(), rng.uniform(), rng.uniform()};
+    Vector b = {rng.uniform(), rng.uniform(), rng.uniform()};
+    const double kab = se_ard(a, b, ls);
+    EXPECT_DOUBLE_EQ(kab, se_ard(b, a, ls));
+    EXPECT_GT(kab, 0.0);
+    EXPECT_LE(kab, 1.0);
+  }
+}
+
+TEST(Kernel, DecaysWithDistance) {
+  std::vector<double> ls = {0.2};
+  const double near = se_ard({0.5}, {0.55}, ls);
+  const double far = se_ard({0.5}, {0.9}, ls);
+  EXPECT_GT(near, far);
+}
+
+TEST(Kernel, ArdIgnoresIrrelevantDimension) {
+  // Huge lengthscale in dim 1 makes it irrelevant.
+  std::vector<double> ls = {0.2, 1e6};
+  const double a = se_ard({0.5, 0.0}, {0.5, 1.0}, ls);
+  EXPECT_NEAR(a, 1.0, 1e-9);
+}
+
+TEST(Kernel, GramMatrixIsPsd) {
+  Rng rng(2);
+  const Matrix x = random_points(15, 3, rng);
+  const Matrix k = se_ard_gram(x, {0.3, 0.5, 0.7});
+  EXPECT_GT(gptune::linalg::min_eigenvalue(k), -1e-9);
+}
+
+TEST(Kernel, GramFromDistancesMatchesDirect) {
+  Rng rng(3);
+  const Matrix x = random_points(10, 4, rng);
+  const std::vector<double> ls = {0.2, 0.4, 0.8, 1.0};
+  const Matrix direct = se_ard_gram(x, ls);
+  const auto dist = squared_distance_per_dim(x);
+  const Matrix from_dist = se_ard_gram_from_distances(dist, ls);
+  EXPECT_LT(Matrix::max_abs_diff(direct, from_dist), 1e-13);
+}
+
+TEST(Kernel, CrossMatrixConsistent) {
+  Rng rng(4);
+  const Matrix x = random_points(6, 2, rng);
+  const std::vector<double> ls = {0.3, 0.3};
+  const Matrix cross = se_ard_cross(x, x, ls);
+  const Matrix gram = se_ard_gram(x, ls);
+  EXPECT_LT(Matrix::max_abs_diff(cross, gram), 1e-14);
+}
+
+// --- hyperparameter packing ---
+
+TEST(GpHyperparameters, PackUnpackRoundTrip) {
+  GpHyperparameters hp;
+  hp.lengthscales = {0.1, 2.5};
+  hp.signal_variance = 3.0;
+  hp.noise_variance = 1e-5;
+  const auto theta = hp.pack();
+  const auto hp2 = GpHyperparameters::unpack(theta, 2);
+  EXPECT_NEAR(hp2.lengthscales[0], 0.1, 1e-12);
+  EXPECT_NEAR(hp2.lengthscales[1], 2.5, 1e-12);
+  EXPECT_NEAR(hp2.signal_variance, 3.0, 1e-12);
+  EXPECT_NEAR(hp2.noise_variance, 1e-5, 1e-17);
+}
+
+// --- gradient property sweep ---
+
+class GpGradientSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpGradientSweep, AnalyticMatchesFiniteDifference) {
+  Rng rng(1000 + GetParam());
+  const std::size_t n = 8, d = 2;
+  const Matrix x = random_points(n, d, rng);
+  Vector y(n);
+  for (auto& v : y) v = rng.normal();
+
+  std::vector<double> theta(d + 2);
+  for (std::size_t i = 0; i < d; ++i) theta[i] = std::log(rng.uniform(0.2, 1.0));
+  theta[d] = std::log(rng.uniform(0.5, 2.0));
+  theta[d + 1] = std::log(rng.uniform(1e-3, 1e-1));
+
+  std::vector<double> grad;
+  auto lml = GpRegression::lml_and_gradient(x, y, theta, &grad);
+  ASSERT_TRUE(lml.has_value());
+
+  const double h = 1e-6;
+  for (std::size_t k = 0; k < theta.size(); ++k) {
+    auto tp = theta, tm = theta;
+    tp[k] += h;
+    tm[k] -= h;
+    auto lp = GpRegression::lml_and_gradient(x, y, tp, nullptr);
+    auto lm = GpRegression::lml_and_gradient(x, y, tm, nullptr);
+    ASSERT_TRUE(lp && lm);
+    const double fd = (*lp - *lm) / (2.0 * h);
+    EXPECT_NEAR(grad[k], fd, 1e-4 * (std::abs(fd) + 1.0))
+        << "theta component " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GpGradientSweep, ::testing::Range(0, 8));
+
+// --- posterior behaviour ---
+
+TEST(GpRegression, InterpolatesTrainingDataAtLowNoise) {
+  Rng rng(5);
+  const std::size_t n = 10;
+  Matrix x = random_points(n, 1, rng);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = std::sin(6.0 * x(i, 0));
+  GpHyperparameters hp;
+  hp.lengthscales = {0.3};
+  hp.signal_variance = 1.0;
+  hp.noise_variance = 1e-8;
+  auto gp = GpRegression::with_hyperparameters(x, y, hp);
+  ASSERT_TRUE(gp.has_value());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto pred = gp->predict({x(i, 0)});
+    EXPECT_NEAR(pred.mean, y[i], 1e-3);
+    EXPECT_LT(pred.variance, 1e-3);
+  }
+}
+
+TEST(GpRegression, UncertaintyGrowsAwayFromData) {
+  Matrix x(2, 1);
+  x(0, 0) = 0.4;
+  x(1, 0) = 0.5;
+  Vector y = {0.0, 0.1};
+  GpHyperparameters hp;
+  hp.lengthscales = {0.1};
+  hp.signal_variance = 1.0;
+  hp.noise_variance = 1e-6;
+  auto gp = GpRegression::with_hyperparameters(x, y, hp);
+  ASSERT_TRUE(gp);
+  const auto near = gp->predict({0.45});
+  const auto far = gp->predict({0.95});
+  EXPECT_LT(near.variance, far.variance);
+  EXPECT_NEAR(far.variance, 1.0, 0.05);  // reverts to prior
+}
+
+TEST(GpRegression, PredictionRevertsToMeanFarAway) {
+  Matrix x(3, 1);
+  x(0, 0) = 0.1;
+  x(1, 0) = 0.15;
+  x(2, 0) = 0.2;
+  Vector y = {5.0, 5.1, 4.9};  // mean about 5
+  GpHyperparameters hp;
+  hp.lengthscales = {0.05};
+  hp.signal_variance = 1.0;
+  hp.noise_variance = 1e-4;
+  auto gp = GpRegression::with_hyperparameters(x, y, hp);
+  ASSERT_TRUE(gp);
+  EXPECT_NEAR(gp->predict({0.95}).mean, 5.0, 0.05);
+}
+
+TEST(GpRegression, FitRecoversSmoothFunction) {
+  Rng rng(6);
+  const std::size_t n = 25;
+  Matrix x = random_points(n, 1, rng);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = std::sin(4.0 * x(i, 0)) + 0.01 * rng.normal();
+  }
+  GpFitOptions opt;
+  opt.num_restarts = 3;
+  auto gp = GpRegression::fit(x, y, opt);
+  ASSERT_TRUE(gp.has_value());
+  // Held-out prediction accuracy.
+  double max_err = 0.0;
+  for (double t = 0.05; t < 1.0; t += 0.1) {
+    const double pred = gp->predict({t}).mean;
+    max_err = std::max(max_err, std::abs(pred - std::sin(4.0 * t)));
+  }
+  EXPECT_LT(max_err, 0.15);
+}
+
+TEST(GpRegression, FitLikelihoodBeatsRandomHyperparameters) {
+  Rng rng(7);
+  const std::size_t n = 15;
+  Matrix x = random_points(n, 2, rng);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = x(i, 0) * x(i, 0) + std::cos(3.0 * x(i, 1));
+  }
+  auto fitted = GpRegression::fit(x, y);
+  ASSERT_TRUE(fitted);
+  GpHyperparameters bad;
+  bad.lengthscales = {5.0, 0.001};
+  bad.signal_variance = 0.01;
+  bad.noise_variance = 0.5;
+  auto manual = GpRegression::with_hyperparameters(x, y, bad);
+  ASSERT_TRUE(manual);
+  EXPECT_GT(fitted->log_marginal_likelihood(),
+            manual->log_marginal_likelihood());
+}
+
+TEST(GpRegression, VarianceNonNegativeEverywhere) {
+  Rng rng(8);
+  Matrix x = random_points(20, 2, rng);
+  Vector y(20);
+  for (auto& v : y) v = rng.normal();
+  auto gp = GpRegression::fit(x, y);
+  ASSERT_TRUE(gp);
+  for (int i = 0; i < 200; ++i) {
+    const auto p = gp->predict({rng.uniform(), rng.uniform()});
+    EXPECT_GE(p.variance, 0.0);
+  }
+}
+
+}  // namespace

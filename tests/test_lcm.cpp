@@ -1,0 +1,387 @@
+// Tests for the LCM multitask GP — the paper's core machinery: covariance
+// structure (Eq. 4), exact analytic gradients of the log marginal
+// likelihood (property sweep over random shapes and hyperparameters),
+// posterior prediction (Eqs. 5-6), cross-task information transfer, and the
+// multi-start trainer including its spawned-worker parallel path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "gp/kernel.hpp"
+#include "gp/lcm.hpp"
+#include "gp/trainer.hpp"
+#include "linalg/eigen_sym.hpp"
+
+namespace {
+
+using namespace gptune::gp;
+using gptune::common::Rng;
+
+MultiTaskData random_data(std::size_t tasks, std::size_t samples,
+                          std::size_t dim, Rng& rng) {
+  MultiTaskData data;
+  for (std::size_t i = 0; i < tasks; ++i) {
+    Matrix x(samples, dim);
+    Vector y(samples);
+    for (std::size_t j = 0; j < samples; ++j) {
+      for (std::size_t m = 0; m < dim; ++m) x(j, m) = rng.uniform();
+      y[j] = rng.normal();
+    }
+    data.x.push_back(std::move(x));
+    data.y.push_back(std::move(y));
+  }
+  return data;
+}
+
+TEST(MultiTaskData, FlattenLayout) {
+  Rng rng(1);
+  auto data = random_data(3, 4, 2, rng);
+  Matrix ax;
+  Vector ay;
+  std::vector<std::size_t> task_of;
+  data.flatten(&ax, &ay, &task_of);
+  EXPECT_EQ(ax.rows(), 12u);
+  EXPECT_EQ(ay.size(), 12u);
+  EXPECT_EQ(task_of[0], 0u);
+  EXPECT_EQ(task_of[4], 1u);
+  EXPECT_EQ(task_of[11], 2u);
+  EXPECT_DOUBLE_EQ(ax(5, 1), data.x[1](1, 1));
+  EXPECT_DOUBLE_EQ(ay[9], data.y[2][1]);
+}
+
+TEST(MultiTaskData, RaggedSampleCounts) {
+  MultiTaskData data;
+  data.x.push_back(Matrix(2, 1, 0.5));
+  data.y.push_back({1.0, 2.0});
+  data.x.push_back(Matrix(3, 1, 0.2));
+  data.y.push_back({3.0, 4.0, 5.0});
+  EXPECT_EQ(data.total_samples(), 5u);
+  Matrix ax;
+  Vector ay;
+  std::vector<std::size_t> task_of;
+  data.flatten(&ax, &ay, &task_of);
+  EXPECT_EQ(task_of, (std::vector<std::size_t>{0, 0, 1, 1, 1}));
+}
+
+TEST(LcmShape, ParameterLayoutDisjointAndComplete) {
+  LcmShape s;
+  s.num_latent = 2;
+  s.dim = 3;
+  s.num_tasks = 4;
+  EXPECT_EQ(s.num_hyperparameters(), 2u * 3u + 2u * 2u * 4u + 4u);
+  std::vector<bool> used(s.num_hyperparameters(), false);
+  auto mark = [&](std::size_t idx) {
+    ASSERT_LT(idx, used.size());
+    EXPECT_FALSE(used[idx]);
+    used[idx] = true;
+  };
+  for (std::size_t q = 0; q < 2; ++q) {
+    for (std::size_t m = 0; m < 3; ++m) mark(s.idx_log_l(q, m));
+    for (std::size_t i = 0; i < 4; ++i) mark(s.idx_a(q, i));
+    for (std::size_t i = 0; i < 4; ++i) mark(s.idx_log_b(q, i));
+  }
+  for (std::size_t i = 0; i < 4; ++i) mark(s.idx_log_d(i));
+  for (bool u : used) EXPECT_TRUE(u);
+}
+
+TEST(LcmCovariance, SymmetricAndPsd) {
+  Rng rng(2);
+  LcmShape shape{2, 2, 3};
+  auto data = random_data(3, 5, 2, rng);
+  Matrix ax;
+  Vector ay;
+  std::vector<std::size_t> task_of;
+  data.flatten(&ax, &ay, &task_of);
+  const auto theta = random_lcm_theta(shape, rng);
+  const Matrix k = lcm_covariance(shape, theta, ax, task_of);
+  EXPECT_LT(Matrix::max_abs_diff(k, k.transpose()), 1e-12);
+  EXPECT_GT(gptune::linalg::min_eigenvalue(k), 0.0);  // d_i nugget makes PD
+}
+
+TEST(LcmCovariance, SingleTaskReducesToScaledSeKernel) {
+  // With Q = 1, delta = 1: K = (a^2 + b) k(x, x') + d I.
+  Rng rng(3);
+  LcmShape shape{1, 2, 1};
+  std::vector<double> theta(shape.num_hyperparameters());
+  theta[shape.idx_log_l(0, 0)] = std::log(0.5);
+  theta[shape.idx_log_l(0, 1)] = std::log(0.7);
+  theta[shape.idx_a(0, 0)] = 2.0;
+  theta[shape.idx_log_b(0, 0)] = std::log(0.25);
+  theta[shape.idx_log_d(0)] = std::log(0.01);
+
+  Matrix x(3, 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    x(i, 0) = rng.uniform();
+    x(i, 1) = rng.uniform();
+  }
+  const std::vector<std::size_t> task_of = {0, 0, 0};
+  const Matrix k = lcm_covariance(shape, theta, x, task_of);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      Vector xi = {x(i, 0), x(i, 1)}, xj = {x(j, 0), x(j, 1)};
+      double expected = (4.0 + 0.25) * se_ard(xi, xj, {0.5, 0.7});
+      if (i == j) expected += 0.01;
+      EXPECT_NEAR(k(i, j), expected, 1e-12);
+    }
+  }
+}
+
+TEST(LcmCovariance, CrossTaskEntriesUseOnlyMixingTerms) {
+  // Between different tasks the b and d terms must not appear.
+  LcmShape shape{1, 1, 2};
+  std::vector<double> theta(shape.num_hyperparameters(), 0.0);
+  theta[shape.idx_log_l(0, 0)] = std::log(1.0);
+  theta[shape.idx_a(0, 0)] = 1.5;
+  theta[shape.idx_a(0, 1)] = -2.0;
+  theta[shape.idx_log_b(0, 0)] = std::log(10.0);  // must not leak cross-task
+  theta[shape.idx_log_b(0, 1)] = std::log(10.0);
+  theta[shape.idx_log_d(0)] = std::log(5.0);
+  theta[shape.idx_log_d(1)] = std::log(5.0);
+
+  Matrix x(2, 1);
+  x(0, 0) = 0.3;
+  x(1, 0) = 0.3;  // same point, different tasks
+  const std::vector<std::size_t> task_of = {0, 1};
+  const Matrix k = lcm_covariance(shape, theta, x, task_of);
+  EXPECT_NEAR(k(0, 1), 1.5 * -2.0 * 1.0, 1e-12);
+}
+
+// --- gradient property sweep over random shapes ---
+
+struct LcmSweepParam {
+  std::size_t q, dim, tasks, samples;
+  std::uint64_t seed;
+};
+
+class LcmGradientSweep : public ::testing::TestWithParam<LcmSweepParam> {};
+
+TEST_P(LcmGradientSweep, AnalyticMatchesFiniteDifference) {
+  const auto p = GetParam();
+  Rng rng(p.seed);
+  LcmShape shape{p.q, p.dim, p.tasks};
+  auto data = random_data(p.tasks, p.samples, p.dim, rng);
+  Matrix ax;
+  Vector ay;
+  std::vector<std::size_t> task_of;
+  data.flatten(&ax, &ay, &task_of);
+  const auto theta = random_lcm_theta(shape, rng);
+
+  std::vector<double> grad;
+  auto lml = lcm_lml(shape, theta, ax, ay, task_of, &grad);
+  ASSERT_TRUE(lml.has_value());
+  ASSERT_EQ(grad.size(), theta.size());
+
+  const double h = 1e-5;
+  for (std::size_t k = 0; k < theta.size(); ++k) {
+    auto tp = theta, tm = theta;
+    tp[k] += h;
+    tm[k] -= h;
+    auto lp = lcm_lml(shape, tp, ax, ay, task_of, nullptr);
+    auto lm = lcm_lml(shape, tm, ax, ay, task_of, nullptr);
+    ASSERT_TRUE(lp && lm);
+    const double fd = (*lp - *lm) / (2.0 * h);
+    EXPECT_NEAR(grad[k], fd, 2e-4 * (std::abs(fd) + 1.0))
+        << "theta component " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LcmGradientSweep,
+    ::testing::Values(LcmSweepParam{1, 1, 1, 6, 11},
+                      LcmSweepParam{1, 2, 2, 5, 12},
+                      LcmSweepParam{2, 3, 3, 6, 13},
+                      LcmSweepParam{3, 2, 4, 4, 14},
+                      LcmSweepParam{2, 1, 5, 5, 15},
+                      LcmSweepParam{4, 2, 2, 7, 16}));
+
+// --- posterior behaviour ---
+
+TEST(LcmModel, InterpolatesEachTask) {
+  Rng rng(20);
+  // Two related tasks: y = sin(5x) and y = sin(5x) + 0.5.
+  MultiTaskData data;
+  for (int task = 0; task < 2; ++task) {
+    Matrix x(12, 1);
+    Vector y(12);
+    for (std::size_t j = 0; j < 12; ++j) {
+      x(j, 0) = static_cast<double>(j) / 11.0;
+      y[j] = std::sin(5.0 * x(j, 0)) + 0.5 * task;
+    }
+    data.x.push_back(x);
+    data.y.push_back(y);
+  }
+  LcmFitOptions opt;
+  opt.num_restarts = 3;
+  opt.seed = 99;
+  auto model = fit_lcm(data, opt);
+  ASSERT_TRUE(model.has_value());
+  for (int task = 0; task < 2; ++task) {
+    for (std::size_t j = 0; j < 12; ++j) {
+      const double x = static_cast<double>(j) / 11.0;
+      const auto pred = model->predict(task, {x});
+      EXPECT_NEAR(pred.mean, std::sin(5.0 * x) + 0.5 * task, 0.15)
+          << "task " << task << " x " << x;
+    }
+  }
+}
+
+TEST(LcmModel, TransfersAcrossTasks) {
+  // Task 0 has dense samples of sin(4x); task 1 has only 3 samples of the
+  // strongly correlated 2*sin(4x). The multitask posterior for task 1
+  // should beat a prior-mean prediction in between its samples.
+  Rng rng(21);
+  MultiTaskData data;
+  {
+    Matrix x(15, 1);
+    Vector y(15);
+    for (std::size_t j = 0; j < 15; ++j) {
+      x(j, 0) = static_cast<double>(j) / 14.0;
+      y[j] = std::sin(4.0 * x(j, 0));
+    }
+    data.x.push_back(x);
+    data.y.push_back(y);
+  }
+  {
+    Matrix x(3, 1);
+    Vector y(3);
+    const double xs[3] = {0.0, 0.5, 1.0};
+    for (std::size_t j = 0; j < 3; ++j) {
+      x(j, 0) = xs[j];
+      y[j] = 2.0 * std::sin(4.0 * xs[j]);
+    }
+    data.x.push_back(x);
+    data.y.push_back(y);
+  }
+  LcmFitOptions opt;
+  opt.num_restarts = 4;
+  opt.seed = 7;
+  auto model = fit_lcm(data, opt);
+  ASSERT_TRUE(model.has_value());
+  // Probe between task-1 samples where only transfer can help.
+  double err = 0.0;
+  for (double x : {0.2, 0.3, 0.7, 0.8}) {
+    err = std::max(err,
+                   std::abs(model->predict(1, {x}).mean -
+                            2.0 * std::sin(4.0 * x)));
+  }
+  EXPECT_LT(err, 0.8);  // prior mean alone would err by up to ~2.8
+}
+
+TEST(LcmModel, VarianceShrinksAtData) {
+  Rng rng(22);
+  auto data = random_data(2, 8, 2, rng);
+  LcmFitOptions opt;
+  opt.seed = 5;
+  auto model = fit_lcm(data, opt);
+  ASSERT_TRUE(model.has_value());
+  const Vector at_sample = {data.x[0](0, 0), data.x[0](0, 1)};
+  const Vector far = {-5.0, 7.0};
+  EXPECT_LT(model->predict(0, at_sample).variance,
+            model->predict(0, far).variance);
+}
+
+TEST(LcmModel, PredictionInOriginalUnits) {
+  // Task outputs around 1000: predictions must come back in that range
+  // (catches missing un-standardization).
+  Rng rng(23);
+  MultiTaskData data;
+  Matrix x(6, 1);
+  Vector y(6);
+  for (std::size_t j = 0; j < 6; ++j) {
+    x(j, 0) = static_cast<double>(j) / 5.0;
+    y[j] = 1000.0 + 50.0 * std::sin(3.0 * x(j, 0));
+  }
+  data.x.push_back(x);
+  data.y.push_back(y);
+  LcmFitOptions opt;
+  opt.seed = 3;
+  auto model = fit_lcm(data, opt);
+  ASSERT_TRUE(model.has_value());
+  const auto pred = model->predict(0, {0.5});
+  EXPECT_GT(pred.mean, 900.0);
+  EXPECT_LT(pred.mean, 1100.0);
+}
+
+TEST(LcmTrainer, DefaultLatentCountIsMinTasksThree) {
+  Rng rng(24);
+  auto data = random_data(5, 4, 1, rng);
+  LcmFitOptions opt;
+  opt.seed = 8;
+  auto model = fit_lcm(data, opt);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(model->shape().num_latent, 3u);
+
+  auto data2 = random_data(2, 4, 1, rng);
+  auto model2 = fit_lcm(data2, opt);
+  ASSERT_TRUE(model2.has_value());
+  EXPECT_EQ(model2->shape().num_latent, 2u);
+}
+
+TEST(LcmTrainer, WarmStartReproducesShape) {
+  Rng rng(25);
+  auto data = random_data(2, 6, 2, rng);
+  LcmFitOptions opt;
+  opt.num_restarts = 2;
+  opt.seed = 12;
+  auto first = fit_lcm(data, opt);
+  ASSERT_TRUE(first.has_value());
+  opt.warm_start = first->theta();
+  opt.num_restarts = 1;
+  LcmFitStats stats;
+  auto second = fit_lcm(data, opt, &stats);
+  ASSERT_TRUE(second.has_value());
+  // Warm-started refit should be at least as good as the first fit.
+  EXPECT_GE(second->log_likelihood() + 1e-6, first->log_likelihood());
+}
+
+TEST(LcmTrainer, StatsReported) {
+  Rng rng(26);
+  auto data = random_data(2, 5, 1, rng);
+  LcmFitOptions opt;
+  opt.num_restarts = 3;
+  opt.seed = 1;
+  LcmFitStats stats;
+  auto model = fit_lcm(data, opt, &stats);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(stats.restarts_attempted, 3u);
+  EXPECT_GT(stats.total_lbfgs_evaluations, 0u);
+}
+
+TEST(LcmTrainer, SpawnedWorkersMatchSerialQuality) {
+  // The parallel (spawned ranks) path must produce a usable model whose
+  // likelihood is comparable to the serial path with the same restarts.
+  Rng rng(27);
+  auto data = random_data(3, 5, 1, rng);
+  LcmFitOptions serial;
+  serial.num_restarts = 4;
+  serial.seed = 2;
+  serial.num_workers = 1;
+  auto m1 = fit_lcm(data, serial);
+  LcmFitOptions parallel = serial;
+  parallel.num_workers = 4;
+  auto m2 = fit_lcm(data, parallel);
+  ASSERT_TRUE(m1 && m2);
+  // Same restart list, same math: identical best likelihood.
+  EXPECT_NEAR(m1->log_likelihood(), m2->log_likelihood(), 1e-6);
+}
+
+TEST(LcmTrainer, FitImprovesOverRandomTheta) {
+  Rng rng(28);
+  auto data = random_data(3, 8, 2, rng);
+  LcmShape shape{3, 2, 3};
+  // Standardize the way the trainer does, then compare likelihoods.
+  LcmFitOptions opt;
+  opt.num_latent = 3;
+  opt.num_restarts = 2;
+  opt.seed = 30;
+  LcmFitStats stats;
+  auto model = fit_lcm(data, opt, &stats);
+  ASSERT_TRUE(model.has_value());
+  auto random_model =
+      LcmModel::build(data, shape, random_lcm_theta(shape, rng));
+  ASSERT_TRUE(random_model.has_value());
+  EXPECT_GT(model->log_likelihood(), random_model->log_likelihood());
+}
+
+}  // namespace

@@ -1,0 +1,404 @@
+// Unit + property tests for linalg/: matrix kernels against identities,
+// Cholesky/LU/QR against reconstruction residuals across random sizes,
+// NNLS constraints, symmetric eigensolver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/blocked_cholesky.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+
+namespace {
+
+using gptune::common::Rng;
+using namespace gptune::linalg;
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.normal();
+  }
+  return m;
+}
+
+Matrix random_spd(std::size_t n, Rng& rng) {
+  Matrix a = random_matrix(n, n + 3, rng);
+  Matrix s = syrk(a);
+  for (std::size_t i = 0; i < n; ++i) s(i, i) += 0.5;
+  return s;
+}
+
+TEST(Matrix, InitializerListAndAccess) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  Rng rng(1);
+  const Matrix a = random_matrix(5, 5, rng);
+  const Matrix i = Matrix::identity(5);
+  EXPECT_LT(Matrix::max_abs_diff(matmul(a, i), a), 1e-14);
+  EXPECT_LT(Matrix::max_abs_diff(matmul(i, a), a), 1e-14);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Rng rng(2);
+  const Matrix a = random_matrix(4, 7, rng);
+  EXPECT_LT(Matrix::max_abs_diff(a.transpose().transpose(), a), 1e-15);
+}
+
+TEST(Matrix, MatmulAssociativityShape) {
+  Rng rng(3);
+  const Matrix a = random_matrix(3, 4, rng);
+  const Matrix b = random_matrix(4, 5, rng);
+  const Matrix c = random_matrix(5, 2, rng);
+  const Matrix left = matmul(matmul(a, b), c);
+  const Matrix right = matmul(a, matmul(b, c));
+  EXPECT_LT(Matrix::max_abs_diff(left, right), 1e-12);
+}
+
+TEST(Matrix, MatvecMatchesMatmul) {
+  Rng rng(4);
+  const Matrix a = random_matrix(6, 3, rng);
+  Vector x = {1.0, -2.0, 0.5};
+  Matrix xm(3, 1);
+  for (std::size_t i = 0; i < 3; ++i) xm(i, 0) = x[i];
+  const Matrix ym = matmul(a, xm);
+  const Vector y = matvec(a, x);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(y[i], ym(i, 0), 1e-14);
+}
+
+TEST(Matrix, MatvecTransposed) {
+  Rng rng(5);
+  const Matrix a = random_matrix(4, 6, rng);
+  Vector x(4);
+  for (auto& v : x) v = rng.normal();
+  const Vector expected = matvec(a.transpose(), x);
+  const Vector got = matvec_transposed(a, x);
+  EXPECT_LT(max_abs_diff(expected, got), 1e-13);
+}
+
+TEST(Matrix, SyrkIsAAt) {
+  Rng rng(6);
+  const Matrix a = random_matrix(5, 3, rng);
+  EXPECT_LT(Matrix::max_abs_diff(syrk(a), matmul(a, a.transpose())), 1e-12);
+}
+
+TEST(Matrix, BlockExtraction) {
+  Matrix m = {{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const Matrix b = m.block(1, 1, 2, 2);
+  EXPECT_DOUBLE_EQ(b(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(b(1, 1), 9.0);
+}
+
+TEST(Matrix, VectorKernels) {
+  Vector a = {1.0, 2.0, 3.0};
+  Vector b = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  Vector y = b;
+  axpy(2.0, a, y);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+}
+
+// --- Cholesky (parameterized over size) ---
+
+class CholeskySizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskySizes, ReconstructsMatrix) {
+  Rng rng(100 + GetParam());
+  const Matrix a = random_spd(GetParam(), rng);
+  auto f = CholeskyFactor::factor(a);
+  ASSERT_TRUE(f.has_value());
+  const Matrix rec = matmul(f->lower(), f->lower().transpose());
+  EXPECT_LT(Matrix::max_abs_diff(rec, a), 1e-8 * a.frobenius_norm());
+}
+
+TEST_P(CholeskySizes, SolveResidualSmall) {
+  Rng rng(200 + GetParam());
+  const std::size_t n = GetParam();
+  const Matrix a = random_spd(n, rng);
+  Vector b(n);
+  for (auto& v : b) v = rng.normal();
+  auto f = CholeskyFactor::factor(a);
+  ASSERT_TRUE(f.has_value());
+  const Vector x = f->solve(b);
+  const Vector r = matvec(a, x) - b;
+  EXPECT_LT(norm2(r), 1e-8 * norm2(b));
+}
+
+TEST_P(CholeskySizes, LogDetMatchesLu) {
+  Rng rng(300 + GetParam());
+  const Matrix a = random_spd(GetParam(), rng);
+  auto f = CholeskyFactor::factor(a);
+  auto lu = LuFactor::factor(a);
+  ASSERT_TRUE(f && lu);
+  EXPECT_NEAR(f->log_det(), std::log(lu->det()), 1e-6 * GetParam());
+}
+
+TEST_P(CholeskySizes, InverseTimesMatrixIsIdentity) {
+  Rng rng(400 + GetParam());
+  const std::size_t n = GetParam();
+  const Matrix a = random_spd(n, rng);
+  auto f = CholeskyFactor::factor(a);
+  ASSERT_TRUE(f.has_value());
+  const Matrix id = matmul(f->inverse(), a);
+  EXPECT_LT(Matrix::max_abs_diff(id, Matrix::identity(n)), 1e-7);
+}
+
+TEST_P(CholeskySizes, BlockedMatchesUnblocked) {
+  Rng rng(500 + GetParam());
+  const Matrix a = random_spd(GetParam(), rng);
+  auto ref = CholeskyFactor::factor(a);
+  auto blocked = blocked_cholesky(a, 3);
+  ASSERT_TRUE(ref && blocked);
+  EXPECT_LT(Matrix::max_abs_diff(ref->lower(), blocked->lower()), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizes,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 40, 64, 97));
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a = {{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskyFactor::factor(a).has_value());
+}
+
+TEST(Cholesky, JitterRecoversNearSingular) {
+  // Rank-1 PSD matrix: plain factorization fails, jitter succeeds.
+  Matrix a = {{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_FALSE(CholeskyFactor::factor(a).has_value());
+  double jitter = -1.0;
+  auto f = CholeskyFactor::factor_with_jitter(a, 1e-10, 1e-2, &jitter);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_GT(jitter, 0.0);
+}
+
+TEST(Cholesky, TriangularSolvesConsistent) {
+  Rng rng(42);
+  const Matrix a = random_spd(10, rng);
+  auto f = CholeskyFactor::factor(a);
+  ASSERT_TRUE(f);
+  Vector b(10);
+  for (auto& v : b) v = rng.normal();
+  // L (L^T x) = b should equal full solve.
+  const Vector x1 = f->solve(b);
+  const Vector x2 = f->solve_lower_transposed(f->solve_lower(b));
+  EXPECT_LT(max_abs_diff(x1, x2), 1e-12);
+}
+
+TEST(Cholesky, MatrixSolveMatchesColumnSolves) {
+  Rng rng(43);
+  const Matrix a = random_spd(8, rng);
+  const Matrix b = random_matrix(8, 3, rng);
+  auto f = CholeskyFactor::factor(a);
+  ASSERT_TRUE(f);
+  const Matrix x = f->solve(b);
+  const Matrix residual = matmul(a, x) - b;
+  EXPECT_LT(residual.frobenius_norm(), 1e-8);
+}
+
+TEST(BlockedCholesky, WorksWithBlockLargerThanMatrix) {
+  Rng rng(44);
+  const Matrix a = random_spd(7, rng);
+  auto f = blocked_cholesky(a, 64);
+  ASSERT_TRUE(f.has_value());
+  const Matrix rec = matmul(f->lower(), f->lower().transpose());
+  EXPECT_LT(Matrix::max_abs_diff(rec, a), 1e-8);
+}
+
+TEST(BlockedCholesky, FailsOnIndefinite) {
+  Matrix a = {{1.0, 2.0}, {2.0, 1.0}};
+  EXPECT_FALSE(blocked_cholesky(a, 1).has_value());
+}
+
+TEST(BlockedCholesky, FlopCount) {
+  EXPECT_DOUBLE_EQ(cholesky_flops(10), 1000.0 / 3.0);
+}
+
+// --- LU ---
+
+class LuSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuSizes, SolveResidual) {
+  Rng rng(600 + GetParam());
+  const std::size_t n = GetParam();
+  const Matrix a = random_matrix(n, n, rng);
+  Vector b(n);
+  for (auto& v : b) v = rng.normal();
+  auto f = LuFactor::factor(a);
+  ASSERT_TRUE(f.has_value());
+  const Vector r = matvec(a, f->solve(b)) - b;
+  EXPECT_LT(norm2(r), 1e-8 * (norm2(b) + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSizes,
+                         ::testing::Values(1, 2, 4, 9, 17, 33, 50));
+
+TEST(Lu, DetOfKnownMatrix) {
+  Matrix a = {{2.0, 0.0}, {0.0, 3.0}};
+  auto f = LuFactor::factor(a);
+  ASSERT_TRUE(f);
+  EXPECT_NEAR(f->det(), 6.0, 1e-12);
+}
+
+TEST(Lu, DetSignWithPivoting) {
+  Matrix a = {{0.0, 1.0}, {1.0, 0.0}};  // det = -1
+  auto f = LuFactor::factor(a);
+  ASSERT_TRUE(f);
+  EXPECT_NEAR(f->det(), -1.0, 1e-12);
+}
+
+TEST(Lu, SingularRejected) {
+  Matrix a = {{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_FALSE(LuFactor::factor(a).has_value());
+}
+
+// --- QR ---
+
+class QrShapes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(QrShapes, ReconstructionAndOrthogonality) {
+  Rng rng(700 + GetParam().first);
+  const auto [m, n] = GetParam();
+  const Matrix a = random_matrix(m, n, rng);
+  const auto f = QrFactor::factor(a);
+  const Matrix q = f.thin_q();
+  const Matrix r = f.r();
+  EXPECT_LT(Matrix::max_abs_diff(matmul(q, r), a), 1e-10);
+  const Matrix qtq = matmul(q.transpose(), q);
+  EXPECT_LT(Matrix::max_abs_diff(qtq, Matrix::identity(n)), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QrShapes,
+    ::testing::Values(std::make_pair(3, 3), std::make_pair(5, 2),
+                      std::make_pair(10, 7), std::make_pair(30, 4),
+                      std::make_pair(50, 20)));
+
+TEST(Qr, LeastSquaresRecoversExactSolution) {
+  Rng rng(46);
+  const Matrix a = random_matrix(12, 4, rng);
+  Vector x_true = {1.0, -2.0, 0.5, 3.0};
+  const Vector b = matvec(a, x_true);
+  auto x = least_squares(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_LT(max_abs_diff(*x, x_true), 1e-9);
+}
+
+TEST(Qr, LeastSquaresNormalEquations) {
+  // Residual of LS solution must be orthogonal to the column space.
+  Rng rng(47);
+  const Matrix a = random_matrix(15, 3, rng);
+  Vector b(15);
+  for (auto& v : b) v = rng.normal();
+  auto x = least_squares(a, b);
+  ASSERT_TRUE(x);
+  const Vector r = b - matvec(a, *x);
+  const Vector atr = matvec_transposed(a, r);
+  EXPECT_LT(norm2(atr), 1e-9);
+}
+
+TEST(Qr, RankDeficientReturnsNullopt) {
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = 2.0;  // second column is 2x the first
+  }
+  Vector b = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_FALSE(least_squares(a, b).has_value());
+}
+
+// --- NNLS ---
+
+TEST(Nnls, MatchesUnconstrainedWhenInterior) {
+  Rng rng(48);
+  const Matrix a = random_matrix(20, 3, rng);
+  Vector x_true = {2.0, 1.0, 3.0};  // strictly positive
+  const Vector b = matvec(a, x_true);
+  const Vector x = nnls(a, b);
+  EXPECT_LT(max_abs_diff(x, x_true), 1e-7);
+}
+
+TEST(Nnls, ClampsNegativeComponents) {
+  // Construct a problem whose unconstrained LS solution has a negative
+  // entry: NNLS must return all-nonnegative with that entry at 0.
+  Matrix a = {{1.0, 0.0}, {0.0, 1.0}, {0.0, 0.0}};
+  Vector b = {2.0, -3.0, 0.0};
+  const Vector x = nnls(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+}
+
+TEST(Nnls, AllNegativeTargetGivesZero) {
+  Matrix a = {{1.0}, {1.0}};
+  Vector b = {-1.0, -2.0};
+  const Vector x = nnls(a, b);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+}
+
+TEST(Nnls, ResidualNotWorseThanZeroVector) {
+  Rng rng(49);
+  const Matrix a = random_matrix(10, 4, rng);
+  Vector b(10);
+  for (auto& v : b) v = rng.normal();
+  const Vector x = nnls(a, b);
+  for (double v : x) EXPECT_GE(v, 0.0);
+  EXPECT_LE(norm2(b - matvec(a, x)), norm2(b) + 1e-12);
+}
+
+// --- symmetric eigensolver ---
+
+TEST(EigenSym, DiagonalMatrix) {
+  Matrix a = {{3.0, 0.0}, {0.0, 1.0}};
+  const auto e = eigen_sym(a);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-10);
+}
+
+TEST(EigenSym, ReconstructsMatrix) {
+  Rng rng(50);
+  Matrix a = random_matrix(8, 8, rng);
+  a = a + a.transpose();  // symmetrize
+  const auto e = eigen_sym(a);
+  // A = V diag(w) V^T
+  Matrix vd = e.vectors;
+  for (std::size_t j = 0; j < 8; ++j) {
+    for (std::size_t i = 0; i < 8; ++i) vd(i, j) *= e.values[j];
+  }
+  const Matrix rec = matmul(vd, e.vectors.transpose());
+  EXPECT_LT(Matrix::max_abs_diff(rec, a), 1e-8);
+}
+
+TEST(EigenSym, SpdHasPositiveEigenvalues) {
+  Rng rng(51);
+  const Matrix a = random_spd(12, rng);
+  EXPECT_GT(min_eigenvalue(a), 0.0);
+}
+
+TEST(EigenSym, TraceEqualsEigenvalueSum) {
+  Rng rng(52);
+  Matrix a = random_matrix(6, 6, rng);
+  a = a + a.transpose();
+  const auto e = eigen_sym(a);
+  double trace = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    trace += a(i, i);
+    sum += e.values[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+}  // namespace

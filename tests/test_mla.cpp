@@ -1,0 +1,346 @@
+// Integration tests of the full MLA tuner (Algorithms 1 and 2): budget
+// accounting, improvement over random search, multitask transfer, the
+// performance-model path, multi-objective Pareto behaviour, history
+// reuse, and the parallel (spawned-worker) search path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/analytical.hpp"
+#include "core/metrics.hpp"
+#include "core/mla.hpp"
+#include "opt/direct_search.hpp"
+
+namespace {
+
+using namespace gptune;
+using namespace gptune::core;
+
+Space box2d() {
+  Space s;
+  s.add_real("x", 0.0, 1.0);
+  s.add_real("y", 0.0, 1.0);
+  return s;
+}
+
+// Smooth task family: minimum at (t, 1 - t), value 0.01.
+MultiObjectiveFn family_fn() {
+  return [](const TaskVector& t, const Config& c) {
+    const double dx = c[0] - t[0];
+    const double dy = c[1] - (1.0 - t[0]);
+    return std::vector<double>{dx * dx + dy * dy + 0.01};
+  };
+}
+
+MlaOptions fast_options() {
+  MlaOptions opt;
+  opt.budget_per_task = 14;
+  opt.model_restarts = 2;
+  opt.max_lbfgs_iterations = 20;
+  opt.seed = 42;
+  return opt;
+}
+
+TEST(Mla, SpendsExactBudgetPerTask) {
+  MultitaskTuner tuner(box2d(), family_fn(), fast_options());
+  auto result = tuner.run({{0.2}, {0.5}, {0.8}});
+  ASSERT_EQ(result.tasks.size(), 3u);
+  for (const auto& th : result.tasks) {
+    EXPECT_EQ(th.evals.size(), 14u);
+  }
+  EXPECT_EQ(result.evaluations, 42u);
+}
+
+TEST(Mla, InitialSamplesDefaultIsHalfBudget) {
+  MlaOptions opt = fast_options();
+  opt.budget_per_task = 20;
+  MultitaskTuner tuner(box2d(), family_fn(), opt);
+  EXPECT_EQ(tuner.options().initial_samples, 10u);
+}
+
+TEST(Mla, FindsNearOptimum) {
+  MultitaskTuner tuner(box2d(), family_fn(), fast_options());
+  auto result = tuner.run({{0.3}});
+  EXPECT_LT(result.tasks[0].best(), 0.05);
+  const Config best = result.tasks[0].best_config();
+  EXPECT_NEAR(best[0], 0.3, 0.25);
+}
+
+TEST(Mla, BeatsRandomSearchAtEqualBudget) {
+  int wins = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    MlaOptions opt = fast_options();
+    opt.seed = seed;
+    MultitaskTuner tuner(box2d(), family_fn(), opt);
+    auto result = tuner.run({{0.35}});
+    common::Rng rng(seed + 77);
+    auto rnd = opt::random_search_minimize(
+        [&](const opt::Point& u) { return family_fn()({0.35}, u)[0]; },
+        opt::Box::unit(2), rng, 14);
+    if (result.tasks[0].best() <= rnd.value) ++wins;
+  }
+  EXPECT_GE(wins, 4);
+}
+
+TEST(Mla, MultitaskSharingHelpsSparseTasks) {
+  // delta tasks at budget 8 each vs single task at budget 8: the multitask
+  // run sees 5x the data through the LCM and should do at least as well on
+  // the shared task (aggregated over seeds).
+  double multi_total = 0.0, single_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    MlaOptions opt = fast_options();
+    opt.budget_per_task = 8;
+    opt.seed = seed;
+    MultitaskTuner multi(box2d(), family_fn(), opt);
+    auto mres = multi.run({{0.1}, {0.3}, {0.5}, {0.7}, {0.9}});
+    multi_total += mres.tasks[2].best();
+
+    MlaOptions opt1 = opt;
+    MultitaskTuner single(box2d(), family_fn(), opt1);
+    auto sres = single.run({{0.5}});
+    single_total += sres.tasks[0].best();
+  }
+  EXPECT_LE(multi_total, single_total * 1.5);
+}
+
+TEST(Mla, PhaseTimesPopulated) {
+  MultitaskTuner tuner(box2d(), family_fn(), fast_options());
+  auto result = tuner.run({{0.4}});
+  EXPECT_GT(result.times.modeling, 0.0);
+  EXPECT_GT(result.times.search, 0.0);
+  EXPECT_GE(result.times.objective, 0.0);
+  EXPECT_GT(result.model_refits, 0u);
+}
+
+TEST(Mla, RefitPeriodReducesRefits) {
+  MlaOptions every = fast_options();
+  every.refit_period = 1;
+  MlaOptions sparse = fast_options();
+  sparse.refit_period = 3;
+  MultitaskTuner t1(box2d(), family_fn(), every);
+  MultitaskTuner t2(box2d(), family_fn(), sparse);
+  auto r1 = t1.run({{0.2}});
+  auto r2 = t2.run({{0.2}});
+  EXPECT_GT(r1.model_refits, r2.model_refits);
+  EXPECT_EQ(r2.tasks[0].evals.size(), every.budget_per_task);
+}
+
+TEST(Mla, DeterministicPerSeed) {
+  MultitaskTuner t1(box2d(), family_fn(), fast_options());
+  MultitaskTuner t2(box2d(), family_fn(), fast_options());
+  auto r1 = t1.run({{0.6}});
+  auto r2 = t2.run({{0.6}});
+  ASSERT_EQ(r1.tasks[0].evals.size(), r2.tasks[0].evals.size());
+  for (std::size_t i = 0; i < r1.tasks[0].evals.size(); ++i) {
+    EXPECT_EQ(r1.tasks[0].evals[i].config, r2.tasks[0].evals[i].config);
+  }
+}
+
+TEST(Mla, ParallelSearchMatchesSerialStructure) {
+  MlaOptions serial = fast_options();
+  serial.search_workers = 1;
+  MlaOptions parallel = fast_options();
+  parallel.search_workers = 3;
+  MultitaskTuner t1(box2d(), family_fn(), serial);
+  MultitaskTuner t2(box2d(), family_fn(), parallel);
+  auto r1 = t1.run({{0.2}, {0.5}, {0.8}});
+  auto r2 = t2.run({{0.2}, {0.5}, {0.8}});
+  // Same budget accounting and comparable quality.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(r2.tasks[i].evals.size(), serial.budget_per_task);
+  }
+  double q1 = 0.0, q2 = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    q1 += r1.tasks[i].best();
+    q2 += r2.tasks[i].best();
+  }
+  EXPECT_LT(q2, q1 + 0.3);
+}
+
+TEST(Mla, ParallelModelWorkersWork) {
+  MlaOptions opt = fast_options();
+  opt.model_workers = 2;
+  opt.model_restarts = 2;
+  MultitaskTuner tuner(box2d(), family_fn(), opt);
+  auto result = tuner.run({{0.4}, {0.6}});
+  EXPECT_LT(result.tasks[0].best(), 0.2);
+}
+
+TEST(Mla, LogObjectiveOptionWorks) {
+  MlaOptions opt = fast_options();
+  opt.log_objective = true;
+  MultitaskTuner tuner(box2d(), family_fn(), opt);
+  auto result = tuner.run({{0.3}});
+  EXPECT_LT(result.tasks[0].best(), 0.1);
+}
+
+TEST(Mla, MeanOnlyAcquisitionStillImproves) {
+  MlaOptions opt = fast_options();
+  opt.use_ei = false;  // exploitation-only ablation
+  MultitaskTuner tuner(box2d(), family_fn(), opt);
+  auto result = tuner.run({{0.5}});
+  EXPECT_LT(result.tasks[0].best(), 0.3);
+}
+
+// --- performance models (§3.3) ---
+
+TEST(Mla, PerformanceModelHelpsOnHardObjective) {
+  // Paper §3.3 / Fig. 4: a coarse model pays off when the objective is
+  // highly non-convex and the budget is small. Use the paper's analytical
+  // function with its noisy model (the Fig. 4-left setup, scaled down).
+  CallableModel model(
+      [](const TaskVector& t, const Config& c) {
+        return std::vector<double>{
+            apps::analytical_noisy_model(t[0], c[0], 777)};
+      },
+      1);
+  std::vector<TaskVector> tasks = {{4.0}, {6.0}, {8.0}};
+  double with_total = 0.0, without_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 2; ++seed) {
+    MlaOptions with_model = fast_options();
+    with_model.budget_per_task = 12;
+    with_model.seed = seed;
+    with_model.performance_model = &model;
+    MultitaskTuner t1(apps::analytical_tuning_space(),
+                      apps::analytical_fn(), with_model);
+    for (const auto& th : t1.run(tasks).tasks) with_total += th.best();
+
+    MlaOptions without = fast_options();
+    without.budget_per_task = 12;
+    without.seed = seed;
+    MultitaskTuner t2(apps::analytical_tuning_space(),
+                      apps::analytical_fn(), without);
+    for (const auto& th : t2.run(tasks).tasks) without_total += th.best();
+  }
+  EXPECT_LE(with_total, without_total * 1.05);
+}
+
+TEST(Mla, LinearModelCoefficientsUpdatedDuringRun) {
+  LinearCombinationModel model(
+      [](const TaskVector& t, const Config& c) {
+        const double dx = c[0] - t[0];
+        const double dy = c[1] - (1.0 - t[0]);
+        return std::vector<double>{dx * dx + dy * dy, 1.0};
+      },
+      {1e-6, 1e-6});
+  MlaOptions opt = fast_options();
+  opt.performance_model = &model;
+  MultitaskTuner tuner(box2d(), family_fn(), opt);
+  tuner.run({{0.4}});
+  // True objective = 1.0 * feature0 + 0.01 * feature1.
+  EXPECT_NEAR(model.coefficients()[0], 1.0, 0.2);
+  EXPECT_NEAR(model.coefficients()[1], 0.01, 0.05);
+}
+
+// --- history (archive & reuse) ---
+
+TEST(Mla, HistoryRecordsEveryEvaluation) {
+  HistoryDb db;
+  MlaOptions opt = fast_options();
+  opt.history = &db;
+  MultitaskTuner tuner(box2d(), family_fn(), opt);
+  auto result = tuner.run({{0.3}, {0.7}});
+  EXPECT_EQ(db.size(), result.evaluations);
+}
+
+TEST(Mla, HistoryReuseSeedsNewRun) {
+  HistoryDb db;
+  {
+    MlaOptions opt = fast_options();
+    opt.history = &db;
+    MultitaskTuner tuner(box2d(), family_fn(), opt);
+    tuner.run({{0.3}});
+  }
+  const std::size_t first_run = db.size();
+  // Second session on the same task: archived samples show up as free
+  // extra evals in the task history.
+  MlaOptions opt = fast_options();
+  opt.budget_per_task = 6;
+  opt.history = &db;
+  MultitaskTuner tuner(box2d(), family_fn(), opt);
+  auto result = tuner.run({{0.3}});
+  EXPECT_GT(result.tasks[0].evals.size(), 6u);
+  EXPECT_GE(db.size(), first_run + 1);
+  // Reused knowledge: final best at least as good as the archived best.
+  EXPECT_LE(result.tasks[0].best(),
+            db.best_for_task({0.3})->objectives[0] + 1e-12);
+}
+
+// --- multi-objective (Algorithm 2) ---
+
+MultiObjectiveFn biobjective_fn() {
+  // Classic convex trade-off: f1 = x^2 + eps, f2 = (x-1)^2 + eps over x,
+  // second dim y is noise-free slack both objectives mildly dislike.
+  return [](const TaskVector&, const Config& c) {
+    const double f1 = c[0] * c[0] + 0.2 * c[1] * c[1] + 0.01;
+    const double f2 =
+        (c[0] - 1.0) * (c[0] - 1.0) + 0.2 * c[1] * c[1] + 0.01;
+    return std::vector<double>{f1, f2};
+  };
+}
+
+TEST(MlaMultiObjective, BudgetRespected) {
+  MlaOptions opt = fast_options();
+  opt.num_objectives = 2;
+  opt.budget_per_task = 16;
+  opt.batch_k = 3;
+  MultitaskTuner tuner(box2d(), biobjective_fn(), opt);
+  auto result = tuner.run({{0.0}});
+  EXPECT_EQ(result.tasks[0].evals.size(), 16u);
+}
+
+TEST(MlaMultiObjective, ParetoFrontSpansTradeoff) {
+  MlaOptions opt = fast_options();
+  opt.num_objectives = 2;
+  opt.budget_per_task = 30;
+  opt.batch_k = 4;
+  MultitaskTuner tuner(box2d(), biobjective_fn(), opt);
+  auto result = tuner.run({{0.0}});
+  const auto front = result.tasks[0].pareto();
+  ASSERT_GE(front.size(), 3u);
+  // Front points must be mutually non-dominating (checked by pareto()),
+  // and span both ends of the trade-off: some point good at f1, some at f2.
+  double best_f1 = 1e9, best_f2 = 1e9;
+  for (const auto& e : front) {
+    best_f1 = std::min(best_f1, e.objectives[0]);
+    best_f2 = std::min(best_f2, e.objectives[1]);
+  }
+  EXPECT_LT(best_f1, 0.3);
+  EXPECT_LT(best_f2, 0.3);
+}
+
+TEST(MlaMultiObjective, FrontDominatesMostRandomPoints) {
+  MlaOptions opt = fast_options();
+  opt.num_objectives = 2;
+  opt.budget_per_task = 24;
+  MultitaskTuner tuner(box2d(), biobjective_fn(), opt);
+  auto result = tuner.run({{0.0}});
+  const auto front = result.tasks[0].pareto();
+
+  common::Rng rng(5);
+  std::size_t dominated = 0, total = 40;
+  for (std::size_t i = 0; i < total; ++i) {
+    const Config c = {rng.uniform(), rng.uniform()};
+    const auto y = biobjective_fn()({0.0}, c);
+    for (const auto& e : front) {
+      if (gptune::opt::dominates(e.objectives, y)) {
+        ++dominated;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(dominated, total / 2);
+}
+
+TEST(TaskHistory, Accessors) {
+  TaskHistory th;
+  th.evals.push_back({{0.1}, {3.0}});
+  th.evals.push_back({{0.2}, {1.0}});
+  th.evals.push_back({{0.3}, {2.0}});
+  EXPECT_DOUBLE_EQ(th.best(), 1.0);
+  EXPECT_DOUBLE_EQ(th.worst(), 3.0);
+  EXPECT_EQ(th.best_config(), (Config{0.2}));
+  EXPECT_EQ(th.best_so_far(), (std::vector<double>{3.0, 1.0, 1.0}));
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Tests for NSGA-II and the Pareto utilities: dominance semantics,
+// non-dominated sorting layers, crowding distance, and front quality on the
+// ZDT1 benchmark with a known Pareto front.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "opt/nsga2.hpp"
+
+namespace {
+
+using namespace gptune::opt;
+using gptune::common::Rng;
+
+TEST(Dominance, StrictAndEqualCases) {
+  EXPECT_TRUE(dominates({1.0, 1.0}, {2.0, 2.0}));
+  EXPECT_TRUE(dominates({1.0, 2.0}, {2.0, 2.0}));
+  EXPECT_FALSE(dominates({1.0, 3.0}, {2.0, 2.0}));  // trade-off
+  EXPECT_FALSE(dominates({2.0, 2.0}, {2.0, 2.0}));  // equal
+  EXPECT_FALSE(dominates({2.0, 2.0}, {1.0, 1.0}));
+}
+
+TEST(Dominance, SingleObjectiveReducesToLess) {
+  EXPECT_TRUE(dominates({1.0}, {2.0}));
+  EXPECT_FALSE(dominates({2.0}, {1.0}));
+}
+
+TEST(NonDominatedSort, LayersAreCorrect) {
+  // Three layers along the diagonal: (0,0) < (1,1) < (2,2) plus one
+  // trade-off point (0, 2) that sits on the first front with (0,0)?
+  // No: (0,0) dominates (0,2)? (0<=0, 0<2, strictly better) yes.
+  const std::vector<std::vector<double>> values = {
+      {0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}, {0.0, 2.0}, {2.0, 0.0}};
+  const auto fronts = non_dominated_sort(values);
+  ASSERT_GE(fronts.size(), 2u);
+  EXPECT_EQ(fronts[0], std::vector<std::size_t>{0});
+  // Second front: (1,1), (0,2), (2,0) are mutually non-dominating.
+  EXPECT_EQ(fronts[1].size(), 3u);
+}
+
+TEST(NonDominatedSort, AllNonDominatedIsOneFront) {
+  const std::vector<std::vector<double>> values = {
+      {0.0, 3.0}, {1.0, 2.0}, {2.0, 1.0}, {3.0, 0.0}};
+  const auto fronts = non_dominated_sort(values);
+  EXPECT_EQ(fronts.size(), 1u);
+  EXPECT_EQ(fronts[0].size(), 4u);
+}
+
+TEST(NonDominatedSort, ChainGivesOneFrontEach) {
+  const std::vector<std::vector<double>> values = {
+      {2.0, 2.0}, {1.0, 1.0}, {0.0, 0.0}};
+  const auto fronts = non_dominated_sort(values);
+  ASSERT_EQ(fronts.size(), 3u);
+  EXPECT_EQ(fronts[0][0], 2u);
+  EXPECT_EQ(fronts[2][0], 0u);
+}
+
+TEST(CrowdingDistance, BoundaryPointsInfinite) {
+  const std::vector<std::vector<double>> values = {
+      {0.0, 3.0}, {1.0, 2.0}, {2.0, 1.0}, {3.0, 0.0}};
+  const std::vector<std::size_t> front = {0, 1, 2, 3};
+  const auto d = crowding_distance(values, front);
+  EXPECT_TRUE(std::isinf(d[0]));
+  EXPECT_TRUE(std::isinf(d[3]));
+  EXPECT_FALSE(std::isinf(d[1]));
+  EXPECT_FALSE(std::isinf(d[2]));
+}
+
+TEST(CrowdingDistance, DenserRegionGetsSmallerDistance) {
+  // Points: two clustered in the middle, one spread out.
+  const std::vector<std::vector<double>> values = {
+      {0.0, 1.0}, {0.45, 0.55}, {0.5, 0.5}, {1.0, 0.0}};
+  const std::vector<std::size_t> front = {0, 1, 2, 3};
+  const auto d = crowding_distance(values, front);
+  // The two middle points are crowded; both finite, and each less than the
+  // "spread" a boundary point would have.
+  EXPECT_LT(d[1], 1.5);
+  EXPECT_LT(d[2], 1.5);
+}
+
+TEST(CrowdingDistance, TwoPointsBothInfinite) {
+  const std::vector<std::vector<double>> values = {{0.0, 1.0}, {1.0, 0.0}};
+  const auto d = crowding_distance(values, {0, 1});
+  EXPECT_TRUE(std::isinf(d[0]));
+  EXPECT_TRUE(std::isinf(d[1]));
+}
+
+TEST(ParetoFilter, RemovesDominated) {
+  const std::vector<std::vector<double>> values = {
+      {1.0, 1.0}, {0.5, 2.0}, {2.0, 0.5}, {1.5, 1.5}};
+  const auto keep = pareto_filter(values);
+  EXPECT_EQ(keep.size(), 3u);  // {1.5,1.5} dominated by {1,1}
+  for (std::size_t idx : keep) EXPECT_NE(idx, 3u);
+}
+
+TEST(ParetoFilter, DuplicatesAllKept) {
+  const std::vector<std::vector<double>> values = {{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_EQ(pareto_filter(values).size(), 2u);  // equal points don't dominate
+}
+
+// --- ZDT1: known Pareto front f2 = 1 - sqrt(f1) at g = 1 ---
+
+std::vector<double> zdt1(const Point& x) {
+  const double f1 = x[0];
+  double g = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) g += x[i];
+  g = 1.0 + 9.0 * g / static_cast<double>(x.size() - 1);
+  const double f2 = g * (1.0 - std::sqrt(f1 / g));
+  return {f1, f2};
+}
+
+TEST(Nsga2, Zdt1FrontQuality) {
+  Rng rng(77);
+  Nsga2Options opt;
+  opt.population = 60;
+  opt.generations = 60;
+  const auto front = nsga2_minimize(zdt1, Box::unit(6), rng, opt);
+  ASSERT_GE(front.size(), 10u);
+  // Every front point should be near the true front f2 = 1 - sqrt(f1).
+  double worst_gap = 0.0;
+  for (const auto& v : front.values) {
+    const double expected_f2 = 1.0 - std::sqrt(v[0]);
+    worst_gap = std::max(worst_gap, v[1] - expected_f2);
+  }
+  EXPECT_LT(worst_gap, 0.25);
+}
+
+TEST(Nsga2, FrontIsMutuallyNonDominating) {
+  Rng rng(78);
+  Nsga2Options opt;
+  opt.population = 30;
+  opt.generations = 15;
+  const auto front = nsga2_minimize(zdt1, Box::unit(4), rng, opt);
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    for (std::size_t j = 0; j < front.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(dominates(front.values[i], front.values[j]))
+          << "front point " << i << " dominates " << j;
+    }
+  }
+}
+
+TEST(Nsga2, FrontSpreadsAcrossObjectiveSpace) {
+  Rng rng(79);
+  Nsga2Options opt;
+  opt.population = 60;
+  opt.generations = 40;
+  const auto front = nsga2_minimize(zdt1, Box::unit(5), rng, opt);
+  double min_f1 = 1e9, max_f1 = -1e9;
+  for (const auto& v : front.values) {
+    min_f1 = std::min(min_f1, v[0]);
+    max_f1 = std::max(max_f1, v[0]);
+  }
+  EXPECT_LT(min_f1, 0.15);
+  EXPECT_GT(max_f1, 0.7);
+}
+
+TEST(Nsga2, PointsWithinBox) {
+  Rng rng(80);
+  Box box{{-1.0, 2.0}, {0.0, 3.0}};
+  auto f = [](const Point& x) {
+    return std::vector<double>{x[0] * x[0], (x[1] - 2.5) * (x[1] - 2.5)};
+  };
+  Nsga2Options opt;
+  opt.population = 20;
+  opt.generations = 10;
+  const auto front = nsga2_minimize(f, box, rng, opt);
+  for (const auto& p : front.points) EXPECT_TRUE(box.contains(p));
+}
+
+TEST(Nsga2, SingleObjectiveDegeneratesToMinimization) {
+  Rng rng(81);
+  auto f = [](const Point& x) {
+    return std::vector<double>{(x[0] - 0.25) * (x[0] - 0.25)};
+  };
+  Nsga2Options opt;
+  opt.population = 20;
+  opt.generations = 20;
+  const auto front = nsga2_minimize(f, Box::unit(1), rng, opt);
+  ASSERT_GE(front.size(), 1u);
+  EXPECT_NEAR(front.points[0][0], 0.25, 0.05);
+}
+
+}  // namespace

@@ -1,0 +1,302 @@
+// Tests for the single-objective optimizer suite on closed-form problems:
+// quadratics and Rosenbrock for L-BFGS (with gradient checks), multimodal
+// boxes for the stochastic methods.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "opt/differential_evolution.hpp"
+#include "opt/direct_search.hpp"
+#include "opt/genetic.hpp"
+#include "opt/lbfgs.hpp"
+#include "opt/nelder_mead.hpp"
+#include "opt/problem.hpp"
+#include "opt/pso.hpp"
+#include "opt/simulated_annealing.hpp"
+
+namespace {
+
+using namespace gptune::opt;
+using gptune::common::Rng;
+
+double sphere(const Point& x) {
+  double s = 0.0;
+  for (double v : x) s += (v - 0.3) * (v - 0.3);
+  return s;
+}
+
+double rastrigin_like(const Point& x) {
+  // Shifted multimodal function on [0,1]^d with global minimum at 0.7.
+  double s = 0.0;
+  for (double v : x) {
+    const double z = v - 0.7;
+    s += z * z * 25.0 - std::cos(8.0 * M_PI * z) + 1.0;
+  }
+  return s;
+}
+
+// --- Box ---
+
+TEST(Box, ClampAndContains) {
+  Box box{{0.0, -1.0}, {1.0, 1.0}};
+  Point x = {2.0, -3.0};
+  box.clamp(x);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], -1.0);
+  EXPECT_TRUE(box.contains(x));
+  EXPECT_FALSE(box.contains({0.5, 2.0}));
+}
+
+TEST(Box, UnitBox) {
+  const Box u = Box::unit(3);
+  EXPECT_EQ(u.dim(), 3u);
+  EXPECT_TRUE(u.contains({0.0, 0.5, 1.0}));
+}
+
+// --- L-BFGS ---
+
+TEST(Lbfgs, QuadraticConvergesToMinimum) {
+  auto f = [](const Point& x, Point& g) {
+    g.resize(x.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - static_cast<double>(i);
+      s += d * d;
+      g[i] = 2.0 * d;
+    }
+    return s;
+  };
+  auto result = lbfgs_minimize(f, Point(5, 10.0));
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.value, 1e-10);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(result.x[i], static_cast<double>(i), 1e-5);
+  }
+}
+
+TEST(Lbfgs, IllConditionedQuadratic) {
+  auto f = [](const Point& x, Point& g) {
+    g.resize(2);
+    const double s = 1000.0 * x[0] * x[0] + x[1] * x[1];
+    g[0] = 2000.0 * x[0];
+    g[1] = 2.0 * x[1];
+    return s;
+  };
+  auto result = lbfgs_minimize(f, {1.0, 1.0});
+  EXPECT_LT(result.value, 1e-8);
+}
+
+TEST(Lbfgs, Rosenbrock2D) {
+  auto f = [](const Point& x, Point& g) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    g.resize(2);
+    g[0] = -2.0 * a - 400.0 * x[0] * b;
+    g[1] = 200.0 * b;
+    return a * a + 100.0 * b * b;
+  };
+  LbfgsOptions opt;
+  opt.max_iterations = 500;
+  auto result = lbfgs_minimize(f, {-1.2, 1.0}, opt);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-4);
+}
+
+TEST(Lbfgs, RosenbrockHighDimensional) {
+  auto f = [](const Point& x, Point& g) {
+    const std::size_t n = x.size();
+    g.assign(n, 0.0);
+    double s = 0.0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const double a = 1.0 - x[i];
+      const double b = x[i + 1] - x[i] * x[i];
+      s += a * a + 100.0 * b * b;
+      g[i] += -2.0 * a - 400.0 * x[i] * b;
+      g[i + 1] += 200.0 * b;
+    }
+    return s;
+  };
+  LbfgsOptions opt;
+  opt.max_iterations = 2000;
+  auto result = lbfgs_minimize(f, Point(10, 0.0), opt);
+  EXPECT_LT(result.value, 1e-6);
+}
+
+TEST(Lbfgs, AlreadyAtMinimum) {
+  auto f = [](const Point& x, Point& g) {
+    g.assign(x.size(), 0.0);
+    return 0.0;
+  };
+  auto result = lbfgs_minimize(f, {0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0u);
+}
+
+TEST(Lbfgs, HistoryOneStillWorks) {
+  LbfgsOptions opt;
+  opt.history = 1;
+  auto f = [](const Point& x, Point& g) {
+    g = {2.0 * x[0]};
+    return x[0] * x[0];
+  };
+  auto result = lbfgs_minimize(f, {5.0}, opt);
+  EXPECT_LT(result.value, 1e-8);
+}
+
+// --- stochastic optimizers, parameterized over dimension ---
+
+class StochasticDims : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StochasticDims, PsoFindsSphereMinimum) {
+  Rng rng(100 + GetParam());
+  auto result = pso_minimize(sphere, Box::unit(GetParam()), rng);
+  EXPECT_LT(result.value, 1e-4);
+}
+
+TEST_P(StochasticDims, DeFindsSphereMinimum) {
+  Rng rng(200 + GetParam());
+  DifferentialEvolutionOptions opt;
+  opt.max_evaluations = 4000;
+  auto result =
+      differential_evolution_minimize(sphere, Box::unit(GetParam()), rng, opt);
+  EXPECT_LT(result.value, 1e-3);
+}
+
+TEST_P(StochasticDims, GaImprovesOverRandom) {
+  Rng rng1(300 + GetParam()), rng2(400 + GetParam());
+  GeneticOptions gopt;
+  gopt.max_evaluations = 600;
+  auto ga = genetic_minimize(rastrigin_like, Box::unit(GetParam()), rng1,
+                             gopt);
+  auto rnd = random_search_minimize(rastrigin_like, Box::unit(GetParam()),
+                                    rng2, 600);
+  EXPECT_LE(ga.value, rnd.value * 1.5 + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, StochasticDims, ::testing::Values(1, 2, 4, 8));
+
+TEST(Pso, RespectsBoxBounds) {
+  Rng rng(1);
+  Box box{{-2.0, 3.0}, {-1.0, 4.0}};
+  auto count_outside = 0;
+  auto f = [&](const Point& x) {
+    if (!box.contains(x)) ++count_outside;
+    return x[0] + x[1];
+  };
+  pso_minimize(f, box, rng);
+  EXPECT_EQ(count_outside, 0);
+}
+
+TEST(Pso, EvaluationCountMatchesBudget) {
+  Rng rng(2);
+  PsoOptions opt;
+  opt.swarm_size = 10;
+  opt.iterations = 5;
+  auto r = pso_minimize(sphere, Box::unit(2), rng, opt);
+  EXPECT_EQ(r.evaluations, 10u * 6u);  // init + 5 iterations
+}
+
+TEST(Pso, MultimodalBeatsSmallRandomBudget) {
+  Rng rng1(3), rng2(4);
+  auto pso = pso_minimize(rastrigin_like, Box::unit(3), rng1);
+  auto rnd = random_search_minimize(rastrigin_like, Box::unit(3), rng2, 100);
+  EXPECT_LE(pso.value, rnd.value + 1e-9);
+}
+
+TEST(NelderMead, ConvergesOnSmoothConvex) {
+  Rng rng(5);
+  NelderMeadOptions opt;
+  opt.max_evaluations = 900;
+  auto r = nelder_mead_minimize(sphere, Box::unit(3), rng, opt);
+  EXPECT_LT(r.value, 1e-3);
+}
+
+TEST(NelderMead, StaysInBox) {
+  Rng rng(6);
+  Box box{{0.0}, {1.0}};
+  int outside = 0;
+  auto f = [&](const Point& x) {
+    if (!box.contains(x)) ++outside;
+    return (x[0] - 0.5) * (x[0] - 0.5);
+  };
+  nelder_mead_minimize(f, box, rng);
+  EXPECT_EQ(outside, 0);
+}
+
+TEST(SimulatedAnnealing, FindsGoodSphereSolution) {
+  Rng rng(7);
+  SimulatedAnnealingOptions opt;
+  opt.max_evaluations = 2000;
+  auto r = simulated_annealing_minimize(sphere, Box::unit(2), rng, opt);
+  EXPECT_LT(r.value, 0.01);
+}
+
+TEST(SimulatedAnnealing, RespectsBudget) {
+  Rng rng(8);
+  SimulatedAnnealingOptions opt;
+  opt.max_evaluations = 137;
+  auto r = simulated_annealing_minimize(sphere, Box::unit(2), rng, opt);
+  EXPECT_EQ(r.evaluations, 137u);
+}
+
+TEST(Genetic, SbxChildrenWithinBox) {
+  Rng rng(9);
+  const Box box = Box::unit(4);
+  Point p1 = {0.1, 0.9, 0.5, 0.2};
+  Point p2 = {0.8, 0.3, 0.5, 0.9};
+  for (int i = 0; i < 50; ++i) {
+    Point c1, c2;
+    sbx_crossover(p1, p2, box, 15.0, 1.0, rng, c1, c2);
+    EXPECT_TRUE(box.contains(c1));
+    EXPECT_TRUE(box.contains(c2));
+  }
+}
+
+TEST(Genetic, MutationStaysInBox) {
+  Rng rng(10);
+  const Box box = Box::unit(3);
+  for (int i = 0; i < 50; ++i) {
+    Point x = {0.01, 0.99, 0.5};
+    polynomial_mutation(x, box, 20.0, 1.0, rng);
+    EXPECT_TRUE(box.contains(x));
+  }
+}
+
+TEST(Genetic, MutationZeroProbabilityIsIdentity) {
+  Rng rng(11);
+  Point x = {0.3, 0.7};
+  const Point before = x;
+  polynomial_mutation(x, Box::unit(2), 20.0, 0.0, rng);
+  EXPECT_EQ(x, before);
+}
+
+TEST(RandomSearch, BudgetAndDeterminism) {
+  Rng rng1(12), rng2(12);
+  auto a = random_search_minimize(sphere, Box::unit(3), rng1, 50);
+  auto b = random_search_minimize(sphere, Box::unit(3), rng2, 50);
+  EXPECT_EQ(a.evaluations, 50u);
+  EXPECT_DOUBLE_EQ(a.value, b.value);
+  EXPECT_EQ(a.x, b.x);
+}
+
+TEST(GridSearch, HitsExactGridOptimum) {
+  // Minimum of |x-0.5| on an odd grid includes x = 0.5 exactly.
+  auto f = [](const Point& x) { return std::abs(x[0] - 0.5); };
+  auto r = grid_search_minimize(f, Box::unit(1), 5);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+  EXPECT_EQ(r.evaluations, 5u);
+}
+
+TEST(GridSearch, FullFactorialCount) {
+  auto r = grid_search_minimize(sphere, Box::unit(3), 4);
+  EXPECT_EQ(r.evaluations, 64u);
+}
+
+TEST(GridSearch, SinglePointGridUsesCenter) {
+  auto f = [](const Point& x) { return x[0]; };
+  auto r = grid_search_minimize(f, Box::unit(1), 1);
+  EXPECT_DOUBLE_EQ(r.x[0], 0.5);
+}
+
+}  // namespace

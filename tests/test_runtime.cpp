@@ -1,0 +1,324 @@
+// Tests for the runtime substrate: thread pool, the MPI-like communicator
+// (point-to-point, collectives, spawn with inter-communicators), and the
+// virtual clock used by the speedup study.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "runtime/comm.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/virtual_clock.hpp"
+
+namespace {
+
+using namespace gptune::rt;
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.run_batch(std::move(tasks));
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, BatchRunnerAdaptor) {
+  ThreadPool pool(2);
+  auto runner = pool.batch_runner();
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 7; ++i) tasks.push_back([&counter] { ++counter; });
+  runner(std::move(tasks));
+  EXPECT_EQ(counter.load(), 7);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int b = 0; b < 5; ++b) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 10; ++i) tasks.push_back([&counter] { ++counter; });
+    pool.run_batch(std::move(tasks));
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+// --- Comm ---
+
+TEST(Comm, RankAndSize) {
+  std::atomic<int> sum{0};
+  World::run(4, [&sum](Comm& comm) {
+    EXPECT_EQ(comm.size(), 4u);
+    sum.fetch_add(static_cast<int>(comm.rank()));
+  });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2 + 3);
+}
+
+TEST(Comm, PointToPointRoundTrip) {
+  World::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, {1.0, 2.0, 3.0});
+      Message reply = comm.recv(1, 8);
+      ASSERT_EQ(reply.data.size(), 1u);
+      EXPECT_DOUBLE_EQ(reply.data[0], 6.0);
+    } else {
+      Message m = comm.recv(0, 7);
+      EXPECT_EQ(m.source, 0);
+      EXPECT_EQ(m.tag, 7);
+      double s = 0.0;
+      for (double v : m.data) s += v;
+      comm.send(0, 8, {s});
+    }
+  });
+}
+
+TEST(Comm, SelectiveReceiveByTag) {
+  World::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, {1.0});
+      comm.send(1, 2, {2.0});
+    } else {
+      // Receive tag 2 first even though tag 1 arrived first.
+      Message m2 = comm.recv(kAnySource, 2);
+      Message m1 = comm.recv(kAnySource, 1);
+      EXPECT_DOUBLE_EQ(m2.data[0], 2.0);
+      EXPECT_DOUBLE_EQ(m1.data[0], 1.0);
+    }
+  });
+}
+
+TEST(Comm, TryRecvNonBlocking) {
+  World::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      Message out;
+      EXPECT_FALSE(comm.try_recv(kAnySource, 99, &out));
+      comm.barrier();
+      comm.barrier();
+      EXPECT_TRUE(comm.try_recv(kAnySource, 99, &out));
+      EXPECT_DOUBLE_EQ(out.data[0], 5.0);
+    } else {
+      comm.barrier();
+      comm.send(0, 99, {5.0});
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Comm, BarrierSynchronizes) {
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violated{false};
+  World::run(8, [&](Comm& comm) {
+    phase1.fetch_add(1);
+    comm.barrier();
+    if (phase1.load() != 8) violated.store(true);
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Comm, BroadcastFromRoot) {
+  World::run(5, [](Comm& comm) {
+    std::vector<double> data;
+    if (comm.rank() == 0) data = {3.14, 2.71};
+    comm.bcast(data, 0);
+    ASSERT_EQ(data.size(), 2u);
+    EXPECT_DOUBLE_EQ(data[0], 3.14);
+    EXPECT_DOUBLE_EQ(data[1], 2.71);
+  });
+}
+
+TEST(Comm, BroadcastFromNonZeroRoot) {
+  World::run(3, [](Comm& comm) {
+    std::vector<double> data;
+    if (comm.rank() == 2) data = {42.0};
+    comm.bcast(data, 2);
+    ASSERT_EQ(data.size(), 1u);
+    EXPECT_DOUBLE_EQ(data[0], 42.0);
+  });
+}
+
+TEST(Comm, ReduceSum) {
+  World::run(6, [](Comm& comm) {
+    const std::vector<double> contribution = {
+        static_cast<double>(comm.rank()), 1.0};
+    auto result = comm.reduce_sum(contribution, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(result.size(), 2u);
+      EXPECT_DOUBLE_EQ(result[0], 15.0);  // 0+1+..+5
+      EXPECT_DOUBLE_EQ(result[1], 6.0);
+    }
+  });
+}
+
+TEST(Comm, BackToBackReductionsDoNotInterleave) {
+  // Regression: reduce_sum used kAnySource, so a fast rank's contribution
+  // to reduction k+1 could be folded into reduction k on the root.
+  World::run(6, [](Comm& comm) {
+    for (int round = 1; round <= 20; ++round) {
+      auto result = comm.reduce_sum({static_cast<double>(round)}, 0);
+      if (comm.rank() == 0) {
+        ASSERT_EQ(result.size(), 1u);
+        EXPECT_DOUBLE_EQ(result[0], 6.0 * round);
+      }
+    }
+  });
+}
+
+TEST(Comm, AllreduceSumOnEveryRank) {
+  World::run(4, [](Comm& comm) {
+    auto result = comm.allreduce_sum({1.0});
+    ASSERT_EQ(result.size(), 1u);
+    EXPECT_DOUBLE_EQ(result[0], 4.0);
+  });
+}
+
+TEST(Comm, GatherPreservesRankOrder) {
+  World::run(4, [](Comm& comm) {
+    auto all = comm.gather({static_cast<double>(comm.rank() * 10)}, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), 4u);
+      for (std::size_t r = 0; r < 4; ++r) {
+        EXPECT_DOUBLE_EQ(all[r][0], static_cast<double>(r * 10));
+      }
+    }
+  });
+}
+
+TEST(Comm, SingleRankCollectivesAreNoOps) {
+  World::run(1, [](Comm& comm) {
+    std::vector<double> data = {1.0};
+    comm.bcast(data);
+    comm.barrier();
+    auto r = comm.allreduce_sum({2.0});
+    EXPECT_DOUBLE_EQ(r[0], 2.0);
+  });
+}
+
+// --- spawn: the paper's Fig. 1 master/worker pattern ---
+
+TEST(Spawn, MasterReceivesFromAllWorkers) {
+  World::run(1, [](Comm& master) {
+    auto handle = master.spawn(4, [](Comm& worker, InterComm& parent) {
+      parent.send(0, 1, {static_cast<double>(worker.rank())});
+    });
+    double sum = 0.0;
+    for (int i = 0; i < 4; ++i) {
+      Message m = handle.comm().recv(kAnySource, 1);
+      sum += m.data[0];
+    }
+    EXPECT_DOUBLE_EQ(sum, 6.0);
+    handle.join();
+  });
+}
+
+TEST(Spawn, MasterToWorkerDirection) {
+  World::run(1, [](Comm& master) {
+    auto handle = master.spawn(3, [](Comm& worker, InterComm& parent) {
+      Message m = parent.recv(0, 5);
+      parent.send(0, 6, {m.data[0] * 2.0});
+      (void)worker;
+    });
+    for (std::size_t w = 0; w < 3; ++w) {
+      handle.comm().send(w, 5, {static_cast<double>(w + 1)});
+    }
+    double sum = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      sum += handle.comm().recv(kAnySource, 6).data[0];
+    }
+    EXPECT_DOUBLE_EQ(sum, 12.0);  // 2+4+6
+    handle.join();
+  });
+}
+
+TEST(Spawn, WorkersHaveTheirOwnIntraComm) {
+  World::run(1, [](Comm& master) {
+    auto handle = master.spawn(4, [](Comm& worker, InterComm& parent) {
+      // Workers allreduce among themselves, then rank 0 reports.
+      auto total = worker.allreduce_sum({1.0});
+      if (worker.rank() == 0) parent.send(0, 2, total);
+    });
+    Message m = handle.comm().recv(kAnySource, 2);
+    EXPECT_DOUBLE_EQ(m.data[0], 4.0);
+    handle.join();
+  });
+}
+
+TEST(Spawn, NestedSpawn) {
+  // A worker can itself spawn a sub-group (recursive dynamic process
+  // management).
+  World::run(1, [](Comm& master) {
+    auto handle = master.spawn(1, [](Comm& worker, InterComm& parent) {
+      auto inner = worker.spawn(2, [](Comm&, InterComm& p) {
+        p.send(0, 3, {1.0});
+      });
+      double s = 0.0;
+      for (int i = 0; i < 2; ++i) s += inner.comm().recv().data[0];
+      inner.join();
+      parent.send(0, 4, {s});
+    });
+    EXPECT_DOUBLE_EQ(handle.comm().recv().data[0], 2.0);
+    handle.join();
+  });
+}
+
+// --- VirtualRanks ---
+
+TEST(VirtualClock, MakespanIsMaxBusy) {
+  VirtualRanks ranks(3);
+  ranks.charge(0, 5.0);
+  ranks.charge(1, 2.0);
+  ranks.charge(1, 4.0);
+  EXPECT_DOUBLE_EQ(ranks.makespan(), 6.0);
+  EXPECT_DOUBLE_EQ(ranks.total_work(), 11.0);
+}
+
+TEST(VirtualClock, GreedySchedulingBalances) {
+  VirtualRanks ranks(4);
+  std::vector<double> tasks(16, 1.0);
+  ranks.schedule_greedy(tasks);
+  EXPECT_DOUBLE_EQ(ranks.makespan(), 4.0);  // 16 unit tasks over 4 ranks
+}
+
+TEST(VirtualClock, SingleRankSerializes) {
+  VirtualRanks ranks(1);
+  ranks.schedule_greedy({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(ranks.makespan(), 6.0);
+}
+
+TEST(VirtualClock, SpeedupUpperBoundedByRankCount) {
+  std::vector<double> tasks;
+  for (int i = 0; i < 100; ++i) tasks.push_back(0.5 + 0.01 * i);
+  VirtualRanks serial(1), parallel(8);
+  serial.schedule_greedy(tasks);
+  parallel.schedule_greedy(tasks);
+  const double speedup = serial.makespan() / parallel.makespan();
+  EXPECT_GT(speedup, 6.0);
+  EXPECT_LE(speedup, 8.0 + 1e-9);
+}
+
+TEST(VirtualClock, ChargeAllAndReset) {
+  VirtualRanks ranks(2);
+  ranks.charge_all(3.0);
+  EXPECT_DOUBLE_EQ(ranks.total_work(), 6.0);
+  ranks.reset();
+  EXPECT_DOUBLE_EQ(ranks.makespan(), 0.0);
+}
+
+}  // namespace

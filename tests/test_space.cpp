@@ -1,0 +1,197 @@
+// Tests for parameter spaces and sampling designs: encode/decode round
+// trips across parameter types, constraint handling, and Latin hypercube
+// stratification.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/sampler.hpp"
+#include "core/space.hpp"
+
+namespace {
+
+using namespace gptune::core;
+using gptune::common::Rng;
+
+Space mixed_space() {
+  Space s;
+  s.add_real("x", 0.5, 2.0);
+  s.add_integer("n", 1, 100, /*log_scale=*/true);
+  s.add_categorical("alg", {"a", "b", "c"});
+  return s;
+}
+
+TEST(Space, DimAndNames) {
+  const Space s = mixed_space();
+  EXPECT_EQ(s.dim(), 3u);
+  EXPECT_EQ(s.index_of("n"), 1u);
+  EXPECT_EQ(s.index_of("missing"), 3u);
+  EXPECT_EQ(s.parameter(2).type, ParamType::kCategorical);
+}
+
+TEST(Space, RealNormalizeRoundTrip) {
+  Space s;
+  s.add_real("x", -2.0, 6.0);
+  const Config c = {1.0};
+  const auto u = s.normalize(c);
+  EXPECT_NEAR(u[0], 3.0 / 8.0, 1e-12);
+  EXPECT_NEAR(s.denormalize(u)[0], 1.0, 1e-12);
+}
+
+TEST(Space, LogScaleRealRoundTrip) {
+  Space s;
+  s.add_real("x", 1.0, 10000.0, /*log_scale=*/true);
+  const auto u = s.normalize({100.0});
+  EXPECT_NEAR(u[0], 0.5, 1e-12);  // log-midpoint of 1..1e4
+  EXPECT_NEAR(s.denormalize({0.5})[0], 100.0, 1e-9);
+}
+
+TEST(Space, IntegerRoundsOnDenormalize) {
+  Space s;
+  s.add_integer("n", 0, 10);
+  EXPECT_DOUBLE_EQ(s.denormalize({0.51})[0], 5.0);
+  EXPECT_DOUBLE_EQ(s.denormalize({0.0})[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.denormalize({1.0})[0], 10.0);
+}
+
+TEST(Space, LogIntegerCoversDecades) {
+  Space s;
+  s.add_integer("n", 1, 1024, /*log_scale=*/true);
+  EXPECT_DOUBLE_EQ(s.denormalize({0.0})[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.denormalize({1.0})[0], 1024.0);
+  EXPECT_DOUBLE_EQ(s.denormalize({0.5})[0], 32.0);
+}
+
+TEST(Space, CategoricalSnapsToIndices) {
+  Space s;
+  s.add_categorical("c", {"p", "q", "r", "t"});
+  EXPECT_DOUBLE_EQ(s.denormalize({0.0})[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.denormalize({0.99})[0], 3.0);
+  EXPECT_DOUBLE_EQ(s.denormalize({1.0})[0], 3.0);
+  // Quartile mapping: each category owns an equal slice of [0,1].
+  EXPECT_DOUBLE_EQ(s.denormalize({0.3})[0], 1.0);
+}
+
+TEST(Space, CategoricalRoundTripAllValues) {
+  Space s;
+  s.add_categorical("c", {"p", "q", "r"});
+  for (double idx = 0; idx < 3; ++idx) {
+    const auto u = s.normalize({idx});
+    EXPECT_DOUBLE_EQ(s.denormalize(u)[0], idx);
+  }
+}
+
+TEST(Space, SingleCategoryDegenerate) {
+  Space s;
+  s.add_categorical("c", {"only"});
+  EXPECT_DOUBLE_EQ(s.denormalize({0.7})[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.normalize({0.0})[0], 0.5);
+}
+
+TEST(Space, NormalizeClampsOutOfRange) {
+  Space s;
+  s.add_real("x", 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.normalize({5.0})[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.normalize({-5.0})[0], 0.0);
+}
+
+TEST(Space, InvalidDefinitionsThrow) {
+  Space s;
+  EXPECT_THROW(s.add_real("x", 2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(s.add_real("x", -1.0, 1.0, true), std::invalid_argument);
+  EXPECT_THROW(s.add_integer("n", 5, 4), std::invalid_argument);
+  EXPECT_THROW(s.add_categorical("c", {}), std::invalid_argument);
+}
+
+TEST(Space, ConstraintsEnforced) {
+  Space s;
+  s.add_integer("p", 1, 64);
+  s.add_integer("p_r", 1, 64);
+  s.add_constraint("p_r <= p",
+                   [](const Config& c) { return c[1] <= c[0]; });
+  EXPECT_TRUE(s.feasible({8, 4}));
+  EXPECT_FALSE(s.feasible({4, 8}));
+}
+
+TEST(Space, SampleFeasibleRespectsConstraints) {
+  Space s;
+  s.add_integer("p", 1, 64);
+  s.add_integer("p_r", 1, 64);
+  s.add_constraint("p_r <= p",
+                   [](const Config& c) { return c[1] <= c[0]; });
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(s.feasible(s.sample_feasible(rng)));
+  }
+}
+
+TEST(Space, FormatRendersTypes) {
+  const Space s = mixed_space();
+  const std::string out = s.format({1.25, 10, 2});
+  EXPECT_NE(out.find("x=1.25"), std::string::npos);
+  EXPECT_NE(out.find("n=10"), std::string::npos);
+  EXPECT_NE(out.find("alg=c"), std::string::npos);
+}
+
+// --- samplers ---
+
+TEST(Sampler, LatinHypercubeStratifiesEveryDimension) {
+  Rng rng(2);
+  const std::size_t n = 10, d = 3;
+  const auto points = gptune::core::latin_hypercube(n, d, rng);
+  ASSERT_EQ(points.size(), n);
+  for (std::size_t dim = 0; dim < d; ++dim) {
+    std::set<std::size_t> cells;
+    for (const auto& p : points) {
+      EXPECT_GE(p[dim], 0.0);
+      EXPECT_LT(p[dim], 1.0);
+      cells.insert(static_cast<std::size_t>(p[dim] * n));
+    }
+    EXPECT_EQ(cells.size(), n) << "dimension " << dim << " not stratified";
+  }
+}
+
+TEST(Sampler, LatinHypercubeDeterministicPerSeed) {
+  Rng a(3), b(3);
+  const auto p1 = gptune::core::latin_hypercube(8, 2, a);
+  const auto p2 = gptune::core::latin_hypercube(8, 2, b);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(Sampler, UniformDesignInUnitBox) {
+  Rng rng(4);
+  for (const auto& p : gptune::core::uniform_design(50, 4, rng)) {
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(Sampler, InitialConfigsFeasibleAndCounted) {
+  Space s;
+  s.add_integer("p", 1, 64);
+  s.add_integer("p_r", 1, 64);
+  s.add_constraint("p_r <= p",
+                   [](const Config& c) { return c[1] <= c[0]; });
+  Rng rng(5);
+  const auto configs = sample_initial_configs(s, 20, rng);
+  EXPECT_EQ(configs.size(), 20u);
+  for (const auto& c : configs) EXPECT_TRUE(s.feasible(c));
+}
+
+TEST(Sampler, InitialConfigsSnapTypes) {
+  const Space s = mixed_space();
+  Rng rng(6);
+  for (const auto& c :
+       sample_initial_configs(s, 30, rng, InitialDesign::kUniform)) {
+    EXPECT_DOUBLE_EQ(c[1], std::round(c[1]));  // integer
+    EXPECT_DOUBLE_EQ(c[2], std::round(c[2]));  // categorical index
+    EXPECT_GE(c[2], 0.0);
+    EXPECT_LE(c[2], 2.0);
+  }
+}
+
+}  // namespace
