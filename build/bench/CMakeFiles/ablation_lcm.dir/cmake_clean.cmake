@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lcm.dir/ablation_lcm.cpp.o"
+  "CMakeFiles/ablation_lcm.dir/ablation_lcm.cpp.o.d"
+  "ablation_lcm"
+  "ablation_lcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_analytical_landscape.dir/fig2_analytical_landscape.cpp.o"
+  "CMakeFiles/fig2_analytical_landscape.dir/fig2_analytical_landscape.cpp.o.d"
+  "fig2_analytical_landscape"
+  "fig2_analytical_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_analytical_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_tab5_multiobjective.dir/fig7_tab5_multiobjective.cpp.o"
+  "CMakeFiles/fig7_tab5_multiobjective.dir/fig7_tab5_multiobjective.cpp.o.d"
+  "fig7_tab5_multiobjective"
+  "fig7_tab5_multiobjective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tab5_multiobjective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_tab5_multiobjective.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_tab5_multiobjective.
+# This may be replaced when dependencies are built.

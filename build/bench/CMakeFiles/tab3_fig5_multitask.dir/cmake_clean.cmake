@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_fig5_multitask.dir/tab3_fig5_multitask.cpp.o"
+  "CMakeFiles/tab3_fig5_multitask.dir/tab3_fig5_multitask.cpp.o.d"
+  "tab3_fig5_multitask"
+  "tab3_fig5_multitask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_fig5_multitask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_hypre.dir/tab4_hypre.cpp.o"
+  "CMakeFiles/tab4_hypre.dir/tab4_hypre.cpp.o.d"
+  "tab4_hypre"
+  "tab4_hypre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_hypre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_reuse.dir/history_reuse.cpp.o"
+  "CMakeFiles/history_reuse.dir/history_reuse.cpp.o.d"
+  "history_reuse"
+  "history_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

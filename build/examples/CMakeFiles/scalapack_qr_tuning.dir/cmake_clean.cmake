@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalapack_qr_tuning.dir/scalapack_qr_tuning.cpp.o"
+  "CMakeFiles/scalapack_qr_tuning.dir/scalapack_qr_tuning.cpp.o.d"
+  "scalapack_qr_tuning"
+  "scalapack_qr_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalapack_qr_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

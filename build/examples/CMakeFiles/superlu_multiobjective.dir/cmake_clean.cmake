@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superlu_multiobjective.dir/superlu_multiobjective.cpp.o"
+  "CMakeFiles/superlu_multiobjective.dir/superlu_multiobjective.cpp.o.d"
+  "superlu_multiobjective"
+  "superlu_multiobjective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superlu_multiobjective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptune_apps.dir/analytical.cpp.o"
+  "CMakeFiles/gptune_apps.dir/analytical.cpp.o.d"
+  "CMakeFiles/gptune_apps.dir/hypre_sim.cpp.o"
+  "CMakeFiles/gptune_apps.dir/hypre_sim.cpp.o.d"
+  "CMakeFiles/gptune_apps.dir/mhd_sim.cpp.o"
+  "CMakeFiles/gptune_apps.dir/mhd_sim.cpp.o.d"
+  "CMakeFiles/gptune_apps.dir/scalapack_sim.cpp.o"
+  "CMakeFiles/gptune_apps.dir/scalapack_sim.cpp.o.d"
+  "CMakeFiles/gptune_apps.dir/superlu_sim.cpp.o"
+  "CMakeFiles/gptune_apps.dir/superlu_sim.cpp.o.d"
+  "libgptune_apps.a"
+  "libgptune_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptune_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/hpbandster_lite.cpp" "src/baselines/CMakeFiles/gptune_baselines.dir/hpbandster_lite.cpp.o" "gcc" "src/baselines/CMakeFiles/gptune_baselines.dir/hpbandster_lite.cpp.o.d"
+  "/root/repo/src/baselines/opentuner_lite.cpp" "src/baselines/CMakeFiles/gptune_baselines.dir/opentuner_lite.cpp.o" "gcc" "src/baselines/CMakeFiles/gptune_baselines.dir/opentuner_lite.cpp.o.d"
+  "/root/repo/src/baselines/single_task_gptune.cpp" "src/baselines/CMakeFiles/gptune_baselines.dir/single_task_gptune.cpp.o" "gcc" "src/baselines/CMakeFiles/gptune_baselines.dir/single_task_gptune.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gptune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gptune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/gptune_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/gptune_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gptune_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gptune_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptune_baselines.dir/hpbandster_lite.cpp.o"
+  "CMakeFiles/gptune_baselines.dir/hpbandster_lite.cpp.o.d"
+  "CMakeFiles/gptune_baselines.dir/opentuner_lite.cpp.o"
+  "CMakeFiles/gptune_baselines.dir/opentuner_lite.cpp.o.d"
+  "CMakeFiles/gptune_baselines.dir/single_task_gptune.cpp.o"
+  "CMakeFiles/gptune_baselines.dir/single_task_gptune.cpp.o.d"
+  "libgptune_baselines.a"
+  "libgptune_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptune_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

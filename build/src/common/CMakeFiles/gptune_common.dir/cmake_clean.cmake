@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptune_common.dir/log.cpp.o"
+  "CMakeFiles/gptune_common.dir/log.cpp.o.d"
+  "CMakeFiles/gptune_common.dir/rng.cpp.o"
+  "CMakeFiles/gptune_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gptune_common.dir/stats.cpp.o"
+  "CMakeFiles/gptune_common.dir/stats.cpp.o.d"
+  "libgptune_common.a"
+  "libgptune_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptune_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgptune_common.a"
+)

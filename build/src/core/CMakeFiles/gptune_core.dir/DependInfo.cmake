@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/acquisition.cpp" "src/core/CMakeFiles/gptune_core.dir/acquisition.cpp.o" "gcc" "src/core/CMakeFiles/gptune_core.dir/acquisition.cpp.o.d"
+  "/root/repo/src/core/history.cpp" "src/core/CMakeFiles/gptune_core.dir/history.cpp.o" "gcc" "src/core/CMakeFiles/gptune_core.dir/history.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/gptune_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/gptune_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/mla.cpp" "src/core/CMakeFiles/gptune_core.dir/mla.cpp.o" "gcc" "src/core/CMakeFiles/gptune_core.dir/mla.cpp.o.d"
+  "/root/repo/src/core/perf_model.cpp" "src/core/CMakeFiles/gptune_core.dir/perf_model.cpp.o" "gcc" "src/core/CMakeFiles/gptune_core.dir/perf_model.cpp.o.d"
+  "/root/repo/src/core/sampler.cpp" "src/core/CMakeFiles/gptune_core.dir/sampler.cpp.o" "gcc" "src/core/CMakeFiles/gptune_core.dir/sampler.cpp.o.d"
+  "/root/repo/src/core/space.cpp" "src/core/CMakeFiles/gptune_core.dir/space.cpp.o" "gcc" "src/core/CMakeFiles/gptune_core.dir/space.cpp.o.d"
+  "/root/repo/src/core/tla.cpp" "src/core/CMakeFiles/gptune_core.dir/tla.cpp.o" "gcc" "src/core/CMakeFiles/gptune_core.dir/tla.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gptune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gptune_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/gptune_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/gptune_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gptune_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

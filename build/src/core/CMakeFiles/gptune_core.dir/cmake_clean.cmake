@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptune_core.dir/acquisition.cpp.o"
+  "CMakeFiles/gptune_core.dir/acquisition.cpp.o.d"
+  "CMakeFiles/gptune_core.dir/history.cpp.o"
+  "CMakeFiles/gptune_core.dir/history.cpp.o.d"
+  "CMakeFiles/gptune_core.dir/metrics.cpp.o"
+  "CMakeFiles/gptune_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/gptune_core.dir/mla.cpp.o"
+  "CMakeFiles/gptune_core.dir/mla.cpp.o.d"
+  "CMakeFiles/gptune_core.dir/perf_model.cpp.o"
+  "CMakeFiles/gptune_core.dir/perf_model.cpp.o.d"
+  "CMakeFiles/gptune_core.dir/sampler.cpp.o"
+  "CMakeFiles/gptune_core.dir/sampler.cpp.o.d"
+  "CMakeFiles/gptune_core.dir/space.cpp.o"
+  "CMakeFiles/gptune_core.dir/space.cpp.o.d"
+  "CMakeFiles/gptune_core.dir/tla.cpp.o"
+  "CMakeFiles/gptune_core.dir/tla.cpp.o.d"
+  "libgptune_core.a"
+  "libgptune_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptune_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gp/gp_regression.cpp" "src/gp/CMakeFiles/gptune_gp.dir/gp_regression.cpp.o" "gcc" "src/gp/CMakeFiles/gptune_gp.dir/gp_regression.cpp.o.d"
+  "/root/repo/src/gp/kernel.cpp" "src/gp/CMakeFiles/gptune_gp.dir/kernel.cpp.o" "gcc" "src/gp/CMakeFiles/gptune_gp.dir/kernel.cpp.o.d"
+  "/root/repo/src/gp/lcm.cpp" "src/gp/CMakeFiles/gptune_gp.dir/lcm.cpp.o" "gcc" "src/gp/CMakeFiles/gptune_gp.dir/lcm.cpp.o.d"
+  "/root/repo/src/gp/trainer.cpp" "src/gp/CMakeFiles/gptune_gp.dir/trainer.cpp.o" "gcc" "src/gp/CMakeFiles/gptune_gp.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gptune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gptune_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/gptune_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gptune_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptune_gp.dir/gp_regression.cpp.o"
+  "CMakeFiles/gptune_gp.dir/gp_regression.cpp.o.d"
+  "CMakeFiles/gptune_gp.dir/kernel.cpp.o"
+  "CMakeFiles/gptune_gp.dir/kernel.cpp.o.d"
+  "CMakeFiles/gptune_gp.dir/lcm.cpp.o"
+  "CMakeFiles/gptune_gp.dir/lcm.cpp.o.d"
+  "CMakeFiles/gptune_gp.dir/trainer.cpp.o"
+  "CMakeFiles/gptune_gp.dir/trainer.cpp.o.d"
+  "libgptune_gp.a"
+  "libgptune_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptune_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptune_linalg.dir/blocked_cholesky.cpp.o"
+  "CMakeFiles/gptune_linalg.dir/blocked_cholesky.cpp.o.d"
+  "CMakeFiles/gptune_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/gptune_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/gptune_linalg.dir/eigen_sym.cpp.o"
+  "CMakeFiles/gptune_linalg.dir/eigen_sym.cpp.o.d"
+  "CMakeFiles/gptune_linalg.dir/lu.cpp.o"
+  "CMakeFiles/gptune_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/gptune_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/gptune_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/gptune_linalg.dir/qr.cpp.o"
+  "CMakeFiles/gptune_linalg.dir/qr.cpp.o.d"
+  "libgptune_linalg.a"
+  "libgptune_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptune_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/cmaes.cpp" "src/opt/CMakeFiles/gptune_opt.dir/cmaes.cpp.o" "gcc" "src/opt/CMakeFiles/gptune_opt.dir/cmaes.cpp.o.d"
+  "/root/repo/src/opt/differential_evolution.cpp" "src/opt/CMakeFiles/gptune_opt.dir/differential_evolution.cpp.o" "gcc" "src/opt/CMakeFiles/gptune_opt.dir/differential_evolution.cpp.o.d"
+  "/root/repo/src/opt/direct_search.cpp" "src/opt/CMakeFiles/gptune_opt.dir/direct_search.cpp.o" "gcc" "src/opt/CMakeFiles/gptune_opt.dir/direct_search.cpp.o.d"
+  "/root/repo/src/opt/genetic.cpp" "src/opt/CMakeFiles/gptune_opt.dir/genetic.cpp.o" "gcc" "src/opt/CMakeFiles/gptune_opt.dir/genetic.cpp.o.d"
+  "/root/repo/src/opt/lbfgs.cpp" "src/opt/CMakeFiles/gptune_opt.dir/lbfgs.cpp.o" "gcc" "src/opt/CMakeFiles/gptune_opt.dir/lbfgs.cpp.o.d"
+  "/root/repo/src/opt/nelder_mead.cpp" "src/opt/CMakeFiles/gptune_opt.dir/nelder_mead.cpp.o" "gcc" "src/opt/CMakeFiles/gptune_opt.dir/nelder_mead.cpp.o.d"
+  "/root/repo/src/opt/nsga2.cpp" "src/opt/CMakeFiles/gptune_opt.dir/nsga2.cpp.o" "gcc" "src/opt/CMakeFiles/gptune_opt.dir/nsga2.cpp.o.d"
+  "/root/repo/src/opt/pso.cpp" "src/opt/CMakeFiles/gptune_opt.dir/pso.cpp.o" "gcc" "src/opt/CMakeFiles/gptune_opt.dir/pso.cpp.o.d"
+  "/root/repo/src/opt/simulated_annealing.cpp" "src/opt/CMakeFiles/gptune_opt.dir/simulated_annealing.cpp.o" "gcc" "src/opt/CMakeFiles/gptune_opt.dir/simulated_annealing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gptune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gptune_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

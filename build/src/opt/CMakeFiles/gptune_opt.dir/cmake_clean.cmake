@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptune_opt.dir/cmaes.cpp.o"
+  "CMakeFiles/gptune_opt.dir/cmaes.cpp.o.d"
+  "CMakeFiles/gptune_opt.dir/differential_evolution.cpp.o"
+  "CMakeFiles/gptune_opt.dir/differential_evolution.cpp.o.d"
+  "CMakeFiles/gptune_opt.dir/direct_search.cpp.o"
+  "CMakeFiles/gptune_opt.dir/direct_search.cpp.o.d"
+  "CMakeFiles/gptune_opt.dir/genetic.cpp.o"
+  "CMakeFiles/gptune_opt.dir/genetic.cpp.o.d"
+  "CMakeFiles/gptune_opt.dir/lbfgs.cpp.o"
+  "CMakeFiles/gptune_opt.dir/lbfgs.cpp.o.d"
+  "CMakeFiles/gptune_opt.dir/nelder_mead.cpp.o"
+  "CMakeFiles/gptune_opt.dir/nelder_mead.cpp.o.d"
+  "CMakeFiles/gptune_opt.dir/nsga2.cpp.o"
+  "CMakeFiles/gptune_opt.dir/nsga2.cpp.o.d"
+  "CMakeFiles/gptune_opt.dir/pso.cpp.o"
+  "CMakeFiles/gptune_opt.dir/pso.cpp.o.d"
+  "CMakeFiles/gptune_opt.dir/simulated_annealing.cpp.o"
+  "CMakeFiles/gptune_opt.dir/simulated_annealing.cpp.o.d"
+  "libgptune_opt.a"
+  "libgptune_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptune_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptune_runtime.dir/comm.cpp.o"
+  "CMakeFiles/gptune_runtime.dir/comm.cpp.o.d"
+  "CMakeFiles/gptune_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/gptune_runtime.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/gptune_runtime.dir/virtual_clock.cpp.o"
+  "CMakeFiles/gptune_runtime.dir/virtual_clock.cpp.o.d"
+  "libgptune_runtime.a"
+  "libgptune_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptune_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

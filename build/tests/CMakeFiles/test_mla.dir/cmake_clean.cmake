@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mla.dir/test_mla.cpp.o"
+  "CMakeFiles/test_mla.dir/test_mla.cpp.o.d"
+  "test_mla"
+  "test_mla.pdb"
+  "test_mla[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
