@@ -1,0 +1,151 @@
+// Scaling study for the parallel multistart LCM trainer (paper Fig. 1
+// master/model-worker split, §4.3 multistart optimization).
+//
+// Workload: the Table-3 PDGEQRF multitask setup — the shared expensive task
+// plus random cheaper ones, log simulated runtimes — fit with n_start
+// L-BFGS restarts. The serial fit's per-restart wall-clock feeds a
+// virtual-clock makespan model (greedy list scheduling onto N ranks, same
+// methodology as fig3_parallel_scaling: this container has one core, so
+// real threads cannot exhibit wall-clock speedup) to report the 1-vs-N
+// worker speedup a real multi-core run would see. A real 4-thread fit then
+// proves the determinism contract: bitwise-identical hyperparameters.
+#include <cmath>
+#include <vector>
+
+#include "apps/scalapack_sim.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "gp/trainer.hpp"
+#include "runtime/virtual_clock.hpp"
+
+namespace {
+
+using namespace gptune;
+
+// Table-3 style PDGEQRF workload: delta tasks, eps samples each, objective
+// log simulated seconds, configurations drawn feasibly from the tuning
+// space and normalized into the unit box the LCM expects.
+gp::MultiTaskData make_workload(std::size_t tasks, std::size_t samples) {
+  apps::MachineConfig big_machine;
+  big_machine.nodes = 64;
+  apps::PdgeqrfSim qr(big_machine);
+  const core::Space space = qr.tuning_space();
+
+  std::vector<core::TaskVector> qr_tasks = {{23324, 26545}};
+  common::Rng task_rng(11);
+  while (qr_tasks.size() < tasks) {
+    qr_tasks.push_back({std::floor(task_rng.uniform(2000, 23000)),
+                        std::floor(task_rng.uniform(2000, 23000))});
+  }
+
+  common::Rng rng(2021);
+  gp::MultiTaskData data;
+  for (const auto& task : qr_tasks) {
+    gp::Matrix x(samples, space.dim());
+    gp::Vector y(samples);
+    for (std::size_t j = 0; j < samples; ++j) {
+      const core::Config config = space.sample_feasible(rng);
+      const auto unit = space.normalize(config);
+      for (std::size_t m = 0; m < space.dim(); ++m) x(j, m) = unit[m];
+      y[j] = std::log(qr.best_of_trials(task, config, 3));
+    }
+    data.x.push_back(std::move(x));
+    data.y.push_back(std::move(y));
+  }
+  return data;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gptune::bench;
+
+  const std::size_t kTasks = 8, kSamples = 14, kRestarts = 16;
+  const auto data = make_workload(kTasks, kSamples);
+
+  section("Multistart LCM trainer scaling: PDGEQRF workload (delta=8, "
+          "eps=14, n_start=16)");
+
+  gp::LcmFitOptions opt;
+  opt.num_latent = 3;
+  opt.num_restarts = kRestarts;
+  opt.max_lbfgs_iterations = 30;
+  opt.seed = 5;
+  opt.num_workers = 1;
+
+  gp::LcmFitStats serial_stats;
+  auto serial = gp::fit_lcm(data, opt, &serial_stats);
+  if (!serial) {
+    row("serial fit failed; cannot run the study");
+    return finish("bench_trainer_scaling");
+  }
+
+  double restart_sum = 0.0;
+  for (double s : serial_stats.restart_seconds) restart_sum += s;
+  // Everything outside the restarts (context build, posterior build,
+  // reduction) stays serial in the virtual schedule.
+  const double overhead = std::max(0.0, serial_stats.fit_seconds - restart_sum);
+
+  row("serial fit: %.3f s total (%.3f s in %zu restarts, %.3f s serial "
+      "overhead), best lml %.2f",
+      serial_stats.fit_seconds, restart_sum,
+      serial_stats.restart_seconds.size(), overhead, serial_stats.best_lml);
+  row("L-BFGS evaluations: %zu; Gram cache: %zu hits / %zu misses "
+      "(%.0f%% of Gram evaluations served from cache)",
+      serial_stats.total_lbfgs_evaluations, serial_stats.gram_cache_hits,
+      serial_stats.gram_cache_misses,
+      100.0 * static_cast<double>(serial_stats.gram_cache_hits) /
+          std::max<std::size_t>(
+              1, serial_stats.gram_cache_hits + serial_stats.gram_cache_misses));
+  row("serial throughput: %.1f restarts/s", serial_stats.restarts_per_second);
+
+  section("Virtual-clock speedup (greedy schedule of measured restart times)");
+  row("%8s %12s %9s %11s", "workers", "virtual s", "speedup", "efficiency");
+  double speedup_at_4 = 0.0;
+  for (std::size_t workers : {1, 2, 4, 8}) {
+    rt::VirtualRanks ranks(workers);
+    ranks.schedule_greedy(serial_stats.restart_seconds);
+    const double virtual_seconds = overhead + ranks.makespan();
+    const double speedup = serial_stats.fit_seconds / virtual_seconds;
+    if (workers == 4) speedup_at_4 = speedup;
+    row("%8zu %12.4f %8.2fx %10.0f%%", workers, virtual_seconds, speedup,
+        100.0 * speedup / static_cast<double>(workers));
+  }
+  shape_check(speedup_at_4 >= 2.0,
+              "4 model workers give >= 2x speedup over 1 on the multistart "
+              "fit (paper Fig. 1 master/worker split)");
+
+  section("Determinism across worker counts (real threads)");
+  gp::LcmFitOptions par = opt;
+  par.num_workers = 4;
+  gp::LcmFitStats par_stats;
+  auto parallel = gp::fit_lcm(data, par, &par_stats);
+  if (!parallel) {
+    row("parallel fit failed");
+    shape_check(false, "4-worker fit produces a model");
+    return finish("bench_trainer_scaling");
+  }
+  row("4-worker fit: %.3f s wall on this host (%zu workers used), "
+      "best lml %.2f",
+      par_stats.fit_seconds, par_stats.workers_used, par_stats.best_lml);
+
+  bool identical = serial->theta().size() == parallel->theta().size() &&
+                   serial->log_likelihood() == parallel->log_likelihood();
+  if (identical) {
+    for (std::size_t k = 0; k < serial->theta().size(); ++k) {
+      if (serial->theta()[k] != parallel->theta()[k]) {
+        identical = false;
+        break;
+      }
+    }
+  }
+  shape_check(identical,
+              "1-worker and 4-worker fits are bitwise identical "
+              "(hyperparameters and log-likelihood, exact ==)");
+  shape_check(par_stats.total_lbfgs_evaluations ==
+                  serial_stats.total_lbfgs_evaluations,
+              "worker count does not change the optimization trajectory "
+              "(same L-BFGS evaluation count)");
+
+  return finish("bench_trainer_scaling");
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate under sanitizers: configures a dedicated ASan+UBSan build tree
+# (separate from the plain ./build so the two never contaminate each other),
+# builds the library and tests, and runs the tier1-labeled ctest suite.
+# Benches and examples are skipped — the slow label has its own lane
+# (`ctest -L slow` in a regular build).
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGPTUNE_SANITIZE=ON \
+  -DGPTUNE_BUILD_BENCH=OFF \
+  -DGPTUNE_BUILD_EXAMPLES=OFF
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+# halt_on_error keeps a UBSan hit from scrolling past as a warning.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export ASAN_OPTIONS="detect_leaks=1"
+ctest --test-dir "${BUILD_DIR}" -L tier1 --output-on-failure -j "${JOBS}"

@@ -6,10 +6,13 @@
 #include <limits>
 #include <set>
 
+#include <memory>
+
 #include "common/log.hpp"
 #include "common/timer.hpp"
 #include "core/acquisition.hpp"
 #include "runtime/comm.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace gptune::core {
 
@@ -75,6 +78,11 @@ struct MultitaskTuner::State {
   // One model (and warm-start hyperparameters) per objective.
   std::vector<std::optional<gp::LcmModel>> models;
   std::vector<std::vector<double>> warm_theta;
+
+  // Long-lived pool for the modeling phase (paper Fig. 1 model workers):
+  // created once per run and reused by every refit, so worker threads are
+  // not respawned each MLA iteration.
+  std::unique_ptr<rt::ThreadPool> model_pool;
 
   // Performance-model feature normalization (min/max of the signed-log
   // transform over the current samples), refreshed every modeling phase.
@@ -228,12 +236,17 @@ void MultitaskTuner::modeling_phase(State& state, bool refit) {
                            : std::min<std::size_t>(delta, 3);
 
     if (refit || state.warm_theta[s].size() != shape.num_hyperparameters()) {
+      if (options_.model_workers > 1 && !state.model_pool) {
+        state.model_pool =
+            std::make_unique<rt::ThreadPool>(options_.model_workers);
+      }
       gp::LcmFitOptions fit;
       fit.num_latent = shape.num_latent;
       fit.num_restarts = options_.model_restarts;
       fit.max_lbfgs_iterations = options_.max_lbfgs_iterations;
       fit.seed = options_.seed + 7919 * (state.iteration + 1) + s;
       fit.num_workers = options_.model_workers;
+      fit.pool = state.model_pool.get();
       fit.warm_start = state.warm_theta[s];
       auto model = gp::fit_lcm(data, fit);
       if (model) {

@@ -30,7 +30,7 @@ GpHyperparameters GpHyperparameters::unpack(const std::vector<double>& theta,
 
 std::optional<double> GpRegression::lml_and_gradient(
     const Matrix& x, const Vector& y, const std::vector<double>& theta,
-    std::vector<double>* grad) {
+    std::vector<double>* grad, const linalg::TaskBatchRunner& runner) {
   const std::size_t n = x.rows(), d = x.cols();
   const GpHyperparameters hp = GpHyperparameters::unpack(theta, d);
 
@@ -40,7 +40,11 @@ std::optional<double> GpRegression::lml_and_gradient(
   for (double& v : k.data()) v *= hp.signal_variance;
   for (std::size_t i = 0; i < n; ++i) k(i, i) += hp.noise_variance;
 
-  auto factor = linalg::CholeskyFactor::factor(k);
+  // Blocked (optionally parallel) factorization, with the unblocked
+  // reference as a safety net for matrices right at the PD boundary where
+  // the two summation orders can disagree.
+  auto factor = linalg::blocked_cholesky(k, 128, runner);
+  if (!factor) factor = linalg::CholeskyFactor::factor(k);
   if (!factor) return std::nullopt;
 
   const Vector alpha = factor->solve(y);
@@ -90,7 +94,8 @@ std::optional<double> GpRegression::lml_and_gradient(
 }
 
 std::optional<GpRegression> GpRegression::with_hyperparameters(
-    const Matrix& x, const Vector& y, const GpHyperparameters& hp) {
+    const Matrix& x, const Vector& y, const GpHyperparameters& hp,
+    const linalg::TaskBatchRunner& runner) {
   const std::size_t n = x.rows();
   GpRegression gp;
   gp.x_ = x;
@@ -104,7 +109,8 @@ std::optional<GpRegression> GpRegression::with_hyperparameters(
   Matrix k = se_ard_gram(x, hp.lengthscales);
   for (double& v : k.data()) v *= hp.signal_variance;
   for (std::size_t i = 0; i < n; ++i) k(i, i) += hp.noise_variance;
-  auto factor = linalg::CholeskyFactor::factor_with_jitter(k);
+  auto factor = linalg::blocked_cholesky(k, 128, runner);
+  if (!factor) factor = linalg::CholeskyFactor::factor_with_jitter(k);
   if (!factor) return std::nullopt;
   gp.factor_ = std::move(*factor);
   gp.alpha_ = gp.factor_.solve(gp.y_);
@@ -149,7 +155,7 @@ std::optional<GpRegression> GpRegression::fit(const Matrix& x, const Vector& y,
       std::vector<double> t = theta;
       const double log_floor = std::log(options.min_noise_variance);
       if (t.back() < log_floor) t.back() = log_floor;
-      auto lml = lml_and_gradient(x, yc, t, &grad);
+      auto lml = lml_and_gradient(x, yc, t, &grad, options.runner);
       if (!lml) {
         grad.assign(theta.size(), 0.0);
         return 1e10;  // infeasible region; push the optimizer away
@@ -159,7 +165,7 @@ std::optional<GpRegression> GpRegression::fit(const Matrix& x, const Vector& y,
     };
 
     auto result = opt::lbfgs_minimize(objective, theta0, options.lbfgs);
-    auto lml = lml_and_gradient(x, yc, result.x, nullptr);
+    auto lml = lml_and_gradient(x, yc, result.x, nullptr, options.runner);
     if (lml && *lml > best_lml) {
       best_lml = *lml;
       best_theta = result.x;
@@ -169,7 +175,7 @@ std::optional<GpRegression> GpRegression::fit(const Matrix& x, const Vector& y,
 
   GpHyperparameters hp = GpHyperparameters::unpack(best_theta, d);
   hp.noise_variance = std::max(hp.noise_variance, options.min_noise_variance);
-  return with_hyperparameters(x, y, hp);
+  return with_hyperparameters(x, y, hp, options.runner);
 }
 
 GpPrediction GpRegression::predict(const Vector& x_star) const {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "linalg/blocked_cholesky.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
 #include "opt/lbfgs.hpp"
@@ -41,6 +42,10 @@ struct GpFitOptions {
   std::uint64_t seed = 42;
   opt::LbfgsOptions lbfgs;
   double min_noise_variance = 1e-8;
+  /// Parallelizes the blocked kernel-matrix factorization inside every
+  /// likelihood evaluation (the paper's ScaLAPACK role); the serial default
+  /// produces bitwise-identical results.
+  linalg::TaskBatchRunner runner = linalg::serial_runner();
 };
 
 /// Exact GP posterior over training data (X, y).
@@ -53,7 +58,8 @@ class GpRegression {
 
   /// Builds the posterior at fixed hyperparameters (no optimization).
   static std::optional<GpRegression> with_hyperparameters(
-      const Matrix& x, const Vector& y, const GpHyperparameters& hp);
+      const Matrix& x, const Vector& y, const GpHyperparameters& hp,
+      const linalg::TaskBatchRunner& runner = linalg::serial_runner());
 
   GpPrediction predict(const Vector& x_star) const;
 
@@ -62,9 +68,11 @@ class GpRegression {
 
   /// Log marginal likelihood and its gradient w.r.t. packed theta; the
   /// workhorse behind fit() and the target of the gradient unit tests.
+  /// `runner` parallelizes the blocked factorization of the kernel matrix.
   static std::optional<double> lml_and_gradient(
       const Matrix& x, const Vector& y, const std::vector<double>& theta,
-      std::vector<double>* grad);
+      std::vector<double>* grad,
+      const linalg::TaskBatchRunner& runner = linalg::serial_runner());
 
  private:
   GpRegression() = default;

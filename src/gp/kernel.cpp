@@ -77,17 +77,25 @@ std::vector<Matrix> squared_distance_per_dim(const Matrix& x) {
 
 Matrix se_ard_gram_from_distances(const std::vector<Matrix>& dist,
                                   const std::vector<double>& lengthscales) {
+  Matrix k;
+  se_ard_gram_from_distances_into(dist, lengthscales, &k);
+  return k;
+}
+
+void se_ard_gram_from_distances_into(const std::vector<Matrix>& dist,
+                                     const std::vector<double>& lengthscales,
+                                     Matrix* out) {
   assert(!dist.empty() && dist.size() == lengthscales.size());
   const std::size_t n = dist[0].rows();
-  Matrix k(n, n, 0.0);
+  if (out->rows() != n || out->cols() != n) *out = Matrix(n, n, 0.0);
+  auto& kd = out->data();
+  kd.assign(kd.size(), 0.0);
   for (std::size_t m = 0; m < dist.size(); ++m) {
     const double inv = 1.0 / (2.0 * lengthscales[m] * lengthscales[m]);
     const auto& dm = dist[m].data();
-    auto& kd = k.data();
     for (std::size_t idx = 0; idx < kd.size(); ++idx) kd[idx] += dm[idx] * inv;
   }
-  for (double& v : k.data()) v = std::exp(-v);
-  return k;
+  for (double& v : kd) v = std::exp(-v);
 }
 
 }  // namespace gptune::gp

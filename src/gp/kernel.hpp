@@ -32,4 +32,12 @@ std::vector<Matrix> squared_distance_per_dim(const Matrix& x);
 Matrix se_ard_gram_from_distances(const std::vector<Matrix>& dist,
                                   const std::vector<double>& lengthscales);
 
+/// In-place variant of se_ard_gram_from_distances: writes into `out`,
+/// resizing only when the shape differs. Lets a caller that evaluates many
+/// hyperparameter points (the multi-start trainer) reuse one buffer per
+/// latent process instead of allocating an n x n matrix per evaluation.
+void se_ard_gram_from_distances_into(const std::vector<Matrix>& dist,
+                                     const std::vector<double>& lengthscales,
+                                     Matrix* out);
+
 }  // namespace gptune::gp

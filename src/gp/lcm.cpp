@@ -96,34 +96,58 @@ Matrix lcm_covariance(const LcmShape& shape, const std::vector<double>& theta,
   return k;
 }
 
-std::optional<double> lcm_lml(const LcmShape& shape,
-                              const std::vector<double>& theta,
-                              const Matrix& all_x, const Vector& all_y,
-                              const std::vector<std::size_t>& task_of,
-                              std::vector<double>* grad,
-                              const linalg::TaskBatchRunner& runner) {
-  const std::size_t n = all_x.rows();
+LcmEvalContext::LcmEvalContext(const LcmShape& shape, Matrix all_x,
+                               Vector all_y, std::vector<std::size_t> task_of)
+    : shape_(shape),
+      all_x_(std::move(all_x)),
+      all_y_(std::move(all_y)),
+      task_of_(std::move(task_of)),
+      dist_(squared_distance_per_dim(all_x_)) {
+  assert(all_x_.rows() == all_y_.size());
+  assert(all_x_.rows() == task_of_.size());
+}
+
+LcmEvaluator::LcmEvaluator(const LcmEvalContext& ctx)
+    : ctx_(&ctx),
+      cached_lengthscales_(ctx.shape().num_latent),
+      gram_(ctx.shape().num_latent) {}
+
+std::optional<double> LcmEvaluator::lml(const std::vector<double>& theta,
+                                        std::vector<double>* grad,
+                                        const linalg::TaskBatchRunner& runner) {
+  const LcmShape& shape = ctx_->shape();
+  const Vector& all_y = ctx_->all_y();
+  const std::vector<std::size_t>& task_of = ctx_->task_of();
+  const std::vector<Matrix>& dist = ctx_->distances();
+  const std::size_t n = ctx_->num_samples();
   const std::size_t q_count = shape.num_latent;
   const UnpackedTheta u = unpack(shape, theta);
 
-  // Per-dimension squared distances, reused by every latent kernel and by
-  // the lengthscale gradients.
-  const auto dist = squared_distance_per_dim(all_x);
-
-  // Per-latent Gram matrices G_q (unit variance).
-  std::vector<Matrix> g(q_count);
+  // Per-latent Gram matrices G_q (unit variance), memoized on the latent's
+  // lengthscale vector: a latent whose lengthscales did not move since the
+  // previous evaluation (clamped at a bound, converged, or probed along a
+  // direction orthogonal to it) reuses its buffer untouched.
   for (std::size_t q = 0; q < q_count; ++q) {
-    g[q] = se_ard_gram_from_distances(dist, u.latents[q].lengthscales);
+    const auto& ls = u.latents[q].lengthscales;
+    if (!gram_[q].empty() && cached_lengthscales_[q] == ls) {
+      ++cache_stats_.gram_hits;
+      continue;
+    }
+    se_ard_gram_from_distances_into(dist, ls, &gram_[q]);
+    cached_lengthscales_[q] = ls;
+    ++cache_stats_.gram_misses;
   }
 
   // Assemble K.
-  Matrix k(n, n, 0.0);
+  if (k_.rows() != n || k_.cols() != n) k_ = Matrix(n, n, 0.0);
+  auto& kd = k_.data();
+  kd.assign(kd.size(), 0.0);
   for (std::size_t q = 0; q < q_count; ++q) {
     const auto& lv = u.latents[q];
-    const auto& gq = g[q];
+    const auto& gq = gram_[q];
     for (std::size_t p = 0; p < n; ++p) {
       const std::size_t ti = task_of[p];
-      double* krow = k.row_ptr(p);
+      double* krow = k_.row_ptr(p);
       const double* grow = gq.row_ptr(p);
       for (std::size_t r = 0; r < n; ++r) {
         const std::size_t tj = task_of[r];
@@ -133,17 +157,17 @@ std::optional<double> lcm_lml(const LcmShape& shape,
       }
     }
   }
-  for (std::size_t p = 0; p < n; ++p) k(p, p) += u.d[task_of[p]];
+  for (std::size_t p = 0; p < n; ++p) k_(p, p) += u.d[task_of[p]];
 
   // Factor (parallel blocked path when a runner with workers is supplied).
   std::optional<linalg::CholeskyFactor> factor;
   {
-    auto blocked = linalg::blocked_cholesky(k, 128, runner);
+    auto blocked = linalg::blocked_cholesky(k_, 128, runner);
     if (blocked) {
       factor = std::move(blocked);
     } else {
       // Fall back to jittered factorization for near-singular K.
-      factor = linalg::CholeskyFactor::factor_with_jitter(k);
+      factor = linalg::CholeskyFactor::factor_with_jitter(k_);
       if (!factor) return std::nullopt;
     }
   }
@@ -168,7 +192,7 @@ std::optional<double> lcm_lml(const LcmShape& shape,
 
   for (std::size_t q = 0; q < q_count; ++q) {
     const auto& lv = u.latents[q];
-    const auto& gq = g[q];
+    const auto& gq = gram_[q];
 
     // Element-wise H = M .* G_q, plus W_q weighting where needed.
     // d/dlog l^q_m needs sum over (p,r) of M*W*G*dist_m / l^2.
@@ -212,9 +236,21 @@ std::optional<double> lcm_lml(const LcmShape& shape,
   return lml;
 }
 
+std::optional<double> lcm_lml(const LcmShape& shape,
+                              const std::vector<double>& theta,
+                              const Matrix& all_x, const Vector& all_y,
+                              const std::vector<std::size_t>& task_of,
+                              std::vector<double>* grad,
+                              const linalg::TaskBatchRunner& runner) {
+  LcmEvalContext ctx(shape, all_x, all_y, task_of);
+  LcmEvaluator evaluator(ctx);
+  return evaluator.lml(theta, grad, runner);
+}
+
 std::optional<LcmModel> LcmModel::build(const MultiTaskData& data,
                                         const LcmShape& shape,
-                                        std::vector<double> theta) {
+                                        std::vector<double> theta,
+                                        const linalg::TaskBatchRunner& runner) {
   LcmModel model;
   model.shape_ = shape;
   model.theta_ = std::move(theta);
@@ -242,7 +278,11 @@ std::optional<LcmModel> LcmModel::build(const MultiTaskData& data,
 
   const Matrix k =
       lcm_covariance(shape, model.theta_, model.all_x_, model.task_of_);
-  auto factor = linalg::CholeskyFactor::factor_with_jitter(k);
+  // Blocked (optionally parallel) factorization first — the same path the
+  // trainer's likelihood evaluations take — with the jittered reference
+  // factorization as the fallback for near-singular covariances.
+  auto factor = linalg::blocked_cholesky(k, 128, runner);
+  if (!factor) factor = linalg::CholeskyFactor::factor_with_jitter(k);
   if (!factor) return std::nullopt;
   model.factor_ = std::move(*factor);
   model.alpha_ = model.factor_.solve(all_y);

@@ -78,10 +78,75 @@ Matrix lcm_covariance(const LcmShape& shape, const std::vector<double>& theta,
                       const Matrix& all_x,
                       const std::vector<std::size_t>& task_of);
 
+/// Restart-invariant precomputation for one LCM fit, shared (immutably) by
+/// every likelihood/gradient evaluation of every multistart restart: the
+/// flattened data plus the per-dimension pairwise squared-distance matrices
+/// that every SE-ARD Gram evaluation needs. Building this once per fit —
+/// instead of once per likelihood call — removes an O(n^2 * dim) recompute
+/// and allocation from the trainer's innermost loop. Thread-safe to share
+/// across trainer workers because it is never mutated after construction.
+class LcmEvalContext {
+ public:
+  LcmEvalContext(const LcmShape& shape, Matrix all_x, Vector all_y,
+                 std::vector<std::size_t> task_of);
+
+  const LcmShape& shape() const { return shape_; }
+  const Matrix& all_x() const { return all_x_; }
+  const Vector& all_y() const { return all_y_; }
+  const std::vector<std::size_t>& task_of() const { return task_of_; }
+  const std::vector<Matrix>& distances() const { return dist_; }
+  std::size_t num_samples() const { return all_x_.rows(); }
+
+ private:
+  LcmShape shape_;
+  Matrix all_x_;
+  Vector all_y_;
+  std::vector<std::size_t> task_of_;
+  std::vector<Matrix> dist_;  // per-dimension squared distances
+};
+
+/// Cache counters reported by LcmEvaluator (surfaced through LcmFitStats).
+struct LcmCacheStats {
+  std::size_t gram_hits = 0;    ///< per-latent Gram reused (lengthscales equal)
+  std::size_t gram_misses = 0;  ///< per-latent Gram recomputed
+};
+
+/// Per-worker likelihood evaluator over a shared LcmEvalContext.
+///
+/// Owns the mutable scratch one restart needs — per-latent Gram buffers
+/// memoized on their lengthscale vector, plus the assembled covariance —
+/// so repeated evaluations (L-BFGS iterations and line-search probes)
+/// allocate nothing and skip Gram recomputation whenever a latent process's
+/// lengthscales did not change (common once the optimizer clamps at a bound
+/// or converges). NOT thread-safe; give each trainer worker its own.
+class LcmEvaluator {
+ public:
+  explicit LcmEvaluator(const LcmEvalContext& ctx);
+
+  /// Log marginal likelihood at `theta` with optional analytic gradient;
+  /// same contract as the free lcm_lml. `runner` parallelizes the blocked
+  /// covariance factorization (the paper's ScaLAPACK role).
+  std::optional<double> lml(
+      const std::vector<double>& theta, std::vector<double>* grad,
+      const linalg::TaskBatchRunner& runner = linalg::serial_runner());
+
+  const LcmEvalContext& context() const { return *ctx_; }
+  const LcmCacheStats& cache_stats() const { return cache_stats_; }
+
+ private:
+  const LcmEvalContext* ctx_;
+  std::vector<std::vector<double>> cached_lengthscales_;  // per latent
+  std::vector<Matrix> gram_;                              // per latent
+  Matrix k_;  // assembled covariance scratch
+  LcmCacheStats cache_stats_;
+};
+
 /// Log marginal likelihood of `theta` on the flattened data, with optional
 /// analytic gradient. Returns nullopt if the covariance cannot be factored
 /// even with jitter. `runner` parallelizes the covariance factorization
-/// (the paper's ScaLAPACK role).
+/// (the paper's ScaLAPACK role). Convenience wrapper that builds a
+/// single-use LcmEvalContext; hot loops should hold an LcmEvaluator over a
+/// shared context instead.
 std::optional<double> lcm_lml(
     const LcmShape& shape, const std::vector<double>& theta,
     const Matrix& all_x, const Vector& all_y,
@@ -95,10 +160,13 @@ class LcmModel {
  public:
   /// Builds the posterior; standardizes each task's y to zero mean / unit
   /// variance first (tasks may differ in magnitude by orders). Returns
-  /// nullopt if the covariance cannot be factored.
-  static std::optional<LcmModel> build(const MultiTaskData& data,
-                                       const LcmShape& shape,
-                                       std::vector<double> theta);
+  /// nullopt if the covariance cannot be factored. `runner` parallelizes
+  /// the blocked covariance factorization; the jittered reference
+  /// factorization remains the fallback for near-singular covariances.
+  static std::optional<LcmModel> build(
+      const MultiTaskData& data, const LcmShape& shape,
+      std::vector<double> theta,
+      const linalg::TaskBatchRunner& runner = linalg::serial_runner());
 
   struct Prediction {
     double mean = 0.0;

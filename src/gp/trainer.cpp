@@ -1,13 +1,13 @@
 #include "gp/trainer.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <limits>
-#include <mutex>
+#include <memory>
 
 #include "common/log.hpp"
-#include "runtime/comm.hpp"
+#include "common/timer.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace gptune::gp {
 
@@ -31,6 +31,15 @@ std::vector<double> random_lcm_theta(const LcmShape& shape,
   return theta;
 }
 
+std::uint64_t lcm_restart_seed(std::uint64_t seed, std::size_t restart) {
+  // SplitMix64 finalizer over (seed, restart): statistically independent
+  // streams even for adjacent seeds/restart indices.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (restart + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 namespace {
 
 struct RestartOutcome {
@@ -38,13 +47,16 @@ struct RestartOutcome {
   double lml = -std::numeric_limits<double>::infinity();
   std::size_t evaluations = 0;
   bool ok = false;
+  double seconds = 0.0;
+  LcmCacheStats cache;
 };
 
-RestartOutcome run_restart(const LcmShape& shape, const Matrix& all_x,
-                           const Vector& all_y,
-                           const std::vector<std::size_t>& task_of,
+RestartOutcome run_restart(const LcmEvalContext& ctx,
                            const std::vector<double>& theta0,
-                           std::size_t max_iterations) {
+                           std::size_t max_iterations,
+                           const linalg::TaskBatchRunner& runner) {
+  const LcmShape& shape = ctx.shape();
+  common::Timer timer;
   RestartOutcome out;
   // Clamp log-space parameters into sane boxes to keep the covariance well
   // conditioned: lengthscales in [1e-3, 1e3], b in [1e-8, 1e3],
@@ -72,12 +84,15 @@ RestartOutcome run_restart(const LcmShape& shape, const Matrix& all_x,
     return t;
   };
 
+  // One evaluator per restart: its Gram memo and covariance scratch live
+  // across every L-BFGS iteration and line-search probe of this restart.
+  LcmEvaluator evaluator(ctx);
   std::size_t evals = 0;
   auto objective = [&](const std::vector<double>& theta,
                        std::vector<double>& grad) -> double {
     ++evals;
     const auto t = project(theta);
-    auto lml = lcm_lml(shape, t, all_x, all_y, task_of, &grad);
+    auto lml = evaluator.lml(t, &grad, runner);
     if (!lml || !std::isfinite(*lml)) {
       grad.assign(theta.size(), 0.0);
       return 1e10;
@@ -97,12 +112,14 @@ RestartOutcome run_restart(const LcmShape& shape, const Matrix& all_x,
   out.evaluations = evals;
 
   const auto final_theta = project(result.x);
-  auto lml = lcm_lml(shape, final_theta, all_x, all_y, task_of, nullptr);
+  auto lml = evaluator.lml(final_theta, nullptr, runner);
   if (lml && std::isfinite(*lml)) {
     out.theta = final_theta;
     out.lml = *lml;
     out.ok = true;
   }
+  out.cache = evaluator.cache_stats();
+  out.seconds = timer.seconds();
   return out;
 }
 
@@ -111,6 +128,7 @@ RestartOutcome run_restart(const LcmShape& shape, const Matrix& all_x,
 std::optional<LcmModel> fit_lcm(const MultiTaskData& data,
                                 const LcmFitOptions& options,
                                 LcmFitStats* stats) {
+  common::Timer fit_timer;
   LcmShape shape;
   shape.num_tasks = data.num_tasks();
   shape.dim = data.dim();
@@ -136,63 +154,69 @@ std::optional<LcmModel> fit_lcm(const MultiTaskData& data,
   std::vector<std::size_t> task_of;
   standardized.flatten(&all_x, &all_y, &task_of);
 
-  // Build the restart list: warm start first (if usable), then random draws.
-  common::Rng rng(options.seed);
+  // Restart-invariant precomputation, shared read-only by every worker.
+  const LcmEvalContext ctx(shape, std::move(all_x), std::move(all_y),
+                           std::move(task_of));
+
+  // Build the restart list up front: warm start first (if usable), then one
+  // independent RNG stream per restart. The list depends only on (seed,
+  // num_restarts), never on the worker count.
   std::vector<std::vector<double>> starts;
+  starts.reserve(std::max<std::size_t>(1, options.num_restarts));
   if (options.warm_start.size() == shape.num_hyperparameters()) {
     starts.push_back(options.warm_start);
   }
   while (starts.size() < std::max<std::size_t>(1, options.num_restarts)) {
-    starts.push_back(random_lcm_theta(shape, rng));
+    common::Rng stream(lcm_restart_seed(options.seed, starts.size()));
+    starts.push_back(random_lcm_theta(shape, stream));
+  }
+
+  const std::size_t workers =
+      std::min(std::max<std::size_t>(1, options.num_workers), starts.size());
+  rt::ThreadPool* pool = options.pool;
+  std::unique_ptr<rt::ThreadPool> transient_pool;
+  if (pool == nullptr && workers > 1) {
+    transient_pool = std::make_unique<rt::ThreadPool>(workers);
+    pool = transient_pool.get();
   }
 
   std::vector<RestartOutcome> outcomes(starts.size());
-  const std::size_t workers =
-      std::min(std::max<std::size_t>(1, options.num_workers), starts.size());
   if (workers == 1) {
+    // Serial restarts. A supplied pool still helps: it parallelizes the
+    // blocked Cholesky inside each likelihood evaluation (tile updates are
+    // deterministic regardless of execution order, so results stay bitwise
+    // identical to the serial runner).
+    const linalg::TaskBatchRunner runner =
+        pool ? pool->batch_runner() : linalg::serial_runner();
     for (std::size_t s = 0; s < starts.size(); ++s) {
-      outcomes[s] = run_restart(shape, all_x, all_y, task_of, starts[s],
-                                options.max_lbfgs_iterations);
+      outcomes[s] = run_restart(ctx, starts[s], options.max_lbfgs_iterations,
+                                runner);
     }
   } else {
-    // Distribute restarts over spawned worker ranks (paper Fig. 1). Results
-    // return to the master through the inter-communicator: each worker
-    // sends one message per restart tagged by restart index, payload
-    // [lml, ok, evaluations, theta...].
-    rt::World::run(1, [&](rt::Comm& master) {
-      auto handle = master.spawn(
-          workers, [&](rt::Comm& worker, rt::InterComm& parent) {
-            for (std::size_t s = worker.rank(); s < starts.size();
-                 s += worker.size()) {
-              RestartOutcome out =
-                  run_restart(shape, all_x, all_y, task_of, starts[s],
-                              options.max_lbfgs_iterations);
-              std::vector<double> payload;
-              payload.push_back(out.lml);
-              payload.push_back(out.ok ? 1.0 : 0.0);
-              payload.push_back(static_cast<double>(out.evaluations));
-              payload.insert(payload.end(), out.theta.begin(),
-                             out.theta.end());
-              parent.send(0, static_cast<int>(s), std::move(payload));
-            }
-          });
-      for (std::size_t received = 0; received < starts.size(); ++received) {
-        rt::Message msg = handle.comm().recv();
-        RestartOutcome& out = outcomes[static_cast<std::size_t>(msg.tag)];
-        out.lml = msg.data[0];
-        out.ok = msg.data[1] > 0.5;
-        out.evaluations = static_cast<std::size_t>(msg.data[2]);
-        out.theta.assign(msg.data.begin() + 3, msg.data.end());
-      }
-      handle.join();
-    });
+    // Fan the restarts out over the pool (paper Fig. 1 model workers).
+    // Each restart runs single-threaded with a serial Cholesky runner —
+    // with every worker busy on its own restart there is no idle capacity
+    // worth nesting parallelism into.
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(starts.size());
+    for (std::size_t s = 0; s < starts.size(); ++s) {
+      tasks.push_back([&ctx, &starts, &outcomes, &options, s] {
+        outcomes[s] = run_restart(ctx, starts[s],
+                                  options.max_lbfgs_iterations,
+                                  linalg::serial_runner());
+      });
+    }
+    pool->run_batch(std::move(tasks));
   }
 
   const RestartOutcome* best = nullptr;
   std::size_t failed = 0;
   std::size_t total_evals = 0;
+  std::size_t gram_hits = 0, gram_misses = 0;
   for (const auto& out : outcomes) {
     total_evals += out.evaluations;
+    gram_hits += out.cache.gram_hits;
+    gram_misses += out.cache.gram_misses;
     if (!out.ok) {
       ++failed;
       continue;
@@ -204,12 +228,38 @@ std::optional<LcmModel> fit_lcm(const MultiTaskData& data,
     stats->restarts_failed = failed;
     stats->total_lbfgs_evaluations = total_evals;
     stats->best_lml = best ? best->lml : 0.0;
+    stats->workers_used = workers;
+    stats->gram_cache_hits = gram_hits;
+    stats->gram_cache_misses = gram_misses;
+    stats->restart_seconds.clear();
+    stats->restart_seconds.reserve(outcomes.size());
+    for (const auto& out : outcomes) {
+      stats->restart_seconds.push_back(out.seconds);
+    }
   }
   if (!best) {
     common::log_warn("fit_lcm: all ", outcomes.size(), " restarts failed");
+    if (stats) {
+      stats->fit_seconds = fit_timer.seconds();
+      stats->restarts_per_second =
+          stats->fit_seconds > 0.0
+              ? static_cast<double>(outcomes.size()) / stats->fit_seconds
+              : 0.0;
+    }
     return std::nullopt;
   }
-  return LcmModel::build(data, shape, best->theta);
+  // The pool is idle again here; let it speed up the posterior build too.
+  auto model = LcmModel::build(
+      data, shape, best->theta,
+      pool ? pool->batch_runner() : linalg::serial_runner());
+  if (stats) {
+    stats->fit_seconds = fit_timer.seconds();
+    stats->restarts_per_second =
+        stats->fit_seconds > 0.0
+            ? static_cast<double>(outcomes.size()) / stats->fit_seconds
+            : 0.0;
+  }
+  return model;
 }
 
 }  // namespace gptune::gp

@@ -1,10 +1,18 @@
 // Multi-start hyperparameter training for the LCM model (paper §4.3).
 //
 // The modeling phase runs n_start L-BFGS searches from random initial
-// hyperparameters and keeps the best log-likelihood. Mirroring GPTune's MPI
-// design, the restarts are distributed over spawned worker ranks (paper
-// Fig. 1): the master spawns a group, each worker optimizes its share of
-// restarts, and (theta, lml) pairs flow back over the inter-communicator.
+// hyperparameters and keeps the best log-likelihood. Mirroring GPTune's
+// master/model-worker split (paper Fig. 1), the restarts fan out over a
+// runtime::ThreadPool: the master builds one immutable LcmEvalContext
+// (flattened data + pairwise distance matrices, hoisted out of the
+// per-evaluation hot path), each worker optimizes its restarts through a
+// private LcmEvaluator (per-latent Gram memoization), and outcomes are
+// reduced by restart index.
+//
+// Determinism guarantee: every restart draws its initial point from its own
+// RNG stream keyed by (seed, restart index), L-BFGS itself is deterministic,
+// and the best outcome is selected by scanning restarts in index order — so
+// a fit is bitwise identical for a fixed seed regardless of worker count.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +22,10 @@
 #include "gp/lcm.hpp"
 #include "opt/lbfgs.hpp"
 
+namespace gptune::rt {
+class ThreadPool;
+}  // namespace gptune::rt
+
 namespace gptune::gp {
 
 struct LcmFitOptions {
@@ -21,8 +33,14 @@ struct LcmFitOptions {
   std::size_t num_restarts = 2;   ///< n_start in the paper
   std::size_t max_lbfgs_iterations = 40;
   std::uint64_t seed = 7;
-  /// Worker ranks to spawn for the restarts; 1 runs in the master.
+  /// Worker threads for the restarts; 1 runs everything in the caller.
   std::size_t num_workers = 1;
+  /// Pool to fan restarts out on. If null and num_workers > 1, a transient
+  /// pool of num_workers threads is created for this fit; passing a
+  /// long-lived pool (as the MLA loop does) avoids respawning threads on
+  /// every modeling phase. With num_workers == 1 a supplied pool instead
+  /// parallelizes each restart's blocked covariance factorization.
+  rt::ThreadPool* pool = nullptr;
   /// Hyperparameters of a previous fit to warm-start the first restart
   /// (the MLA loop refits after every new sample; warm starting makes the
   /// refits cheap). Ignored if the size does not match.
@@ -34,6 +52,18 @@ struct LcmFitStats {
   std::size_t restarts_attempted = 0;
   std::size_t restarts_failed = 0;
   std::size_t total_lbfgs_evaluations = 0;
+  /// Worker threads the restarts actually ran on.
+  std::size_t workers_used = 0;
+  /// Per-latent Gram matrices reused / recomputed across all likelihood
+  /// evaluations of the fit (see LcmEvaluator).
+  std::size_t gram_cache_hits = 0;
+  std::size_t gram_cache_misses = 0;
+  /// Wall-clock of the whole fit and the derived restart throughput.
+  double fit_seconds = 0.0;
+  double restarts_per_second = 0.0;
+  /// Wall-clock of each restart's optimization, indexed by restart; feeds
+  /// the virtual-clock scaling study (bench_trainer_scaling).
+  std::vector<double> restart_seconds;
 };
 
 /// Fits the LCM hyperparameters on `data` and builds the posterior model.
@@ -46,5 +76,10 @@ std::optional<LcmModel> fit_lcm(const MultiTaskData& data,
 /// standardized outputs (unit variance). Exposed for tests and benches.
 std::vector<double> random_lcm_theta(const LcmShape& shape,
                                      common::Rng& rng);
+
+/// Seed of the independent RNG stream for restart `s` of a fit seeded with
+/// `seed` (SplitMix-style mix). Exposed so tests can reproduce individual
+/// restart start points.
+std::uint64_t lcm_restart_seed(std::uint64_t seed, std::size_t restart);
 
 }  // namespace gptune::gp

@@ -35,15 +35,67 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+namespace {
+
+/// Completion state shared by one run_batch call and its wrapped tasks.
+struct BatchState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t remaining = 0;
+};
+
+}  // namespace
+
 void ThreadPool::run_batch(std::vector<std::function<void()>>&& tasks) {
-  for (auto& t : tasks) submit(std::move(t));
-  wait_idle();
+  if (tasks.empty()) return;
+  auto state = std::make_shared<BatchState>();
+  state->remaining = tasks.size();
+  for (auto& t : tasks) {
+    submit([state, task = std::move(t)] {
+      task();
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (--state->remaining == 0) state->cv.notify_all();
+    });
+  }
+  // Help drain the queue while this batch runs: the caller acts as an
+  // extra worker, and a run_batch issued from inside a pool task cannot
+  // deadlock waiting for workers that are all similarly blocked.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      if (state->remaining == 0) return;
+    }
+    if (!try_run_one()) {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      state->cv.wait(lock, [&] { return state->remaining == 0; });
+      return;
+    }
+  }
 }
 
 linalg::TaskBatchRunner ThreadPool::batch_runner() {
   return [this](std::vector<std::function<void()>>&& tasks) {
     run_batch(std::move(tasks));
   };
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  finish_task();
+  return true;
+}
+
+void ThreadPool::finish_task() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --in_flight_;
+  if (in_flight_ == 0) cv_idle_.notify_all();
 }
 
 void ThreadPool::worker_loop() {
@@ -60,11 +112,7 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
     }
     task();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) cv_idle_.notify_all();
-    }
+    finish_task();
   }
 }
 

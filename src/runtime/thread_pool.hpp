@@ -16,6 +16,12 @@
 namespace gptune::rt {
 
 /// Worker pool with a shared FIFO queue. Threads live for the pool lifetime.
+///
+/// run_batch waits on its *own* batch only (not global idleness), and the
+/// waiting thread helps drain the queue meanwhile. Both properties matter
+/// to the trainer: multiple restarts fan out over the pool concurrently,
+/// and a task running on a pool worker may itself run_batch a nested batch
+/// (e.g. blocked-Cholesky tiles) without deadlocking.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (>= 1).
@@ -33,7 +39,9 @@ class ThreadPool {
   /// Blocks until every task submitted so far has finished.
   void wait_idle();
 
-  /// Runs a batch of independent tasks to completion (submit + wait).
+  /// Runs a batch of independent tasks to completion. Safe to call from
+  /// multiple threads at once and from inside a pool task; the calling
+  /// thread executes queued work while it waits.
   void run_batch(std::vector<std::function<void()>>&& tasks);
 
   /// Adapts this pool to the linalg TaskBatchRunner interface.
@@ -41,6 +49,9 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// Pops and runs one queued task; false if the queue was empty.
+  bool try_run_one();
+  void finish_task();
 
   std::vector<std::thread> threads_;
   std::deque<std::function<void()>> queue_;

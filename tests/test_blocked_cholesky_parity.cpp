@@ -1,0 +1,149 @@
+// Parity tests for the blocked Cholesky against the unblocked reference,
+// across sizes straddling the block boundary (1, 127, 128, 129, 300), for
+// both the serial runner and a real ThreadPool runner, and through the
+// jitter-retry path the GP stack relies on for near-singular covariances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/blocked_cholesky.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using gptune::common::Rng;
+using gptune::linalg::blocked_cholesky;
+using gptune::linalg::CholeskyFactor;
+using gptune::linalg::Matrix;
+
+// Random SPD matrix: B B^T + n I is PD with comfortable margin.
+Matrix random_spd(std::size_t n, Rng& rng) {
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.normal();
+  }
+  Matrix a(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) s += b(i, k) * b(j, k);
+      a(i, j) = s;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+// Only the lower triangle is the contract: the unblocked reference leaves
+// the upper triangle of its scratch untouched, so compare L entries only.
+double max_lower_diff(const Matrix& a, const Matrix& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return m;
+}
+
+class BlockedCholeskyParity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BlockedCholeskyParity, SerialMatchesReference) {
+  const std::size_t n = GetParam();
+  Rng rng(1000 + n);
+  const Matrix a = random_spd(n, rng);
+
+  auto blocked = blocked_cholesky(a, 128);
+  auto reference = CholeskyFactor::factor(a);
+  ASSERT_TRUE(blocked.has_value());
+  ASSERT_TRUE(reference.has_value());
+
+  // Same decomposition up to floating-point summation order; the factor of
+  // a well-conditioned matrix is stable, so the tolerance can be tight.
+  EXPECT_LT(max_lower_diff(blocked->lower(), reference->lower()),
+            1e-9 * static_cast<double>(n));
+
+  // L L^T must reproduce A.
+  const Matrix& l = blocked->lower();
+  double recon_err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k <= j; ++k) s += l(i, k) * l(j, k);
+      recon_err = std::max(recon_err, std::abs(s - a(i, j)));
+    }
+  }
+  EXPECT_LT(recon_err, 1e-8 * static_cast<double>(n));
+}
+
+TEST_P(BlockedCholeskyParity, PooledIsBitwiseEqualToSerial) {
+  // Tile tasks write disjoint regions and every phase is barriered, so the
+  // pooled factorization must be *bitwise* identical to the serial one,
+  // whatever order the workers interleave in.
+  const std::size_t n = GetParam();
+  Rng rng(2000 + n);
+  const Matrix a = random_spd(n, rng);
+
+  auto serial = blocked_cholesky(a, 128);
+  ASSERT_TRUE(serial.has_value());
+
+  gptune::rt::ThreadPool pool(4);
+  auto pooled = blocked_cholesky(a, 128, pool.batch_runner());
+  ASSERT_TRUE(pooled.has_value());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      EXPECT_EQ(pooled->lower()(i, j), serial->lower()(i, j))
+          << "tile-deterministic factor differs at (" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BlockedCholeskyParity,
+                         ::testing::Values(std::size_t{1}, std::size_t{127},
+                                           std::size_t{128}, std::size_t{129},
+                                           std::size_t{300}));
+
+TEST(BlockedCholeskyJitter, SingularMatrixNeedsAndGetsJitter) {
+  // Rank-1 PSD matrix: v v^T is singular, so the plain factorization (both
+  // blocked and unblocked) must fail, while the jitter retry succeeds and
+  // reports the jitter it applied. The blocked factorization of the
+  // explicitly jittered matrix must then agree with the retry's factor —
+  // the exact fallback chain GpRegression and LcmModel::build rely on.
+  const std::size_t n = 130;  // crosses the 128 block boundary
+  Rng rng(77);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.normal();
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = v[i] * v[j];
+  }
+
+  EXPECT_FALSE(blocked_cholesky(a, 128).has_value());
+  EXPECT_FALSE(CholeskyFactor::factor(a).has_value());
+
+  double applied = 0.0;
+  auto jittered = CholeskyFactor::factor_with_jitter(a, 1e-10, 1e-2, &applied);
+  ASSERT_TRUE(jittered.has_value());
+  EXPECT_GT(applied, 0.0);
+
+  Matrix aj = a;
+  for (std::size_t i = 0; i < n; ++i) aj(i, i) += applied;
+  auto blocked = blocked_cholesky(aj, 128);
+  ASSERT_TRUE(blocked.has_value());
+  EXPECT_LT(max_lower_diff(blocked->lower(), jittered->lower()), 1e-8);
+}
+
+TEST(BlockedCholeskyJitter, WellConditionedNeedsNoJitter) {
+  Rng rng(78);
+  const Matrix a = random_spd(64, rng);
+  double applied = -1.0;
+  auto f = CholeskyFactor::factor_with_jitter(a, 1e-10, 1e-2, &applied);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(applied, 0.0);  // jitter ladder starts at the plain factor
+}
+
+}  // namespace
