@@ -12,7 +12,14 @@
 //     bounded by delta = 20).
 // Expected shapes: modeling ~ O((eps*delta)^3), search ~ O((eps*delta)^2),
 // large modeling speedups at large covariance sizes, search speedup <= 20.
+//
+// A third axis covers the objective-worker group (paper Fig. 1): full MLA
+// runs whose evaluation engine charges the simulated application runtime
+// as virtual cost, at increasing objective_workers. The trajectory is
+// identical at every worker count; only the objective-phase makespan
+// shrinks. Both wall-clock and virtual-clock per-phase times are printed.
 #include <cmath>
+#include <cstdlib>
 #include <vector>
 
 #include "apps/analytical.hpp"
@@ -20,6 +27,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "core/acquisition.hpp"
+#include "core/mla.hpp"
 #include "gp/trainer.hpp"
 #include "opt/pso.hpp"
 #include "runtime/virtual_clock.hpp"
@@ -162,6 +170,58 @@ int main() {
               "modeling speedup grows with problem size (toward ideal)");
   shape_check(search_speedup_last <= 20.0 + 1e-9 && search_speedup_last > 4.0,
               "search speedup bounded by delta=20, substantial (paper: 11X)");
+
+  // --- objective-worker scaling (paper Fig. 1's third worker group) ---
+  section("objective-evaluation scaling: MLA over the evaluation engine, "
+          "virtual cost = simulated application runtime");
+  row("%8s | %10s %10s %10s | %10s %10s %10s | %8s", "workers", "obj_w(s)",
+      "model_w(s)", "search_w(s)", "obj_v(s)", "model_v(s)", "search_v(s)",
+      "speedup");
+
+  std::vector<core::TaskVector> mla_tasks;
+  for (std::size_t i = 0; i < 8; ++i) {
+    mla_tasks.push_back({0.5 + 1.0 * static_cast<double>(i)});
+  }
+  double obj_virtual_serial = 0.0, speedup_at_4 = 0.0;
+  double best_serial = 0.0;
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    core::MlaOptions opt;
+    opt.budget_per_task = 12;
+    opt.model_restarts = 1;
+    opt.max_lbfgs_iterations = 10;
+    opt.seed = 99;
+    opt.objective_workers = workers;
+    // Virtual cost of one run: the simulated application runtime (the
+    // objective itself, floored to stay positive).
+    opt.evaluation.virtual_cost = [](const core::TaskVector&,
+                                     const core::Config&,
+                                     const std::vector<double>& y) {
+      return std::abs(y[0]) + 0.1;
+    };
+    core::MultitaskTuner tuner(apps::analytical_tuning_space(),
+                               apps::analytical_fn(), opt);
+    const core::MlaResult result = tuner.run(mla_tasks);
+
+    double best_total = 0.0;
+    for (const auto& th : result.tasks) best_total += th.best();
+    if (workers == 1) {
+      obj_virtual_serial = result.virtual_times.objective;
+      best_serial = best_total;
+    }
+    const double speedup =
+        obj_virtual_serial / std::max(1e-12, result.virtual_times.objective);
+    if (workers == 4) speedup_at_4 = speedup;
+    row("%8zu | %10.3f %10.3f %10.3f | %10.3f %10.3f %10.3f | %8.2f",
+        workers, result.times.objective, result.times.modeling,
+        result.times.search, result.virtual_times.objective,
+        result.virtual_times.modeling, result.virtual_times.search, speedup);
+    // Same seed => same trajectory at every worker count; the summed best
+    // values must agree bitwise with the serial run.
+    shape_check(best_total == best_serial,
+                "trajectory identical to 1-worker run");
+  }
+  shape_check(speedup_at_4 >= 2.5,
+              "virtual objective-phase speedup >= 2.5x at 4 workers");
 
   return finish("fig3_parallel_scaling");
 }

@@ -39,31 +39,41 @@ int main() {
   std::printf("archived %zu evaluations from %zu source tasks\n\n",
               archive.size(), sources.size());
 
-  // --- "now": a new size appears; no budget for tuning runs ---
-  const core::TaskVector new_task = {15000, 15000};
-  auto transferred = core::transfer_best_config(archive, task_space,
-                                                tuning_space, new_task);
-  if (!transferred) {
-    std::printf("transfer failed: empty archive\n");
-    return 1;
-  }
+  // --- "now": several new sizes appear; no budget for tuning runs ---
+  // transfer_and_evaluate predicts one configuration per new task and runs
+  // all predictions concurrently through the evaluation engine (2 objective
+  // workers here), archiving the measured results for the next session.
+  const std::vector<core::TaskVector> new_tasks = {
+      {8000, 8000}, {15000, 15000}, {28000, 28000}};
+  core::TlaEvalOptions tla_options;
+  tla_options.objective_workers = 2;
+  auto evaluations = core::transfer_and_evaluate(
+      archive, task_space, tuning_space, new_tasks, qr.objective(3), 1,
+      tla_options);
 
-  const double transferred_time = qr.best_of_trials(new_task, *transferred);
-  std::printf("new task %gx%g\n", new_task[0], new_task[1]);
-  std::printf("  TLA transferred config: %-34s -> %7.3fs\n",
-              tuning_space.format(*transferred).c_str(), transferred_time);
-
-  // References: a generic default and the average of 50 random configs.
   const core::Config generic = {64, 256, 16};
-  std::printf("  generic default:        %-34s -> %7.3fs\n",
-              tuning_space.format(generic).c_str(),
-              qr.best_of_trials(new_task, generic));
   common::Rng rng(1);
-  double random_sum = 0.0;
-  for (int i = 0; i < 50; ++i) {
-    random_sum += qr.best_of_trials(new_task,
-                                    tuning_space.sample_feasible(rng));
+  for (const auto& ev : evaluations) {
+    if (!ev.config) {
+      std::printf("transfer failed: empty archive\n");
+      return 1;
+    }
+    std::printf("new task %gx%g\n", ev.task[0], ev.task[1]);
+    std::printf("  TLA transferred config: %-34s -> %7.3fs\n",
+                tuning_space.format(*ev.config).c_str(), ev.objectives[0]);
+
+    // References: a generic default and the average of 20 random configs.
+    std::printf("  generic default:        %-34s -> %7.3fs\n",
+                tuning_space.format(generic).c_str(),
+                qr.best_of_trials(ev.task, generic));
+    double random_sum = 0.0;
+    for (int i = 0; i < 20; ++i) {
+      random_sum += qr.best_of_trials(ev.task,
+                                      tuning_space.sample_feasible(rng));
+    }
+    std::printf("  mean of 20 random configs:%41.3fs\n\n", random_sum / 20.0);
   }
-  std::printf("  mean of 50 random configs:%41.3fs\n", random_sum / 50.0);
+  std::printf("archive now holds %zu evaluations (the TLA runs included)\n",
+              archive.size());
   return 0;
 }

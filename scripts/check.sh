@@ -1,25 +1,58 @@
 #!/usr/bin/env bash
-# Tier-1 gate under sanitizers: configures a dedicated ASan+UBSan build tree
-# (separate from the plain ./build so the two never contaminate each other),
-# builds the library and tests, and runs the tier1-labeled ctest suite.
-# Benches and examples are skipped — the slow label has its own lane
-# (`ctest -L slow` in a regular build).
+# Tier-1 gate under sanitizers, in two mutually exclusive lanes:
+#   asan  — ASan+UBSan build tree (build-asan/): memory errors, UB
+#   tsan  — ThreadSanitizer build tree (build-tsan/): data races in the
+#           spawned worker groups (objective workers, model pool, search
+#           ranks) and the mutex-guarded HistoryDb
+# Each lane uses a dedicated build dir, separate from the plain ./build, so
+# the trees never contaminate each other. Benches and examples are skipped —
+# the slow label has its own lane (`ctest -L slow` in a regular build).
 #
-# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+# Usage: scripts/check.sh [asan|tsan|all] [build-dir]
+#   default lane: asan (default dirs: build-asan, build-tsan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-asan}"
+LANE="${1:-asan}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-cmake -B "${BUILD_DIR}" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DGPTUNE_SANITIZE=ON \
-  -DGPTUNE_BUILD_BENCH=OFF \
-  -DGPTUNE_BUILD_EXAMPLES=OFF
-cmake --build "${BUILD_DIR}" -j "${JOBS}"
+run_lane() {
+  local lane="$1" build_dir="$2"
+  local sanitize=OFF tsan=OFF
+  case "${lane}" in
+    asan) sanitize=ON ;;
+    tsan) tsan=ON ;;
+    *) echo "unknown lane '${lane}' (want asan|tsan|all)" >&2; exit 2 ;;
+  esac
 
-# halt_on_error keeps a UBSan hit from scrolling past as a warning.
-export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
-export ASAN_OPTIONS="detect_leaks=1"
-ctest --test-dir "${BUILD_DIR}" -L tier1 --output-on-failure -j "${JOBS}"
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGPTUNE_SANITIZE="${sanitize}" \
+    -DGPTUNE_TSAN="${tsan}" \
+    -DGPTUNE_BUILD_BENCH=OFF \
+    -DGPTUNE_BUILD_EXAMPLES=OFF
+  cmake --build "${build_dir}" -j "${JOBS}"
+
+  # halt_on_error keeps a sanitizer hit from scrolling past as a warning.
+  UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+  ASAN_OPTIONS="detect_leaks=1" \
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ctest --test-dir "${build_dir}" -L tier1 --output-on-failure -j "${JOBS}"
+}
+
+case "${LANE}" in
+  all)
+    run_lane asan "${2:-build-asan}"
+    run_lane tsan "${2:-build-tsan}"
+    ;;
+  asan)
+    run_lane asan "${2:-build-asan}"
+    ;;
+  tsan)
+    run_lane tsan "${2:-build-tsan}"
+    ;;
+  *)
+    echo "usage: scripts/check.sh [asan|tsan|all] [build-dir]" >&2
+    exit 2
+    ;;
+esac

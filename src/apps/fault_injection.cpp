@@ -1,0 +1,76 @@
+#include "apps/fault_injection.hpp"
+
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "apps/machine.hpp"
+
+namespace gptune::apps {
+
+namespace {
+
+/// Uniform double in [0, 1) from the top 53 bits of a mixed hash.
+double hash01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t fault_key(std::uint64_t seed, const core::TaskVector& task,
+                        const core::Config& config) {
+  std::uint64_t h = hash_mix(0x51ab5ed5a1edULL, seed);
+  for (double v : task) h = hash_double(h, v);
+  for (double v : config) h = hash_double(h, v);
+  return h;
+}
+
+}  // namespace
+
+std::vector<double> FaultInjector::operator()(
+    const core::TaskVector& task, const core::Config& config) const {
+  const std::uint64_t key = fault_key(spec_.seed, task, config);
+  const double u = hash01(key);
+
+  const bool crash = u < spec_.crash_rate;
+  const bool nan = !crash && u < spec_.crash_rate + spec_.nan_rate;
+  const bool hang = !crash && !nan &&
+                    u < spec_.crash_rate + spec_.nan_rate + spec_.hang_rate;
+
+  if (crash || nan || hang) {
+    bool healed = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (spec_.heal_after > 0) {
+        std::size_t& failed = attempts_[key];
+        if (failed >= spec_.heal_after) {
+          healed = true;  // transient fault: fall through to clean objective
+        } else {
+          ++failed;
+        }
+      }
+      if (!healed) ++faults_injected_;
+    }
+    if (!healed) {
+      if (crash) throw std::runtime_error("injected application crash");
+      auto y = inner_(task, config);
+      if (nan) {
+        if (!y.empty()) y[0] = std::numeric_limits<double>::quiet_NaN();
+        return y;
+      }
+      for (double& v : y) v *= spec_.hang_factor;
+      return y;
+    }
+  }
+  return inner_(task, config);
+}
+
+core::MultiObjectiveFn with_faults(core::MultiObjectiveFn inner,
+                                   const FaultSpec& spec) {
+  auto injector =
+      std::make_shared<FaultInjector>(std::move(inner), spec);
+  return [injector](const core::TaskVector& task,
+                    const core::Config& config) {
+    return (*injector)(task, config);
+  };
+}
+
+}  // namespace gptune::apps

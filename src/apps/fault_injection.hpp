@@ -1,0 +1,75 @@
+// Deterministic fault injection for objective functions.
+//
+// Real tuning runs fail in three characteristic ways the paper's target
+// applications exhibit: the application crashes (bad configuration, OOM),
+// diverges and reports NaN/inf, or hangs far past its expected runtime and
+// is killed by the job scheduler. FaultInjector wraps any MultiObjectiveFn
+// and reproduces all three, keyed by a deterministic hash of (seed, task,
+// config) — the same configuration always fails the same way, independent
+// of evaluation order or objective-worker count, so fault-injected tuning
+// trajectories stay bitwise reproducible.
+//
+// Transient mode makes a faulty configuration succeed after `heal_after`
+// failed attempts of that same (task, config), exercising the evaluation
+// engine's retry path. The per-configuration attempt counter is
+// mutex-guarded, and retries happen inside one engine worker, so healing is
+// deterministic at any worker count too.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/eval_engine.hpp"
+
+namespace gptune::apps {
+
+struct FaultSpec {
+  /// Probability that a configuration crashes (throws). Disjoint ranges of
+  /// one uniform draw: a configuration triggers at most one fault kind.
+  double crash_rate = 0.0;
+  /// Probability that objective 0 comes back NaN.
+  double nan_rate = 0.0;
+  /// Probability that the run "hangs": every objective is scaled by
+  /// hang_factor, so an engine timeout keyed to the objective's virtual
+  /// cost will kill it.
+  double hang_rate = 0.0;
+  double hang_factor = 1.0e3;
+  /// Mixed into the fault hash; different seeds fault different configs.
+  std::uint64_t seed = 0;
+  /// 0 = faults are permanent. k > 0 = a faulty (task, config) succeeds on
+  /// its (k+1)-th attempt (transient failure; exercises engine retries).
+  std::size_t heal_after = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(core::MultiObjectiveFn inner, FaultSpec spec)
+      : inner_(std::move(inner)), spec_(spec) {}
+
+  /// Evaluates the wrapped objective, possibly injecting a fault.
+  std::vector<double> operator()(const core::TaskVector& task,
+                                 const core::Config& config) const;
+
+  /// Total faults injected so far (all kinds).
+  std::size_t faults_injected() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return faults_injected_;
+  }
+
+ private:
+  core::MultiObjectiveFn inner_;
+  FaultSpec spec_;
+
+  mutable std::mutex mutex_;
+  /// Failed-attempt count per (task, config) hash, for heal_after.
+  mutable std::unordered_map<std::uint64_t, std::size_t> attempts_;
+  mutable std::size_t faults_injected_ = 0;
+};
+
+/// Convenience: a MultiObjectiveFn wrapping `inner` with `spec`'s faults
+/// (shared-state copyable, as std::function requires).
+core::MultiObjectiveFn with_faults(core::MultiObjectiveFn inner,
+                                   const FaultSpec& spec);
+
+}  // namespace gptune::apps

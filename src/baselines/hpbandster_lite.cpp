@@ -115,6 +115,7 @@ core::TaskHistory HpBandSterLite::tune(const core::TaskVector& task,
   common::Rng rng(seed);
   core::TaskHistory history;
   history.task = task;
+  auto engine = make_engine(objective);
 
   const std::size_t min_points = options_.min_points_in_model > 0
                                      ? options_.min_points_in_model
@@ -163,7 +164,7 @@ core::TaskHistory HpBandSterLite::tune(const core::TaskVector& task,
         if (candidate.empty()) candidate = space.sample_feasible(rng);
       }
     }
-    const auto y = objective(task, candidate);
+    const auto y = engine->evaluate_one(task, candidate);
     history.evals.push_back({std::move(candidate), y});
   }
   return history;

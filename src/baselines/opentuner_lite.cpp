@@ -124,6 +124,7 @@ core::TaskHistory OpenTunerLite::tune(const core::TaskVector& task,
   common::Rng rng(seed);
   TaskHistory history;
   history.task = task;
+  auto engine = make_engine(objective);
 
   // Sliding window of (arm, improved?) outcomes for AUC credit: a recent
   // improvement is worth more than an old one.
@@ -165,7 +166,7 @@ core::TaskHistory OpenTunerLite::tune(const core::TaskVector& task,
     }
 
     const Config c = kArms[arm](space, history, rng, options_.elite_size);
-    const auto y = objective(task, c);
+    const auto y = engine->evaluate_one(task, c);
     history.evals.push_back({c, y});
     ++uses[arm];
 

@@ -10,6 +10,10 @@ core::TaskHistory SingleTaskGpTune::tune(
   options.budget_per_task = budget;
   options.seed = seed;
   options.num_latent = 1;  // delta = 1: plain GP
+  // Shared evaluation path (set_evaluation) wins over whatever the
+  // constructor-supplied MlaOptions carried, so comparisons stay fair.
+  options.objective_workers = objective_workers_;
+  options.evaluation = eval_policy_;
   core::MultitaskTuner tuner(space, objective, options);
   core::MlaResult result = tuner.run({task});
   times_.objective += result.times.objective;

@@ -6,6 +6,7 @@
 // benches drive all tuners identically.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <string>
 
@@ -26,6 +27,30 @@ class SingleTaskTuner {
                                  const core::Space& space,
                                  const core::MultiObjectiveFn& objective,
                                  std::size_t budget, std::uint64_t seed) = 0;
+
+  /// Shared evaluation path: every baseline routes objective calls through
+  /// a core::EvalEngine built from this policy, so all tuners in a
+  /// comparison get identical timeout/retry/penalty handling and worker
+  /// configuration (GPTune included, via its MlaOptions).
+  void set_evaluation(core::EvalPolicy policy,
+                      std::size_t objective_workers = 1) {
+    eval_policy_ = std::move(policy);
+    objective_workers_ = std::max<std::size_t>(1, objective_workers);
+  }
+
+ protected:
+  /// Engine for one tune() call. Sequential tuners evaluate one candidate
+  /// at a time, so the engine mainly contributes the robustness policy;
+  /// batch-capable tuners get concurrency for free.
+  std::unique_ptr<core::EvalEngine> make_engine(
+      const core::MultiObjectiveFn& objective) const {
+    return std::make_unique<core::EvalEngine>(objective, 1,
+                                              objective_workers_,
+                                              eval_policy_);
+  }
+
+  core::EvalPolicy eval_policy_;
+  std::size_t objective_workers_ = 1;
 };
 
 }  // namespace gptune::baselines

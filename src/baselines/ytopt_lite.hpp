@@ -24,6 +24,7 @@ class YtoptLite : public SingleTaskTuner {
                          const core::Space& space,
                          const core::MultiObjectiveFn& objective,
                          std::size_t budget, std::uint64_t seed) override {
+    tpe_.set_evaluation(eval_policy_, objective_workers_);
     return tpe_.tune(task, space, objective, budget, seed);
   }
 

@@ -1,0 +1,283 @@
+#include "core/eval_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/virtual_clock.hpp"
+
+namespace gptune::core {
+
+namespace {
+/// Control tag telling a worker to exit its receive loop (work items use
+/// their non-negative item index as the tag).
+constexpr int kStopTag = -2;
+}  // namespace
+
+/// Raw result of one item before the master's penalty pass.
+struct EvalEngine::Attempted {
+  std::vector<double> objectives;  ///< last attempt's values; may be dirty
+  std::size_t attempts = 1;
+  bool failed = false;
+  bool timed_out = false;
+  double virtual_seconds = 0.0;
+};
+
+/// The spawned objective-worker group (paper Fig. 1): a parent-side
+/// inter-communicator plus the joinable worker threads behind it. Workers
+/// block on recv between batches and exit on kStopTag.
+struct EvalEngine::Group {
+  rt::Comm master;
+  rt::SpawnHandle handle;
+  std::size_t size;
+
+  Group(rt::Comm m, rt::SpawnHandle h, std::size_t n)
+      : master(std::move(m)), handle(std::move(h)), size(n) {}
+};
+
+EvalEngine::EvalEngine(MultiObjectiveFn objective, std::size_t num_objectives,
+                       std::size_t workers, EvalPolicy policy,
+                       HistoryDb* history)
+    : objective_(std::move(objective)),
+      num_objectives_(std::max<std::size_t>(1, num_objectives)),
+      workers_(std::max<std::size_t>(1, workers)),
+      policy_(std::move(policy)),
+      history_(history),
+      worst_clean_(num_objectives_,
+                   -std::numeric_limits<double>::infinity()) {
+  if (workers_ <= 1) return;
+
+  rt::Comm master = rt::World::self();
+  auto handle = master.spawn(
+      workers_, [this](rt::Comm& /*worker*/, rt::InterComm& parent) {
+        for (;;) {
+          rt::Message msg = parent.recv();
+          if (msg.tag < 0) break;
+          const auto& d = msg.data;
+          const auto task_dim = static_cast<std::size_t>(d[0]);
+          const auto config_dim = static_cast<std::size_t>(d[1]);
+          TaskVector task(d.begin() + 2, d.begin() + 2 + task_dim);
+          Config config(d.begin() + 2 + task_dim,
+                        d.begin() + 2 + task_dim + config_dim);
+          Attempted a = run_item(task, config);
+          // Archive clean results immediately (HistoryDb is mutex-guarded),
+          // so an interrupted run keeps every finished evaluation.
+          if (!a.failed && history_) {
+            history_->add({std::move(task), std::move(config), a.objectives});
+          }
+          std::vector<double> reply;
+          reply.reserve(5 + a.objectives.size());
+          reply.push_back(static_cast<double>(a.attempts));
+          reply.push_back(a.failed ? 1.0 : 0.0);
+          reply.push_back(a.timed_out ? 1.0 : 0.0);
+          reply.push_back(a.virtual_seconds);
+          reply.push_back(static_cast<double>(a.objectives.size()));
+          reply.insert(reply.end(), a.objectives.begin(), a.objectives.end());
+          parent.send(0, msg.tag, std::move(reply));
+        }
+      });
+  group_ = std::make_unique<Group>(std::move(master), std::move(handle),
+                                   workers_);
+}
+
+EvalEngine::~EvalEngine() {
+  if (!group_) return;
+  for (std::size_t r = 0; r < group_->size; ++r) {
+    group_->handle.comm().send(r, kStopTag, {});
+  }
+  group_->handle.join();
+}
+
+EvalEngine::Attempted EvalEngine::run_item(const TaskVector& task,
+                                           const Config& config) const {
+  Attempted out;
+  const std::size_t max_attempts = 1 + policy_.max_retries;
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    out.attempts = attempt + 1;
+    out.timed_out = false;
+    common::Timer timer;
+    std::vector<double> y;
+    bool crashed = false;
+    try {
+      y = objective_(task, config);
+    } catch (...) {
+      // An application run that crashes must not take the tuner with it.
+      crashed = true;
+    }
+    const double wall = timer.seconds();
+
+    bool clean = !crashed && y.size() == num_objectives_;
+    if (clean) {
+      for (double v : y) {
+        if (!std::isfinite(v)) {
+          clean = false;
+          break;
+        }
+      }
+    }
+
+    double cost = wall;
+    if (policy_.virtual_cost && !crashed && y.size() == num_objectives_) {
+      const double c = policy_.virtual_cost(task, config, y);
+      if (std::isfinite(c) && c >= 0.0) cost = c;
+    }
+    if (policy_.timeout_seconds > 0.0 && cost > policy_.timeout_seconds) {
+      // A run past the limit would have been killed: no usable result, and
+      // the clock is charged exactly the timeout.
+      clean = false;
+      out.timed_out = true;
+      cost = policy_.timeout_seconds;
+      y.clear();
+    }
+    out.virtual_seconds += cost;
+    out.objectives = std::move(y);
+    out.failed = !clean;
+    if (clean) break;
+  }
+  return out;
+}
+
+void EvalEngine::evaluate_serial(const std::vector<TaskVector>& tasks,
+                                 const std::vector<EvalItem>& items,
+                                 std::vector<Attempted>& raw) {
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const TaskVector& task = tasks[items[i].task_index];
+    raw[i] = run_item(task, items[i].config);
+    if (!raw[i].failed && history_) {
+      history_->add({task, items[i].config, raw[i].objectives});
+    }
+  }
+}
+
+void EvalEngine::evaluate_spawned(const std::vector<TaskVector>& tasks,
+                                  const std::vector<EvalItem>& items,
+                                  std::vector<Attempted>& raw) {
+  rt::InterComm& comm = group_->handle.comm();
+  // Static assignment (item i -> worker i mod W): deterministic, and the
+  // mailbox transport is unbounded so all work can be shipped up front.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const TaskVector& task = tasks[items[i].task_index];
+    const Config& config = items[i].config;
+    std::vector<double> payload;
+    payload.reserve(2 + task.size() + config.size());
+    payload.push_back(static_cast<double>(task.size()));
+    payload.push_back(static_cast<double>(config.size()));
+    payload.insert(payload.end(), task.begin(), task.end());
+    payload.insert(payload.end(), config.begin(), config.end());
+    comm.send(i % group_->size, static_cast<int>(i), std::move(payload));
+  }
+  for (std::size_t received = 0; received < items.size(); ++received) {
+    rt::Message msg = comm.recv();
+    Attempted a;
+    const auto& d = msg.data;
+    a.attempts = static_cast<std::size_t>(d[0]);
+    a.failed = d[1] != 0.0;
+    a.timed_out = d[2] != 0.0;
+    a.virtual_seconds = d[3];
+    const auto n_obj = static_cast<std::size_t>(d[4]);
+    a.objectives.assign(d.begin() + 5, d.begin() + 5 + n_obj);
+    raw[static_cast<std::size_t>(msg.tag)] = std::move(a);
+  }
+}
+
+std::vector<EvalOutcome> EvalEngine::evaluate(
+    const std::vector<TaskVector>& tasks, const std::vector<EvalItem>& items) {
+  common::Timer wall;
+  std::vector<Attempted> raw(items.size());
+  if (group_ && items.size() > 1) {
+    evaluate_spawned(tasks, items, raw);
+  } else {
+    evaluate_serial(tasks, items, raw);
+  }
+
+  // Master-side penalty pass, in item-index order: deterministic at any
+  // worker count, and the baseline (worst clean value) only ever grows from
+  // genuine observations — penalties cannot compound.
+  std::vector<EvalOutcome> outcomes(items.size());
+  EvalBatchReport report;
+  report.items = items.size();
+  std::vector<double> costs(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    Attempted& a = raw[i];
+    EvalOutcome& o = outcomes[i];
+    o.attempts = a.attempts;
+    o.timed_out = a.timed_out;
+    o.virtual_seconds = a.virtual_seconds;
+    costs[i] = a.virtual_seconds;
+    report.retries += a.attempts - 1;
+    if (!a.failed) {
+      o.objectives = std::move(a.objectives);
+      for (std::size_t s = 0; s < num_objectives_; ++s) {
+        worst_clean_[s] = std::max(worst_clean_[s], o.objectives[s]);
+      }
+    } else {
+      o.penalized = true;
+      report.failed_attempts += a.attempts;
+      if (a.timed_out) ++report.timeouts;
+      ++report.penalized;
+      o.objectives.assign(num_objectives_, 0.0);
+      for (std::size_t s = 0; s < num_objectives_; ++s) {
+        if (s < a.objectives.size() && std::isfinite(a.objectives[s])) {
+          // Partial result: keep the components that did come back finite.
+          o.objectives[s] = a.objectives[s];
+        } else {
+          o.objectives[s] =
+              policy_.penalty_factor *
+              std::max(worst_clean_[s], policy_.penalty_floor);
+        }
+      }
+      common::log_warn("evaluation of item ", i, " failed after ", o.attempts,
+                       o.timed_out ? " attempt(s) (timeout)" : " attempt(s)",
+                       "; recording penalty ", o.objectives[0]);
+      if (history_) {
+        history_->add(
+            {tasks[items[i].task_index], items[i].config, o.objectives});
+      }
+    }
+    stats_.attempts += a.attempts;
+  }
+
+  // Virtual-clock makespan: greedy list scheduling of the per-item costs
+  // over the worker ranks, in index order — deterministic, and the schedule
+  // a dynamically self-scheduling master/worker pool achieves.
+  rt::VirtualRanks ranks(workers_);
+  ranks.schedule_greedy(costs);
+  report.virtual_makespan = ranks.makespan();
+  report.virtual_work = ranks.total_work();
+  report.wall_seconds = wall.seconds();
+
+  last_batch_ = report;
+  ++stats_.batches;
+  stats_.items += report.items;
+  stats_.failed_attempts += report.failed_attempts;
+  stats_.retries += report.retries;
+  stats_.timeouts += report.timeouts;
+  stats_.penalized += report.penalized;
+  stats_.wall_seconds += report.wall_seconds;
+  stats_.virtual_makespan += report.virtual_makespan;
+  stats_.virtual_work += report.virtual_work;
+  return outcomes;
+}
+
+std::vector<double> EvalEngine::evaluate_one(const TaskVector& task,
+                                             const Config& config) {
+  const std::vector<TaskVector> tasks = {task};
+  std::vector<EvalItem> items(1);
+  items[0].config = config;
+  return evaluate(tasks, items).front().objectives;
+}
+
+void EvalEngine::observe(const std::vector<double>& objectives) {
+  const std::size_t n = std::min(objectives.size(), num_objectives_);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (std::isfinite(objectives[s])) {
+      worst_clean_[s] = std::max(worst_clean_[s], objectives[s]);
+    }
+  }
+}
+
+}  // namespace gptune::core

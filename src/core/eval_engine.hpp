@@ -1,0 +1,178 @@
+// Objective-evaluation engine — the paper's Fig. 1 objective-worker group.
+//
+// The tuner master spawns model, search, and *objective* worker groups over
+// inter-communicators; until now only the first two existed here and every
+// chosen configuration was evaluated in a serial loop on the driver thread.
+// EvalEngine closes that gap: it owns a group of objective workers spawned
+// via runtime::Comm::spawn, ships (task, config) work items to them over the
+// inter-communicator, and collects results back by item index.
+//
+// Guarantees the serial loop could not express:
+//
+//   * Determinism at any worker count. Work is assigned statically (item i
+//     -> worker i mod W), results are placed by index, and the
+//     failure-penalty pass runs on the master in index order — so for a
+//     pure objective the outcome sequence is bitwise identical for any
+//     `workers`, and a fixed tuner seed yields one trajectory.
+//   * Fault tolerance. A run that throws, returns the wrong arity, or
+//     produces non-finite values is retried up to `max_retries` times and
+//     then penalized with a large-but-finite value derived from the worst
+//     *clean* (finite, non-penalized) observation — penalties never feed
+//     back into the baseline, so repeated failures no longer compound
+//     geometrically.
+//   * Timeouts. Each attempt is charged a virtual-clock cost (by default
+//     its measured wall time; benches/simulators supply the simulated
+//     runtime instead). A cost above `timeout_seconds` counts as a killed
+//     run: the attempt fails, and the clock is charged exactly the timeout.
+//   * Virtual-clock makespan. Per-item costs are list-scheduled greedily
+//     over `workers` virtual ranks (the schedule a self-scheduling
+//     master/worker pool achieves), so the reported objective-phase time is
+//     a makespan, not a sum — the quantity a real distributed run measures.
+//   * Concurrent archiving. Clean results are appended to an optional
+//     (mutex-guarded) HistoryDb by the workers as they complete, so an
+//     interrupted run still archives every finished evaluation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/history.hpp"
+#include "core/space.hpp"
+
+namespace gptune::core {
+
+/// Black-box evaluation of one task at one configuration. Returns the
+/// gamma objective values (all minimized). This is the expensive call —
+/// in the paper, a full application run on the parallel machine.
+using MultiObjectiveFn =
+    std::function<std::vector<double>(const TaskVector&, const Config&)>;
+
+/// Robustness policy for the objective-evaluation phase.
+struct EvalPolicy {
+  /// Wall/virtual seconds after which one attempt counts as a killed run;
+  /// 0 disables the timeout.
+  double timeout_seconds = 0.0;
+  /// Failed attempts are re-run this many times before being penalized.
+  std::size_t max_retries = 0;
+  /// Penalty recorded for an unrecoverable failure:
+  /// penalty_factor * max(worst clean observation, penalty_floor).
+  double penalty_factor = 10.0;
+  double penalty_floor = 10.0;
+  /// Virtual-clock cost of one attempt, in seconds. Null charges measured
+  /// wall time; simulators supply their simulated runtime so the Fig. 3
+  /// scaling study sees the costs a real machine would.
+  std::function<double(const TaskVector&, const Config&,
+                       const std::vector<double>&)>
+      virtual_cost;
+};
+
+/// One unit of work: evaluate tasks[task_index] at config.
+struct EvalItem {
+  std::size_t task_index = 0;
+  Config config;
+};
+
+/// One finished work item, in the same order the items were submitted.
+struct EvalOutcome {
+  /// Objective values, always finite: measured when the run succeeded,
+  /// penalty values where it did not.
+  std::vector<double> objectives;
+  std::size_t attempts = 1;
+  bool penalized = false;  ///< every attempt failed; objectives are penalties
+  bool timed_out = false;  ///< the final failure was a timeout
+  double virtual_seconds = 0.0;  ///< virtual cost summed over attempts
+};
+
+/// Accounting for one evaluate() call.
+struct EvalBatchReport {
+  std::size_t items = 0;
+  double wall_seconds = 0.0;
+  /// Virtual-clock critical path over the worker ranks (what a real
+  /// distributed run would measure).
+  double virtual_makespan = 0.0;
+  /// Sum of per-item virtual costs (the serial-equivalent work).
+  double virtual_work = 0.0;
+  std::size_t failed_attempts = 0;
+  std::size_t retries = 0;
+  std::size_t timeouts = 0;
+  std::size_t penalized = 0;
+};
+
+/// Cumulative engine statistics across batches.
+struct EvalStats {
+  std::size_t batches = 0;
+  std::size_t items = 0;
+  std::size_t attempts = 0;
+  std::size_t failed_attempts = 0;
+  std::size_t retries = 0;
+  std::size_t timeouts = 0;
+  std::size_t penalized = 0;
+  double wall_seconds = 0.0;
+  double virtual_makespan = 0.0;
+  double virtual_work = 0.0;
+};
+
+class EvalEngine {
+ public:
+  /// Spawns `workers` objective ranks (1 evaluates inline on the caller).
+  /// `history`, if given, receives every evaluation (not owned; HistoryDb
+  /// is internally mutex-guarded, so concurrent worker writes are safe).
+  EvalEngine(MultiObjectiveFn objective, std::size_t num_objectives,
+             std::size_t workers, EvalPolicy policy,
+             HistoryDb* history = nullptr);
+  ~EvalEngine();
+
+  EvalEngine(const EvalEngine&) = delete;
+  EvalEngine& operator=(const EvalEngine&) = delete;
+
+  /// Evaluates every item; outcomes are returned in item order regardless
+  /// of worker count or completion order.
+  std::vector<EvalOutcome> evaluate(const std::vector<TaskVector>& tasks,
+                                    const std::vector<EvalItem>& items);
+
+  /// Convenience for sequential callers (the baseline tuners): one item,
+  /// returns its sanitized objectives.
+  std::vector<double> evaluate_one(const TaskVector& task,
+                                   const Config& config);
+
+  /// Feeds an externally observed clean objective vector (e.g. archived
+  /// samples seeding a run) into the penalty baseline.
+  void observe(const std::vector<double>& objectives);
+
+  std::size_t workers() const { return workers_; }
+  const EvalPolicy& policy() const { return policy_; }
+  const EvalBatchReport& last_batch() const { return last_batch_; }
+  const EvalStats& stats() const { return stats_; }
+
+ private:
+  struct Attempted;  // raw (pre-penalty) result of one item
+  struct Group;      // spawned worker group + inter-communicator
+
+  Attempted run_item(const TaskVector& task, const Config& config) const;
+  void evaluate_serial(const std::vector<TaskVector>& tasks,
+                       const std::vector<EvalItem>& items,
+                       std::vector<Attempted>& raw);
+  void evaluate_spawned(const std::vector<TaskVector>& tasks,
+                        const std::vector<EvalItem>& items,
+                        std::vector<Attempted>& raw);
+
+  MultiObjectiveFn objective_;
+  std::size_t num_objectives_;
+  std::size_t workers_;
+  EvalPolicy policy_;
+  HistoryDb* history_;
+
+  /// Worst clean (finite, non-penalized) value seen per objective; the
+  /// penalty baseline. Never updated from penalties, so failures cannot
+  /// inflate it.
+  std::vector<double> worst_clean_;
+
+  std::unique_ptr<Group> group_;
+  EvalBatchReport last_batch_;
+  EvalStats stats_;
+};
+
+}  // namespace gptune::core

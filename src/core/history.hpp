@@ -7,6 +7,7 @@
 // pre-existing samples for matching tasks.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,11 +24,38 @@ struct HistoryRecord {
   std::vector<double> objectives;
 };
 
+/// Mutating and querying member functions are mutex-guarded, so concurrent
+/// objective workers (core/eval_engine) can record evaluations safely.
+/// records() hands out a direct reference and is the one exception: callers
+/// must not hold it across concurrent add()s.
 class HistoryDb {
  public:
+  HistoryDb() = default;
+  HistoryDb(const HistoryDb& other) : records_(other.snapshot()) {}
+  HistoryDb(HistoryDb&& other) noexcept : records_(other.take()) {}
+  HistoryDb& operator=(const HistoryDb& other) {
+    if (this != &other) {
+      auto copy = other.snapshot();
+      std::lock_guard<std::mutex> lock(mutex_);
+      records_ = std::move(copy);
+    }
+    return *this;
+  }
+  HistoryDb& operator=(HistoryDb&& other) noexcept {
+    if (this != &other) {
+      auto taken = other.take();
+      std::lock_guard<std::mutex> lock(mutex_);
+      records_ = std::move(taken);
+    }
+    return *this;
+  }
+
   void add(HistoryRecord record);
   const std::vector<HistoryRecord>& records() const { return records_; }
-  std::size_t size() const { return records_.size(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_.size();
+  }
 
   /// Records whose task vector matches `task` within `tol` per component.
   std::vector<HistoryRecord> for_task(const TaskVector& task,
@@ -49,6 +77,16 @@ class HistoryDb {
   static std::optional<HistoryDb> load(const std::string& path);
 
  private:
+  std::vector<HistoryRecord> snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_;
+  }
+  std::vector<HistoryRecord> take() noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::move(records_);
+  }
+
+  mutable std::mutex mutex_;
   std::vector<HistoryRecord> records_;
 };
 

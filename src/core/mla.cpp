@@ -3,16 +3,17 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <limits>
-#include <set>
-
 #include <memory>
+#include <unordered_set>
 
 #include "common/log.hpp"
 #include "common/timer.hpp"
 #include "core/acquisition.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/thread_pool.hpp"
+#include "runtime/virtual_clock.hpp"
 
 namespace gptune::core {
 
@@ -84,9 +85,18 @@ struct MultitaskTuner::State {
   // not respawned each MLA iteration.
   std::unique_ptr<rt::ThreadPool> model_pool;
 
+  // Long-lived objective-worker group (paper Fig. 1): owns the spawned
+  // evaluation ranks, the failure policy, and history recording.
+  std::unique_ptr<EvalEngine> eval;
+
   // Performance-model feature normalization (min/max of the signed-log
   // transform over the current samples), refreshed every modeling phase.
   std::vector<double> feature_lo, feature_hi;
+
+  // Per-modeling-phase accounting: wall-clock spent inside fit_lcm and its
+  // virtual-clock makespan over model_workers (restarts list-scheduled).
+  double fit_wall = 0.0;
+  double fit_virtual = 0.0;
 
   std::size_t iteration = 0;
 };
@@ -99,6 +109,32 @@ double signed_log(double v) {
 
 double maybe_log(bool log_objective, double v) {
   return log_objective ? std::log(std::max(v, 1e-300)) : v;
+}
+
+// Hash over the exact bit patterns of a configuration's values (±0.0
+// merged, since they compare equal); backs the per-task seen-config sets
+// that replaced the O(front × evals) duplicate linear scans.
+struct ConfigHasher {
+  std::size_t operator()(const Config& c) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ c.size();
+    for (double v : c) {
+      if (v == 0.0) v = 0.0;
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(v));
+      __builtin_memcpy(&bits, &v, sizeof(bits));
+      h ^= bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+using ConfigSet = std::unordered_set<Config, ConfigHasher>;
+
+ConfigSet seen_configs(const std::vector<EvalRecord>& evals) {
+  ConfigSet seen;
+  seen.reserve(evals.size() * 2);
+  for (const auto& e : evals) seen.insert(e.config);
+  return seen;
 }
 
 }  // namespace
@@ -152,11 +188,13 @@ void MultitaskTuner::sampling_phase(State& state) {
     state.result.tasks[i].task = state.tasks[i];
     std::size_t needed = options_.initial_samples;
 
-    // Reuse archived evaluations for this exact task (free samples).
+    // Reuse archived evaluations for this exact task (free samples). They
+    // also seed the engine's penalty baseline, as live observations would.
     if (options_.history) {
       for (const auto& rec : options_.history->for_task(state.tasks[i])) {
         if (rec.objectives.size() != options_.num_objectives) continue;
         if (rec.config.size() != space_.dim()) continue;
+        state.eval->observe(rec.objectives);
         state.result.tasks[i].evals.push_back({rec.config, rec.objectives});
       }
     }
@@ -171,6 +209,8 @@ void MultitaskTuner::sampling_phase(State& state) {
 
 void MultitaskTuner::modeling_phase(State& state, bool refit) {
   const std::size_t delta = state.tasks.size();
+  state.fit_wall = 0.0;
+  state.fit_virtual = 0.0;
 
   // Performance-model update phase (§3.3): refit model coefficients from
   // all observed primary-objective samples, then refresh the feature
@@ -248,7 +288,15 @@ void MultitaskTuner::modeling_phase(State& state, bool refit) {
       fit.num_workers = options_.model_workers;
       fit.pool = state.model_pool.get();
       fit.warm_start = state.warm_theta[s];
-      auto model = gp::fit_lcm(data, fit);
+      gp::LcmFitStats fit_stats;
+      auto model = gp::fit_lcm(data, fit, &fit_stats);
+      // Virtual modeling time: the measured per-restart times
+      // list-scheduled over the model workers (makespan), instead of their
+      // wall-clock sum on this host.
+      state.fit_wall += fit_stats.fit_seconds;
+      rt::VirtualRanks model_ranks(options_.model_workers);
+      model_ranks.schedule_greedy(fit_stats.restart_seconds);
+      state.fit_virtual += model_ranks.makespan();
       if (model) {
         state.warm_theta[s] = model->theta();
         state.models[s] = std::move(model);
@@ -281,8 +329,30 @@ void MultitaskTuner::search_phase_single(State& state) {
   }
   const gp::LcmModel& model = *state.models[0];
 
+  std::vector<std::vector<Config>> batches(delta);
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < delta; ++i) {
+    if (state.result.tasks[i].evals.size() < options_.budget_per_task) {
+      active.push_back(i);
+    }
+  }
+
+  // Per-task seen-config sets, rebuilt once per iteration: duplicate
+  // detection is O(1) per candidate instead of a linear scan over the
+  // evaluation history. Read-only during the (possibly parallel) searches.
+  std::vector<ConfigSet> seen(delta);
+  for (std::size_t i : active) {
+    seen[i] = seen_configs(state.result.tasks[i].evals);
+  }
+
+  // Measured search time per task, written from whichever thread ran the
+  // task (disjoint slots); list-scheduled over search_workers afterwards
+  // for the virtual-clock search makespan.
+  std::vector<double> search_seconds(delta, 0.0);
+
   // Candidate search for one task: PSO maximizing EI in the unit box.
   auto search_task = [&](std::size_t i, common::Rng& rng) -> Config {
+    common::Timer task_timer;
     const double incumbent =
         maybe_log(options_.log_objective, state.result.tasks[i].best(0));
     auto acquisition = [&](const opt::Point& u) -> double {
@@ -311,23 +381,13 @@ void MultitaskTuner::search_phase_single(State& state) {
 
     // Deduplicate: an already-evaluated configuration carries no new
     // information; replace with a random feasible draw.
-    for (const auto& e : state.result.tasks[i].evals) {
-      if (e.config == candidate) {
-        candidate = space_.sample_feasible(rng);
-        break;
-      }
+    if (seen[i].count(candidate) > 0) {
+      candidate = space_.sample_feasible(rng);
     }
     if (!space_.feasible(candidate)) candidate = space_.sample_feasible(rng);
+    search_seconds[i] = task_timer.seconds();
     return candidate;
   };
-
-  std::vector<std::vector<Config>> batches(delta);
-  std::vector<std::size_t> active;
-  for (std::size_t i = 0; i < delta; ++i) {
-    if (state.result.tasks[i].evals.size() < options_.budget_per_task) {
-      active.push_back(i);
-    }
-  }
 
   if (options_.search_workers <= 1 || active.size() <= 1) {
     for (std::size_t i : active) {
@@ -363,6 +423,16 @@ void MultitaskTuner::search_phase_single(State& state) {
       handle.join();
     });
   }
+
+  // Virtual search time: the measured per-task search costs list-scheduled
+  // over search_workers (makespan), not their serial sum on this host.
+  std::vector<double> active_costs;
+  active_costs.reserve(active.size());
+  for (std::size_t i : active) active_costs.push_back(search_seconds[i]);
+  rt::VirtualRanks search_ranks(options_.search_workers);
+  search_ranks.schedule_greedy(active_costs);
+  state.result.virtual_times.search += search_ranks.makespan();
+
   evaluate_batch(state, batches);
 }
 
@@ -370,6 +440,8 @@ void MultitaskTuner::search_phase_multi(State& state) {
   const std::size_t delta = state.tasks.size();
   const std::size_t gamma = options_.num_objectives;
   std::vector<std::vector<Config>> batches(delta);
+  std::vector<double> search_seconds;
+  search_seconds.reserve(delta);
 
   for (std::size_t i = 0; i < delta; ++i) {
     auto& th = state.result.tasks[i];
@@ -378,6 +450,7 @@ void MultitaskTuner::search_phase_multi(State& state) {
             ? options_.budget_per_task - th.evals.size()
             : 0;
     if (remaining == 0) continue;
+    common::Timer task_timer;
     const std::size_t k = std::min(options_.batch_k, remaining);
 
     std::vector<double> incumbents(gamma);
@@ -417,18 +490,15 @@ void MultitaskTuner::search_phase_multi(State& state) {
                                      nsga2);
 
     // Pick up to k distinct new configurations from the acquisition front.
+    // History dedup is O(1) per candidate via a hash set over the task's
+    // evaluations; `chosen` stays a linear scan (at most batch_k entries).
+    const ConfigSet seen = seen_configs(th.evals);
     std::vector<Config> chosen;
     for (const auto& u : front.points) {
       if (chosen.size() >= k) break;
       Config c = space_.denormalize(u);
       if (!space_.feasible(c)) continue;
-      bool duplicate = false;
-      for (const auto& e : th.evals) {
-        if (e.config == c) {
-          duplicate = true;
-          break;
-        }
-      }
+      bool duplicate = seen.count(c) > 0;
       for (const auto& b : chosen) {
         if (b == c) {
           duplicate = true;
@@ -441,44 +511,40 @@ void MultitaskTuner::search_phase_multi(State& state) {
       chosen.push_back(space_.sample_feasible(rng));
     }
     batches[i] = std::move(chosen);
+    search_seconds.push_back(task_timer.seconds());
   }
+
+  // Per-task searches list-scheduled over search_workers for the
+  // virtual-clock search makespan.
+  rt::VirtualRanks search_ranks(options_.search_workers);
+  search_ranks.schedule_greedy(search_seconds);
+  state.result.virtual_times.search += search_ranks.makespan();
+
   evaluate_batch(state, batches);
 }
 
 void MultitaskTuner::evaluate_batch(
     State& state, const std::vector<std::vector<Config>>& per_task) {
-  common::Timer timer;
+  // Flatten the per-task batches into one item list in (task, config)
+  // order; the engine returns outcomes in the same index order, so the
+  // trajectory is identical at any objective_workers count.
+  std::vector<EvalItem> items;
   for (std::size_t i = 0; i < per_task.size(); ++i) {
     for (const auto& c : per_task[i]) {
-      std::vector<double> y = objective_(state.tasks[i], c);
-      assert(y.size() == options_.num_objectives);
-      // Failure injection tolerance: an application run can crash or
-      // diverge (NaN/inf). Record a large-but-finite penalty so the model
-      // learns to avoid the region instead of breaking the GP.
-      for (std::size_t s = 0; s < y.size(); ++s) {
-        if (!std::isfinite(y[s])) {
-          double worst = 10.0;
-          for (const auto& th : state.result.tasks) {
-            for (const auto& e : th.evals) {
-              if (s < e.objectives.size() &&
-                  std::isfinite(e.objectives[s])) {
-                worst = std::max(worst, e.objectives[s]);
-              }
-            }
-          }
-          common::log_warn("objective ", s, " returned non-finite value; ",
-                           "recording penalty ", 10.0 * worst);
-          y[s] = 10.0 * worst;
-        }
-      }
-      state.result.tasks[i].evals.push_back({c, y});
-      ++state.result.evaluations;
-      if (options_.history) {
-        options_.history->add({state.tasks[i], c, std::move(y)});
-      }
+      items.push_back({i, c});
     }
   }
-  state.result.times.objective += timer.seconds();
+  if (items.empty()) return;
+
+  auto outcomes = state.eval->evaluate(state.tasks, items);
+  for (std::size_t n = 0; n < items.size(); ++n) {
+    state.result.tasks[items[n].task_index].evals.push_back(
+        {std::move(items[n].config), std::move(outcomes[n].objectives)});
+    ++state.result.evaluations;
+  }
+  const EvalBatchReport& report = state.eval->last_batch();
+  state.result.times.objective += report.wall_seconds;
+  state.result.virtual_times.objective += report.virtual_makespan;
 }
 
 MlaResult MultitaskTuner::run(const std::vector<TaskVector>& tasks) {
@@ -486,6 +552,9 @@ MlaResult MultitaskTuner::run(const std::vector<TaskVector>& tasks) {
   State state;
   state.tasks = tasks;
   state.rng = common::Rng(options_.seed);
+  state.eval = std::make_unique<EvalEngine>(
+      objective_, options_.num_objectives, options_.objective_workers,
+      options_.evaluation, options_.history);
 
   sampling_phase(state);
 
@@ -503,7 +572,12 @@ MlaResult MultitaskTuner::run(const std::vector<TaskVector>& tasks) {
                              ? state.iteration == 0
                              : state.iteration % options_.refit_period == 0;
       modeling_phase(state, refit);
-      state.result.times.modeling += timer.seconds();
+      const double wall = timer.seconds();
+      state.result.times.modeling += wall;
+      // Non-fit bookkeeping runs on the master either way; only the fit
+      // itself parallelizes over model workers.
+      state.result.virtual_times.modeling +=
+          std::max(0.0, wall - state.fit_wall) + state.fit_virtual;
     }
     {
       common::Timer timer;
@@ -521,6 +595,7 @@ MlaResult MultitaskTuner::run(const std::vector<TaskVector>& tasks) {
     }
     ++state.iteration;
   }
+  state.result.eval_stats = state.eval->stats();
   return state.result;
 }
 

@@ -24,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/eval_engine.hpp"
 #include "core/history.hpp"
 #include "core/perf_model.hpp"
 #include "core/sampler.hpp"
@@ -34,13 +35,11 @@
 
 namespace gptune::core {
 
-/// Black-box evaluation of one task at one configuration. Returns the
-/// gamma objective values (all minimized). This is the expensive call —
-/// in the paper, a full application run on the parallel machine.
-using MultiObjectiveFn =
-    std::function<std::vector<double>(const TaskVector&, const Config&)>;
-
-/// Wall-clock breakdown per phase (paper Table 3 reports these).
+/// Per-phase time breakdown (paper Table 3 reports these). Used twice in
+/// MlaResult: once for wall-clock on this host, once for the virtual-clock
+/// makespans over the configured worker counts (see DESIGN.md §1 — on a
+/// 1-core container the makespan is the quantity a real distributed run
+/// would measure).
 struct PhaseTimes {
   double objective = 0.0;  ///< time spent inside the black-box function
   double modeling = 0.0;   ///< LCM hyperparameter fitting
@@ -83,6 +82,11 @@ struct MlaOptions {
   std::size_t refit_period = 1;
   std::size_t model_workers = 1;        ///< ranks for hyperparameter restarts
   std::size_t search_workers = 1;       ///< ranks for the per-task searches
+  /// Objective-worker ranks spawned by the evaluation engine (paper Fig. 1).
+  /// A fixed seed yields an identical tuning trajectory at any value.
+  std::size_t objective_workers = 1;
+  /// Timeout/retry/penalty policy applied to every objective run.
+  EvalPolicy evaluation;
   std::size_t batch_k = 4;              ///< points/iteration (Algorithm 2)
   std::uint64_t seed = 1234;
   opt::PsoOptions pso;
@@ -104,7 +108,15 @@ struct MlaOptions {
 
 struct MlaResult {
   std::vector<TaskHistory> tasks;
+  /// Wall-clock phase times on this host.
   PhaseTimes times;
+  /// Virtual-clock phase makespans: objective batches list-scheduled over
+  /// objective_workers, model restarts over model_workers, per-task
+  /// searches over search_workers. With every worker count at 1 these
+  /// degenerate to serial sums.
+  PhaseTimes virtual_times;
+  /// Evaluation-engine accounting (attempts, retries, timeouts, penalties).
+  EvalStats eval_stats;
   std::size_t model_refits = 0;
   std::size_t evaluations = 0;
 };

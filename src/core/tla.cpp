@@ -110,4 +110,43 @@ std::optional<Config> transfer_best_config(const HistoryDb& history,
   return result;
 }
 
+std::vector<TlaEvaluation> transfer_and_evaluate(
+    HistoryDb& history, const Space& task_space, const Space& tuning_space,
+    const std::vector<TaskVector>& new_tasks,
+    const MultiObjectiveFn& objective, std::size_t num_objectives,
+    const TlaEvalOptions& options) {
+  std::vector<TlaEvaluation> results(new_tasks.size());
+  std::vector<TaskVector> eval_tasks;
+  std::vector<EvalItem> items;
+  for (std::size_t i = 0; i < new_tasks.size(); ++i) {
+    results[i].task = new_tasks[i];
+    results[i].config = transfer_best_config(history, task_space,
+                                             tuning_space, new_tasks[i],
+                                             options.tla);
+    if (results[i].config) {
+      items.push_back({eval_tasks.size(), *results[i].config});
+      eval_tasks.push_back(new_tasks[i]);
+    }
+  }
+  if (items.empty()) return results;
+
+  EvalEngine engine(objective, num_objectives, options.objective_workers,
+                    options.evaluation, &history);
+  // Seed the penalty baseline from the archive's clean observations, as a
+  // continued MLA run would.
+  for (const auto& r : history.records()) {
+    engine.observe(r.objectives);
+  }
+  auto outcomes = engine.evaluate(eval_tasks, items);
+
+  std::size_t n = 0;
+  for (auto& res : results) {
+    if (!res.config) continue;
+    res.objectives = std::move(outcomes[n].objectives);
+    res.penalized = outcomes[n].penalized;
+    ++n;
+  }
+  return results;
+}
+
 }  // namespace gptune::core

@@ -12,7 +12,9 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
+#include "core/eval_engine.hpp"
 #include "core/history.hpp"
 #include "core/space.hpp"
 
@@ -23,6 +25,27 @@ struct TlaOptions {
   double bandwidth = 0.3;
   /// Objective index defining "best" per source task.
   std::size_t objective_index = 0;
+};
+
+/// Options for transfer_and_evaluate: the TLA prediction knobs plus the
+/// evaluation-engine configuration used to run the predicted configs.
+struct TlaEvalOptions {
+  TlaOptions tla;
+  /// Objective-worker ranks for the batch evaluation (paper Fig. 1); the
+  /// predicted configurations for all new tasks run concurrently.
+  std::size_t objective_workers = 1;
+  /// Timeout/retry/penalty policy for the evaluation runs.
+  EvalPolicy evaluation;
+};
+
+/// transfer_best_config prediction plus its measured objectives.
+struct TlaEvaluation {
+  TaskVector task;
+  /// nullopt when the archive had no usable source task; then no
+  /// evaluation ran and `objectives` is empty.
+  std::optional<Config> config;
+  std::vector<double> objectives;
+  bool penalized = false;  ///< the run failed; objectives are penalties
 };
 
 /// Predicts a configuration for `new_task` from the archive.
@@ -36,5 +59,16 @@ std::optional<Config> transfer_best_config(const HistoryDb& history,
                                            const Space& tuning_space,
                                            const TaskVector& new_task,
                                            const TlaOptions& options = {});
+
+/// Predicts one configuration per new task and evaluates the predictions
+/// through an EvalEngine (objective_workers concurrent ranks, with the
+/// policy's timeout/retry/penalty handling). Every measured result is
+/// appended to `history`, so successive TLA calls improve the archive.
+/// Results are returned in `new_tasks` order.
+std::vector<TlaEvaluation> transfer_and_evaluate(
+    HistoryDb& history, const Space& task_space, const Space& tuning_space,
+    const std::vector<TaskVector>& new_tasks,
+    const MultiObjectiveFn& objective, std::size_t num_objectives,
+    const TlaEvalOptions& options = {});
 
 }  // namespace gptune::core

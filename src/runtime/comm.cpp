@@ -201,6 +201,10 @@ SpawnHandle Comm::spawn(std::size_t n,
 
 // --- World ---
 
+Comm World::self() {
+  return Comm(std::make_shared<detail::GroupState>(1), 0);
+}
+
 void World::run(std::size_t n, const std::function<void(Comm&)>& fn) {
   assert(n >= 1);
   auto group = std::make_shared<detail::GroupState>(n);

@@ -168,6 +168,11 @@ class World {
  public:
   /// Runs `fn(comm)` on `n` ranks (threads) and blocks until all return.
   static void run(std::size_t n, const std::function<void(Comm&)>& fn);
+
+  /// A standalone single-rank communicator for the calling (driver) thread,
+  /// mirroring MPI_COMM_SELF. Long-lived subsystems (e.g. the evaluation
+  /// engine) spawn worker groups from it without entering World::run.
+  static Comm self();
 };
 
 }  // namespace gptune::rt

@@ -1,0 +1,281 @@
+// Tests of the objective-evaluation engine (paper Fig. 1 objective-worker
+// group): index-order determinism at any worker count, the timeout/retry/
+// penalty policy, deterministic fault injection, concurrent history
+// archiving, and the TLA batch-evaluation path built on top of it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "apps/fault_injection.hpp"
+#include "core/eval_engine.hpp"
+#include "core/mla.hpp"
+#include "core/tla.hpp"
+
+namespace {
+
+using namespace gptune;
+using namespace gptune::core;
+
+Space box2d() {
+  Space s;
+  s.add_real("x", 0.0, 1.0);
+  s.add_real("y", 0.0, 1.0);
+  return s;
+}
+
+// Pure single-objective family: minimum at (t, 1 - t), value 0.01.
+MultiObjectiveFn family_fn() {
+  return [](const TaskVector& t, const Config& c) {
+    const double dx = c[0] - t[0];
+    const double dy = c[1] - (1.0 - t[0]);
+    return std::vector<double>{dx * dx + dy * dy + 0.01};
+  };
+}
+
+// Deterministic virtual cost: the objective value itself (a simulated
+// runtime), so timeouts and makespans are reproducible.
+EvalPolicy simulated_policy() {
+  EvalPolicy policy;
+  policy.virtual_cost = [](const TaskVector&, const Config&,
+                           const std::vector<double>& y) {
+    return y.empty() ? 1.0 : y[0];
+  };
+  return policy;
+}
+
+std::vector<EvalItem> grid_items(std::size_t n) {
+  std::vector<EvalItem> items;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(i) / static_cast<double>(n);
+    items.push_back({i % 2, Config{v, 1.0 - v}});
+  }
+  return items;
+}
+
+const std::vector<TaskVector> kTasks = {{0.2}, {0.8}};
+
+TEST(EvalEngine, OutcomesIdenticalAcrossWorkerCounts) {
+  const auto items = grid_items(13);
+  std::vector<std::vector<EvalOutcome>> runs;
+  for (std::size_t workers : {1u, 2u, 4u}) {
+    EvalEngine engine(family_fn(), 1, workers, simulated_policy());
+    runs.push_back(engine.evaluate(kTasks, items));
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[r][i].objectives, runs[0][i].objectives);
+      EXPECT_EQ(runs[r][i].penalized, runs[0][i].penalized);
+      EXPECT_EQ(runs[r][i].attempts, runs[0][i].attempts);
+    }
+  }
+}
+
+TEST(EvalEngine, FaultyOutcomesIdenticalAcrossWorkerCounts) {
+  apps::FaultSpec spec;
+  spec.crash_rate = 0.2;
+  spec.nan_rate = 0.2;
+  spec.seed = 7;
+  const auto items = grid_items(16);
+  std::vector<std::vector<EvalOutcome>> runs;
+  std::size_t penalized = 0;
+  for (std::size_t workers : {1u, 4u}) {
+    EvalEngine engine(apps::with_faults(family_fn(), spec), 1, workers,
+                      simulated_policy());
+    runs.push_back(engine.evaluate(kTasks, items));
+    penalized = engine.stats().penalized;
+  }
+  EXPECT_GT(penalized, 0u);  // faults actually fired
+  for (std::size_t i = 0; i < runs[0].size(); ++i) {
+    EXPECT_EQ(runs[1][i].objectives, runs[0][i].objectives);
+    EXPECT_EQ(runs[1][i].penalized, runs[0][i].penalized);
+    EXPECT_TRUE(std::isfinite(runs[1][i].objectives[0]));
+  }
+}
+
+TEST(EvalEngine, PenaltyIsFactorTimesWorstClean) {
+  EvalPolicy policy;
+  policy.penalty_factor = 10.0;
+  policy.penalty_floor = 10.0;
+  auto objective = [](const TaskVector&, const Config& c) {
+    if (c[0] < 0.0) {
+      return std::vector<double>{std::numeric_limits<double>::quiet_NaN()};
+    }
+    return std::vector<double>{c[0]};
+  };
+  EvalEngine engine(objective, 1, 1, policy);
+  // Clean observations up to 50, then a failure.
+  std::vector<EvalItem> items = {
+      {0, {7.0}}, {0, {50.0}}, {0, {3.0}}, {0, {-1.0}}};
+  auto outcomes = engine.evaluate({{0.0}}, items);
+  EXPECT_FALSE(outcomes[1].penalized);
+  EXPECT_TRUE(outcomes[3].penalized);
+  EXPECT_DOUBLE_EQ(outcomes[3].objectives[0], 10.0 * 50.0);
+}
+
+TEST(EvalEngine, PenaltiesDoNotCompound) {
+  EvalPolicy policy;
+  policy.penalty_factor = 10.0;
+  policy.penalty_floor = 10.0;
+  auto objective = [](const TaskVector&, const Config& c) {
+    if (c[0] < 0.0) {
+      return std::vector<double>{std::numeric_limits<double>::quiet_NaN()};
+    }
+    return std::vector<double>{c[0]};
+  };
+  EvalEngine engine(objective, 1, 1, policy);
+  engine.evaluate({{0.0}}, {{0, {20.0}}});
+  // Repeated failures: every penalty derives from the worst *clean*
+  // observation (20), never from earlier penalties (200).
+  for (int round = 0; round < 5; ++round) {
+    auto outcomes = engine.evaluate({{0.0}}, {{0, {-1.0}}});
+    EXPECT_DOUBLE_EQ(outcomes[0].objectives[0], 200.0);
+  }
+}
+
+TEST(EvalEngine, ObserveSeedsPenaltyBaseline) {
+  EvalPolicy policy;
+  policy.penalty_factor = 10.0;
+  EvalEngine engine(
+      [](const TaskVector&, const Config&) {
+        return std::vector<double>{std::numeric_limits<double>::infinity()};
+      },
+      1, 1, policy);
+  engine.observe({300.0});  // e.g. an archived evaluation
+  auto outcomes = engine.evaluate({{0.0}}, {{0, {0.5}}});
+  EXPECT_DOUBLE_EQ(outcomes[0].objectives[0], 3000.0);
+}
+
+TEST(EvalEngine, RetryHealsTransientFault) {
+  apps::FaultSpec spec;
+  spec.crash_rate = 1.0;   // every config faults...
+  spec.heal_after = 1;     // ...once
+  EvalPolicy policy;
+  policy.max_retries = 2;
+  EvalEngine engine(apps::with_faults(family_fn(), spec), 1, 1, policy);
+  auto outcomes = engine.evaluate({{0.2}}, {{0, {0.2, 0.8}}});
+  EXPECT_FALSE(outcomes[0].penalized);
+  EXPECT_EQ(outcomes[0].attempts, 2u);
+  EXPECT_NEAR(outcomes[0].objectives[0], 0.01, 1e-12);
+  EXPECT_EQ(engine.stats().retries, 1u);
+  EXPECT_EQ(engine.stats().failed_attempts, 0u);
+}
+
+TEST(EvalEngine, TimeoutChargesExactlyTheTimeout) {
+  EvalPolicy policy = simulated_policy();
+  policy.timeout_seconds = 10.0;
+  auto objective = [](const TaskVector&, const Config& c) {
+    return std::vector<double>{c[0] > 0.5 ? 100.0 : 1.0};
+  };
+  EvalEngine engine(objective, 1, 1, policy);
+  auto outcomes =
+      engine.evaluate({{0.0}}, {{0, {0.1}}, {0, {0.9}}});
+  EXPECT_FALSE(outcomes[0].timed_out);
+  EXPECT_DOUBLE_EQ(outcomes[0].virtual_seconds, 1.0);
+  EXPECT_TRUE(outcomes[1].timed_out);
+  EXPECT_TRUE(outcomes[1].penalized);
+  EXPECT_DOUBLE_EQ(outcomes[1].virtual_seconds, 10.0);
+  EXPECT_TRUE(std::isfinite(outcomes[1].objectives[0]));
+  EXPECT_EQ(engine.stats().timeouts, 1u);
+}
+
+TEST(EvalEngine, VirtualMakespanReflectsWorkerCount) {
+  // 8 items of simulated cost 1.0 each: serial work 8, 4 workers -> 2.
+  auto objective = [](const TaskVector&, const Config&) {
+    return std::vector<double>{1.0};
+  };
+  EvalEngine engine(objective, 1, 4, simulated_policy());
+  engine.evaluate(kTasks, grid_items(8));
+  EXPECT_DOUBLE_EQ(engine.last_batch().virtual_work, 8.0);
+  EXPECT_DOUBLE_EQ(engine.last_batch().virtual_makespan, 2.0);
+}
+
+TEST(EvalEngine, ConcurrentWorkersArchiveEveryEvaluation) {
+  HistoryDb db;
+  EvalEngine engine(family_fn(), 1, 4, simulated_policy(), &db);
+  const auto items = grid_items(64);
+  auto outcomes = engine.evaluate(kTasks, items);
+  EXPECT_EQ(outcomes.size(), 64u);
+  EXPECT_EQ(db.size(), 64u);
+}
+
+// --- TLA batch evaluation over the engine ---
+
+TEST(Tla, TransferAndEvaluateRunsAndArchives) {
+  Space task_space;
+  task_space.add_real("t", 0.0, 1.0);
+  HistoryDb db;
+  // Archive two solved source tasks.
+  for (double t : {0.2, 0.8}) {
+    db.add({{t}, {t, 1.0 - t}, family_fn()({t}, {t, 1.0 - t})});
+  }
+  TlaEvalOptions options;
+  options.objective_workers = 2;
+  options.evaluation = simulated_policy();
+  auto results = transfer_and_evaluate(db, task_space, box2d(),
+                                       {{0.4}, {0.6}}, family_fn(), 1,
+                                       options);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.config.has_value());
+    ASSERT_EQ(r.objectives.size(), 1u);
+    EXPECT_FALSE(r.penalized);
+    // Transfer should land near the interpolated optimum.
+    EXPECT_LT(r.objectives[0], 0.2);
+  }
+  EXPECT_EQ(db.size(), 4u);  // two sources + two new evaluations
+}
+
+// --- MLA under injected faults (full budget, finite penalties,
+// worker-count-independent trajectory) ---
+
+TEST(MlaWithFaults, FullBudgetFinitePenaltiesDeterministicAcrossWorkers) {
+  apps::FaultSpec spec;
+  spec.crash_rate = 0.1;
+  spec.nan_rate = 0.1;
+  spec.hang_rate = 0.1;
+  spec.hang_factor = 1.0e3;
+  spec.seed = 11;
+
+  auto run = [&](std::size_t workers) {
+    MlaOptions opt;
+    opt.budget_per_task = 12;
+    opt.model_restarts = 2;
+    opt.max_lbfgs_iterations = 20;
+    opt.seed = 42;
+    opt.objective_workers = workers;
+    opt.evaluation = simulated_policy();
+    opt.evaluation.timeout_seconds = 50.0;  // kills "hung" runs (~>= 1000)
+    // Fresh injector per run: identical spec => identical fault pattern.
+    MultitaskTuner tuner(box2d(), apps::with_faults(family_fn(), spec), opt);
+    return tuner.run({{0.25}, {0.75}});
+  };
+
+  const MlaResult base = run(1);
+  EXPECT_GT(base.eval_stats.penalized, 0u);
+  EXPECT_GT(base.eval_stats.timeouts, 0u);
+  for (const auto& th : base.tasks) {
+    EXPECT_EQ(th.evals.size(), 12u);
+    for (const auto& e : th.evals) {
+      EXPECT_TRUE(std::isfinite(e.objectives[0]));
+    }
+  }
+
+  for (std::size_t workers : {2u, 4u}) {
+    const MlaResult other = run(workers);
+    EXPECT_EQ(other.eval_stats.penalized, base.eval_stats.penalized);
+    ASSERT_EQ(other.tasks.size(), base.tasks.size());
+    for (std::size_t i = 0; i < base.tasks.size(); ++i) {
+      ASSERT_EQ(other.tasks[i].evals.size(), base.tasks[i].evals.size());
+      for (std::size_t j = 0; j < base.tasks[i].evals.size(); ++j) {
+        EXPECT_EQ(other.tasks[i].evals[j].config,
+                  base.tasks[i].evals[j].config);
+        EXPECT_EQ(other.tasks[i].evals[j].objectives,
+                  base.tasks[i].evals[j].objectives);
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -157,6 +157,49 @@ TEST(Mla, ParallelSearchMatchesSerialStructure) {
   EXPECT_LT(q2, q1 + 0.3);
 }
 
+TEST(Mla, TrajectoryIdenticalAcrossObjectiveWorkerCounts) {
+  // Evaluation-engine determinism guarantee: a fixed seed yields a bitwise
+  // identical tuning trajectory no matter how many objective workers run.
+  auto run = [](std::size_t workers) {
+    MlaOptions opt = fast_options();
+    opt.objective_workers = workers;
+    MultitaskTuner tuner(box2d(), family_fn(), opt);
+    return tuner.run({{0.2}, {0.7}});
+  };
+  const MlaResult base = run(1);
+  for (std::size_t workers : {2u, 4u}) {
+    const MlaResult other = run(workers);
+    ASSERT_EQ(other.tasks.size(), base.tasks.size());
+    for (std::size_t i = 0; i < base.tasks.size(); ++i) {
+      ASSERT_EQ(other.tasks[i].evals.size(), base.tasks[i].evals.size());
+      for (std::size_t j = 0; j < base.tasks[i].evals.size(); ++j) {
+        EXPECT_EQ(other.tasks[i].evals[j].config,
+                  base.tasks[i].evals[j].config);
+        EXPECT_EQ(other.tasks[i].evals[j].objectives,
+                  base.tasks[i].evals[j].objectives);
+      }
+    }
+  }
+}
+
+TEST(Mla, VirtualTimesPopulated) {
+  MlaOptions opt = fast_options();
+  opt.objective_workers = 2;
+  opt.evaluation.virtual_cost = [](const TaskVector&, const Config&,
+                                   const std::vector<double>& y) {
+    return y[0];  // simulated runtime: the objective value itself
+  };
+  MultitaskTuner tuner(box2d(), family_fn(), opt);
+  auto result = tuner.run({{0.4}, {0.6}});
+  EXPECT_GT(result.virtual_times.objective, 0.0);
+  EXPECT_GT(result.virtual_times.modeling, 0.0);
+  EXPECT_GT(result.virtual_times.search, 0.0);
+  // The makespan over 2 workers cannot exceed the serial work.
+  EXPECT_LE(result.virtual_times.objective,
+            result.eval_stats.virtual_work + 1e-12);
+  EXPECT_EQ(result.eval_stats.items, result.evaluations);
+}
+
 TEST(Mla, ParallelModelWorkersWork) {
   MlaOptions opt = fast_options();
   opt.model_workers = 2;
