@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
-# Tier-1 gate under sanitizers, in two mutually exclusive lanes:
+# Tier-1 gate in three mutually exclusive lanes:
 #   asan  — ASan+UBSan build tree (build-asan/): memory errors, UB
 #   tsan  — ThreadSanitizer build tree (build-tsan/): data races in the
 #           spawned worker groups (objective workers, model pool, search
 #           ranks) and the mutex-guarded HistoryDb
+#   lint  — rtcheck build tree (build-rtcheck/): tier-1 under the runtime
+#           protocol checker (GPTUNE_RTCHECK=ON — deadlock/collective/leak
+#           diagnostics), then a clean gptune_lint run over src/, tests/
+#           and tools/ (determinism bans; see DESIGN.md §3.6)
+# Every lane builds with GPTUNE_WERROR=ON (-Wall -Wextra -Wshadow -Werror).
 # Each lane uses a dedicated build dir, separate from the plain ./build, so
 # the trees never contaminate each other. Benches and examples are skipped —
 # the slow label has its own lane (`ctest -L slow` in a regular build).
 #
-# Usage: scripts/check.sh [asan|tsan|all] [build-dir]
-#   default lane: asan (default dirs: build-asan, build-tsan)
+# Usage: scripts/check.sh [asan|tsan|lint|all] [build-dir]
+#   default lane: asan (default dirs: build-asan, build-tsan, build-rtcheck)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,17 +23,20 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 run_lane() {
   local lane="$1" build_dir="$2"
-  local sanitize=OFF tsan=OFF
+  local sanitize=OFF tsan=OFF rtcheck=OFF
   case "${lane}" in
     asan) sanitize=ON ;;
     tsan) tsan=ON ;;
-    *) echo "unknown lane '${lane}' (want asan|tsan|all)" >&2; exit 2 ;;
+    lint) rtcheck=ON ;;
+    *) echo "unknown lane '${lane}' (want asan|tsan|lint|all)" >&2; exit 2 ;;
   esac
 
   cmake -B "${build_dir}" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGPTUNE_WERROR=ON \
     -DGPTUNE_SANITIZE="${sanitize}" \
     -DGPTUNE_TSAN="${tsan}" \
+    -DGPTUNE_RTCHECK="${rtcheck}" \
     -DGPTUNE_BUILD_BENCH=OFF \
     -DGPTUNE_BUILD_EXAMPLES=OFF
   cmake --build "${build_dir}" -j "${JOBS}"
@@ -38,12 +46,18 @@ run_lane() {
   ASAN_OPTIONS="detect_leaks=1" \
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "${build_dir}" -L tier1 --output-on-failure -j "${JOBS}"
+
+  if [ "${lane}" = lint ]; then
+    # The tree must be lint-clean (suppressions are deliberate, annotated).
+    "${build_dir}/tools/gptune_lint/gptune_lint" src tests tools
+  fi
 }
 
 case "${LANE}" in
   all)
     run_lane asan "${2:-build-asan}"
     run_lane tsan "${2:-build-tsan}"
+    run_lane lint "${2:-build-rtcheck}"
     ;;
   asan)
     run_lane asan "${2:-build-asan}"
@@ -51,8 +65,11 @@ case "${LANE}" in
   tsan)
     run_lane tsan "${2:-build-tsan}"
     ;;
+  lint)
+    run_lane lint "${2:-build-rtcheck}"
+    ;;
   *)
-    echo "usage: scripts/check.sh [asan|tsan|all] [build-dir]" >&2
+    echo "usage: scripts/check.sh [asan|tsan|lint|all] [build-dir]" >&2
     exit 2
     ;;
 esac

@@ -24,6 +24,8 @@ std::optional<Config> transfer_best_config(const HistoryDb& history,
                                            const TlaOptions& options) {
   // Group records by task vector (exact match keys the archive's tasks).
   std::map<TaskVector, SourceTask> sources;
+  // Snapshot read of a quiescent archive: transfer runs before any worker
+  // writes to the db.  gptune-lint: allow(history-direct)
   for (const auto& r : history.records()) {
     if (r.task.size() != task_space.dim()) continue;
     if (r.config.size() != tuning_space.dim()) continue;
@@ -133,7 +135,8 @@ std::vector<TlaEvaluation> transfer_and_evaluate(
   EvalEngine engine(objective, num_objectives, options.objective_workers,
                     options.evaluation, &history);
   // Seed the penalty baseline from the archive's clean observations, as a
-  // continued MLA run would.
+  // continued MLA run would. Quiescent snapshot read: the engine has not
+  // started yet.  gptune-lint: allow(history-direct)
   for (const auto& r : history.records()) {
     engine.observe(r.objectives);
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "runtime/rtcheck.hpp"
+
 namespace gptune::rt {
 
 namespace detail {
@@ -22,18 +24,94 @@ bool matches(const Message& m, int source, int tag) {
 }
 }  // namespace
 
-Message Mailbox::take(int source, int tag) {
+// The rtcheck protocol inside take_impl: register the wait *before* taking
+// the mailbox lock, never call the registry while holding it, and deregister
+// after releasing it — so the registry mutex and the mailbox mutex only ever
+// nest registry -> mailbox (in the analyzer) and lock-order cycles are
+// impossible. The analyzer may poison the token (under the mailbox mutex)
+// and notify the cv; the waiter observes that under its own lock and unwinds
+// with RtCheckError instead of blocking forever.
+std::optional<Message> Mailbox::take_impl(
+    int source, int tag,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+#if defined(GPTUNE_RTCHECK)
+  rtcheck::hooks::WaitTokenPtr token =
+      rtcheck::hooks::begin_recv(this, &mutex_, &cv_, source, tag);
+  bool analyzed = false;
+#endif
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (matches(*it, source, tag)) {
         Message m = std::move(*it);
         queue_.erase(it);
+#if defined(GPTUNE_RTCHECK)
+        token->done = true;  // satisfied: analyzer must not count this wait
+#endif
+        lock.unlock();
+#if defined(GPTUNE_RTCHECK)
+        rtcheck::hooks::end_wait(token);
+#endif
         return m;
       }
     }
-    cv_.wait(lock);
+#if defined(GPTUNE_RTCHECK)
+    if (token->poisoned) {
+      const std::string why = token->reason;
+      lock.unlock();
+      rtcheck::hooks::end_wait(token);
+      throw rtcheck::RtCheckError(why);
+    }
+    if (!analyzed) {
+      // First time the queue came up empty: run the deadlock analysis once
+      // (event-driven detection), then rescan — a message may have landed
+      // while the lock was released.
+      analyzed = true;
+      lock.unlock();
+      rtcheck::hooks::analyze_blocked(token);
+      lock.lock();
+      continue;
+    }
+#endif
+    if (deadline) {
+      if (cv_.wait_until(lock, *deadline) == std::cv_status::timeout) {
+        // One final scan so a message that raced the timeout still wins.
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+          if (matches(*it, source, tag)) {
+            Message m = std::move(*it);
+            queue_.erase(it);
+#if defined(GPTUNE_RTCHECK)
+            token->done = true;
+#endif
+            lock.unlock();
+#if defined(GPTUNE_RTCHECK)
+            rtcheck::hooks::end_wait(token);
+#endif
+            return m;
+          }
+        }
+        lock.unlock();
+#if defined(GPTUNE_RTCHECK)
+        rtcheck::hooks::on_deadline_expired(token);
+        rtcheck::hooks::end_wait(token);
+#endif
+        return std::nullopt;
+      }
+    } else {
+      cv_.wait(lock);
+    }
   }
+}
+
+Message Mailbox::take(int source, int tag) {
+  std::optional<Message> m = take_impl(source, tag, std::nullopt);
+  // Without a deadline take_impl only returns on a match (or throws).
+  return std::move(*m);
+}
+
+std::optional<Message> Mailbox::take(int source, int tag,
+                                     std::chrono::nanoseconds timeout) {
+  return take_impl(source, tag, std::chrono::steady_clock::now() + timeout);
 }
 
 bool Mailbox::try_take(int source, int tag, Message* out) {
@@ -48,10 +126,59 @@ bool Mailbox::try_take(int source, int tag, Message* out) {
   return false;
 }
 
-GroupState::GroupState(std::size_t n) : mailboxes(n), size(n) {}
+bool Mailbox::has_matching(int source, int tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(queue_.begin(), queue_.end(), [&](const Message& m) {
+    return matches(m, source, tag);
+  });
+}
+
+std::vector<std::tuple<int, int, std::size_t>> Mailbox::leftover() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::tuple<int, int, std::size_t>> out;
+  out.reserve(queue_.size());
+  for (const Message& m : queue_) {
+    out.emplace_back(m.source, m.tag, m.data.size());
+  }
+  return out;
+}
+
+GroupState::GroupState(std::size_t n) : mailboxes(n), size(n) {
+#if defined(GPTUNE_RTCHECK)
+  rtcheck::hooks::on_group_created(this);
+#endif
+}
+
+GroupState::~GroupState() {
+#if defined(GPTUNE_RTCHECK)
+  std::vector<std::vector<rtcheck::hooks::MessageStub>> leaked(size);
+  for (std::size_t r = 0; r < size; ++r) {
+    for (const auto& [source, tag, n] : mailboxes[r].leftover()) {
+      leaked[r].push_back(rtcheck::hooks::MessageStub{source, tag, n});
+    }
+  }
+  rtcheck::hooks::on_group_teardown(this, leaked);
+#endif
+}
 
 InterChannel::InterChannel(std::size_t local_n, std::size_t remote_n)
     : to_local(local_n), to_remote(remote_n) {}
+
+InterChannel::~InterChannel() {
+#if defined(GPTUNE_RTCHECK)
+  auto summarize = [](const std::vector<Mailbox>& boxes) {
+    std::vector<std::vector<rtcheck::hooks::MessageStub>> leaked(boxes.size());
+    for (std::size_t i = 0; i < boxes.size(); ++i) {
+      for (const auto& [source, tag, n] : boxes[i].leftover()) {
+        leaked[i].push_back(rtcheck::hooks::MessageStub{source, tag, n});
+      }
+    }
+    return leaked;
+  };
+  rtcheck::hooks::on_channel_teardown(this, summarize(to_local),
+                                      summarize(to_remote));
+#endif
+}
 
 }  // namespace detail
 
@@ -59,6 +186,10 @@ InterChannel::InterChannel(std::size_t local_n, std::size_t remote_n)
 
 void InterComm::send(std::size_t remote_rank, int tag,
                      std::vector<double> data) {
+#if defined(GPTUNE_RTCHECK)
+  rtcheck::hooks::check_send_inter(channel_.get(), is_parent_side_,
+                                   remote_rank, remote_size_, tag);
+#endif
   assert(remote_rank < remote_size_);
   Message m;
   m.source = static_cast<int>(local_rank_);
@@ -75,6 +206,13 @@ Message InterComm::recv(int source, int tag) {
   return box.take(source, tag);
 }
 
+std::optional<Message> InterComm::recv_for(int source, int tag,
+                                           std::chrono::nanoseconds timeout) {
+  auto& box = is_parent_side_ ? channel_->to_local[local_rank_]
+                              : channel_->to_remote[local_rank_];
+  return box.take(source, tag, timeout);
+}
+
 bool InterComm::try_recv(int source, int tag, Message* out) {
   auto& box = is_parent_side_ ? channel_->to_local[local_rank_]
                               : channel_->to_remote[local_rank_];
@@ -82,15 +220,22 @@ bool InterComm::try_recv(int source, int tag, Message* out) {
 }
 
 void SpawnHandle::join() {
+  if (threads_.empty()) return;
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
   threads_.clear();
+#if defined(GPTUNE_RTCHECK)
+  if (comm_.channel_) rtcheck::hooks::on_spawn_joined(comm_.channel_.get());
+#endif
 }
 
 // --- Comm ---
 
 void Comm::send(std::size_t dest, int tag, std::vector<double> data) {
+#if defined(GPTUNE_RTCHECK)
+  rtcheck::hooks::check_send_intra(group_.get(), rank_, dest, tag);
+#endif
   assert(dest < size());
   Message m;
   m.source = static_cast<int>(rank_);
@@ -103,22 +248,69 @@ Message Comm::recv(int source, int tag) {
   return group_->mailboxes[rank_].take(source, tag);
 }
 
+std::optional<Message> Comm::recv_for(int source, int tag,
+                                      std::chrono::nanoseconds timeout) {
+  return group_->mailboxes[rank_].take(source, tag, timeout);
+}
+
 bool Comm::try_recv(int source, int tag, Message* out) {
   return group_->mailboxes[rank_].try_take(source, tag, out);
 }
 
 void Comm::barrier() {
   auto& g = *group_;
+#if defined(GPTUNE_RTCHECK)
+  rtcheck::hooks::enter_collective(group_.get(), rank_, "barrier", 0, -1);
+  rtcheck::hooks::WaitTokenPtr token = rtcheck::hooks::begin_barrier(
+      group_.get(), rank_, &g.barrier_mutex, &g.barrier_cv);
+  bool analyzed = false;
+#endif
   std::unique_lock<std::mutex> lock(g.barrier_mutex);
   const std::size_t my_generation = g.barrier_generation;
+#if defined(GPTUNE_RTCHECK)
+  // Recorded under barrier_mutex (== the token's wait mutex) so the analyzer
+  // can tell a waiter whose generation was already released — woken but not
+  // yet deregistered — from one that is genuinely stuck.
+  token->generation = my_generation;
+#endif
   if (++g.barrier_count == g.size) {
     g.barrier_count = 0;
     ++g.barrier_generation;
     g.barrier_cv.notify_all();
+#if defined(GPTUNE_RTCHECK)
+    token->done = true;
+    lock.unlock();
+    rtcheck::hooks::end_wait(token);
+#endif
   } else {
+#if defined(GPTUNE_RTCHECK)
+    for (;;) {
+      if (g.barrier_generation != my_generation) {
+        token->done = true;
+        break;
+      }
+      if (token->poisoned) {
+        const std::string why = token->reason;
+        lock.unlock();
+        rtcheck::hooks::end_wait(token);
+        throw rtcheck::RtCheckError(why);
+      }
+      if (!analyzed) {
+        analyzed = true;
+        lock.unlock();
+        rtcheck::hooks::analyze_blocked(token);
+        lock.lock();
+        continue;
+      }
+      g.barrier_cv.wait(lock);
+    }
+    lock.unlock();
+    rtcheck::hooks::end_wait(token);
+#else
     g.barrier_cv.wait(lock, [&g, my_generation] {
       return g.barrier_generation != my_generation;
     });
+#endif
   }
 }
 
@@ -127,6 +319,9 @@ constexpr int kCollectiveTag = -1000;  // reserved; below user tag space
 }
 
 void Comm::bcast(std::vector<double>& data, std::size_t root) {
+#if defined(GPTUNE_RTCHECK)
+  rtcheck::hooks::enter_collective(group_.get(), rank_, "bcast", root, -1);
+#endif
   if (size() == 1) return;
   if (rank_ == root) {
     for (std::size_t r = 0; r < size(); ++r) {
@@ -139,6 +334,10 @@ void Comm::bcast(std::vector<double>& data, std::size_t root) {
 
 std::vector<double> Comm::reduce_sum(const std::vector<double>& contribution,
                                      std::size_t root) {
+#if defined(GPTUNE_RTCHECK)
+  rtcheck::hooks::enter_collective(group_.get(), rank_, "reduce", root,
+                                   static_cast<long>(contribution.size()));
+#endif
   if (rank_ != root) {
     send(root, kCollectiveTag, contribution);
     return {};
@@ -165,6 +364,9 @@ std::vector<double> Comm::allreduce_sum(
 
 std::vector<std::vector<double>> Comm::gather(const std::vector<double>& data,
                                               std::size_t root) {
+#if defined(GPTUNE_RTCHECK)
+  rtcheck::hooks::enter_collective(group_.get(), rank_, "gather", root, -1);
+#endif
   if (rank_ != root) {
     send(root, kCollectiveTag, data);
     return {};
@@ -184,15 +386,30 @@ SpawnHandle Comm::spawn(std::size_t n,
   assert(n >= 1);
   auto channel = std::make_shared<detail::InterChannel>(1, n);
   auto child_group = std::make_shared<detail::GroupState>(n);
+#if defined(GPTUNE_RTCHECK)
+  rtcheck::hooks::on_spawn_created(channel.get(), group_.get(), rank_,
+                                   child_group.get());
+#endif
 
   std::vector<std::thread> threads;
   threads.reserve(n);
   for (std::size_t r = 0; r < n; ++r) {
-    threads.emplace_back([channel, child_group, r, n, fn] {
+    threads.emplace_back([channel, child_group, r, fn] {
       Comm child_comm(child_group, r);
       InterComm parent(channel, /*is_parent_side=*/false, r,
                        /*remote_size=*/1);
+#if defined(GPTUNE_RTCHECK)
+      rtcheck::hooks::on_rank_started(child_group.get(), r);
+      try {
+        fn(child_comm, parent);
+      } catch (const rtcheck::RtCheckError&) {
+        // Already recorded as a finding; unwind the rank instead of hanging
+        // the group (report-instead-of-hang is the whole point).
+      }
+      rtcheck::hooks::on_rank_exited(child_group.get(), r);
+#else
       fn(child_comm, parent);
+#endif
     });
   }
   InterComm spawned(channel, /*is_parent_side=*/true, /*local_rank=*/0, n);
@@ -213,7 +430,17 @@ void World::run(std::size_t n, const std::function<void(Comm&)>& fn) {
   for (std::size_t r = 0; r < n; ++r) {
     threads.emplace_back([group, r, &fn] {
       Comm comm(group, r);
+#if defined(GPTUNE_RTCHECK)
+      rtcheck::hooks::on_rank_started(group.get(), r);
+      try {
+        fn(comm);
+      } catch (const rtcheck::RtCheckError&) {
+        // Already recorded; exit the rank so the world can join and report.
+      }
+      rtcheck::hooks::on_rank_exited(group.get(), r);
+#else
       fn(comm);
+#endif
     });
   }
   for (auto& t : threads) t.join();

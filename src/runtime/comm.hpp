@@ -18,13 +18,16 @@
 // the transport simple and easily swappable for real MPI.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 namespace gptune::rt {
@@ -43,16 +46,35 @@ struct Message {
 namespace detail {
 
 /// One rank's inbox: a mutex-protected deque supporting selective receive.
+/// Matching is deterministic: among queued messages that match (source, tag)
+/// — including under kAnySource / kAnyTag — the earliest-posted one wins.
 class Mailbox {
  public:
   void post(Message msg);
   /// Blocks until a message matching (source, tag) is available and pops it.
+  /// Under GPTUNE_RTCHECK, throws rtcheck::RtCheckError instead of blocking
+  /// forever when the checker proves the wait can never be satisfied.
   Message take(int source, int tag);
+  /// Deadline variant: returns std::nullopt once `timeout` elapses with no
+  /// matching message (after recording an rtcheck timeout/deadlock finding
+  /// in checked builds). Lets tests observe a diagnosed deadlock
+  /// deterministically instead of relying on ctest timeouts.
+  std::optional<Message> take(int source, int tag,
+                              std::chrono::nanoseconds timeout);
   /// Non-blocking variant; returns false if no matching message is queued.
   bool try_take(int source, int tag, Message* out);
 
+  /// True if a matching message is currently queued (rtcheck liveness probe).
+  bool has_matching(int source, int tag) const;
+  /// Envelope summaries of everything still queued (rtcheck leak reports).
+  std::vector<std::tuple<int, int, std::size_t>> leftover() const;
+
  private:
-  std::mutex mutex_;
+  std::optional<Message> take_impl(
+      int source, int tag,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline);
+
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
 };
@@ -60,6 +82,8 @@ class Mailbox {
 /// Shared state of one intra-communicator group.
 struct GroupState {
   explicit GroupState(std::size_t n);
+  /// Under GPTUNE_RTCHECK, reports messages still queued at teardown.
+  ~GroupState();
   std::vector<Mailbox> mailboxes;
   // Sense-reversing central barrier.
   std::mutex barrier_mutex;
@@ -72,6 +96,8 @@ struct GroupState {
 /// Channel backing an inter-communicator: mailboxes for both directions.
 struct InterChannel {
   explicit InterChannel(std::size_t local_n, std::size_t remote_n);
+  /// Under GPTUNE_RTCHECK, reports messages still queued at teardown.
+  ~InterChannel();
   std::vector<Mailbox> to_local;   // indexed by local rank
   std::vector<Mailbox> to_remote;  // indexed by remote rank
 };
@@ -90,10 +116,15 @@ class InterComm {
 
   void send(std::size_t remote_rank, int tag, std::vector<double> data);
   Message recv(int source = kAnySource, int tag = kAnyTag);
+  /// Deadline variant of recv: std::nullopt once `timeout` elapses (with an
+  /// rtcheck timeout/deadlock finding recorded in checked builds).
+  std::optional<Message> recv_for(int source, int tag,
+                                  std::chrono::nanoseconds timeout);
   bool try_recv(int source, int tag, Message* out);
 
  private:
   friend class Comm;
+  friend class SpawnHandle;
   InterComm(std::shared_ptr<detail::InterChannel> channel, bool is_parent_side,
             std::size_t local_rank, std::size_t remote_size)
       : channel_(std::move(channel)),
@@ -133,6 +164,10 @@ class Comm {
   // --- point to point ---
   void send(std::size_t dest, int tag, std::vector<double> data);
   Message recv(int source = kAnySource, int tag = kAnyTag);
+  /// Deadline variant of recv: std::nullopt once `timeout` elapses (with an
+  /// rtcheck timeout/deadlock finding recorded in checked builds).
+  std::optional<Message> recv_for(int source, int tag,
+                                  std::chrono::nanoseconds timeout);
   bool try_recv(int source, int tag, Message* out);
 
   // --- collectives (implemented over point-to-point, rooted at 0) ---

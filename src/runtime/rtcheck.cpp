@@ -1,0 +1,775 @@
+// rtcheck registry: wait-for graph, liveness fixpoint, finding store.
+//
+// Lock discipline (the checker must not deadlock the program it is
+// checking): the single registry mutex is always acquired *first*; the
+// analyzer may then briefly take one wait mutex (a mailbox's or a barrier's)
+// at a time to inspect a queue or poison a waiter. Instrumented threads never
+// call into the registry while holding a wait mutex — comm.cpp registers
+// intent *before* locking and deregisters *after* unlocking — so the only
+// nesting order is registry → wait, and ABBA is impossible.
+#include "runtime/rtcheck.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "common/log.hpp"
+#include "runtime/comm.hpp"
+
+namespace gptune::rt::rtcheck {
+
+const char* kind_name(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kDeadlock: return "deadlock";
+    case FindingKind::kTimeout: return "timeout";
+    case FindingKind::kCollectiveMismatch: return "collective-mismatch";
+    case FindingKind::kMessageLeak: return "message-leak";
+    case FindingKind::kInvalidSend: return "invalid-send";
+    case FindingKind::kUnjoinedSpawn: return "unjoined-spawn";
+    case FindingKind::kPoolMisuse: return "pool-misuse";
+  }
+  return "unknown";
+}
+
+#if defined(GPTUNE_RTCHECK)
+
+namespace {
+
+using hooks::WaitToken;
+using hooks::WaitTokenPtr;
+
+/// Rank lifecycle; "unknown" ranks (e.g. the driver thread behind
+/// World::self) are conservatively assumed able to make progress.
+enum class RankState { kUnknown, kRunning, kExited };
+
+struct GroupInfo {
+  std::size_t id = 0;
+  std::size_t size = 0;
+  std::vector<RankState> rank_state;
+  // Collective sequence checking: the signature log indexed by epoch, and
+  // each rank's own epoch counter.
+  std::vector<std::string> op_kind;
+  std::vector<std::size_t> op_root;
+  std::vector<long> op_payload;
+  std::vector<std::size_t> rank_epoch;
+};
+
+struct ChannelInfo {
+  std::size_t id = 0;
+  const detail::GroupState* child_group = nullptr;
+  std::size_t child_n = 0;
+  bool joined = false;
+};
+
+/// What one registered mailbox is: an intra-group inbox, a parent-side
+/// inter-communicator inbox (fed by the children), or a child-side inbox
+/// (fed by the parent).
+struct EndpointInfo {
+  enum Kind { kIntra, kParentInbox, kChildInbox } kind = kIntra;
+  const void* owner = nullptr;  ///< GroupState* or InterChannel*
+  std::size_t index = 0;        ///< rank within the group / channel side
+};
+
+/// An actor is one logical participant of the wait-for graph: a group rank
+/// (rank >= 0) or a channel's parent endpoint (rank == -1).
+struct ActorKey {
+  const void* owner = nullptr;
+  long rank = -1;
+  bool operator<(const ActorKey& o) const {
+    return owner != o.owner ? owner < o.owner : rank < o.rank;
+  }
+  bool operator==(const ActorKey& o) const {
+    return owner == o.owner && rank == o.rank;
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<const void*, GroupInfo> groups;
+  std::map<const void*, ChannelInfo> channels;
+  std::map<const void*, EndpointInfo> endpoints;  // Mailbox* -> role
+  std::map<const void*, std::size_t> pools;       // ThreadPool* -> threads
+  std::vector<WaitTokenPtr> waits;
+  std::vector<Finding> findings;
+  std::size_t next_group_id = 0;
+  std::size_t next_channel_id = 0;
+  std::size_t next_pool_id = 0;
+  std::map<const void*, std::size_t> pool_ids;
+};
+
+Registry& reg() {
+  static Registry r;
+  return r;
+}
+
+// --- naming (registry mutex held) ---
+
+std::string group_name(Registry& r, const void* group) {
+  auto it = r.groups.find(group);
+  if (it == r.groups.end()) return "group#?";
+  return "group#" + std::to_string(it->second.id);
+}
+
+std::string channel_name(Registry& r, const void* channel) {
+  auto it = r.channels.find(channel);
+  if (it == r.channels.end()) return "spawn#?";
+  return "spawn#" + std::to_string(it->second.id);
+}
+
+std::string actor_name(Registry& r, const ActorKey& a) {
+  if (a.rank < 0) return channel_name(r, a.owner) + " parent";
+  if (r.groups.count(a.owner)) {
+    return group_name(r, a.owner) + " rank " + std::to_string(a.rank);
+  }
+  return channel_name(r, a.owner) + " rank " + std::to_string(a.rank);
+}
+
+std::string tag_name(int tag) {
+  if (tag == kAnyTag) return "ANY";
+  return std::to_string(tag);
+}
+
+std::string source_name(int source) {
+  if (source == kAnySource) return "ANY";
+  return std::to_string(source);
+}
+
+/// The actor a wait token belongs to (who is blocked).
+ActorKey token_actor(Registry& r, const WaitToken& t) {
+  if (t.kind == 1) {  // barrier: waitable is the GroupState
+    return ActorKey{t.waitable, t.source};
+  }
+  auto it = r.endpoints.find(t.waitable);
+  if (it == r.endpoints.end()) return ActorKey{t.waitable, -2};
+  const EndpointInfo& ep = it->second;
+  switch (ep.kind) {
+    case EndpointInfo::kIntra:
+      return ActorKey{ep.owner, static_cast<long>(ep.index)};
+    case EndpointInfo::kParentInbox:
+      return ActorKey{ep.owner, -1};
+    case EndpointInfo::kChildInbox: {
+      auto ch = r.channels.find(ep.owner);
+      const void* g = ch == r.channels.end() ? nullptr
+                                             : ch->second.child_group;
+      return ActorKey{g, static_cast<long>(ep.index)};
+    }
+  }
+  return ActorKey{};
+}
+
+std::string describe_wait(Registry& r, const WaitToken& t) {
+  std::ostringstream os;
+  if (t.kind == 2) {
+    os << "thread-pool wait (" << (t.tag == 0 ? "run_batch" : "wait_idle")
+       << " on pool#" << t.source << ")";
+    return os.str();
+  }
+  os << actor_name(r, token_actor(r, t));
+  if (t.kind == 1) {
+    os << ": blocked in barrier";
+  } else {
+    os << ": blocked in recv(source=" << source_name(t.source)
+       << ", tag=" << tag_name(t.tag) << ")";
+  }
+  return os.str();
+}
+
+void record_finding(Registry& r, FindingKind kind, std::string message) {
+  common::log_warn("rtcheck [", kind_name(kind), "] ", message);
+  r.findings.push_back(Finding{kind, std::move(message)});
+}
+
+/// Marks a waiter as doomed and wakes it; it unwinds with RtCheckError.
+void poison(const WaitTokenPtr& t, const std::string& why) {
+  {
+    std::lock_guard<std::mutex> lock(*t->wait_mutex);
+    if (t->poisoned) return;
+    t->poisoned = true;
+    t->reason = why;
+  }
+  t->wait_cv->notify_all();
+}
+
+/// True when the waiter is provably not stuck *right now*: it is unwinding
+/// (poisoned), already satisfied (done), or — for barriers — its generation
+/// has been released and the thread simply has not been scheduled yet.
+/// All fields are read under the waiter's own wait mutex.
+bool waiter_satisfied(const WaitTokenPtr& t) {
+  std::lock_guard<std::mutex> lock(*t->wait_mutex);
+  if (t->poisoned || t->done) return true;
+  if (t->kind == 1) {
+    const auto* g = static_cast<const detail::GroupState*>(t->waitable);
+    if (g->barrier_generation != t->generation) return true;
+  }
+  return false;
+}
+
+/// One node of the liveness analysis: a blocked actor and the actors that
+/// could unblock it (any-of for receives, all-of for barriers).
+struct Blocked {
+  WaitTokenPtr token;
+  ActorKey actor;
+  std::vector<ActorKey> deps;
+  bool all_of = false;  ///< barrier: every dep must arrive
+  bool live = false;
+  std::string dep_text;
+};
+
+/// Liveness fixpoint over the wait-for graph (DESIGN.md §3.6): an actor is
+/// *live* if it can still make progress. Non-blocked, non-exited actors are
+/// live by assumption; a blocked receive is live if a matching message is
+/// already queued or any potential sender is live; a blocked barrier is live
+/// only if every absent group member is live. Whatever is not live at the
+/// fixpoint can provably never be woken.
+///
+/// `subject`, when given, is the waiter whose deadline just expired: its
+/// done/satisfied flags are ignored so the analysis judges the wait it was
+/// actually stuck in.
+std::vector<Blocked> compute_dead(Registry& r,
+                                  const WaitToken* subject = nullptr) {
+  std::vector<Blocked> nodes;
+  std::map<ActorKey, std::size_t> blocked_index;
+
+  // Ranks currently inside a barrier (they count as "arrived").
+  std::map<const void*, std::vector<long>> in_barrier;
+  for (const auto& t : r.waits) {
+    if (t->kind == 1) in_barrier[t->waitable].push_back(t->source);
+  }
+
+  for (const auto& t : r.waits) {
+    if (t->kind == 2) continue;  // pool waits are outside the message graph
+    const bool is_subject = subject != nullptr && t.get() == subject;
+    if (!is_subject && waiter_satisfied(t)) continue;  // waking or unwinding
+    Blocked b;
+    b.token = t;
+    b.actor = token_actor(r, *t);
+    if (t->kind == 1) {
+      b.all_of = true;
+      auto git = r.groups.find(t->waitable);
+      if (git == r.groups.end()) continue;
+      const auto& arrived = in_barrier[t->waitable];
+      std::ostringstream os;
+      for (std::size_t rank = 0; rank < git->second.size; ++rank) {
+        const long lr = static_cast<long>(rank);
+        if (lr == t->source) continue;
+        if (std::find(arrived.begin(), arrived.end(), lr) != arrived.end()) {
+          continue;
+        }
+        b.deps.push_back(ActorKey{t->waitable, lr});
+        os << (b.deps.size() > 1 ? "," : "") << rank;
+      }
+      b.dep_text = "waits on rank(s) {" + os.str() + "} to reach the barrier";
+      if (b.deps.empty()) b.live = true;  // barrier is about to release
+    } else {
+      // A matching message already queued means the waiter is not stuck —
+      // it is between its registration and its queue scan.
+      const auto* box = static_cast<const detail::Mailbox*>(t->waitable);
+      if (box->has_matching(t->source, t->tag)) {
+        b.live = true;
+      }
+      auto eit = r.endpoints.find(t->waitable);
+      if (eit == r.endpoints.end()) {
+        b.live = true;  // unregistered mailbox: assume progress
+      } else {
+        const EndpointInfo& ep = eit->second;
+        std::ostringstream os;
+        if (ep.kind == EndpointInfo::kIntra) {
+          auto git = r.groups.find(ep.owner);
+          const std::size_t n = git == r.groups.end() ? 0 : git->second.size;
+          for (std::size_t s = 0; s < n; ++s) {
+            if (s == ep.index) continue;
+            if (t->source != kAnySource &&
+                t->source != static_cast<int>(s)) {
+              continue;
+            }
+            b.deps.push_back(ActorKey{ep.owner, static_cast<long>(s)});
+          }
+          os << "waits on "
+             << (t->source == kAnySource ? "any group rank"
+                                         : "rank " + source_name(t->source));
+        } else if (ep.kind == EndpointInfo::kParentInbox) {
+          auto cit = r.channels.find(ep.owner);
+          if (cit != r.channels.end()) {
+            const ChannelInfo& ch = cit->second;
+            for (std::size_t s = 0; s < ch.child_n; ++s) {
+              if (t->source != kAnySource &&
+                  t->source != static_cast<int>(s)) {
+                continue;
+              }
+              b.deps.push_back(
+                  ActorKey{ch.child_group, static_cast<long>(s)});
+            }
+          }
+          os << "waits on "
+             << (t->source == kAnySource
+                     ? "any spawned worker"
+                     : "worker rank " + source_name(t->source));
+        } else {
+          b.deps.push_back(ActorKey{ep.owner, -1});
+          os << "waits on the parent endpoint";
+        }
+        b.dep_text = os.str();
+      }
+    }
+    blocked_index[b.actor] = nodes.size();
+    nodes.push_back(std::move(b));
+  }
+
+  // Base liveness of a dependency that is not itself blocked.
+  auto base_live = [&](const ActorKey& a) {
+    if (a.rank < 0) {
+      auto cit = r.channels.find(a.owner);
+      // A joined channel's parent endpoint will never send again.
+      return cit == r.channels.end() || !cit->second.joined;
+    }
+    auto git = r.groups.find(a.owner);
+    if (git == r.groups.end()) return true;
+    if (a.rank >= static_cast<long>(git->second.rank_state.size())) {
+      return true;
+    }
+    return git->second.rank_state[static_cast<std::size_t>(a.rank)] !=
+           RankState::kExited;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& b : nodes) {
+      if (b.live) continue;
+      auto dep_live = [&](const ActorKey& d) {
+        auto it = blocked_index.find(d);
+        if (it != blocked_index.end()) return nodes[it->second].live;
+        return base_live(d);
+      };
+      bool live;
+      if (b.all_of) {
+        live = std::all_of(b.deps.begin(), b.deps.end(), dep_live);
+      } else {
+        live = std::any_of(b.deps.begin(), b.deps.end(), dep_live);
+      }
+      if (live) {
+        b.live = true;
+        changed = true;
+      }
+    }
+  }
+
+  std::vector<Blocked> dead;
+  for (auto& b : nodes) {
+    if (!b.live) dead.push_back(std::move(b));
+  }
+  return dead;
+}
+
+/// Renders the per-rank "who waits on whom, which tag" report and poisons
+/// every provably-stuck waiter. Returns true if anything was reported.
+bool report_and_poison_dead(Registry& r, const std::string& headline) {
+  std::vector<Blocked> dead = compute_dead(r);
+  if (dead.empty()) return false;
+  std::ostringstream os;
+  os << headline << " — " << dead.size()
+     << " blocked operation(s) can never complete:";
+  for (const auto& b : dead) {
+    os << "\n  " << describe_wait(r, *b.token) << " — " << b.dep_text;
+  }
+  const std::string msg = os.str();
+  record_finding(r, FindingKind::kDeadlock, msg);
+  for (const auto& b : dead) poison(b.token, msg);
+  return true;
+}
+
+std::string snapshot_waits(Registry& r) {
+  std::ostringstream os;
+  if (r.waits.empty()) {
+    os << "\n  (no other operation is blocked)";
+    return os.str();
+  }
+  for (const auto& t : r.waits) {
+    os << "\n  " << describe_wait(r, *t);
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<Finding> findings() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.findings;
+}
+
+std::size_t count(FindingKind kind) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::size_t n = 0;
+  for (const auto& f : r.findings) {
+    if (f.kind == kind) ++n;
+  }
+  return n;
+}
+
+void reset() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.groups.clear();
+  r.channels.clear();
+  r.endpoints.clear();
+  r.pools.clear();
+  r.pool_ids.clear();
+  r.waits.clear();
+  r.findings.clear();
+}
+
+std::size_t audit_unjoined() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::size_t found = 0;
+  for (const auto& [channel, info] : r.channels) {
+    if (info.joined) continue;
+    ++found;
+    record_finding(r, FindingKind::kUnjoinedSpawn,
+                   channel_name(r, channel) + " (" +
+                       std::to_string(info.child_n) +
+                       " worker rank(s)) has not been joined");
+  }
+  return found;
+}
+
+namespace hooks {
+
+void on_group_created(const detail::GroupState* group) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  GroupInfo info;
+  info.id = r.next_group_id++;
+  info.size = group->size;
+  info.rank_state.assign(group->size, RankState::kUnknown);
+  info.rank_epoch.assign(group->size, 0);
+  r.groups.emplace(group, std::move(info));
+  for (std::size_t i = 0; i < group->size; ++i) {
+    r.endpoints[&group->mailboxes[i]] =
+        EndpointInfo{EndpointInfo::kIntra, group, i};
+  }
+}
+
+void on_group_teardown(const detail::GroupState* group,
+                       const std::vector<std::vector<MessageStub>>& leftover) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (std::size_t rank = 0; rank < leftover.size(); ++rank) {
+    for (const auto& m : leftover[rank]) {
+      record_finding(
+          r, FindingKind::kMessageLeak,
+          group_name(r, group) + " rank " + std::to_string(rank) +
+              ": message still queued at group teardown (source=" +
+              std::to_string(m.source) + ", tag=" + std::to_string(m.tag) +
+              ", " + std::to_string(m.size) + " double(s))");
+    }
+  }
+  auto git = r.groups.find(group);
+  if (git != r.groups.end()) {
+    for (std::size_t i = 0; i < git->second.size; ++i) {
+      r.endpoints.erase(&group->mailboxes[i]);
+    }
+    r.groups.erase(git);
+  }
+}
+
+void on_rank_started(const detail::GroupState* group, std::size_t rank) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto git = r.groups.find(group);
+  if (git == r.groups.end() || rank >= git->second.rank_state.size()) return;
+  git->second.rank_state[rank] = RankState::kRunning;
+}
+
+void on_rank_exited(const detail::GroupState* group, std::size_t rank) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto git = r.groups.find(group);
+  if (git == r.groups.end() || rank >= git->second.rank_state.size()) return;
+  git->second.rank_state[rank] = RankState::kExited;
+  // A waiter blocked on this rank can now be provably stuck.
+  report_and_poison_dead(r, "deadlock (peer " + group_name(r, group) +
+                                " rank " + std::to_string(rank) +
+                                " exited)");
+}
+
+void on_spawn_created(const detail::InterChannel* channel,
+                      const detail::GroupState* parent_group,
+                      std::size_t parent_rank,
+                      const detail::GroupState* child_group) {
+  (void)parent_group;
+  (void)parent_rank;
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ChannelInfo info;
+  info.id = r.next_channel_id++;
+  info.child_group = child_group;
+  info.child_n = channel->to_remote.size();
+  r.channels.emplace(channel, std::move(info));
+  for (std::size_t i = 0; i < channel->to_local.size(); ++i) {
+    r.endpoints[&channel->to_local[i]] =
+        EndpointInfo{EndpointInfo::kParentInbox, channel, i};
+  }
+  for (std::size_t i = 0; i < channel->to_remote.size(); ++i) {
+    r.endpoints[&channel->to_remote[i]] =
+        EndpointInfo{EndpointInfo::kChildInbox, channel, i};
+  }
+}
+
+void on_spawn_joined(const detail::InterChannel* channel) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto cit = r.channels.find(channel);
+  if (cit == r.channels.end() || cit->second.joined) return;
+  cit->second.joined = true;
+  // The parent endpoint will never send again; children are gone too.
+  report_and_poison_dead(
+      r, "deadlock (" + channel_name(r, channel) + " was joined)");
+}
+
+void on_channel_teardown(const detail::InterChannel* channel,
+                         const std::vector<std::vector<MessageStub>>& to_local,
+                         const std::vector<std::vector<MessageStub>>&
+                             to_remote) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto leak = [&](const char* where, std::size_t index, const MessageStub& m) {
+    record_finding(
+        r, FindingKind::kMessageLeak,
+        channel_name(r, channel) + " " + where + " " + std::to_string(index) +
+            ": message still queued at channel teardown (source=" +
+            std::to_string(m.source) + ", tag=" + std::to_string(m.tag) +
+            ", " + std::to_string(m.size) + " double(s))");
+  };
+  for (std::size_t i = 0; i < to_local.size(); ++i) {
+    for (const auto& m : to_local[i]) leak("parent inbox", i, m);
+  }
+  for (std::size_t i = 0; i < to_remote.size(); ++i) {
+    for (const auto& m : to_remote[i]) leak("worker inbox", i, m);
+  }
+  auto cit = r.channels.find(channel);
+  if (cit != r.channels.end()) {
+    for (std::size_t i = 0; i < channel->to_local.size(); ++i) {
+      r.endpoints.erase(&channel->to_local[i]);
+    }
+    for (std::size_t i = 0; i < channel->to_remote.size(); ++i) {
+      r.endpoints.erase(&channel->to_remote[i]);
+    }
+    r.channels.erase(cit);
+  }
+}
+
+WaitTokenPtr begin_recv(const detail::Mailbox* box, std::mutex* wait_mutex,
+                        std::condition_variable* wait_cv, int source,
+                        int tag) {
+  auto token = std::make_shared<WaitToken>();
+  token->wait_mutex = wait_mutex;
+  token->wait_cv = wait_cv;
+  token->kind = 0;
+  token->waitable = box;
+  token->source = source;
+  token->tag = tag;
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.waits.push_back(token);
+  return token;
+}
+
+WaitTokenPtr begin_barrier(const detail::GroupState* group, std::size_t rank,
+                           std::mutex* wait_mutex,
+                           std::condition_variable* wait_cv) {
+  auto token = std::make_shared<WaitToken>();
+  token->wait_mutex = wait_mutex;
+  token->wait_cv = wait_cv;
+  token->kind = 1;
+  token->waitable = group;
+  token->source = static_cast<int>(rank);
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.waits.push_back(token);
+  return token;
+}
+
+void analyze_blocked(const WaitTokenPtr& token) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (token->analyzed) return;
+  token->analyzed = true;
+  report_and_poison_dead(r, "deadlock detected");
+}
+
+void on_deadline_expired(const WaitTokenPtr& token) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  // The deadline proves nothing by itself; re-run the analysis — if the
+  // waiter is provably stuck this is a deadlock, otherwise report the
+  // timeout with a wait-for snapshot so a slow peer is visible.
+  std::vector<Blocked> dead = compute_dead(r, token.get());
+  for (const auto& b : dead) {
+    if (b.token == token) {
+      std::ostringstream os;
+      os << "deadline expired on a provably stuck receive:";
+      for (const auto& d : dead) {
+        os << "\n  " << describe_wait(r, *d.token) << " — " << d.dep_text;
+      }
+      const std::string msg = os.str();
+      record_finding(r, FindingKind::kDeadlock, msg);
+      for (const auto& d : dead) {
+        if (d.token != token) poison(d.token, msg);
+      }
+      return;
+    }
+  }
+  record_finding(r, FindingKind::kTimeout,
+                 "deadline expired in " + describe_wait(r, *token) +
+                     "; blocked operations at expiry:" + snapshot_waits(r));
+}
+
+void end_wait(const WaitTokenPtr& token) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = std::find(r.waits.begin(), r.waits.end(), token);
+  if (it != r.waits.end()) r.waits.erase(it);
+}
+
+void check_send_intra(const detail::GroupState* group, std::size_t source,
+                      std::size_t dest, int tag) {
+  if (dest < group->size) return;  // fast path: no registry lock
+  Registry& r = reg();
+  std::unique_lock<std::mutex> lock(r.mu);
+  const std::string msg =
+      group_name(r, group) + " rank " + std::to_string(source) +
+      ": send(tag=" + std::to_string(tag) + ") to invalid rank " +
+      std::to_string(dest) + " (group size " + std::to_string(group->size) +
+      ")";
+  record_finding(r, FindingKind::kInvalidSend, msg);
+  lock.unlock();
+  throw RtCheckError(msg);
+}
+
+void check_send_inter(const detail::InterChannel* channel, bool parent_side,
+                      std::size_t remote_rank, std::size_t remote_size,
+                      int tag) {
+  Registry& r = reg();
+  std::unique_lock<std::mutex> lock(r.mu);
+  auto cit = r.channels.find(channel);
+  std::string msg;
+  if (remote_rank >= remote_size) {
+    msg = channel_name(r, channel) + " " +
+          (parent_side ? "parent" : "worker") + ": send(tag=" +
+          std::to_string(tag) + ") to invalid remote rank " +
+          std::to_string(remote_rank) + " (remote size " +
+          std::to_string(remote_size) + ")";
+  } else if (cit != r.channels.end() && cit->second.joined) {
+    msg = channel_name(r, channel) + " " +
+          (parent_side ? "parent" : "worker") + ": send(tag=" +
+          std::to_string(tag) + ", to remote rank " +
+          std::to_string(remote_rank) +
+          ") after the spawned group was joined (teardown)";
+  } else {
+    return;
+  }
+  record_finding(r, FindingKind::kInvalidSend, msg);
+  lock.unlock();
+  throw RtCheckError(msg);
+}
+
+void enter_collective(const detail::GroupState* group, std::size_t rank,
+                      const char* kind, std::size_t root, long payload) {
+  Registry& r = reg();
+  std::unique_lock<std::mutex> lock(r.mu);
+  auto git = r.groups.find(group);
+  if (git == r.groups.end()) return;
+  GroupInfo& g = git->second;
+  if (rank >= g.rank_epoch.size()) return;
+  const std::size_t epoch = g.rank_epoch[rank]++;
+  if (epoch >= g.op_kind.size()) {
+    g.op_kind.push_back(kind);
+    g.op_root.push_back(root);
+    g.op_payload.push_back(payload);
+    return;
+  }
+  const bool kind_ok = g.op_kind[epoch] == kind;
+  const bool root_ok = g.op_root[epoch] == root;
+  const bool payload_ok = payload < 0 || g.op_payload[epoch] < 0 ||
+                          g.op_payload[epoch] == payload;
+  if (payload >= 0 && g.op_payload[epoch] < 0) g.op_payload[epoch] = payload;
+  if (kind_ok && root_ok && payload_ok) return;
+
+  std::ostringstream os;
+  os << "collective mismatch in " << group_name(r, group) << " at epoch "
+     << epoch << ": rank " << rank << " entered " << kind << "(root=" << root;
+  if (payload >= 0) os << ", payload=" << payload;
+  os << ") but the group's collective #" << epoch << " is "
+     << g.op_kind[epoch] << "(root=" << g.op_root[epoch];
+  if (g.op_payload[epoch] >= 0) os << ", payload=" << g.op_payload[epoch];
+  os << ")";
+  const std::string msg = os.str();
+  record_finding(r, FindingKind::kCollectiveMismatch, msg);
+  // The group's protocol is broken; unwind everything blocked in it.
+  for (const auto& t : r.waits) {
+    if (t->kind == 2) continue;
+    const ActorKey a = token_actor(r, *t);
+    if (a.owner == static_cast<const void*>(group)) poison(t, msg);
+  }
+  lock.unlock();
+  throw RtCheckError(msg);
+}
+
+void on_pool_created(const void* pool, std::size_t threads) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.pools[pool] = threads;
+  r.pool_ids.emplace(pool, r.next_pool_id++);
+}
+
+void on_pool_destroyed(const void* pool) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& t : r.waits) {
+    if (t->kind == 2 && t->waitable == pool) {
+      record_finding(r, FindingKind::kPoolMisuse,
+                     "ThreadPool#" + std::to_string(r.pool_ids[pool]) +
+                         " destroyed while a " +
+                         (t->tag == 0 ? std::string("run_batch")
+                                      : std::string("wait_idle")) +
+                         " is still waiting on it");
+    }
+  }
+  r.pools.erase(pool);
+}
+
+WaitTokenPtr begin_pool_wait(const void* pool, std::mutex* wait_mutex,
+                             std::condition_variable* wait_cv,
+                             const char* what) {
+  auto token = std::make_shared<WaitToken>();
+  token->wait_mutex = wait_mutex;
+  token->wait_cv = wait_cv;
+  token->kind = 2;
+  token->waitable = pool;
+  token->tag = std::string(what) == "run_batch" ? 0 : 1;
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.pool_ids.find(pool);
+  token->source = it == r.pool_ids.end() ? -1
+                                         : static_cast<int>(it->second);
+  r.waits.push_back(token);
+  return token;
+}
+
+}  // namespace hooks
+
+#else  // !GPTUNE_RTCHECK — finding store stubs for unchecked builds.
+
+std::vector<Finding> findings() { return {}; }
+std::size_t count(FindingKind) { return 0; }
+void reset() {}
+std::size_t audit_unjoined() { return 0; }
+
+#endif  // GPTUNE_RTCHECK
+
+}  // namespace gptune::rt::rtcheck

@@ -1,0 +1,199 @@
+// rtcheck — runtime verification for the message-passing substrate.
+//
+// Real MPI codes lean on correctness tools (MUST, Marmot) to catch *protocol*
+// bugs that sanitizers cannot see: deadlocked receives, mismatched
+// collectives, messages still queued at teardown, sends to ranks that have
+// already exited. This module is that tool for `src/runtime/`.
+//
+// The checker is compile-time gated on GPTUNE_RTCHECK (a CMake option). When
+// the macro is off, every hook in comm.cpp / thread_pool.cpp is preprocessed
+// away and this header only contributes the (trivially cheap) finding types —
+// an unchecked build pays zero overhead, verified by bench_trainer_scaling.
+//
+// When enabled, the instrumented runtime maintains a global registry of
+// blocked operations (a wait-for graph over "actors": intra-communicator
+// ranks and inter-communicator endpoints). Detection is *event driven* — it
+// runs when an operation blocks, when a rank exits, when a deadline expires,
+// and when a group or channel is torn down — so a true deadlock is reported
+// (and the deadlocked waiters unwound with RtCheckError) instead of hanging,
+// deterministically and without timers. See DESIGN.md §3.6 for the liveness
+// fixpoint algorithm and its soundness argument.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gptune::rt::rtcheck {
+
+/// Compile-time switch; mirrors the GPTUNE_RTCHECK macro.
+#if defined(GPTUNE_RTCHECK)
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// True when the runtime was built with -DGPTUNE_RTCHECK=ON.
+inline bool enabled() { return kEnabled; }
+
+/// One class of protocol misuse the checker reports.
+enum class FindingKind {
+  kDeadlock,            ///< cycle of blocked ranks; every waiter unwound
+  kTimeout,             ///< a deadline expired; message holds a wait snapshot
+  kCollectiveMismatch,  ///< ranks of one group in different collectives
+  kMessageLeak,         ///< messages still queued at group/channel teardown
+  kInvalidSend,         ///< send to an out-of-range or finalized rank
+  kUnjoinedSpawn,       ///< spawned group never joined (reported by audit())
+  kPoolMisuse,          ///< ThreadPool destroyed with a batch still waiting
+};
+
+/// Human-readable rule name ("deadlock", "message-leak", ...).
+const char* kind_name(FindingKind kind);
+
+/// One recorded diagnostic. `message` carries the per-rank
+/// "who waits on whom, which tag" detail for deadlocks/timeouts.
+struct Finding {
+  FindingKind kind = FindingKind::kDeadlock;
+  std::string message;
+};
+
+/// Thrown out of a blocked runtime call when the checker has proven the wait
+/// can never be satisfied. World::run / Comm::spawn catch it at the thread
+/// boundary so the whole group unwinds and reports instead of hanging.
+class RtCheckError : public std::runtime_error {
+ public:
+  explicit RtCheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Copy of every finding recorded since the last reset(). Thread-safe.
+/// Always available; empty in an unchecked build.
+std::vector<Finding> findings();
+
+/// Number of recorded findings of one kind. Thread-safe.
+std::size_t count(FindingKind kind);
+
+/// Clears findings and all checker bookkeeping (test isolation). Must not be
+/// called while instrumented groups are live.
+void reset();
+
+/// Scans for spawned groups whose handle was never joined; records one
+/// kUnjoinedSpawn finding per offender and returns how many were found.
+std::size_t audit_unjoined();
+
+}  // namespace gptune::rt::rtcheck
+
+// ---------------------------------------------------------------------------
+// Internal instrumentation hooks. Only comm.cpp / thread_pool.cpp call these,
+// and only under `#if defined(GPTUNE_RTCHECK)`; they are defined (in
+// rtcheck.cpp) only for checked builds.
+#if defined(GPTUNE_RTCHECK)
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace gptune::rt {
+
+struct Message;
+
+namespace detail {
+class Mailbox;
+struct GroupState;
+struct InterChannel;
+}  // namespace detail
+
+namespace rtcheck::hooks {
+
+/// The registry's record of one blocked operation. The waiting thread owns a
+/// shared_ptr; the analyzer pokes `poisoned`/`reason` under the wait mutex
+/// and notifies the wait cv, so the waiter observes both under its own lock.
+struct WaitToken {
+  std::mutex* wait_mutex = nullptr;
+  std::condition_variable* wait_cv = nullptr;
+  bool poisoned = false;   ///< guarded by *wait_mutex
+  /// Set by the waiter (under *wait_mutex) the moment its wait is satisfied,
+  /// before it deregisters — so the analyzer never mistakes a waking thread
+  /// for a stuck one.
+  bool done = false;
+  std::string reason;      ///< guarded by *wait_mutex
+  // Registry-internal fields (guarded by the registry mutex).
+  int kind = 0;            ///< 0 = recv, 1 = barrier, 2 = pool wait
+  const void* waitable = nullptr;  ///< Mailbox* / GroupState* / pool id
+  int source = 0;
+  int tag = 0;
+  std::size_t generation = 0;  ///< barrier: the generation being waited out
+  bool analyzed = false;   ///< block-time analysis already ran once
+};
+
+using WaitTokenPtr = std::shared_ptr<WaitToken>;
+
+/// Envelope summary of a queued-but-never-received message (leak reports).
+struct MessageStub {
+  int source = 0;
+  int tag = 0;
+  std::size_t size = 0;
+};
+
+// --- lifecycle registration ---
+void on_group_created(const detail::GroupState* group);
+/// Leak check + deregistration; `leftover` is indexed by rank.
+void on_group_teardown(const detail::GroupState* group,
+                       const std::vector<std::vector<MessageStub>>& leftover);
+void on_rank_started(const detail::GroupState* group, std::size_t rank);
+void on_rank_exited(const detail::GroupState* group, std::size_t rank);
+void on_spawn_created(const detail::InterChannel* channel,
+                      const detail::GroupState* parent_group,
+                      std::size_t parent_rank,
+                      const detail::GroupState* child_group);
+void on_spawn_joined(const detail::InterChannel* channel);
+/// Leak check (both directions) + deregistration at channel destruction.
+void on_channel_teardown(
+    const detail::InterChannel* channel,
+    const std::vector<std::vector<MessageStub>>& to_local,
+    const std::vector<std::vector<MessageStub>>& to_remote);
+
+// --- point to point ---
+/// Registers intent to block in Mailbox::take. Call *before* taking the
+/// mailbox lock; never call registry functions while holding it.
+WaitTokenPtr begin_recv(const detail::Mailbox* box, std::mutex* wait_mutex,
+                        std::condition_variable* wait_cv, int source, int tag);
+/// Runs the deadlock analysis for a waiter that found its queue empty.
+/// Call without holding the mailbox lock; re-check token->poisoned after.
+void analyze_blocked(const WaitTokenPtr& token);
+/// Deadline expired: records a kDeadlock (if proven) or kTimeout finding
+/// with a full snapshot of the wait-for graph.
+void on_deadline_expired(const WaitTokenPtr& token);
+/// Removes the record. Call without holding the wait mutex.
+void end_wait(const WaitTokenPtr& token);
+
+/// Send-target validation; records kInvalidSend and throws RtCheckError on
+/// out-of-range destinations or finalized channels.
+void check_send_intra(const detail::GroupState* group, std::size_t source,
+                      std::size_t dest, int tag);
+void check_send_inter(const detail::InterChannel* channel, bool parent_side,
+                      std::size_t remote_rank, std::size_t remote_size,
+                      int tag);
+
+// --- collectives ---
+/// Epoch-sequenced collective signature check; records kCollectiveMismatch,
+/// poisons the group's blocked waiters, and throws on divergence.
+/// `payload` < 0 means "size not semantically constrained" (barrier, gather).
+void enter_collective(const detail::GroupState* group, std::size_t rank,
+                      const char* kind, std::size_t root, long payload);
+/// Registers a blocked barrier waiter (same contract as begin_recv).
+WaitTokenPtr begin_barrier(const detail::GroupState* group, std::size_t rank,
+                           std::mutex* wait_mutex,
+                           std::condition_variable* wait_cv);
+
+// --- thread pool ---
+void on_pool_created(const void* pool, std::size_t threads);
+void on_pool_destroyed(const void* pool);
+WaitTokenPtr begin_pool_wait(const void* pool, std::mutex* wait_mutex,
+                             std::condition_variable* wait_cv,
+                             const char* what);
+
+}  // namespace rtcheck::hooks
+}  // namespace gptune::rt
+
+#endif  // GPTUNE_RTCHECK

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "runtime/rtcheck.hpp"
+
 namespace gptune::rt {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -10,9 +12,16 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   for (std::size_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
   }
+#if defined(GPTUNE_RTCHECK)
+  rtcheck::hooks::on_pool_created(this, num_threads);
+#endif
 }
 
 ThreadPool::~ThreadPool() {
+#if defined(GPTUNE_RTCHECK)
+  // Flags a destructor racing an in-flight run_batch/wait_idle (kPoolMisuse).
+  rtcheck::hooks::on_pool_destroyed(this);
+#endif
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
@@ -31,8 +40,18 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+#if defined(GPTUNE_RTCHECK)
+  // Registered so a deadlock/timeout snapshot shows threads parked here.
+  rtcheck::hooks::WaitTokenPtr token =
+      rtcheck::hooks::begin_pool_wait(this, &mutex_, &cv_idle_, "wait_idle");
+#endif
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  }
+#if defined(GPTUNE_RTCHECK)
+  rtcheck::hooks::end_wait(token);
+#endif
 }
 
 namespace {
@@ -66,8 +85,18 @@ void ThreadPool::run_batch(std::vector<std::function<void()>>&& tasks) {
       if (state->remaining == 0) return;
     }
     if (!try_run_one()) {
-      std::unique_lock<std::mutex> lock(state->mutex);
-      state->cv.wait(lock, [&] { return state->remaining == 0; });
+#if defined(GPTUNE_RTCHECK)
+      // Registered so a deadlock/timeout snapshot shows the parked batch.
+      rtcheck::hooks::WaitTokenPtr token = rtcheck::hooks::begin_pool_wait(
+          this, &state->mutex, &state->cv, "run_batch");
+#endif
+      {
+        std::unique_lock<std::mutex> lock(state->mutex);
+        state->cv.wait(lock, [&] { return state->remaining == 0; });
+      }
+#if defined(GPTUNE_RTCHECK)
+      rtcheck::hooks::end_wait(token);
+#endif
       return;
     }
   }

@@ -103,8 +103,8 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_shared<HpBandSterLite>(),
                       std::make_shared<YtoptLite>(),
                       std::make_shared<SingleTaskGpTune>()),
-    [](const auto& info) {
-      std::string n = info.param->name();
+    [](const auto& suite_info) {
+      std::string n = suite_info.param->name();
       for (char& c : n) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

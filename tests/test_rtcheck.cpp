@@ -1,0 +1,324 @@
+// Tests for the rtcheck protocol checker (src/runtime/rtcheck.hpp) and the
+// gptune_lint rule engine (tools/gptune_lint/linter.hpp).
+//
+// Each checker test seeds one misuse class — deadlock cycle, collective
+// mismatch, message leak, invalid send, unjoined spawn — and asserts the
+// checker *reports* it (and unwinds the group) instead of hanging. The
+// checker tests skip in a plain build; the lint tests always run. Built in
+// every configuration so the plain build also compiles the API surface.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "linter.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/rtcheck.hpp"
+
+namespace rt = gptune::rt;
+namespace rtcheck = gptune::rt::rtcheck;
+namespace lint = gptune::lint;
+
+using std::chrono::milliseconds;
+
+namespace {
+
+/// Concatenated finding messages of one kind, for substring asserts.
+std::string messages_of(rtcheck::FindingKind kind) {
+  std::string all;
+  for (const auto& f : rtcheck::findings()) {
+    if (f.kind == kind) all += f.message + "\n";
+  }
+  return all;
+}
+
+class RtCheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!rtcheck::enabled()) {
+      GTEST_SKIP() << "built without GPTUNE_RTCHECK";
+    }
+    rtcheck::reset();
+  }
+  void TearDown() override {
+    if (rtcheck::enabled()) rtcheck::reset();
+  }
+};
+
+}  // namespace
+
+// --- deadlock detection -----------------------------------------------------
+
+TEST_F(RtCheckTest, MutualRecvCycleIsReportedAndUnwound) {
+  // Classic two-rank cycle: each waits for a message the other never sends.
+  // Without the checker this hangs forever; with it, World::run returns.
+  rt::World::run(2, [](rt::Comm& comm) {
+    const int peer = comm.rank() == 0 ? 1 : 0;
+    rt::Message m = comm.recv(peer, /*tag=*/7);
+    (void)m;
+    ADD_FAILURE() << "recv completed; expected RtCheckError unwind";
+  });
+  EXPECT_GE(rtcheck::count(rtcheck::FindingKind::kDeadlock), 1u);
+  const std::string report = messages_of(rtcheck::FindingKind::kDeadlock);
+  // The report names both waiters and the tag each is stuck on.
+  EXPECT_NE(report.find("rank 0"), std::string::npos) << report;
+  EXPECT_NE(report.find("rank 1"), std::string::npos) << report;
+  EXPECT_NE(report.find("tag=7"), std::string::npos) << report;
+}
+
+TEST_F(RtCheckTest, RecvFromSelfIsProvablyStuck) {
+  rt::World::run(1, [](rt::Comm& comm) {
+    EXPECT_THROW(comm.recv(/*source=*/0, /*tag=*/3), rtcheck::RtCheckError);
+  });
+  EXPECT_GE(rtcheck::count(rtcheck::FindingKind::kDeadlock), 1u);
+}
+
+TEST_F(RtCheckTest, RecvFromExitedPeerIsReported) {
+  rt::World::run(2, [](rt::Comm& comm) {
+    if (comm.rank() == 1) return;  // exits without ever sending
+    EXPECT_THROW(comm.recv(/*source=*/1, /*tag=*/4), rtcheck::RtCheckError);
+  });
+  EXPECT_GE(rtcheck::count(rtcheck::FindingKind::kDeadlock), 1u);
+  EXPECT_NE(messages_of(rtcheck::FindingKind::kDeadlock).find("exited"),
+            std::string::npos);
+}
+
+TEST_F(RtCheckTest, DeadlineOnLivePeerReportsTimeoutNotDeadlock) {
+  // Rank 1 is alive (spinning on the flag) but silent: the expiring deadline
+  // must classify as a timeout — the wait was not provably stuck.
+  std::atomic<bool> release{false};
+  rt::World::run(2, [&release](rt::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::optional<rt::Message> m =
+          comm.recv_for(/*source=*/1, /*tag=*/5, milliseconds(50));
+      EXPECT_FALSE(m.has_value());
+      release.store(true);
+    } else {
+      while (!release.load()) std::this_thread::yield();
+    }
+  });
+  EXPECT_EQ(rtcheck::count(rtcheck::FindingKind::kDeadlock), 0u);
+  EXPECT_EQ(rtcheck::count(rtcheck::FindingKind::kTimeout), 1u);
+}
+
+// --- collective checking ----------------------------------------------------
+
+TEST_F(RtCheckTest, BarrierVersusReduceMismatchIsReported) {
+  rt::World::run(2, [](rt::Comm& comm) {
+    try {
+      if (comm.rank() == 0) {
+        comm.barrier();
+      } else {
+        comm.reduce_sum({1.0, 2.0}, /*root=*/0);
+      }
+    } catch (const rtcheck::RtCheckError&) {
+      // Whichever rank arrives second observes the divergence.
+    }
+  });
+  EXPECT_GE(rtcheck::count(rtcheck::FindingKind::kCollectiveMismatch), 1u);
+  const std::string report =
+      messages_of(rtcheck::FindingKind::kCollectiveMismatch);
+  EXPECT_NE(report.find("barrier"), std::string::npos) << report;
+  EXPECT_NE(report.find("reduce"), std::string::npos) << report;
+}
+
+TEST_F(RtCheckTest, ReducePayloadSizeMismatchIsReported) {
+  rt::World::run(2, [](rt::Comm& comm) {
+    try {
+      std::vector<double> contribution(comm.rank() == 0 ? 2 : 3, 1.0);
+      comm.reduce_sum(contribution, /*root=*/0);
+    } catch (const rtcheck::RtCheckError&) {
+    }
+  });
+  EXPECT_GE(rtcheck::count(rtcheck::FindingKind::kCollectiveMismatch), 1u);
+}
+
+TEST_F(RtCheckTest, MatchedCollectivesAreClean) {
+  rt::World::run(4, [](rt::Comm& comm) {
+    comm.barrier();
+    std::vector<double> x{static_cast<double>(comm.rank())};
+    comm.bcast(x, 0);
+    comm.allreduce_sum({1.0});
+    comm.barrier();
+  });
+  EXPECT_TRUE(rtcheck::findings().empty());
+}
+
+// --- teardown checks --------------------------------------------------------
+
+TEST_F(RtCheckTest, UnreceivedMessageIsReportedAtTeardown) {
+  rt::World::run(2, [](rt::Comm& comm) {
+    if (comm.rank() == 0) comm.send(1, /*tag=*/11, {1.0, 2.0, 3.0});
+    // Rank 1 exits without receiving.
+  });
+  EXPECT_GE(rtcheck::count(rtcheck::FindingKind::kMessageLeak), 1u);
+  const std::string report = messages_of(rtcheck::FindingKind::kMessageLeak);
+  EXPECT_NE(report.find("tag=11"), std::string::npos) << report;
+  EXPECT_NE(report.find("3 double(s)"), std::string::npos) << report;
+}
+
+TEST_F(RtCheckTest, SendToInvalidRankIsReported) {
+  rt::World::run(1, [](rt::Comm& comm) {
+    EXPECT_THROW(comm.send(5, /*tag=*/0, {1.0}), rtcheck::RtCheckError);
+  });
+  EXPECT_EQ(rtcheck::count(rtcheck::FindingKind::kInvalidSend), 1u);
+}
+
+TEST_F(RtCheckTest, SendAfterSpawnJoinIsReported) {
+  rt::Comm driver = rt::World::self();
+  rt::SpawnHandle handle =
+      driver.spawn(2, [](rt::Comm&, rt::InterComm& parent) {
+        (void)parent.recv(rt::kAnySource, /*tag=*/1);
+      });
+  handle.comm().send(0, /*tag=*/1, {});
+  handle.comm().send(1, /*tag=*/1, {});
+  handle.join();
+  // The channel is finalized: a late send must be diagnosed, not dropped.
+  EXPECT_THROW(handle.comm().send(0, /*tag=*/2, {}), rtcheck::RtCheckError);
+  EXPECT_GE(rtcheck::count(rtcheck::FindingKind::kInvalidSend), 1u);
+  EXPECT_NE(messages_of(rtcheck::FindingKind::kInvalidSend).find("joined"),
+            std::string::npos);
+}
+
+TEST_F(RtCheckTest, AuditFlagsUnjoinedSpawn) {
+  rt::Comm driver = rt::World::self();
+  {
+    rt::SpawnHandle handle =
+        driver.spawn(1, [](rt::Comm&, rt::InterComm&) {});
+    EXPECT_EQ(rtcheck::audit_unjoined(), 1u);
+    EXPECT_EQ(rtcheck::count(rtcheck::FindingKind::kUnjoinedSpawn), 1u);
+    handle.join();
+  }
+  // Joined now: a fresh audit is clean.
+  EXPECT_EQ(rtcheck::audit_unjoined(), 0u);
+}
+
+// --- lint rule engine (runs in every build) ---------------------------------
+
+namespace {
+
+std::vector<lint::Finding> lint_snippet(const std::string& path,
+                                        const std::string& code,
+                                        std::size_t* suppressed = nullptr) {
+  return lint::lint_source(path, code, suppressed);
+}
+
+}  // namespace
+
+TEST(GptuneLint, FlagsRandomDevice) {
+  auto f = lint_snippet("src/core/x.cpp",
+                        "std::mt19937 gen{std::random_device{}()};\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "random-device");
+  EXPECT_EQ(f[0].line, 1u);
+}
+
+TEST(GptuneLint, FlagsTimeSeedAndRand) {
+  auto f = lint_snippet("src/core/x.cpp",
+                        "srand(time(nullptr));\n"
+                        "int v = rand();\n");
+  ASSERT_EQ(f.size(), 3u);  // srand(, time(nullptr), rand()
+  EXPECT_EQ(f[0].rule, "rand");
+  EXPECT_EQ(f[1].rule, "time-seed");
+  EXPECT_EQ(f[2].rule, "rand");
+}
+
+TEST(GptuneLint, FlagsRawThreadOutsideRuntimeOnly) {
+  const std::string code = "std::thread t([] {});\n";
+  EXPECT_EQ(lint_snippet("src/core/x.cpp", code).size(), 1u);
+  EXPECT_EQ(lint_snippet("src/core/x.cpp", code)[0].rule, "raw-thread");
+  // The runtime layer is the one place raw threads are allowed.
+  EXPECT_TRUE(lint_snippet("src/runtime/comm.cpp", code).empty());
+}
+
+TEST(GptuneLint, FlagsHistoryDirectOutsideHistoryOnly) {
+  const std::string code = "for (const auto& r : db.records()) use(r);\n";
+  auto f = lint_snippet("src/core/mla.cpp", code);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "history-direct");
+  EXPECT_TRUE(lint_snippet("src/core/history.hpp", code).empty());
+}
+
+TEST(GptuneLint, FlagsUnorderedIterationIncludingAliases) {
+  auto direct = lint_snippet("src/core/x.cpp",
+                             "std::unordered_map<int, int> counts;\n"
+                             "for (const auto& [k, v] : counts) use(k, v);\n");
+  ASSERT_EQ(direct.size(), 1u);
+  EXPECT_EQ(direct[0].rule, "unordered-iter");
+  EXPECT_EQ(direct[0].line, 2u);
+
+  auto aliased =
+      lint_snippet("src/core/x.cpp",
+                   "using ConfigSet = std::unordered_set<Config, Hash>;\n"
+                   "ConfigSet seen;\n"
+                   "for (const auto& c : seen) use(c);\n");
+  ASSERT_EQ(aliased.size(), 1u);
+  EXPECT_EQ(aliased[0].line, 3u);
+
+  // Membership tests and ordered-container iteration stay clean.
+  EXPECT_TRUE(lint_snippet("src/core/x.cpp",
+                           "std::unordered_set<int> seen;\n"
+                           "if (seen.count(3)) use();\n"
+                           "std::vector<int> v;\n"
+                           "for (int x : v) use(x);\n")
+                  .empty());
+}
+
+TEST(GptuneLint, SuppressionOnSameOrPrecedingLine) {
+  std::size_t suppressed = 0;
+  EXPECT_TRUE(lint_snippet("src/core/x.cpp",
+                           "int v = rand();  // gptune-lint: allow(rand)\n",
+                           &suppressed)
+                  .empty());
+  EXPECT_EQ(suppressed, 1u);
+
+  suppressed = 0;
+  EXPECT_TRUE(lint_snippet("src/core/x.cpp",
+                           "// gptune-lint: allow(rand)\n"
+                           "int v = rand();\n",
+                           &suppressed)
+                  .empty());
+  EXPECT_EQ(suppressed, 1u);
+
+  // A suppression two lines up does not reach, and the wrong rule name
+  // suppresses nothing.
+  EXPECT_EQ(lint_snippet("src/core/x.cpp",
+                         "// gptune-lint: allow(rand)\n"
+                         "\n"
+                         "int v = rand();\n")
+                .size(),
+            1u);
+  EXPECT_EQ(lint_snippet("src/core/x.cpp",
+                         "int v = rand();  // gptune-lint: allow(time-seed)\n")
+                .size(),
+            1u);
+  // allow(all) wildcards every rule on the line.
+  EXPECT_TRUE(
+      lint_snippet("src/core/x.cpp",
+                   "srand(time(nullptr));  // gptune-lint: allow(all)\n")
+          .empty());
+}
+
+TEST(GptuneLint, IgnoresCommentsAndStringLiterals) {
+  EXPECT_TRUE(lint_snippet("src/core/x.cpp",
+                           "// std::random_device in a comment\n"
+                           "/* rand() in a block\n"
+                           "   comment spanning lines */\n"
+                           "const char* s = \"std::thread rand()\";\n")
+                  .empty());
+}
+
+TEST(GptuneLint, JsonSummaryIsMachineReadable) {
+  lint::Result result;
+  result.files_scanned = 2;
+  result.findings.push_back(
+      {"rand", "src/x.cpp", 3, "banned", "int v = rand();"});
+  const std::string json = lint::to_json(result);
+  EXPECT_NE(json.find("\"files_scanned\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rand\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos) << json;
+}

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <optional>
+#include <thread>
 
 #include "runtime/comm.hpp"
 #include "runtime/thread_pool.hpp"
@@ -275,6 +278,93 @@ TEST(Spawn, NestedSpawn) {
     });
     EXPECT_DOUBLE_EQ(handle.comm().recv().data[0], 2.0);
     handle.join();
+  });
+}
+
+// --- matching determinism and edge cases ---
+
+TEST(Comm, AnySourceAnyTagMatchesEarliestPosted) {
+  // All three messages are queued before the first recv (self-sends are
+  // synchronous), so this pins the matching rule itself: among matching
+  // messages the earliest-posted wins — post order, not tag order.
+  World::run(1, [](Comm& comm) {
+    comm.send(0, /*tag=*/3, {3.0});
+    comm.send(0, /*tag=*/1, {1.0});
+    comm.send(0, /*tag=*/2, {2.0});
+    EXPECT_EQ(comm.recv(kAnySource, kAnyTag).tag, 3);
+    EXPECT_EQ(comm.recv(kAnySource, kAnyTag).tag, 1);
+    EXPECT_EQ(comm.recv(kAnySource, kAnyTag).tag, 2);
+  });
+}
+
+TEST(Comm, SelectiveRecvSkipsNonMatching) {
+  // A selective recv picks the earliest *matching* message and leaves the
+  // rest queued in their original order.
+  World::run(1, [](Comm& comm) {
+    comm.send(0, /*tag=*/5, {5.0});
+    comm.send(0, /*tag=*/6, {6.0});
+    comm.send(0, /*tag=*/5, {55.0});
+    EXPECT_DOUBLE_EQ(comm.recv(0, /*tag=*/6).data[0], 6.0);
+    EXPECT_DOUBLE_EQ(comm.recv(0, /*tag=*/5).data[0], 5.0);
+    EXPECT_DOUBLE_EQ(comm.recv(0, /*tag=*/5).data[0], 55.0);
+  });
+}
+
+TEST(Comm, ZeroLengthMessagesAreDelivered) {
+  World::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, /*tag=*/4, {});
+    } else {
+      Message m = comm.recv(0, /*tag=*/4);
+      EXPECT_EQ(m.source, 0);
+      EXPECT_EQ(m.tag, 4);
+      EXPECT_TRUE(m.data.empty());
+    }
+  });
+}
+
+TEST(Spawn, ZeroLengthMessagesCrossTheChannel) {
+  World::run(1, [](Comm& comm) {
+    auto handle = comm.spawn(1, [](Comm&, InterComm& parent) {
+      Message m = parent.recv(kAnySource, /*tag=*/1);
+      EXPECT_TRUE(m.data.empty());
+      parent.send(0, /*tag=*/2, {});
+    });
+    handle.comm().send(0, /*tag=*/1, {});
+    EXPECT_TRUE(handle.comm().recv(kAnySource, /*tag=*/2).data.empty());
+    handle.join();
+  });
+}
+
+TEST(Comm, RecvForDeliversWithinDeadline) {
+  World::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, /*tag=*/8, {42.0});
+    } else {
+      std::optional<Message> m =
+          comm.recv_for(0, /*tag=*/8, std::chrono::seconds(30));
+      ASSERT_TRUE(m.has_value());
+      EXPECT_DOUBLE_EQ(m->data[0], 42.0);
+    }
+  });
+}
+
+TEST(Comm, RecvForTimesOutAndLeavesQueueIntact) {
+  // The peer stays alive (spinning) so the expiry is a plain timeout in
+  // every build; a message sent afterwards is still receivable — a timed-out
+  // recv_for must not consume or reorder anything.
+  std::atomic<bool> timed_out{false};
+  World::run(2, [&timed_out](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::optional<Message> m =
+          comm.recv_for(1, /*tag=*/9, std::chrono::milliseconds(20));
+      EXPECT_FALSE(m.has_value());
+      timed_out.store(true);
+      EXPECT_DOUBLE_EQ(comm.recv(1, /*tag=*/9).data[0], 9.0);
+    } else {
+      while (!timed_out.load()) std::this_thread::yield();
+      comm.send(0, /*tag=*/9, {9.0});
+    }
   });
 }
 

@@ -1,0 +1,534 @@
+#include "linter.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace gptune::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexing: split each physical line into code text (strings/chars blanked,
+// comments removed) and comment text (for allow() directives). Block
+// comments and raw string literals carry state across lines.
+
+struct LexedLine {
+  std::string code;     ///< literals blanked with spaces, comments removed
+  std::string comment;  ///< concatenated comment text on this line
+};
+
+struct LexState {
+  bool in_block_comment = false;
+  bool in_raw_string = false;
+  std::string raw_delim;  ///< the `)delim"` terminator we are scanning for
+};
+
+LexedLine lex_line(const std::string& line, LexState& st) {
+  LexedLine out;
+  std::size_t i = 0;
+  const std::size_t n = line.size();
+  while (i < n) {
+    if (st.in_block_comment) {
+      std::size_t end = line.find("*/", i);
+      if (end == std::string::npos) {
+        out.comment += line.substr(i);
+        return out;
+      }
+      out.comment += line.substr(i, end - i);
+      st.in_block_comment = false;
+      i = end + 2;
+      continue;
+    }
+    if (st.in_raw_string) {
+      std::size_t end = line.find(st.raw_delim, i);
+      if (end == std::string::npos) {
+        out.code.append(n - i, ' ');
+        return out;
+      }
+      out.code.append(end + st.raw_delim.size() - i, ' ');
+      st.in_raw_string = false;
+      i = end + st.raw_delim.size();
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < n && line[i + 1] == '/') {
+      out.comment += line.substr(i + 2);
+      return out;
+    }
+    if (c == '/' && i + 1 < n && line[i + 1] == '*') {
+      st.in_block_comment = true;
+      i += 2;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && i + 1 < n && line[i + 1] == '"' &&
+        (i == 0 || (!std::isalnum(static_cast<unsigned char>(line[i - 1])) &&
+                    line[i - 1] != '_'))) {
+      std::size_t open = line.find('(', i + 2);
+      if (open != std::string::npos) {
+        st.raw_delim = ")" + line.substr(i + 2, open - i - 2) + "\"";
+        st.in_raw_string = true;
+        out.code.append(open + 1 - i, ' ');
+        i = open + 1;
+        continue;
+      }
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out.code += ' ';
+      ++i;
+      while (i < n) {
+        if (line[i] == '\\' && i + 1 < n) {
+          out.code += "  ";
+          i += 2;
+          continue;
+        }
+        out.code += ' ';
+        if (line[i] == quote) {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    out.code += c;
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+std::string trim(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t");
+  if (a == std::string::npos) return "";
+  std::size_t b = s.find_last_not_of(" \t");
+  return s.substr(a, b - a + 1);
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string normalize(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+/// Parses `gptune-lint: allow(rule-a, rule-b)` directives out of one line's
+/// comment text. Returns the allowed rule names ("all" wildcards).
+std::set<std::string> parse_allows(const std::string& comment) {
+  std::set<std::string> allowed;
+  static const std::regex kDirective(
+      "gptune-lint:\\s*allow\\(([^)]*)\\)");
+  auto begin = std::sregex_iterator(comment.begin(), comment.end(),
+                                    kDirective);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    std::string list = (*it)[1].str();
+    std::string name;
+    std::istringstream is(list);
+    while (std::getline(is, name, ',')) {
+      name = trim(name);
+      if (!name.empty()) allowed.insert(name);
+    }
+  }
+  return allowed;
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iter support: per-file tracking of names declared with unordered
+// container types (including local `using` aliases). A purely lexical
+// heuristic — file-scoped, no nesting — which is exactly as much as the
+// repo's style needs; DESIGN.md §3.6 documents the limits.
+
+const char* const kUnorderedTypes[] = {"unordered_map", "unordered_set",
+                                       "unordered_multimap",
+                                       "unordered_multiset"};
+
+/// Position just past a balanced `<...>` starting at `open` (which must
+/// index a '<'), or npos if unbalanced on this line.
+std::size_t skip_template_args(const std::string& code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '<') ++depth;
+    if (code[i] == '>') {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Reads the identifier declared after a type token ending at `pos`
+/// (skipping cv/ref/pointer decorations). Empty if none.
+std::string read_declared_name(const std::string& code, std::size_t pos) {
+  while (pos < code.size() &&
+         (code[pos] == ' ' || code[pos] == '\t' || code[pos] == '&' ||
+          code[pos] == '*')) {
+    ++pos;
+  }
+  if (code.compare(pos, 6, "const ") == 0) return read_declared_name(code, pos + 6);
+  std::size_t start = pos;
+  while (pos < code.size() && is_ident_char(code[pos])) ++pos;
+  if (pos == start) return "";
+  std::string name = code.substr(start, pos - start);
+  // `Alias::iterator` or `Alias(x)` casts are not declarations.
+  if (pos < code.size() && code[pos] == ':') return "";
+  static const std::set<std::string> kKeywords = {"const", "constexpr",
+                                                  "static", "mutable",
+                                                  "return", "new"};
+  if (kKeywords.count(name)) return "";
+  return name;
+}
+
+/// All positions where `token` occurs as a whole identifier in `code`.
+std::vector<std::size_t> find_tokens(const std::string& code,
+                                     const std::string& token) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(code[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= code.size() || !is_ident_char(code[end]);
+    if (left_ok && right_ok) out.push_back(pos);
+    pos = end;
+  }
+  return out;
+}
+
+struct UnorderedNames {
+  std::set<std::string> aliases;  ///< `using X = std::unordered_map<...>`
+  std::set<std::string> vars;     ///< variables/members/params so typed
+};
+
+void collect_unordered_names(const std::vector<LexedLine>& lines,
+                             UnorderedNames* names) {
+  static const std::regex kUsingAlias(
+      "\\busing\\s+([A-Za-z_]\\w*)\\s*=[^;]*\\bunordered_(map|set|multimap|"
+      "multiset)\\b");
+  static const std::regex kTypedef(
+      "\\btypedef\\b[^;]*\\bunordered_(map|set|multimap|multiset)\\b[^;]*[\\s"
+      "&*]([A-Za-z_]\\w*)\\s*;");
+  for (const LexedLine& ln : lines) {
+    std::smatch m;
+    if (std::regex_search(ln.code, m, kUsingAlias)) {
+      names->aliases.insert(m[1].str());
+    }
+    if (std::regex_search(ln.code, m, kTypedef)) {
+      names->aliases.insert(m[2].str());
+    }
+  }
+  for (const LexedLine& ln : lines) {
+    for (const char* type : kUnorderedTypes) {
+      for (std::size_t pos : find_tokens(ln.code, type)) {
+        std::size_t after = pos + std::string(type).size();
+        while (after < ln.code.size() &&
+               (ln.code[after] == ' ' || ln.code[after] == '\t')) {
+          ++after;
+        }
+        if (after >= ln.code.size() || ln.code[after] != '<') continue;
+        std::size_t past = skip_template_args(ln.code, after);
+        if (past == std::string::npos) continue;
+        std::string name = read_declared_name(ln.code, past);
+        if (!name.empty()) names->vars.insert(name);
+      }
+    }
+    for (const std::string& alias : names->aliases) {
+      for (std::size_t pos : find_tokens(ln.code, alias)) {
+        std::string name = read_declared_name(ln.code, pos + alias.size());
+        if (!name.empty()) names->vars.insert(name);
+      }
+    }
+  }
+}
+
+/// Extracts the range expression of a range-for on this line, or "" if the
+/// line holds none. (`for (decl : range)` — ':' found at paren depth 1,
+/// not part of a `::`.)
+std::string range_for_expr(const std::string& code) {
+  for (std::size_t pos : find_tokens(code, "for")) {
+    std::size_t open = code.find('(', pos + 3);
+    if (open == std::string::npos) continue;
+    int depth = 0;
+    std::size_t colon = std::string::npos;
+    std::size_t close = std::string::npos;
+    for (std::size_t i = open; i < code.size(); ++i) {
+      const char c = code[i];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') {
+        --depth;
+        if (depth == 0 && c == ')') {
+          close = i;
+          break;
+        }
+      }
+      if (c == ';') break;  // classic for-loop, not range-for
+      if (c == ':' && depth == 1 && colon == std::string::npos) {
+        const bool dbl = (i + 1 < code.size() && code[i + 1] == ':') ||
+                         (i > 0 && code[i - 1] == ':');
+        if (!dbl) colon = i;
+      }
+    }
+    if (colon != std::string::npos && close != std::string::npos) {
+      return trim(code.substr(colon + 1, close - colon - 1));
+    }
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Rule catalog
+
+struct Rule {
+  std::string name;
+  std::string summary;
+  std::string message;
+  std::regex pattern;
+};
+
+const std::vector<Rule>& pattern_rules() {
+  static const std::vector<Rule> kRules = {
+      {"random-device",
+       "bans std::random_device (ambient entropy)",
+       "std::random_device draws ambient entropy; seed a common/rng.hpp "
+       "SplitMix64 stream from the experiment seed instead",
+       std::regex("\\brandom_device\\b")},
+      {"time-seed",
+       "bans wall-clock time() as an RNG seed",
+       "time()-derived values are nondeterministic; derive seeds from the "
+       "experiment seed (common/rng.hpp)",
+       std::regex("\\btime\\s*\\(\\s*(nullptr|NULL|0|&\\w+)\\s*\\)")},
+      {"rand",
+       "bans the C rand()/srand() generator",
+       "rand()/srand() is a hidden global RNG; use a per-restart "
+       "common/rng.hpp stream",
+       std::regex("\\b(rand\\s*\\(\\s*\\)|srand\\s*\\()")},
+      {"raw-thread",
+       "bans std::thread/std::async outside src/runtime/",
+       "raw std::thread/std::async bypasses the deterministic runtime; use "
+       "rt::World/Comm::spawn or rt::ThreadPool (src/runtime/)",
+       std::regex("\\bstd\\s*::\\s*(thread\\b|async\\s*\\()")},
+      {"history-direct",
+       "bans HistoryDb .records() access outside src/core/history.*",
+       "records() hands out the store without the HistoryDb mutex; use the "
+       "guarded query API, or annotate a deliberate snapshot read",
+       std::regex("(\\.|->)\\s*records\\s*\\(\\s*\\)")},
+  };
+  return kRules;
+}
+
+bool rule_applies(const std::string& rule, const std::string& path) {
+  if (rule == "raw-thread") {
+    return path.find("src/runtime/") == std::string::npos;
+  }
+  if (rule == "history-direct") {
+    return path.find("src/core/history.") == std::string::npos;
+  }
+  return true;
+}
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << std::hex << static_cast<int>(c) << std::dec;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+bool is_cpp_source(const std::filesystem::path& p) {
+  static const std::set<std::string> kExts = {".cpp", ".cc", ".cxx", ".hpp",
+                                              ".h",   ".hh", ".inl"};
+  return kExts.count(p.extension().string()) > 0;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kInfos = [] {
+    std::vector<RuleInfo> out;
+    for (const Rule& r : pattern_rules()) out.push_back({r.name, r.summary});
+    out.push_back(
+        {"unordered-iter",
+         "bans range-for over unordered containers (iteration order feeds "
+         "the trajectory)"});
+    return out;
+  }();
+  return kInfos;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content,
+                                 std::size_t* suppressed) {
+  const std::string npath = normalize(path);
+
+  // Lex every line once.
+  std::vector<LexedLine> lines;
+  {
+    LexState st;
+    std::istringstream is(content);
+    std::string raw;
+    while (std::getline(is, raw)) lines.push_back(lex_line(raw, st));
+  }
+  std::vector<std::string> raw_lines;
+  {
+    std::istringstream is(content);
+    std::string raw;
+    while (std::getline(is, raw)) raw_lines.push_back(raw);
+  }
+
+  // allow() directives, by 0-based line.
+  std::vector<std::set<std::string>> allows(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    allows[i] = parse_allows(lines[i].comment);
+  }
+  auto allowed = [&](std::size_t line0, const std::string& rule) {
+    for (std::size_t l : {line0, line0 == 0 ? line0 : line0 - 1}) {
+      if (allows[l].count(rule) || allows[l].count("all")) return true;
+    }
+    return false;
+  };
+
+  std::vector<Finding> findings;
+  auto emit = [&](std::size_t line0, const std::string& rule,
+                  const std::string& message) {
+    if (allowed(line0, rule)) {
+      if (suppressed != nullptr) ++*suppressed;
+      return;
+    }
+    findings.push_back(
+        {rule, path, line0 + 1, message, trim(raw_lines[line0])});
+  };
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (const Rule& r : pattern_rules()) {
+      if (!rule_applies(r.name, npath)) continue;
+      if (std::regex_search(lines[i].code, r.pattern)) {
+        emit(i, r.name, r.message);
+      }
+    }
+  }
+
+  UnorderedNames names;
+  collect_unordered_names(lines, &names);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string expr = range_for_expr(lines[i].code);
+    if (expr.empty()) continue;
+    const bool direct = expr.find("unordered_") != std::string::npos;
+    const bool tracked =
+        std::all_of(expr.begin(), expr.end(), is_ident_char) &&
+        names.vars.count(expr) > 0;
+    if (direct || tracked) {
+      emit(i, "unordered-iter",
+           "iterating an unordered container ('" + expr +
+               "') feeds hash order into the trajectory; use an ordered "
+               "container or sort first");
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return findings;
+}
+
+Result lint_paths(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  Result result;
+
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry :
+           fs::recursive_directory_iterator(p, ec)) {
+        if (entry.is_regular_file() && is_cpp_source(entry.path())) {
+          files.push_back(entry.path().string());
+        }
+      }
+      if (ec) result.errors.push_back(p + ": " + ec.message());
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      result.errors.push_back(p + ": not a file or directory");
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      result.errors.push_back(file + ": unreadable");
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    ++result.files_scanned;
+    std::vector<Finding> f =
+        lint_source(file, buf.str(), &result.suppressed);
+    result.findings.insert(result.findings.end(), f.begin(), f.end());
+  }
+  return result;
+}
+
+std::string to_json(const Result& result) {
+  std::ostringstream os;
+  os << "{\n  \"files_scanned\": " << result.files_scanned
+     << ",\n  \"suppressed\": " << result.suppressed
+     << ",\n  \"counts\": {";
+  std::map<std::string, std::size_t> counts;
+  for (const Finding& f : result.findings) ++counts[f.rule];
+  bool first = true;
+  for (const auto& [rule, n] : counts) {
+    os << (first ? "" : ", ");
+    json_escape(os, rule);
+    os << ": " << n;
+    first = false;
+  }
+  os << "},\n  \"findings\": [";
+  first = true;
+  for (const Finding& f : result.findings) {
+    os << (first ? "\n" : ",\n") << "    {\"rule\": ";
+    json_escape(os, f.rule);
+    os << ", \"file\": ";
+    json_escape(os, f.file);
+    os << ", \"line\": " << f.line << ", \"message\": ";
+    json_escape(os, f.message);
+    os << ", \"excerpt\": ";
+    json_escape(os, f.excerpt);
+    os << "}";
+    first = false;
+  }
+  os << (first ? "]" : "\n  ]") << ",\n  \"errors\": [";
+  first = true;
+  for (const std::string& e : result.errors) {
+    os << (first ? "" : ", ");
+    json_escape(os, e);
+    first = false;
+  }
+  os << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace gptune::lint

@@ -1,0 +1,65 @@
+// gptune_lint — determinism lint for the GPTune C++ tree.
+//
+// The tuner's core guarantee (DESIGN.md §3.4–3.5) is that a trajectory is
+// bitwise-reproducible from its seed at any worker count. That property is
+// easy to destroy with one careless line — an ambient-entropy RNG, a raw
+// std::thread racing the runtime's deterministic scheduling, an iteration
+// over an unordered container feeding the search — and none of those are
+// compile errors. This linter bans them mechanically.
+//
+// It is a from-scratch line-oriented scanner (no libclang): comments and
+// string/char literals are stripped with a small lexer, rules match on the
+// remaining code text, and `// gptune-lint: allow(<rule>)` on the same or
+// the immediately preceding line suppresses a finding. See DESIGN.md §3.6
+// for the rule catalog.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gptune::lint {
+
+/// One rule violation. `line` is 1-based.
+struct Finding {
+  std::string rule;
+  std::string file;
+  std::size_t line = 0;
+  std::string message;
+  std::string excerpt;  ///< the offending source line, trimmed
+};
+
+/// Aggregate result of a lint run (one or many files).
+struct Result {
+  std::vector<Finding> findings;    ///< unsuppressed, in file/line order
+  std::size_t suppressed = 0;       ///< findings silenced by allow(...)
+  std::size_t files_scanned = 0;
+  std::vector<std::string> errors;  ///< unreadable paths etc.
+};
+
+/// Static description of one rule, for --list-rules and the docs.
+struct RuleInfo {
+  std::string name;
+  std::string summary;
+};
+
+/// The rule catalog, in reporting order.
+const std::vector<RuleInfo>& rules();
+
+/// Lints one translation unit given as a string. `path` is used for
+/// reporting and for path-scoped rules (raw-thread is allowed under
+/// src/runtime/; history-direct is allowed in src/core/history.*).
+/// Returns unsuppressed findings; `suppressed`, when non-null, is
+/// incremented for each allow()-silenced finding.
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content,
+                                 std::size_t* suppressed = nullptr);
+
+/// Lints files and directories (recursed for C++ sources, deterministic
+/// sorted order). Nonexistent/unreadable paths land in Result::errors.
+Result lint_paths(const std::vector<std::string>& paths);
+
+/// Machine-readable summary of a run (stable key order).
+std::string to_json(const Result& result);
+
+}  // namespace gptune::lint

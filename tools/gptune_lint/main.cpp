@@ -1,0 +1,73 @@
+// gptune_lint CLI — scans C++ sources for determinism/runtime-misuse bans.
+//
+//   gptune_lint [--json] [--list-rules] <path>...
+//
+// Exit status: 0 clean, 1 unsuppressed findings, 2 usage/IO error.
+// scripts/check.sh (lint lane) and the lint_tree ctest target run this over
+// src/, tests/ and tools/ and require a clean tree.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "linter.hpp"
+
+namespace {
+
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: gptune_lint [--json] [--list-rules] <path>...\n"
+               "  --json        machine-readable findings summary on stdout\n"
+               "  --list-rules  print the rule catalog and exit\n"
+               "Suppress one finding with '// gptune-lint: allow(<rule>)' on\n"
+               "the same or the preceding line.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& r : gptune::lint::rules()) {
+        std::printf("%-16s %s\n", r.name.c_str(), r.summary.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "gptune_lint: unknown option '%s'\n", arg.c_str());
+      print_usage();
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  const gptune::lint::Result result = gptune::lint::lint_paths(paths);
+
+  if (json) {
+    std::fputs(gptune::lint::to_json(result).c_str(), stdout);
+  } else {
+    for (const auto& f : result.findings) {
+      std::printf("%s:%zu: [%s] %s\n    %s\n", f.file.c_str(), f.line,
+                  f.rule.c_str(), f.message.c_str(), f.excerpt.c_str());
+    }
+    std::printf(
+        "gptune_lint: %zu finding(s), %zu suppressed, %zu file(s) scanned\n",
+        result.findings.size(), result.suppressed, result.files_scanned);
+  }
+  for (const auto& e : result.errors) {
+    std::fprintf(stderr, "gptune_lint: error: %s\n", e.c_str());
+  }
+  if (!result.errors.empty()) return 2;
+  return result.findings.empty() ? 0 : 1;
+}
