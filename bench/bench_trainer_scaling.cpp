@@ -60,6 +60,7 @@ gp::MultiTaskData make_workload(std::size_t tasks, std::size_t samples) {
 int main() {
   using namespace gptune::bench;
 
+  BenchJson bench_json("BENCH_trainer.json");
   const std::size_t kTasks = 8, kSamples = 14, kRestarts = 16;
   const auto data = make_workload(kTasks, kSamples);
 
@@ -99,6 +100,19 @@ int main() {
               1, serial_stats.gram_cache_hits + serial_stats.gram_cache_misses));
   row("serial throughput: %.1f restarts/s", serial_stats.restarts_per_second);
 
+  bench_json.record("fit_seconds", serial_stats.fit_seconds, 1, opt.seed);
+  bench_json.record("restarts_per_second", serial_stats.restarts_per_second,
+                    1, opt.seed);
+  bench_json.record("lbfgs_evaluations",
+                    static_cast<double>(serial_stats.total_lbfgs_evaluations),
+                    1, opt.seed);
+  bench_json.record(
+      "gram_cache_hit_rate",
+      static_cast<double>(serial_stats.gram_cache_hits) /
+          std::max<std::size_t>(1, serial_stats.gram_cache_hits +
+                                       serial_stats.gram_cache_misses),
+      1, opt.seed);
+
   section("Virtual-clock speedup (greedy schedule of measured restart times)");
   row("%8s %12s %9s %11s", "workers", "virtual s", "speedup", "efficiency");
   double speedup_at_4 = 0.0;
@@ -110,6 +124,9 @@ int main() {
     if (workers == 4) speedup_at_4 = speedup;
     row("%8zu %12.4f %8.2fx %10.0f%%", workers, virtual_seconds, speedup,
         100.0 * speedup / static_cast<double>(workers));
+    bench_json.record("virtual_fit_seconds", virtual_seconds, workers,
+                      opt.seed);
+    bench_json.record("virtual_speedup", speedup, workers, opt.seed);
   }
   shape_check(speedup_at_4 >= 2.0,
               "4 model workers give >= 2x speedup over 1 on the multistart "

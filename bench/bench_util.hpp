@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -41,5 +42,58 @@ inline int finish(const char* bench_name) {
               g_checks_passed, g_checks_failed);
   return 0;  // misses are reported, not fatal: shapes depend on seeds
 }
+
+/// Machine-readable bench output: a JSON array of
+/// `{"metric": ..., "value": ..., "workers": ..., "seed": ...}` records,
+/// written on destruction (e.g. BENCH_fig3.json) so the perf trajectory
+/// can be tracked across PRs instead of scraped from the tables above.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string path) : path_(std::move(path)) {}
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void record(const std::string& metric, double value, std::size_t workers,
+              std::uint64_t seed) {
+    Record r;
+    r.metric = metric;
+    r.value = value;
+    r.workers = workers;
+    r.seed = seed;
+    records_.push_back(std::move(r));
+  }
+
+  ~BenchJson() {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f,
+                   "  {\"metric\": \"%s\", \"value\": %.17g, "
+                   "\"workers\": %zu, \"seed\": %llu}%s\n",
+                   r.metric.c_str(), r.value, r.workers,
+                   static_cast<unsigned long long>(r.seed),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %zu metrics to %s\n", records_.size(), path_.c_str());
+  }
+
+ private:
+  struct Record {
+    std::string metric;
+    double value = 0.0;
+    std::size_t workers = 0;
+    std::uint64_t seed = 0;
+  };
+  std::string path_;
+  std::vector<Record> records_;
+};
 
 }  // namespace gptune::bench

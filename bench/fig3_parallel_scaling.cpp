@@ -59,6 +59,7 @@ double cholesky_critical_path(double n, double nb, double p) {
 int main() {
   using namespace gptune::bench;
 
+  BenchJson bench_json("BENCH_fig3.json");
   constexpr std::size_t kDelta = 20;
   constexpr std::size_t kRanks = 32;
   const std::vector<std::size_t> eps_values = {10, 20, 40, 80};
@@ -140,6 +141,15 @@ int main() {
         model_1, model_32, model_1 / model_32, search_1, search_32,
         search_1 / search_32);
 
+    bench_json.record("model_seconds_eps" + std::to_string(eps), model_1, 1,
+                      eps);
+    bench_json.record("model_seconds_eps" + std::to_string(eps), model_32,
+                      kRanks, eps);
+    bench_json.record("search_seconds_eps" + std::to_string(eps), search_1, 1,
+                      eps);
+    bench_json.record("search_seconds_eps" + std::to_string(eps), search_32,
+                      kRanks, eps);
+
     sizes.push_back(n);
     model_serial.push_back(model_1);
     search_serial.push_back(search_1);
@@ -219,6 +229,18 @@ int main() {
     // values must agree bitwise with the serial run.
     shape_check(best_total == best_serial,
                 "trajectory identical to 1-worker run");
+
+    bench_json.record("objective_virtual_seconds",
+                      result.virtual_times.objective, workers, opt.seed);
+    bench_json.record("objective_speedup", speedup, workers, opt.seed);
+    bench_json.record("best_total", best_total, workers, opt.seed);
+
+    // Per-phase profile (MlaResult.profiles): the same breakdown the
+    // telemetry layer traces, summarized per run.
+    for (const auto& p : result.profiles) {
+      row("    profile %-10s x%-4zu wall %8.3fs  virtual %8.3fs",
+          p.phase.c_str(), p.invocations, p.wall_seconds, p.virtual_seconds);
+    }
   }
   shape_check(speedup_at_4 >= 2.5,
               "virtual objective-phase speedup >= 2.5x at 4 workers");

@@ -8,13 +8,19 @@
 #           protocol checker (GPTUNE_RTCHECK=ON — deadlock/collective/leak
 #           diagnostics), then a clean gptune_lint run over src/, tests/
 #           and tools/ (determinism bans; see DESIGN.md §3.6)
+#   trace — plain build tree (build-trace/) with examples: runs quickstart
+#           untraced and with GPTUNE_TRACE+GPTUNE_METRICS, validates the
+#           emitted trace with trace_summarize, and asserts the tuning
+#           results are identical — telemetry is observe-only (§3.7)
 # Every lane builds with GPTUNE_WERROR=ON (-Wall -Wextra -Wshadow -Werror).
 # Each lane uses a dedicated build dir, separate from the plain ./build, so
-# the trees never contaminate each other. Benches and examples are skipped —
-# the slow label has its own lane (`ctest -L slow` in a regular build).
+# the trees never contaminate each other. Benches and examples are skipped
+# outside the trace lane — the slow label has its own lane (`ctest -L slow`
+# in a regular build).
 #
-# Usage: scripts/check.sh [asan|tsan|lint|all] [build-dir]
-#   default lane: asan (default dirs: build-asan, build-tsan, build-rtcheck)
+# Usage: scripts/check.sh [asan|tsan|lint|trace|all] [build-dir]
+#   default lane: asan
+#   (default dirs: build-asan, build-tsan, build-rtcheck, build-trace)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -53,11 +59,48 @@ run_lane() {
   fi
 }
 
+# Trace smoke: the same quickstart run with and without telemetry must land
+# on identical tuning results (only the `t=` result rows are compared —
+# phase-time lines are host wall-clock), and the emitted trace must be a
+# valid Chrome trace_event file by trace_summarize's reader.
+run_trace_lane() {
+  local build_dir="$1"
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGPTUNE_WERROR=ON \
+    -DGPTUNE_BUILD_BENCH=OFF \
+    -DGPTUNE_BUILD_EXAMPLES=ON
+  cmake --build "${build_dir}" -j "${JOBS}" \
+    --target quickstart trace_summarize
+
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+
+  "${build_dir}/examples/quickstart" > "${tmp}/plain.out"
+  GPTUNE_TRACE="${tmp}/trace.json" GPTUNE_METRICS="${tmp}/metrics.json" \
+    "${build_dir}/examples/quickstart" > "${tmp}/traced.out"
+
+  [ -s "${tmp}/trace.json" ] || { echo "trace lane: no trace written" >&2; exit 1; }
+  [ -s "${tmp}/metrics.json" ] || { echo "trace lane: no metrics written" >&2; exit 1; }
+  "${build_dir}/tools/trace_summarize/trace_summarize" "${tmp}/trace.json"
+
+  grep '^t=' "${tmp}/plain.out" > "${tmp}/plain.results"
+  grep '^t=' "${tmp}/traced.out" > "${tmp}/traced.results"
+  [ -s "${tmp}/plain.results" ] || { echo "trace lane: quickstart printed no results" >&2; exit 1; }
+  if ! diff -u "${tmp}/plain.results" "${tmp}/traced.results"; then
+    echo "trace lane: tracing perturbed the tuning results" >&2
+    exit 1
+  fi
+  echo "trace lane: results identical with telemetry on/off"
+}
+
 case "${LANE}" in
   all)
     run_lane asan "${2:-build-asan}"
     run_lane tsan "${2:-build-tsan}"
     run_lane lint "${2:-build-rtcheck}"
+    run_trace_lane "${2:-build-trace}"
     ;;
   asan)
     run_lane asan "${2:-build-asan}"
@@ -68,8 +111,11 @@ case "${LANE}" in
   lint)
     run_lane lint "${2:-build-rtcheck}"
     ;;
+  trace)
+    run_trace_lane "${2:-build-trace}"
+    ;;
   *)
-    echo "usage: scripts/check.sh [asan|tsan|lint|all] [build-dir]" >&2
+    echo "usage: scripts/check.sh [asan|tsan|lint|trace|all] [build-dir]" >&2
     exit 2
     ;;
 esac

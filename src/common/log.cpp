@@ -1,14 +1,24 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
+#include <utility>
+
+#include "common/telemetry/telemetry.hpp"
 
 namespace gptune::common {
 
 namespace {
+
+std::atomic<bool> g_level_initialized{false};
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_io_mutex;
+
+// Guarded by g_io_mutex. Leaked on purpose: logging may run during static
+// teardown, after a static sink's destructor would have fired.
+LogSink* g_sink = new LogSink;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,15 +29,52 @@ const char* level_name(LogLevel level) {
     default: return "?";
   }
 }
+
+LogLevel level_from_env() {
+  const char* value = std::getenv("GPTUNE_LOG");
+  if (value == nullptr) return LogLevel::kWarn;
+  const std::string v = value;
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) {
+  g_level_initialized.store(true, std::memory_order_relaxed);
+  g_level.store(level);
+}
+
+LogLevel log_level() {
+  if (!g_level_initialized.load(std::memory_order_relaxed)) {
+    // Benign race: every thread computes the same value from the env.
+    g_level.store(level_from_env());
+    g_level_initialized.store(true, std::memory_order_relaxed);
+  }
+  return g_level.load();
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  *g_sink = std::move(sink);
+}
 
 void log_message(LogLevel level, const std::string& message) {
-  if (level < g_level.load()) return;
+  if (level < log_level()) return;
+  const telemetry::Identity id = telemetry::identity();
+  std::ostringstream os;
+  os << "[" << level_name(level) << "][" << id.role << "/" << id.rank << "] "
+     << message;
   std::lock_guard<std::mutex> lock(g_io_mutex);
-  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+  if (*g_sink) {
+    (*g_sink)(os.str());
+  } else {
+    std::cerr << os.str() << "\n";
+  }
 }
 
 }  // namespace gptune::common

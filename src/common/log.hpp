@@ -1,9 +1,14 @@
-// Minimal leveled logging to stderr, controllable at runtime.
+// Minimal leveled logging through one shared thread-safe sink.
 //
 // Used by the tuner to report phase progress (the paper's "stats:" runlog)
 // without polluting bench stdout, which carries the reproduced table rows.
+// Each line is tagged `[LEVEL][role/rank]` with the calling thread's
+// telemetry identity — the same identity trace spans carry — so worker
+// output is attributable. The threshold defaults to warn and is settable
+// from the environment: GPTUNE_LOG=debug|info|warn|error|off.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -11,11 +16,20 @@ namespace gptune::common {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global threshold; messages below it are dropped. Default: kWarn.
+/// Global threshold; messages below it are dropped. Initialized from
+/// GPTUNE_LOG on first use (default: kWarn); set_log_level overrides.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits one line `[level] message` to stderr if `level` passes the threshold.
+/// Where formatted lines go. The default sink writes to stderr; tests swap
+/// in a capturing sink. Called with the full formatted line, one at a time,
+/// under the logging mutex (thread-safe by construction). nullptr restores
+/// the default.
+using LogSink = std::function<void(const std::string& line)>;
+void set_log_sink(LogSink sink);
+
+/// Emits one line `[LEVEL][role/rank] message` through the sink if `level`
+/// passes the threshold.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

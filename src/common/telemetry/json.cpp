@@ -1,0 +1,186 @@
+#include "common/telemetry/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace gptune::telemetry {
+
+class JsonParser {
+ public:
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error = {};
+
+  bool fail(const std::string& what) {
+    if (error.empty()) {
+      std::ostringstream os;
+      os << what << " at offset " << pos;
+      error = os.str();
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text.compare(pos, n, lit) != 0) return false;
+    pos += n;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) break;
+        char esc = text[pos++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            // Keep it simple: decode Basic-Latin \u00xx, replace the rest
+            // with '?'. Our own writers never emit \u escapes.
+            if (pos + 4 > text.size()) return fail("truncated \\u escape");
+            unsigned code = static_cast<unsigned>(
+                std::strtoul(text.substr(pos, 4).c_str(), nullptr, 16));
+            pos += 4;
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            return fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.type_ = JsonValue::Type::kString;
+      return parse_string(out.string_);
+    }
+    if (parse_literal("true")) {
+      out.type_ = JsonValue::Type::kBool;
+      out.bool_ = true;
+      return true;
+    }
+    if (parse_literal("false")) {
+      out.type_ = JsonValue::Type::kBool;
+      out.bool_ = false;
+      return true;
+    }
+    if (parse_literal("null")) {
+      out.type_ = JsonValue::Type::kNull;
+      return true;
+    }
+    return parse_number(out);
+  }
+
+  bool parse_number(JsonValue& out) {
+    const char* begin = text.c_str() + pos;
+    char* end = nullptr;
+    double value = std::strtod(begin, &end);
+    if (end == begin) return fail("expected value");
+    pos += static_cast<std::size_t>(end - begin);
+    out.type_ = JsonValue::Type::kNumber;
+    out.number_ = value;
+    return true;
+  }
+
+  bool parse_array(JsonValue& out) {
+    if (!consume('[')) return fail("expected '['");
+    out.type_ = JsonValue::Type::kArray;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue item;
+      if (!parse_value(item)) return false;
+      out.items_.push_back(std::move(item));
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    if (!consume('{')) return fail("expected '{'");
+    out.type_ = JsonValue::Type::kObject;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return fail("expected ':'");
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.members_.emplace_back(std::move(key), std::move(value));
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+};
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::parse(const std::string& text, std::string* error) {
+  JsonParser parser{text};
+  JsonValue root;
+  bool ok = parser.parse_value(root);
+  if (ok) {
+    parser.skip_ws();
+    if (parser.pos != text.size()) {
+      ok = false;
+      parser.fail("trailing content");
+    }
+  }
+  if (!ok) {
+    if (error != nullptr) *error = parser.error;
+    return JsonValue{};
+  }
+  if (error != nullptr) error->clear();
+  return root;
+}
+
+}  // namespace gptune::telemetry

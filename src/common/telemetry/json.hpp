@@ -1,0 +1,55 @@
+// Minimal JSON reader for telemetry artifacts (trace files, metrics
+// snapshots, bench JSON). Recursive-descent, no dependencies; object
+// members keep their source order (vector of pairs, not a hash map) so
+// consumers never iterate an unordered container. This is a reader for
+// our own well-formed output plus validation in tests/tools — not a
+// general-purpose JSON library.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gptune::telemetry {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  /// Value accessors; wrong-type access returns the neutral value
+  /// (false / 0.0 / "").
+  bool as_bool() const { return type_ == Type::kBool && bool_; }
+  double as_number() const { return type_ == Type::kNumber ? number_ : 0.0; }
+  const std::string& as_string() const { return string_; }
+
+  /// Array elements (empty unless is_array()).
+  const std::vector<JsonValue>& items() const { return items_; }
+  /// Object members in source order (empty unless is_object()).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  /// First member with `key`, or nullptr.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Parses `text`; on failure returns a kNull value and sets `error`
+  /// (when non-null) to a one-line description with offset.
+  static JsonValue parse(const std::string& text, std::string* error = nullptr);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+
+  friend class JsonParser;
+};
+
+}  // namespace gptune::telemetry

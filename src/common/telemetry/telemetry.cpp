@@ -1,0 +1,558 @@
+#include "common/telemetry/telemetry.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#if defined(GPTUNE_TELEMETRY)
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#endif
+
+namespace gptune::telemetry {
+
+#if defined(GPTUNE_TELEMETRY)
+
+namespace {
+
+// --- event storage ---------------------------------------------------------
+//
+// Each thread appends to its own chunked buffer with no locks: events are
+// written into a pre-allocated slot and published with one release store of
+// the chunk's `used` counter (a new chunk is linked with a release store of
+// `next`). The flusher walks chunks with acquire loads, so reading a
+// finished thread's events needs no handshake with it. Buffers are owned by
+// a process-lifetime registry and survive thread exit — spawned worker
+// groups are long gone by the time the trace is written.
+
+struct TraceEvent {
+  char ph = 'X';               ///< 'X' complete, 'i' instant
+  const char* cat = nullptr;
+  const char* name = nullptr;
+  const char* arg_key = nullptr;
+  double ts_us = 0.0;          ///< wall microseconds since the trace epoch
+  double dur_us = 0.0;
+  double vt_s = 0.0;           ///< thread virtual clock at event start
+  double arg_value = 0.0;
+  int track = 0;               ///< identity track (trace tid)
+};
+
+struct Chunk {
+  static constexpr std::size_t kCapacity = 512;
+  TraceEvent events[kCapacity];
+  std::atomic<std::size_t> used{0};
+  std::atomic<Chunk*> next{nullptr};
+};
+
+struct ThreadBuffer {
+  Chunk first;
+  Chunk* tail = &first;  ///< owner thread only
+};
+
+struct Track {
+  const char* role;
+  int rank;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::vector<Track> tracks;
+  std::map<std::string, Counter> counters;
+  std::map<std::string, Gauge> gauges;
+  std::map<std::string, Histogram> histograms;
+  std::string trace_path;
+  std::string metrics_path;
+  bool atexit_registered = false;
+};
+
+// Leaked on purpose: flush() may run from atexit, after static destructors
+// of other translation units would have torn a static Registry down.
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+struct Tls {
+  ThreadBuffer* buffer = nullptr;
+  int track = -1;
+  double vclock = 0.0;
+};
+thread_local Tls t_tls;
+
+std::atomic<int> g_trace_on{-1};  ///< -1 uninitialized, 0 off, 1 on
+std::atomic<int> g_metrics_on{-1};
+
+double now_us() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+void register_atexit_locked(Registry& r) {
+  if (r.atexit_registered) return;
+  r.atexit_registered = true;
+  std::atexit([] { flush(); });
+}
+
+/// Reads GPTUNE_TRACE / GPTUNE_METRICS once, on the first enabled() query.
+void init_from_env(std::atomic<int>& flag, const char* env_var,
+                   std::string Registry::* path_member) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (flag.load(std::memory_order_relaxed) != -1) return;  // lost the race
+  const char* value = std::getenv(env_var);
+  if (value != nullptr && value[0] != '\0') {
+    r.*path_member = value;
+    register_atexit_locked(r);
+    flag.store(1, std::memory_order_relaxed);
+  } else {
+    flag.store(0, std::memory_order_relaxed);
+  }
+}
+
+int current_track() {
+  if (t_tls.track >= 0) return t_tls.track;
+  // Unidentified thread: give it the default identity lazily.
+  set_identity("main", 0);
+  return t_tls.track;
+}
+
+void record(const TraceEvent& event) {
+  if (t_tls.buffer == nullptr) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    t_tls.buffer = owned.get();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.buffers.push_back(std::move(owned));
+  }
+  ThreadBuffer& buf = *t_tls.buffer;
+  Chunk* tail = buf.tail;
+  std::size_t used = tail->used.load(std::memory_order_relaxed);
+  if (used == Chunk::kCapacity) {
+    Chunk* fresh = new Chunk;
+    fresh->events[0] = event;
+    fresh->used.store(1, std::memory_order_release);
+    tail->next.store(fresh, std::memory_order_release);
+    buf.tail = fresh;
+    return;
+  }
+  tail->events[used] = event;
+  tail->used.store(used + 1, std::memory_order_release);
+}
+
+// --- JSON helpers ----------------------------------------------------------
+
+void append_escaped(std::ostringstream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+void append_number(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";  // JSON has no inf/nan; snapshots must stay parseable
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+double bits_to_double(std::uint64_t bits) {
+  return std::bit_cast<double>(bits);
+}
+std::uint64_t double_to_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// fetch_add / fetch_min / fetch_max for doubles stored as bit patterns.
+void atomic_double_add(std::atomic<std::uint64_t>& bits, double delta) {
+  std::uint64_t old = bits.load(std::memory_order_relaxed);
+  while (!bits.compare_exchange_weak(
+      old, double_to_bits(bits_to_double(old) + delta),
+      std::memory_order_relaxed)) {
+  }
+}
+void atomic_double_min(std::atomic<std::uint64_t>& bits, double v) {
+  std::uint64_t old = bits.load(std::memory_order_relaxed);
+  while (bits_to_double(old) > v &&
+         !bits.compare_exchange_weak(old, double_to_bits(v),
+                                     std::memory_order_relaxed)) {
+  }
+}
+void atomic_double_max(std::atomic<std::uint64_t>& bits, double v) {
+  std::uint64_t old = bits.load(std::memory_order_relaxed);
+  while (bits_to_double(old) < v &&
+         !bits.compare_exchange_weak(old, double_to_bits(v),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+// --- identity --------------------------------------------------------------
+
+void set_identity(const char* role, int rank) {
+  Registry& r = registry();
+  int id = 0;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    id = static_cast<int>(r.tracks.size());
+    r.tracks.push_back({role, rank});
+  }
+  t_tls.track = id;
+}
+
+Identity identity() {
+  if (t_tls.track < 0) return {};
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const Track& t = r.tracks[static_cast<std::size_t>(t_tls.track)];
+  return {t.role, t.rank};
+}
+
+// --- toggles ---------------------------------------------------------------
+
+namespace {
+
+// The first enabled-check initializes BOTH toggles: metrics counters are
+// always-on and never consult metrics_enabled(), so a binary whose only
+// telemetry touch is a Span must still honor GPTUNE_METRICS (the atexit
+// flush writes whichever paths are configured).
+void init_env_toggles() {
+  if (g_trace_on.load(std::memory_order_relaxed) == -1) {
+    init_from_env(g_trace_on, "GPTUNE_TRACE", &Registry::trace_path);
+  }
+  if (g_metrics_on.load(std::memory_order_relaxed) == -1) {
+    init_from_env(g_metrics_on, "GPTUNE_METRICS", &Registry::metrics_path);
+  }
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  if (g_trace_on.load(std::memory_order_relaxed) == -1) init_env_toggles();
+  return g_trace_on.load(std::memory_order_relaxed) == 1;
+}
+
+bool metrics_enabled() {
+  if (g_metrics_on.load(std::memory_order_relaxed) == -1) init_env_toggles();
+  return g_metrics_on.load(std::memory_order_relaxed) == 1;
+}
+
+void configure_trace(std::string path) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const bool on = !path.empty();
+  r.trace_path = std::move(path);
+  if (on) register_atexit_locked(r);
+  g_trace_on.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void configure_metrics(std::string path) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const bool on = !path.empty();
+  r.metrics_path = std::move(path);
+  if (on) register_atexit_locked(r);
+  g_metrics_on.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+// --- shadow virtual clock --------------------------------------------------
+
+void advance_virtual(double seconds) {
+  if (seconds > 0.0) t_tls.vclock += seconds;
+}
+
+double virtual_clock() { return t_tls.vclock; }
+
+// --- tracing ---------------------------------------------------------------
+
+Span::Span(const char* category, const char* name)
+    : category_(category), name_(name), active_(trace_enabled()) {
+  if (!active_) return;
+  start_us_ = now_us();
+  vstart_ = t_tls.vclock;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  TraceEvent event;
+  event.ph = 'X';
+  event.cat = category_;
+  event.name = name_;
+  event.arg_key = arg_key_;
+  event.arg_value = arg_value_;
+  event.ts_us = start_us_;
+  event.dur_us = now_us() - start_us_;
+  event.vt_s = vstart_;
+  event.track = current_track();
+  record(event);
+}
+
+void Span::arg(const char* key, double value) {
+  if (!active_) return;
+  arg_key_ = key;
+  arg_value_ = value;
+}
+
+void instant(const char* category, const char* name) {
+  if (!trace_enabled()) return;
+  TraceEvent event;
+  event.ph = 'i';
+  event.cat = category;
+  event.name = name;
+  event.ts_us = now_us();
+  event.vt_s = t_tls.vclock;
+  event.track = current_track();
+  record(event);
+}
+
+// --- metrics ---------------------------------------------------------------
+
+void Gauge::set(double value) {
+  bits_.store(double_to_bits(value), std::memory_order_relaxed);
+}
+double Gauge::value() const {
+  return bits_to_double(bits_.load(std::memory_order_relaxed));
+}
+
+Histogram::Histogram()
+    : min_bits_(double_to_bits(std::numeric_limits<double>::infinity())),
+      max_bits_(double_to_bits(-std::numeric_limits<double>::infinity())) {}
+
+std::size_t Histogram::bucket_of(double value) {
+  if (!(value > 0.0)) return 0;
+  int exp = 0;
+  std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+  // Bucket b covers [2^(b-33), 2^(b-32)); clamp the tails.
+  const int b = exp + 32;
+  if (b < 1) return 1;
+  if (b >= static_cast<int>(kBuckets)) return kBuckets - 1;
+  return static_cast<std::size_t>(b);
+}
+
+double Histogram::bucket_floor(std::size_t bucket) {
+  if (bucket == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(bucket) - 33);
+}
+
+void Histogram::record(double value) {
+  buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_double_add(sum_bits_, value);
+  atomic_double_min(min_bits_, value);
+  atomic_double_max(max_bits_, value);
+}
+
+double Histogram::sum() const {
+  return bits_to_double(sum_bits_.load(std::memory_order_relaxed));
+}
+double Histogram::min() const {
+  return bits_to_double(min_bits_.load(std::memory_order_relaxed));
+}
+double Histogram::max() const {
+  return bits_to_double(max_bits_.load(std::memory_order_relaxed));
+}
+std::uint64_t Histogram::bucket_count(std::size_t bucket) const {
+  return buckets_[bucket].load(std::memory_order_relaxed);
+}
+
+Counter& counter(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.counters[name];
+}
+
+Gauge& gauge(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.gauges[name];
+}
+
+Histogram& histogram(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.histograms[name];
+}
+
+// --- output ----------------------------------------------------------------
+
+std::string trace_json() {
+  Registry& r = registry();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  std::lock_guard<std::mutex> lock(r.mutex);
+  os << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"gptune\"}}";
+  first = false;
+  for (std::size_t t = 0; t < r.tracks.size(); ++t) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << t
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    std::ostringstream label;
+    label << r.tracks[t].role << "/" << r.tracks[t].rank;
+    append_escaped(os, label.str().c_str());
+    os << "}}";
+  }
+  for (const auto& buffer : r.buffers) {
+    for (const Chunk* chunk = &buffer->first; chunk != nullptr;
+         chunk = chunk->next.load(std::memory_order_acquire)) {
+      const std::size_t used = chunk->used.load(std::memory_order_acquire);
+      for (std::size_t i = 0; i < used; ++i) {
+        const TraceEvent& e = chunk->events[i];
+        sep();
+        os << "{\"ph\":\"" << e.ph << "\",\"pid\":1,\"tid\":" << e.track
+           << ",\"cat\":";
+        append_escaped(os, e.cat);
+        os << ",\"name\":";
+        append_escaped(os, e.name);
+        os << ",\"ts\":";
+        append_number(os, e.ts_us);
+        if (e.ph == 'X') {
+          os << ",\"dur\":";
+          append_number(os, e.dur_us);
+        }
+        if (e.ph == 'i') os << ",\"s\":\"t\"";
+        os << ",\"args\":{\"vt\":";
+        append_number(os, e.vt_s);
+        if (e.arg_key != nullptr) {
+          os << ",";
+          append_escaped(os, e.arg_key);
+          os << ":";
+          append_number(os, e.arg_value);
+        }
+        os << "}}";
+      }
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string metrics_json() {
+  Registry& r = registry();
+  std::ostringstream os;
+  std::lock_guard<std::mutex> lock(r.mutex);
+
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : r.counters) {
+    os << (first ? "\n    " : ",\n    ");
+    append_escaped(os, name.c_str());
+    os << ": " << c.value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : r.gauges) {
+    os << (first ? "\n    " : ",\n    ");
+    append_escaped(os, name.c_str());
+    os << ": ";
+    append_number(os, g.value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : r.histograms) {
+    os << (first ? "\n    " : ",\n    ");
+    append_escaped(os, name.c_str());
+    os << ": {\"count\": " << h.count() << ", \"sum\": ";
+    append_number(os, h.count() > 0 ? h.sum() : 0.0);
+    os << ", \"min\": ";
+    append_number(os, h.count() > 0 ? h.min() : 0.0);
+    os << ", \"max\": ";
+    append_number(os, h.count() > 0 ? h.max() : 0.0);
+    os << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t n = h.bucket_count(b);
+      if (n == 0) continue;
+      os << (first_bucket ? "" : ", ") << "{\"floor\": ";
+      append_number(os, Histogram::bucket_floor(b));
+      os << ", \"count\": " << n << "}";
+      first_bucket = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+void flush() {
+  init_env_toggles();  // an explicit flush honors the env even if no
+                       // enabled-check ran before it
+  std::string trace_path, metrics_path;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    trace_path = r.trace_path;
+    metrics_path = r.metrics_path;
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::binary | std::ios::trunc);
+    if (out) out << trace_json();
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path, std::ios::binary | std::ios::trunc);
+    if (out) out << metrics_json();
+  }
+}
+
+void reset_for_testing() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  // Buffers are owned by live threads; drop only events already published.
+  // The simple, safe reset: forget finished buffers is impossible without
+  // a thread handshake, so zero the metric values and leave trace buffers
+  // to the natural per-test configure_trace("") gating.
+  for (auto& [name, c] : r.counters) {
+    while (c.value() != 0) {
+      c.add(static_cast<std::uint64_t>(0) - c.value());
+    }
+  }
+  for (auto& [name, g] : r.gauges) g.set(0.0);
+  // Un-latch the env toggles so the next trace_enabled()/metrics_enabled()
+  // re-reads GPTUNE_TRACE/GPTUNE_METRICS (tests exercise the env path).
+  r.trace_path.clear();
+  r.metrics_path.clear();
+  g_trace_on.store(-1, std::memory_order_relaxed);
+  g_metrics_on.store(-1, std::memory_order_relaxed);
+}
+
+#else  // !GPTUNE_TELEMETRY — dummies behind the inline no-op API.
+
+Counter& counter(const std::string&) {
+  static Counter c;
+  return c;
+}
+Gauge& gauge(const std::string&) {
+  static Gauge g;
+  return g;
+}
+Histogram& histogram(const std::string&) {
+  static Histogram h;
+  return h;
+}
+
+#endif  // GPTUNE_TELEMETRY
+
+}  // namespace gptune::telemetry

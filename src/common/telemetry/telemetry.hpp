@@ -1,0 +1,248 @@
+// Telemetry layer: Chrome-trace spans + a counters/gauges/histograms
+// registry (DESIGN.md §3.7).
+//
+// The paper's central performance claim (Fig. 1 / Fig. 3) is about where
+// time goes *inside* the tuner — modeling vs. search vs. objective phases
+// across master/worker groups. This module makes that observable without
+// printf archaeology:
+//
+//   * Tracing. RAII `Span`s and `instant()` events carry the recording
+//     thread's rank/worker identity and dual timestamps — wall clock plus
+//     the thread's shadow virtual clock (see runtime/virtual_clock.hpp) —
+//     and are appended to per-thread lock-free buffers. `trace_json()`
+//     renders everything as Chrome `trace_event` JSON, loadable in
+//     chrome://tracing or https://ui.perfetto.dev.
+//   * Metrics. Named counters, gauges and power-of-two histograms, always
+//     cheap enough to leave on (one relaxed atomic op); `metrics_json()`
+//     snapshots them with stable key order.
+//   * Identity. Each runtime thread declares who it is (role + rank:
+//     "rank/0", "objective/3", "pool/1", ...) once via `set_identity`;
+//     trace spans, metric dumps and common/log lines all tag with the same
+//     identity.
+//
+// Toggling. Tracing is off unless `GPTUNE_TRACE=<path>` is set in the
+// environment (or `configure_trace` is called); metrics snapshots are
+// written at process exit when `GPTUNE_METRICS=<path>` is set. Like
+// runtime/rtcheck, the whole layer is compile-time removable: configure
+// with -DGPTUNE_TELEMETRY=OFF and every hook below collapses to an inline
+// no-op.
+//
+// Determinism contract: telemetry observes, it never steers. Timestamps
+// and counters are recorded but no tuner code path may branch on them, so
+// the tuning trajectory is bitwise identical with tracing on or off
+// (enforced by tests/test_telemetry.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#if defined(GPTUNE_TELEMETRY)
+#include <atomic>
+#endif
+
+namespace gptune::telemetry {
+
+/// Who the calling thread is, in paper Fig. 1 terms: a role ("main",
+/// "rank", "objective", "search", "pool", ...) plus a rank within it.
+/// `role` must point at storage that outlives the process (string
+/// literals); identities are set once per thread by the runtime layer.
+struct Identity {
+  const char* role = "main";
+  int rank = 0;
+};
+
+#if defined(GPTUNE_TELEMETRY)
+
+// --- identity -------------------------------------------------------------
+
+/// Declares the calling thread's identity; subsequent spans, instants and
+/// log lines from this thread carry it. `role` must be a string literal.
+void set_identity(const char* role, int rank);
+Identity identity();
+
+// --- runtime toggles ------------------------------------------------------
+
+/// True when span/instant recording is active. One relaxed atomic load;
+/// reads GPTUNE_TRACE from the environment on first use.
+bool trace_enabled();
+/// True when a metrics snapshot will be written at exit (GPTUNE_METRICS).
+bool metrics_enabled();
+
+/// Programmatic overrides (tests, benches). A non-empty path enables
+/// recording and is where flush() writes; "" disables.
+void configure_trace(std::string path);
+void configure_metrics(std::string path);
+
+// --- shadow virtual clock -------------------------------------------------
+
+/// Advances the calling thread's virtual clock (seconds). Instrumented
+/// sites that know a virtual cost (the evaluation engine's per-item cost,
+/// the trainer's restart times) charge it here so spans carry both wall
+/// and virtual timestamps. Observed only — never read back by tuner code.
+void advance_virtual(double seconds);
+/// Current value of the calling thread's virtual clock.
+double virtual_clock();
+
+// --- tracing --------------------------------------------------------------
+
+/// RAII span: records one Chrome `ph:"X"` (complete) event covering the
+/// scope's lifetime. `category`/`name` must be string literals. Costs one
+/// relaxed load when tracing is off.
+class Span {
+ public:
+  Span(const char* category, const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches one numeric argument, rendered under the event's "args".
+  /// `key` must be a string literal; the last call wins.
+  void arg(const char* key, double value);
+
+ private:
+  const char* category_;
+  const char* name_;
+  const char* arg_key_ = nullptr;
+  double arg_value_ = 0.0;
+  double start_us_ = 0.0;
+  double vstart_ = 0.0;
+  bool active_;
+};
+
+/// Records one instant (`ph:"i"`, thread-scoped) event.
+void instant(const char* category, const char* name);
+
+// --- metrics --------------------------------------------------------------
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value-wins instantaneous measurement.
+class Gauge {
+ public:
+  void set(double value);
+  double value() const;
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};  ///< double stored as bit pattern
+};
+
+/// Power-of-two-bucket histogram with count/sum/min/max.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(double value);
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const;
+  double min() const;
+  double max() const;
+  std::uint64_t bucket_count(std::size_t bucket) const;
+  /// Inclusive lower bound of `bucket` (0 for the nonpositive bucket).
+  static double bucket_floor(std::size_t bucket);
+  /// Bucket index a value lands in.
+  static std::size_t bucket_of(double value);
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};
+  std::atomic<std::uint64_t> min_bits_;
+  std::atomic<std::uint64_t> max_bits_;
+
+ public:
+  Histogram();
+};
+
+/// Named lookup (created on first use; references stay valid for the
+/// process lifetime). Call sites on hot paths should cache the reference:
+///   static auto& c = telemetry::counter("eval.items");
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+// --- output ---------------------------------------------------------------
+
+/// All buffered trace events as Chrome trace_event JSON (an object with a
+/// "traceEvents" array plus thread-name metadata for every identity).
+std::string trace_json();
+
+/// Snapshot of every registered counter/gauge/histogram as JSON with
+/// stable (sorted) key order.
+std::string metrics_json();
+
+/// Writes trace_json()/metrics_json() to the configured paths (no-op for
+/// unconfigured outputs). Registered atexit when env toggles are present,
+/// so instrumented binaries need no code changes to emit telemetry.
+void flush();
+
+/// Zeroes every metric and un-latches the env toggles so the next
+/// enabled-check re-reads GPTUNE_TRACE/GPTUNE_METRICS (tests only —
+/// metric references stay valid; buffered trace events are kept).
+void reset_for_testing();
+
+#else  // !defined(GPTUNE_TELEMETRY) — every hook collapses to a no-op.
+
+inline void set_identity(const char*, int) {}
+inline Identity identity() { return {}; }
+inline bool trace_enabled() { return false; }
+inline bool metrics_enabled() { return false; }
+inline void configure_trace(std::string) {}
+inline void configure_metrics(std::string) {}
+inline void advance_virtual(double) {}
+inline double virtual_clock() { return 0.0; }
+
+class Span {
+ public:
+  Span(const char*, const char*) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  void arg(const char*, double) {}
+};
+
+inline void instant(const char*, const char*) {}
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) {}
+  std::uint64_t value() const { return 0; }
+};
+class Gauge {
+ public:
+  void set(double) {}
+  double value() const { return 0.0; }
+};
+class Histogram {
+ public:
+  void record(double) {}
+  std::uint64_t count() const { return 0; }
+  double sum() const { return 0.0; }
+};
+
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+inline std::string trace_json() { return "{\"traceEvents\":[]}\n"; }
+inline std::string metrics_json() {
+  return "{\"counters\":{},\"gauges\":{},\"histograms\":{}}\n";
+}
+inline void flush() {}
+inline void reset_for_testing() {}
+
+#endif  // GPTUNE_TELEMETRY
+
+}  // namespace gptune::telemetry

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "common/telemetry/telemetry.hpp"
 #include "common/timer.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/virtual_clock.hpp"
@@ -53,7 +54,8 @@ EvalEngine::EvalEngine(MultiObjectiveFn objective, std::size_t num_objectives,
 
   rt::Comm master = rt::World::self();
   auto handle = master.spawn(
-      workers_, [this](rt::Comm& /*worker*/, rt::InterComm& parent) {
+      workers_, [this](rt::Comm& worker, rt::InterComm& parent) {
+        telemetry::set_identity("objective", static_cast<int>(worker.rank()));
         for (;;) {
           rt::Message msg = parent.recv();
           if (msg.tag < 0) break;
@@ -94,6 +96,7 @@ EvalEngine::~EvalEngine() {
 
 EvalEngine::Attempted EvalEngine::run_item(const TaskVector& task,
                                            const Config& config) const {
+  telemetry::Span item_span("objective", "eval_item");
   Attempted out;
   const std::size_t max_attempts = 1 + policy_.max_retries;
   for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
@@ -138,6 +141,8 @@ EvalEngine::Attempted EvalEngine::run_item(const TaskVector& task,
     out.failed = !clean;
     if (clean) break;
   }
+  item_span.arg("vt_cost", out.virtual_seconds);
+  telemetry::advance_virtual(out.virtual_seconds);
   return out;
 }
 
@@ -187,6 +192,8 @@ void EvalEngine::evaluate_spawned(const std::vector<TaskVector>& tasks,
 std::vector<EvalOutcome> EvalEngine::evaluate(
     const std::vector<TaskVector>& tasks, const std::vector<EvalItem>& items) {
   common::Timer wall;
+  telemetry::Span batch_span("objective", "eval_batch");
+  batch_span.arg("items", static_cast<double>(items.size()));
   std::vector<Attempted> raw(items.size());
   if (group_ && items.size() > 1) {
     evaluate_spawned(tasks, items, raw);
@@ -249,6 +256,17 @@ std::vector<EvalOutcome> EvalEngine::evaluate(
   report.virtual_makespan = ranks.makespan();
   report.virtual_work = ranks.total_work();
   report.wall_seconds = wall.seconds();
+
+  static auto& items_counter = telemetry::counter("eval.items");
+  static auto& attempts_counter = telemetry::counter("eval.attempts");
+  static auto& retries_counter = telemetry::counter("eval.retries");
+  static auto& timeouts_counter = telemetry::counter("eval.timeouts");
+  static auto& penalized_counter = telemetry::counter("eval.penalized");
+  items_counter.add(report.items);
+  attempts_counter.add(report.items + report.retries);
+  retries_counter.add(report.retries);
+  timeouts_counter.add(report.timeouts);
+  penalized_counter.add(report.penalized);
 
   last_batch_ = report;
   ++stats_.batches;

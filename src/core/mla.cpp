@@ -9,6 +9,7 @@
 #include <unordered_set>
 
 #include "common/log.hpp"
+#include "common/telemetry/telemetry.hpp"
 #include "common/timer.hpp"
 #include "core/acquisition.hpp"
 #include "runtime/comm.hpp"
@@ -180,6 +181,7 @@ std::vector<double> encode_config(const Space& space,
 }  // namespace
 
 void MultitaskTuner::sampling_phase(State& state) {
+  telemetry::Span phase_span("objective", "sampling_phase");
   const std::size_t delta = state.tasks.size();
   state.result.tasks.resize(delta);
   std::vector<std::vector<Config>> batches(delta);
@@ -208,6 +210,8 @@ void MultitaskTuner::sampling_phase(State& state) {
 }
 
 void MultitaskTuner::modeling_phase(State& state, bool refit) {
+  telemetry::Span phase_span("model", "modeling_phase");
+  phase_span.arg("iteration", static_cast<double>(state.iteration));
   const std::size_t delta = state.tasks.size();
   state.fit_wall = 0.0;
   state.fit_virtual = 0.0;
@@ -315,6 +319,8 @@ void MultitaskTuner::modeling_phase(State& state, bool refit) {
 }
 
 void MultitaskTuner::search_phase_single(State& state) {
+  telemetry::Span phase_span("search", "search_phase");
+  phase_span.arg("iteration", static_cast<double>(state.iteration));
   const std::size_t delta = state.tasks.size();
   if (!state.models[0]) {
     // No model (all fits failed): fall back to random sampling.
@@ -406,6 +412,9 @@ void MultitaskTuner::search_phase_single(State& state) {
     rt::World::run(1, [&](rt::Comm& master) {
       auto handle = master.spawn(
           workers, [&](rt::Comm& worker, rt::InterComm& parent) {
+            telemetry::set_identity("search",
+                                    static_cast<int>(worker.rank()));
+            telemetry::Span worker_span("search", "search_worker");
             for (std::size_t a = worker.rank(); a < active.size();
                  a += worker.size()) {
               const std::size_t i = active[a];
@@ -437,6 +446,8 @@ void MultitaskTuner::search_phase_single(State& state) {
 }
 
 void MultitaskTuner::search_phase_multi(State& state) {
+  telemetry::Span phase_span("search", "search_phase");
+  phase_span.arg("iteration", static_cast<double>(state.iteration));
   const std::size_t delta = state.tasks.size();
   const std::size_t gamma = options_.num_objectives;
   std::vector<std::vector<Config>> batches(delta);
@@ -556,6 +567,8 @@ MlaResult MultitaskTuner::run(const std::vector<TaskVector>& tasks) {
       objective_, options_.num_objectives, options_.objective_workers,
       options_.evaluation, options_.history);
 
+  common::log_info("mla: ", tasks.size(), " tasks, budget ",
+                   options_.budget_per_task, "/task, seed ", options_.seed);
   sampling_phase(state);
 
   auto budget_left = [&] {
@@ -594,8 +607,29 @@ MlaResult MultitaskTuner::run(const std::vector<TaskVector>& tasks) {
           (state.result.times.objective - objective_before);
     }
     ++state.iteration;
+    if (common::log_level() <= common::LogLevel::kInfo) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& th : state.result.tasks) {
+        best = std::min(best, th.best());
+      }
+      common::log_info("mla: iteration ", state.iteration,
+                       " done, best objective ", best);
+    }
   }
   state.result.eval_stats = state.eval->stats();
+
+  // Per-phase profile rollup (fixed order; invocations: objective counts
+  // engine batches, modeling/search count MLA iterations).
+  auto& profiles = state.result.profiles;
+  profiles.clear();
+  profiles.push_back({"objective", state.result.eval_stats.batches,
+                      state.result.times.objective,
+                      state.result.virtual_times.objective});
+  profiles.push_back({"modeling", state.iteration,
+                      state.result.times.modeling,
+                      state.result.virtual_times.modeling});
+  profiles.push_back({"search", state.iteration, state.result.times.search,
+                      state.result.virtual_times.search});
   return state.result;
 }
 

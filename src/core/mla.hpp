@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/eval_engine.hpp"
@@ -106,6 +107,17 @@ struct MlaOptions {
   HistoryDb* history = nullptr;
 };
 
+/// One row of the per-phase profile (paper Fig. 1 phases): how often the
+/// phase ran and where its time went, on both clocks. Derived from the
+/// same accounting as PhaseTimes; printed by the fig3/trainer benches and
+/// by tools/trace_summarize.
+struct PhaseProfile {
+  std::string phase;           ///< "objective" | "modeling" | "search"
+  std::size_t invocations = 0;
+  double wall_seconds = 0.0;
+  double virtual_seconds = 0.0;
+};
+
 struct MlaResult {
   std::vector<TaskHistory> tasks;
   /// Wall-clock phase times on this host.
@@ -117,6 +129,9 @@ struct MlaResult {
   PhaseTimes virtual_times;
   /// Evaluation-engine accounting (attempts, retries, timeouts, penalties).
   EvalStats eval_stats;
+  /// Per-phase rollup of `times`/`virtual_times` with invocation counts,
+  /// in fixed order: objective, modeling, search.
+  std::vector<PhaseProfile> profiles;
   std::size_t model_refits = 0;
   std::size_t evaluations = 0;
 };

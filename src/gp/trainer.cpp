@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/log.hpp"
+#include "common/telemetry/telemetry.hpp"
 #include "common/timer.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -57,6 +58,7 @@ RestartOutcome run_restart(const LcmEvalContext& ctx,
                            const linalg::TaskBatchRunner& runner) {
   const LcmShape& shape = ctx.shape();
   common::Timer timer;
+  telemetry::Span restart_span("model", "lcm_restart");
   RestartOutcome out;
   // Clamp log-space parameters into sane boxes to keep the covariance well
   // conditioned: lengthscales in [1e-3, 1e3], b in [1e-8, 1e3],
@@ -120,6 +122,10 @@ RestartOutcome run_restart(const LcmEvalContext& ctx,
   }
   out.cache = evaluator.cache_stats();
   out.seconds = timer.seconds();
+  restart_span.arg("lbfgs_evals", static_cast<double>(evals));
+  telemetry::advance_virtual(out.seconds);
+  static auto& evals_hist = telemetry::histogram("trainer.lbfgs.evals");
+  evals_hist.record(static_cast<double>(evals));
   return out;
 }
 
@@ -129,6 +135,7 @@ std::optional<LcmModel> fit_lcm(const MultiTaskData& data,
                                 const LcmFitOptions& options,
                                 LcmFitStats* stats) {
   common::Timer fit_timer;
+  telemetry::Span fit_span("model", "fit_lcm");
   LcmShape shape;
   shape.num_tasks = data.num_tasks();
   shape.dim = data.dim();
@@ -223,6 +230,13 @@ std::optional<LcmModel> fit_lcm(const MultiTaskData& data,
     }
     if (!best || out.lml > best->lml) best = &out;
   }
+  fit_span.arg("restarts", static_cast<double>(outcomes.size()));
+  static auto& hits_counter = telemetry::counter("trainer.gram.hits");
+  static auto& misses_counter = telemetry::counter("trainer.gram.misses");
+  static auto& restarts_counter = telemetry::counter("trainer.restarts");
+  hits_counter.add(gram_hits);
+  misses_counter.add(gram_misses);
+  restarts_counter.add(outcomes.size());
   if (stats) {
     stats->restarts_attempted = outcomes.size();
     stats->restarts_failed = failed;

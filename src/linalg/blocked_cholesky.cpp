@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/telemetry/telemetry.hpp"
+
 namespace gptune::linalg {
 
 TaskBatchRunner serial_runner() {
@@ -74,6 +76,12 @@ std::optional<CholeskyFactor> blocked_cholesky(const Matrix& a,
   const std::size_t n = a.rows();
   assert(a.cols() == n);
   if (block_size == 0) block_size = 64;
+  telemetry::Span chol_span("model", "cholesky");
+  chol_span.arg("n", static_cast<double>(n));
+  static auto& factorizations = telemetry::counter("linalg.cholesky.count");
+  static auto& flops = telemetry::counter("linalg.cholesky.flops");
+  factorizations.add();
+  flops.add(static_cast<std::uint64_t>(cholesky_flops(n)));
   Matrix l = a;
 
   for (std::size_t k0 = 0; k0 < n; k0 += block_size) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/telemetry/telemetry.hpp"
 #include "runtime/rtcheck.hpp"
 
 namespace gptune::rt {
@@ -10,11 +11,15 @@ namespace gptune::rt {
 namespace detail {
 
 void Mailbox::post(Message msg) {
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(msg));
+    depth = queue_.size();
   }
   cv_.notify_all();
+  static auto& depth_hist = telemetry::histogram("runtime.mailbox.depth");
+  depth_hist.record(static_cast<double>(depth));
 }
 
 namespace {
@@ -236,6 +241,9 @@ void Comm::send(std::size_t dest, int tag, std::vector<double> data) {
 #if defined(GPTUNE_RTCHECK)
   rtcheck::hooks::check_send_intra(group_.get(), rank_, dest, tag);
 #endif
+  static auto& sends = telemetry::counter("runtime.sends");
+  sends.add();
+  telemetry::instant("comm", "send");
   assert(dest < size());
   Message m;
   m.source = static_cast<int>(rank_);
@@ -245,6 +253,7 @@ void Comm::send(std::size_t dest, int tag, std::vector<double> data) {
 }
 
 Message Comm::recv(int source, int tag) {
+  telemetry::Span span("comm", "recv");
   return group_->mailboxes[rank_].take(source, tag);
 }
 
@@ -258,6 +267,7 @@ bool Comm::try_recv(int source, int tag, Message* out) {
 }
 
 void Comm::barrier() {
+  telemetry::Span span("comm", "barrier");
   auto& g = *group_;
 #if defined(GPTUNE_RTCHECK)
   rtcheck::hooks::enter_collective(group_.get(), rank_, "barrier", 0, -1);
@@ -319,6 +329,7 @@ constexpr int kCollectiveTag = -1000;  // reserved; below user tag space
 }
 
 void Comm::bcast(std::vector<double>& data, std::size_t root) {
+  telemetry::Span span("comm", "bcast");
 #if defined(GPTUNE_RTCHECK)
   rtcheck::hooks::enter_collective(group_.get(), rank_, "bcast", root, -1);
 #endif
@@ -334,6 +345,7 @@ void Comm::bcast(std::vector<double>& data, std::size_t root) {
 
 std::vector<double> Comm::reduce_sum(const std::vector<double>& contribution,
                                      std::size_t root) {
+  telemetry::Span span("comm", "reduce_sum");
 #if defined(GPTUNE_RTCHECK)
   rtcheck::hooks::enter_collective(group_.get(), rank_, "reduce", root,
                                    static_cast<long>(contribution.size()));
@@ -364,6 +376,7 @@ std::vector<double> Comm::allreduce_sum(
 
 std::vector<std::vector<double>> Comm::gather(const std::vector<double>& data,
                                               std::size_t root) {
+  telemetry::Span span("comm", "gather");
 #if defined(GPTUNE_RTCHECK)
   rtcheck::hooks::enter_collective(group_.get(), rank_, "gather", root, -1);
 #endif
@@ -384,6 +397,9 @@ std::vector<std::vector<double>> Comm::gather(const std::vector<double>& data,
 SpawnHandle Comm::spawn(std::size_t n,
                         std::function<void(Comm&, InterComm&)> fn) const {
   assert(n >= 1);
+  static auto& spawns = telemetry::counter("runtime.spawns");
+  spawns.add();
+  telemetry::instant("comm", "spawn");
   auto channel = std::make_shared<detail::InterChannel>(1, n);
   auto child_group = std::make_shared<detail::GroupState>(n);
 #if defined(GPTUNE_RTCHECK)
@@ -395,6 +411,8 @@ SpawnHandle Comm::spawn(std::size_t n,
   threads.reserve(n);
   for (std::size_t r = 0; r < n; ++r) {
     threads.emplace_back([channel, child_group, r, fn] {
+      telemetry::set_identity("worker", static_cast<int>(r));
+      telemetry::Span lifetime("comm", "spawned_rank");
       Comm child_comm(child_group, r);
       InterComm parent(channel, /*is_parent_side=*/false, r,
                        /*remote_size=*/1);
@@ -429,6 +447,8 @@ void World::run(std::size_t n, const std::function<void(Comm&)>& fn) {
   threads.reserve(n);
   for (std::size_t r = 0; r < n; ++r) {
     threads.emplace_back([group, r, &fn] {
+      telemetry::set_identity("rank", static_cast<int>(r));
+      telemetry::Span lifetime("comm", "world_rank");
       Comm comm(group, r);
 #if defined(GPTUNE_RTCHECK)
       rtcheck::hooks::on_rank_started(group.get(), r);

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "common/telemetry/telemetry.hpp"
 #include "runtime/rtcheck.hpp"
 
 namespace gptune::rt {
@@ -10,7 +11,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   threads_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] {
+      telemetry::set_identity("pool", static_cast<int>(i));
+      worker_loop();
+    });
   }
 #if defined(GPTUNE_RTCHECK)
   rtcheck::hooks::on_pool_created(this, num_threads);
@@ -116,9 +120,16 @@ bool ThreadPool::try_run_one() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
-  task();
+  run_task(task);
   finish_task();
   return true;
+}
+
+void ThreadPool::run_task(const std::function<void()>& task) {
+  static auto& tasks_run = telemetry::counter("runtime.pool.tasks");
+  tasks_run.add();
+  telemetry::Span span("pool", "task");
+  task();
 }
 
 void ThreadPool::finish_task() {
@@ -140,7 +151,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    run_task(task);
     finish_task();
   }
 }

@@ -51,6 +51,8 @@ class ThreadPool {
   void worker_loop();
   /// Pops and runs one queued task; false if the queue was empty.
   bool try_run_one();
+  /// Executes `task` wrapped in a telemetry span + counter.
+  static void run_task(const std::function<void()>& task);
   void finish_task();
 
   std::vector<std::thread> threads_;

@@ -303,6 +303,34 @@ TEST(GptuneLint, SuppressionOnSameOrPrecedingLine) {
           .empty());
 }
 
+TEST(GptuneLint, FlagsWallClockOutsideSanctionedFiles) {
+  const std::string code =
+      "auto t0 = std::chrono::steady_clock::now();\n"
+      "auto t1 = std::chrono::system_clock::now();\n";
+  auto f = lint_snippet("src/core/x.cpp", code);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].rule, "wall-clock");
+  EXPECT_EQ(f[0].line, 1u);
+  EXPECT_EQ(f[1].line, 2u);
+
+  // The sanctioned consumers: the timer wrapper, the telemetry layer, and
+  // the runtime (mailbox deadlines).
+  EXPECT_TRUE(lint_snippet("src/common/timer.hpp", code).empty());
+  EXPECT_TRUE(
+      lint_snippet("src/common/telemetry/telemetry.cpp", code).empty());
+  EXPECT_TRUE(lint_snippet("src/runtime/comm.cpp", code).empty());
+
+  // Annotated suppressions work as for every other rule.
+  std::size_t suppressed = 0;
+  EXPECT_TRUE(
+      lint_snippet("src/core/x.cpp",
+                   "auto t = std::chrono::steady_clock::now();"
+                   "  // gptune-lint: allow(wall-clock)\n",
+                   &suppressed)
+          .empty());
+  EXPECT_EQ(suppressed, 1u);
+}
+
 TEST(GptuneLint, IgnoresCommentsAndStringLiterals) {
   EXPECT_TRUE(lint_snippet("src/core/x.cpp",
                            "// std::random_device in a comment\n"

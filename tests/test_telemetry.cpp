@@ -1,0 +1,385 @@
+// Telemetry layer tests: the JSON reader, the metrics registry, span
+// recording, and the ISSUE acceptance test — the same MLA seed with
+// telemetry off and on yields a bitwise-identical trajectory, a valid
+// Chrome trace covering all three phases with >= 2 distinct worker
+// identities, and a metrics snapshot with nonzero eval/trainer counters.
+//
+// gtest_discover_tests runs each TEST in its own process, so env-toggle
+// and buffered-trace state never leaks between tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/analytical.hpp"
+#include "common/log.hpp"
+#include "common/telemetry/json.hpp"
+#include "common/telemetry/telemetry.hpp"
+#include "core/mla.hpp"
+
+namespace {
+
+using namespace gptune;
+using telemetry::JsonValue;
+
+// --- JSON reader ------------------------------------------------------------
+
+TEST(TelemetryJson, ParsesScalarsArraysObjects) {
+  std::string error;
+  const JsonValue v = JsonValue::parse(
+      "{\"a\": 1.5, \"b\": [true, false, null, \"x\\ny\"], \"c\": {}}",
+      &error);
+  EXPECT_TRUE(error.empty()) << error;
+  ASSERT_TRUE(v.is_object());
+  ASSERT_NE(v.find("a"), nullptr);
+  EXPECT_DOUBLE_EQ(v.find("a")->as_number(), 1.5);
+  ASSERT_NE(v.find("b"), nullptr);
+  ASSERT_TRUE(v.find("b")->is_array());
+  const auto& items = v.find("b")->items();
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_TRUE(items[0].as_bool());
+  EXPECT_FALSE(items[1].as_bool());
+  EXPECT_TRUE(items[2].is_null());
+  EXPECT_EQ(items[3].as_string(), "x\ny");
+  ASSERT_NE(v.find("c"), nullptr);
+  EXPECT_TRUE(v.find("c")->is_object());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(TelemetryJson, PreservesObjectMemberOrder) {
+  std::string error;
+  const JsonValue v =
+      JsonValue::parse("{\"z\": 1, \"a\": 2, \"m\": 3}", &error);
+  EXPECT_TRUE(error.empty());
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "z");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "m");
+}
+
+TEST(TelemetryJson, ReportsErrors) {
+  std::string error;
+  JsonValue::parse("{\"a\": }", &error);
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  JsonValue::parse("[1, 2", &error);
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  JsonValue::parse("{} trailing", &error);
+  EXPECT_FALSE(error.empty());
+  // Negative/exponent numbers parse.
+  const JsonValue n = JsonValue::parse("-1.25e2", &error);
+  EXPECT_TRUE(error.empty());
+  EXPECT_DOUBLE_EQ(n.as_number(), -125.0);
+}
+
+#if defined(GPTUNE_TELEMETRY)
+
+// --- metrics registry -------------------------------------------------------
+
+TEST(TelemetryMetrics, CounterGaugeBasics) {
+  auto& c = telemetry::counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name, same counter.
+  EXPECT_EQ(telemetry::counter("test.counter").value(), 5u);
+
+  auto& g = telemetry::gauge("test.gauge");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.set(-7.0);
+  EXPECT_DOUBLE_EQ(telemetry::gauge("test.gauge").value(), -7.0);
+}
+
+TEST(TelemetryMetrics, HistogramBucketsAndMoments) {
+  auto& h = telemetry::histogram("test.hist");
+  h.record(0.0);   // nonpositive bucket
+  h.record(1.0);
+  h.record(1.5);   // same power-of-two bucket as 1.0
+  h.record(100.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 102.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_EQ(telemetry::Histogram::bucket_of(1.0),
+            telemetry::Histogram::bucket_of(1.5));
+  EXPECT_NE(telemetry::Histogram::bucket_of(1.0),
+            telemetry::Histogram::bucket_of(100.0));
+  EXPECT_EQ(telemetry::Histogram::bucket_of(-3.0), 0u);
+  // bucket_floor(bucket_of(v)) <= v < next floor, for in-range v.
+  const std::size_t b = telemetry::Histogram::bucket_of(13.0);
+  EXPECT_LE(telemetry::Histogram::bucket_floor(b), 13.0);
+  EXPECT_GT(telemetry::Histogram::bucket_floor(b + 1), 13.0);
+}
+
+TEST(TelemetryMetrics, SnapshotIsValidJsonWithStableOrder) {
+  telemetry::counter("b.counter").add(2);
+  telemetry::counter("a.counter").add(1);
+  telemetry::gauge("g.x").set(1.5);
+  telemetry::histogram("h.x").record(3.0);
+  std::string error;
+  const JsonValue v = JsonValue::parse(telemetry::metrics_json(), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const JsonValue* counters = v.find("counters");
+  ASSERT_NE(counters, nullptr);
+  // std::map registry => sorted key order in the snapshot.
+  ASSERT_GE(counters->members().size(), 2u);
+  EXPECT_EQ(counters->members()[0].first, "a.counter");
+  EXPECT_EQ(counters->members()[1].first, "b.counter");
+  EXPECT_DOUBLE_EQ(counters->find("b.counter")->as_number(), 2.0);
+  const JsonValue* h = v.find("histograms");
+  ASSERT_NE(h, nullptr);
+  ASSERT_NE(h->find("h.x"), nullptr);
+  EXPECT_DOUBLE_EQ(h->find("h.x")->find("count")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(h->find("h.x")->find("sum")->as_number(), 3.0);
+}
+
+// --- tracing ----------------------------------------------------------------
+
+TEST(TelemetryTrace, DisabledByDefaultAndCostsNothing) {
+  EXPECT_FALSE(telemetry::trace_enabled());
+  { telemetry::Span span("cat", "noop"); }
+  telemetry::instant("cat", "noop");
+  std::string error;
+  const JsonValue v = JsonValue::parse(telemetry::trace_json(), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  // Only metadata events (if any identities registered), no X/i events.
+  for (const JsonValue& e : v.find("traceEvents")->items()) {
+    EXPECT_EQ(e.find("ph")->as_string(), "M");
+  }
+}
+
+TEST(TelemetryTrace, RecordsSpansWithIdentityAndVirtualClock) {
+  telemetry::configure_trace("unused_path.json");
+  ASSERT_TRUE(telemetry::trace_enabled());
+  telemetry::set_identity("rank", 3);
+  EXPECT_STREQ(telemetry::identity().role, "rank");
+  EXPECT_EQ(telemetry::identity().rank, 3);
+
+  telemetry::advance_virtual(1.5);
+  {
+    telemetry::Span span("model", "outer");
+    span.arg("n", 42.0);
+    telemetry::Span inner("model", "inner");
+    telemetry::instant("comm", "ping");
+  }
+  telemetry::configure_trace("");  // stop recording before reading back
+
+  std::string error;
+  const JsonValue v = JsonValue::parse(telemetry::trace_json(), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const JsonValue* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  bool saw_outer = false, saw_inner = false, saw_instant = false;
+  bool saw_thread_name = false;
+  for (const JsonValue& e : events->items()) {
+    const std::string& ph = e.find("ph")->as_string();
+    const std::string name =
+        e.find("name") != nullptr ? e.find("name")->as_string() : "";
+    if (ph == "M" && name == "thread_name" &&
+        e.find("args")->find("name")->as_string() == "rank/3") {
+      saw_thread_name = true;
+    }
+    if (ph == "X" && name == "outer") {
+      saw_outer = true;
+      EXPECT_EQ(e.find("cat")->as_string(), "model");
+      EXPECT_GE(e.find("dur")->as_number(), 0.0);
+      EXPECT_DOUBLE_EQ(e.find("args")->find("vt")->as_number(), 1.5);
+      EXPECT_DOUBLE_EQ(e.find("args")->find("n")->as_number(), 42.0);
+    }
+    if (ph == "X" && name == "inner") saw_inner = true;
+    if (ph == "i" && name == "ping") {
+      saw_instant = true;
+      EXPECT_EQ(e.find("s")->as_string(), "t");
+    }
+  }
+  EXPECT_TRUE(saw_thread_name);
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_DOUBLE_EQ(telemetry::virtual_clock(), 1.5);
+}
+
+TEST(TelemetryTrace, EnvTogglesAreReadOnFirstUse) {
+  // The no-code-changes GPTUNE_TRACE=... workflow: the lazy init reads the
+  // environment on the first enabled-check. reset_for_testing un-latches
+  // the toggles in case an earlier test in this process already tripped it.
+  ::setenv("GPTUNE_TRACE", "env_trace.json", 1);
+  ::setenv("GPTUNE_METRICS", "env_metrics.json", 1);
+  telemetry::reset_for_testing();
+  EXPECT_TRUE(telemetry::trace_enabled());
+  EXPECT_TRUE(telemetry::metrics_enabled());
+  ::unsetenv("GPTUNE_TRACE");
+  ::unsetenv("GPTUNE_METRICS");
+  telemetry::reset_for_testing();
+  EXPECT_FALSE(telemetry::trace_enabled());
+  EXPECT_FALSE(telemetry::metrics_enabled());
+}
+
+// --- log sink + identity ----------------------------------------------------
+
+TEST(TelemetryLog, LinesCarryLevelAndIdentityThroughSink) {
+  telemetry::set_identity("worker", 7);
+  std::vector<std::string> lines;
+  common::set_log_sink([&lines](const std::string& line) {
+    lines.push_back(line);
+  });
+  common::set_log_level(common::LogLevel::kInfo);
+  common::log_info("hello ", 42);
+  common::log_debug("dropped below threshold");
+  common::log_warn("world");
+  common::set_log_sink(nullptr);
+  common::set_log_level(common::LogLevel::kWarn);
+
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "[INFO][worker/7] hello 42");
+  EXPECT_EQ(lines[1], "[WARN][worker/7] world");
+}
+
+// --- acceptance: telemetry never perturbs the trajectory --------------------
+
+/// Bitwise fingerprint of a tuning trajectory: every config value and
+/// objective of every evaluation, in order, as exact bit patterns.
+std::vector<std::uint64_t> fingerprint(const core::MlaResult& result) {
+  std::vector<std::uint64_t> bits;
+  auto push = [&bits](double v) {
+    std::uint64_t b;
+    static_assert(sizeof(b) == sizeof(v));
+    std::memcpy(&b, &v, sizeof(b));
+    bits.push_back(b);
+  };
+  for (const auto& th : result.tasks) {
+    for (const auto& e : th.evals) {
+      for (double v : e.config) push(v);
+      for (double v : e.objectives) push(v);
+    }
+  }
+  return bits;
+}
+
+core::MlaResult run_mla() {
+  core::MlaOptions opt;
+  opt.budget_per_task = 8;
+  opt.model_restarts = 1;
+  opt.max_lbfgs_iterations = 5;
+  opt.seed = 2024;
+  opt.objective_workers = 2;
+  opt.search_workers = 2;
+  core::MultitaskTuner tuner(apps::analytical_tuning_space(),
+                             apps::analytical_fn(), opt);
+  return tuner.run({{0.5}, {1.5}, {2.5}});
+}
+
+TEST(TelemetryAcceptance, TracedRunIsBitwiseIdenticalAndTraceIsComplete) {
+  // Run 1: telemetry off (the default).
+  ASSERT_FALSE(telemetry::trace_enabled());
+  const core::MlaResult untraced = run_mla();
+  const auto untraced_bits = fingerprint(untraced);
+  ASSERT_FALSE(untraced_bits.empty());
+
+  // Run 2: the same seed with GPTUNE_TRACE + GPTUNE_METRICS on.
+  const std::string trace_path = "test_telemetry_trace.json";
+  const std::string metrics_path = "test_telemetry_metrics.json";
+  ::setenv("GPTUNE_TRACE", trace_path.c_str(), 1);
+  ::setenv("GPTUNE_METRICS", metrics_path.c_str(), 1);
+  telemetry::configure_trace(trace_path);
+  telemetry::configure_metrics(metrics_path);
+  const core::MlaResult traced = run_mla();
+  telemetry::flush();              // writes both configured paths
+  telemetry::configure_trace("");  // then stop recording
+
+  // Determinism contract: bitwise-identical trajectory.
+  EXPECT_EQ(fingerprint(traced), untraced_bits);
+  // And the profile rollup covers the three phases in fixed order.
+  ASSERT_EQ(traced.profiles.size(), 3u);
+  EXPECT_EQ(traced.profiles[0].phase, "objective");
+  EXPECT_EQ(traced.profiles[1].phase, "modeling");
+  EXPECT_EQ(traced.profiles[2].phase, "search");
+  EXPECT_GT(traced.profiles[0].invocations, 0u);
+
+  // The emitted trace must parse as Chrome trace_event JSON...
+  std::FILE* f = std::fopen(trace_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << "flush() did not write " << trace_path;
+  std::string trace_text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    trace_text.append(buf, n);
+  }
+  std::fclose(f);
+  std::string error;
+  const JsonValue trace = JsonValue::parse(trace_text, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const JsonValue* events = trace.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  // ...containing spans from all three phases, with >= 2 distinct rank
+  // identities among the objective spans (objective_workers = 2).
+  std::set<std::string> cats;
+  std::set<int> objective_tids;
+  for (const JsonValue& e : events->items()) {
+    if (e.find("ph")->as_string() != "X") continue;
+    const JsonValue* cat = e.find("cat");
+    if (cat == nullptr) continue;
+    cats.insert(cat->as_string());
+    if (cat->as_string() == "objective" &&
+        e.find("name")->as_string() == "eval_item") {
+      objective_tids.insert(static_cast<int>(e.find("tid")->as_number()));
+    }
+  }
+  EXPECT_TRUE(cats.count("model")) << "no model-phase spans";
+  EXPECT_TRUE(cats.count("search")) << "no search-phase spans";
+  EXPECT_TRUE(cats.count("objective")) << "no objective-phase spans";
+  EXPECT_GE(objective_tids.size(), 2u)
+      << "expected eval_item spans from >= 2 worker identities";
+
+  // The metrics snapshot has nonzero eval and trainer counters.
+  std::FILE* mf = std::fopen(metrics_path.c_str(), "rb");
+  ASSERT_NE(mf, nullptr) << "flush() did not write " << metrics_path;
+  std::string metrics_text;
+  while ((n = std::fread(buf, 1, sizeof(buf), mf)) > 0) {
+    metrics_text.append(buf, n);
+  }
+  std::fclose(mf);
+  const JsonValue metrics = JsonValue::parse(metrics_text, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const JsonValue* counters = metrics.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("eval.items"), nullptr);
+  EXPECT_GT(counters->find("eval.items")->as_number(), 0.0);
+  ASSERT_NE(counters->find("trainer.restarts"), nullptr);
+  EXPECT_GT(counters->find("trainer.restarts")->as_number(), 0.0);
+
+  ::unsetenv("GPTUNE_TRACE");
+  ::unsetenv("GPTUNE_METRICS");
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+#else  // !GPTUNE_TELEMETRY
+
+TEST(Telemetry, CompiledOut) {
+  // -DGPTUNE_TELEMETRY=OFF: every hook is an inline no-op; just prove the
+  // API surface still links and returns its neutral values.
+  EXPECT_FALSE(telemetry::trace_enabled());
+  telemetry::Span span("cat", "noop");
+  telemetry::counter("x").add();
+  EXPECT_EQ(telemetry::counter("x").value(), 0u);
+  std::string error;
+  JsonValue::parse(telemetry::trace_json(), &error);
+  EXPECT_TRUE(error.empty());
+}
+
+#endif  // GPTUNE_TELEMETRY
+
+}  // namespace

@@ -322,6 +322,13 @@ const std::vector<Rule>& pattern_rules() {
        "records() hands out the store without the HistoryDb mutex; use the "
        "guarded query API, or annotate a deliberate snapshot read",
        std::regex("(\\.|->)\\s*records\\s*\\(\\s*\\)")},
+      {"wall-clock",
+       "bans steady_clock/system_clock ::now() outside common/timer.hpp, "
+       "common/telemetry/ and src/runtime/",
+       "direct wall-clock reads leak nondeterminism into tuner code; use "
+       "common::Timer for measurement or the telemetry layer for tracing "
+       "(both are observe-only by contract)",
+       std::regex("\\b(steady_clock|system_clock)\\s*::\\s*now\\s*\\(")},
   };
   return kRules;
 }
@@ -332,6 +339,13 @@ bool rule_applies(const std::string& rule, const std::string& path) {
   }
   if (rule == "history-direct") {
     return path.find("src/core/history.") == std::string::npos;
+  }
+  if (rule == "wall-clock") {
+    // The sanctioned wall-clock consumers: the timer wrapper, the telemetry
+    // layer, and the runtime (timeouts/deadlines on mailbox waits).
+    return path.find("src/common/timer.hpp") == std::string::npos &&
+           path.find("src/common/telemetry/") == std::string::npos &&
+           path.find("src/runtime/") == std::string::npos;
   }
   return true;
 }

@@ -1,0 +1,278 @@
+// trace_summarize CLI — digests a Chrome trace_event JSON file written by
+// the telemetry layer (GPTUNE_TRACE=out.json) into per-phase tables: the
+// top-N span names by total and self time, per category (model / search /
+// objective / comm / pool), plus the thread identities seen.
+//
+//   trace_summarize [--top N] <trace.json>
+//   trace_summarize --selftest
+//
+// Self time = a span's duration minus the duration of spans nested inside
+// it on the same thread (computed with a per-tid interval stack; complete
+// events in a Chrome trace may appear in any order, so each thread's spans
+// are sorted by start time first).
+//
+// Exit status: 0 ok, 1 invalid trace, 2 usage/IO error.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/telemetry/json.hpp"
+#include "common/telemetry/telemetry.hpp"
+
+namespace {
+
+using gptune::telemetry::JsonValue;
+
+struct SpanRow {
+  int tid = 0;
+  std::string cat;
+  std::string name;
+  double ts = 0.0;   ///< microseconds
+  double dur = 0.0;  ///< microseconds
+};
+
+struct NameTotals {
+  double total_us = 0.0;
+  double self_us = 0.0;
+  std::size_t count = 0;
+};
+
+struct Summary {
+  // cat -> span name -> totals (std::map: deterministic output order).
+  std::map<std::string, std::map<std::string, NameTotals>> by_category;
+  std::map<int, std::string> thread_names;
+  std::size_t events = 0;
+  std::size_t spans = 0;
+};
+
+bool summarize(const JsonValue& root, Summary& out, std::string& error) {
+  const JsonValue* events = root.find("traceEvents");
+  if (root.type() != JsonValue::Type::kObject || events == nullptr ||
+      !events->is_array()) {
+    error = "not a Chrome trace: expected {\"traceEvents\": [...]}";
+    return false;
+  }
+
+  std::vector<SpanRow> spans;
+  for (const JsonValue& e : events->items()) {
+    if (!e.is_object()) {
+      error = "traceEvents contains a non-object event";
+      return false;
+    }
+    ++out.events;
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr) {
+      error = "event without \"ph\"";
+      return false;
+    }
+    const std::string& kind = ph->as_string();
+    const JsonValue* tid = e.find("tid");
+    const int t = tid != nullptr ? static_cast<int>(tid->as_number()) : 0;
+    if (kind == "M") {
+      const JsonValue* name = e.find("name");
+      const JsonValue* args = e.find("args");
+      if (name != nullptr && name->as_string() == "thread_name" &&
+          args != nullptr && args->find("name") != nullptr) {
+        out.thread_names[t] = args->find("name")->as_string();
+      }
+      continue;
+    }
+    if (kind != "X") continue;  // instants etc. carry no duration
+    SpanRow row;
+    row.tid = t;
+    const JsonValue* cat = e.find("cat");
+    const JsonValue* name = e.find("name");
+    const JsonValue* ts = e.find("ts");
+    const JsonValue* dur = e.find("dur");
+    if (name == nullptr || ts == nullptr || dur == nullptr) {
+      error = "complete event missing name/ts/dur";
+      return false;
+    }
+    row.cat = cat != nullptr ? cat->as_string() : "(none)";
+    row.name = name->as_string();
+    row.ts = ts->as_number();
+    row.dur = dur->as_number();
+    spans.push_back(std::move(row));
+  }
+  out.spans = spans.size();
+
+  // Self time per span: per thread, sweep spans in start order keeping a
+  // stack of enclosing intervals; a span's duration is subtracted from the
+  // nearest enclosing span on the same thread.
+  std::map<int, std::vector<std::size_t>> by_tid;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    by_tid[spans[i].tid].push_back(i);
+  }
+  std::vector<double> self(spans.size());
+  for (auto& [t, idx] : by_tid) {
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      if (spans[a].ts != spans[b].ts) return spans[a].ts < spans[b].ts;
+      return spans[a].dur > spans[b].dur;  // outer span first on ties
+    });
+    std::vector<std::size_t> stack;
+    for (std::size_t i : idx) {
+      while (!stack.empty() &&
+             spans[stack.back()].ts + spans[stack.back()].dur <=
+                 spans[i].ts) {
+        stack.pop_back();
+      }
+      self[i] = spans[i].dur;
+      if (!stack.empty()) self[stack.back()] -= spans[i].dur;
+      stack.push_back(i);
+    }
+  }
+
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    NameTotals& nt = out.by_category[spans[i].cat][spans[i].name];
+    nt.total_us += spans[i].dur;
+    nt.self_us += self[i];
+    ++nt.count;
+  }
+  return true;
+}
+
+void print_summary(const Summary& s, std::size_t top_n) {
+  std::printf("%zu events, %zu spans, %zu threads\n", s.events, s.spans,
+              s.thread_names.size());
+  for (const auto& [tid, name] : s.thread_names) {
+    std::printf("  tid %-4d %s\n", tid, name.c_str());
+  }
+  for (const auto& [cat, names] : s.by_category) {
+    std::printf("\n[%s] top spans by total time\n", cat.c_str());
+    std::vector<std::pair<std::string, NameTotals>> rows(names.begin(),
+                                                         names.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      if (a.second.total_us != b.second.total_us) {
+        return a.second.total_us > b.second.total_us;
+      }
+      return a.first < b.first;
+    });
+    std::printf("  %-24s %10s %12s %12s\n", "name", "count", "total(ms)",
+                "self(ms)");
+    for (std::size_t i = 0; i < rows.size() && i < top_n; ++i) {
+      std::printf("  %-24s %10zu %12.3f %12.3f\n", rows[i].first.c_str(),
+                  rows[i].second.count, rows[i].second.total_us / 1000.0,
+                  rows[i].second.self_us / 1000.0);
+    }
+  }
+}
+
+/// End-to-end smoke: synthesize a tiny trace in-process, round-trip it
+/// through the JSON parser and the summarizer, and verify nesting math.
+int selftest() {
+  const std::string trace =
+      "{\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"rank/0\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"objective/1\"}},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"cat\":\"model\","
+      "\"name\":\"fit_lcm\",\"ts\":0,\"dur\":100,\"args\":{\"vt\":0}},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"cat\":\"model\","
+      "\"name\":\"cholesky\",\"ts\":10,\"dur\":40,\"args\":{\"vt\":0}},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"cat\":\"objective\","
+      "\"name\":\"eval_item\",\"ts\":5,\"dur\":20,\"args\":{\"vt\":1.5}},\n"
+      "{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"cat\":\"comm\",\"name\":\"send\","
+      "\"ts\":50,\"s\":\"t\",\"args\":{\"vt\":0}}\n"
+      "]}\n";
+  std::string error;
+  const JsonValue root = JsonValue::parse(trace, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "selftest: parse failed: %s\n", error.c_str());
+    return 1;
+  }
+  Summary s;
+  if (!summarize(root, s, error)) {
+    std::fprintf(stderr, "selftest: summarize failed: %s\n", error.c_str());
+    return 1;
+  }
+  const NameTotals& fit = s.by_category.at("model").at("fit_lcm");
+  const bool ok = s.events == 6 && s.spans == 3 &&
+                  s.thread_names.size() == 2 && fit.total_us == 100.0 &&
+                  fit.self_us == 60.0 &&  // 100 minus the nested cholesky
+                  s.by_category.at("objective").at("eval_item").self_us ==
+                      20.0;
+  if (!ok) {
+    std::fprintf(stderr, "selftest: wrong summary\n");
+    print_summary(s, 10);
+    return 1;
+  }
+  print_summary(s, 10);
+  std::printf("selftest ok\n");
+  return 0;
+}
+
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: trace_summarize [--top N] <trace.json>\n"
+               "       trace_summarize --selftest\n"
+               "Summarizes a GPTUNE_TRACE Chrome trace_event file: top-N\n"
+               "spans by total/self time per category, plus thread "
+               "identities.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t top_n = 10;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--selftest") {
+      return selftest();
+    } else if (arg == "--top") {
+      if (i + 1 >= argc) {
+        print_usage();
+        return 2;
+      }
+      top_n = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (top_n == 0) top_n = 10;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "trace_summarize: unknown option '%s'\n",
+                   arg.c_str());
+      print_usage();
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      print_usage();
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_summarize: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  std::string error;
+  const JsonValue root = JsonValue::parse(buffer.str(), &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "trace_summarize: %s: invalid JSON: %s\n",
+                 path.c_str(), error.c_str());
+    return 1;
+  }
+  Summary s;
+  if (!summarize(root, s, error)) {
+    std::fprintf(stderr, "trace_summarize: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  print_summary(s, top_n);
+  return 0;
+}
