@@ -2,12 +2,15 @@
 # Tier-1 gate in three mutually exclusive lanes:
 #   asan  — ASan+UBSan build tree (build-asan/): memory errors, UB
 #   tsan  — ThreadSanitizer build tree (build-tsan/): data races in the
-#           spawned worker groups (objective workers, model pool, search
-#           ranks) and the mutex-guarded HistoryDb
+#           spawned worker groups (objective workers, model pool, and the
+#           persistent search group exercised by test_search_workers) and
+#           the mutex-guarded HistoryDb
 #   lint  — rtcheck build tree (build-rtcheck/): tier-1 under the runtime
 #           protocol checker (GPTUNE_RTCHECK=ON — deadlock/collective/leak
-#           diagnostics), then a clean gptune_lint run over src/, tests/
-#           and tools/ (determinism bans; see DESIGN.md §3.6)
+#           diagnostics, including the persistent-group lifecycle audits in
+#           test_rtcheck and test_search_workers), then a clean gptune_lint
+#           run over src/, tests/ and tools/ (determinism bans; DESIGN.md
+#           §3.6)
 #   trace — plain build tree (build-trace/) with examples: runs quickstart
 #           untraced and with GPTUNE_TRACE+GPTUNE_METRICS, validates the
 #           emitted trace with trace_summarize, and asserts the tuning

@@ -19,4 +19,68 @@ double lower_confidence_bound(double mean, double variance, double kappa) {
   return mean - kappa * std::sqrt(std::max(variance, 0.0));
 }
 
+double signed_log(double v) {
+  return v >= 0.0 ? std::log1p(v) : -std::log1p(-v);
+}
+
+std::vector<double> encode_config(const AcquisitionContext& ctx,
+                                  const TaskVector& task, const Config& c) {
+  std::vector<double> enc = ctx.space->normalize(c);
+  if (ctx.performance_model) {
+    const auto raw = ctx.performance_model->evaluate(task, c);
+    const auto& lo = *ctx.feature_lo;
+    const auto& hi = *ctx.feature_hi;
+    for (std::size_t k = 0; k < raw.size(); ++k) {
+      const double g = signed_log(raw[k]);
+      double u = 0.5;
+      if (k < lo.size() && hi[k] - lo[k] > 1e-12) {
+        u = std::clamp((g - lo[k]) / (hi[k] - lo[k]), 0.0, 1.0);
+      }
+      enc.push_back(u);
+    }
+  }
+  return enc;
+}
+
+std::function<double(const opt::Point&)> single_objective_acquisition(
+    const AcquisitionContext& ctx, const gp::LcmModel& model,
+    std::size_t task_index, const TaskVector& task, double incumbent) {
+  return [ctx, &model, task_index, task, incumbent](
+             const opt::Point& u) -> double {
+    Config c = ctx.space->denormalize(u);
+    if (!ctx.space->feasible(c)) return 1e6;
+    const auto enc = encode_config(ctx, task, c);
+    const auto pred = model.predict(task_index, enc);
+    if (ctx.use_ei) {
+      return -expected_improvement(pred.mean, pred.variance, incumbent);
+    }
+    return pred.mean;
+  };
+}
+
+std::function<std::vector<double>(const opt::Point&)>
+multi_objective_acquisition(
+    const AcquisitionContext& ctx,
+    const std::vector<std::optional<gp::LcmModel>>& models,
+    std::size_t task_index, const TaskVector& task,
+    std::vector<double> incumbents) {
+  return [ctx, &models, task_index, task,
+          incumbents = std::move(incumbents)](
+             const opt::Point& u) -> std::vector<double> {
+    Config c = ctx.space->denormalize(u);
+    std::vector<double> out(incumbents.size(), 1e6);
+    if (!ctx.space->feasible(c)) return out;
+    const auto enc = encode_config(ctx, task, c);
+    for (std::size_t s = 0; s < incumbents.size(); ++s) {
+      if (!models[s]) continue;
+      const auto pred = models[s]->predict(task_index, enc);
+      out[s] = ctx.use_ei
+                   ? -expected_improvement(pred.mean, pred.variance,
+                                           incumbents[s])
+                   : pred.mean;
+    }
+    return out;
+  };
+}
+
 }  // namespace gptune::core

@@ -4,9 +4,20 @@
 //   EI(x) = (y_best - mu) Phi(z) + sigma phi(z),  z = (y_best - mu) / sigma.
 // The search phase maximizes EI per task with PSO; the multi-objective
 // variant exposes the per-objective EI vector to NSGA-II (paper §3.2).
+// The per-task acquisition closures are built here — not inline in the
+// tuner — so the master's serial path and the spawned search workers run
+// the exact same objective over the exact same encoding.
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/perf_model.hpp"
+#include "core/space.hpp"
+#include "gp/trainer.hpp"
+#include "opt/problem.hpp"
 
 namespace gptune::core {
 
@@ -18,5 +29,46 @@ double expected_improvement(double mean, double variance, double best);
 /// Lower confidence bound mu - kappa*sigma (exploitation ablation uses
 /// kappa = 0, i.e. posterior mean only).
 double lower_confidence_bound(double mean, double variance, double kappa);
+
+/// log1p with sign symmetry: compresses performance-model outputs of
+/// either sign onto a comparable scale before normalization (§3.3).
+double signed_log(double v);
+
+/// Read-only view of the tuner state an acquisition needs: the tuning
+/// space, the optional performance model with its feature normalization,
+/// and the acquisition flavor flags. Built once per search phase and
+/// shared by every per-task search (including spawned search workers), so
+/// the referenced state must stay immutable while searches run.
+struct AcquisitionContext {
+  const Space* space = nullptr;
+  const PerformanceModel* performance_model = nullptr;  ///< may be null
+  const std::vector<double>* feature_lo = nullptr;
+  const std::vector<double>* feature_hi = nullptr;
+  bool use_ei = true;
+  bool log_objective = false;
+};
+
+/// Encodes (task, config) for the GP: normalized tuning parameters plus,
+/// when a performance model is attached, its normalized outputs (§3.3).
+std::vector<double> encode_config(const AcquisitionContext& ctx,
+                                  const TaskVector& task, const Config& c);
+
+/// Scalar acquisition for the single-objective search: -EI of `model` for
+/// task `task_index` at the denormalized point (posterior mean when
+/// use_ei is off); infeasible points get a flat 1e6 penalty. PSO
+/// minimizes this. `model` must outlive the returned closure.
+std::function<double(const opt::Point&)> single_objective_acquisition(
+    const AcquisitionContext& ctx, const gp::LcmModel& model,
+    std::size_t task_index, const TaskVector& task, double incumbent);
+
+/// Vector acquisition for the multi-objective search: the per-objective
+/// -EI vector (objectives whose model fit failed contribute the flat
+/// penalty). NSGA-II minimizes this. `models` must outlive the closure.
+std::function<std::vector<double>(const opt::Point&)>
+multi_objective_acquisition(
+    const AcquisitionContext& ctx,
+    const std::vector<std::optional<gp::LcmModel>>& models,
+    std::size_t task_index, const TaskVector& task,
+    std::vector<double> incumbents);
 
 }  // namespace gptune::core

@@ -12,7 +12,7 @@
 #include "common/telemetry/telemetry.hpp"
 #include "common/timer.hpp"
 #include "core/acquisition.hpp"
-#include "runtime/comm.hpp"
+#include "core/search_workers.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/virtual_clock.hpp"
 
@@ -90,6 +90,11 @@ struct MultitaskTuner::State {
   // evaluation ranks, the failure policy, and history recording.
   std::unique_ptr<EvalEngine> eval;
 
+  // Long-lived search-worker group (paper Fig. 1): spawned once per run,
+  // reused by both search phases every iteration, terminated with a
+  // stop-tag handshake when the run's State is destroyed.
+  std::unique_ptr<SearchWorkerGroup> search_group;
+
   // Performance-model feature normalization (min/max of the signed-log
   // transform over the current samples), refreshed every modeling phase.
   std::vector<double> feature_lo, feature_hi;
@@ -103,10 +108,6 @@ struct MultitaskTuner::State {
 };
 
 namespace {
-
-double signed_log(double v) {
-  return v >= 0.0 ? std::log1p(v) : -std::log1p(-v);
-}
 
 double maybe_log(bool log_objective, double v) {
   return log_objective ? std::log(std::max(v, 1e-300)) : v;
@@ -152,33 +153,6 @@ MultitaskTuner::MultitaskTuner(Space tuning_space, MultiObjectiveFn objective,
   options_.initial_samples =
       std::min(options_.initial_samples, options_.budget_per_task);
 }
-
-// Encodes (task, config) for the GP: normalized tuning parameters plus,
-// when a performance model is attached, its normalized outputs (§3.3).
-namespace {
-
-std::vector<double> encode_config(const Space& space,
-                                  const PerformanceModel* model,
-                                  const std::vector<double>& feature_lo,
-                                  const std::vector<double>& feature_hi,
-                                  const TaskVector& task, const Config& c) {
-  std::vector<double> enc = space.normalize(c);
-  if (model) {
-    const auto raw = model->evaluate(task, c);
-    for (std::size_t k = 0; k < raw.size(); ++k) {
-      const double g = signed_log(raw[k]);
-      double u = 0.5;
-      if (k < feature_lo.size() && feature_hi[k] - feature_lo[k] > 1e-12) {
-        u = std::clamp((g - feature_lo[k]) / (feature_hi[k] - feature_lo[k]),
-                       0.0, 1.0);
-      }
-      enc.push_back(u);
-    }
-  }
-  return enc;
-}
-
-}  // namespace
 
 void MultitaskTuner::sampling_phase(State& state) {
   telemetry::Span phase_span("objective", "sampling_phase");
@@ -249,6 +223,10 @@ void MultitaskTuner::modeling_phase(State& state, bool refit) {
   state.models.resize(options_.num_objectives);
   state.warm_theta.resize(options_.num_objectives);
 
+  const AcquisitionContext acq{&space_,           options_.performance_model,
+                               &state.feature_lo, &state.feature_hi,
+                               options_.use_ei,   options_.log_objective};
+
   for (std::size_t s = 0; s < options_.num_objectives; ++s) {
     gp::MultiTaskData data;
     data.x.resize(delta);
@@ -262,10 +240,7 @@ void MultitaskTuner::modeling_phase(State& state, bool refit) {
       data.x[i] = gp::Matrix(evals.size(), space_.dim() + extra);
       data.y[i].resize(evals.size());
       for (std::size_t j = 0; j < evals.size(); ++j) {
-        const auto enc =
-            encode_config(space_, options_.performance_model,
-                          state.feature_lo, state.feature_hi,
-                          state.tasks[i], evals[j].config);
+        const auto enc = encode_config(acq, state.tasks[i], evals[j].config);
         for (std::size_t m = 0; m < enc.size(); ++m) data.x[i](j, m) = enc[m];
         data.y[i][j] = maybe_log(options_.log_objective,
                                  evals[j].objectives[s]);
@@ -335,7 +310,6 @@ void MultitaskTuner::search_phase_single(State& state) {
   }
   const gp::LcmModel& model = *state.models[0];
 
-  std::vector<std::vector<Config>> batches(delta);
   std::vector<std::size_t> active;
   for (std::size_t i = 0; i < delta; ++i) {
     if (state.result.tasks[i].evals.size() < options_.budget_per_task) {
@@ -351,28 +325,19 @@ void MultitaskTuner::search_phase_single(State& state) {
     seen[i] = seen_configs(state.result.tasks[i].evals);
   }
 
-  // Measured search time per task, written from whichever thread ran the
-  // task (disjoint slots); list-scheduled over search_workers afterwards
-  // for the virtual-clock search makespan.
-  std::vector<double> search_seconds(delta, 0.0);
+  const AcquisitionContext acq{&space_,           options_.performance_model,
+                               &state.feature_lo, &state.feature_hi,
+                               options_.use_ei,   options_.log_objective};
 
   // Candidate search for one task: PSO maximizing EI in the unit box.
-  auto search_task = [&](std::size_t i, common::Rng& rng) -> Config {
-    common::Timer task_timer;
+  // Reads tuner state only; runs on a persistent spawned search rank when
+  // search_workers > 1, inline on the master otherwise.
+  SearchWorkerGroup::SearchFn search_task =
+      [&](std::size_t i, common::Rng& rng) -> std::vector<Config> {
     const double incumbent =
         maybe_log(options_.log_objective, state.result.tasks[i].best(0));
-    auto acquisition = [&](const opt::Point& u) -> double {
-      Config c = space_.denormalize(u);
-      if (!space_.feasible(c)) return 1e6;
-      const auto enc =
-          encode_config(space_, options_.performance_model, state.feature_lo,
-                        state.feature_hi, state.tasks[i], c);
-      const auto pred = model.predict(i, enc);
-      if (options_.use_ei) {
-        return -expected_improvement(pred.mean, pred.variance, incumbent);
-      }
-      return pred.mean;
-    };
+    auto acquisition =
+        single_objective_acquisition(acq, model, i, state.tasks[i], incumbent);
     // Seed half the swarm at feasible configurations: with tight
     // constraints (e.g. 3D process grids) a uniformly initialized swarm
     // can start entirely inside the infeasibility penalty plateau.
@@ -391,53 +356,21 @@ void MultitaskTuner::search_phase_single(State& state) {
       candidate = space_.sample_feasible(rng);
     }
     if (!space_.feasible(candidate)) candidate = space_.sample_feasible(rng);
-    search_seconds[i] = task_timer.seconds();
-    return candidate;
+    return {std::move(candidate)};
   };
 
-  if (options_.search_workers <= 1 || active.size() <= 1) {
-    for (std::size_t i : active) {
-      common::Rng rng(options_.seed ^ (0x5bd1e995ULL * (i + 1)) ^
-                      (state.iteration << 20));
-      batches[i].push_back(search_task(i, rng));
-    }
-  } else {
-    // Distribute per-task searches over spawned ranks (paper §4.3): each
-    // worker handles a strided slice of tasks and sends its candidate back
-    // tagged with the task index.
-    const std::size_t workers =
-        std::min(options_.search_workers, active.size());
-    const std::size_t iteration = state.iteration;
-    const std::uint64_t seed = options_.seed;
-    rt::World::run(1, [&](rt::Comm& master) {
-      auto handle = master.spawn(
-          workers, [&](rt::Comm& worker, rt::InterComm& parent) {
-            telemetry::set_identity("search",
-                                    static_cast<int>(worker.rank()));
-            telemetry::Span worker_span("search", "search_worker");
-            for (std::size_t a = worker.rank(); a < active.size();
-                 a += worker.size()) {
-              const std::size_t i = active[a];
-              common::Rng rng(seed ^ (0x5bd1e995ULL * (i + 1)) ^
-                              (iteration << 20));
-              Config c = search_task(i, rng);
-              parent.send(0, static_cast<int>(i), std::move(c));
-            }
-          });
-      for (std::size_t received = 0; received < active.size(); ++received) {
-        rt::Message msg = handle.comm().recv();
-        batches[static_cast<std::size_t>(msg.tag)].push_back(
-            std::move(msg.data));
-      }
-      handle.join();
-    });
+  auto results =
+      state.search_group->dispatch(active, state.iteration, search_task);
+
+  std::vector<std::vector<Config>> batches(delta);
+  std::vector<double> active_costs(active.size(), 0.0);
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    batches[active[a]] = std::move(results[a].configs);
+    active_costs[a] = results[a].seconds;
   }
 
   // Virtual search time: the measured per-task search costs list-scheduled
   // over search_workers (makespan), not their serial sum on this host.
-  std::vector<double> active_costs;
-  active_costs.reserve(active.size());
-  for (std::size_t i : active) active_costs.push_back(search_seconds[i]);
   rt::VirtualRanks search_ranks(options_.search_workers);
   search_ranks.schedule_greedy(active_costs);
   state.result.virtual_times.search += search_ranks.makespan();
@@ -450,18 +383,26 @@ void MultitaskTuner::search_phase_multi(State& state) {
   phase_span.arg("iteration", static_cast<double>(state.iteration));
   const std::size_t delta = state.tasks.size();
   const std::size_t gamma = options_.num_objectives;
-  std::vector<std::vector<Config>> batches(delta);
-  std::vector<double> search_seconds;
-  search_seconds.reserve(delta);
 
+  std::vector<std::size_t> active;
   for (std::size_t i = 0; i < delta; ++i) {
-    auto& th = state.result.tasks[i];
+    if (state.result.tasks[i].evals.size() < options_.budget_per_task) {
+      active.push_back(i);
+    }
+  }
+
+  const AcquisitionContext acq{&space_,           options_.performance_model,
+                               &state.feature_lo, &state.feature_hi,
+                               options_.use_ei,   options_.log_objective};
+
+  // NSGA-II batch search for one task, fanned over the same persistent
+  // group as the single-objective path (static assignment, index-order
+  // collection). Reads tuner state only.
+  SearchWorkerGroup::SearchFn search_task =
+      [&](std::size_t i, common::Rng& rng) -> std::vector<Config> {
+    const auto& th = state.result.tasks[i];
     const std::size_t remaining =
-        options_.budget_per_task > th.evals.size()
-            ? options_.budget_per_task - th.evals.size()
-            : 0;
-    if (remaining == 0) continue;
-    common::Timer task_timer;
+        options_.budget_per_task - th.evals.size();
     const std::size_t k = std::min(options_.batch_k, remaining);
 
     std::vector<double> incumbents(gamma);
@@ -470,27 +411,9 @@ void MultitaskTuner::search_phase_multi(State& state) {
     }
 
     // Vector acquisition: minimize (-EI_1, ..., -EI_gamma) with NSGA-II.
-    auto acquisition =
-        [&](const opt::Point& u) -> std::vector<double> {
-      Config c = space_.denormalize(u);
-      std::vector<double> out(gamma, 1e6);
-      if (!space_.feasible(c)) return out;
-      const auto enc =
-          encode_config(space_, options_.performance_model, state.feature_lo,
-                        state.feature_hi, state.tasks[i], c);
-      for (std::size_t s = 0; s < gamma; ++s) {
-        if (!state.models[s]) continue;
-        const auto pred = state.models[s]->predict(i, enc);
-        out[s] = options_.use_ei
-                     ? -expected_improvement(pred.mean, pred.variance,
-                                             incumbents[s])
-                     : pred.mean;
-      }
-      return out;
-    };
+    auto acquisition = multi_objective_acquisition(
+        acq, state.models, i, state.tasks[i], std::move(incumbents));
 
-    common::Rng rng(options_.seed ^ (0xc2b2ae35ULL * (i + 1)) ^
-                    (state.iteration << 18));
     opt::Nsga2Options nsga2 = options_.nsga2;
     for (std::size_t s = 0; s < nsga2.population / 2; ++s) {
       nsga2.initial_points.push_back(
@@ -521,14 +444,23 @@ void MultitaskTuner::search_phase_multi(State& state) {
     while (chosen.size() < k) {
       chosen.push_back(space_.sample_feasible(rng));
     }
-    batches[i] = std::move(chosen);
-    search_seconds.push_back(task_timer.seconds());
+    return chosen;
+  };
+
+  auto results =
+      state.search_group->dispatch(active, state.iteration, search_task);
+
+  std::vector<std::vector<Config>> batches(delta);
+  std::vector<double> active_costs(active.size(), 0.0);
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    batches[active[a]] = std::move(results[a].configs);
+    active_costs[a] = results[a].seconds;
   }
 
   // Per-task searches list-scheduled over search_workers for the
   // virtual-clock search makespan.
   rt::VirtualRanks search_ranks(options_.search_workers);
-  search_ranks.schedule_greedy(search_seconds);
+  search_ranks.schedule_greedy(active_costs);
   state.result.virtual_times.search += search_ranks.makespan();
 
   evaluate_batch(state, batches);
@@ -566,6 +498,8 @@ MlaResult MultitaskTuner::run(const std::vector<TaskVector>& tasks) {
   state.eval = std::make_unique<EvalEngine>(
       objective_, options_.num_objectives, options_.objective_workers,
       options_.evaluation, options_.history);
+  state.search_group = std::make_unique<SearchWorkerGroup>(
+      options_.search_workers, options_.seed);
 
   common::log_info("mla: ", tasks.size(), " tasks, budget ",
                    options_.budget_per_task, "/task, seed ", options_.seed);

@@ -15,8 +15,9 @@
 //   * coarse performance models appended as extra GP features, with
 //     on-the-fly coefficient refits (§3.3);
 //   * history archiving/reuse across runs (§1 goal 3);
-//   * parallel modeling (restarts over spawned ranks) and parallel search
-//     (tasks over spawned ranks) (§4).
+//   * parallel modeling (restarts over a per-run thread pool) and parallel
+//     search (tasks over a persistent spawned worker group) (§4, Fig. 1);
+//     both groups live for the whole run, like the objective workers.
 #pragma once
 
 #include <cstdint>
@@ -82,7 +83,11 @@ struct MlaOptions {
   /// (cheap) so every new sample still informs the model.
   std::size_t refit_period = 1;
   std::size_t model_workers = 1;        ///< ranks for hyperparameter restarts
-  std::size_t search_workers = 1;       ///< ranks for the per-task searches
+  /// Search-worker ranks (paper Fig. 1): a persistent group spawned once
+  /// per run that fans the per-task acquisition searches — PSO or NSGA-II
+  /// — across MLA iterations. A fixed seed yields an identical tuning
+  /// trajectory at any value.
+  std::size_t search_workers = 1;
   /// Objective-worker ranks spawned by the evaluation engine (paper Fig. 1).
   /// A fixed seed yields an identical tuning trajectory at any value.
   std::size_t objective_workers = 1;

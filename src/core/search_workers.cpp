@@ -1,0 +1,150 @@
+#include "core/search_workers.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/telemetry/telemetry.hpp"
+#include "common/timer.hpp"
+#include "runtime/comm.hpp"
+
+namespace gptune::core {
+
+std::uint64_t search_stream_seed(std::uint64_t seed, std::size_t task,
+                                 std::size_t iteration) {
+  auto mix = [](std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  std::uint64_t z = mix(seed + 0x9e3779b97f4a7c15ULL * (task + 1));
+  return mix(z + 0x9e3779b97f4a7c15ULL * (iteration + 1));
+}
+
+namespace {
+/// Control tag telling a worker to exit its receive loop (jobs use their
+/// non-negative job index as the tag, like the evaluation engine).
+constexpr int kStopTag = -2;
+
+/// Reply payload: [seconds, n_configs, dim, configs...] — every config in
+/// one search shares the tuning-space dimension.
+std::vector<double> encode_reply(const SearchResult& result) {
+  const std::size_t dim =
+      result.configs.empty() ? 0 : result.configs.front().size();
+  std::vector<double> reply;
+  reply.reserve(3 + result.configs.size() * dim);
+  reply.push_back(result.seconds);
+  reply.push_back(static_cast<double>(result.configs.size()));
+  reply.push_back(static_cast<double>(dim));
+  for (const auto& c : result.configs) {
+    reply.insert(reply.end(), c.begin(), c.end());
+  }
+  return reply;
+}
+
+SearchResult decode_reply(const std::vector<double>& d) {
+  SearchResult result;
+  result.seconds = d[0];
+  const auto n = static_cast<std::size_t>(d[1]);
+  const auto dim = static_cast<std::size_t>(d[2]);
+  result.configs.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    result.configs.emplace_back(d.begin() + 3 + c * dim,
+                                d.begin() + 3 + (c + 1) * dim);
+  }
+  return result;
+}
+
+}  // namespace
+
+/// The spawned search-worker group: a parent-side inter-communicator plus
+/// the joinable worker threads behind it. Workers block on recv between
+/// iterations and exit on kStopTag.
+struct SearchWorkerGroup::Group {
+  rt::Comm master;
+  rt::SpawnHandle handle;
+
+  Group(rt::Comm m, rt::SpawnHandle h)
+      : master(std::move(m)), handle(std::move(h)) {}
+};
+
+SearchWorkerGroup::SearchWorkerGroup(std::size_t workers, std::uint64_t seed)
+    : seed_(seed), workers_(std::max<std::size_t>(1, workers)) {
+  if (workers_ <= 1) return;
+
+  rt::Comm master = rt::World::self();
+  auto handle = master.spawn(
+      workers_, [this](rt::Comm& worker, rt::InterComm& parent) {
+        telemetry::set_identity("search", static_cast<int>(worker.rank()));
+        // One span per rank covering its whole lifetime: the group (and
+        // hence the span) persists across MLA iterations.
+        telemetry::Span rank_span("search", "search_worker");
+        for (;;) {
+          rt::Message msg = parent.recv();
+          if (msg.tag < 0) break;
+          const auto task = static_cast<std::size_t>(msg.data[0]);
+          const auto iteration = static_cast<std::size_t>(msg.data[1]);
+          common::Rng rng(search_stream_seed(seed_, task, iteration));
+          SearchResult result;
+          {
+            telemetry::Span job_span("search", "search_task");
+            job_span.arg("task", static_cast<double>(task));
+            common::Timer timer;
+            result.configs = (*current_fn_)(task, rng);
+            result.seconds = timer.seconds();
+          }
+          telemetry::advance_virtual(result.seconds);
+          parent.send(0, msg.tag, encode_reply(result));
+        }
+      });
+  group_ = std::make_unique<Group>(std::move(master), std::move(handle));
+}
+
+SearchWorkerGroup::~SearchWorkerGroup() {
+  if (!group_) return;
+  for (std::size_t r = 0; r < workers_; ++r) {
+    group_->handle.comm().send(r, kStopTag, {});
+  }
+  group_->handle.join();
+}
+
+std::vector<SearchResult> SearchWorkerGroup::dispatch(
+    const std::vector<std::size_t>& tasks, std::size_t iteration,
+    const SearchFn& fn) {
+  static auto& dispatch_counter = telemetry::counter("search.dispatch");
+  static auto& idle_counter = telemetry::counter("search.idle");
+  dispatch_counter.add(tasks.size());
+  if (workers_ > tasks.size()) idle_counter.add(workers_ - tasks.size());
+
+  std::vector<SearchResult> results(tasks.size());
+  if (!group_) {
+    // Inline mode: same per-job RNG streams and index order as the
+    // spawned path, so results are bitwise identical.
+    for (std::size_t a = 0; a < tasks.size(); ++a) {
+      common::Rng rng(search_stream_seed(seed_, tasks[a], iteration));
+      telemetry::Span job_span("search", "search_task");
+      job_span.arg("task", static_cast<double>(tasks[a]));
+      common::Timer timer;
+      results[a].configs = fn(tasks[a], rng);
+      results[a].seconds = timer.seconds();
+    }
+    return results;
+  }
+
+  // Publish the job function, then ship all jobs up front (the mailbox
+  // transport is unbounded); workers see the publish through the mailbox
+  // mutex before their first job of this dispatch.
+  current_fn_ = &fn;
+  rt::InterComm& comm = group_->handle.comm();
+  for (std::size_t a = 0; a < tasks.size(); ++a) {
+    comm.send(a % workers_, static_cast<int>(a),
+              {static_cast<double>(tasks[a]), static_cast<double>(iteration)});
+  }
+  for (std::size_t received = 0; received < tasks.size(); ++received) {
+    rt::Message msg = comm.recv();
+    results[static_cast<std::size_t>(msg.tag)] = decode_reply(msg.data);
+  }
+  current_fn_ = nullptr;
+  return results;
+}
+
+}  // namespace gptune::core

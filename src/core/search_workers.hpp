@@ -1,0 +1,84 @@
+// Persistent spawned search-worker group (paper Fig. 1 search workers).
+//
+// The model pool and the evaluation engine's objective group already live
+// for the whole MLA run; this class closes the remaining Fig. 1 gap by
+// keeping the search ranks alive across iterations too. The master spawns
+// `search_workers` ranks once per run; each iteration it dispatches one
+// job per active task (static assignment: job a -> rank a mod W) and
+// collects the candidate batches in job-index order, so the tuning
+// trajectory is bitwise identical at any worker count. Workers idle in
+// recv between iterations and exit on a terminate handshake whose
+// teardown rtcheck audits for leaked messages and unjoined ranks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/space.hpp"
+
+namespace gptune::core {
+
+/// Deterministic per-(task, iteration) RNG stream: chained SplitMix64
+/// finalizers, one per coordinate (the trainer's lcm_restart_seed idiom).
+/// Each finalizer is a bijection of the 64-bit state, so unlike the old
+/// xor-of-multiplies scheme, distinct (task, iteration) pairs cannot
+/// collapse onto one stream by cancellation.
+std::uint64_t search_stream_seed(std::uint64_t seed, std::size_t task,
+                                 std::size_t iteration);
+
+/// One task's search outcome: the proposed configurations plus the
+/// measured wall time of the search (list-scheduled into the virtual
+/// search makespan by the caller).
+struct SearchResult {
+  std::vector<Config> configs;
+  double seconds = 0.0;
+};
+
+class SearchWorkerGroup {
+ public:
+  /// Runs the acquisition search for one task. Receives the task index
+  /// and a private RNG stream derived from (seed, task, iteration); must
+  /// only read shared tuner state, since it may run on a spawned rank
+  /// while other tasks' searches are in flight.
+  using SearchFn = std::function<std::vector<Config>(std::size_t task_index,
+                                                     common::Rng& rng)>;
+
+  /// Spawns `workers` ranks once. With workers <= 1 nothing is spawned
+  /// and dispatch() runs every job inline on the caller — one code path
+  /// for both modes, same RNG streams, same results.
+  SearchWorkerGroup(std::size_t workers, std::uint64_t seed);
+  /// Terminate handshake: one stop tag per rank, then join.
+  ~SearchWorkerGroup();
+
+  SearchWorkerGroup(const SearchWorkerGroup&) = delete;
+  SearchWorkerGroup& operator=(const SearchWorkerGroup&) = delete;
+
+  std::size_t workers() const { return workers_; }
+  /// True when worker ranks were actually spawned (workers > 1).
+  bool spawned() const { return group_ != nullptr; }
+
+  /// Runs `fn` once per entry of `tasks` (the active-task slice for this
+  /// iteration) and returns the results in the same index order
+  /// regardless of worker count or completion order. Blocks until every
+  /// reply has arrived; `fn` is not retained past the call.
+  std::vector<SearchResult> dispatch(const std::vector<std::size_t>& tasks,
+                                     std::size_t iteration,
+                                     const SearchFn& fn);
+
+ private:
+  struct Group;
+
+  std::uint64_t seed_;
+  std::size_t workers_;
+  /// The dispatch in flight's job function. Published before the job
+  /// messages are sent — the mailbox mutex orders that write before any
+  /// worker's read — and cleared once every reply has been collected.
+  const SearchFn* current_fn_ = nullptr;
+  std::unique_ptr<Group> group_;
+};
+
+}  // namespace gptune::core

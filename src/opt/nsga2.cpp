@@ -68,10 +68,13 @@ std::vector<double> crowding_distance(
   std::vector<std::size_t> order(n);
   for (std::size_t obj = 0; obj < m; ++obj) {
     for (std::size_t i = 0; i < n; ++i) order[i] = i;
-    std::sort(order.begin(), order.end(),
-              [&](std::size_t a, std::size_t b) {
-                return values[front[a]][obj] < values[front[b]][obj];
-              });
+    // Stable on duplicate objective values: ties keep front order, so the
+    // distances (and hence survival) are a deterministic function of the
+    // input regardless of libstdc++'s introsort pivot choices.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return values[front[a]][obj] < values[front[b]][obj];
+                     });
     const double lo = values[front[order.front()]][obj];
     const double hi = values[front[order.back()]][obj];
     distance[order.front()] = std::numeric_limits<double>::infinity();
@@ -183,10 +186,13 @@ ParetoFront nsga2_minimize(const MultiObjective& f, const Box& box,
         for (std::size_t idx : front) next.push_back(combined[idx]);
       } else {
         std::vector<std::size_t> sorted = front;
-        std::sort(sorted.begin(), sorted.end(),
-                  [&](std::size_t a, std::size_t b) {
-                    return combined[a].crowding > combined[b].crowding;
-                  });
+        // Stable on crowding ties (common with duplicate objectives): the
+        // surviving subset, and so the final front ordering, cannot drift
+        // between runs or standard-library implementations.
+        std::stable_sort(sorted.begin(), sorted.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return combined[a].crowding > combined[b].crowding;
+                         });
         for (std::size_t idx : sorted) {
           if (next.size() >= pop_size) break;
           next.push_back(combined[idx]);

@@ -437,6 +437,17 @@ std::size_t audit_unjoined() {
   return found;
 }
 
+std::size_t live_spawn_count() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::size_t live = 0;
+  for (const auto& [channel, info] : r.channels) {
+    (void)channel;
+    if (!info.joined) ++live;
+  }
+  return live;
+}
+
 namespace hooks {
 
 void on_group_created(const detail::GroupState* group) {
@@ -769,6 +780,7 @@ std::vector<Finding> findings() { return {}; }
 std::size_t count(FindingKind) { return 0; }
 void reset() {}
 std::size_t audit_unjoined() { return 0; }
+std::size_t live_spawn_count() { return 0; }
 
 #endif  // GPTUNE_RTCHECK
 

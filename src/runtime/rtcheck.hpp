@@ -81,6 +81,11 @@ void reset();
 /// kUnjoinedSpawn finding per offender and returns how many were found.
 std::size_t audit_unjoined();
 
+/// Number of spawned groups currently live (created but not yet joined).
+/// Persistent-group audit: lets tests assert a long-lived worker group is
+/// spawned once per run and fully torn down at run end. Records nothing.
+std::size_t live_spawn_count();
+
 }  // namespace gptune::rt::rtcheck
 
 // ---------------------------------------------------------------------------

@@ -99,6 +99,75 @@ TEST(ParetoFilter, DuplicatesAllKept) {
   EXPECT_EQ(pareto_filter(values).size(), 2u);  // equal points don't dominate
 }
 
+// --- edge cases guarding the parallel search fan-out against ordering
+// drift: duplicate objectives, crowding ties, and run-to-run stability ---
+
+TEST(NonDominatedSort, DuplicateObjectivesShareAFront) {
+  // Equal vectors never dominate each other, so duplicates must land on
+  // the same front — and ahead of anything they jointly dominate.
+  const std::vector<std::vector<double>> values = {
+      {1.0, 1.0}, {1.0, 1.0}, {2.0, 2.0}, {1.0, 1.0}};
+  const auto fronts = non_dominated_sort(values);
+  ASSERT_EQ(fronts.size(), 2u);
+  EXPECT_EQ(fronts[0], (std::vector<std::size_t>{0, 1, 3}));
+  EXPECT_EQ(fronts[1], std::vector<std::size_t>{2});
+}
+
+TEST(CrowdingDistance, AllIdenticalFrontIsDeterministic) {
+  // Degenerate front: every point has the same objectives, so hi - lo is
+  // zero in both coordinates. The per-objective sweep pins the sorted
+  // boundary to infinity and skips interior accumulation; with a stable
+  // sort the "boundary" is the first/last point in front order, the same
+  // on every call.
+  const std::vector<std::vector<double>> values = {
+      {1.0, 2.0}, {1.0, 2.0}, {1.0, 2.0}, {1.0, 2.0}};
+  const std::vector<std::size_t> front = {0, 1, 2, 3};
+  const auto first = crowding_distance(values, front);
+  ASSERT_EQ(first.size(), 4u);
+  EXPECT_TRUE(std::isinf(first[0]));
+  EXPECT_TRUE(std::isinf(first[3]));
+  EXPECT_EQ(first[1], 0.0);
+  EXPECT_EQ(first[2], 0.0);
+  EXPECT_EQ(crowding_distance(values, front), first);
+}
+
+TEST(CrowdingDistance, SymmetricInteriorPointsTieExactly) {
+  // Two interior points in symmetric positions must get bitwise-equal
+  // distances — the tie a survival truncation then has to break stably.
+  const std::vector<std::vector<double>> values = {
+      {0.0, 3.0}, {1.0, 2.0}, {2.0, 1.0}, {3.0, 0.0}};
+  const std::vector<std::size_t> front = {0, 1, 2, 3};
+  const auto d = crowding_distance(values, front);
+  EXPECT_EQ(d[1], d[2]);
+  EXPECT_FALSE(std::isinf(d[1]));
+}
+
+TEST(Nsga2, RepeatedRunsGiveIdenticalFrontOrdering) {
+  // Same seed, twice: points and values must match element-wise in order,
+  // not just as sets. A plain std::sort on tied crowding distances would
+  // leave this to libstdc++'s pivot choices; the tuner's worker-count
+  // determinism contract needs it pinned.
+  auto run = [] {
+    Rng rng(123);
+    Nsga2Options opt;
+    opt.population = 40;
+    opt.generations = 25;
+    // A plateaued second objective manufactures duplicate objective
+    // vectors and crowding ties inside the survival truncation.
+    auto f = [](const Point& x) {
+      const double f1 = std::floor(x[0] * 4.0) / 4.0;
+      return std::vector<double>{f1, 1.0 - f1};
+    };
+    return nsga2_minimize(f, Box::unit(3), rng, opt);
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GE(a.size(), 1u);
+  EXPECT_EQ(a.points, b.points);
+  EXPECT_EQ(a.values, b.values);
+}
+
 // --- ZDT1: known Pareto front f2 = 1 - sqrt(f1) at g = 1 ---
 
 std::vector<double> zdt1(const Point& x) {

@@ -197,6 +197,72 @@ TEST_F(RtCheckTest, AuditFlagsUnjoinedSpawn) {
   EXPECT_EQ(rtcheck::audit_unjoined(), 0u);
 }
 
+// --- persistent-group lifecycle ----------------------------------------------
+// The search and objective worker groups live for a whole tuning run:
+// workers loop on recv and exit on a negative stop tag. These tests seed
+// the misuse classes specific to that protocol.
+
+namespace {
+
+/// The persistent worker loop the eval engine / search group use: serve
+/// jobs (echo the tag back) until a negative stop tag arrives.
+void persistent_worker(rt::Comm&, rt::InterComm& parent) {
+  for (;;) {
+    rt::Message msg = parent.recv();
+    if (msg.tag < 0) break;
+    parent.send(0, msg.tag, {1.0});
+  }
+}
+
+constexpr int kStop = -2;
+
+}  // namespace
+
+TEST_F(RtCheckTest, JobSentAfterStopLeaksAtGroupTeardown) {
+  {
+    rt::Comm driver = rt::World::self();
+    rt::SpawnHandle handle = driver.spawn(1, persistent_worker);
+    // Work protocol misuse: the terminate handshake is already queued when
+    // a straggler job is shipped. The worker exits on the stop tag and the
+    // job is never received.
+    handle.comm().send(0, kStop, {});
+    handle.comm().send(0, /*tag=*/5, {1.0, 2.0});
+    handle.join();
+  }  // channel teardown runs the leak check
+  EXPECT_GE(rtcheck::count(rtcheck::FindingKind::kMessageLeak), 1u);
+  EXPECT_NE(messages_of(rtcheck::FindingKind::kMessageLeak).find("tag=5"),
+            std::string::npos);
+}
+
+TEST_F(RtCheckTest, SendAfterTerminateHandshakeIsReported) {
+  rt::Comm driver = rt::World::self();
+  rt::SpawnHandle handle = driver.spawn(2, persistent_worker);
+  // One served round trip, then a clean terminate handshake.
+  handle.comm().send(1, /*tag=*/0, {});
+  (void)handle.comm().recv();
+  for (std::size_t r = 0; r < 2; ++r) handle.comm().send(r, kStop, {});
+  handle.join();
+  // Dispatching into the terminated group must be diagnosed, not dropped.
+  EXPECT_THROW(handle.comm().send(0, /*tag=*/1, {}), rtcheck::RtCheckError);
+  EXPECT_GE(rtcheck::count(rtcheck::FindingKind::kInvalidSend), 1u);
+  EXPECT_NE(messages_of(rtcheck::FindingKind::kInvalidSend).find("joined"),
+            std::string::npos);
+}
+
+TEST_F(RtCheckTest, UnjoinedPersistentGroupIsFlaggedUntilJoined) {
+  rt::Comm driver = rt::World::self();
+  rt::SpawnHandle handle = driver.spawn(2, persistent_worker);
+  EXPECT_EQ(rtcheck::live_spawn_count(), 1u);
+  // Stop tags make every worker exit, but exited ranks are not a join:
+  // an owner that drops the handle without joining is still an offender.
+  for (std::size_t r = 0; r < 2; ++r) handle.comm().send(r, kStop, {});
+  EXPECT_EQ(rtcheck::audit_unjoined(), 1u);
+  EXPECT_EQ(rtcheck::count(rtcheck::FindingKind::kUnjoinedSpawn), 1u);
+  handle.join();
+  EXPECT_EQ(rtcheck::live_spawn_count(), 0u);
+  EXPECT_EQ(rtcheck::audit_unjoined(), 0u);
+}
+
 // --- lint rule engine (runs in every build) ---------------------------------
 
 namespace {

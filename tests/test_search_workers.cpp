@@ -1,0 +1,258 @@
+// Determinism battery for the persistent search-worker group (paper Fig. 1
+// search workers): distinct per-(task, iteration) RNG streams, index-order
+// collection, spawn-once-per-run lifecycle, and bitwise-identical MLA
+// trajectories at any search_workers count on both the single-objective
+// PSO path and the multi-objective NSGA-II path — with and without
+// injected objective faults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "apps/fault_injection.hpp"
+#include "common/telemetry/telemetry.hpp"
+#include "core/mla.hpp"
+#include "core/search_workers.hpp"
+#include "runtime/rtcheck.hpp"
+
+namespace {
+
+using namespace gptune;
+using namespace gptune::core;
+
+Space box2d() {
+  Space s;
+  s.add_real("x", 0.0, 1.0);
+  s.add_real("y", 0.0, 1.0);
+  return s;
+}
+
+// Pure single-objective family: minimum at (t, 1 - t), value 0.01.
+MultiObjectiveFn family_fn() {
+  return [](const TaskVector& t, const Config& c) {
+    const double dx = c[0] - t[0];
+    const double dy = c[1] - (1.0 - t[0]);
+    return std::vector<double>{dx * dx + dy * dy + 0.01};
+  };
+}
+
+// Convex trade-off: f1 likes x = 0, f2 likes x = 1; y is mild slack.
+MultiObjectiveFn biobjective_fn() {
+  return [](const TaskVector&, const Config& c) {
+    const double f1 = c[0] * c[0] + 0.2 * c[1] * c[1] + 0.01;
+    const double f2 =
+        (c[0] - 1.0) * (c[0] - 1.0) + 0.2 * c[1] * c[1] + 0.01;
+    return std::vector<double>{f1, f2};
+  };
+}
+
+// Deterministic virtual cost (the objective value itself) so timeouts and
+// makespans are reproducible.
+EvalPolicy simulated_policy() {
+  EvalPolicy policy;
+  policy.virtual_cost = [](const TaskVector&, const Config&,
+                           const std::vector<double>& y) {
+    return y.empty() ? 1.0 : y[0];
+  };
+  return policy;
+}
+
+MlaOptions fast_options() {
+  MlaOptions opt;
+  opt.budget_per_task = 14;
+  opt.model_restarts = 2;
+  opt.max_lbfgs_iterations = 20;
+  opt.seed = 42;
+  return opt;
+}
+
+/// Bitwise fingerprint of a trajectory: every config value and objective
+/// of every evaluation, in order, as exact bit patterns.
+std::vector<std::uint64_t> fingerprint(const MlaResult& result) {
+  std::vector<std::uint64_t> bits;
+  auto push = [&bits](double v) {
+    std::uint64_t b;
+    static_assert(sizeof(b) == sizeof(v));
+    std::memcpy(&b, &v, sizeof(b));
+    bits.push_back(b);
+  };
+  for (const auto& th : result.tasks) {
+    for (const auto& e : th.evals) {
+      for (double v : e.config) push(v);
+      for (double v : e.objectives) push(v);
+    }
+  }
+  return bits;
+}
+
+// --- RNG stream derivation (satellite: SplitMix64 replaces the old
+// xor-of-multiplies scheme, which could collide across pairs) ------------
+
+TEST(SearchStreamSeed, DistinctAcrossTaskIterationGrid) {
+  std::set<std::uint64_t> streams;
+  const std::size_t n = 64;
+  for (std::size_t task = 0; task < n; ++task) {
+    for (std::size_t iteration = 0; iteration < n; ++iteration) {
+      streams.insert(search_stream_seed(1234, task, iteration));
+    }
+  }
+  EXPECT_EQ(streams.size(), n * n);
+}
+
+TEST(SearchStreamSeed, DependsOnBaseSeed) {
+  EXPECT_NE(search_stream_seed(1, 3, 5), search_stream_seed(2, 3, 5));
+}
+
+// --- group protocol: index order, RNG parity, clean lifecycle -----------
+
+TEST(SearchWorkers, DispatchCollectsInIndexOrderAtAnyWorkerCount) {
+  // Job: first uniform draw of the stream, labeled with the task index.
+  SearchWorkerGroup::SearchFn fn = [](std::size_t task,
+                                      common::Rng& rng) -> std::vector<Config> {
+    return {Config{static_cast<double>(task), rng.uniform()}};
+  };
+  const std::vector<std::size_t> tasks = {4, 1, 7, 2, 9};
+
+  SearchWorkerGroup inline_group(1, 99);
+  const auto base = inline_group.dispatch(tasks, 3, fn);
+  ASSERT_EQ(base.size(), tasks.size());
+  for (std::size_t a = 0; a < tasks.size(); ++a) {
+    EXPECT_EQ(base[a].configs[0][0], static_cast<double>(tasks[a]));
+  }
+
+  for (std::size_t workers : {2u, 4u, 8u}) {
+    SearchWorkerGroup group(workers, 99);
+    EXPECT_TRUE(group.spawned());
+    // Two dispatches over the same live group (different iterations), as
+    // the tuner issues across MLA iterations.
+    for (std::size_t iteration : {3u, 4u}) {
+      const auto got = group.dispatch(tasks, iteration, fn);
+      const auto want = inline_group.dispatch(tasks, iteration, fn);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t a = 0; a < got.size(); ++a) {
+        EXPECT_EQ(got[a].configs, want[a].configs)
+            << "workers=" << workers << " job " << a;
+      }
+    }
+  }
+}
+
+TEST(SearchWorkers, TeardownIsCleanUnderRtcheck) {
+  {
+    SearchWorkerGroup group(4, 7);
+    SearchWorkerGroup::SearchFn fn =
+        [](std::size_t, common::Rng& rng) -> std::vector<Config> {
+      return {Config{rng.uniform()}};
+    };
+    group.dispatch({0, 1, 2}, 0, fn);
+  }
+  // Terminate handshake done: no leaked messages, no live spawned group.
+  // (Both checks are trivially clean in a build without GPTUNE_RTCHECK.)
+  EXPECT_EQ(rt::rtcheck::count(rt::rtcheck::FindingKind::kMessageLeak), 0u);
+  EXPECT_EQ(rt::rtcheck::live_spawn_count(), 0u);
+}
+
+// --- MLA trajectory identity across worker counts -----------------------
+
+TEST(SearchWorkers, SingleObjectiveTrajectoryIdenticalAcrossWorkerCounts) {
+  auto run = [](std::size_t workers) {
+    MlaOptions opt = fast_options();
+    opt.search_workers = workers;
+    MultitaskTuner tuner(box2d(), family_fn(), opt);
+    return tuner.run({{0.2}, {0.5}, {0.8}});
+  };
+  const auto base = fingerprint(run(1));
+  ASSERT_FALSE(base.empty());
+  for (std::size_t workers : {2u, 4u}) {
+    EXPECT_EQ(fingerprint(run(workers)), base) << "workers=" << workers;
+  }
+}
+
+TEST(SearchWorkers, MultiObjectiveTrajectoryIdenticalAcrossWorkerCounts) {
+  auto run = [](std::size_t workers) {
+    MlaOptions opt = fast_options();
+    opt.num_objectives = 2;
+    opt.budget_per_task = 16;
+    opt.batch_k = 3;
+    opt.search_workers = workers;
+    MultitaskTuner tuner(box2d(), biobjective_fn(), opt);
+    return tuner.run({{0.0}, {1.0}});
+  };
+  const auto base = fingerprint(run(1));
+  ASSERT_FALSE(base.empty());
+  for (std::size_t workers : {2u, 4u}) {
+    EXPECT_EQ(fingerprint(run(workers)), base) << "workers=" << workers;
+  }
+}
+
+TEST(SearchWorkers, FaultyTrajectoryIdenticalAcrossWorkerCounts) {
+  apps::FaultSpec spec;
+  spec.crash_rate = 0.1;
+  spec.nan_rate = 0.1;
+  spec.hang_rate = 0.1;
+  spec.hang_factor = 1.0e3;
+  spec.seed = 11;
+
+  auto run = [&](std::size_t workers) {
+    MlaOptions opt = fast_options();
+    opt.budget_per_task = 12;
+    opt.search_workers = workers;
+    opt.objective_workers = 2;  // both persistent groups live at once
+    opt.evaluation = simulated_policy();
+    opt.evaluation.timeout_seconds = 50.0;  // kills "hung" runs
+    MultitaskTuner tuner(box2d(), apps::with_faults(family_fn(), spec), opt);
+    return tuner.run({{0.25}, {0.75}});
+  };
+
+  const MlaResult base = run(1);
+  EXPECT_GT(base.eval_stats.penalized, 0u);  // faults actually fired
+  const auto base_bits = fingerprint(base);
+  for (std::size_t workers : {2u, 4u}) {
+    const MlaResult other = run(workers);
+    EXPECT_EQ(other.eval_stats.penalized, base.eval_stats.penalized);
+    EXPECT_EQ(fingerprint(other), base_bits) << "workers=" << workers;
+  }
+}
+
+// --- spawn-once lifecycle (acceptance: one search spawn per run) --------
+
+#if defined(GPTUNE_TELEMETRY)
+TEST(SearchWorkers, GroupIsSpawnedOncePerRunNotPerIteration) {
+  MlaOptions opt = fast_options();
+  opt.search_workers = 4;  // many iterations, one spawn
+  MultitaskTuner tuner(box2d(), family_fn(), opt);
+  const std::uint64_t before = telemetry::counter("runtime.spawns").value();
+  auto result = tuner.run({{0.2}, {0.8}});
+  const std::uint64_t after = telemetry::counter("runtime.spawns").value();
+  // The run spans several MLA iterations...
+  ASSERT_GE(result.tasks[0].evals.size(), 14u);
+  // ...but exactly one group was spawned: the search workers (the eval
+  // engine spawns none at objective_workers = 1).
+  EXPECT_EQ(after - before, 1u);
+  // And it is torn down by run end (trivially 0 without GPTUNE_RTCHECK).
+  EXPECT_EQ(rt::rtcheck::live_spawn_count(), 0u);
+}
+#endif  // GPTUNE_TELEMETRY
+
+TEST(SearchWorkers, MlaRunIsProtocolCleanUnderRtcheck) {
+  if (!rt::rtcheck::enabled()) {
+    GTEST_SKIP() << "built without GPTUNE_RTCHECK";
+  }
+  rt::rtcheck::reset();
+  MlaOptions opt = fast_options();
+  opt.num_objectives = 2;
+  opt.budget_per_task = 12;
+  opt.batch_k = 3;
+  opt.search_workers = 3;
+  opt.objective_workers = 2;
+  MultitaskTuner tuner(box2d(), biobjective_fn(), opt);
+  tuner.run({{0.0}, {1.0}});
+  EXPECT_TRUE(rt::rtcheck::findings().empty());
+  EXPECT_EQ(rt::rtcheck::live_spawn_count(), 0u);
+  rt::rtcheck::reset();
+}
+
+}  // namespace
