@@ -22,6 +22,7 @@
 // per-task search times list-scheduled over growing worker counts, plus
 // full MLA runs at increasing search_workers (one group spawn per run,
 // bitwise-identical trajectory). Its rows go to BENCH_search.json.
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -326,6 +327,81 @@ int main() {
     bench_search.record("mla_search_speedup", speedup, workers, opt.seed);
     bench_search.record("mla_best_total", best_total, workers, opt.seed);
   }
+
+  // --- async pipeline vs the iteration barrier (DESIGN.md §3.9) ---
+  // A heterogeneous-cost workload: most configurations simulate a cheap
+  // run, a deterministic ~10% are 100x more expensive (the application
+  // profile the paper's Fig. 5 workloads show). The sync loop's barrier
+  // makes every iteration wait for its slowest run; the async manager
+  // keeps streaming candidates past it. Costs are a pure function of the
+  // configuration bits, so both modes draw from the same distribution.
+  BenchJson bench_async("BENCH_async.json");
+  section("async pipeline: heterogeneous-cost workload, iteration barrier "
+          "(sync) vs event-driven manager (async)");
+  row("%8s | %10s %10s | %8s %10s", "workers", "sync_v(s)", "async_v(s)",
+      "speedup", "occupancy");
+
+  const auto hetero_cost = [](const core::TaskVector&, const core::Config& c,
+                              const std::vector<double>&) {
+    // Hash the configuration into [0, 1); the top decile runs 100x longer.
+    const double u = std::sin(997.0 * c[0]) * 43758.5453;
+    const double frac = u - std::floor(u);
+    return frac > 0.9 ? 10.0 : 0.1;
+  };
+  auto hetero_options = [&](std::size_t workers) {
+    core::MlaOptions opt;
+    opt.budget_per_task = 24;
+    opt.initial_samples = 6;
+    opt.batch_k = 2;
+    opt.model_restarts = 1;
+    opt.max_lbfgs_iterations = 10;
+    opt.seed = 99;
+    opt.objective_workers = workers;
+    opt.evaluation.virtual_cost = hetero_cost;
+    return opt;
+  };
+
+  double occupancy_at_4 = 0.0, async_speedup_at_4 = 0.0;
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    core::MlaOptions sync_opt = hetero_options(workers);
+    core::MultitaskTuner sync_tuner(apps::analytical_tuning_space(),
+                                    apps::analytical_fn(), sync_opt);
+    const double sync_v =
+        sync_tuner.run(mla_tasks).virtual_times.objective;
+
+    core::MlaOptions async_opt = hetero_options(workers);
+    async_opt.async = true;
+    async_opt.async_inflight = 3;
+    core::MultitaskTuner async_tuner(apps::analytical_tuning_space(),
+                                     apps::analytical_fn(), async_opt);
+    const core::MlaResult result = async_tuner.run(mla_tasks);
+    const double async_v = result.async_virtual_makespan;
+    const double speedup = sync_v / std::max(1e-12, async_v);
+    if (workers == 4) {
+      occupancy_at_4 = result.worker_occupancy;
+      async_speedup_at_4 = speedup;
+    }
+    row("%8zu | %10.3f %10.3f | %8.2f %9.1f%%", workers, sync_v, async_v,
+        speedup, 100.0 * result.worker_occupancy);
+
+    shape_check(
+        std::count_if(result.tasks.begin(), result.tasks.end(),
+                      [&](const core::TaskHistory& th) {
+                        return th.evals.size() == async_opt.budget_per_task;
+                      }) == static_cast<std::ptrdiff_t>(result.tasks.size()),
+        "async run spends the exact per-task budget");
+
+    bench_async.record("sync_virtual_seconds", sync_v, workers, sync_opt.seed);
+    bench_async.record("async_virtual_makespan", async_v, workers,
+                       async_opt.seed);
+    bench_async.record("async_speedup", speedup, workers, async_opt.seed);
+    bench_async.record("async_occupancy", result.worker_occupancy, workers,
+                       async_opt.seed);
+  }
+  shape_check(occupancy_at_4 >= 0.9,
+              "async worker occupancy >= 90% at 4 workers");
+  shape_check(async_speedup_at_4 >= 1.5,
+              "async virtual-time speedup >= 1.5x over sync at 4 workers");
 
   return finish("fig3_parallel_scaling");
 }

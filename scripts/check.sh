@@ -15,13 +15,18 @@
 #           untraced and with GPTUNE_TRACE+GPTUNE_METRICS, validates the
 #           emitted trace with trace_summarize, and asserts the tuning
 #           results are identical — telemetry is observe-only (§3.7)
+#   replay — plain build tree (build-trace/, shared with the trace lane):
+#           runs the async_tuning example once under GPTUNE_RECORD and once
+#           under GPTUNE_REPLAY of the recorded completion log, and asserts
+#           the two trajectories are bitwise identical — the async
+#           pipeline's replay-determinism contract (§3.9)
 # Every lane builds with GPTUNE_WERROR=ON (-Wall -Wextra -Wshadow -Werror).
 # Each lane uses a dedicated build dir, separate from the plain ./build, so
 # the trees never contaminate each other. Benches and examples are skipped
 # outside the trace lane — the slow label has its own lane (`ctest -L slow`
 # in a regular build).
 #
-# Usage: scripts/check.sh [asan|tsan|lint|trace|all] [build-dir]
+# Usage: scripts/check.sh [asan|tsan|lint|trace|replay|all] [build-dir]
 #   default lane: asan
 #   (default dirs: build-asan, build-tsan, build-rtcheck, build-trace)
 set -euo pipefail
@@ -98,12 +103,45 @@ run_trace_lane() {
   echo "trace lane: results identical with telemetry on/off"
 }
 
+# Replay smoke: record a live async_tuning run's completion log, replay it,
+# and require the bitwise-identical trajectory the §3.9 contract promises.
+# Shares the trace lane's plain build tree (same cmake cache flags).
+run_replay_lane() {
+  local build_dir="$1"
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGPTUNE_WERROR=ON \
+    -DGPTUNE_BUILD_BENCH=OFF \
+    -DGPTUNE_BUILD_EXAMPLES=ON
+  cmake --build "${build_dir}" -j "${JOBS}" --target async_tuning
+
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+
+  GPTUNE_RECORD="${tmp}/completions.json" \
+    "${build_dir}/examples/async_tuning" > "${tmp}/recorded.out"
+  [ -s "${tmp}/completions.json" ] || { echo "replay lane: no completion log written" >&2; exit 1; }
+  GPTUNE_REPLAY="${tmp}/completions.json" \
+    "${build_dir}/examples/async_tuning" > "${tmp}/replayed.out"
+
+  grep '^t=' "${tmp}/recorded.out" > "${tmp}/recorded.results"
+  grep '^t=' "${tmp}/replayed.out" > "${tmp}/replayed.results"
+  [ -s "${tmp}/recorded.results" ] || { echo "replay lane: async_tuning printed no results" >&2; exit 1; }
+  if ! diff -u "${tmp}/recorded.results" "${tmp}/replayed.results"; then
+    echo "replay lane: replay diverged from the recorded run" >&2
+    exit 1
+  fi
+  echo "replay lane: replayed trajectory bitwise identical ($(wc -l < "${tmp}/recorded.results") evaluations)"
+}
+
 case "${LANE}" in
   all)
     run_lane asan "${2:-build-asan}"
     run_lane tsan "${2:-build-tsan}"
     run_lane lint "${2:-build-rtcheck}"
     run_trace_lane "${2:-build-trace}"
+    run_replay_lane "${2:-build-trace}"
     ;;
   asan)
     run_lane asan "${2:-build-asan}"
@@ -117,8 +155,11 @@ case "${LANE}" in
   trace)
     run_trace_lane "${2:-build-trace}"
     ;;
+  replay)
+    run_replay_lane "${2:-build-trace}"
+    ;;
   *)
-    echo "usage: scripts/check.sh [asan|tsan|lint|trace|all] [build-dir]" >&2
+    echo "usage: scripts/check.sh [asan|tsan|lint|trace|replay|all] [build-dir]" >&2
     exit 2
     ;;
 esac

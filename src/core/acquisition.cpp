@@ -58,6 +58,27 @@ std::function<double(const opt::Point&)> single_objective_acquisition(
   };
 }
 
+std::function<double(const opt::Point&)> constant_liar_acquisition(
+    std::function<double(const opt::Point&)> base,
+    const std::vector<opt::Point>& busy, double bandwidth, double penalty) {
+  if (busy.empty()) return base;
+  const double inv_two_h2 = 1.0 / (2.0 * bandwidth * bandwidth);
+  return [base = std::move(base), busy, inv_two_h2,
+          penalty](const opt::Point& u) -> double {
+    double bump = 0.0;
+    for (const opt::Point& b : busy) {
+      double d2 = 0.0;
+      const std::size_t n = std::min(u.size(), b.size());
+      for (std::size_t k = 0; k < n; ++k) {
+        const double d = u[k] - b[k];
+        d2 += d * d;
+      }
+      bump += std::exp(-d2 * inv_two_h2);
+    }
+    return base(u) + penalty * bump;
+  };
+}
+
 std::function<std::vector<double>(const opt::Point&)>
 multi_objective_acquisition(
     const AcquisitionContext& ctx,

@@ -61,6 +61,18 @@ std::function<double(const opt::Point&)> single_objective_acquisition(
     const AcquisitionContext& ctx, const gp::LcmModel& model,
     std::size_t task_index, const TaskVector& task, double incumbent);
 
+/// Constant-liar batch acquisition (async pipeline, DESIGN.md §3.9): wraps
+/// a scalar acquisition-to-minimize with an additive Gaussian repulsion
+/// bump at each in-flight ("busy") normalized point,
+///   a'(u) = a(u) + penalty * sum_b exp(-|u - b|^2 / (2 h^2)),
+/// so concurrent candidates for the same task spread out instead of piling
+/// onto the current acquisition optimum. With no busy points the base
+/// closure is returned unchanged (bitwise-identical to the plain search).
+/// `busy` is copied; `base` is captured by value.
+std::function<double(const opt::Point&)> constant_liar_acquisition(
+    std::function<double(const opt::Point&)> base,
+    const std::vector<opt::Point>& busy, double bandwidth, double penalty);
+
 /// Vector acquisition for the multi-objective search: the per-objective
 /// -EI vector (objectives whose model fit failed contribute the flat
 /// penalty). NSGA-II minimizes this. `models` must outlive the closure.

@@ -1,0 +1,198 @@
+#include "core/async_pipeline.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/telemetry/telemetry.hpp"
+#include "common/timer.hpp"
+#include "core/search_workers.hpp"
+
+namespace gptune::core {
+
+AsyncPipeline::AsyncPipeline(const Options& options, const Space& space,
+                             EvalEngine& engine, Hooks hooks)
+    : options_(options),
+      space_(space),
+      engine_(engine),
+      hooks_(std::move(hooks)) {}
+
+AsyncPipeline::Report AsyncPipeline::run(
+    std::vector<TaskHistory>& histories, std::vector<ConfigSet>& seen,
+    const std::vector<std::vector<Config>>& initial,
+    const CompletionLog* replay) {
+  telemetry::Span manager_span("async", "manager_loop");
+  const std::size_t delta = histories.size();
+  Report report;
+
+  // Per-task scheduling state. `committed` counts evaluations that will
+  // exist when the stream drains (archived seeds + everything dispatched);
+  // the budget check runs against it so the pipeline never over-commits.
+  std::vector<std::size_t> committed(delta, 0);
+  std::vector<std::size_t> inflight_task(delta, 0);
+  std::vector<std::vector<std::pair<std::size_t, Config>>> busy(delta);
+  std::vector<std::size_t> candidate_seq(delta, 0);
+  for (std::size_t i = 0; i < delta; ++i) {
+    committed[i] = histories[i].evals.size();
+  }
+  std::vector<Config> id_config;  // dispatch id -> configuration
+
+  // Virtual-clock model (see file comment of async_pipeline.hpp): items
+  // list-schedule onto the earliest-free virtual rank in delivery order;
+  // follow-up candidates are stamped at the virtual finish of the
+  // completion whose processing generated them.
+  std::vector<double> vt_free(engine_.workers(), 0.0);
+  std::vector<double> vt_submit;  // dispatch id -> manager vt at submit
+  double vt_stamp = 0.0;          // vt of the completion being processed
+  double vt_now = 0.0;            // makespan so far
+  double total_cost = 0.0;
+  std::vector<std::pair<double, double>> jobs;  // (stamp, cost) per delivery
+
+  auto dispatch = [&](std::size_t task, Config config) {
+    seen[task].insert(config);
+    const std::size_t id = engine_.submit(task, histories[task].task, config);
+    if (id_config.size() <= id) id_config.resize(id + 1);
+    if (vt_submit.size() <= id) vt_submit.resize(id + 1, 0.0);
+    vt_submit[id] = vt_stamp;
+    busy[task].emplace_back(id, config);
+    id_config[id] = std::move(config);
+    ++inflight_task[task];
+    ++committed[task];
+    ++report.dispatched;
+  };
+
+  // Tops every eligible task back up to the in-flight cap, preferring the
+  // emptiest (then lowest-indexed) task — a deterministic fairness rule.
+  auto top_up = [&] {
+    static auto& candidates_counter = telemetry::counter("async.candidates");
+    for (;;) {
+      std::size_t pick = delta;
+      for (std::size_t i = 0; i < delta; ++i) {
+        if (committed[i] >= options_.budget_per_task) continue;
+        if (inflight_task[i] >= options_.inflight_per_task) continue;
+        if (pick == delta || inflight_task[i] < inflight_task[pick]) pick = i;
+      }
+      if (pick == delta) return;
+
+      common::Timer timer;
+      telemetry::Span span("async", "generate_candidate");
+      span.arg("task", static_cast<double>(pick));
+      // Private deterministic stream per (task, candidate ordinal) — the
+      // async analogue of the sync per-(task, iteration) search streams.
+      common::Rng rng(
+          search_stream_seed(options_.seed, pick, candidate_seq[pick]++));
+      std::vector<Config> busy_configs;
+      busy_configs.reserve(busy[pick].size());
+      for (const auto& [id, c] : busy[pick]) {
+        (void)id;
+        busy_configs.push_back(c);
+      }
+      Config candidate = hooks_.candidate(pick, busy_configs, rng);
+      // Dedup against everything evaluated *or in flight*; collisions are
+      // replaced by random feasible draws (bounded — a duplicate still
+      // terminates, exactly like the sync search's single redraw).
+      for (int redraw = 0; redraw < 16 && seen[pick].count(candidate) > 0;
+           ++redraw) {
+        candidate = space_.sample_feasible(rng);
+      }
+      report.search_wall += timer.seconds();
+      ++report.candidates;
+      candidates_counter.add(1);
+      dispatch(pick, std::move(candidate));
+    }
+  };
+
+  // Sample-count fit trigger: the first fit waits for the full initial
+  // design (the async analogue of "model after the sampling phase"); after
+  // that, every `refit_samples` completions. Whether a fit re-optimizes
+  // hyperparameters or just refreshes the posterior follows refit_period,
+  // with the fit ordinal playing the sync iteration's role.
+  std::size_t since_fit = 0;
+  std::size_t total_initial = 0;
+  bool fitted = false;
+  auto maybe_fit = [&] {
+    static auto& fits_counter = telemetry::counter("async.fits");
+    const bool due = fitted ? since_fit >= options_.refit_samples
+                            : report.completions >= total_initial;
+    if (!due) return;
+    const bool refit = options_.refit_period == 0
+                           ? report.fits == 0
+                           : report.fits % options_.refit_period == 0;
+    hooks_.fit(refit);
+    ++report.fits;
+    fits_counter.add(1);
+    fitted = true;
+    since_fit = 0;
+  };
+
+  for (std::size_t i = 0; i < delta; ++i) {
+    for (const Config& c : initial[i]) dispatch(i, c);
+  }
+  total_initial = report.dispatched;
+  top_up();  // tiny initial designs start below the cap — fill them
+
+  CompletionDelivery delivery =
+      replay ? CompletionDelivery(replay) : CompletionDelivery();
+  while (engine_.inflight() > 0) {
+    common::Timer wait_timer;
+    EvalCompletion c = engine_.next_completion(delivery);
+    report.objective_wall += wait_timer.seconds();
+    ++report.completions;
+    ++since_fit;
+
+    const double cost = c.outcome.virtual_seconds;
+    const std::size_t rank = static_cast<std::size_t>(
+        std::min_element(vt_free.begin(), vt_free.end()) - vt_free.begin());
+    const double start = std::max(vt_submit[c.id], vt_free[rank]);
+    const double finish = start + cost;
+    vt_free[rank] = finish;
+    vt_stamp = finish;
+    vt_now = std::max(vt_now, finish);
+    total_cost += cost;
+    jobs.emplace_back(vt_submit[c.id], cost);
+    report.log.append({report.completions - 1, c.id, c.task_index, c.worker,
+                       start, finish});
+
+    histories[c.task_index].evals.push_back(
+        {std::move(id_config[c.id]), std::move(c.outcome.objectives)});
+    --inflight_task[c.task_index];
+    auto& task_busy = busy[c.task_index];
+    for (auto it = task_busy.begin(); it != task_busy.end(); ++it) {
+      if (it->first == c.id) {
+        task_busy.erase(it);
+        break;
+      }
+    }
+
+    // Order matters and is part of the replay contract: refit (if due)
+    // sees the new sample, then the freed capacity is refilled with
+    // candidates from the refreshed model.
+    maybe_fit();
+    top_up();
+  }
+
+  // Reported makespan: the self-scheduling pool schedule. The per-event
+  // log timestamps above place items in delivery order, which on this host
+  // is wall order — a conservative, causally consistent schedule. A real
+  // worker pool pulls items in the order the manager *generates* them, so
+  // the honest makespan re-schedules every (generation stamp, cost) job in
+  // stamp order onto the earliest-free rank (ties kept in delivery order).
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::fill(vt_free.begin(), vt_free.end(), 0.0);
+  for (const auto& [stamp, cost] : jobs) {
+    auto it = std::min_element(vt_free.begin(), vt_free.end());
+    *it = std::max(stamp, *it) + cost;
+  }
+  report.makespan =
+      jobs.empty() ? 0.0 : *std::max_element(vt_free.begin(), vt_free.end());
+  const double capacity =
+      static_cast<double>(engine_.workers()) * report.makespan;
+  report.occupancy = capacity > 0.0 ? total_cost / capacity : 0.0;
+  static auto& occupancy_gauge = telemetry::gauge("async.occupancy");
+  occupancy_gauge.set(report.occupancy);
+  manager_span.arg("completions", static_cast<double>(report.completions));
+  manager_span.arg("occupancy", report.occupancy);
+  return report;
+}
+
+}  // namespace gptune::core

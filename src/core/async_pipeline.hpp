@@ -1,0 +1,107 @@
+// Event-driven tuning manager — the async pipeline (DESIGN.md §3.9).
+//
+// The synchronous MLA loop is a barrier pipeline: fit the model, search
+// one candidate per active task, evaluate the whole batch, repeat — so
+// every iteration stalls on its slowest objective evaluation. This
+// manager kills the barrier. It keeps a per-task in-flight candidate set
+// topped up through the EvalEngine stream interface: whenever a
+// completion is delivered, the result is archived, the model is refit on
+// a sample-count trigger (not an iteration counter), and the freed
+// capacity is immediately refilled with fresh candidates from
+// constant-liar batch acquisition (core/acquisition) — so objective
+// workers only idle when the remaining budget cannot fill them.
+//
+// Determinism contract: every manager decision (what to dispatch next,
+// when to refit, which RNG stream a candidate uses) is a pure function of
+// (options, seed, completion delivery order) — never of wall or virtual
+// time. Recording the delivery order in a CompletionLog and feeding it
+// back therefore reproduces the trajectory bitwise; see completion_log.hpp.
+//
+// Virtual-clock accounting mirrors the sync engine's idealized model: only
+// objective costs occupy the worker ranks, and items are list-scheduled
+// greedily onto the earliest-free *virtual* rank in delivery order (the
+// wall-time rank that happened to run an item on this host is recorded in
+// the log but does not bind the virtual schedule — wall-time load says
+// nothing about simulated cost). An item stamped at manager virtual time T
+// runs over [max(T, earliest rank free), +cost]; follow-up candidates are
+// stamped at the virtual finish of the completion that freed the capacity.
+// The stream makespan and the occupancy Σcost / (workers × makespan) are
+// what BENCH_async compares against the sync barrier pipeline. Model fits
+// and candidate searches overlap evaluations on the manager, so they
+// charge the modeling/search phase buckets but never the evaluation clock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/completion_log.hpp"
+#include "core/config_set.hpp"
+#include "core/eval_engine.hpp"
+#include "core/mla.hpp"
+#include "core/space.hpp"
+
+namespace gptune::core {
+
+class AsyncPipeline {
+ public:
+  /// Tuner callbacks: the pipeline owns scheduling, the tuner owns
+  /// modeling and acquisition (it has the GP, the encodings, the PSO).
+  struct Hooks {
+    /// Fits/refreshes the model from the histories the pipeline has been
+    /// appending to. Called on the manager thread between completions.
+    std::function<void(bool refit)> fit;
+    /// Proposes one candidate for `task`. `busy` holds the task's
+    /// in-flight configurations (constant-liar repulsion targets); `rng`
+    /// is the candidate's private deterministic stream. Infeasible or
+    /// model-free proposals fall back to random feasible draws inside.
+    std::function<Config(std::size_t task, const std::vector<Config>& busy,
+                         common::Rng& rng)>
+        candidate;
+  };
+
+  /// Scheduling knobs, pre-resolved by the caller (no zero sentinels).
+  struct Options {
+    std::size_t budget_per_task = 0;
+    std::size_t inflight_per_task = 1;  ///< candidate cap per task
+    std::size_t refit_samples = 1;      ///< completions between refits
+    std::size_t refit_period = 1;       ///< every n-th fit re-optimizes theta
+    std::uint64_t seed = 0;
+  };
+
+  struct Report {
+    CompletionLog log;            ///< delivery order, virtual timestamps
+    double makespan = 0.0;        ///< virtual-clock end of the last item
+    double occupancy = 0.0;       ///< Σ item cost / (workers × makespan)
+    double objective_wall = 0.0;  ///< wall blocked on completions
+    double search_wall = 0.0;     ///< wall generating candidates
+    std::size_t completions = 0;
+    std::size_t fits = 0;
+    std::size_t candidates = 0;  ///< generated after the initial design
+    std::size_t dispatched = 0;  ///< total submitted items
+  };
+
+  AsyncPipeline(const Options& options, const Space& space,
+                EvalEngine& engine, Hooks hooks);
+
+  /// Drives the whole run: dispatches `initial` (the per-task initial
+  /// design), then streams completions — archiving into `histories`,
+  /// deduplicating new candidates against `seen` (in-flight configs are
+  /// inserted at dispatch time) — until every task's budget is committed
+  /// and the stream has drained. `replay`, when non-null, forces the
+  /// recorded delivery order. `histories` must already count any archived
+  /// seed evaluations (they consume budget).
+  Report run(std::vector<TaskHistory>& histories, std::vector<ConfigSet>& seen,
+             const std::vector<std::vector<Config>>& initial,
+             const CompletionLog* replay);
+
+ private:
+  Options options_;
+  const Space& space_;
+  EvalEngine& engine_;
+  Hooks hooks_;
+};
+
+}  // namespace gptune::core

@@ -1,0 +1,146 @@
+#include "core/completion_log.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/telemetry/json.hpp"
+
+namespace gptune::core {
+
+namespace {
+
+/// Round-trippable double rendering (same convention as the telemetry
+/// writers: shortest form that parses back to the identical bit pattern).
+std::string render_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool read_size(const telemetry::JsonValue& obj, const char* key,
+               std::size_t* out) {
+  const telemetry::JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type() != telemetry::JsonValue::Type::kNumber) {
+    return false;
+  }
+  if (v->as_number() < 0.0) return false;
+  *out = static_cast<std::size_t>(v->as_number());
+  return true;
+}
+
+bool read_double(const telemetry::JsonValue& obj, const char* key,
+                 double* out) {
+  const telemetry::JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type() != telemetry::JsonValue::Type::kNumber) {
+    return false;
+  }
+  *out = v->as_number();
+  return true;
+}
+
+}  // namespace
+
+std::string CompletionLog::to_json() const {
+  std::ostringstream os;
+  os << "{\"version\":1,\"events\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const CompletionEvent& e = events_[i];
+    if (i > 0) os << ',';
+    os << "\n {\"seq\":" << e.seq << ",\"item\":" << e.item
+       << ",\"task\":" << e.task << ",\"worker\":" << e.worker
+       << ",\"vt_start\":" << render_double(e.vt_start)
+       << ",\"vt_finish\":" << render_double(e.vt_finish) << '}';
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::optional<CompletionLog> CompletionLog::from_json(const std::string& text,
+                                                      std::string* error) {
+  std::string parse_error;
+  const telemetry::JsonValue root = telemetry::JsonValue::parse(
+      text, &parse_error);
+  auto fail = [&](const std::string& why) -> std::optional<CompletionLog> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  if (!root.is_object()) {
+    return fail(parse_error.empty() ? "completion log: not a JSON object"
+                                    : parse_error);
+  }
+  const telemetry::JsonValue* version = root.find("version");
+  if (version == nullptr || version->as_number() != 1.0) {
+    return fail("completion log: unsupported schema version");
+  }
+  const telemetry::JsonValue* events = root.find("events");
+  if (events == nullptr || !events->is_array()) {
+    return fail("completion log: missing events array");
+  }
+  CompletionLog log;
+  for (std::size_t i = 0; i < events->items().size(); ++i) {
+    const telemetry::JsonValue& item = events->items()[i];
+    CompletionEvent e;
+    if (!item.is_object() || !read_size(item, "seq", &e.seq) ||
+        !read_size(item, "item", &e.item) ||
+        !read_size(item, "task", &e.task) ||
+        !read_size(item, "worker", &e.worker) ||
+        !read_double(item, "vt_start", &e.vt_start) ||
+        !read_double(item, "vt_finish", &e.vt_finish)) {
+      return fail("completion log: malformed event at index " +
+                  std::to_string(i));
+    }
+    log.append(e);
+  }
+  return log;
+}
+
+bool CompletionLog::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+std::optional<CompletionLog> CompletionLog::load(const std::string& path,
+                                                 std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "completion log: cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return from_json(text.str(), error);
+}
+
+std::optional<std::size_t> CompletionDelivery::forced_id() const {
+  if (log_ == nullptr || cursor_ >= log_->size()) return std::nullopt;
+  return log_->events()[cursor_].item;
+}
+
+rt::Message CompletionDelivery::next(rt::InterComm& comm) {
+  if (log_ == nullptr) {
+    // Live arrival order: the one sanctioned wildcard receive outside
+    // src/runtime/ — whatever order this yields is what gets recorded.
+    return comm.recv();
+  }
+  const std::optional<std::size_t> id = forced_id();
+  if (!id.has_value()) {
+    throw std::runtime_error(
+        "completion replay: log exhausted after " +
+        std::to_string(cursor_) +
+        " event(s) but more completions are outstanding (log recorded "
+        "under different options?)");
+  }
+  // Tag-selective receive: the mailbox blocks until the logged item's
+  // reply is available, so delivery order matches the recording exactly.
+  return comm.recv(rt::kAnySource, static_cast<int>(*id));
+}
+
+void CompletionDelivery::advance() {
+  if (log_ != nullptr) ++cursor_;
+}
+
+}  // namespace gptune::core

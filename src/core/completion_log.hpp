@@ -1,0 +1,105 @@
+// Completion log — the async pipeline's replay-determinism substrate.
+//
+// The synchronous MLA loop is bitwise deterministic because every batch is
+// collected in item-index order. The async pipeline (DESIGN.md §3.9)
+// deliberately gives that up: the manager reacts to objective completions
+// in *arrival* order, which depends on host scheduling. Its determinism
+// contract is therefore replay-based: every delivered completion is
+// recorded here (delivery sequence, dispatch id, task, objective rank,
+// virtual-clock interval), and feeding the log back into a second run
+// forces the identical delivery order — for a pure objective the replayed
+// trajectory is bitwise identical to the recorded one.
+//
+// Two pieces live here:
+//   * CompletionLog — the schema'd event list, serialized to JSON (written
+//     by hand like the other telemetry artifacts, read back through
+//     common/telemetry/json) so runs can be archived and replayed across
+//     processes via GPTUNE_RECORD= / GPTUNE_REPLAY=.
+//   * CompletionDelivery — the single sanctioned arrival-order receive
+//     outside src/runtime/ (the gptune_lint `arrival-recv` rule pins every
+//     other completion-ordering recv to this module). Live mode takes
+//     whichever worker reply arrives first; replay mode turns the wildcard
+//     receive into a tag-selective one, so the mailbox itself enforces the
+//     recorded order.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/comm.hpp"
+
+namespace gptune::core {
+
+/// One objective-evaluation completion as the async manager processed it.
+struct CompletionEvent {
+  std::size_t seq = 0;     ///< 0-based delivery order
+  std::size_t item = 0;    ///< engine dispatch id (the message tag)
+  std::size_t task = 0;    ///< task index the item belonged to
+  std::size_t worker = 0;  ///< objective rank that ran it
+  /// Virtual-clock interval the item occupied on that rank. Informational
+  /// (occupancy/Gantt reconstruction); replay matches on `item` only, so
+  /// wall-derived jitter in the timestamps never breaks a replay.
+  double vt_start = 0.0;
+  double vt_finish = 0.0;
+};
+
+/// Ordered record of every completion one async run delivered.
+class CompletionLog {
+ public:
+  void append(const CompletionEvent& event) { events_.push_back(event); }
+  const std::vector<CompletionEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Schema'd JSON rendering: {"version":1,"events":[{...},...]}.
+  std::string to_json() const;
+  /// Parses to_json() output; returns nullopt (and sets `error` when
+  /// non-null) on malformed input or an unknown schema version.
+  static std::optional<CompletionLog> from_json(const std::string& text,
+                                                std::string* error = nullptr);
+
+  /// File convenience used by the GPTUNE_RECORD / GPTUNE_REPLAY hooks.
+  bool save(const std::string& path) const;
+  static std::optional<CompletionLog> load(const std::string& path,
+                                           std::string* error = nullptr);
+
+ private:
+  std::vector<CompletionEvent> events_;
+};
+
+/// Delivery policy for completion messages on an inter-communicator: live
+/// (arrival order, the order that gets recorded) or replay (the logged
+/// order, enforced with tag-selective receives).
+class CompletionDelivery {
+ public:
+  /// Live mode: next() returns whichever reply arrives first.
+  CompletionDelivery() = default;
+  /// Replay mode: next() returns the replies in `log`'s order. The log is
+  /// not owned and must outlive the delivery.
+  explicit CompletionDelivery(const CompletionLog* log) : log_(log) {}
+
+  bool replaying() const { return log_ != nullptr; }
+
+  /// Replaying: the dispatch id the next completion must carry; nullopt in
+  /// live mode or once the log is exhausted.
+  std::optional<std::size_t> forced_id() const;
+
+  /// Receives the next completion message from `comm` under this policy.
+  /// Replaying past the end of the log throws std::runtime_error — a log
+  /// recorded under different options cannot silently half-replay.
+  rt::Message next(rt::InterComm& comm);
+
+  /// Consumes one log entry; the caller invokes this once per delivered
+  /// completion (including completions satisfied without a message, e.g.
+  /// the engine's inline mode).
+  void advance();
+
+ private:
+  const CompletionLog* log_ = nullptr;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace gptune::core

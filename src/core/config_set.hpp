@@ -1,0 +1,44 @@
+// Hash-set of configurations keyed by exact bit patterns.
+//
+// Duplicate detection must be bitwise: two configurations are "the same
+// evaluation" only if every value compares equal, and the tuner's
+// determinism contract (DESIGN.md §3.4) means revisiting a config is pure
+// waste, not noise averaging. The hasher folds ±0.0 together (they compare
+// equal) and otherwise hashes raw bit patterns, so the set agrees exactly
+// with operator== on the underlying doubles.
+//
+// Shared by the synchronous search phases (per-task seen sets persisted in
+// the run State) and the async pipeline (dedup against both finished and
+// in-flight candidates).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/space.hpp"
+
+namespace gptune::core {
+
+/// Hash over the exact bit patterns of a configuration's values (±0.0
+/// merged, since they compare equal).
+struct ConfigHasher {
+  std::size_t operator()(const Config& c) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ c.size();
+    for (double v : c) {
+      if (v == 0.0) v = 0.0;
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(v));
+      __builtin_memcpy(&bits, &v, sizeof(bits));
+      h ^= bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// O(1) membership over evaluated (or dispatched) configurations. Never
+/// iterated — iteration order would feed hash order into the trajectory.
+using ConfigSet = std::unordered_set<Config, ConfigHasher>;
+
+}  // namespace gptune::core

@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "common/log.hpp"
 #include "common/telemetry/telemetry.hpp"
 #include "common/timer.hpp"
+#include "core/completion_log.hpp"
 #include "runtime/comm.hpp"
+#include "runtime/rtcheck.hpp"
 #include "runtime/virtual_clock.hpp"
 
 namespace gptune::core {
@@ -17,16 +21,19 @@ namespace {
 /// Control tag telling a worker to exit its receive loop (work items use
 /// their non-negative item index as the tag).
 constexpr int kStopTag = -2;
-}  // namespace
 
-/// Raw result of one item before the master's penalty pass.
-struct EvalEngine::Attempted {
-  std::vector<double> objectives;  ///< last attempt's values; may be dirty
-  std::size_t attempts = 1;
-  bool failed = false;
-  bool timed_out = false;
-  double virtual_seconds = 0.0;
-};
+/// Wire format of one work item: [task_dim, config_dim, task..., config...].
+std::vector<double> encode_payload(const TaskVector& task,
+                                   const Config& config) {
+  std::vector<double> payload;
+  payload.reserve(2 + task.size() + config.size());
+  payload.push_back(static_cast<double>(task.size()));
+  payload.push_back(static_cast<double>(config.size()));
+  payload.insert(payload.end(), task.begin(), task.end());
+  payload.insert(payload.end(), config.begin(), config.end());
+  return payload;
+}
+}  // namespace
 
 /// The spawned objective-worker group (paper Fig. 1): a parent-side
 /// inter-communicator plus the joinable worker threads behind it. Workers
@@ -57,7 +64,9 @@ EvalEngine::EvalEngine(MultiObjectiveFn objective, std::size_t num_objectives,
       workers_, [this](rt::Comm& worker, rt::InterComm& parent) {
         telemetry::set_identity("objective", static_cast<int>(worker.rank()));
         for (;;) {
-          rt::Message msg = parent.recv();
+          // Pinned-source receive: the parent is the only sender, so this
+          // is FIFO-deterministic (and exempt from the arrival-recv lint).
+          rt::Message msg = parent.recv(0);
           if (msg.tag < 0) break;
           const auto& d = msg.data;
           const auto task_dim = static_cast<std::size_t>(d[0]);
@@ -84,9 +93,15 @@ EvalEngine::EvalEngine(MultiObjectiveFn objective, std::size_t num_objectives,
       });
   group_ = std::make_unique<Group>(std::move(master), std::move(handle),
                                    workers_);
+  // Idle pool for the async stream interface: every rank starts idle, in
+  // rank order, so the first W submits go to ranks 0..W-1.
+  for (std::size_t r = 0; r < workers_; ++r) idle_workers_.push_back(r);
 }
 
 EvalEngine::~EvalEngine() {
+#if defined(GPTUNE_RTCHECK)
+  rt::rtcheck::hooks::on_async_owner_destroyed(this);
+#endif
   if (!group_) return;
   for (std::size_t r = 0; r < group_->size; ++r) {
     group_->handle.comm().send(r, kStopTag, {});
@@ -166,17 +181,15 @@ void EvalEngine::evaluate_spawned(const std::vector<TaskVector>& tasks,
   // mailbox transport is unbounded so all work can be shipped up front.
   for (std::size_t i = 0; i < items.size(); ++i) {
     const TaskVector& task = tasks[items[i].task_index];
-    const Config& config = items[i].config;
-    std::vector<double> payload;
-    payload.reserve(2 + task.size() + config.size());
-    payload.push_back(static_cast<double>(task.size()));
-    payload.push_back(static_cast<double>(config.size()));
-    payload.insert(payload.end(), task.begin(), task.end());
-    payload.insert(payload.end(), config.begin(), config.end());
-    comm.send(i % group_->size, static_cast<int>(i), std::move(payload));
+    comm.send(i % group_->size, static_cast<int>(i),
+              encode_payload(task, items[i].config));
   }
+  // Replies land by arrival order through the sanctioned delivery policy
+  // (live mode); results are then placed by index, so arrival order never
+  // reaches the trajectory.
+  CompletionDelivery arrival;
   for (std::size_t received = 0; received < items.size(); ++received) {
-    rt::Message msg = comm.recv();
+    rt::Message msg = arrival.next(comm);
     Attempted a;
     const auto& d = msg.data;
     a.attempts = static_cast<std::size_t>(d[0]);
@@ -189,8 +202,49 @@ void EvalEngine::evaluate_spawned(const std::vector<TaskVector>& tasks,
   }
 }
 
+EvalOutcome EvalEngine::finalize(Attempted&& a, const TaskVector& task,
+                                 const Config& config, std::size_t label) {
+  EvalOutcome o;
+  o.attempts = a.attempts;
+  o.timed_out = a.timed_out;
+  o.virtual_seconds = a.virtual_seconds;
+  if (!a.failed) {
+    o.objectives = std::move(a.objectives);
+    for (std::size_t s = 0; s < num_objectives_; ++s) {
+      worst_clean_[s] = std::max(worst_clean_[s], o.objectives[s]);
+    }
+    return o;
+  }
+  o.penalized = true;
+  o.objectives.assign(num_objectives_, 0.0);
+  for (std::size_t s = 0; s < num_objectives_; ++s) {
+    if (s < a.objectives.size() && std::isfinite(a.objectives[s])) {
+      // Partial result: keep the components that did come back finite.
+      o.objectives[s] = a.objectives[s];
+    } else {
+      o.objectives[s] = policy_.penalty_factor *
+                        std::max(worst_clean_[s], policy_.penalty_floor);
+    }
+  }
+  common::log_warn("evaluation of item ", label, " failed after ", o.attempts,
+                   o.timed_out ? " attempt(s) (timeout)" : " attempt(s)",
+                   "; recording penalty ", o.objectives[0]);
+  if (history_) {
+    history_->add({task, config, o.objectives});
+  }
+  return o;
+}
+
 std::vector<EvalOutcome> EvalEngine::evaluate(
     const std::vector<TaskVector>& tasks, const std::vector<EvalItem>& items) {
+  if (inflight_ > 0) {
+    const std::string what =
+        "batch evaluate() with async candidates still in flight";
+#if defined(GPTUNE_RTCHECK)
+    rt::rtcheck::hooks::on_async_misuse(this, what);
+#endif
+    throw std::logic_error("EvalEngine::evaluate: " + what);
+  }
   common::Timer wall;
   telemetry::Span batch_span("objective", "eval_batch");
   batch_span.arg("items", static_cast<double>(items.size()));
@@ -210,42 +264,16 @@ std::vector<EvalOutcome> EvalEngine::evaluate(
   std::vector<double> costs(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
     Attempted& a = raw[i];
-    EvalOutcome& o = outcomes[i];
-    o.attempts = a.attempts;
-    o.timed_out = a.timed_out;
-    o.virtual_seconds = a.virtual_seconds;
     costs[i] = a.virtual_seconds;
     report.retries += a.attempts - 1;
-    if (!a.failed) {
-      o.objectives = std::move(a.objectives);
-      for (std::size_t s = 0; s < num_objectives_; ++s) {
-        worst_clean_[s] = std::max(worst_clean_[s], o.objectives[s]);
-      }
-    } else {
-      o.penalized = true;
+    stats_.attempts += a.attempts;
+    if (a.failed) {
       report.failed_attempts += a.attempts;
       if (a.timed_out) ++report.timeouts;
       ++report.penalized;
-      o.objectives.assign(num_objectives_, 0.0);
-      for (std::size_t s = 0; s < num_objectives_; ++s) {
-        if (s < a.objectives.size() && std::isfinite(a.objectives[s])) {
-          // Partial result: keep the components that did come back finite.
-          o.objectives[s] = a.objectives[s];
-        } else {
-          o.objectives[s] =
-              policy_.penalty_factor *
-              std::max(worst_clean_[s], policy_.penalty_floor);
-        }
-      }
-      common::log_warn("evaluation of item ", i, " failed after ", o.attempts,
-                       o.timed_out ? " attempt(s) (timeout)" : " attempt(s)",
-                       "; recording penalty ", o.objectives[0]);
-      if (history_) {
-        history_->add(
-            {tasks[items[i].task_index], items[i].config, o.objectives});
-      }
     }
-    stats_.attempts += a.attempts;
+    outcomes[i] = finalize(std::move(a), tasks[items[i].task_index],
+                           items[i].config, i);
   }
 
   // Virtual-clock makespan: greedy list scheduling of the per-item costs
@@ -279,6 +307,138 @@ std::vector<EvalOutcome> EvalEngine::evaluate(
   stats_.virtual_makespan += report.virtual_makespan;
   stats_.virtual_work += report.virtual_work;
   return outcomes;
+}
+
+void EvalEngine::ship_item(std::size_t id, std::size_t worker) {
+  StreamItem& item = stream_[id];
+  item.worker = worker;
+  item.state = StreamState::kRunning;
+  group_->handle.comm().send(worker, static_cast<int>(id),
+                             encode_payload(item.task, item.config));
+}
+
+std::size_t EvalEngine::submit(std::size_t task_index, const TaskVector& task,
+                               const Config& config) {
+  const std::size_t id = stream_.size();
+  StreamItem item;
+  item.task = task;
+  item.config = config;
+  item.task_index = task_index;
+  stream_.push_back(std::move(item));
+  ++inflight_;
+#if defined(GPTUNE_RTCHECK)
+  rt::rtcheck::hooks::on_async_submit(this, id);
+#endif
+  static auto& dispatched_counter = telemetry::counter("async.dispatched");
+  static auto& inflight_gauge = telemetry::gauge("async.inflight");
+  dispatched_counter.add(1);
+  inflight_gauge.set(static_cast<double>(inflight_));
+  if (!group_) {
+    // Inline mode (workers == 1): the caller thread is the lone objective
+    // rank, so the item runs now; delivery order is still decided by
+    // next_completion(), which keeps replay semantics uniform.
+    StreamItem& stored = stream_[id];
+    stored.result = run_item(stored.task, stored.config);
+    if (!stored.result.failed && history_) {
+      history_->add({stored.task, stored.config, stored.result.objectives});
+    }
+    stored.state = StreamState::kRunning;
+    inline_done_.push_back(id);
+    return id;
+  }
+  if (!idle_workers_.empty()) {
+    const std::size_t w = idle_workers_.front();
+    idle_workers_.pop_front();
+    ship_item(id, w);
+  } else {
+    stream_queue_.push_back(id);
+  }
+  return id;
+}
+
+EvalCompletion EvalEngine::next_completion(CompletionDelivery& delivery) {
+  if (inflight_ == 0) {
+    throw std::logic_error("EvalEngine::next_completion: nothing in flight");
+  }
+  // Validate a replay-forced id before blocking on its reply: a stale or
+  // foreign log must fail fast instead of hanging a selective receive that
+  // can never be satisfied.
+  if (const auto forced = delivery.forced_id()) {
+    const bool known = *forced < stream_.size();
+    if (!known || stream_[*forced].state != StreamState::kRunning) {
+      const std::string what =
+          "replay forces completion #" + std::to_string(*forced) +
+          (known ? " which is not awaiting delivery"
+                 : " which was never dispatched");
+#if defined(GPTUNE_RTCHECK)
+      rt::rtcheck::hooks::on_async_misuse(this, what);
+#endif
+      throw std::runtime_error("EvalEngine::next_completion: " + what);
+    }
+  }
+  std::size_t id = 0;
+  if (!group_) {
+    if (const auto forced = delivery.forced_id()) {
+      id = *forced;
+      inline_done_.erase(
+          std::find(inline_done_.begin(), inline_done_.end(), id));
+    } else {
+      id = inline_done_.front();
+      inline_done_.pop_front();
+    }
+  } else {
+    rt::Message msg = delivery.next(group_->handle.comm());
+    id = static_cast<std::size_t>(msg.tag);
+    const auto& d = msg.data;
+    Attempted a;
+    a.attempts = static_cast<std::size_t>(d[0]);
+    a.failed = d[1] != 0.0;
+    a.timed_out = d[2] != 0.0;
+    a.virtual_seconds = d[3];
+    const auto n_obj = static_cast<std::size_t>(d[4]);
+    a.objectives.assign(d.begin() + 5, d.begin() + 5 + n_obj);
+    stream_[id].result = std::move(a);
+    // Self-scheduling: the rank that just finished takes the backlog front
+    // (if any) or rejoins the idle pool. Both are pure functions of the
+    // delivery order, which is what makes the schedule replayable.
+    const std::size_t w = stream_[id].worker;
+    if (!stream_queue_.empty()) {
+      const std::size_t next_id = stream_queue_.front();
+      stream_queue_.pop_front();
+      ship_item(next_id, w);
+    } else {
+      idle_workers_.push_back(w);
+    }
+  }
+  delivery.advance();
+  StreamItem& item = stream_[id];
+  item.state = StreamState::kDelivered;
+  --inflight_;
+#if defined(GPTUNE_RTCHECK)
+  rt::rtcheck::hooks::on_async_delivered(this, id);
+#endif
+
+  EvalCompletion completion;
+  completion.id = id;
+  completion.task_index = item.task_index;
+  completion.worker = item.worker;
+  completion.outcome =
+      finalize(std::move(item.result), item.task, item.config, id);
+
+  ++stats_.items;
+  stats_.attempts += completion.outcome.attempts;
+  stats_.retries += completion.outcome.attempts - 1;
+  stats_.virtual_work += completion.outcome.virtual_seconds;
+  if (completion.outcome.penalized) {
+    ++stats_.penalized;
+    stats_.failed_attempts += completion.outcome.attempts;
+    if (completion.outcome.timed_out) ++stats_.timeouts;
+  }
+  static auto& completions_counter = telemetry::counter("async.completions");
+  static auto& inflight_gauge = telemetry::gauge("async.inflight");
+  completions_counter.add(1);
+  inflight_gauge.set(static_cast<double>(inflight_));
+  return completion;
 }
 
 std::vector<double> EvalEngine::evaluate_one(const TaskVector& task,

@@ -35,6 +35,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -43,6 +44,8 @@
 #include "core/space.hpp"
 
 namespace gptune::core {
+
+class CompletionDelivery;  // core/completion_log.hpp
 
 /// Black-box evaluation of one task at one configuration. Returns the
 /// gamma objective values (all minimized). This is the expensive call —
@@ -101,6 +104,16 @@ struct EvalBatchReport {
   std::size_t penalized = 0;
 };
 
+/// One delivered completion from the async stream interface (DESIGN.md
+/// §3.9): the dispatch id submit() returned, the task it belonged to, the
+/// objective rank that ran it, and the finalized (penalty-passed) outcome.
+struct EvalCompletion {
+  std::size_t id = 0;
+  std::size_t task_index = 0;
+  std::size_t worker = 0;
+  EvalOutcome outcome;
+};
+
 /// Cumulative engine statistics across batches.
 struct EvalStats {
   std::size_t batches = 0;
@@ -142,16 +155,73 @@ class EvalEngine {
   /// samples seeding a run) into the penalty baseline.
   void observe(const std::vector<double>& objectives);
 
+  // --- Async stream interface (DESIGN.md §3.9) -------------------------
+  //
+  // The batch evaluate() above is a barrier: it ships a whole batch and
+  // blocks until every item is back. The stream interface removes the
+  // barrier: submit() hands one item to the group immediately (to the
+  // longest-idle worker, or a FIFO backlog when all are busy — the
+  // self-scheduling pool the paper's Fig. 1 master runs), and
+  // next_completion() delivers finished items one at a time in the order
+  // chosen by the CompletionDelivery policy (arrival order live, recorded
+  // order under replay). Penalty finalization happens per completion in
+  // delivery order, so a replayed run reproduces penalties bitwise.
+  //
+  // The two interfaces must not be interleaved: calling evaluate() while
+  // stream items are outstanding throws (and is reported by rtcheck).
+
+  /// Dispatches one item; returns its dense dispatch id (also the reply
+  /// message tag and the `item` field of the completion log).
+  std::size_t submit(std::size_t task_index, const TaskVector& task,
+                     const Config& config);
+
+  /// Blocks for the next completion under `delivery`'s ordering policy.
+  /// Throws std::logic_error with nothing in flight, std::runtime_error
+  /// when a replay log forces an id this engine never dispatched (stale or
+  /// foreign log).
+  EvalCompletion next_completion(CompletionDelivery& delivery);
+
+  /// Submitted-but-undelivered item count.
+  std::size_t inflight() const { return inflight_; }
+
   std::size_t workers() const { return workers_; }
   const EvalPolicy& policy() const { return policy_; }
   const EvalBatchReport& last_batch() const { return last_batch_; }
   const EvalStats& stats() const { return stats_; }
 
  private:
-  struct Attempted;  // raw (pre-penalty) result of one item
-  struct Group;      // spawned worker group + inter-communicator
+  /// Raw result of one item before the master's penalty pass.
+  struct Attempted {
+    std::vector<double> objectives;  ///< last attempt's values; may be dirty
+    std::size_t attempts = 1;
+    bool failed = false;
+    bool timed_out = false;
+    double virtual_seconds = 0.0;
+  };
+  struct Group;  // spawned worker group + inter-communicator
+
+  /// Lifecycle of one stream item.
+  enum class StreamState {
+    kQueued,     ///< submitted, waiting for an idle worker
+    kRunning,    ///< shipped to a worker (or, inline mode, result ready)
+    kDelivered,  ///< returned by next_completion()
+  };
+  struct StreamItem {
+    TaskVector task;
+    Config config;
+    std::size_t task_index = 0;
+    std::size_t worker = 0;
+    StreamState state = StreamState::kQueued;
+    Attempted result;  ///< inline mode only; spawned replies carry it
+  };
 
   Attempted run_item(const TaskVector& task, const Config& config) const;
+  /// Master-side penalty pass for one item: updates the worst-clean
+  /// baseline from clean results, substitutes penalties (and archives
+  /// them) otherwise. `label` only names the item in the failure log line.
+  EvalOutcome finalize(Attempted&& a, const TaskVector& task,
+                       const Config& config, std::size_t label);
+  void ship_item(std::size_t id, std::size_t worker);
   void evaluate_serial(const std::vector<TaskVector>& tasks,
                        const std::vector<EvalItem>& items,
                        std::vector<Attempted>& raw);
@@ -173,6 +243,16 @@ class EvalEngine {
   std::unique_ptr<Group> group_;
   EvalBatchReport last_batch_;
   EvalStats stats_;
+
+  /// Async stream state. stream_ is dense by dispatch id; the deques hold
+  /// ids (backlog) and ranks (idle pool, longest-idle first) — all updated
+  /// only at submit/delivery, so the dispatch schedule is a deterministic
+  /// function of the completion delivery order.
+  std::vector<StreamItem> stream_;
+  std::deque<std::size_t> stream_queue_;
+  std::deque<std::size_t> idle_workers_;
+  std::deque<std::size_t> inline_done_;  ///< inline mode: undelivered ids
+  std::size_t inflight_ = 0;
 };
 
 }  // namespace gptune::core

@@ -4,14 +4,17 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
 #include <memory>
-#include <unordered_set>
+#include <stdexcept>
 
 #include "common/log.hpp"
 #include "common/telemetry/telemetry.hpp"
 #include "common/timer.hpp"
 #include "core/acquisition.hpp"
+#include "core/async_pipeline.hpp"
+#include "core/config_set.hpp"
 #include "core/search_workers.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/virtual_clock.hpp"
@@ -99,12 +102,24 @@ struct MultitaskTuner::State {
   // transform over the current samples), refreshed every modeling phase.
   std::vector<double> feature_lo, feature_hi;
 
+  // Per-task seen-config dedup sets (core/config_set.hpp), persisted for
+  // the whole run: history seeds enter in the sampling phase, every
+  // evaluated (or, async, dispatched) configuration as it is committed.
+  // Search phases only read them — no per-iteration rebuild.
+  std::vector<ConfigSet> seen;
+
   // Per-modeling-phase accounting: wall-clock spent inside fit_lcm and its
   // virtual-clock makespan over model_workers (restarts list-scheduled).
   double fit_wall = 0.0;
   double fit_virtual = 0.0;
 
   std::size_t iteration = 0;
+
+  // Uniform per-phase invocation counters for MlaResult::profiles: how
+  // many times each phase body ran (see PhaseProfile).
+  std::size_t objective_invocations = 0;
+  std::size_t modeling_invocations = 0;
+  std::size_t search_invocations = 0;
 };
 
 namespace {
@@ -113,31 +128,11 @@ double maybe_log(bool log_objective, double v) {
   return log_objective ? std::log(std::max(v, 1e-300)) : v;
 }
 
-// Hash over the exact bit patterns of a configuration's values (±0.0
-// merged, since they compare equal); backs the per-task seen-config sets
-// that replaced the O(front × evals) duplicate linear scans.
-struct ConfigHasher {
-  std::size_t operator()(const Config& c) const {
-    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ c.size();
-    for (double v : c) {
-      if (v == 0.0) v = 0.0;
-      std::uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(v));
-      __builtin_memcpy(&bits, &v, sizeof(bits));
-      h ^= bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    }
-    return static_cast<std::size_t>(h);
-  }
-};
-
-using ConfigSet = std::unordered_set<Config, ConfigHasher>;
-
-ConfigSet seen_configs(const std::vector<EvalRecord>& evals) {
-  ConfigSet seen;
-  seen.reserve(evals.size() * 2);
-  for (const auto& e : evals) seen.insert(e.config);
-  return seen;
-}
+/// Constant-liar repulsion constants (normalized space): a bump of width
+/// ~10% of the unit box around each in-flight point, tall enough to
+/// dominate any nearby acquisition optimum.
+constexpr double kLiarBandwidth = 0.1;
+constexpr double kLiarPenalty = 100.0;
 
 }  // namespace
 
@@ -154,10 +149,10 @@ MultitaskTuner::MultitaskTuner(Space tuning_space, MultiObjectiveFn objective,
       std::min(options_.initial_samples, options_.budget_per_task);
 }
 
-void MultitaskTuner::sampling_phase(State& state) {
-  telemetry::Span phase_span("objective", "sampling_phase");
+std::vector<std::vector<Config>> MultitaskTuner::initial_design(State& state) {
   const std::size_t delta = state.tasks.size();
   state.result.tasks.resize(delta);
+  state.seen.resize(delta);
   std::vector<std::vector<Config>> batches(delta);
 
   for (std::size_t i = 0; i < delta; ++i) {
@@ -171,15 +166,20 @@ void MultitaskTuner::sampling_phase(State& state) {
         if (rec.objectives.size() != options_.num_objectives) continue;
         if (rec.config.size() != space_.dim()) continue;
         state.eval->observe(rec.objectives);
+        state.seen[i].insert(rec.config);
         state.result.tasks[i].evals.push_back({rec.config, rec.objectives});
       }
     }
 
-    auto configs =
-        sample_initial_configs(space_, needed, state.rng,
-                               options_.initial_design);
-    batches[i] = std::move(configs);
+    batches[i] = sample_initial_configs(space_, needed, state.rng,
+                                        options_.initial_design);
   }
+  return batches;
+}
+
+void MultitaskTuner::sampling_phase(State& state) {
+  telemetry::Span phase_span("objective", "sampling_phase");
+  auto batches = initial_design(state);
   evaluate_batch(state, batches);
 }
 
@@ -187,6 +187,7 @@ void MultitaskTuner::modeling_phase(State& state, bool refit) {
   telemetry::Span phase_span("model", "modeling_phase");
   phase_span.arg("iteration", static_cast<double>(state.iteration));
   const std::size_t delta = state.tasks.size();
+  ++state.modeling_invocations;
   state.fit_wall = 0.0;
   state.fit_virtual = 0.0;
 
@@ -297,6 +298,7 @@ void MultitaskTuner::search_phase_single(State& state) {
   telemetry::Span phase_span("search", "search_phase");
   phase_span.arg("iteration", static_cast<double>(state.iteration));
   const std::size_t delta = state.tasks.size();
+  ++state.search_invocations;
   if (!state.models[0]) {
     // No model (all fits failed): fall back to random sampling.
     std::vector<std::vector<Config>> batches(delta);
@@ -317,13 +319,11 @@ void MultitaskTuner::search_phase_single(State& state) {
     }
   }
 
-  // Per-task seen-config sets, rebuilt once per iteration: duplicate
-  // detection is O(1) per candidate instead of a linear scan over the
-  // evaluation history. Read-only during the (possibly parallel) searches.
-  std::vector<ConfigSet> seen(delta);
-  for (std::size_t i : active) {
-    seen[i] = seen_configs(state.result.tasks[i].evals);
-  }
+  // Per-task seen-config sets: persisted in State across iterations
+  // (updated as evaluations commit), so duplicate detection is O(1) per
+  // candidate with no per-iteration rebuild. Read-only during the
+  // (possibly parallel) searches.
+  const std::vector<ConfigSet>& seen = state.seen;
 
   const AcquisitionContext acq{&space_,           options_.performance_model,
                                &state.feature_lo, &state.feature_hi,
@@ -382,6 +382,7 @@ void MultitaskTuner::search_phase_multi(State& state) {
   telemetry::Span phase_span("search", "search_phase");
   phase_span.arg("iteration", static_cast<double>(state.iteration));
   const std::size_t delta = state.tasks.size();
+  ++state.search_invocations;
   const std::size_t gamma = options_.num_objectives;
 
   std::vector<std::size_t> active;
@@ -424,9 +425,9 @@ void MultitaskTuner::search_phase_multi(State& state) {
                                      nsga2);
 
     // Pick up to k distinct new configurations from the acquisition front.
-    // History dedup is O(1) per candidate via a hash set over the task's
-    // evaluations; `chosen` stays a linear scan (at most batch_k entries).
-    const ConfigSet seen = seen_configs(th.evals);
+    // History dedup is O(1) per candidate via the run-persistent seen set;
+    // `chosen` stays a linear scan (at most batch_k entries).
+    const ConfigSet& seen = state.seen[i];
     std::vector<Config> chosen;
     for (const auto& u : front.points) {
       if (chosen.size() >= k) break;
@@ -479,8 +480,10 @@ void MultitaskTuner::evaluate_batch(
   }
   if (items.empty()) return;
 
+  ++state.objective_invocations;
   auto outcomes = state.eval->evaluate(state.tasks, items);
   for (std::size_t n = 0; n < items.size(); ++n) {
+    state.seen[items[n].task_index].insert(items[n].config);
     state.result.tasks[items[n].task_index].evals.push_back(
         {std::move(items[n].config), std::move(outcomes[n].objectives)});
     ++state.result.evaluations;
@@ -498,6 +501,16 @@ MlaResult MultitaskTuner::run(const std::vector<TaskVector>& tasks) {
   state.eval = std::make_unique<EvalEngine>(
       objective_, options_.num_objectives, options_.objective_workers,
       options_.evaluation, options_.history);
+
+  if (options_.async) {
+    if (options_.num_objectives == 1) {
+      run_async(state);
+      return state.result;
+    }
+    common::log_warn("mla: async pipeline supports a single objective; "
+                     "falling back to the synchronous loop");
+  }
+
   state.search_group = std::make_unique<SearchWorkerGroup>(
       options_.search_workers, options_.seed);
 
@@ -552,19 +565,145 @@ MlaResult MultitaskTuner::run(const std::vector<TaskVector>& tasks) {
   }
   state.result.eval_stats = state.eval->stats();
 
-  // Per-phase profile rollup (fixed order; invocations: objective counts
-  // engine batches, modeling/search count MLA iterations).
+  // Per-phase profile rollup (fixed order). Invocations share one unit —
+  // how many times each phase body ran (see PhaseProfile): evaluation
+  // rounds, model fits, search rounds.
   auto& profiles = state.result.profiles;
   profiles.clear();
-  profiles.push_back({"objective", state.result.eval_stats.batches,
+  profiles.push_back({"objective", state.objective_invocations,
                       state.result.times.objective,
                       state.result.virtual_times.objective});
-  profiles.push_back({"modeling", state.iteration,
+  profiles.push_back({"modeling", state.modeling_invocations,
                       state.result.times.modeling,
                       state.result.virtual_times.modeling});
-  profiles.push_back({"search", state.iteration, state.result.times.search,
+  profiles.push_back({"search", state.search_invocations,
+                      state.result.times.search,
                       state.result.virtual_times.search});
   return state.result;
+}
+
+void MultitaskTuner::run_async(State& state) {
+  const std::size_t delta = state.tasks.size();
+  common::log_info("mla[async]: ", delta, " tasks, budget ",
+                   options_.budget_per_task, "/task, seed ", options_.seed,
+                   ", workers ", options_.objective_workers);
+
+  auto batches = initial_design(state);
+
+  const AcquisitionContext acq{&space_,           options_.performance_model,
+                               &state.feature_lo, &state.feature_hi,
+                               options_.use_ei,   options_.log_objective};
+
+  AsyncPipeline::Hooks hooks;
+  // Model (re)fit between completions: same modeling phase as the sync
+  // loop — the fit ordinal stands in for the iteration counter, so fit
+  // seeds advance exactly as sync iterations would.
+  hooks.fit = [&](bool refit) {
+    common::Timer timer;
+    modeling_phase(state, refit);
+    const double wall = timer.seconds();
+    state.result.times.modeling += wall;
+    state.result.virtual_times.modeling +=
+        std::max(0.0, wall - state.fit_wall) + state.fit_virtual;
+    ++state.iteration;
+  };
+  // One candidate: PSO over the constant-liar-wrapped EI when a model
+  // exists (the repulsion bumps sit at the task's in-flight points, so
+  // concurrent candidates spread out), random feasible draw before the
+  // first successful fit.
+  hooks.candidate = [&](std::size_t i, const std::vector<Config>& busy,
+                        common::Rng& rng) -> Config {
+    if (state.models.empty() || !state.models[0]) {
+      return space_.sample_feasible(rng);
+    }
+    const gp::LcmModel& model = *state.models[0];
+    const double incumbent =
+        maybe_log(options_.log_objective, state.result.tasks[i].best(0));
+    auto base =
+        single_objective_acquisition(acq, model, i, state.tasks[i], incumbent);
+    std::vector<opt::Point> busy_points;
+    busy_points.reserve(busy.size());
+    for (const Config& b : busy) busy_points.push_back(space_.normalize(b));
+    auto acquisition = constant_liar_acquisition(std::move(base), busy_points,
+                                                 kLiarBandwidth, kLiarPenalty);
+    opt::PsoOptions pso = options_.pso;
+    for (std::size_t s = 0; s < pso.swarm_size / 2; ++s) {
+      pso.initial_points.push_back(
+          space_.normalize(space_.sample_feasible(rng)));
+    }
+    auto best = opt::pso_minimize(acquisition, opt::Box::unit(space_.dim()),
+                                  rng, pso);
+    Config candidate = space_.denormalize(best.x);
+    if (!space_.feasible(candidate)) candidate = space_.sample_feasible(rng);
+    return candidate;
+  };
+
+  AsyncPipeline::Options pipeline_options;
+  pipeline_options.budget_per_task = options_.budget_per_task;
+  pipeline_options.inflight_per_task =
+      options_.async_inflight > 0 ? options_.async_inflight : options_.batch_k;
+  pipeline_options.refit_samples = options_.async_refit_samples > 0
+                                       ? options_.async_refit_samples
+                                       : std::max<std::size_t>(1, delta);
+  pipeline_options.refit_period = options_.refit_period;
+  pipeline_options.seed = options_.seed;
+
+  // Replay source: the in-memory log wins; GPTUNE_REPLAY=log.json is the
+  // file-based equivalent for record/replay across processes.
+  CompletionLog loaded_log;
+  const CompletionLog* replay = options_.replay;
+  if (replay == nullptr) {
+    if (const char* env = std::getenv("GPTUNE_REPLAY"); env && *env != '\0') {
+      std::string error;
+      auto loaded = CompletionLog::load(env, &error);
+      if (!loaded) throw std::runtime_error("GPTUNE_REPLAY: " + error);
+      loaded_log = std::move(*loaded);
+      replay = &loaded_log;
+      common::log_info("mla[async]: replaying ", loaded_log.size(),
+                       " completions from ", env);
+    }
+  }
+
+  AsyncPipeline pipeline(pipeline_options, space_, *state.eval,
+                         std::move(hooks));
+  AsyncPipeline::Report report =
+      pipeline.run(state.result.tasks, state.seen, batches, replay);
+
+  state.result.evaluations += report.completions;
+  state.result.times.objective += report.objective_wall;
+  state.result.times.search += report.search_wall;
+  // Manager-side candidate generation is serial, so its virtual charge is
+  // its wall time; the evaluation stream's virtual time is its makespan.
+  state.result.virtual_times.objective += report.makespan;
+  state.result.virtual_times.search += report.search_wall;
+  state.result.eval_stats = state.eval->stats();
+  state.result.completion_log = std::move(report.log);
+  state.result.worker_occupancy = report.occupancy;
+  state.result.async_virtual_makespan = report.makespan;
+
+  auto& profiles = state.result.profiles;
+  profiles.clear();
+  profiles.push_back({"objective", report.completions,
+                      state.result.times.objective,
+                      state.result.virtual_times.objective});
+  profiles.push_back({"modeling", state.modeling_invocations,
+                      state.result.times.modeling,
+                      state.result.virtual_times.modeling});
+  profiles.push_back({"search", report.candidates, state.result.times.search,
+                      state.result.virtual_times.search});
+
+  if (const char* env = std::getenv("GPTUNE_RECORD"); env && *env != '\0') {
+    if (state.result.completion_log.save(env)) {
+      common::log_info("mla[async]: recorded ",
+                       state.result.completion_log.size(), " completions to ",
+                       env);
+    } else {
+      common::log_warn("mla[async]: failed to write completion log to ", env);
+    }
+  }
+
+  common::log_info("mla[async]: ", report.completions, " completions, ",
+                   report.fits, " fits, occupancy ", report.occupancy);
 }
 
 }  // namespace gptune::core

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/completion_log.hpp"
 #include "core/eval_engine.hpp"
 #include "core/history.hpp"
 #include "core/perf_model.hpp"
@@ -110,12 +111,38 @@ struct MlaOptions {
   /// Optional archive (not owned): pre-existing matching records seed the
   /// run; every new evaluation is appended.
   HistoryDb* history = nullptr;
+
+  /// Asynchronous pipeline (DESIGN.md §3.9): replaces the lockstep
+  /// fit → search → evaluate iteration with an event-driven manager that
+  /// dispatches the next candidate the moment an objective worker frees
+  /// up, generating follow-ups with constant-liar batch acquisition and
+  /// refitting on a sample-count trigger. Async runs are
+  /// *replay*-deterministic (see MlaResult::completion_log), not
+  /// bitwise-identical across worker counts like the sync mode.
+  /// Single-objective only; multi-objective runs fall back to sync.
+  bool async = false;
+  /// Async: in-flight candidate cap per task; 0 means batch_k.
+  std::size_t async_inflight = 0;
+  /// Async: refit the model after this many completions since the last
+  /// fit; 0 means one refit per `delta` completions (one per task — the
+  /// per-iteration cadence of the sync loop).
+  std::size_t async_refit_samples = 0;
+  /// Async: replay a recorded completion log (not owned; must outlive the
+  /// run). The run reproduces the recorded trajectory bitwise and fails
+  /// fast (throws) on a log that does not match this configuration.
+  /// The GPTUNE_REPLAY=log.json environment variable is the file-based
+  /// equivalent; this pointer takes precedence.
+  const CompletionLog* replay = nullptr;
 };
 
 /// One row of the per-phase profile (paper Fig. 1 phases): how often the
 /// phase ran and where its time went, on both clocks. Derived from the
 /// same accounting as PhaseTimes; printed by the fig3/trainer benches and
-/// by tools/trace_summarize.
+/// by tools/trace_summarize. `invocations` counts how many times the
+/// phase body ran, uniformly: evaluation rounds for "objective" (sampling
+/// round + one per search round), model fits for "modeling", search
+/// rounds for "search" — in async mode, completions / fits / candidate
+/// generations respectively.
 struct PhaseProfile {
   std::string phase;           ///< "objective" | "modeling" | "search"
   std::size_t invocations = 0;
@@ -139,6 +166,17 @@ struct MlaResult {
   std::vector<PhaseProfile> profiles;
   std::size_t model_refits = 0;
   std::size_t evaluations = 0;
+
+  /// Async mode only (empty/zero for sync runs): the recorded completion
+  /// delivery order — feed it back via MlaOptions::replay (or save it and
+  /// use GPTUNE_REPLAY=) to reproduce this run's trajectory bitwise.
+  CompletionLog completion_log;
+  /// Async mode: fraction of objective-worker virtual time spent busy,
+  /// sum(item costs) / (workers * virtual makespan).
+  double worker_occupancy = 0.0;
+  /// Async mode: virtual-clock makespan of the whole evaluation stream
+  /// (the quantity the occupancy/speedup bench compares against sync).
+  double async_virtual_makespan = 0.0;
 };
 
 class MultitaskTuner {
@@ -156,12 +194,17 @@ class MultitaskTuner {
  private:
   struct State;  // per-run working data
 
+  /// Per-task history seeding + initial-design construction, shared by the
+  /// sync sampling phase and the async pipeline's initial dispatch.
+  std::vector<std::vector<Config>> initial_design(State& state);
   void sampling_phase(State& state);
   void modeling_phase(State& state, bool refit);
   void search_phase_single(State& state);
   void search_phase_multi(State& state);
   void evaluate_batch(State& state,
                       const std::vector<std::vector<Config>>& per_task);
+  /// Event-driven pipeline behind MlaOptions::async (DESIGN.md §3.9).
+  void run_async(State& state);
 
   Space space_;
   MultiObjectiveFn objective_;

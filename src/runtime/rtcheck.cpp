@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <map>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -29,6 +30,8 @@ const char* kind_name(FindingKind kind) {
     case FindingKind::kInvalidSend: return "invalid-send";
     case FindingKind::kUnjoinedSpawn: return "unjoined-spawn";
     case FindingKind::kPoolMisuse: return "pool-misuse";
+    case FindingKind::kAsyncProtocol: return "async-protocol";
+    case FindingKind::kAsyncOutstanding: return "async-outstanding";
   }
   return "unknown";
 }
@@ -93,6 +96,8 @@ struct Registry {
   std::map<const void*, std::size_t> pools;       // ThreadPool* -> threads
   std::vector<WaitTokenPtr> waits;
   std::vector<Finding> findings;
+  /// Async streams: owner (EvalEngine*) -> submitted-but-undelivered ids.
+  std::map<const void*, std::set<std::size_t>> async_owners;
   std::size_t next_group_id = 0;
   std::size_t next_channel_id = 0;
   std::size_t next_pool_id = 0;
@@ -420,6 +425,7 @@ void reset() {
   r.pool_ids.clear();
   r.waits.clear();
   r.findings.clear();
+  r.async_owners.clear();
 }
 
 std::size_t audit_unjoined() {
@@ -446,6 +452,17 @@ std::size_t live_spawn_count() {
     if (!info.joined) ++live;
   }
   return live;
+}
+
+std::size_t async_outstanding() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::size_t outstanding = 0;
+  for (const auto& [owner, ids] : r.async_owners) {
+    (void)owner;
+    outstanding += ids.size();
+  }
+  return outstanding;
 }
 
 namespace hooks {
@@ -772,6 +789,50 @@ WaitTokenPtr begin_pool_wait(const void* pool, std::mutex* wait_mutex,
   return token;
 }
 
+void on_async_submit(const void* owner, std::size_t id) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto [it, inserted] = r.async_owners[owner].insert(id);
+  (void)it;
+  if (!inserted) {
+    record_finding(r, FindingKind::kAsyncProtocol,
+                   "async stream: candidate #" + std::to_string(id) +
+                       " submitted twice by the same owner");
+  }
+}
+
+void on_async_delivered(const void* owner, std::size_t id) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.async_owners.find(owner);
+  if (it == r.async_owners.end() || it->second.erase(id) == 0) {
+    record_finding(r, FindingKind::kAsyncProtocol,
+                   "async stream: completion #" + std::to_string(id) +
+                       " delivered without a matching submit (or twice)");
+  }
+}
+
+void on_async_misuse(const void* owner, const std::string& what) {
+  (void)owner;
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  record_finding(r, FindingKind::kAsyncProtocol, "async stream: " + what);
+}
+
+void on_async_owner_destroyed(const void* owner) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.async_owners.find(owner);
+  if (it == r.async_owners.end()) return;
+  if (!it->second.empty()) {
+    record_finding(r, FindingKind::kAsyncOutstanding,
+                   "async stream: owner destroyed with " +
+                       std::to_string(it->second.size()) +
+                       " undelivered candidate(s) in flight");
+  }
+  r.async_owners.erase(it);
+}
+
 }  // namespace hooks
 
 #else  // !GPTUNE_RTCHECK — finding store stubs for unchecked builds.
@@ -781,6 +842,7 @@ std::size_t count(FindingKind) { return 0; }
 void reset() {}
 std::size_t audit_unjoined() { return 0; }
 std::size_t live_spawn_count() { return 0; }
+std::size_t async_outstanding() { return 0; }
 
 #endif  // GPTUNE_RTCHECK
 

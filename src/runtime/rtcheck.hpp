@@ -46,6 +46,9 @@ enum class FindingKind {
   kInvalidSend,         ///< send to an out-of-range or finalized rank
   kUnjoinedSpawn,       ///< spawned group never joined (reported by audit())
   kPoolMisuse,          ///< ThreadPool destroyed with a batch still waiting
+  kAsyncProtocol,       ///< async stream misuse (replay of unknown id,
+                        ///< batch evaluate with items in flight)
+  kAsyncOutstanding,    ///< async owner destroyed with undelivered items
 };
 
 /// Human-readable rule name ("deadlock", "message-leak", ...).
@@ -85,6 +88,11 @@ std::size_t audit_unjoined();
 /// Persistent-group audit: lets tests assert a long-lived worker group is
 /// spawned once per run and fully torn down at run end. Records nothing.
 std::size_t live_spawn_count();
+
+/// Async-stream audit: total submitted-but-undelivered candidates across
+/// all live async owners (EvalEngine streams). A quiesced pipeline must
+/// read zero. Records nothing. Always available; 0 in an unchecked build.
+std::size_t async_outstanding();
 
 }  // namespace gptune::rt::rtcheck
 
@@ -197,6 +205,19 @@ void on_pool_destroyed(const void* pool);
 WaitTokenPtr begin_pool_wait(const void* pool, std::mutex* wait_mutex,
                              std::condition_variable* wait_cv,
                              const char* what);
+
+// --- async stream (core/eval_engine submit/next_completion) ---
+/// Tracks one dispatched candidate per (owner, id); `owner` is the engine.
+void on_async_submit(const void* owner, std::size_t id);
+/// Marks (owner, id) delivered; records kAsyncProtocol if it was never
+/// submitted or was already delivered (double delivery).
+void on_async_delivered(const void* owner, std::size_t id);
+/// Caller-detected stream misuse (replay forcing an unknown id, batch
+/// evaluate with items in flight): records a kAsyncProtocol finding.
+void on_async_misuse(const void* owner, const std::string& what);
+/// Teardown audit: records kAsyncOutstanding when the owner still had
+/// undelivered items, then forgets the owner.
+void on_async_owner_destroyed(const void* owner);
 
 }  // namespace rtcheck::hooks
 }  // namespace gptune::rt

@@ -1,0 +1,347 @@
+// Tests of the asynchronous tuning pipeline (DESIGN.md §3.9): the engine's
+// stream interface, the completion-log record/replay contract (the ISSUE's
+// tier-1 battery: async replay-deterministic at objective worker counts 2
+// and 4, also under injected faults), the JSON round-trip, the
+// GPTUNE_RECORD/GPTUNE_REPLAY environment plumbing, fail-fast on stale
+// logs, and the multi-objective fallback to the sync loop.
+//
+// gtest_discover_tests runs each TEST in its own process, so setenv state
+// and rtcheck registry state never leak between tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/fault_injection.hpp"
+#include "core/async_pipeline.hpp"
+#include "core/completion_log.hpp"
+#include "core/eval_engine.hpp"
+#include "core/mla.hpp"
+#include "runtime/rtcheck.hpp"
+
+namespace {
+
+using namespace gptune;
+using namespace gptune::core;
+
+Space box2d() {
+  Space s;
+  s.add_real("x", 0.0, 1.0);
+  s.add_real("y", 0.0, 1.0);
+  return s;
+}
+
+// Pure single-objective family: minimum at (t, 1 - t), value 0.01.
+MultiObjectiveFn family_fn() {
+  return [](const TaskVector& t, const Config& c) {
+    const double dx = c[0] - t[0];
+    const double dy = c[1] - (1.0 - t[0]);
+    return std::vector<double>{dx * dx + dy * dy + 0.01};
+  };
+}
+
+// Deterministic virtual cost: the objective value itself (a simulated
+// runtime), so makespans and timeouts are reproducible.
+EvalPolicy simulated_policy() {
+  EvalPolicy policy;
+  policy.virtual_cost = [](const TaskVector&, const Config&,
+                           const std::vector<double>& y) {
+    return y.empty() ? 1.0 : y[0];
+  };
+  return policy;
+}
+
+MlaOptions async_options(std::size_t workers) {
+  MlaOptions opt;
+  opt.budget_per_task = 14;
+  opt.model_restarts = 2;
+  opt.max_lbfgs_iterations = 20;
+  opt.seed = 42;
+  opt.async = true;
+  opt.objective_workers = workers;
+  opt.evaluation = simulated_policy();
+  return opt;
+}
+
+const std::vector<TaskVector> kTasks = {{0.25}, {0.75}};
+
+MlaResult run_async(const MlaOptions& opt) {
+  MultitaskTuner tuner(box2d(), family_fn(), opt);
+  return tuner.run(kTasks);
+}
+
+void expect_same_trajectory(const MlaResult& a, const MlaResult& b) {
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    ASSERT_EQ(a.tasks[i].evals.size(), b.tasks[i].evals.size());
+    for (std::size_t j = 0; j < a.tasks[i].evals.size(); ++j) {
+      EXPECT_EQ(a.tasks[i].evals[j].config, b.tasks[i].evals[j].config)
+          << "task " << i << " eval " << j;
+      EXPECT_EQ(a.tasks[i].evals[j].objectives, b.tasks[i].evals[j].objectives)
+          << "task " << i << " eval " << j;
+    }
+  }
+}
+
+// The replay contract proper: same delivery order, item for item. The vt
+// fields are informational and compared separately (see expect_same_log)
+// because crashed attempts charge measured wall time as their virtual
+// cost, which is not bitwise reproducible.
+void expect_same_log_order(const CompletionLog& a, const CompletionLog& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events()[i].seq, b.events()[i].seq);
+    EXPECT_EQ(a.events()[i].item, b.events()[i].item);
+    EXPECT_EQ(a.events()[i].task, b.events()[i].task);
+    EXPECT_EQ(a.events()[i].worker, b.events()[i].worker);
+  }
+}
+
+void expect_same_log(const CompletionLog& a, const CompletionLog& b) {
+  expect_same_log_order(a, b);
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    EXPECT_EQ(a.events()[i].vt_start, b.events()[i].vt_start);
+    EXPECT_EQ(a.events()[i].vt_finish, b.events()[i].vt_finish);
+  }
+}
+
+// --- engine stream interface ------------------------------------------------
+
+TEST(EvalEngineStream, StreamMatchesBatchOutcomes) {
+  std::vector<EvalItem> items;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const double v = static_cast<double>(i) / 12.0;
+    items.push_back({i % 2, Config{v, 1.0 - v}});
+  }
+  for (std::size_t workers : {1u, 3u}) {
+    EvalEngine batch_engine(family_fn(), 1, workers, simulated_policy());
+    const auto batch = batch_engine.evaluate(kTasks, items);
+
+    EvalEngine stream_engine(family_fn(), 1, workers, simulated_policy());
+    std::vector<std::size_t> ids;
+    for (const auto& item : items) {
+      ids.push_back(stream_engine.submit(item.task_index,
+                                         kTasks[item.task_index], item.config));
+    }
+    EXPECT_EQ(stream_engine.inflight(), items.size());
+    std::vector<EvalOutcome> by_id(items.size());
+    CompletionDelivery live;
+    while (stream_engine.inflight() > 0) {
+      EvalCompletion c = stream_engine.next_completion(live);
+      ASSERT_LT(c.id, by_id.size());
+      by_id[c.id] = std::move(c.outcome);
+    }
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      EXPECT_EQ(by_id[ids[i]].objectives, batch[i].objectives);
+      EXPECT_EQ(by_id[ids[i]].attempts, batch[i].attempts);
+      EXPECT_EQ(by_id[ids[i]].penalized, batch[i].penalized);
+    }
+  }
+}
+
+TEST(EvalEngineStream, BatchEvaluateWithStreamInFlightThrows) {
+  EvalEngine engine(family_fn(), 1, 1, simulated_policy());
+  engine.submit(0, kTasks[0], {0.5, 0.5});
+  EXPECT_THROW(engine.evaluate(kTasks, {{0, Config{0.1, 0.9}}}),
+               std::logic_error);
+  CompletionDelivery live;
+  (void)engine.next_completion(live);
+  EXPECT_THROW(engine.next_completion(live), std::logic_error);
+}
+
+// --- async MLA determinism and replay ---------------------------------------
+
+TEST(AsyncMla, InlineModeDeterministicAcrossRuns) {
+  // One worker: completions arrive in dispatch order, so even the live
+  // path is deterministic run to run.
+  const MlaResult a = run_async(async_options(1));
+  const MlaResult b = run_async(async_options(1));
+  expect_same_trajectory(a, b);
+  expect_same_log(a.completion_log, b.completion_log);
+}
+
+TEST(AsyncMla, FullBudgetAndAccounting) {
+  const MlaResult r = run_async(async_options(4));
+  std::size_t total = 0;
+  for (const auto& th : r.tasks) {
+    EXPECT_EQ(th.evals.size(), 14u);
+    total += th.evals.size();
+    for (const auto& e : th.evals) {
+      EXPECT_TRUE(std::isfinite(e.objectives[0]));
+    }
+  }
+  EXPECT_EQ(r.evaluations, total);
+  EXPECT_EQ(r.completion_log.size(), total);
+  EXPECT_GT(r.async_virtual_makespan, 0.0);
+  EXPECT_GT(r.worker_occupancy, 0.0);
+  EXPECT_LE(r.worker_occupancy, 1.0);
+  ASSERT_EQ(r.profiles.size(), 3u);
+  EXPECT_EQ(r.profiles[0].phase, "objective");
+  EXPECT_EQ(r.profiles[0].invocations, total);
+  EXPECT_GT(r.profiles[1].invocations, 0u);  // model fits
+  EXPECT_GT(r.profiles[2].invocations, 0u);  // candidate generations
+  // Clean run: every submitted candidate was delivered (0 in a plain
+  // build, where the probe is compiled to a stub).
+  EXPECT_EQ(rt::rtcheck::async_outstanding(), 0u);
+}
+
+TEST(AsyncMla, ReplayReproducesRecordedTrajectoryBitwise) {
+  for (std::size_t workers : {2u, 4u}) {
+    const MlaResult live = run_async(async_options(workers));
+    ASSERT_FALSE(live.completion_log.empty());
+
+    MlaOptions opt = async_options(workers);
+    opt.replay = &live.completion_log;
+    const MlaResult replayed = run_async(opt);
+    expect_same_trajectory(live, replayed);
+    expect_same_log(live.completion_log, replayed.completion_log);
+  }
+}
+
+TEST(AsyncMla, FaultedRunIsReplayDeterministic) {
+  apps::FaultSpec spec;
+  spec.crash_rate = 0.1;
+  spec.nan_rate = 0.1;
+  spec.hang_rate = 0.1;
+  spec.hang_factor = 1.0e3;
+  spec.seed = 11;  // heal_after = 0: permanent faults, stateless and
+                   // order-independent, so record/replay stays exact.
+
+  auto run = [&](const CompletionLog* replay) {
+    MlaOptions opt = async_options(4);
+    opt.budget_per_task = 12;
+    opt.evaluation.timeout_seconds = 50.0;  // kills "hung" runs (~>= 1000)
+    opt.replay = replay;
+    MultitaskTuner tuner(box2d(), apps::with_faults(family_fn(), spec), opt);
+    return tuner.run(kTasks);
+  };
+
+  const MlaResult live = run(nullptr);
+  EXPECT_GT(live.eval_stats.penalized, 0u);
+  for (const auto& th : live.tasks) {
+    EXPECT_EQ(th.evals.size(), 12u);
+    for (const auto& e : th.evals) {
+      EXPECT_TRUE(std::isfinite(e.objectives[0]));
+    }
+  }
+
+  const MlaResult replayed = run(&live.completion_log);
+  expect_same_trajectory(live, replayed);
+  expect_same_log_order(live.completion_log, replayed.completion_log);
+  EXPECT_EQ(replayed.eval_stats.penalized, live.eval_stats.penalized);
+  EXPECT_EQ(replayed.eval_stats.timeouts, live.eval_stats.timeouts);
+}
+
+TEST(AsyncMla, NoDuplicateConfigDispatchedPerTask) {
+  const MlaResult r = run_async(async_options(4));
+  for (const auto& th : r.tasks) {
+    for (std::size_t i = 0; i < th.evals.size(); ++i) {
+      for (std::size_t j = i + 1; j < th.evals.size(); ++j) {
+        EXPECT_NE(th.evals[i].config, th.evals[j].config)
+            << "duplicate dispatch at evals " << i << " and " << j;
+      }
+    }
+  }
+}
+
+TEST(AsyncMla, StaleReplayLogFailsFast) {
+  const MlaResult live = run_async(async_options(2));
+
+  // A log forcing an id this run never dispatched: detected before the
+  // blocking receive, so the run throws instead of hanging.
+  CompletionLog foreign;
+  foreign.append({0, 9999, 0, 0, 0.0, 1.0});
+  MlaOptions opt = async_options(2);
+  opt.replay = &foreign;
+  EXPECT_THROW(run_async(opt), std::runtime_error);
+
+  // A truncated log exhausts mid-stream: same fail-fast contract.
+  CompletionLog truncated;
+  truncated.append(live.completion_log.events().front());
+  opt.replay = &truncated;
+  EXPECT_THROW(run_async(opt), std::runtime_error);
+}
+
+TEST(AsyncMla, MultiObjectiveFallsBackToSync) {
+  auto two_obj = [](const TaskVector& t, const Config& c) {
+    const double dx = c[0] - t[0];
+    const double dy = c[1] - (1.0 - t[0]);
+    return std::vector<double>{dx * dx + 0.01, dy * dy + 0.01};
+  };
+  MlaOptions opt = async_options(2);
+  opt.num_objectives = 2;
+  opt.budget_per_task = 10;
+
+  MultitaskTuner async_tuner(box2d(), two_obj, opt);
+  const MlaResult a = async_tuner.run(kTasks);
+  EXPECT_TRUE(a.completion_log.empty());  // sync loop ran
+
+  opt.async = false;
+  MultitaskTuner sync_tuner(box2d(), two_obj, opt);
+  const MlaResult b = sync_tuner.run(kTasks);
+  expect_same_trajectory(a, b);
+}
+
+// --- completion-log serialization and env plumbing --------------------------
+
+TEST(CompletionLogJson, RoundTripPreservesEveryField) {
+  CompletionLog log;
+  log.append({0, 3, 1, 2, 0.0, 0.1});
+  log.append({1, 0, 0, 0, 0.1, 1.0 / 3.0});  // needs %.17g to survive
+  log.append({2, 7, 1, 3, 1.0 / 3.0, 12345.6789012345678});
+
+  std::string error;
+  auto parsed = CompletionLog::from_json(log.to_json(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  expect_same_log(log, *parsed);
+
+  EXPECT_FALSE(CompletionLog::from_json("not json", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(
+      CompletionLog::from_json("{\"version\": 2, \"events\": []}", &error)
+          .has_value());
+}
+
+TEST(CompletionLogJson, SaveLoadRoundTrip) {
+  const std::string path = "test_async_pipeline_log.json";
+  CompletionLog log;
+  log.append({0, 1, 0, 0, 0.0, 0.25});
+  ASSERT_TRUE(log.save(path));
+  std::string error;
+  auto loaded = CompletionLog::load(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  expect_same_log(log, *loaded);
+  std::remove(path.c_str());
+  EXPECT_FALSE(CompletionLog::load(path, &error).has_value());
+}
+
+TEST(AsyncMla, RecordAndReplayThroughEnvironment) {
+  const std::string path = "test_async_pipeline_env_log.json";
+  ::setenv("GPTUNE_RECORD", path.c_str(), 1);
+  const MlaResult recorded = run_async(async_options(2));
+  ::unsetenv("GPTUNE_RECORD");
+
+  std::string error;
+  auto log = CompletionLog::load(path, &error);
+  ASSERT_TRUE(log.has_value()) << error;
+  EXPECT_EQ(log->size(), recorded.completion_log.size());
+
+  ::setenv("GPTUNE_REPLAY", path.c_str(), 1);
+  const MlaResult replayed = run_async(async_options(2));
+  ::unsetenv("GPTUNE_REPLAY");
+  std::remove(path.c_str());
+  expect_same_trajectory(recorded, replayed);
+  expect_same_log(recorded.completion_log, replayed.completion_log);
+}
+
+TEST(AsyncMla, MissingReplayFileThrows) {
+  ::setenv("GPTUNE_REPLAY", "test_async_pipeline_no_such_log.json", 1);
+  EXPECT_THROW(run_async(async_options(2)), std::runtime_error);
+  ::unsetenv("GPTUNE_REPLAY");
+}
+
+}  // namespace

@@ -6,8 +6,10 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "apps/fault_injection.hpp"
+#include "core/completion_log.hpp"
 #include "core/eval_engine.hpp"
 #include "core/mla.hpp"
 #include "core/tla.hpp"
@@ -160,6 +162,91 @@ TEST(EvalEngine, RetryHealsTransientFault) {
   EXPECT_NEAR(outcomes[0].objectives[0], 0.01, 1e-12);
   EXPECT_EQ(engine.stats().retries, 1u);
   EXPECT_EQ(engine.stats().failed_attempts, 0u);
+}
+
+// A configuration that fails every attempt must exhaust the retry budget
+// and come back penalized — deterministically, with exactly one archived
+// record, never a hang or a double archive.
+TEST(EvalEngine, RetryBudgetExhaustionPenalizesDeterministically) {
+  // x > 0.5 fails on every attempt; clean values stay below penalty_floor
+  // so the penalty (factor * floor = 100) is order-independent.
+  auto objective = [](const TaskVector&, const Config& c) {
+    if (c[0] > 0.5) throw std::runtime_error("permanent failure");
+    return std::vector<double>{1.0 + c[0]};
+  };
+  EvalPolicy policy;
+  policy.max_retries = 2;
+
+  const auto items = grid_items(8);  // items 5..7 have x > 0.5
+  std::vector<std::vector<EvalOutcome>> runs;
+  for (std::size_t workers : {1u, 4u}) {
+    HistoryDb db;
+    EvalEngine engine(objective, 1, workers, policy, &db);
+    runs.push_back(engine.evaluate(kTasks, items));
+    const auto& outcomes = runs.back();
+    ASSERT_EQ(outcomes.size(), items.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const bool faulty = items[i].config[0] > 0.5;
+      EXPECT_EQ(outcomes[i].penalized, faulty) << "item " << i;
+      // 1 initial attempt + max_retries on failure, exactly 1 when clean.
+      EXPECT_EQ(outcomes[i].attempts, faulty ? 3u : 1u) << "item " << i;
+      EXPECT_TRUE(std::isfinite(outcomes[i].objectives[0]));
+      if (faulty) {
+        EXPECT_DOUBLE_EQ(outcomes[i].objectives[0],
+                         policy.penalty_factor * policy.penalty_floor);
+      }
+    }
+    // Exactly one archive per item: clean results from the workers,
+    // penalties from the master — never both.
+    EXPECT_EQ(db.size(), items.size());
+    EXPECT_EQ(engine.stats().penalized, 3u);
+    EXPECT_EQ(engine.stats().retries, 6u);
+    EXPECT_EQ(engine.stats().failed_attempts, 9u);
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(runs[1][i].objectives, runs[0][i].objectives);
+    EXPECT_EQ(runs[1][i].attempts, runs[0][i].attempts);
+    EXPECT_EQ(runs[1][i].penalized, runs[0][i].penalized);
+  }
+}
+
+// The async stream path applies the same retry/penalty policy per
+// completion: outcomes match the batch path item for item.
+TEST(EvalEngine, RetryBudgetExhaustionIdenticalInStreamMode) {
+  auto objective = [](const TaskVector&, const Config& c) {
+    if (c[0] > 0.5) throw std::runtime_error("permanent failure");
+    return std::vector<double>{1.0 + c[0]};
+  };
+  EvalPolicy policy;
+  policy.max_retries = 2;
+  const auto items = grid_items(8);
+
+  for (std::size_t workers : {1u, 4u}) {
+    EvalEngine batch_engine(objective, 1, workers, policy);
+    const auto batch = batch_engine.evaluate(kTasks, items);
+
+    HistoryDb db;
+    EvalEngine stream_engine(objective, 1, workers, policy, &db);
+    std::vector<std::size_t> ids;
+    for (const auto& item : items) {
+      ids.push_back(stream_engine.submit(item.task_index,
+                                         kTasks[item.task_index], item.config));
+    }
+    std::vector<EvalOutcome> by_id(items.size());
+    CompletionDelivery live;
+    while (stream_engine.inflight() > 0) {
+      EvalCompletion c = stream_engine.next_completion(live);
+      by_id.at(c.id) = std::move(c.outcome);
+    }
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      EXPECT_EQ(by_id[ids[i]].objectives, batch[i].objectives);
+      EXPECT_EQ(by_id[ids[i]].attempts, batch[i].attempts);
+      EXPECT_EQ(by_id[ids[i]].penalized, batch[i].penalized);
+    }
+    EXPECT_EQ(db.size(), items.size());
+    EXPECT_EQ(stream_engine.stats().penalized, 3u);
+    EXPECT_EQ(stream_engine.stats().retries, 6u);
+  }
 }
 
 TEST(EvalEngine, TimeoutChargesExactlyTheTimeout) {

@@ -375,6 +375,23 @@ TEST(MlaMultiObjective, FrontDominatesMostRandomPoints) {
   EXPECT_GT(dominated, total / 2);
 }
 
+TEST(Mla, NoDuplicateConfigDispatchedAcrossIterations) {
+  // The per-task seen-config sets persist in the run state across
+  // iterations, so a configuration evaluated in iteration k can never be
+  // dispatched again in iteration k+n (regression: the sets used to be
+  // rebuilt from history inside each search phase).
+  MultitaskTuner tuner(box2d(), family_fn(), fast_options());
+  auto result = tuner.run({{0.2}, {0.8}});
+  for (const auto& th : result.tasks) {
+    for (std::size_t i = 0; i < th.evals.size(); ++i) {
+      for (std::size_t j = i + 1; j < th.evals.size(); ++j) {
+        EXPECT_NE(th.evals[i].config, th.evals[j].config)
+            << "duplicate dispatch at evals " << i << " and " << j;
+      }
+    }
+  }
+}
+
 TEST(TaskHistory, Accessors) {
   TaskHistory th;
   th.evals.push_back({{0.1}, {3.0}});

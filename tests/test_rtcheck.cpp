@@ -263,6 +263,55 @@ TEST_F(RtCheckTest, UnjoinedPersistentGroupIsFlaggedUntilJoined) {
   EXPECT_EQ(rtcheck::audit_unjoined(), 0u);
 }
 
+// --- async stream protocol (DESIGN.md §3.9) ---------------------------------
+// The hook entry points only exist in a GPTUNE_RTCHECK build (call sites
+// in the engine are compiled out otherwise), so these tests are
+// compile-time gated like the hooks themselves.
+
+#if defined(GPTUNE_RTCHECK)
+
+TEST_F(RtCheckTest, AsyncCleanStreamLeavesNothingOutstanding) {
+  int anchor = 0;
+  const void* owner = &anchor;
+  rtcheck::hooks::on_async_submit(owner, 0);
+  rtcheck::hooks::on_async_submit(owner, 1);
+  EXPECT_EQ(rtcheck::async_outstanding(), 2u);
+  rtcheck::hooks::on_async_delivered(owner, 1);
+  rtcheck::hooks::on_async_delivered(owner, 0);
+  EXPECT_EQ(rtcheck::async_outstanding(), 0u);
+  rtcheck::hooks::on_async_owner_destroyed(owner);
+  EXPECT_TRUE(rtcheck::findings().empty());
+}
+
+TEST_F(RtCheckTest, AsyncDoubleSubmitAndUnmatchedDeliveryAreFindings) {
+  int anchor = 0;
+  const void* owner = &anchor;
+  rtcheck::hooks::on_async_submit(owner, 4);
+  rtcheck::hooks::on_async_submit(owner, 4);  // double submit
+  rtcheck::hooks::on_async_delivered(owner, 9);  // never submitted
+  const std::string msgs = messages_of(rtcheck::FindingKind::kAsyncProtocol);
+  EXPECT_NE(msgs.find("submitted twice"), std::string::npos) << msgs;
+  EXPECT_NE(msgs.find("without a matching submit"), std::string::npos) << msgs;
+  rtcheck::hooks::on_async_delivered(owner, 4);
+  rtcheck::hooks::on_async_owner_destroyed(owner);
+}
+
+TEST_F(RtCheckTest, AsyncOwnerDestroyedWithInFlightItemsIsAFinding) {
+  int anchor = 0;
+  const void* owner = &anchor;
+  rtcheck::hooks::on_async_submit(owner, 0);
+  rtcheck::hooks::on_async_submit(owner, 1);
+  rtcheck::hooks::on_async_owner_destroyed(owner);
+  const std::string msgs =
+      messages_of(rtcheck::FindingKind::kAsyncOutstanding);
+  EXPECT_NE(msgs.find("destroyed with 2 undelivered"), std::string::npos)
+      << msgs;
+  // The owner's book is closed either way.
+  EXPECT_EQ(rtcheck::async_outstanding(), 0u);
+}
+
+#endif  // GPTUNE_RTCHECK
+
 // --- lint rule engine (runs in every build) ---------------------------------
 
 namespace {
@@ -299,6 +348,24 @@ TEST(GptuneLint, FlagsRawThreadOutsideRuntimeOnly) {
   EXPECT_EQ(lint_snippet("src/core/x.cpp", code)[0].rule, "raw-thread");
   // The runtime layer is the one place raw threads are allowed.
   EXPECT_TRUE(lint_snippet("src/runtime/comm.cpp", code).empty());
+}
+
+TEST(GptuneLint, FlagsArrivalOrderRecvOutsideSanctionedFiles) {
+  const std::string wildcard = "rt::Message m = comm.recv();\n";
+  const std::string any_source = "auto m = comm.recv(rt::kAnySource, 3);\n";
+  auto f = lint_snippet("src/core/x.cpp", wildcard);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "arrival-recv");
+  EXPECT_EQ(lint_snippet("src/core/x.cpp", any_source).size(), 1u);
+  // Pinned-source receives are deterministic and stay legal everywhere.
+  EXPECT_TRUE(lint_snippet("src/core/x.cpp", "auto m = comm.recv(0);\n")
+                  .empty());
+  // The runtime layer and the completion-log delivery policy are the two
+  // sanctioned homes of arrival-order receives; tests are out of scope.
+  EXPECT_TRUE(lint_snippet("src/runtime/comm.cpp", wildcard).empty());
+  EXPECT_TRUE(
+      lint_snippet("src/core/completion_log.cpp", wildcard).empty());
+  EXPECT_TRUE(lint_snippet("tests/test_runtime.cpp", wildcard).empty());
 }
 
 TEST(GptuneLint, FlagsHistoryDirectOutsideHistoryOnly) {

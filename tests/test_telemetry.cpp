@@ -305,6 +305,12 @@ TEST(TelemetryAcceptance, TracedRunIsBitwiseIdenticalAndTraceIsComplete) {
   EXPECT_EQ(traced.profiles[1].phase, "modeling");
   EXPECT_EQ(traced.profiles[2].phase, "search");
   EXPECT_GT(traced.profiles[0].invocations, 0u);
+  // Invocations share one unit — how many times the phase body ran. The
+  // sync loop runs one model fit and one search round per iteration, and
+  // one evaluation round per iteration plus the sampling round.
+  EXPECT_EQ(traced.profiles[1].invocations, traced.profiles[2].invocations);
+  EXPECT_EQ(traced.profiles[0].invocations,
+            traced.profiles[2].invocations + 1);
 
   // The emitted trace must parse as Chrome trace_event JSON...
   std::FILE* f = std::fopen(trace_path.c_str(), "rb");

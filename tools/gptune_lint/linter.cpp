@@ -329,6 +329,15 @@ const std::vector<Rule>& pattern_rules() {
        "common::Timer for measurement or the telemetry layer for tracing "
        "(both are observe-only by contract)",
        std::regex("\\b(steady_clock|system_clock)\\s*::\\s*now\\s*\\(")},
+      {"arrival-recv",
+       "bans wildcard (arrival-order) recv() outside src/runtime/ and "
+       "core/completion_log",
+       "a wildcard recv delivers in host-scheduling arrival order, which "
+       "leaks nondeterminism into completion handling; pin the source "
+       "(recv(rank)) or route the receive through core::CompletionDelivery "
+       "(core/completion_log.hpp), the recorded/replayable delivery policy",
+       std::regex("(\\.|->)\\s*recv\\s*\\(\\s*(\\)|(rt\\s*::\\s*)?"
+                  "kAnySource\\b)")},
   };
   return kRules;
 }
@@ -346,6 +355,15 @@ bool rule_applies(const std::string& rule, const std::string& path) {
     return path.find("src/common/timer.hpp") == std::string::npos &&
            path.find("src/common/telemetry/") == std::string::npos &&
            path.find("src/runtime/") == std::string::npos;
+  }
+  if (rule == "arrival-recv") {
+    // Completion ordering is only allowed to be arrival-dependent inside
+    // the runtime itself and in the replay-deterministic delivery policy
+    // (core/completion_log). Only src/ is policed: tests and tools
+    // exercise the runtime primitives directly.
+    return path.find("src/") != std::string::npos &&
+           path.find("src/runtime/") == std::string::npos &&
+           path.find("src/core/completion_log") == std::string::npos;
   }
   return true;
 }
