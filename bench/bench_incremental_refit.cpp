@@ -1,0 +1,190 @@
+// Incremental LCM refit bench (DESIGN.md §3.10): replays the MLA modeling
+// phase's growth schedule — append a batch of samples, refresh the
+// posterior at cached hyperparameters — once with factor extension
+// (O(N^2 k) per refresh) and once with full refactorization (O(N^3)),
+// and reports the refit-phase speedup per final model size. The two paths
+// must agree bitwise (the property the tier-1 tests pin down); here the
+// claim is the *cost* separation, both measured and in exact flop counts.
+//
+// Emits BENCH_refit.json for the scripts/bench_gate.py regression gate.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "gp/incremental.hpp"
+#include "gp/lcm.hpp"
+#include "linalg/blocked_cholesky.hpp"
+
+namespace {
+
+using namespace gptune;
+
+constexpr std::uint64_t kSeed = 20260808;
+constexpr std::size_t kTasks = 2;
+constexpr std::size_t kDim = 2;
+constexpr std::size_t kAppendPerTask = 8;  // MLA batch_k-sized growth
+constexpr int kReps = 5;                   // best-of-reps timing
+
+gp::MultiTaskData random_data(std::size_t per_task, std::uint64_t seed) {
+  common::Rng rng(seed);
+  gp::MultiTaskData data;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    gp::Matrix x(per_task, kDim);
+    gp::Vector y(per_task);
+    for (std::size_t j = 0; j < per_task; ++j) {
+      for (std::size_t m = 0; m < kDim; ++m) x(j, m) = rng.uniform();
+      y[j] = rng.normal();
+    }
+    data.x.push_back(std::move(x));
+    data.y.push_back(std::move(y));
+  }
+  return data;
+}
+
+void append_batch(gp::MultiTaskData& data, common::Rng& rng) {
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    const std::size_t old = data.x[i].rows();
+    gp::Matrix grown(old + kAppendPerTask, kDim);
+    for (std::size_t j = 0; j < old; ++j) {
+      for (std::size_t m = 0; m < kDim; ++m) grown(j, m) = data.x[i](j, m);
+    }
+    for (std::size_t j = old; j < old + kAppendPerTask; ++j) {
+      for (std::size_t m = 0; m < kDim; ++m) grown(j, m) = rng.uniform();
+      data.y[i].push_back(rng.normal());
+    }
+    data.x[i] = std::move(grown);
+  }
+}
+
+std::vector<double> fixed_theta(const gp::LcmShape& shape) {
+  common::Rng rng(kSeed + 7);
+  std::vector<double> theta(shape.num_hyperparameters());
+  for (std::size_t q = 0; q < shape.num_latent; ++q) {
+    for (std::size_t m = 0; m < shape.dim; ++m) {
+      theta[shape.idx_log_l(q, m)] = std::log(rng.uniform(0.3, 1.0));
+    }
+    for (std::size_t i = 0; i < shape.num_tasks; ++i) {
+      theta[shape.idx_a(q, i)] = rng.normal(0.0, 0.7);
+      theta[shape.idx_log_b(q, i)] = std::log(0.05);
+    }
+  }
+  for (std::size_t i = 0; i < shape.num_tasks; ++i) {
+    theta[shape.idx_log_d(i)] = std::log(1e-3);
+  }
+  return theta;
+}
+
+struct ScheduleResult {
+  double refresh_seconds = 0.0;  // sum over the whole growth schedule
+  double final_lml = 0.0;
+  std::size_t extends = 0;
+  std::size_t rebuilds = 0;
+};
+
+// Replays the growth schedule start -> n_total, timing only the refresh
+// calls (the refit phase of the MLA loop).
+ScheduleResult run_schedule(std::size_t n_total, bool allow_extend) {
+  const gp::LcmShape shape{2, kDim, kTasks};
+  const auto theta = fixed_theta(shape);
+  const std::size_t start_per_task = n_total / (2 * kTasks);
+
+  ScheduleResult best;
+  for (int rep = 0; rep < kReps; ++rep) {
+    gp::MultiTaskData data = random_data(start_per_task, kSeed);
+    common::Rng growth(kSeed + 1);  // same appended samples every rep/path
+    gp::IncrementalFitState state;
+    double total = 0.0;
+    double lml = 0.0;
+    while (true) {
+      common::Timer t;
+      auto model = state.refresh(data, shape, theta,
+                                 linalg::serial_runner(), allow_extend);
+      total += t.seconds();
+      if (!model) {
+        std::fprintf(stderr, "refresh failed at %zu rows\n",
+                     data.total_samples());
+        std::exit(1);
+      }
+      lml = model->log_likelihood();
+      if (data.total_samples() >= n_total) break;
+      append_batch(data, growth);
+    }
+    if (rep == 0 || total < best.refresh_seconds) {
+      best.refresh_seconds = total;
+      best.final_lml = lml;
+      best.extends = state.stats().extends;
+      best.rebuilds = state.stats().rebuilds;
+    }
+  }
+  return best;
+}
+
+// Exact flop-count speedup of the same schedule's factorizations — the
+// deterministic counterpart of the measured ratio (stable across hosts,
+// which is what the bench gate wants to track).
+double flops_speedup(std::size_t n_total) {
+  const std::size_t start = (n_total / (2 * kTasks)) * kTasks;
+  const std::size_t batch = kAppendPerTask * kTasks;
+  double rebuild = linalg::cholesky_flops(start);
+  double extend = linalg::cholesky_flops(start);  // first refresh factors
+  for (std::size_t n = start + batch; n <= n_total; n += batch) {
+    rebuild += linalg::cholesky_flops(n);
+    extend += linalg::cholesky_extend_flops(n - batch, n);
+  }
+  return rebuild / extend;
+}
+
+}  // namespace
+
+int main() {
+  using bench::row;
+  using bench::section;
+  using bench::shape_check;
+
+  bench::BenchJson bench_json("BENCH_refit.json");
+
+  section("Incremental refit: growth schedule refresh cost (2 tasks)");
+  row("%8s %10s %12s %12s %10s %12s", "N", "rounds", "extend(s)",
+      "rebuild(s)", "speedup", "flops-ratio");
+
+  for (std::size_t n_total : {128u, 256u, 384u, 512u}) {
+    const ScheduleResult ext = run_schedule(n_total, true);
+    const ScheduleResult reb = run_schedule(n_total, false);
+    const double speedup = reb.refresh_seconds / ext.refresh_seconds;
+    const double fratio = flops_speedup(n_total);
+    row("%8zu %10zu %12.4f %12.4f %9.2fx %11.2fx", n_total,
+        ext.extends + ext.rebuilds, ext.refresh_seconds, reb.refresh_seconds,
+        speedup, fratio);
+
+    const std::string suffix = "_n" + std::to_string(n_total);
+    bench_json.record("refit_extend_seconds" + suffix, ext.refresh_seconds,
+                      1, kSeed);
+    bench_json.record("refit_rebuild_seconds" + suffix, reb.refresh_seconds,
+                      1, kSeed);
+    bench_json.record("refit_speedup" + suffix, speedup, 1, kSeed);
+    bench_json.record("refit_flops_speedup" + suffix, fratio, 1, kSeed);
+
+    // The paths must agree bitwise — same trajectory guarantee the tier-1
+    // tests assert; checked here on the bench sizes too.
+    shape_check(ext.final_lml == reb.final_lml,
+                "extend and rebuild agree bitwise at N=" +
+                    std::to_string(n_total));
+    shape_check(ext.extends == ext.extends + ext.rebuilds - 1,
+                "every post-initial refresh extends at N=" +
+                    std::to_string(n_total));
+    if (n_total >= 256) {
+      shape_check(speedup >= 3.0,
+                  "refit-phase speedup >= 3x at N=" +
+                      std::to_string(n_total) + " (got " +
+                      std::to_string(speedup) + "x)");
+    }
+  }
+
+  return bench::finish("bench_incremental_refit");
+}

@@ -80,6 +80,68 @@ void BM_SeArdGram(benchmark::State& state) {
 }
 BENCHMARK(BM_SeArdGram)->RangeMultiplier(2)->Range(64, 512);
 
+// Factor extension for 16 appended rows — the O(N^2 k) hot path of the
+// incremental refit (DESIGN.md §3.10); contrast with BM_CholeskyBlocked's
+// O(N^3) at the same N.
+void BM_CholeskyExtend(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t n_old = n - 16;
+  const auto a = random_spd(n, 4);
+  const auto full = linalg::blocked_cholesky(a, 128);
+  const auto base =
+      linalg::blocked_cholesky(a.block(0, 0, n_old, n_old), 128);
+  for (auto _ : state) {
+    linalg::Matrix w(n, n, 0.0);
+    for (std::size_t r = 0; r < n_old; ++r) {
+      for (std::size_t c = 0; c <= r; ++c) w(r, c) = base->lower()(r, c);
+    }
+    for (std::size_t r = n_old; r < n; ++r) {
+      for (std::size_t c = 0; c <= r; ++c) w(r, c) = a(r, c);
+    }
+    bool ok = linalg::blocked_cholesky_extend(w, n_old, 128);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(w);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CholeskyExtend)->RangeMultiplier(2)->Range(64, 512)
+    ->Complexity(benchmark::oNSquared);
+
+// Cross-gram strip: the k x n covariance rows the extension feeds on.
+void BM_SeArdCrossStrip(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(5);
+  gp::Matrix x(n, 4), x_new(16, 4);
+  for (auto& v : x.data()) v = rng.uniform();
+  for (auto& v : x_new.data()) v = rng.uniform();
+  const std::vector<double> ls = {0.3, 0.5, 0.4, 0.6};
+  gp::Matrix strip;
+  for (auto _ : state) {
+    gp::se_ard_cross_strip_into(x_new, x, ls, &strip);
+    benchmark::DoNotOptimize(strip);
+  }
+}
+BENCHMARK(BM_SeArdCrossStrip)->RangeMultiplier(2)->Range(64, 512);
+
+// Structured LCM Gram assembly for 16 appended rows vs the full Eq. (4)
+// matrix (compare against BM_SeArdGram scaled by Q).
+void BM_LcmCovarianceRows(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(6);
+  gp::LcmShape shape{2, 4, 2};
+  gp::Matrix all_x(n, 4);
+  for (auto& v : all_x.data()) v = rng.uniform();
+  std::vector<std::size_t> task_of(n);
+  for (std::size_t i = 0; i < n; ++i) task_of[i] = i % 2;
+  std::vector<double> theta(shape.num_hyperparameters(), -1.0);
+  for (auto _ : state) {
+    auto strip =
+        gp::lcm_covariance_rows(shape, theta, all_x, task_of, n - 16);
+    benchmark::DoNotOptimize(strip);
+  }
+}
+BENCHMARK(BM_LcmCovarianceRows)->RangeMultiplier(2)->Range(64, 512);
+
 void BM_LcmLikelihoodGradient(benchmark::State& state) {
   const auto samples = static_cast<std::size_t>(state.range(0));
   const auto data = random_data(5, samples, 3, 4);

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare fresh BENCH_*.json runs against the
+baselines committed at the repo root.
+
+Each bench binary emits a JSON array of
+``{"metric": ..., "value": ..., "workers": ..., "seed": ...}`` records
+(bench/bench_util.hpp).  The gate compares only *ratio* metrics — names
+containing ``speedup`` or ``occupancy`` — because those are stable across
+hosts, unlike raw seconds.  Rows are matched on (metric, workers, seed);
+a fresh value below ``baseline * tolerance`` fails the gate.
+
+Usage:
+  bench_gate.py --current DIR [--baseline DIR] [--tolerance 0.5] [--update]
+
+--baseline defaults to the repo root (the committed baselines).
+--update copies the current files over the baselines instead of comparing
+(run it after a deliberate perf or trajectory change, then commit).
+
+Stdlib only; exit 0 = gate passed, 1 = regression/missing data, 2 = usage.
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import sys
+
+GATED_METRIC = re.compile(r"speedup|occupancy")
+
+
+def load_rows(path):
+    """Returns {(metric, workers, seed): value} for one BENCH_*.json."""
+    with open(path) as f:
+        rows = json.load(f)
+    out = {}
+    for r in rows:
+        out[(r["metric"], r["workers"], r["seed"])] = r["value"]
+    return out
+
+
+def compare_file(name, baseline_path, current_path, tolerance):
+    """Returns a list of failure strings (empty = this file passes)."""
+    base = load_rows(baseline_path)
+    cur = load_rows(current_path)
+    failures = []
+    gated = 0
+    for key, old in sorted(base.items()):
+        metric, workers, seed = key
+        if not GATED_METRIC.search(metric):
+            continue
+        gated += 1
+        if key not in cur:
+            failures.append(
+                f"{name}: {metric} (workers={workers}, seed={seed}) "
+                "missing from the fresh run")
+            continue
+        new = cur[key]
+        floor = old * tolerance
+        status = "ok" if new >= floor else "REGRESSION"
+        print(f"  {name}: {metric:40s} workers={workers:<3d} "
+              f"baseline={old:8.3f} current={new:8.3f} floor={floor:8.3f} "
+              f"[{status}]")
+        if new < floor:
+            failures.append(
+                f"{name}: {metric} (workers={workers}) regressed: "
+                f"{new:.3f} < {old:.3f} * {tolerance}")
+    for key in sorted(set(cur) - set(base)):
+        if GATED_METRIC.search(key[0]):
+            print(f"  {name}: note: new metric {key[0]} (workers={key[1]}) "
+                  "not in baseline — run with --update to adopt it")
+    if gated == 0:
+        print(f"  {name}: no gated metrics in baseline")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True,
+                        help="directory holding freshly generated BENCH_*.json")
+    parser.add_argument("--baseline",
+                        default=os.path.join(os.path.dirname(__file__), ".."),
+                        help="directory holding committed baselines "
+                             "(default: repo root)")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="fresh value must be >= baseline * tolerance "
+                             "(default 0.5 — a generous band; ratios jitter "
+                             "with host load but halving is a regression)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy current files over the baselines instead "
+                             "of comparing")
+    args = parser.parse_args()
+
+    current_files = sorted(
+        f for f in os.listdir(args.current)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    if not current_files:
+        print(f"bench_gate: no BENCH_*.json in {args.current}",
+              file=sys.stderr)
+        return 1
+
+    if args.update:
+        for f in current_files:
+            src = os.path.join(args.current, f)
+            dst = os.path.join(args.baseline, f)
+            shutil.copyfile(src, dst)
+            print(f"bench_gate: updated baseline {dst}")
+        return 0
+
+    failures = []
+    for f in current_files:
+        baseline_path = os.path.join(args.baseline, f)
+        if not os.path.exists(baseline_path):
+            failures.append(
+                f"{f}: no committed baseline at {baseline_path} "
+                "(run bench_gate.py --update and commit the result)")
+            continue
+        failures.extend(
+            compare_file(f, baseline_path, os.path.join(args.current, f),
+                         args.tolerance))
+
+    if failures:
+        print("\nbench_gate: FAILED", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+        return 1
+    print(f"\nbench_gate: ok ({len(current_files)} file(s) within tolerance "
+          f"{args.tolerance})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,20 +20,31 @@
 #           under GPTUNE_REPLAY of the recorded completion log, and asserts
 #           the two trajectories are bitwise identical — the async
 #           pipeline's replay-determinism contract (§3.9)
+#   bench — bench build tree (build-bench/): runs the fast bench axes
+#           (bench_incremental_refit; GPTUNE_BENCH_FULL=1 adds
+#           fig3_parallel_scaling) and gates their speedup/occupancy
+#           metrics against the committed BENCH_*.json baselines via
+#           scripts/bench_gate.py (0.5 tolerance band). After a deliberate
+#           perf or trajectory change: bench_gate.py --update, commit.
 # Every lane builds with GPTUNE_WERROR=ON (-Wall -Wextra -Wshadow -Werror).
 # Each lane uses a dedicated build dir, separate from the plain ./build, so
 # the trees never contaminate each other. Benches and examples are skipped
-# outside the trace lane — the slow label has its own lane (`ctest -L slow`
-# in a regular build).
+# outside the trace and bench lanes — the slow label has its own lane
+# (`ctest -L slow` in a regular build).
 #
-# Usage: scripts/check.sh [asan|tsan|lint|trace|replay|all] [build-dir]
+# Usage: scripts/check.sh [LANE|all] [build-dir]
 #   default lane: asan
-#   (default dirs: build-asan, build-tsan, build-rtcheck, build-trace)
+#   (default dirs: build-asan, build-tsan, build-rtcheck, build-trace,
+#    build-bench)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 LANE="${1:-asan}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+# The one list every usage/error message derives from.
+LANES="asan tsan lint trace replay bench"
+LANES_HELP="$(echo "${LANES}" | tr ' ' '|')|all"
 
 run_lane() {
   local lane="$1" build_dir="$2"
@@ -42,7 +53,7 @@ run_lane() {
     asan) sanitize=ON ;;
     tsan) tsan=ON ;;
     lint) rtcheck=ON ;;
-    *) echo "unknown lane '${lane}' (want asan|tsan|lint|all)" >&2; exit 2 ;;
+    *) echo "unknown lane '${lane}' (want ${LANES_HELP})" >&2; exit 2 ;;
   esac
 
   cmake -B "${build_dir}" -S . \
@@ -135,6 +146,34 @@ run_replay_lane() {
   echo "replay lane: replayed trajectory bitwise identical ($(wc -l < "${tmp}/recorded.results") evaluations)"
 }
 
+# Bench-regression gate: run the fast bench axes in a scratch CWD and
+# compare the speedup/occupancy metrics they emit against the committed
+# BENCH_*.json baselines (scripts/bench_gate.py).
+run_bench_lane() {
+  local build_dir="$1"
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGPTUNE_WERROR=ON \
+    -DGPTUNE_BUILD_BENCH=ON \
+    -DGPTUNE_BUILD_EXAMPLES=OFF
+  local targets=(bench_incremental_refit)
+  if [ "${GPTUNE_BENCH_FULL:-0}" = 1 ]; then
+    targets+=(fig3_parallel_scaling)
+  fi
+  cmake --build "${build_dir}" -j "${JOBS}" --target "${targets[@]}"
+
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+
+  local t
+  for t in "${targets[@]}"; do
+    # BenchJson writes into the CWD; keep the fresh files out of the tree.
+    (cd "${tmp}" && "${OLDPWD}/${build_dir}/bench/${t}")
+  done
+  python3 scripts/bench_gate.py --current "${tmp}"
+}
+
 case "${LANE}" in
   all)
     run_lane asan "${2:-build-asan}"
@@ -142,6 +181,7 @@ case "${LANE}" in
     run_lane lint "${2:-build-rtcheck}"
     run_trace_lane "${2:-build-trace}"
     run_replay_lane "${2:-build-trace}"
+    run_bench_lane "${2:-build-bench}"
     ;;
   asan)
     run_lane asan "${2:-build-asan}"
@@ -158,8 +198,11 @@ case "${LANE}" in
   replay)
     run_replay_lane "${2:-build-trace}"
     ;;
+  bench)
+    run_bench_lane "${2:-build-bench}"
+    ;;
   *)
-    echo "usage: scripts/check.sh [asan|tsan|lint|trace|replay|all] [build-dir]" >&2
+    echo "usage: scripts/check.sh [${LANES_HELP}] [build-dir]" >&2
     exit 2
     ;;
 esac

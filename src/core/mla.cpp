@@ -16,6 +16,7 @@
 #include "core/async_pipeline.hpp"
 #include "core/config_set.hpp"
 #include "core/search_workers.hpp"
+#include "gp/incremental.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/virtual_clock.hpp"
 
@@ -83,6 +84,10 @@ struct MultitaskTuner::State {
   // One model (and warm-start hyperparameters) per objective.
   std::vector<std::optional<gp::LcmModel>> models;
   std::vector<std::vector<double>> warm_theta;
+
+  // Per-objective incremental refit state (DESIGN.md §3.10): owns the
+  // generation-ordered covariance factor reused across modeling phases.
+  std::vector<gp::IncrementalFitState> fit_state;
 
   // Long-lived pool for the modeling phase (paper Fig. 1 model workers):
   // created once per run and reused by every refit, so worker threads are
@@ -223,6 +228,7 @@ void MultitaskTuner::modeling_phase(State& state, bool refit) {
 
   state.models.resize(options_.num_objectives);
   state.warm_theta.resize(options_.num_objectives);
+  state.fit_state.resize(options_.num_objectives);
 
   const AcquisitionContext acq{&space_,           options_.performance_model,
                                &state.feature_lo, &state.feature_hi,
@@ -268,8 +274,11 @@ void MultitaskTuner::modeling_phase(State& state, bool refit) {
       fit.num_workers = options_.model_workers;
       fit.pool = state.model_pool.get();
       fit.warm_start = state.warm_theta[s];
+      // The posterior is assembled by the incremental fit state below, not
+      // by fit_lcm's own LcmModel::build.
+      fit.build_posterior = false;
       gp::LcmFitStats fit_stats;
-      auto model = gp::fit_lcm(data, fit, &fit_stats);
+      gp::fit_lcm(data, fit, &fit_stats);
       // Virtual modeling time: the measured per-restart times
       // list-scheduled over the model workers (makespan), instead of their
       // wall-clock sum on this host.
@@ -277,6 +286,17 @@ void MultitaskTuner::modeling_phase(State& state, bool refit) {
       rt::VirtualRanks model_ranks(options_.model_workers);
       model_ranks.schedule_greedy(fit_stats.restart_seconds);
       state.fit_virtual += model_ranks.makespan();
+      std::optional<gp::LcmModel> model;
+      if (!fit_stats.best_theta.empty()) {
+        // A restart won: refresh the posterior at the new hyperparameters.
+        // When they moved, this refactorizes; when the warm start stood
+        // (L-BFGS converged in place), the cached factor is extended.
+        model = state.fit_state[s].refresh(
+            data, shape, fit_stats.best_theta,
+            state.model_pool ? state.model_pool->batch_runner()
+                             : linalg::serial_runner(),
+            options_.incremental_refit);
+      }
       if (model) {
         state.warm_theta[s] = model->theta();
         state.models[s] = std::move(model);
@@ -287,8 +307,14 @@ void MultitaskTuner::modeling_phase(State& state, bool refit) {
       }
     } else {
       // Posterior refresh at cached hyperparameters: new samples enter the
-      // covariance without re-optimizing theta.
-      auto model = gp::LcmModel::build(data, shape, state.warm_theta[s]);
+      // covariance without re-optimizing theta. This is the incremental
+      // hot path — append-only growth at fixed theta extends the cached
+      // factor in O(N^2 k).
+      auto model = state.fit_state[s].refresh(
+          data, shape, state.warm_theta[s],
+          state.model_pool ? state.model_pool->batch_runner()
+                           : linalg::serial_runner(),
+          options_.incremental_refit);
       if (model) state.models[s] = std::move(model);
     }
   }

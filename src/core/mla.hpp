@@ -80,9 +80,16 @@ struct MlaOptions {
   std::size_t model_restarts = 2;       ///< n_start (paper §4.3)
   std::size_t max_lbfgs_iterations = 30;
   /// Refit hyperparameters every `refit_period` MLA iterations; other
-  /// iterations rebuild the posterior at the cached hyperparameters
+  /// iterations refresh the posterior at the cached hyperparameters
   /// (cheap) so every new sample still informs the model.
   std::size_t refit_period = 1;
+  /// Reuse the previous iteration's covariance factor when hyperparameters
+  /// are unchanged and samples were only appended, extending it in
+  /// O(N^2 k) instead of refactorizing in O(N^3) (DESIGN.md §3.10). The
+  /// extension is bitwise identical to the rebuild, so toggling this flag
+  /// never changes a tuning trajectory — false exists for benchmarking the
+  /// cost of the full-refactor path.
+  bool incremental_refit = true;
   std::size_t model_workers = 1;        ///< ranks for hyperparameter restarts
   /// Search-worker ranks (paper Fig. 1): a persistent group spawned once
   /// per run that fans the per-task acquisition searches — PSO or NSGA-II

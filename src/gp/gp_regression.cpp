@@ -1,6 +1,7 @@
 #include "gp/gp_regression.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 #include <numbers>
@@ -42,8 +43,11 @@ std::optional<double> GpRegression::lml_and_gradient(
 
   // Blocked (optionally parallel) factorization, with the unblocked
   // reference as a safety net for matrices right at the PD boundary where
-  // the two summation orders can disagree.
+  // the two summation orders can disagree. Likelihood evaluations see a
+  // fresh theta every call, so there is no factor to extend here.
+  // gptune-lint: allow(full-refactor)
   auto factor = linalg::blocked_cholesky(k, 128, runner);
+  // gptune-lint: allow(full-refactor)
   if (!factor) factor = linalg::CholeskyFactor::factor(k);
   if (!factor) return std::nullopt;
 
@@ -102,6 +106,7 @@ std::optional<GpRegression> GpRegression::with_hyperparameters(
   gp.y_mean_ = 0.0;
   for (double v : y) gp.y_mean_ += v;
   gp.y_mean_ /= std::max<std::size_t>(1, n);
+  gp.y_raw_ = y;
   gp.y_ = y;
   for (double& v : gp.y_) v -= gp.y_mean_;
   gp.hp_ = hp;
@@ -109,7 +114,11 @@ std::optional<GpRegression> GpRegression::with_hyperparameters(
   Matrix k = se_ard_gram(x, hp.lengthscales);
   for (double& v : k.data()) v *= hp.signal_variance;
   for (std::size_t i = 0; i < n; ++i) k(i, i) += hp.noise_variance;
+  // Initial posterior build (extend() handles appends).
+  // gptune-lint: allow(full-refactor)
   auto factor = linalg::blocked_cholesky(k, 128, runner);
+  gp.exact_factor_ = factor.has_value();
+  // gptune-lint: allow(full-refactor)
   if (!factor) factor = linalg::CholeskyFactor::factor_with_jitter(k);
   if (!factor) return std::nullopt;
   gp.factor_ = std::move(*factor);
@@ -117,6 +126,66 @@ std::optional<GpRegression> GpRegression::with_hyperparameters(
   gp.lml_ = -0.5 * linalg::dot(gp.y_, gp.alpha_) - 0.5 * gp.factor_.log_det() -
             0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
   return gp;
+}
+
+bool GpRegression::extend(const Matrix& x_new, const Vector& y_new,
+                          const linalg::TaskBatchRunner& runner) {
+  assert(x_new.rows() == y_new.size());
+  if (!exact_factor_) return false;
+  if (x_new.rows() == 0) return true;
+  if (x_.rows() == 0 || x_new.cols() != x_.cols()) return false;
+  const std::size_t n_old = x_.rows();
+  const std::size_t k = x_new.rows();
+  const std::size_t n = n_old + k;
+  const std::size_t d = x_.cols();
+
+  Matrix x_all(n, d, 0.0);
+  for (std::size_t i = 0; i < n_old; ++i) {
+    const double* src = x_.row_ptr(i);
+    double* dst = x_all.row_ptr(i);
+    for (std::size_t m = 0; m < d; ++m) dst[m] = src[m];
+  }
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* src = x_new.row_ptr(p);
+    double* dst = x_all.row_ptr(n_old + p);
+    for (std::size_t m = 0; m < d; ++m) dst[m] = src[m];
+  }
+
+  // New covariance rows: the same per-entry kernel arithmetic, scaling, and
+  // noise placement as with_hyperparameters' full matrix.
+  Matrix strip;
+  se_ard_cross_strip_into(x_new, x_all, hp_.lengthscales, &strip);
+  for (double& v : strip.data()) v *= hp_.signal_variance;
+  for (std::size_t p = 0; p < k; ++p) {
+    strip(p, n_old + p) += hp_.noise_variance;
+  }
+
+  Matrix w(n, n, 0.0);
+  const Matrix& l = factor_.lower();
+  for (std::size_t i = 0; i < n_old; ++i) {
+    const double* src = l.row_ptr(i);
+    double* dst = w.row_ptr(i);
+    for (std::size_t j = 0; j <= i; ++j) dst[j] = src[j];
+  }
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* src = strip.row_ptr(p);
+    double* dst = w.row_ptr(n_old + p);
+    for (std::size_t j = 0; j <= n_old + p; ++j) dst[j] = src[j];
+  }
+  if (!linalg::blocked_cholesky_extend(w, n_old, 128, runner)) return false;
+
+  x_ = std::move(x_all);
+  y_raw_.insert(y_raw_.end(), y_new.begin(), y_new.end());
+  y_mean_ = 0.0;
+  for (double v : y_raw_) y_mean_ += v;
+  y_mean_ /= std::max<std::size_t>(1, n);
+  y_ = y_raw_;
+  for (double& v : y_) v -= y_mean_;
+  factor_ = linalg::CholeskyFactor::from_lower(std::move(w));
+  alpha_ = factor_.solve(y_);
+  lml_ = -0.5 * linalg::dot(y_, alpha_) - 0.5 * factor_.log_det() -
+         0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
+  return true;
 }
 
 std::optional<GpRegression> GpRegression::fit(const Matrix& x, const Vector& y,

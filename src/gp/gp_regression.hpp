@@ -63,6 +63,19 @@ class GpRegression {
 
   GpPrediction predict(const Vector& x_star) const;
 
+  /// Appends training points (x_new, y_new) at fixed hyperparameters,
+  /// updating the kernel factor with blocked_cholesky_extend (O(n^2 k)
+  /// instead of the O(n^3) of rebuilding). The resulting posterior is
+  /// bitwise identical to with_hyperparameters on the concatenated data:
+  /// the appended strip reuses the gram kernels' per-entry arithmetic and
+  /// the factor extension preserves the blocked algorithm's operation
+  /// order. Returns false — leaving the posterior untouched — if the
+  /// current factor was built with jitter (extension would not be exact)
+  /// or the extended matrix is not PD; rebuild via with_hyperparameters
+  /// in that case.
+  bool extend(const Matrix& x_new, const Vector& y_new,
+              const linalg::TaskBatchRunner& runner = linalg::serial_runner());
+
   double log_marginal_likelihood() const { return lml_; }
   const GpHyperparameters& hyperparameters() const { return hp_; }
 
@@ -77,8 +90,10 @@ class GpRegression {
  private:
   GpRegression() = default;
   Matrix x_;
-  Vector y_;
+  Vector y_;       // centered targets
+  Vector y_raw_;   // original targets, append order (extend re-centers)
   double y_mean_ = 0.0;
+  bool exact_factor_ = false;  // factored without jitter; extend() requires it
   GpHyperparameters hp_;
   linalg::CholeskyFactor factor_{linalg::CholeskyFactor::from_lower(Matrix())};
   Vector alpha_;

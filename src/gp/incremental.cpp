@@ -1,0 +1,215 @@
+#include "gp/incremental.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+namespace gptune::gp {
+
+namespace {
+
+/// Same tile size every covariance factorization in the GP stack uses; the
+/// extension's bitwise contract requires it to match the rebuild path.
+constexpr std::size_t kBlockSize = 128;
+
+bool rows_equal(const Matrix& a, std::size_t ra, const Matrix& b,
+                std::size_t rb, std::size_t d) {
+  const double* pa = a.row_ptr(ra);
+  const double* pb = b.row_ptr(rb);
+  for (std::size_t m = 0; m < d; ++m) {
+    if (pa[m] != pb[m]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void IncrementalFitState::reset() {
+  valid_ = false;
+  jitter_ = 0.0;
+  theta_.clear();
+  all_x_ = Matrix();
+  task_of_.clear();
+  index_of_.clear();
+  rows_.clear();
+  lower_ = Matrix();
+}
+
+bool IncrementalFitState::append_compatible(const MultiTaskData& data,
+                                            const LcmShape& shape) const {
+  if (!valid_) return false;
+  if (shape.num_latent != shape_.num_latent || shape.dim != shape_.dim ||
+      shape.num_tasks != shape_.num_tasks) {
+    return false;
+  }
+  if (data.num_tasks() != rows_.size()) return false;
+  if (data.dim() != all_x_.cols()) return false;
+  const std::size_t d = all_x_.cols();
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    // Shrinking history (penalized samples dropped) or any edit to a
+    // previously seen configuration row invalidates the ordering.
+    if (data.x[i].rows() < rows_[i].size()) return false;
+    for (std::size_t j = 0; j < rows_[i].size(); ++j) {
+      if (!rows_equal(data.x[i], j, all_x_, rows_[i][j], d)) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<LcmModel> IncrementalFitState::refresh(
+    const MultiTaskData& data, const LcmShape& shape,
+    const std::vector<double>& theta, const linalg::TaskBatchRunner& runner,
+    bool allow_extend) {
+  assert(theta.size() == shape.num_hyperparameters());
+  const std::size_t d = data.dim();
+  const std::size_t n = data.total_samples();
+
+  std::size_t n_old = 0;
+  if (append_compatible(data, shape)) {
+    n_old = all_x_.rows();
+    if (n > n_old) {
+      Matrix grown(n, d, 0.0);
+      for (std::size_t r = 0; r < n_old; ++r) {
+        const double* src = all_x_.row_ptr(r);
+        double* dst = grown.row_ptr(r);
+        for (std::size_t m = 0; m < d; ++m) dst[m] = src[m];
+      }
+      std::size_t row = n_old;
+      for (std::size_t i = 0; i < data.num_tasks(); ++i) {
+        for (std::size_t j = rows_[i].size(); j < data.x[i].rows();
+             ++j, ++row) {
+          double* dst = grown.row_ptr(row);
+          for (std::size_t m = 0; m < d; ++m) dst[m] = data.x[i](j, m);
+          task_of_.push_back(i);
+          index_of_.push_back(j);
+          rows_[i].push_back(row);
+        }
+      }
+      assert(row == n);
+      all_x_ = std::move(grown);
+      stats_.appended_rows += n - n_old;
+    }
+  } else {
+    // Restart the generation ordering from the task-major flatten.
+    if (valid_) ++stats_.ordering_resets;
+    valid_ = false;
+    jitter_ = 0.0;
+    all_x_ = Matrix(n, d, 0.0);
+    task_of_.clear();
+    index_of_.clear();
+    rows_.assign(data.num_tasks(), {});
+    std::size_t row = 0;
+    for (std::size_t i = 0; i < data.num_tasks(); ++i) {
+      assert(data.x[i].rows() == data.y[i].size());
+      for (std::size_t j = 0; j < data.x[i].rows(); ++j, ++row) {
+        double* dst = all_x_.row_ptr(row);
+        for (std::size_t m = 0; m < d; ++m) dst[m] = data.x[i](j, m);
+        task_of_.push_back(i);
+        index_of_.push_back(j);
+        rows_[i].push_back(row);
+      }
+    }
+  }
+
+  // Extension is legal only against an exact (unjittered) factor at the
+  // same hyperparameters; anything else falls through to the rebuild.
+  bool extended = false;
+  if (allow_extend && valid_ && jitter_ == 0.0 && theta == theta_ &&
+      n_old > 0) {
+    if (n == n_old) {
+      // Nothing appended; the cached factor is already current.
+      extended = true;
+      ++stats_.extends;
+    } else {
+      const Matrix strip =
+          lcm_covariance_rows(shape, theta, all_x_, task_of_, n_old);
+      Matrix w(n, n, 0.0);
+      for (std::size_t i = 0; i < n_old; ++i) {
+        const double* src = lower_.row_ptr(i);
+        double* dst = w.row_ptr(i);
+        for (std::size_t j = 0; j <= i; ++j) dst[j] = src[j];
+      }
+      for (std::size_t p = 0; p + n_old < n; ++p) {
+        const double* src = strip.row_ptr(p);
+        double* dst = w.row_ptr(n_old + p);
+        for (std::size_t j = 0; j <= n_old + p; ++j) dst[j] = src[j];
+      }
+      if (linalg::blocked_cholesky_extend(w, n_old, kBlockSize, runner)) {
+        lower_ = std::move(w);
+        extended = true;
+        ++stats_.extends;
+      }
+    }
+  }
+
+  if (!extended) {
+    const Matrix k = lcm_covariance(shape, theta, all_x_, task_of_);
+    // The cold path: hyperparameter restarts, ordering resets, and the
+    // non-PD fallback refactorize in full.  gptune-lint: allow(full-refactor)
+    auto factor = linalg::blocked_cholesky(k, kBlockSize, runner);
+    double applied = 0.0;
+    if (!factor) {
+      // gptune-lint: allow(full-refactor)
+      factor = linalg::CholeskyFactor::factor_with_jitter(k, 1e-10, 1e-2,
+                                                          &applied);
+    }
+    if (!factor) {
+      reset();
+      return std::nullopt;
+    }
+    jitter_ = applied;
+    lower_ = factor->lower();
+    ++stats_.rebuilds;
+  }
+
+  shape_ = shape;
+  theta_ = theta;
+  valid_ = true;
+  return assemble(data);
+}
+
+std::optional<LcmModel> IncrementalFitState::assemble(
+    const MultiTaskData& data) const {
+  LcmModel model;
+  model.shape_ = shape_;
+  model.theta_ = theta_;
+  model.all_x_ = all_x_;
+  model.task_of_ = task_of_;
+
+  // Per-task output standardization — the exact computation LcmModel::build
+  // performs, so the two construction paths agree bit for bit.
+  const std::size_t delta = data.num_tasks();
+  model.y_mean_.resize(delta);
+  model.y_scale_.resize(delta);
+  for (std::size_t i = 0; i < delta; ++i) {
+    double mu = 0.0;
+    for (double v : data.y[i]) mu += v;
+    mu /= std::max<std::size_t>(1, data.y[i].size());
+    double var = 0.0;
+    for (double v : data.y[i]) var += (v - mu) * (v - mu);
+    var /= std::max<std::size_t>(1, data.y[i].size());
+    const double scale = var > 1e-20 ? std::sqrt(var) : 1.0;
+    model.y_mean_[i] = mu;
+    model.y_scale_[i] = scale;
+  }
+
+  const std::size_t n = all_x_.rows();
+  Vector all_y(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t t = task_of_[r];
+    all_y[r] =
+        (data.y[t][index_of_[r]] - model.y_mean_[t]) / model.y_scale_[t];
+  }
+
+  model.factor_ = linalg::CholeskyFactor::from_lower(lower_);
+  model.alpha_ = model.factor_.solve(all_y);
+  model.lml_ = -0.5 * linalg::dot(all_y, model.alpha_) -
+               0.5 * model.factor_.log_det() -
+               0.5 * static_cast<double>(n) *
+                   std::log(2.0 * std::numbers::pi);
+  return model;
+}
+
+}  // namespace gptune::gp

@@ -1,0 +1,91 @@
+// Incremental LCM refit state — the O(N^2·k) hot path behind per-iteration
+// posterior refreshes (DESIGN.md §3.10).
+//
+// The MLA loop refits the LCM every iteration on N + batch samples. Between
+// hyperparameter re-optimizations the covariance changes only by appended
+// rows, so rebuilding and refactorizing all of K — O(N^3) every round — is
+// wasted work. IncrementalFitState keeps the factor of the previous refresh
+// alive and, when hyperparameters are warm-started and the data grew
+// append-only, assembles just the new covariance rows (lcm_covariance_rows)
+// and extends the factor with blocked_cholesky_extend.
+//
+// Row ordering: MultiTaskData::flatten is task-major, so appends to task 0
+// would land mid-matrix. The state instead owns a *generation ordering* —
+// the task-major order of the first refresh, then each later refresh's new
+// samples appended at the end (task 0's new rows, then task 1's, ...). Both
+// the extension path and the full-rebuild path use this ordering, which is
+// what makes the incremental-on and incremental-off trajectories bitwise
+// identical: the rebuild factors the very matrix the extension extends.
+//
+// Reuse rules (when refresh() extends vs rebuilds vs resets):
+//   * extend  — allow_extend, hyperparameters bitwise equal to the previous
+//               refresh, data append-only (per-task counts grew and every
+//               previously seen x row is bitwise unchanged), and the
+//               previous factorization needed no jitter;
+//   * rebuild — hyperparameters changed (restart landed elsewhere), caller
+//               disabled extension, the previous refresh was jittered, or
+//               the extension hit a non-positive pivot (it falls back);
+//   * reset   — a prefix x row changed (the performance-model feature
+//               normalization re-encoded history) or counts shrank: the
+//               generation ordering restarts from the task-major flatten.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "gp/lcm.hpp"
+
+namespace gptune::gp {
+
+class IncrementalFitState {
+ public:
+  struct Stats {
+    std::size_t extends = 0;        ///< refreshes served by factor extension
+    std::size_t rebuilds = 0;       ///< full refactorizations
+    std::size_t ordering_resets = 0;  ///< generation ordering restarted
+    std::size_t appended_rows = 0;  ///< total rows added via append
+  };
+
+  /// Refreshes the posterior for `data` at fixed hyperparameters `theta`,
+  /// extending the cached factor when the reuse rules above allow it and
+  /// falling back to a full (jitter-guarded) refactorization otherwise.
+  /// `allow_extend = false` forces the rebuild path but keeps the same
+  /// generation ordering, so the returned model is bitwise identical to the
+  /// extended one. Returns nullopt only if the covariance cannot be
+  /// factored even with jitter (the state is invalidated).
+  std::optional<LcmModel> refresh(
+      const MultiTaskData& data, const LcmShape& shape,
+      const std::vector<double>& theta,
+      const linalg::TaskBatchRunner& runner = linalg::serial_runner(),
+      bool allow_extend = true);
+
+  /// Drops all cached state; the next refresh rebuilds from scratch.
+  void reset();
+
+  const Stats& stats() const { return stats_; }
+  std::size_t num_rows() const { return all_x_.rows(); }
+  /// Jitter applied by the last rebuild (0 when the factor is exact; a
+  /// jittered factor is never extended).
+  double jitter() const { return jitter_; }
+
+ private:
+  /// True when `data` is an append-only extension of the cached ordering.
+  bool append_compatible(const MultiTaskData& data,
+                         const LcmShape& shape) const;
+  /// Builds the LcmModel from the cached factor + current data.
+  std::optional<LcmModel> assemble(const MultiTaskData& data) const;
+
+  LcmShape shape_;
+  std::vector<double> theta_;
+  Matrix all_x_;                      // generation-ordered flattened x
+  std::vector<std::size_t> task_of_;  // flat row -> task
+  std::vector<std::size_t> index_of_;  // flat row -> sample index in task
+  std::vector<std::vector<std::size_t>> rows_;  // (task, sample) -> flat row
+  Matrix lower_;                      // factor of K (+ jitter_ * I)
+  double jitter_ = 0.0;
+  bool valid_ = false;
+  Stats stats_;
+};
+
+}  // namespace gptune::gp

@@ -58,6 +58,42 @@ Matrix se_ard_cross(const Matrix& x1, const Matrix& x2,
   return k;
 }
 
+void se_ard_cross_strip_into(const Matrix& x1, const Matrix& x2,
+                             const std::vector<double>& lengthscales,
+                             Matrix* out) {
+  const std::size_t n1 = x1.rows(), n2 = x2.rows(), d = x1.cols();
+  assert(x2.cols() == d && lengthscales.size() == d);
+  if (out->rows() != n1 || out->cols() != n2) *out = Matrix(n1, n2, 0.0);
+  // Transpose X2 once so each dimension's sweep is a contiguous stream.
+  Matrix x2t(d, n2);
+  for (std::size_t j = 0; j < n2; ++j) {
+    const double* xj = x2.row_ptr(j);
+    for (std::size_t m = 0; m < d; ++m) x2t(m, j) = xj[m];
+  }
+  // Divisors match the `2.0 * l * l` expression of se_ard_gram exactly;
+  // keeping the division (not a reciprocal multiply) in the inner loop is
+  // what makes each entry bitwise equal to the per-entry kernels.
+  std::vector<double> denom(d);
+  for (std::size_t m = 0; m < d; ++m) {
+    denom[m] = 2.0 * lengthscales[m] * lengthscales[m];
+  }
+  for (std::size_t i = 0; i < n1; ++i) {
+    double* krow = out->row_ptr(i);
+    const double* xi = x1.row_ptr(i);
+    for (std::size_t j = 0; j < n2; ++j) krow[j] = 0.0;
+    for (std::size_t m = 0; m < d; ++m) {
+      const double* col = x2t.row_ptr(m);
+      const double xim = xi[m];
+      const double dm = denom[m];
+      for (std::size_t j = 0; j < n2; ++j) {
+        const double diff = xim - col[j];
+        krow[j] += diff * diff / dm;
+      }
+    }
+    for (std::size_t j = 0; j < n2; ++j) krow[j] = std::exp(-krow[j]);
+  }
+}
+
 std::vector<Matrix> squared_distance_per_dim(const Matrix& x) {
   const std::size_t n = x.rows(), d = x.cols();
   std::vector<Matrix> dist(d, Matrix(n, n, 0.0));

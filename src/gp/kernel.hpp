@@ -23,6 +23,18 @@ Matrix se_ard_gram(const Matrix& x, const std::vector<double>& lengthscales);
 Matrix se_ard_cross(const Matrix& x1, const Matrix& x2,
                     const std::vector<double>& lengthscales);
 
+/// Cross-gram strip K(X1, X2) written into `out` (n1 x n2), dimension-major:
+/// per-dimension scaled squared distances accumulate into each contiguous
+/// output row before one exp pass, so the inner loops stream unit-stride
+/// over a transposed copy of X2 and auto-vectorize. Entries are bitwise
+/// identical to se_ard_gram/se_ard_cross (same per-entry reduction order
+/// and division idiom) — the incremental LCM refit relies on that to keep
+/// extended factors equal to rebuilt ones. Resizes `out` only on shape
+/// mismatch; the strip-assembly hot path reuses one buffer per latent.
+void se_ard_cross_strip_into(const Matrix& x1, const Matrix& x2,
+                             const std::vector<double>& lengthscales,
+                             Matrix* out);
+
 /// Per-dimension squared-distance matrices D_m(i,j) = (x_i,m - x_j,m)^2.
 /// Precomputed once per fit; reused by every likelihood/gradient evaluation.
 std::vector<Matrix> squared_distance_per_dim(const Matrix& x);

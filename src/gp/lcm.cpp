@@ -96,6 +96,40 @@ Matrix lcm_covariance(const LcmShape& shape, const std::vector<double>& theta,
   return k;
 }
 
+Matrix lcm_covariance_rows(const LcmShape& shape,
+                           const std::vector<double>& theta,
+                           const Matrix& all_x,
+                           const std::vector<std::size_t>& task_of,
+                           std::size_t first_row) {
+  const std::size_t n = all_x.rows();
+  assert(first_row <= n);
+  const std::size_t nr = n - first_row;
+  const UnpackedTheta u = unpack(shape, theta);
+  Matrix strip(nr, n, 0.0);
+  if (nr == 0) return strip;
+  const Matrix x_new = all_x.block(first_row, 0, nr, all_x.cols());
+  Matrix gq;
+  for (std::size_t q = 0; q < shape.num_latent; ++q) {
+    const auto& lv = u.latents[q];
+    se_ard_cross_strip_into(x_new, all_x, lv.lengthscales, &gq);
+    for (std::size_t p = 0; p < nr; ++p) {
+      const std::size_t ti = task_of[first_row + p];
+      double* srow = strip.row_ptr(p);
+      const double* grow = gq.row_ptr(p);
+      for (std::size_t r = 0; r < n; ++r) {
+        const std::size_t tj = task_of[r];
+        double w = lv.a[ti] * lv.a[tj];
+        if (ti == tj) w += lv.b[ti];
+        srow[r] += w * grow[r];
+      }
+    }
+  }
+  for (std::size_t p = 0; p < nr; ++p) {
+    strip(p, first_row + p) += u.d[task_of[first_row + p]];
+  }
+  return strip;
+}
+
 LcmEvalContext::LcmEvalContext(const LcmShape& shape, Matrix all_x,
                                Vector all_y, std::vector<std::size_t> task_of)
     : shape_(shape),
@@ -160,13 +194,17 @@ std::optional<double> LcmEvaluator::lml(const std::vector<double>& theta,
   for (std::size_t p = 0; p < n; ++p) k_(p, p) += u.d[task_of[p]];
 
   // Factor (parallel blocked path when a runner with workers is supplied).
+  // Likelihood evaluations see a fresh theta every call, so there is no
+  // factor to extend here.
   std::optional<linalg::CholeskyFactor> factor;
   {
+    // gptune-lint: allow(full-refactor)
     auto blocked = linalg::blocked_cholesky(k_, 128, runner);
     if (blocked) {
       factor = std::move(blocked);
     } else {
       // Fall back to jittered factorization for near-singular K.
+      // gptune-lint: allow(full-refactor)
       factor = linalg::CholeskyFactor::factor_with_jitter(k_);
       if (!factor) return std::nullopt;
     }
@@ -280,8 +318,12 @@ std::optional<LcmModel> LcmModel::build(const MultiTaskData& data,
       lcm_covariance(shape, model.theta_, model.all_x_, model.task_of_);
   // Blocked (optionally parallel) factorization first — the same path the
   // trainer's likelihood evaluations take — with the jittered reference
-  // factorization as the fallback for near-singular covariances.
+  // factorization as the fallback for near-singular covariances. This is
+  // the from-scratch construction path; incremental refits go through
+  // IncrementalFitState instead.
+  // gptune-lint: allow(full-refactor)
   auto factor = linalg::blocked_cholesky(k, 128, runner);
+  // gptune-lint: allow(full-refactor)
   if (!factor) factor = linalg::CholeskyFactor::factor_with_jitter(k);
   if (!factor) return std::nullopt;
   model.factor_ = std::move(*factor);

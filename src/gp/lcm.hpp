@@ -78,6 +78,21 @@ Matrix lcm_covariance(const LcmShape& shape, const std::vector<double>& theta,
                       const Matrix& all_x,
                       const std::vector<std::size_t>& task_of);
 
+/// Assembles only rows [first_row, n) of the Eq. (4) covariance — the
+/// (n - first_row) x n strip a factor extension needs when samples are
+/// appended — using the LCM's block-task structure: one SE-ARD cross-gram
+/// strip per latent (se_ard_cross_strip_into), weighted by the per-task
+/// mixing coefficients, plus the nugget on the new diagonal entries.
+/// Entry (p, r) of the result is bitwise identical to entry
+/// (first_row + p, r) of lcm_covariance; the incremental refit's
+/// extended-equals-rebuilt guarantee rests on that. O(n * k * Q) work for
+/// k new rows instead of O(n^2 * Q).
+Matrix lcm_covariance_rows(const LcmShape& shape,
+                           const std::vector<double>& theta,
+                           const Matrix& all_x,
+                           const std::vector<std::size_t>& task_of,
+                           std::size_t first_row);
+
 /// Restart-invariant precomputation for one LCM fit, shared (immutably) by
 /// every likelihood/gradient evaluation of every multistart restart: the
 /// flattened data plus the per-dimension pairwise squared-distance matrices
@@ -185,6 +200,9 @@ class LcmModel {
 
  private:
   LcmModel() = default;
+  /// IncrementalFitState (gp/incremental.hpp) assembles models directly
+  /// from its maintained factor, bypassing build()'s full refactorization.
+  friend class IncrementalFitState;
   LcmShape shape_;
   std::vector<double> theta_;
   Matrix all_x_;

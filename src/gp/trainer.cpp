@@ -242,6 +242,7 @@ std::optional<LcmModel> fit_lcm(const MultiTaskData& data,
     stats->restarts_failed = failed;
     stats->total_lbfgs_evaluations = total_evals;
     stats->best_lml = best ? best->lml : 0.0;
+    stats->best_theta = best ? best->theta : std::vector<double>{};
     stats->workers_used = workers;
     stats->gram_cache_hits = gram_hits;
     stats->gram_cache_misses = gram_misses;
@@ -262,10 +263,13 @@ std::optional<LcmModel> fit_lcm(const MultiTaskData& data,
     }
     return std::nullopt;
   }
-  // The pool is idle again here; let it speed up the posterior build too.
-  auto model = LcmModel::build(
-      data, shape, best->theta,
-      pool ? pool->batch_runner() : linalg::serial_runner());
+  std::optional<LcmModel> model;
+  if (options.build_posterior) {
+    // The pool is idle again here; let it speed up the posterior build too.
+    model = LcmModel::build(
+        data, shape, best->theta,
+        pool ? pool->batch_runner() : linalg::serial_runner());
+  }
   if (stats) {
     stats->fit_seconds = fit_timer.seconds();
     stats->restarts_per_second =

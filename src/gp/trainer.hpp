@@ -45,10 +45,20 @@ struct LcmFitOptions {
   /// (the MLA loop refits after every new sample; warm starting makes the
   /// refits cheap). Ignored if the size does not match.
   std::vector<double> warm_start;
+  /// When false, fit_lcm optimizes hyperparameters and reports them via
+  /// LcmFitStats::best_theta but skips building the posterior, returning
+  /// nullopt even on success. Callers that maintain their own posterior
+  /// factor (IncrementalFitState) use this to avoid a redundant O(N^3)
+  /// LcmModel::build.
+  bool build_posterior = true;
 };
 
 struct LcmFitStats {
   double best_lml = 0.0;
+  /// Hyperparameters of the winning restart (empty if every restart
+  /// failed). This is how build_posterior == false callers retrieve the
+  /// optimization result.
+  std::vector<double> best_theta;
   std::size_t restarts_attempted = 0;
   std::size_t restarts_failed = 0;
   std::size_t total_lbfgs_evaluations = 0;

@@ -1,5 +1,6 @@
 #include "linalg/blocked_cholesky.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cmath>
@@ -68,6 +69,33 @@ bool potrf_tile(Matrix& a, std::size_t k0, std::size_t nb) {
   return true;
 }
 
+// Diagonal-tile POTRF restricted to appended rows. Columns left of
+// `first_new` are final factor columns: only their new-row entries are
+// computed, with the identical `s * inv` idiom potrf_tile uses (inv is the
+// reciprocal of the stored diagonal, which equals the reciprocal potrf_tile
+// computed right after its sqrt). Columns at or past `first_new` get the
+// full potrf treatment. With first_new == 0 this is exactly potrf_tile.
+bool potrf_extend_tile(Matrix& a, std::size_t k0, std::size_t nb,
+                       std::size_t first_new) {
+  for (std::size_t j = 0; j < nb; ++j) {
+    double* lj = a.row_ptr(k0 + j) + k0;
+    if (j >= first_new) {
+      double d = lj[j];
+      for (std::size_t k = 0; k < j; ++k) d -= lj[k] * lj[k];
+      if (d <= 0.0 || !std::isfinite(d)) return false;
+      lj[j] = std::sqrt(d);
+    }
+    const double inv = 1.0 / lj[j];
+    for (std::size_t i = std::max(j + 1, first_new); i < nb; ++i) {
+      double* li = a.row_ptr(k0 + i) + k0;
+      double s = li[j];
+      for (std::size_t k = 0; k < j; ++k) s -= li[k] * lj[k];
+      li[j] = s * inv;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 std::optional<CholeskyFactor> blocked_cholesky(const Matrix& a,
@@ -121,9 +149,85 @@ std::optional<CholeskyFactor> blocked_cholesky(const Matrix& a,
   return CholeskyFactor::from_lower(std::move(l));
 }
 
+bool blocked_cholesky_extend(Matrix& l, std::size_t n_old,
+                             std::size_t block_size,
+                             const TaskBatchRunner& runner) {
+  const std::size_t n = l.rows();
+  assert(l.cols() == n);
+  assert(n_old <= n);
+  if (block_size == 0) block_size = 64;
+  if (n_old >= n) return true;
+  telemetry::Span span("model", "cholesky_extend");
+  span.arg("n", static_cast<double>(n));
+  span.arg("k", static_cast<double>(n - n_old));
+  static auto& extensions = telemetry::counter("linalg.cholesky.extend.count");
+  static auto& flops = telemetry::counter("linalg.cholesky.flops");
+  extensions.add();
+  flops.add(static_cast<std::uint64_t>(cholesky_extend_flops(n_old, n)));
+
+  // The same k-block sweep as blocked_cholesky, with every tile kernel
+  // restricted to rows >= n_old: tiles fully above the append boundary are
+  // already final and are skipped outright; the boundary-straddling
+  // diagonal tile gets the mixed POTRF variant. Old-row values read by the
+  // restricted kernels are final factor entries, exactly what the full
+  // algorithm would read at the same step.
+  for (std::size_t k0 = 0; k0 < n; k0 += block_size) {
+    const std::size_t nb = std::min(block_size, n - k0);
+    if (k0 + nb > n_old) {
+      const std::size_t first_new = n_old > k0 ? n_old - k0 : 0;
+      if (!potrf_extend_tile(l, k0, nb, first_new)) return false;
+    }
+
+    {
+      std::vector<std::function<void()>> tasks;
+      for (std::size_t i0 = k0 + nb; i0 < n; i0 += block_size) {
+        const std::size_t ni = std::min(block_size, n - i0);
+        const std::size_t first_row = std::max(i0, n_old);
+        if (first_row >= i0 + ni) continue;
+        const std::size_t nr = i0 + ni - first_row;
+        tasks.push_back(
+            [&l, first_row, k0, nr, nb] { trsm_tile(l, first_row, k0, nr, nb); });
+      }
+      if (!tasks.empty()) runner(std::move(tasks));
+    }
+
+    {
+      std::vector<std::function<void()>> tasks;
+      for (std::size_t j0 = k0 + nb; j0 < n; j0 += block_size) {
+        const std::size_t nj = std::min(block_size, n - j0);
+        for (std::size_t i0 = j0; i0 < n; i0 += block_size) {
+          const std::size_t ni = std::min(block_size, n - i0);
+          const std::size_t first_row = std::max(i0, n_old);
+          if (first_row >= i0 + ni) continue;
+          const std::size_t nr = i0 + ni - first_row;
+          tasks.push_back([&l, first_row, j0, k0, nr, nj, nb] {
+            update_tile(l, first_row, j0, k0, nr, nj, nb);
+          });
+        }
+      }
+      if (!tasks.empty()) runner(std::move(tasks));
+    }
+  }
+
+  // Zero the strictly upper triangle of the appended region: the new
+  // columns of the old rows and everything right of the diagonal in the
+  // new rows.
+  for (std::size_t i = 0; i < n_old; ++i) {
+    for (std::size_t j = n_old; j < n; ++j) l(i, j) = 0.0;
+  }
+  for (std::size_t i = n_old; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) l(i, j) = 0.0;
+  }
+  return true;
+}
+
 double cholesky_flops(std::size_t n) {
   const double nd = static_cast<double>(n);
   return nd * nd * nd / 3.0;
+}
+
+double cholesky_extend_flops(std::size_t n_old, std::size_t n) {
+  return cholesky_flops(n) - cholesky_flops(n_old);
 }
 
 }  // namespace gptune::linalg

@@ -34,8 +34,40 @@ std::optional<CholeskyFactor> blocked_cholesky(
     const Matrix& a, std::size_t block_size,
     const TaskBatchRunner& runner = serial_runner());
 
+/// Extends an existing blocked Cholesky factor by appended rows, in place.
+///
+/// `l` is the full (n x n) working matrix of the extended system:
+///   * rows [0, n_old) hold the final lower-triangular factor of the leading
+///     n_old x n_old covariance block, exactly as produced by
+///     blocked_cholesky with the SAME block_size;
+///   * rows [n_old, n) hold the new covariance rows K(r, 0..r) in their
+///     lower triangle (upper-triangle content is ignored and zeroed).
+///
+/// On success the new rows are replaced by factor rows and `l` is the
+/// factor of the extended covariance. Cost is O(n_old^2 * k) for k appended
+/// rows instead of the O(n^3) of refactorizing from scratch.
+///
+/// Bitwise contract (what makes incremental refits trajectory-safe): the
+/// blocked right-looking algorithm computes every factor entry through an
+/// operation sequence that depends only on rows at or above it — k-block
+/// boundaries are fixed multiples of block_size and each per-entry
+/// reduction runs in a fixed order — so the result equals, bit for bit,
+/// blocked_cholesky of the full extended matrix. Verified exactly by
+/// tests/test_incremental_cholesky.cpp.
+///
+/// Returns false on a non-positive pivot (extended matrix not PD to
+/// working precision); `l`'s new rows are garbage in that case and the
+/// caller should fall back to a full (jittered) refactorization.
+bool blocked_cholesky_extend(Matrix& l, std::size_t n_old,
+                             std::size_t block_size,
+                             const TaskBatchRunner& runner = serial_runner());
+
 /// Flop count of an n x n Cholesky (n^3/3 leading order), used by the
 /// virtual-clock speedup study to charge simulated time per tile.
 double cholesky_flops(std::size_t n);
+
+/// Flop count of extending an n_old-row factor to n rows (the new-row share
+/// of the full factorization: (n^3 - n_old^3)/3 leading order).
+double cholesky_extend_flops(std::size_t n_old, std::size_t n);
 
 }  // namespace gptune::linalg

@@ -1,0 +1,88 @@
+#include "linalg/incremental_cholesky.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace gptune::linalg {
+
+namespace {
+
+// Shared rotation sweep over columns [start, n): Givens rotations for the
+// update (sigma = +1), hyperbolic rotations for the downdate (sigma = -1).
+bool rank1_sweep(Matrix& l, Vector& v, std::size_t start, double sigma) {
+  const std::size_t n = l.rows();
+  assert(l.cols() == n && v.size() == n);
+  for (std::size_t j = start; j < n; ++j) {
+    const double ljj = l(j, j);
+    const double d = ljj * ljj + sigma * v[j] * v[j];
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    const double r = std::sqrt(d);
+    const double c = r / ljj;
+    const double s = v[j] / ljj;
+    l(j, j) = r;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double& lij = l(i, j);
+      lij = (lij + sigma * s * v[i]) / c;
+      v[i] = c * v[i] - s * lij;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void cholesky_rank1_update(Matrix& l, Vector v) {
+  // With sigma = +1 the pivot r^2 = l_jj^2 + v_j^2 > 0 always holds.
+  const bool ok = rank1_sweep(l, v, 0, 1.0);
+  assert(ok);
+  (void)ok;
+}
+
+bool cholesky_rank1_downdate(Matrix& l, Vector v) {
+  return rank1_sweep(l, v, 0, -1.0);
+}
+
+void cholesky_rank_k_update(Matrix& l, const Matrix& v) {
+  assert(v.rows() == l.rows());
+  Vector col(v.rows());
+  for (std::size_t k = 0; k < v.cols(); ++k) {
+    for (std::size_t i = 0; i < v.rows(); ++i) col[i] = v(i, k);
+    cholesky_rank1_update(l, col);
+  }
+}
+
+bool cholesky_rank_k_downdate(Matrix& l, const Matrix& v) {
+  assert(v.rows() == l.rows());
+  Vector col(v.rows());
+  for (std::size_t k = 0; k < v.cols(); ++k) {
+    for (std::size_t i = 0; i < v.rows(); ++i) col[i] = v(i, k);
+    if (!cholesky_rank1_downdate(l, col)) return false;
+  }
+  return true;
+}
+
+Matrix cholesky_remove_row(const Matrix& l, std::size_t idx) {
+  const std::size_t n = l.rows();
+  assert(l.cols() == n && idx < n);
+  Matrix out(n - 1, n - 1, 0.0);
+  // Rows above the removed one are untouched; rows below shift up and drop
+  // column idx.
+  for (std::size_t i = 0; i < n - 1; ++i) {
+    const std::size_t src_i = i < idx ? i : i + 1;
+    for (std::size_t j = 0; j <= i; ++j) {
+      const std::size_t src_j = j < idx ? j : j + 1;
+      out(i, j) = l(src_i, src_j);
+    }
+  }
+  if (idx + 1 >= n) return out;  // last row: nothing to repair
+  // The deleted column idx contributed l23 l23^T to the trailing block's
+  // Gram; folding it back in is a rank-1 update of the trailing factor.
+  Vector v(n - 1, 0.0);
+  for (std::size_t i = idx + 1; i < n; ++i) v[i - 1] = l(i, idx);
+  const bool ok = rank1_sweep(out, v, idx, 1.0);
+  assert(ok);
+  (void)ok;
+  return out;
+}
+
+}  // namespace gptune::linalg

@@ -1,0 +1,42 @@
+// Rank-k Cholesky factor maintenance: up/downdates and row removal.
+//
+// Complements blocked_cholesky_extend (the append-structured rank-k path
+// the incremental LCM refit uses) with the classical hyperbolic-rotation
+// update/downdate pair: given L with A = L L^T, produce the factor of
+// A +/- v v^T in O(n^2) instead of refactorizing in O(n^3). Row removal —
+// the shape of dropping a penalized sample from the training set — deletes
+// row/column `idx` and repairs the trailing factor with one rank-1 update.
+//
+// Unlike the extension (bitwise identical to refactorization by
+// construction), these rotate existing factor entries and therefore agree
+// with a fresh factorization only to rounding; parity is tested to tight
+// tolerances in tests/test_incremental_cholesky.cpp.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace gptune::linalg {
+
+/// In-place rank-1 update: L becomes the factor of A + v v^T.
+/// `v` is consumed as rotation scratch.
+void cholesky_rank1_update(Matrix& l, Vector v);
+
+/// In-place rank-1 downdate: L becomes the factor of A - v v^T.
+/// Returns false (leaving `l` partially rotated — discard it) when the
+/// downdated matrix is not positive definite to working precision.
+bool cholesky_rank1_downdate(Matrix& l, Vector v);
+
+/// Rank-k update: columns of `v` (n x k) applied as successive rank-1
+/// updates; L becomes the factor of A + V V^T.
+void cholesky_rank_k_update(Matrix& l, const Matrix& v);
+
+/// Rank-k downdate: L becomes the factor of A - V V^T, or false if any
+/// intermediate downdate loses positive definiteness.
+bool cholesky_rank_k_downdate(Matrix& l, const Matrix& v);
+
+/// Factor of A with row/column `idx` deleted: drops the factor row/column
+/// and repairs the trailing block with a rank-1 *update* by the removed
+/// column (the standard delete-row identity). O(n^2).
+Matrix cholesky_remove_row(const Matrix& l, std::size_t idx);
+
+}  // namespace gptune::linalg

@@ -1,0 +1,311 @@
+// Incremental factor maintenance (DESIGN.md §3.10):
+//   * blocked_cholesky_extend must be *bitwise* identical to refactorizing
+//     the extended matrix from scratch — the contract the incremental LCM
+//     refit's trajectory guarantee rests on — across append boundaries
+//     straddling the 128 tile edge, serial and pooled;
+//   * rank-1/rank-k up/downdates and row removal (the penalized-sample
+//     shapes) agree with a fresh factorization to rounding;
+//   * non-PD extensions and downdates report failure instead of returning
+//     a garbage factor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "linalg/blocked_cholesky.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/incremental_cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using gptune::common::Rng;
+using gptune::linalg::blocked_cholesky;
+using gptune::linalg::blocked_cholesky_extend;
+using gptune::linalg::cholesky_rank1_downdate;
+using gptune::linalg::cholesky_rank1_update;
+using gptune::linalg::cholesky_rank_k_downdate;
+using gptune::linalg::cholesky_rank_k_update;
+using gptune::linalg::cholesky_remove_row;
+using gptune::linalg::CholeskyFactor;
+using gptune::linalg::Matrix;
+using gptune::linalg::Vector;
+
+Matrix random_spd(std::size_t n, Rng& rng) {
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.normal();
+  }
+  Matrix a(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) s += b(i, k) * b(j, k);
+      a(i, j) = s;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+double max_lower_diff(const Matrix& a, const Matrix& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return m;
+}
+
+// Working matrix for an extension: the factor of the leading n_old block in
+// rows [0, n_old), raw covariance rows below — the exact layout
+// blocked_cholesky_extend documents.
+Matrix extension_input(const Matrix& a, const Matrix& l_old,
+                       std::size_t n_old) {
+  const std::size_t n = a.rows();
+  Matrix w(n, n, 0.0);
+  for (std::size_t i = 0; i < n_old; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) w(i, j) = l_old(i, j);
+  }
+  for (std::size_t i = n_old; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) w(i, j) = a(i, j);
+  }
+  return w;
+}
+
+// (n_old, appended) pairs straddling the 128 tile boundary from both sides:
+// append within the first tile, across one boundary, starting exactly on a
+// boundary, multi-tile, and the single-row refit shape.
+class CholeskyExtendBitwise
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(CholeskyExtendBitwise, SerialMatchesFullRefactorization) {
+  const auto [n_old, appended] = GetParam();
+  const std::size_t n = n_old + appended;
+  Rng rng(4000 + 7 * n_old + appended);
+  const Matrix a = random_spd(n, rng);
+  const Matrix a_old = a.block(0, 0, n_old, n_old);
+
+  auto full = blocked_cholesky(a, 128);
+  auto old_factor = blocked_cholesky(a_old, 128);
+  ASSERT_TRUE(full.has_value());
+  ASSERT_TRUE(old_factor.has_value());
+
+  Matrix w = extension_input(a, old_factor->lower(), n_old);
+  ASSERT_TRUE(blocked_cholesky_extend(w, n_old, 128));
+
+  // Bitwise, not tolerance: the extension replays the exact operation
+  // sequence of the full blocked factorization on the new rows.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(w(i, j), full->lower()(i, j))
+          << "extend diverges from refactorization at (" << i << "," << j
+          << ")";
+    }
+  }
+}
+
+TEST_P(CholeskyExtendBitwise, PooledMatchesSerial) {
+  const auto [n_old, appended] = GetParam();
+  const std::size_t n = n_old + appended;
+  Rng rng(5000 + 7 * n_old + appended);
+  const Matrix a = random_spd(n, rng);
+  const Matrix a_old = a.block(0, 0, n_old, n_old);
+
+  auto old_factor = blocked_cholesky(a_old, 128);
+  ASSERT_TRUE(old_factor.has_value());
+
+  Matrix serial = extension_input(a, old_factor->lower(), n_old);
+  ASSERT_TRUE(blocked_cholesky_extend(serial, n_old, 128));
+
+  gptune::rt::ThreadPool pool(4);
+  Matrix pooled = extension_input(a, old_factor->lower(), n_old);
+  ASSERT_TRUE(blocked_cholesky_extend(pooled, n_old, 128,
+                                      pool.batch_runner()));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(pooled(i, j), serial(i, j))
+          << "pooled extension differs at (" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CholeskyExtendBitwise,
+    ::testing::Values(std::make_pair(std::size_t{100}, std::size_t{28}),
+                      std::make_pair(std::size_t{120}, std::size_t{16}),
+                      std::make_pair(std::size_t{128}, std::size_t{64}),
+                      std::make_pair(std::size_t{250}, std::size_t{80}),
+                      std::make_pair(std::size_t{256}, std::size_t{1}),
+                      std::make_pair(std::size_t{64}, std::size_t{200})));
+
+TEST(CholeskyExtend, NoopWhenNothingAppended) {
+  Rng rng(11);
+  const Matrix a = random_spd(40, rng);
+  auto factor = blocked_cholesky(a, 128);
+  ASSERT_TRUE(factor.has_value());
+  Matrix w = factor->lower();
+  EXPECT_TRUE(blocked_cholesky_extend(w, 40, 128));
+  EXPECT_EQ(max_lower_diff(w, factor->lower()), 0.0);
+}
+
+TEST(CholeskyExtend, NonPositiveDefiniteExtensionFails) {
+  // Appending an exact duplicate of row 0 makes the extended matrix
+  // singular: the Schur complement of the new row is zero, so the extension
+  // must hit a non-positive pivot and report failure (the incremental refit
+  // then falls back to a jittered refactorization).
+  const std::size_t n_old = 130, n = n_old + 1;
+  Rng rng(12);
+  const Matrix a_old = random_spd(n_old, rng);
+  Matrix a(n, n, 0.0);
+  for (std::size_t i = 0; i < n_old; ++i) {
+    for (std::size_t j = 0; j < n_old; ++j) a(i, j) = a_old(i, j);
+  }
+  for (std::size_t j = 0; j < n_old; ++j) {
+    a(n_old, j) = a_old(0, j);
+    a(j, n_old) = a_old(j, 0);
+  }
+  a(n_old, n_old) = a_old(0, 0);
+
+  auto old_factor = blocked_cholesky(a_old, 128);
+  ASSERT_TRUE(old_factor.has_value());
+  Matrix w = extension_input(a, old_factor->lower(), n_old);
+  EXPECT_FALSE(blocked_cholesky_extend(w, n_old, 128));
+}
+
+TEST(CholeskyExtend, FlopsAreTheNewRowShare) {
+  using gptune::linalg::cholesky_extend_flops;
+  using gptune::linalg::cholesky_flops;
+  EXPECT_DOUBLE_EQ(cholesky_extend_flops(100, 128),
+                   cholesky_flops(128) - cholesky_flops(100));
+  EXPECT_DOUBLE_EQ(cholesky_extend_flops(0, 64), cholesky_flops(64));
+  EXPECT_DOUBLE_EQ(cholesky_extend_flops(64, 64), 0.0);
+}
+
+TEST(CholeskyRank1, UpdateMatchesRefactorization) {
+  const std::size_t n = 60;
+  Rng rng(21);
+  const Matrix a = random_spd(n, rng);
+  Vector v(n);
+  for (auto& x : v) x = rng.normal();
+
+  auto factor = CholeskyFactor::factor(a);
+  ASSERT_TRUE(factor.has_value());
+  Matrix l = factor->lower();
+  cholesky_rank1_update(l, v);
+
+  Matrix au = a;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) au(i, j) += v[i] * v[j];
+  }
+  auto fresh = CholeskyFactor::factor(au);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_LT(max_lower_diff(l, fresh->lower()), 1e-9 * static_cast<double>(n));
+}
+
+TEST(CholeskyRank1, DowndateMatchesRefactorization) {
+  const std::size_t n = 60;
+  Rng rng(22);
+  const Matrix a = random_spd(n, rng);
+  // Small enough perturbation that A - v v^T stays comfortably PD
+  // (random_spd adds +n to the diagonal).
+  Vector v(n);
+  for (auto& x : v) x = 0.1 * rng.normal();
+
+  auto factor = CholeskyFactor::factor(a);
+  ASSERT_TRUE(factor.has_value());
+  Matrix l = factor->lower();
+  ASSERT_TRUE(cholesky_rank1_downdate(l, v));
+
+  Matrix ad = a;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) ad(i, j) -= v[i] * v[j];
+  }
+  auto fresh = CholeskyFactor::factor(ad);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_LT(max_lower_diff(l, fresh->lower()), 1e-9 * static_cast<double>(n));
+}
+
+TEST(CholeskyRank1, DowndateDetectsLostPositiveDefiniteness) {
+  // A = I, v = 2 e_0: A - v v^T has -3 in the corner; the rotation sweep
+  // must refuse rather than produce NaNs.
+  const std::size_t n = 8;
+  Matrix l(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) l(i, i) = 1.0;
+  Vector v(n, 0.0);
+  v[0] = 2.0;
+  EXPECT_FALSE(cholesky_rank1_downdate(l, v));
+}
+
+TEST(CholeskyRankK, UpdateThenDowndateRoundTrips) {
+  const std::size_t n = 70, k = 3;
+  Rng rng(23);
+  const Matrix a = random_spd(n, rng);
+  Matrix v(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) v(i, j) = 0.3 * rng.normal();
+  }
+
+  auto factor = CholeskyFactor::factor(a);
+  ASSERT_TRUE(factor.has_value());
+
+  // Parity of the rank-k update against refactorizing A + V V^T.
+  Matrix l = factor->lower();
+  cholesky_rank_k_update(l, v);
+  Matrix au = a;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t c = 0; c < k; ++c) s += v(i, c) * v(j, c);
+      au(i, j) += s;
+    }
+  }
+  auto fresh = CholeskyFactor::factor(au);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_LT(max_lower_diff(l, fresh->lower()), 1e-9 * static_cast<double>(n));
+
+  // Downdating by the same V must return to the original factor.
+  ASSERT_TRUE(cholesky_rank_k_downdate(l, v));
+  EXPECT_LT(max_lower_diff(l, factor->lower()),
+            1e-8 * static_cast<double>(n));
+}
+
+class CholeskyRemoveRow : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskyRemoveRow, MatchesRefactorizationOfReducedMatrix) {
+  // The delete-a-penalized-sample shape: drop row/column idx from A and
+  // compare the repaired factor against factoring the reduced matrix.
+  const std::size_t n = 12;
+  const std::size_t idx = GetParam();
+  Rng rng(24);
+  const Matrix a = random_spd(n, rng);
+  auto factor = CholeskyFactor::factor(a);
+  ASSERT_TRUE(factor.has_value());
+
+  const Matrix reduced_l = cholesky_remove_row(factor->lower(), idx);
+
+  Matrix ar(n - 1, n - 1);
+  for (std::size_t i = 0, ri = 0; i < n; ++i) {
+    if (i == idx) continue;
+    for (std::size_t j = 0, rj = 0; j < n; ++j) {
+      if (j == idx) continue;
+      ar(ri, rj) = a(i, j);
+      ++rj;
+    }
+    ++ri;
+  }
+  auto fresh = CholeskyFactor::factor(ar);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_LT(max_lower_diff(reduced_l, fresh->lower()),
+            1e-10 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(FirstMiddleLast, CholeskyRemoveRow,
+                         ::testing::Values(std::size_t{0}, std::size_t{5},
+                                           std::size_t{11}));
+
+}  // namespace

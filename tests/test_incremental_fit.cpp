@@ -1,0 +1,317 @@
+// IncrementalFitState (DESIGN.md §3.10): the extended posterior must be
+// bitwise identical to the rebuilt one — the property that lets the MLA
+// loop flip incremental refits on without changing any trajectory — and
+// the reuse bookkeeping (extends / rebuilds / ordering resets, jittered
+// factors never extended) must be observable through stats(). Plus the
+// single-task analogue, GpRegression::extend.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gp/gp_regression.hpp"
+#include "gp/incremental.hpp"
+#include "gp/lcm.hpp"
+#include "linalg/blocked_cholesky.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using gptune::common::Rng;
+using gptune::gp::GpHyperparameters;
+using gptune::gp::GpRegression;
+using gptune::gp::IncrementalFitState;
+using gptune::gp::LcmModel;
+using gptune::gp::LcmShape;
+using gptune::gp::Matrix;
+using gptune::gp::MultiTaskData;
+using gptune::gp::Vector;
+
+MultiTaskData random_data(std::size_t tasks, std::size_t samples,
+                          std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  MultiTaskData data;
+  data.x.resize(tasks);
+  data.y.resize(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    data.x[i] = Matrix(samples, dim);
+    data.y[i].resize(samples);
+    for (std::size_t j = 0; j < samples; ++j) {
+      for (std::size_t m = 0; m < dim; ++m) data.x[i](j, m) = rng.uniform();
+      data.y[i][j] = rng.normal();
+    }
+  }
+  return data;
+}
+
+// Appends `extra` fresh samples to every task.
+void append_samples(MultiTaskData& data, std::size_t extra,
+                    std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t dim = data.dim();
+  for (std::size_t i = 0; i < data.num_tasks(); ++i) {
+    const std::size_t old = data.x[i].rows();
+    Matrix grown(old + extra, dim);
+    for (std::size_t j = 0; j < old; ++j) {
+      for (std::size_t m = 0; m < dim; ++m) grown(j, m) = data.x[i](j, m);
+    }
+    for (std::size_t j = old; j < old + extra; ++j) {
+      for (std::size_t m = 0; m < dim; ++m) grown(j, m) = rng.uniform();
+      data.y[i].push_back(rng.normal());
+    }
+    data.x[i] = std::move(grown);
+  }
+}
+
+std::vector<double> smooth_theta(const LcmShape& shape, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> theta(shape.num_hyperparameters());
+  for (std::size_t q = 0; q < shape.num_latent; ++q) {
+    for (std::size_t m = 0; m < shape.dim; ++m) {
+      theta[shape.idx_log_l(q, m)] = std::log(rng.uniform(0.3, 1.0));
+    }
+    for (std::size_t i = 0; i < shape.num_tasks; ++i) {
+      theta[shape.idx_a(q, i)] = rng.normal(0.0, 0.7);
+      theta[shape.idx_log_b(q, i)] = std::log(0.05);
+    }
+  }
+  for (std::size_t i = 0; i < shape.num_tasks; ++i) {
+    theta[shape.idx_log_d(i)] = std::log(1e-3);
+  }
+  return theta;
+}
+
+// Bitwise model comparison through the public surface: likelihood plus
+// posterior mean/variance at probe points for every task.
+void expect_models_bitwise_equal(const LcmModel& a, const LcmModel& b,
+                                 std::uint64_t probe_seed) {
+  EXPECT_EQ(a.log_likelihood(), b.log_likelihood());
+  ASSERT_EQ(a.shape().num_tasks, b.shape().num_tasks);
+  Rng rng(probe_seed);
+  for (std::size_t t = 0; t < a.shape().num_tasks; ++t) {
+    for (int p = 0; p < 4; ++p) {
+      Vector x(a.shape().dim);
+      for (auto& v : x) v = rng.uniform();
+      const auto pa = a.predict(t, x);
+      const auto pb = b.predict(t, x);
+      EXPECT_EQ(pa.mean, pb.mean);
+      EXPECT_EQ(pa.variance, pb.variance);
+    }
+  }
+}
+
+TEST(IncrementalFit, FirstRefreshMatchesLcmModelBuild) {
+  // With no cached state the generation ordering is the task-major flatten,
+  // so the first refresh must agree bitwise with LcmModel::build.
+  MultiTaskData data = random_data(3, 9, 2, 31);
+  LcmShape shape{2, 2, 3};
+  const auto theta = smooth_theta(shape, 5);
+
+  IncrementalFitState state;
+  auto incremental = state.refresh(data, shape, theta);
+  auto built = LcmModel::build(data, shape, theta);
+  ASSERT_TRUE(incremental.has_value());
+  ASSERT_TRUE(built.has_value());
+  expect_models_bitwise_equal(*incremental, *built, 91);
+  EXPECT_EQ(state.stats().rebuilds, 1u);
+  EXPECT_EQ(state.stats().extends, 0u);
+}
+
+TEST(IncrementalFit, ExtendedPosteriorBitwiseEqualsRebuilt) {
+  // The core trajectory guarantee: with identical refresh sequences, the
+  // extending state and the rebuild-only state produce bitwise-equal
+  // models at every step.
+  MultiTaskData data = random_data(2, 8, 2, 32);
+  LcmShape shape{2, 2, 2};
+  const auto theta = smooth_theta(shape, 6);
+
+  IncrementalFitState extending, rebuilding;
+  auto e0 = extending.refresh(data, shape, theta, gptune::linalg::serial_runner(),
+                              /*allow_extend=*/true);
+  auto r0 = rebuilding.refresh(data, shape, theta,
+                               gptune::linalg::serial_runner(),
+                               /*allow_extend=*/false);
+  ASSERT_TRUE(e0.has_value());
+  ASSERT_TRUE(r0.has_value());
+  expect_models_bitwise_equal(*e0, *r0, 92);
+
+  for (int round = 0; round < 3; ++round) {
+    append_samples(data, 2, 100 + round);
+    auto e = extending.refresh(data, shape, theta,
+                               gptune::linalg::serial_runner(), true);
+    auto r = rebuilding.refresh(data, shape, theta,
+                                gptune::linalg::serial_runner(), false);
+    ASSERT_TRUE(e.has_value());
+    ASSERT_TRUE(r.has_value());
+    expect_models_bitwise_equal(*e, *r, 93 + round);
+  }
+  EXPECT_EQ(extending.stats().extends, 3u);
+  EXPECT_EQ(extending.stats().rebuilds, 1u);
+  EXPECT_EQ(extending.stats().appended_rows, 12u);
+  EXPECT_EQ(rebuilding.stats().extends, 0u);
+  EXPECT_EQ(rebuilding.stats().rebuilds, 4u);
+}
+
+TEST(IncrementalFit, PooledExtensionBitwiseEqualsSerial) {
+  MultiTaskData data = random_data(2, 70, 2, 33);
+  LcmShape shape{2, 2, 2};
+  const auto theta = smooth_theta(shape, 7);
+
+  gptune::rt::ThreadPool pool(4);
+  IncrementalFitState serial_state, pooled_state;
+  ASSERT_TRUE(serial_state.refresh(data, shape, theta).has_value());
+  ASSERT_TRUE(pooled_state
+                  .refresh(data, shape, theta, pool.batch_runner())
+                  .has_value());
+  append_samples(data, 5, 200);
+  auto s = serial_state.refresh(data, shape, theta);
+  auto p = pooled_state.refresh(data, shape, theta, pool.batch_runner());
+  ASSERT_TRUE(s.has_value());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(serial_state.stats().extends, 1u);
+  EXPECT_EQ(pooled_state.stats().extends, 1u);
+  expect_models_bitwise_equal(*s, *p, 94);
+}
+
+TEST(IncrementalFit, ThetaChangeRebuildsButKeepsOrdering) {
+  MultiTaskData data = random_data(2, 6, 2, 34);
+  LcmShape shape{1, 2, 2};
+  const auto theta_a = smooth_theta(shape, 8);
+  const auto theta_b = smooth_theta(shape, 9);
+
+  IncrementalFitState state;
+  ASSERT_TRUE(state.refresh(data, shape, theta_a).has_value());
+  append_samples(data, 2, 300);
+  // New hyperparameters: must refactorize...
+  ASSERT_TRUE(state.refresh(data, shape, theta_b).has_value());
+  EXPECT_EQ(state.stats().rebuilds, 2u);
+  EXPECT_EQ(state.stats().extends, 0u);
+  EXPECT_EQ(state.stats().ordering_resets, 0u);
+  // ...but the ordering survived, so a same-theta append extends again.
+  append_samples(data, 2, 301);
+  ASSERT_TRUE(state.refresh(data, shape, theta_b).has_value());
+  EXPECT_EQ(state.stats().extends, 1u);
+}
+
+TEST(IncrementalFit, PrefixEditResetsOrdering) {
+  MultiTaskData data = random_data(2, 6, 2, 35);
+  LcmShape shape{1, 2, 2};
+  const auto theta = smooth_theta(shape, 10);
+
+  IncrementalFitState state;
+  ASSERT_TRUE(state.refresh(data, shape, theta).has_value());
+  // A re-encoded feature (the §3.3 performance-model normalization moving)
+  // rewrites previously seen x rows: the ordering must restart.
+  data.x[0](1, 0) += 0.25;
+  ASSERT_TRUE(state.refresh(data, shape, theta).has_value());
+  EXPECT_EQ(state.stats().ordering_resets, 1u);
+  EXPECT_EQ(state.stats().rebuilds, 2u);
+  EXPECT_EQ(state.stats().extends, 0u);
+}
+
+TEST(IncrementalFit, ShrinkingHistoryResetsOrdering) {
+  MultiTaskData data = random_data(2, 6, 2, 36);
+  LcmShape shape{1, 2, 2};
+  const auto theta = smooth_theta(shape, 11);
+
+  IncrementalFitState state;
+  ASSERT_TRUE(state.refresh(data, shape, theta).has_value());
+  data.x[1] = data.x[1].block(0, 0, 4, 2);
+  data.y[1].resize(4);
+  ASSERT_TRUE(state.refresh(data, shape, theta).has_value());
+  EXPECT_EQ(state.stats().ordering_resets, 1u);
+}
+
+TEST(IncrementalFit, JitteredFactorIsNeverExtended) {
+  // Duplicate samples with a vanishing nugget force the jitter fallback;
+  // a jittered factor is inexact, so the next refresh must rebuild even
+  // when theta is unchanged and the growth is append-only.
+  MultiTaskData data = random_data(1, 4, 2, 37);
+  data.x[0] = Matrix(8, 2);
+  data.y[0].assign(8, 0.0);
+  Rng rng(38);
+  for (std::size_t j = 0; j < 4; ++j) {
+    const double a = rng.uniform(), b = rng.uniform();
+    // Each point twice: the covariance is singular up to the nugget.
+    for (std::size_t copy = 0; copy < 2; ++copy) {
+      data.x[0](2 * j + copy, 0) = a;
+      data.x[0](2 * j + copy, 1) = b;
+      data.y[0][2 * j + copy] = rng.normal();
+    }
+  }
+  LcmShape shape{1, 2, 1};
+  auto theta = smooth_theta(shape, 12);
+  theta[shape.idx_log_d(0)] = std::log(1e-300);  // nugget below rounding
+
+  IncrementalFitState state;
+  auto first = state.refresh(data, shape, theta);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_GT(state.jitter(), 0.0);
+  EXPECT_EQ(state.stats().rebuilds, 1u);
+
+  append_samples(data, 2, 400);
+  auto second = state.refresh(data, shape, theta);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(state.stats().extends, 0u);
+  EXPECT_EQ(state.stats().rebuilds, 2u);
+}
+
+TEST(GpRegressionExtend, BitwiseEqualsRebuildOnConcatenatedData) {
+  const std::size_t n = 40, k = 7, d = 2;
+  Rng rng(41);
+  Matrix x(n + k, d);
+  Vector y(n + k);
+  for (std::size_t i = 0; i < n + k; ++i) {
+    for (std::size_t m = 0; m < d; ++m) x(i, m) = rng.uniform();
+    y[i] = rng.normal();
+  }
+  GpHyperparameters hp;
+  hp.lengthscales = {0.4, 0.6};
+  hp.signal_variance = 1.3;
+  hp.noise_variance = 1e-4;
+
+  auto full = GpRegression::with_hyperparameters(x, y, hp);
+  ASSERT_TRUE(full.has_value());
+
+  const Matrix x_old = x.block(0, 0, n, d);
+  const Vector y_old(y.begin(), y.begin() + n);
+  const Matrix x_new = x.block(n, 0, k, d);
+  const Vector y_new(y.begin() + n, y.end());
+  auto gp = GpRegression::with_hyperparameters(x_old, y_old, hp);
+  ASSERT_TRUE(gp.has_value());
+  ASSERT_TRUE(gp->extend(x_new, y_new));
+
+  EXPECT_EQ(gp->log_marginal_likelihood(), full->log_marginal_likelihood());
+  for (int p = 0; p < 5; ++p) {
+    Vector probe(d);
+    for (auto& v : probe) v = rng.uniform();
+    const auto pe = gp->predict(probe);
+    const auto pf = full->predict(probe);
+    EXPECT_EQ(pe.mean, pf.mean);
+    EXPECT_EQ(pe.variance, pf.variance);
+  }
+}
+
+TEST(GpRegressionExtend, RefusesJitteredFactor) {
+  // Two identical points at zero noise: the exact factorization fails, the
+  // jitter fallback builds the posterior, and extend() must then refuse
+  // (an extension of an inexact factor would not match a rebuild).
+  Matrix x(2, 1);
+  x(0, 0) = 0.5;
+  x(1, 0) = 0.5;
+  Vector y = {1.0, 1.0};
+  GpHyperparameters hp;
+  hp.lengthscales = {0.5};
+  hp.signal_variance = 1.0;
+  hp.noise_variance = 0.0;
+
+  auto gp = GpRegression::with_hyperparameters(x, y, hp);
+  ASSERT_TRUE(gp.has_value());
+  Matrix x_new(1, 1);
+  x_new(0, 0) = 0.9;
+  EXPECT_FALSE(gp->extend(x_new, {2.0}));
+}
+
+}  // namespace

@@ -401,6 +401,34 @@ TEST(GptuneLint, FlagsUnorderedIterationIncludingAliases) {
                   .empty());
 }
 
+TEST(GptuneLint, FlagsFullRefactorInRefitHotPath) {
+  // Direct O(N^3) factorizations in the gp/core refit path must go through
+  // IncrementalFitState (DESIGN.md §3.10) or carry a deliberate
+  // suppression; the linalg layer implements the factorizations and the
+  // tests/benches compare against them on purpose.
+  const std::string blocked = "auto f = linalg::blocked_cholesky(k, 128);\n";
+  const std::string jittered =
+      "auto f = CholeskyFactor::factor_with_jitter(k, 1e-10, 1e-2, &j);\n";
+  auto f = lint_snippet("src/gp/x.cpp", blocked);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "full-refactor");
+  EXPECT_EQ(lint_snippet("src/core/x.cpp", jittered).size(), 1u);
+  // The extension entry points are the sanctioned alternative, not a hit.
+  EXPECT_TRUE(lint_snippet("src/gp/x.cpp",
+                           "ok = linalg::blocked_cholesky_extend(w, n0, 128);\n")
+                  .empty());
+  // Out-of-scope layers: factorization home, tests, tools.
+  EXPECT_TRUE(lint_snippet("src/linalg/blocked_cholesky.cpp", blocked).empty());
+  EXPECT_TRUE(lint_snippet("tests/test_linalg.cpp", blocked).empty());
+  // Deliberate from-scratch sites annotate themselves.
+  std::size_t suppressed = 0;
+  EXPECT_TRUE(lint_snippet("src/gp/x.cpp",
+                           "// gptune-lint: allow(full-refactor)\n" + blocked,
+                           &suppressed)
+                  .empty());
+  EXPECT_EQ(suppressed, 1u);
+}
+
 TEST(GptuneLint, SuppressionOnSameOrPrecedingLine) {
   std::size_t suppressed = 0;
   EXPECT_TRUE(lint_snippet("src/core/x.cpp",

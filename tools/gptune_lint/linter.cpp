@@ -329,6 +329,16 @@ const std::vector<Rule>& pattern_rules() {
        "common::Timer for measurement or the telemetry layer for tracing "
        "(both are observe-only by contract)",
        std::regex("\\b(steady_clock|system_clock)\\s*::\\s*now\\s*\\(")},
+      {"full-refactor",
+       "bans direct full Cholesky refactorization in the GP/tuner refit "
+       "path (src/gp/, src/core/)",
+       "a from-scratch blocked_cholesky/CholeskyFactor::factor in the refit "
+       "path rebuilds the whole O(N^3) factor every iteration; route "
+       "posterior refreshes through gp::IncrementalFitState (or "
+       "blocked_cholesky_extend), or annotate a deliberate cold-path "
+       "refactorization",
+       std::regex("\\b(blocked_cholesky|CholeskyFactor\\s*::\\s*"
+                  "factor(_with_jitter)?)\\s*\\(")},
       {"arrival-recv",
        "bans wildcard (arrival-order) recv() outside src/runtime/ and "
        "core/completion_log",
@@ -355,6 +365,13 @@ bool rule_applies(const std::string& rule, const std::string& path) {
     return path.find("src/common/timer.hpp") == std::string::npos &&
            path.find("src/common/telemetry/") == std::string::npos &&
            path.find("src/runtime/") == std::string::npos;
+  }
+  if (rule == "full-refactor") {
+    // Only the refit hot path is policed: the GP stack and the tuner core.
+    // linalg/ implements the factorizations, and tests/tools/bench compare
+    // against the full refactorization on purpose.
+    return path.find("src/gp/") != std::string::npos ||
+           path.find("src/core/") != std::string::npos;
   }
   if (rule == "arrival-recv") {
     // Completion ordering is only allowed to be arrival-dependent inside
