@@ -20,6 +20,17 @@
 #           under GPTUNE_REPLAY of the recorded completion log, and asserts
 #           the two trajectories are bitwise identical — the async
 #           pipeline's replay-determinism contract (§3.9)
+#   threadsafety — Clang build tree (build-threadsafety/) with
+#           -Wthread-safety -Werror over the annotated sync layer
+#           (common/annotations.hpp, DESIGN.md §3.11), plus the negative
+#           test: the deliberately unguarded access in
+#           tests/lint_fixtures/threadsafety_negative.cpp must FAIL to
+#           compile. Skip-passes with a clear message when clang++ is not
+#           installed (the analysis is Clang-only).
+#   tidy  — clang-tidy over src/ and tools/ against the compile database
+#           of a plain configure (build-tidy/); .clang-tidy sets
+#           WarningsAsErrors '*', so every finding fails the lane.
+#           Skip-passes when clang-tidy is not installed.
 #   bench — bench build tree (build-bench/): runs the fast bench axes
 #           (bench_incremental_refit; GPTUNE_BENCH_FULL=1 adds
 #           fig3_parallel_scaling) and gates their speedup/occupancy
@@ -33,18 +44,41 @@
 # (`ctest -L slow` in a regular build).
 #
 # Usage: scripts/check.sh [LANE|all] [build-dir]
+#        scripts/check.sh --list-lanes   # JSON array, single-sources the
+#                                        # CI matrix (.github/workflows)
 #   default lane: asan
-#   (default dirs: build-asan, build-tsan, build-rtcheck, build-trace,
-#    build-bench)
+#   (default dirs: build-asan, build-tsan, build-rtcheck,
+#    build-threadsafety, build-tidy, build-trace, build-bench)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 LANE="${1:-asan}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-# The one list every usage/error message derives from.
-LANES="asan tsan lint trace replay bench"
+# The one list every usage/error message — and the CI matrix — derives from.
+LANES="asan tsan lint threadsafety tidy trace replay bench"
 LANES_HELP="$(echo "${LANES}" | tr ' ' '|')|all"
+
+if [ "${LANE}" = --list-lanes ]; then
+  out=""
+  for l in ${LANES}; do out="${out}\"${l}\","; done
+  echo "[${out%,}]"
+  exit 0
+fi
+
+# Versioned fallbacks for the Clang-only lanes (Debian/Ubuntu install
+# clang++-NN without the bare name unless the meta package is present).
+find_tool() {
+  local base="$1" c
+  for c in "${base}" "${base}-19" "${base}-18" "${base}-17" "${base}-16" \
+           "${base}-15" "${base}-14"; do
+    if command -v "${c}" >/dev/null 2>&1; then
+      echo "${c}"
+      return 0
+    fi
+  done
+  return 1
+}
 
 run_lane() {
   local lane="$1" build_dir="$2"
@@ -76,6 +110,64 @@ run_lane() {
     # The tree must be lint-clean (suppressions are deliberate, annotated).
     "${build_dir}/tools/gptune_lint/gptune_lint" src tests tools
   fi
+}
+
+# Static thread-safety analysis (DESIGN.md §3.11): build the library tree
+# with Clang's -Wthread-safety under -Werror — every GPTUNE_GUARDED_BY
+# member access must hold the mutex — then require the deliberately
+# unguarded fixture to FAIL, proving the annotations are live. Clang-only;
+# a clear skip-pass elsewhere so the lane is safe in every environment.
+run_threadsafety_lane() {
+  local build_dir="$1"
+  local clangxx
+  if ! clangxx="$(find_tool clang++)"; then
+    echo "threadsafety lane: SKIPPED — clang++ not found (Clang implements -Wthread-safety; GCC/MSVC compile the annotations away)"
+    return 0
+  fi
+
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_COMPILER="${clangxx}" \
+    -DGPTUNE_WERROR=ON \
+    -DGPTUNE_THREAD_SAFETY=ON \
+    -DGPTUNE_BUILD_TESTS=OFF \
+    -DGPTUNE_BUILD_BENCH=OFF \
+    -DGPTUNE_BUILD_EXAMPLES=OFF
+  cmake --build "${build_dir}" -j "${JOBS}"
+
+  # The negative test: an unguarded access to a GPTUNE_GUARDED_BY member
+  # must be rejected. If this fixture ever compiles, the annotations have
+  # gone inert and the clean tree build above proves nothing.
+  if "${clangxx}" -std=c++20 -fsyntax-only -Isrc -Wthread-safety -Werror \
+      tests/lint_fixtures/threadsafety_negative.cpp 2>/dev/null; then
+    echo "threadsafety lane: the unguarded fixture compiled cleanly — the thread-safety annotations are inert" >&2
+    exit 1
+  fi
+  echo "threadsafety lane: tree clean under -Wthread-safety -Werror; unguarded fixture rejected"
+}
+
+# clang-tidy over the library and tool sources, driven by the compile
+# database of a plain configure. .clang-tidy sets WarningsAsErrors '*', so
+# any finding fails the lane.
+run_tidy_lane() {
+  local build_dir="$1"
+  local tidy
+  if ! tidy="$(find_tool clang-tidy)"; then
+    echo "tidy lane: SKIPPED — clang-tidy not found"
+    return 0
+  fi
+
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGPTUNE_BUILD_TESTS=OFF \
+    -DGPTUNE_BUILD_BENCH=OFF \
+    -DGPTUNE_BUILD_EXAMPLES=OFF
+
+  local files
+  files="$(find src tools -name '*.cpp' | sort)"
+  # shellcheck disable=SC2086
+  "${tidy}" -p "${build_dir}" --quiet ${files}
+  echo "tidy lane: clean over $(echo "${files}" | wc -l) translation unit(s)"
 }
 
 # Trace smoke: the same quickstart run with and without telemetry must land
@@ -179,6 +271,8 @@ case "${LANE}" in
     run_lane asan "${2:-build-asan}"
     run_lane tsan "${2:-build-tsan}"
     run_lane lint "${2:-build-rtcheck}"
+    run_threadsafety_lane "${2:-build-threadsafety}"
+    run_tidy_lane "${2:-build-tidy}"
     run_trace_lane "${2:-build-trace}"
     run_replay_lane "${2:-build-trace}"
     run_bench_lane "${2:-build-bench}"
@@ -191,6 +285,12 @@ case "${LANE}" in
     ;;
   lint)
     run_lane lint "${2:-build-rtcheck}"
+    ;;
+  threadsafety)
+    run_threadsafety_lane "${2:-build-threadsafety}"
+    ;;
+  tidy)
+    run_tidy_lane "${2:-build-tidy}"
     ;;
   trace)
     run_trace_lane "${2:-build-trace}"

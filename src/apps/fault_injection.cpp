@@ -38,7 +38,7 @@ std::vector<double> FaultInjector::operator()(
   if (crash || nan || hang) {
     bool healed = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       if (spec_.heal_after > 0) {
         std::size_t& failed = attempts_[key];
         if (failed >= spec_.heal_after) {

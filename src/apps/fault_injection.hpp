@@ -17,9 +17,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
 #include "core/eval_engine.hpp"
 
 namespace gptune::apps {
@@ -53,7 +54,7 @@ class FaultInjector {
 
   /// Total faults injected so far (all kinds).
   std::size_t faults_injected() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return faults_injected_;
   }
 
@@ -61,10 +62,11 @@ class FaultInjector {
   core::MultiObjectiveFn inner_;
   FaultSpec spec_;
 
-  mutable std::mutex mutex_;
+  mutable common::Mutex mutex_;
   /// Failed-attempt count per (task, config) hash, for heal_after.
-  mutable std::unordered_map<std::uint64_t, std::size_t> attempts_;
-  mutable std::size_t faults_injected_ = 0;
+  mutable std::unordered_map<std::uint64_t, std::size_t> attempts_
+      GPTUNE_GUARDED_BY(mutex_);
+  mutable std::size_t faults_injected_ GPTUNE_GUARDED_BY(mutex_) = 0;
 };
 
 /// Convenience: a MultiObjectiveFn wrapping `inner` with `spec`'s faults

@@ -1,0 +1,72 @@
+// Clang thread-safety capability attributes, compiled away elsewhere.
+//
+// The GPTUNE_* macros wrap __attribute__((...)) spellings understood by
+// Clang's -Wthread-safety analysis, which proves at compile time that every
+// access to a GPTUNE_GUARDED_BY(mu) member happens with `mu` held, that
+// GPTUNE_REQUIRES(mu) functions are only called under the lock, and that
+// lock/unlock pairs balance on every path. GCC and MSVC do not implement
+// the analysis, so the macros expand to nothing there and the annotations
+// cost nothing.
+//
+// The annotations only work on types that are themselves annotated as
+// capabilities — libstdc++'s std::mutex is not — so the repo's lockable
+// types live in common/sync.hpp (gptune::common::Mutex/MutexLock/CondVar)
+// and every mutex-bearing layer uses those. The `threadsafety` lane
+// (scripts/check.sh threadsafety) builds the tree with Clang and
+// -Wthread-safety -Werror; DESIGN.md §3.11 documents the layer.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define GPTUNE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GPTUNE_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a capability (a lock). `x` names it in diagnostics.
+#define GPTUNE_CAPABILITY(x) GPTUNE_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define GPTUNE_SCOPED_CAPABILITY GPTUNE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data members: may only be read/written while `x` is held.
+#define GPTUNE_GUARDED_BY(x) GPTUNE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer members: the pointed-to data is guarded by `x` (the pointer
+/// itself is not).
+#define GPTUNE_PT_GUARDED_BY(x) GPTUNE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Functions: the caller must hold the capability (or capabilities).
+#define GPTUNE_REQUIRES(...) \
+  GPTUNE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Functions: acquire the capability; the caller must not hold it.
+#define GPTUNE_ACQUIRE(...) \
+  GPTUNE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Functions: release the capability; the caller must hold it.
+#define GPTUNE_RELEASE(...) \
+  GPTUNE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Functions: acquire the capability iff the return value equals `b`.
+#define GPTUNE_TRY_ACQUIRE(b, ...) \
+  GPTUNE_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Functions: the caller must NOT hold the capability (deadlock guard).
+#define GPTUNE_EXCLUDES(...) \
+  GPTUNE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Assertion points: the capability is known to be held here.
+#define GPTUNE_ASSERT_CAPABILITY(x) \
+  GPTUNE_THREAD_ANNOTATION(assert_capability(x))
+
+/// Functions returning a reference to a capability.
+#define GPTUNE_RETURN_CAPABILITY(x) \
+  GPTUNE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for functions whose locking is deliberately outside the
+/// analysis (cross-thread pokes in rtcheck, documented snapshot reads).
+/// Every use carries a comment saying why, and the lock-discipline lint
+/// rule still polices the call sites.
+#define GPTUNE_NO_THREAD_SAFETY_ANALYSIS \
+  GPTUNE_THREAD_ANNOTATION(no_thread_safety_analysis)

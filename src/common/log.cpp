@@ -3,9 +3,10 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
 #include <utility>
 
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
 #include "common/telemetry/telemetry.hpp"
 
 namespace gptune::common {
@@ -14,11 +15,11 @@ namespace {
 
 std::atomic<bool> g_level_initialized{false};
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_io_mutex;
+Mutex g_io_mutex;
 
-// Guarded by g_io_mutex. Leaked on purpose: logging may run during static
-// teardown, after a static sink's destructor would have fired.
-LogSink* g_sink = new LogSink;
+// Leaked on purpose: logging may run during static teardown, after a
+// static sink's destructor would have fired.
+LogSink* const g_sink GPTUNE_PT_GUARDED_BY(g_io_mutex) = new LogSink;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -59,7 +60,7 @@ LogLevel log_level() {
 }
 
 void set_log_sink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(g_io_mutex);
+  MutexLock lock(g_io_mutex);
   *g_sink = std::move(sink);
 }
 
@@ -69,7 +70,7 @@ void log_message(LogLevel level, const std::string& message) {
   std::ostringstream os;
   os << "[" << level_name(level) << "][" << id.role << "/" << id.rank << "] "
      << message;
-  std::lock_guard<std::mutex> lock(g_io_mutex);
+  MutexLock lock(g_io_mutex);
   if (*g_sink) {
     (*g_sink)(os.str());
   } else {

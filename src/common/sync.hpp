@@ -1,0 +1,103 @@
+// Annotated synchronization primitives for the thread-safety analysis.
+//
+// Clang's -Wthread-safety can only reason about lock types that carry
+// capability attributes, and libstdc++'s std::mutex does not. These thin
+// wrappers add the attributes (common/annotations.hpp) without changing
+// behavior: Mutex IS-A std::mutex for locking purposes, MutexLock is a
+// relockable scoped guard over it, and CondVar waits on a MutexLock. The
+// native() accessors expose the underlying std:: objects for the rtcheck
+// hooks, which identify waits by raw std::mutex*/std::condition_variable*
+// (runtime/rtcheck.hpp) — handing the native handle to a checker does not
+// transfer the capability, so those calls stay inside annotated code.
+//
+// Everything here is header-only and zero-overhead: off Clang the
+// attributes vanish and each wrapper is exactly its std:: member.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.hpp"
+
+namespace gptune::common {
+
+/// std::mutex with capability attributes.
+class GPTUNE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GPTUNE_ACQUIRE() { mu_.lock(); }
+  void unlock() GPTUNE_RELEASE() { mu_.unlock(); }
+  bool try_lock() GPTUNE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The raw handle, for rtcheck wait registration and CondVar interop.
+  /// Locking through it bypasses the analysis — only hand it to code that
+  /// identifies the mutex rather than acquires it.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped guard over a Mutex (a relockable std::unique_lock): acquires in
+/// the constructor, releases in the destructor, and supports mid-scope
+/// unlock()/lock() pairs (the mailbox wait loops need them).
+class GPTUNE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GPTUNE_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() GPTUNE_RELEASE() = default;
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() GPTUNE_RELEASE() { lock_.unlock(); }
+  void lock() GPTUNE_ACQUIRE() { lock_.lock(); }
+  bool owns_lock() const { return lock_.owns_lock(); }
+
+  /// The raw handle, for CondVar::wait* — which unlocks and relocks it,
+  /// leaving the capability state unchanged across the call.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable waiting on a MutexLock. The waits are not
+/// annotated with capability requirements (a scoped guard is not a
+/// capability expression); the caller holds the lock by construction and
+/// the guarded-member accesses around the wait keep the analysis honest.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(MutexLock& lock) { cv_.wait(lock.native()); }
+
+  /// Predicate waits: `pred` runs with the lock held. Under Clang, write
+  /// the lambda as `[&]() GPTUNE_REQUIRES(mu) { ... }` when it touches
+  /// guarded members, so the analysis knows the lock protects the body.
+  template <typename Pred>
+  void wait(MutexLock& lock, Pred pred) GPTUNE_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(lock.native(), std::move(pred));
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.native(), deadline);
+  }
+
+  /// The raw handle, for rtcheck wait registration.
+  std::condition_variable& native() { return cv_; }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gptune::common

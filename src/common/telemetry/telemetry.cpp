@@ -2,8 +2,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
 
 #if defined(GPTUNE_TELEMETRY)
 #include <bit>
@@ -62,15 +64,16 @@ struct Track {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
-  std::vector<Track> tracks;
-  std::map<std::string, Counter> counters;
-  std::map<std::string, Gauge> gauges;
-  std::map<std::string, Histogram> histograms;
-  std::string trace_path;
-  std::string metrics_path;
-  bool atexit_registered = false;
+  common::Mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers
+      GPTUNE_GUARDED_BY(mutex);
+  std::vector<Track> tracks GPTUNE_GUARDED_BY(mutex);
+  std::map<std::string, Counter> counters GPTUNE_GUARDED_BY(mutex);
+  std::map<std::string, Gauge> gauges GPTUNE_GUARDED_BY(mutex);
+  std::map<std::string, Histogram> histograms GPTUNE_GUARDED_BY(mutex);
+  std::string trace_path GPTUNE_GUARDED_BY(mutex);
+  std::string metrics_path GPTUNE_GUARDED_BY(mutex);
+  bool atexit_registered GPTUNE_GUARDED_BY(mutex) = false;
 };
 
 // Leaked on purpose: flush() may run from atexit, after static destructors
@@ -97,7 +100,7 @@ double now_us() {
       .count();
 }
 
-void register_atexit_locked(Registry& r) {
+void register_atexit_locked(Registry& r) GPTUNE_REQUIRES(r.mutex) {
   if (r.atexit_registered) return;
   r.atexit_registered = true;
   std::atexit([] { flush(); });
@@ -107,7 +110,7 @@ void register_atexit_locked(Registry& r) {
 void init_from_env(std::atomic<int>& flag, const char* env_var,
                    std::string Registry::* path_member) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  common::MutexLock lock(r.mutex);
   if (flag.load(std::memory_order_relaxed) != -1) return;  // lost the race
   const char* value = std::getenv(env_var);
   if (value != nullptr && value[0] != '\0') {
@@ -131,7 +134,7 @@ void record(const TraceEvent& event) {
     auto owned = std::make_unique<ThreadBuffer>();
     t_tls.buffer = owned.get();
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    common::MutexLock lock(r.mutex);
     r.buffers.push_back(std::move(owned));
   }
   ThreadBuffer& buf = *t_tls.buffer;
@@ -207,7 +210,7 @@ void set_identity(const char* role, int rank) {
   Registry& r = registry();
   int id = 0;
   {
-    std::lock_guard<std::mutex> lock(r.mutex);
+    common::MutexLock lock(r.mutex);
     id = static_cast<int>(r.tracks.size());
     r.tracks.push_back({role, rank});
   }
@@ -217,7 +220,7 @@ void set_identity(const char* role, int rank) {
 Identity identity() {
   if (t_tls.track < 0) return {};
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  common::MutexLock lock(r.mutex);
   const Track& t = r.tracks[static_cast<std::size_t>(t_tls.track)];
   return {t.role, t.rank};
 }
@@ -253,7 +256,7 @@ bool metrics_enabled() {
 
 void configure_trace(std::string path) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  common::MutexLock lock(r.mutex);
   const bool on = !path.empty();
   r.trace_path = std::move(path);
   if (on) register_atexit_locked(r);
@@ -262,7 +265,7 @@ void configure_trace(std::string path) {
 
 void configure_metrics(std::string path) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  common::MutexLock lock(r.mutex);
   const bool on = !path.empty();
   r.metrics_path = std::move(path);
   if (on) register_atexit_locked(r);
@@ -371,19 +374,19 @@ std::uint64_t Histogram::bucket_count(std::size_t bucket) const {
 
 Counter& counter(const std::string& name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  common::MutexLock lock(r.mutex);
   return r.counters[name];
 }
 
 Gauge& gauge(const std::string& name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  common::MutexLock lock(r.mutex);
   return r.gauges[name];
 }
 
 Histogram& histogram(const std::string& name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  common::MutexLock lock(r.mutex);
   return r.histograms[name];
 }
 
@@ -399,7 +402,7 @@ std::string trace_json() {
     first = false;
   };
 
-  std::lock_guard<std::mutex> lock(r.mutex);
+  common::MutexLock lock(r.mutex);
   os << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
         "\"args\":{\"name\":\"gptune\"}}";
   first = false;
@@ -450,7 +453,7 @@ std::string trace_json() {
 std::string metrics_json() {
   Registry& r = registry();
   std::ostringstream os;
-  std::lock_guard<std::mutex> lock(r.mutex);
+  common::MutexLock lock(r.mutex);
 
   os << "{\n  \"counters\": {";
   bool first = true;
@@ -503,7 +506,7 @@ void flush() {
   std::string trace_path, metrics_path;
   {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    common::MutexLock lock(r.mutex);
     trace_path = r.trace_path;
     metrics_path = r.metrics_path;
   }
@@ -519,7 +522,7 @@ void flush() {
 
 void reset_for_testing() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  common::MutexLock lock(r.mutex);
   // Buffers are owned by live threads; drop only events already published.
   // The simple, safe reset: forget finished buffers is impossible without
   // a thread handshake, so zero the metric values and leave trace buffers

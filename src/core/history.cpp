@@ -18,13 +18,13 @@ bool task_matches(const TaskVector& a, const TaskVector& b, double tol) {
 }  // namespace
 
 void HistoryDb::add(HistoryRecord record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   records_.push_back(std::move(record));
 }
 
 std::vector<HistoryRecord> HistoryDb::for_task(const TaskVector& task,
                                                double tol) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<HistoryRecord> out;
   for (const auto& r : records_) {
     if (task_matches(r.task, task, tol)) out.push_back(r);
@@ -34,7 +34,7 @@ std::vector<HistoryRecord> HistoryDb::for_task(const TaskVector& task,
 
 std::optional<HistoryRecord> HistoryDb::best_for_task(
     const TaskVector& task, std::size_t objective_index, double tol) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::optional<HistoryRecord> best;
   double best_value = std::numeric_limits<double>::infinity();
   for (const auto& r : records_) {
@@ -50,7 +50,7 @@ std::optional<HistoryRecord> HistoryDb::best_for_task(
 
 void HistoryDb::merge(const HistoryDb& other) {
   auto theirs = other.snapshot();
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   records_.insert(records_.end(), std::make_move_iterator(theirs.begin()),
                   std::make_move_iterator(theirs.end()));
 }
@@ -60,7 +60,7 @@ bool HistoryDb::save(const std::string& path) const {
   if (!os) return false;
   os << "gptune-history v1\n";
   os.precision(17);
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (const auto& r : records_) {
     os << r.task.size() << " " << r.config.size() << " "
        << r.objectives.size();

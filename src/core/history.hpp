@@ -7,11 +7,12 @@
 // pre-existing samples for matching tasks.
 #pragma once
 
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
 #include "core/space.hpp"
 
 namespace gptune::core {
@@ -36,7 +37,7 @@ class HistoryDb {
   HistoryDb& operator=(const HistoryDb& other) {
     if (this != &other) {
       auto copy = other.snapshot();
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       records_ = std::move(copy);
     }
     return *this;
@@ -44,16 +45,22 @@ class HistoryDb {
   HistoryDb& operator=(HistoryDb&& other) noexcept {
     if (this != &other) {
       auto taken = other.take();
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       records_ = std::move(taken);
     }
     return *this;
   }
 
   void add(HistoryRecord record);
-  const std::vector<HistoryRecord>& records() const { return records_; }
+  /// The documented escape hatch: hands out the store without the mutex
+  /// (hence no analysis), for quiescent snapshot reads only. Call sites
+  /// outside this file must carry a reasoned lock-discipline suppression.
+  const std::vector<HistoryRecord>& records() const
+      GPTUNE_NO_THREAD_SAFETY_ANALYSIS {
+    return records_;
+  }
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return records_.size();
   }
 
@@ -78,16 +85,16 @@ class HistoryDb {
 
  private:
   std::vector<HistoryRecord> snapshot() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return records_;
   }
   std::vector<HistoryRecord> take() noexcept {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return std::move(records_);
   }
 
-  mutable std::mutex mutex_;
-  std::vector<HistoryRecord> records_;
+  mutable common::Mutex mutex_;
+  std::vector<HistoryRecord> records_ GPTUNE_GUARDED_BY(mutex_);
 };
 
 }  // namespace gptune::core

@@ -275,10 +275,11 @@ void MultitaskTuner::modeling_phase(State& state, bool refit) {
       fit.pool = state.model_pool.get();
       fit.warm_start = state.warm_theta[s];
       // The posterior is assembled by the incremental fit state below, not
-      // by fit_lcm's own LcmModel::build.
+      // by fit_lcm's own LcmModel::build — the call is for fit_stats (the
+      // optimized theta and per-restart times), so the model is discarded.
       fit.build_posterior = false;
       gp::LcmFitStats fit_stats;
-      gp::fit_lcm(data, fit, &fit_stats);
+      (void)gp::fit_lcm(data, fit, &fit_stats);
       // Virtual modeling time: the measured per-restart times
       // list-scheduled over the model workers (makespan), instead of their
       // wall-clock sum on this host.

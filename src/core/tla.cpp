@@ -25,7 +25,8 @@ std::optional<Config> transfer_best_config(const HistoryDb& history,
   // Group records by task vector (exact match keys the archive's tasks).
   std::map<TaskVector, SourceTask> sources;
   // Snapshot read of a quiescent archive: transfer runs before any worker
-  // writes to the db.  gptune-lint: allow(history-direct)
+  // gptune-lint: allow(lock-discipline) reason: snapshot read of a
+  // quiescent archive; transfer runs before any worker writes to the db
   for (const auto& r : history.records()) {
     if (r.task.size() != task_space.dim()) continue;
     if (r.config.size() != tuning_space.dim()) continue;
@@ -136,7 +137,9 @@ std::vector<TlaEvaluation> transfer_and_evaluate(
                     options.evaluation, &history);
   // Seed the penalty baseline from the archive's clean observations, as a
   // continued MLA run would. Quiescent snapshot read: the engine has not
-  // started yet.  gptune-lint: allow(history-direct)
+  // started yet.
+  // gptune-lint: allow(lock-discipline) reason: quiescent snapshot read
+  // before the evaluation engine spawns any writer
   for (const auto& r : history.records()) {
     engine.observe(r.objectives);
   }

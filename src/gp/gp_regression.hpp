@@ -53,11 +53,12 @@ class GpRegression {
  public:
   /// Fits hyperparameters by maximizing the log marginal likelihood.
   /// Returns nullopt only if every restart fails to factor the kernel.
-  static std::optional<GpRegression> fit(const Matrix& x, const Vector& y,
+  [[nodiscard]] static std::optional<GpRegression> fit(
+      const Matrix& x, const Vector& y,
                                          const GpFitOptions& options = {});
 
   /// Builds the posterior at fixed hyperparameters (no optimization).
-  static std::optional<GpRegression> with_hyperparameters(
+  [[nodiscard]] static std::optional<GpRegression> with_hyperparameters(
       const Matrix& x, const Vector& y, const GpHyperparameters& hp,
       const linalg::TaskBatchRunner& runner = linalg::serial_runner());
 
@@ -73,7 +74,7 @@ class GpRegression {
   /// current factor was built with jitter (extension would not be exact)
   /// or the extended matrix is not PD; rebuild via with_hyperparameters
   /// in that case.
-  bool extend(const Matrix& x_new, const Vector& y_new,
+  [[nodiscard]] bool extend(const Matrix& x_new, const Vector& y_new,
               const linalg::TaskBatchRunner& runner = linalg::serial_runner());
 
   double log_marginal_likelihood() const { return lml_; }
@@ -82,7 +83,7 @@ class GpRegression {
   /// Log marginal likelihood and its gradient w.r.t. packed theta; the
   /// workhorse behind fit() and the target of the gradient unit tests.
   /// `runner` parallelizes the blocked factorization of the kernel matrix.
-  static std::optional<double> lml_and_gradient(
+  [[nodiscard]] static std::optional<double> lml_and_gradient(
       const Matrix& x, const Vector& y, const std::vector<double>& theta,
       std::vector<double>* grad,
       const linalg::TaskBatchRunner& runner = linalg::serial_runner());

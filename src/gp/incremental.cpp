@@ -147,11 +147,13 @@ std::optional<LcmModel> IncrementalFitState::refresh(
   if (!extended) {
     const Matrix k = lcm_covariance(shape, theta, all_x_, task_of_);
     // The cold path: hyperparameter restarts, ordering resets, and the
-    // non-PD fallback refactorize in full.  gptune-lint: allow(full-refactor)
+    // non-PD fallback refactorize in full.
+    // gptune-lint: allow(full-refactor) reason: the cold path by design;
+    // warm-started appends take the extend branch above
     auto factor = linalg::blocked_cholesky(k, kBlockSize, runner);
     double applied = 0.0;
     if (!factor) {
-      // gptune-lint: allow(full-refactor)
+      // gptune-lint: allow(full-refactor) reason: jittered non-PD fallback
       factor = linalg::CholeskyFactor::factor_with_jitter(k, 1e-10, 1e-2,
                                                           &applied);
     }

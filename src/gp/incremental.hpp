@@ -54,7 +54,7 @@ class IncrementalFitState {
   /// generation ordering, so the returned model is bitwise identical to the
   /// extended one. Returns nullopt only if the covariance cannot be
   /// factored even with jitter (the state is invalidated).
-  std::optional<LcmModel> refresh(
+  [[nodiscard]] std::optional<LcmModel> refresh(
       const MultiTaskData& data, const LcmShape& shape,
       const std::vector<double>& theta,
       const linalg::TaskBatchRunner& runner = linalg::serial_runner(),
@@ -71,10 +71,11 @@ class IncrementalFitState {
 
  private:
   /// True when `data` is an append-only extension of the cached ordering.
-  bool append_compatible(const MultiTaskData& data,
+  [[nodiscard]] bool append_compatible(const MultiTaskData& data,
                          const LcmShape& shape) const;
   /// Builds the LcmModel from the cached factor + current data.
-  std::optional<LcmModel> assemble(const MultiTaskData& data) const;
+  [[nodiscard]] std::optional<LcmModel> assemble(
+      const MultiTaskData& data) const;
 
   LcmShape shape_;
   std::vector<double> theta_;

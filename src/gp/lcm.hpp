@@ -141,7 +141,7 @@ class LcmEvaluator {
   /// Log marginal likelihood at `theta` with optional analytic gradient;
   /// same contract as the free lcm_lml. `runner` parallelizes the blocked
   /// covariance factorization (the paper's ScaLAPACK role).
-  std::optional<double> lml(
+  [[nodiscard]] std::optional<double> lml(
       const std::vector<double>& theta, std::vector<double>* grad,
       const linalg::TaskBatchRunner& runner = linalg::serial_runner());
 
@@ -162,7 +162,7 @@ class LcmEvaluator {
 /// (the paper's ScaLAPACK role). Convenience wrapper that builds a
 /// single-use LcmEvalContext; hot loops should hold an LcmEvaluator over a
 /// shared context instead.
-std::optional<double> lcm_lml(
+[[nodiscard]] std::optional<double> lcm_lml(
     const LcmShape& shape, const std::vector<double>& theta,
     const Matrix& all_x, const Vector& all_y,
     const std::vector<std::size_t>& task_of, std::vector<double>* grad,
@@ -178,7 +178,7 @@ class LcmModel {
   /// nullopt if the covariance cannot be factored. `runner` parallelizes
   /// the blocked covariance factorization; the jittered reference
   /// factorization remains the fallback for near-singular covariances.
-  static std::optional<LcmModel> build(
+  [[nodiscard]] static std::optional<LcmModel> build(
       const MultiTaskData& data, const LcmShape& shape,
       std::vector<double> theta,
       const linalg::TaskBatchRunner& runner = linalg::serial_runner());

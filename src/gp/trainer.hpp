@@ -78,7 +78,7 @@ struct LcmFitStats {
 
 /// Fits the LCM hyperparameters on `data` and builds the posterior model.
 /// Returns nullopt if every restart fails to produce a factorizable model.
-std::optional<LcmModel> fit_lcm(const MultiTaskData& data,
+[[nodiscard]] std::optional<LcmModel> fit_lcm(const MultiTaskData& data,
                                 const LcmFitOptions& options,
                                 LcmFitStats* stats = nullptr);
 

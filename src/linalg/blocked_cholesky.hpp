@@ -30,7 +30,7 @@ TaskBatchRunner serial_runner();
 /// (returned via CholeskyFactor) using tiles of `block_size`, dispatching
 /// the independent updates of each step through `runner`.
 /// Returns nullopt on a non-positive pivot.
-std::optional<CholeskyFactor> blocked_cholesky(
+[[nodiscard]] std::optional<CholeskyFactor> blocked_cholesky(
     const Matrix& a, std::size_t block_size,
     const TaskBatchRunner& runner = serial_runner());
 
@@ -58,7 +58,7 @@ std::optional<CholeskyFactor> blocked_cholesky(
 /// Returns false on a non-positive pivot (extended matrix not PD to
 /// working precision); `l`'s new rows are garbage in that case and the
 /// caller should fall back to a full (jittered) refactorization.
-bool blocked_cholesky_extend(Matrix& l, std::size_t n_old,
+[[nodiscard]] bool blocked_cholesky_extend(Matrix& l, std::size_t n_old,
                              std::size_t block_size,
                              const TaskBatchRunner& runner = serial_runner());
 

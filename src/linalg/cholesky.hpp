@@ -17,12 +17,13 @@ class CholeskyFactor {
  public:
   /// Factors `a` (symmetric positive definite). Returns nullopt if a
   /// non-positive pivot is hit (matrix not PD to working precision).
-  static std::optional<CholeskyFactor> factor(const Matrix& a);
+  [[nodiscard]] static std::optional<CholeskyFactor> factor(
+      const Matrix& a);
 
   /// Factors `a + jitter*I`, growing jitter by 10x up to `max_jitter` until
   /// the factorization succeeds. Returns nullopt if even max_jitter fails.
   /// `applied_jitter`, when non-null, receives the jitter actually used.
-  static std::optional<CholeskyFactor> factor_with_jitter(
+  [[nodiscard]] static std::optional<CholeskyFactor> factor_with_jitter(
       const Matrix& a, double initial_jitter = 1e-10,
       double max_jitter = 1e-2, double* applied_jitter = nullptr);
 
@@ -61,6 +62,6 @@ class CholeskyFactor {
 /// In-place unblocked lower Cholesky of the leading n x n of `a`.
 /// Returns false on a non-positive pivot. Upper triangle is left untouched.
 /// Exposed separately so the blocked algorithm can reuse it per diagonal tile.
-bool cholesky_in_place(Matrix& a);
+[[nodiscard]] bool cholesky_in_place(Matrix& a);
 
 }  // namespace gptune::linalg

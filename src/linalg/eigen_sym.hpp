@@ -15,7 +15,7 @@ struct EigenSym {
 
 /// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
 /// Robust and simple; O(n^3) per sweep, adequate for test-sized matrices.
-EigenSym eigen_sym(const Matrix& a, double tol = 1e-12,
+[[nodiscard]] EigenSym eigen_sym(const Matrix& a, double tol = 1e-12,
                    std::size_t max_sweeps = 64);
 
 /// Smallest eigenvalue (convenience for PSD checks).

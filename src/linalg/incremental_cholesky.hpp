@@ -24,7 +24,7 @@ void cholesky_rank1_update(Matrix& l, Vector v);
 /// In-place rank-1 downdate: L becomes the factor of A - v v^T.
 /// Returns false (leaving `l` partially rotated — discard it) when the
 /// downdated matrix is not positive definite to working precision.
-bool cholesky_rank1_downdate(Matrix& l, Vector v);
+[[nodiscard]] bool cholesky_rank1_downdate(Matrix& l, Vector v);
 
 /// Rank-k update: columns of `v` (n x k) applied as successive rank-1
 /// updates; L becomes the factor of A + V V^T.
@@ -32,11 +32,12 @@ void cholesky_rank_k_update(Matrix& l, const Matrix& v);
 
 /// Rank-k downdate: L becomes the factor of A - V V^T, or false if any
 /// intermediate downdate loses positive definiteness.
-bool cholesky_rank_k_downdate(Matrix& l, const Matrix& v);
+[[nodiscard]] bool cholesky_rank_k_downdate(Matrix& l, const Matrix& v);
 
 /// Factor of A with row/column `idx` deleted: drops the factor row/column
 /// and repairs the trailing block with a rank-1 *update* by the removed
 /// column (the standard delete-row identity). O(n^2).
-Matrix cholesky_remove_row(const Matrix& l, std::size_t idx);
+[[nodiscard]] Matrix cholesky_remove_row(const Matrix& l,
+                                          std::size_t idx);
 
 }  // namespace gptune::linalg

@@ -15,7 +15,7 @@ namespace gptune::linalg {
 class LuFactor {
  public:
   /// Returns nullopt if the matrix is singular to working precision.
-  static std::optional<LuFactor> factor(const Matrix& a);
+  [[nodiscard]] static std::optional<LuFactor> factor(const Matrix& a);
 
   std::size_t size() const { return lu_.rows(); }
 

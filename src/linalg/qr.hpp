@@ -29,7 +29,8 @@ class QrFactor {
   Vector apply_qt(const Vector& b) const;
 
   /// Minimizes ||A x - b||_2. Returns nullopt if R is numerically singular.
-  std::optional<Vector> solve_least_squares(const Vector& b) const;
+  [[nodiscard]] std::optional<Vector> solve_least_squares(
+      const Vector& b) const;
 
  private:
   QrFactor(Matrix qr, Vector tau) : qr_(std::move(qr)), tau_(std::move(tau)) {}
@@ -38,7 +39,8 @@ class QrFactor {
 };
 
 /// Least squares ||A x - b|| via QR; nullopt if rank-deficient.
-std::optional<Vector> least_squares(const Matrix& a, const Vector& b);
+[[nodiscard]] std::optional<Vector> least_squares(const Matrix& a,
+                                                  const Vector& b);
 
 /// Non-negative least squares (Lawson–Hanson active set):
 /// argmin_{x >= 0} ||A x - b||_2. Always returns (possibly zero) x.

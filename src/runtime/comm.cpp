@@ -13,7 +13,7 @@ namespace detail {
 void Mailbox::post(Message msg) {
   std::size_t depth = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     queue_.push_back(std::move(msg));
     depth = queue_.size();
   }
@@ -40,11 +40,11 @@ std::optional<Message> Mailbox::take_impl(
     int source, int tag,
     const std::optional<std::chrono::steady_clock::time_point>& deadline) {
 #if defined(GPTUNE_RTCHECK)
-  rtcheck::hooks::WaitTokenPtr token =
-      rtcheck::hooks::begin_recv(this, &mutex_, &cv_, source, tag);
+  rtcheck::hooks::WaitTokenPtr token = rtcheck::hooks::begin_recv(
+      this, &mutex_.native(), &cv_.native(), source, tag);
   bool analyzed = false;
 #endif
-  std::unique_lock<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (;;) {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (matches(*it, source, tag)) {
@@ -120,7 +120,7 @@ std::optional<Message> Mailbox::take(int source, int tag,
 }
 
 bool Mailbox::try_take(int source, int tag, Message* out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
     if (matches(*it, source, tag)) {
       *out = std::move(*it);
@@ -132,14 +132,14 @@ bool Mailbox::try_take(int source, int tag, Message* out) {
 }
 
 bool Mailbox::has_matching(int source, int tag) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return std::any_of(queue_.begin(), queue_.end(), [&](const Message& m) {
     return matches(m, source, tag);
   });
 }
 
 std::vector<std::tuple<int, int, std::size_t>> Mailbox::leftover() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<std::tuple<int, int, std::size_t>> out;
   out.reserve(queue_.size());
   for (const Message& m : queue_) {
@@ -272,10 +272,10 @@ void Comm::barrier() {
 #if defined(GPTUNE_RTCHECK)
   rtcheck::hooks::enter_collective(group_.get(), rank_, "barrier", 0, -1);
   rtcheck::hooks::WaitTokenPtr token = rtcheck::hooks::begin_barrier(
-      group_.get(), rank_, &g.barrier_mutex, &g.barrier_cv);
+      group_.get(), rank_, &g.barrier_mutex.native(), &g.barrier_cv.native());
   bool analyzed = false;
 #endif
-  std::unique_lock<std::mutex> lock(g.barrier_mutex);
+  common::MutexLock lock(g.barrier_mutex);
   const std::size_t my_generation = g.barrier_generation;
 #if defined(GPTUNE_RTCHECK)
   // Recorded under barrier_mutex (== the token's wait mutex) so the analyzer
@@ -317,9 +317,10 @@ void Comm::barrier() {
     lock.unlock();
     rtcheck::hooks::end_wait(token);
 #else
-    g.barrier_cv.wait(lock, [&g, my_generation] {
-      return g.barrier_generation != my_generation;
-    });
+    g.barrier_cv.wait(
+        lock, [&g, my_generation]() GPTUNE_REQUIRES(g.barrier_mutex) {
+          return g.barrier_generation != my_generation;
+        });
 #endif
   }
 }

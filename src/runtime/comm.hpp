@@ -19,16 +19,17 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <tuple>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
 
 namespace gptune::rt {
 
@@ -74,9 +75,9 @@ class Mailbox {
       int source, int tag,
       const std::optional<std::chrono::steady_clock::time_point>& deadline);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
+  mutable common::Mutex mutex_;
+  common::CondVar cv_;
+  std::deque<Message> queue_ GPTUNE_GUARDED_BY(mutex_);
 };
 
 /// Shared state of one intra-communicator group.
@@ -86,10 +87,10 @@ struct GroupState {
   ~GroupState();
   std::vector<Mailbox> mailboxes;
   // Sense-reversing central barrier.
-  std::mutex barrier_mutex;
-  std::condition_variable barrier_cv;
-  std::size_t barrier_count = 0;
-  std::size_t barrier_generation = 0;
+  common::Mutex barrier_mutex;
+  common::CondVar barrier_cv;
+  std::size_t barrier_count GPTUNE_GUARDED_BY(barrier_mutex) = 0;
+  std::size_t barrier_generation GPTUNE_GUARDED_BY(barrier_mutex) = 0;
   std::size_t size = 0;
 };
 

@@ -16,7 +16,9 @@
 #include <sstream>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/log.hpp"
+#include "common/sync.hpp"
 #include "runtime/comm.hpp"
 
 namespace gptune::rt::rtcheck {
@@ -89,19 +91,22 @@ struct ActorKey {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::map<const void*, GroupInfo> groups;
-  std::map<const void*, ChannelInfo> channels;
-  std::map<const void*, EndpointInfo> endpoints;  // Mailbox* -> role
-  std::map<const void*, std::size_t> pools;       // ThreadPool* -> threads
-  std::vector<WaitTokenPtr> waits;
-  std::vector<Finding> findings;
+  common::Mutex mu;
+  std::map<const void*, GroupInfo> groups GPTUNE_GUARDED_BY(mu);
+  std::map<const void*, ChannelInfo> channels GPTUNE_GUARDED_BY(mu);
+  // Mailbox* -> role
+  std::map<const void*, EndpointInfo> endpoints GPTUNE_GUARDED_BY(mu);
+  // ThreadPool* -> threads
+  std::map<const void*, std::size_t> pools GPTUNE_GUARDED_BY(mu);
+  std::vector<WaitTokenPtr> waits GPTUNE_GUARDED_BY(mu);
+  std::vector<Finding> findings GPTUNE_GUARDED_BY(mu);
   /// Async streams: owner (EvalEngine*) -> submitted-but-undelivered ids.
-  std::map<const void*, std::set<std::size_t>> async_owners;
-  std::size_t next_group_id = 0;
-  std::size_t next_channel_id = 0;
-  std::size_t next_pool_id = 0;
-  std::map<const void*, std::size_t> pool_ids;
+  std::map<const void*, std::set<std::size_t>> async_owners
+      GPTUNE_GUARDED_BY(mu);
+  std::size_t next_group_id GPTUNE_GUARDED_BY(mu) = 0;
+  std::size_t next_channel_id GPTUNE_GUARDED_BY(mu) = 0;
+  std::size_t next_pool_id GPTUNE_GUARDED_BY(mu) = 0;
+  std::map<const void*, std::size_t> pool_ids GPTUNE_GUARDED_BY(mu);
 };
 
 Registry& reg() {
@@ -111,19 +116,22 @@ Registry& reg() {
 
 // --- naming (registry mutex held) ---
 
-std::string group_name(Registry& r, const void* group) {
+std::string group_name(Registry& r, const void* group)
+    GPTUNE_REQUIRES(r.mu) {
   auto it = r.groups.find(group);
   if (it == r.groups.end()) return "group#?";
   return "group#" + std::to_string(it->second.id);
 }
 
-std::string channel_name(Registry& r, const void* channel) {
+std::string channel_name(Registry& r, const void* channel)
+    GPTUNE_REQUIRES(r.mu) {
   auto it = r.channels.find(channel);
   if (it == r.channels.end()) return "spawn#?";
   return "spawn#" + std::to_string(it->second.id);
 }
 
-std::string actor_name(Registry& r, const ActorKey& a) {
+std::string actor_name(Registry& r, const ActorKey& a)
+    GPTUNE_REQUIRES(r.mu) {
   if (a.rank < 0) return channel_name(r, a.owner) + " parent";
   if (r.groups.count(a.owner)) {
     return group_name(r, a.owner) + " rank " + std::to_string(a.rank);
@@ -142,7 +150,8 @@ std::string source_name(int source) {
 }
 
 /// The actor a wait token belongs to (who is blocked).
-ActorKey token_actor(Registry& r, const WaitToken& t) {
+ActorKey token_actor(Registry& r, const WaitToken& t)
+    GPTUNE_REQUIRES(r.mu) {
   if (t.kind == 1) {  // barrier: waitable is the GroupState
     return ActorKey{t.waitable, t.source};
   }
@@ -164,7 +173,8 @@ ActorKey token_actor(Registry& r, const WaitToken& t) {
   return ActorKey{};
 }
 
-std::string describe_wait(Registry& r, const WaitToken& t) {
+std::string describe_wait(Registry& r, const WaitToken& t)
+    GPTUNE_REQUIRES(r.mu) {
   std::ostringstream os;
   if (t.kind == 2) {
     os << "thread-pool wait (" << (t.tag == 0 ? "run_batch" : "wait_idle")
@@ -181,13 +191,17 @@ std::string describe_wait(Registry& r, const WaitToken& t) {
   return os.str();
 }
 
-void record_finding(Registry& r, FindingKind kind, std::string message) {
+void record_finding(Registry& r, FindingKind kind, std::string message)
+    GPTUNE_REQUIRES(r.mu) {
   common::log_warn("rtcheck [", kind_name(kind), "] ", message);
   r.findings.push_back(Finding{kind, std::move(message)});
 }
 
 /// Marks a waiter as doomed and wakes it; it unwinds with RtCheckError.
-void poison(const WaitTokenPtr& t, const std::string& why) {
+/// Locks the waiter's raw wait mutex (a std::mutex*, not a capability), so
+/// the function sits outside the thread-safety analysis by design.
+void poison(const WaitTokenPtr& t,
+            const std::string& why) GPTUNE_NO_THREAD_SAFETY_ANALYSIS {
   {
     std::lock_guard<std::mutex> lock(*t->wait_mutex);
     if (t->poisoned) return;
@@ -200,8 +214,11 @@ void poison(const WaitTokenPtr& t, const std::string& why) {
 /// True when the waiter is provably not stuck *right now*: it is unwinding
 /// (poisoned), already satisfied (done), or — for barriers — its generation
 /// has been released and the thread simply has not been scheduled yet.
-/// All fields are read under the waiter's own wait mutex.
-bool waiter_satisfied(const WaitTokenPtr& t) {
+/// All fields are read under the waiter's own wait mutex — including the
+/// barrier generation, whose guarding mutex IS that wait mutex (the token
+/// stores its native handle), a fact the analysis cannot see through the
+/// raw pointer; hence the opt-out.
+bool waiter_satisfied(const WaitTokenPtr& t) GPTUNE_NO_THREAD_SAFETY_ANALYSIS {
   std::lock_guard<std::mutex> lock(*t->wait_mutex);
   if (t->poisoned || t->done) return true;
   if (t->kind == 1) {
@@ -233,7 +250,8 @@ struct Blocked {
 /// done/satisfied flags are ignored so the analysis judges the wait it was
 /// actually stuck in.
 std::vector<Blocked> compute_dead(Registry& r,
-                                  const WaitToken* subject = nullptr) {
+                                  const WaitToken* subject = nullptr)
+    GPTUNE_REQUIRES(r.mu) {
   std::vector<Blocked> nodes;
   std::map<ActorKey, std::size_t> blocked_index;
 
@@ -370,7 +388,8 @@ std::vector<Blocked> compute_dead(Registry& r,
 
 /// Renders the per-rank "who waits on whom, which tag" report and poisons
 /// every provably-stuck waiter. Returns true if anything was reported.
-bool report_and_poison_dead(Registry& r, const std::string& headline) {
+bool report_and_poison_dead(Registry& r, const std::string& headline)
+    GPTUNE_REQUIRES(r.mu) {
   std::vector<Blocked> dead = compute_dead(r);
   if (dead.empty()) return false;
   std::ostringstream os;
@@ -385,7 +404,7 @@ bool report_and_poison_dead(Registry& r, const std::string& headline) {
   return true;
 }
 
-std::string snapshot_waits(Registry& r) {
+std::string snapshot_waits(Registry& r) GPTUNE_REQUIRES(r.mu) {
   std::ostringstream os;
   if (r.waits.empty()) {
     os << "\n  (no other operation is blocked)";
@@ -401,13 +420,13 @@ std::string snapshot_waits(Registry& r) {
 
 std::vector<Finding> findings() {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   return r.findings;
 }
 
 std::size_t count(FindingKind kind) {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   std::size_t n = 0;
   for (const auto& f : r.findings) {
     if (f.kind == kind) ++n;
@@ -417,7 +436,7 @@ std::size_t count(FindingKind kind) {
 
 void reset() {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   r.groups.clear();
   r.channels.clear();
   r.endpoints.clear();
@@ -430,7 +449,7 @@ void reset() {
 
 std::size_t audit_unjoined() {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   std::size_t found = 0;
   for (const auto& [channel, info] : r.channels) {
     if (info.joined) continue;
@@ -445,7 +464,7 @@ std::size_t audit_unjoined() {
 
 std::size_t live_spawn_count() {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   std::size_t live = 0;
   for (const auto& [channel, info] : r.channels) {
     (void)channel;
@@ -456,7 +475,7 @@ std::size_t live_spawn_count() {
 
 std::size_t async_outstanding() {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   std::size_t outstanding = 0;
   for (const auto& [owner, ids] : r.async_owners) {
     (void)owner;
@@ -469,7 +488,7 @@ namespace hooks {
 
 void on_group_created(const detail::GroupState* group) {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   GroupInfo info;
   info.id = r.next_group_id++;
   info.size = group->size;
@@ -485,7 +504,7 @@ void on_group_created(const detail::GroupState* group) {
 void on_group_teardown(const detail::GroupState* group,
                        const std::vector<std::vector<MessageStub>>& leftover) {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   for (std::size_t rank = 0; rank < leftover.size(); ++rank) {
     for (const auto& m : leftover[rank]) {
       record_finding(
@@ -507,7 +526,7 @@ void on_group_teardown(const detail::GroupState* group,
 
 void on_rank_started(const detail::GroupState* group, std::size_t rank) {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   auto git = r.groups.find(group);
   if (git == r.groups.end() || rank >= git->second.rank_state.size()) return;
   git->second.rank_state[rank] = RankState::kRunning;
@@ -515,7 +534,7 @@ void on_rank_started(const detail::GroupState* group, std::size_t rank) {
 
 void on_rank_exited(const detail::GroupState* group, std::size_t rank) {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   auto git = r.groups.find(group);
   if (git == r.groups.end() || rank >= git->second.rank_state.size()) return;
   git->second.rank_state[rank] = RankState::kExited;
@@ -532,7 +551,7 @@ void on_spawn_created(const detail::InterChannel* channel,
   (void)parent_group;
   (void)parent_rank;
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   ChannelInfo info;
   info.id = r.next_channel_id++;
   info.child_group = child_group;
@@ -550,7 +569,7 @@ void on_spawn_created(const detail::InterChannel* channel,
 
 void on_spawn_joined(const detail::InterChannel* channel) {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   auto cit = r.channels.find(channel);
   if (cit == r.channels.end() || cit->second.joined) return;
   cit->second.joined = true;
@@ -564,7 +583,7 @@ void on_channel_teardown(const detail::InterChannel* channel,
                          const std::vector<std::vector<MessageStub>>&
                              to_remote) {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   auto leak = [&](const char* where, std::size_t index, const MessageStub& m) {
     record_finding(
         r, FindingKind::kMessageLeak,
@@ -602,7 +621,7 @@ WaitTokenPtr begin_recv(const detail::Mailbox* box, std::mutex* wait_mutex,
   token->source = source;
   token->tag = tag;
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   r.waits.push_back(token);
   return token;
 }
@@ -617,14 +636,14 @@ WaitTokenPtr begin_barrier(const detail::GroupState* group, std::size_t rank,
   token->waitable = group;
   token->source = static_cast<int>(rank);
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   r.waits.push_back(token);
   return token;
 }
 
 void analyze_blocked(const WaitTokenPtr& token) {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   if (token->analyzed) return;
   token->analyzed = true;
   report_and_poison_dead(r, "deadlock detected");
@@ -632,7 +651,7 @@ void analyze_blocked(const WaitTokenPtr& token) {
 
 void on_deadline_expired(const WaitTokenPtr& token) {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   // The deadline proves nothing by itself; re-run the analysis — if the
   // waiter is provably stuck this is a deadlock, otherwise report the
   // timeout with a wait-for snapshot so a slow peer is visible.
@@ -659,7 +678,7 @@ void on_deadline_expired(const WaitTokenPtr& token) {
 
 void end_wait(const WaitTokenPtr& token) {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   auto it = std::find(r.waits.begin(), r.waits.end(), token);
   if (it != r.waits.end()) r.waits.erase(it);
 }
@@ -668,7 +687,7 @@ void check_send_intra(const detail::GroupState* group, std::size_t source,
                       std::size_t dest, int tag) {
   if (dest < group->size) return;  // fast path: no registry lock
   Registry& r = reg();
-  std::unique_lock<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   const std::string msg =
       group_name(r, group) + " rank " + std::to_string(source) +
       ": send(tag=" + std::to_string(tag) + ") to invalid rank " +
@@ -683,7 +702,7 @@ void check_send_inter(const detail::InterChannel* channel, bool parent_side,
                       std::size_t remote_rank, std::size_t remote_size,
                       int tag) {
   Registry& r = reg();
-  std::unique_lock<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   auto cit = r.channels.find(channel);
   std::string msg;
   if (remote_rank >= remote_size) {
@@ -709,7 +728,7 @@ void check_send_inter(const detail::InterChannel* channel, bool parent_side,
 void enter_collective(const detail::GroupState* group, std::size_t rank,
                       const char* kind, std::size_t root, long payload) {
   Registry& r = reg();
-  std::unique_lock<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   auto git = r.groups.find(group);
   if (git == r.groups.end()) return;
   GroupInfo& g = git->second;
@@ -750,14 +769,14 @@ void enter_collective(const detail::GroupState* group, std::size_t rank,
 
 void on_pool_created(const void* pool, std::size_t threads) {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   r.pools[pool] = threads;
   r.pool_ids.emplace(pool, r.next_pool_id++);
 }
 
 void on_pool_destroyed(const void* pool) {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   for (const auto& t : r.waits) {
     if (t->kind == 2 && t->waitable == pool) {
       record_finding(r, FindingKind::kPoolMisuse,
@@ -781,7 +800,7 @@ WaitTokenPtr begin_pool_wait(const void* pool, std::mutex* wait_mutex,
   token->waitable = pool;
   token->tag = std::string(what) == "run_batch" ? 0 : 1;
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   auto it = r.pool_ids.find(pool);
   token->source = it == r.pool_ids.end() ? -1
                                          : static_cast<int>(it->second);
@@ -791,7 +810,7 @@ WaitTokenPtr begin_pool_wait(const void* pool, std::mutex* wait_mutex,
 
 void on_async_submit(const void* owner, std::size_t id) {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   auto [it, inserted] = r.async_owners[owner].insert(id);
   (void)it;
   if (!inserted) {
@@ -803,7 +822,7 @@ void on_async_submit(const void* owner, std::size_t id) {
 
 void on_async_delivered(const void* owner, std::size_t id) {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   auto it = r.async_owners.find(owner);
   if (it == r.async_owners.end() || it->second.erase(id) == 0) {
     record_finding(r, FindingKind::kAsyncProtocol,
@@ -815,13 +834,13 @@ void on_async_delivered(const void* owner, std::size_t id) {
 void on_async_misuse(const void* owner, const std::string& what) {
   (void)owner;
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   record_finding(r, FindingKind::kAsyncProtocol, "async stream: " + what);
 }
 
 void on_async_owner_destroyed(const void* owner) {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  common::MutexLock lock(r.mu);
   auto it = r.async_owners.find(owner);
   if (it == r.async_owners.end()) return;
   if (!it->second.empty()) {

@@ -27,7 +27,7 @@ ThreadPool::~ThreadPool() {
   rtcheck::hooks::on_pool_destroyed(this);
 #endif
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -36,7 +36,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
@@ -47,11 +47,13 @@ void ThreadPool::wait_idle() {
 #if defined(GPTUNE_RTCHECK)
   // Registered so a deadlock/timeout snapshot shows threads parked here.
   rtcheck::hooks::WaitTokenPtr token =
-      rtcheck::hooks::begin_pool_wait(this, &mutex_, &cv_idle_, "wait_idle");
+      rtcheck::hooks::begin_pool_wait(this, &mutex_.native(),
+                                      &cv_idle_.native(), "wait_idle");
 #endif
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+    common::MutexLock lock(mutex_);
+    cv_idle_.wait(lock,
+                  [this]() GPTUNE_REQUIRES(mutex_) { return in_flight_ == 0; });
   }
 #if defined(GPTUNE_RTCHECK)
   rtcheck::hooks::end_wait(token);
@@ -62,9 +64,9 @@ namespace {
 
 /// Completion state shared by one run_batch call and its wrapped tasks.
 struct BatchState {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::size_t remaining = 0;
+  common::Mutex mutex;
+  common::CondVar cv;
+  std::size_t remaining GPTUNE_GUARDED_BY(mutex) = 0;
 };
 
 }  // namespace
@@ -72,11 +74,14 @@ struct BatchState {
 void ThreadPool::run_batch(std::vector<std::function<void()>>&& tasks) {
   if (tasks.empty()) return;
   auto state = std::make_shared<BatchState>();
-  state->remaining = tasks.size();
+  {
+    common::MutexLock lock(state->mutex);
+    state->remaining = tasks.size();
+  }
   for (auto& t : tasks) {
     submit([state, task = std::move(t)] {
       task();
-      std::lock_guard<std::mutex> lock(state->mutex);
+      common::MutexLock lock(state->mutex);
       if (--state->remaining == 0) state->cv.notify_all();
     });
   }
@@ -85,18 +90,20 @@ void ThreadPool::run_batch(std::vector<std::function<void()>>&& tasks) {
   // deadlock waiting for workers that are all similarly blocked.
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(state->mutex);
+      common::MutexLock lock(state->mutex);
       if (state->remaining == 0) return;
     }
     if (!try_run_one()) {
 #if defined(GPTUNE_RTCHECK)
       // Registered so a deadlock/timeout snapshot shows the parked batch.
       rtcheck::hooks::WaitTokenPtr token = rtcheck::hooks::begin_pool_wait(
-          this, &state->mutex, &state->cv, "run_batch");
+          this, &state->mutex.native(), &state->cv.native(), "run_batch");
 #endif
       {
-        std::unique_lock<std::mutex> lock(state->mutex);
-        state->cv.wait(lock, [&] { return state->remaining == 0; });
+        common::MutexLock lock(state->mutex);
+        state->cv.wait(lock, [&]() GPTUNE_REQUIRES(state->mutex) {
+          return state->remaining == 0;
+        });
       }
 #if defined(GPTUNE_RTCHECK)
       rtcheck::hooks::end_wait(token);
@@ -115,7 +122,7 @@ linalg::TaskBatchRunner ThreadPool::batch_runner() {
 bool ThreadPool::try_run_one() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -133,7 +140,7 @@ void ThreadPool::run_task(const std::function<void()>& task) {
 }
 
 void ThreadPool::finish_task() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   --in_flight_;
   if (in_flight_ == 0) cv_idle_.notify_all();
 }
@@ -142,8 +149,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      common::MutexLock lock(mutex_);
+      cv_work_.wait(lock, [this]() GPTUNE_REQUIRES(mutex_) {
+        return stop_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         if (stop_) return;
         continue;

@@ -3,14 +3,14 @@
 // hyperparameter optimizations).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
 #include "linalg/blocked_cholesky.hpp"
 
 namespace gptune::rt {
@@ -56,12 +56,12 @@ class ThreadPool {
   void finish_task();
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  common::Mutex mutex_;
+  common::CondVar cv_work_;
+  common::CondVar cv_idle_;
+  std::deque<std::function<void()>> queue_ GPTUNE_GUARDED_BY(mutex_);
+  std::size_t in_flight_ GPTUNE_GUARDED_BY(mutex_) = 0;
+  bool stop_ GPTUNE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace gptune::rt

@@ -1,0 +1,1 @@
+auto m = comm.recv(rt::kAnySource, 3);

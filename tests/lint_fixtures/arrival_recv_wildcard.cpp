@@ -1,0 +1,1 @@
+rt::Message m = comm.recv();

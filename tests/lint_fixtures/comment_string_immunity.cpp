@@ -1,0 +1,4 @@
+// std::random_device in a comment
+/* rand() in a block
+   comment spanning lines */
+const char* s = "std::thread rand()";

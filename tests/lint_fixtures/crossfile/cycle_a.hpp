@@ -1,0 +1,2 @@
+#pragma once
+#include "core/cycle_b.hpp"

@@ -1,0 +1,2 @@
+#pragma once
+#include "core/cycle_a.hpp"

@@ -1,0 +1,5 @@
+#pragma once
+#include "core/history.hpp"
+namespace x {
+inline gptune::core::HistoryDb history;
+}  // namespace x

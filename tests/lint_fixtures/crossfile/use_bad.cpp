@@ -1,0 +1,2 @@
+#include "core/decl.hpp"
+void f() { x::history.clear(); }

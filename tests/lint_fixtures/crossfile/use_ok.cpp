@@ -1,0 +1,5 @@
+#include "core/decl.hpp"
+void g(HistoryRecord r) {
+  x::history.add(r);
+  (void)x::history.size();
+}

@@ -1,0 +1,1 @@
+void h(TaskHistory& history) { history.clear(); }

@@ -1,0 +1,1 @@
+auto f = linalg::blocked_cholesky(k, 128);

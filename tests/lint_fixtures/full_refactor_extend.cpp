@@ -1,0 +1,1 @@
+ok = linalg::blocked_cholesky_extend(w, n0, 128);

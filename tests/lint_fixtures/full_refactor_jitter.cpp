@@ -1,0 +1,1 @@
+auto f = CholeskyFactor::factor_with_jitter(k, 1e-10, 1e-2, &j);

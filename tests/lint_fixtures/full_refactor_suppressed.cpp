@@ -1,0 +1,2 @@
+// gptune-lint: allow(full-refactor) reason: parity baseline fixture
+auto f = linalg::blocked_cholesky(k, 128);

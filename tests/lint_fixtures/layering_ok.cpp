@@ -1,0 +1,2 @@
+#include "common/log.hpp"
+#include "linalg/cholesky.hpp"

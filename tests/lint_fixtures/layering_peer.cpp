@@ -1,0 +1,1 @@
+#include "opt/lhs.hpp"

@@ -1,0 +1,6 @@
+// a continued comment hides the next physical line \
+rand(); std::thread t;
+const char* s = "a continued string literal \
+rand()";
+int v = ra\
+nd();

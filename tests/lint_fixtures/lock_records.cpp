@@ -1,0 +1,1 @@
+for (const auto& r : db.records()) use(r);

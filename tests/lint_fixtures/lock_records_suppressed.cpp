@@ -1,0 +1,2 @@
+// gptune-lint: allow(lock-discipline) reason: quiescent snapshot
+for (const auto& r : db.records()) use(r);

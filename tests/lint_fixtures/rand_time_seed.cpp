@@ -1,0 +1,2 @@
+srand(time(nullptr));
+int v = rand();

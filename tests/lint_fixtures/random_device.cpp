@@ -1,0 +1,1 @@
+std::mt19937 gen{std::random_device{}()};

@@ -1,0 +1,4 @@
+const char* a = R"(std::thread t; rand(); std::random_device rd;)";
+const char* b = R"xy(srand(time(nullptr)); " )" still raw )xy";
+const char* c = u8R"(comm.recv();)";
+int ok = 0;

@@ -1,0 +1,1 @@
+std::thread t([] {});

@@ -1,0 +1,1 @@
+srand(time(nullptr));  // gptune-lint: allow(all) reason: fixture

@@ -1,0 +1,3 @@
+// gptune-lint: allow(rand) reason: fixture
+
+int v = rand();

@@ -1,0 +1,3 @@
+// gptune-lint: allow(rand) reason: a multi-line justification whose
+// tail pushes the directive two comment lines above the code.
+int v = rand();

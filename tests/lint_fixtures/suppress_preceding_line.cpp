@@ -1,0 +1,2 @@
+// gptune-lint: allow(rand) reason: fixture
+int v = rand();

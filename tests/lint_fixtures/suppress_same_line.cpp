@@ -1,0 +1,1 @@
+int v = rand();  // gptune-lint: allow(rand) reason: fixture

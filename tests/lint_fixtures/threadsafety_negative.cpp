@@ -1,0 +1,32 @@
+// The negative test for the thread-safety lane (DESIGN.md §3.11).
+//
+// scripts/check.sh threadsafety compiles this file with Clang and
+// -Wthread-safety -Werror and REQUIRES the compilation to FAIL: bump() and
+// read() touch a GPTUNE_GUARDED_BY member without holding the mutex. If
+// this file ever compiles under the analysis, the annotations have stopped
+// doing their job (e.g. the capability attributes were compiled out) and
+// the lane reports an error.
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  // BAD on purpose: writes the guarded member with no lock held.
+  void bump() { ++value_; }
+  // BAD on purpose: reads the guarded member with no lock held.
+  int read() const { return value_; }
+
+ private:
+  mutable gptune::common::Mutex mutex_;
+  int value_ GPTUNE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.read();
+}

@@ -1,0 +1,3 @@
+using ConfigSet = std::unordered_set<Config, Hash>;
+ConfigSet seen;
+for (const auto& c : seen) use(c);

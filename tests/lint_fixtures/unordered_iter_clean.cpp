@@ -1,0 +1,4 @@
+std::unordered_set<int> seen;
+if (seen.count(3)) use();
+std::vector<int> v;
+for (int x : v) use(x);

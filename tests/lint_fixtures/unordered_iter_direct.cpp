@@ -1,0 +1,2 @@
+std::unordered_map<int, int> counts;
+for (const auto& [k, v] : counts) use(k, v);

@@ -1,0 +1,2 @@
+auto t0 = std::chrono::steady_clock::now();
+auto t1 = std::chrono::system_clock::now();

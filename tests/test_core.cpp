@@ -120,12 +120,13 @@ TEST(HistoryDb, SaveLoadRoundTrip) {
   auto loaded = HistoryDb::load(path);
   ASSERT_TRUE(loaded.has_value());
   ASSERT_EQ(loaded->size(), 2u);
-  // Freshly loaded single-threaded db.  gptune-lint: allow(history-direct)
+  // gptune-lint: allow(lock-discipline) reason: freshly loaded db on a
+  // single thread; no concurrent writer can exist yet
   const auto& r0 = loaded->records()[0];
   EXPECT_EQ(r0.task, (std::vector<double>{1.5, -2.25}));
   EXPECT_EQ(r0.config, (Config{0.125, 3.0, 7.0}));
   EXPECT_EQ(r0.objectives, (std::vector<double>{0.001, 42.0}));
-  EXPECT_DOUBLE_EQ(  // gptune-lint: allow(history-direct)
+  EXPECT_DOUBLE_EQ(  // gptune-lint: allow(lock-discipline) reason: idle db
       loaded->records()[1].objectives[0], 1e-30);
   std::remove(path.c_str());
 }

@@ -1,0 +1,250 @@
+// Table-driven tests for the gptune_lint analyzer, fed by the on-disk
+// fixture corpus (tests/lint_fixtures/, one file per rule behavior).
+//
+// Each FixtureCase runs one fixture through the real analyzer at a mocked
+// tree path — the rules are path-scoped, so the same file can be a
+// violation in src/core/ and sanctioned in src/runtime/ — and asserts the
+// exact `rule@line` findings plus the allow() suppression count. The
+// cross-file passes (guarded-name collection for lock-discipline, include
+// cycles for layering) are driven through lint_sources() on the
+// crossfile/ sets. The fixture directory itself is skipped by lint_paths,
+// so the deliberate violations never trip the lint_tree gate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "linter.hpp"
+
+namespace lint = gptune::lint;
+
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(GPTUNE_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(fixture_path(name), std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << fixture_path(name);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Findings rendered as "rule@line rule@line ..." in report order, so a
+/// test failure shows the full delta in one line.
+std::string findings_key(const std::vector<lint::Finding>& findings) {
+  std::string out;
+  for (const auto& f : findings) {
+    if (!out.empty()) out += " ";
+    out += f.rule + "@" + std::to_string(f.line);
+  }
+  return out;
+}
+
+struct FixtureCase {
+  const char* name;        ///< test instantiation label
+  const char* fixture;     ///< file under tests/lint_fixtures/
+  const char* mock_path;   ///< virtual tree location handed to the analyzer
+  const char* expect;      ///< expected findings_key(); "" = clean
+  std::size_t suppressed;  ///< expected allow() suppression count
+};
+
+const FixtureCase kCases[] = {
+    // Determinism pattern rules, positive and path-scoped negative.
+    {"random_device", "random_device.cpp", "src/core/x.cpp",
+     "random-device@1", 0},
+    {"rand_and_time_seed", "rand_time_seed.cpp", "src/core/x.cpp",
+     "rand@1 time-seed@1 rand@2", 0},
+    {"raw_thread_in_core", "raw_thread.cpp", "src/core/x.cpp",
+     "raw-thread@1", 0},
+    {"raw_thread_in_runtime_ok", "raw_thread.cpp", "src/runtime/comm.cpp",
+     "", 0},
+    {"arrival_recv_wildcard", "arrival_recv_wildcard.cpp", "src/core/x.cpp",
+     "arrival-recv@1", 0},
+    {"arrival_recv_any_source", "arrival_recv_any_source.cpp",
+     "src/core/x.cpp", "arrival-recv@1", 0},
+    {"arrival_recv_pinned_ok", "arrival_recv_pinned.cpp", "src/core/x.cpp",
+     "", 0},
+    {"arrival_recv_runtime_ok", "arrival_recv_wildcard.cpp",
+     "src/runtime/comm.cpp", "", 0},
+    {"arrival_recv_completion_log_ok", "arrival_recv_wildcard.cpp",
+     "src/core/completion_log.cpp", "", 0},
+    {"arrival_recv_tests_ok", "arrival_recv_wildcard.cpp",
+     "tests/test_runtime.cpp", "", 0},
+    {"wall_clock_in_core", "wall_clock.cpp", "src/core/x.cpp",
+     "wall-clock@1 wall-clock@2", 0},
+    {"wall_clock_timer_ok", "wall_clock.cpp", "src/common/timer.hpp", "", 0},
+    {"wall_clock_telemetry_ok", "wall_clock.cpp",
+     "src/common/telemetry/telemetry.cpp", "", 0},
+    {"wall_clock_runtime_ok", "wall_clock.cpp", "src/runtime/comm.cpp",
+     "", 0},
+    {"full_refactor_in_gp", "full_refactor_blocked.cpp", "src/gp/x.cpp",
+     "full-refactor@1", 0},
+    {"full_refactor_jitter_in_core", "full_refactor_jitter.cpp",
+     "src/core/x.cpp", "full-refactor@1", 0},
+    {"full_refactor_extend_ok", "full_refactor_extend.cpp", "src/gp/x.cpp",
+     "", 0},
+    {"full_refactor_linalg_home_ok", "full_refactor_blocked.cpp",
+     "src/linalg/blocked_cholesky.cpp", "", 0},
+    {"full_refactor_tests_ok", "full_refactor_blocked.cpp",
+     "tests/test_linalg.cpp", "", 0},
+    {"full_refactor_suppressed", "full_refactor_suppressed.cpp",
+     "src/gp/x.cpp", "", 1},
+    {"unordered_iter_direct", "unordered_iter_direct.cpp", "src/core/x.cpp",
+     "unordered-iter@2", 0},
+    {"unordered_iter_alias", "unordered_iter_alias.cpp", "src/core/x.cpp",
+     "unordered-iter@3", 0},
+    {"unordered_iter_clean", "unordered_iter_clean.cpp", "src/core/x.cpp",
+     "", 0},
+
+    // Suppression reach: same line, preceding line, a contiguous run of
+    // comment-only lines — but not across a blank line, and never for a
+    // different rule.
+    {"suppress_same_line", "suppress_same_line.cpp", "src/core/x.cpp", "",
+     1},
+    {"suppress_preceding_line", "suppress_preceding_line.cpp",
+     "src/core/x.cpp", "", 1},
+    {"suppress_comment_run", "suppress_comment_run.cpp", "src/core/x.cpp",
+     "", 1},
+    {"suppress_blank_gap_fails", "suppress_blank_gap.cpp", "src/core/x.cpp",
+     "rand@3", 0},
+    {"suppress_wrong_rule_fails", "suppress_wrong_rule.cpp",
+     "src/core/x.cpp", "rand@1", 0},
+    {"suppress_all_wildcard", "suppress_all.cpp", "src/core/x.cpp", "", 2},
+
+    // suppression-audit: every allow() must carry a reason. The directive
+    // still suppresses (so one misuse yields one finding, not two), but
+    // the audit finding itself cannot be suppressed away.
+    {"audit_missing_reason", "audit_missing_reason.cpp", "src/core/x.cpp",
+     "suppression-audit@1", 1},
+    {"audit_with_reason_ok", "audit_with_reason.cpp", "src/core/x.cpp", "",
+     1},
+
+    // Lexer: comments and string literals are invisible to the rules,
+    // including raw strings and backslash line continuations.
+    {"comment_string_immunity", "comment_string_immunity.cpp",
+     "src/core/x.cpp", "", 0},
+    {"raw_string_immunity", "raw_string.cpp", "src/core/x.cpp", "", 0},
+    {"line_continuation", "line_continuation.cpp", "src/core/x.cpp",
+     "rand@5", 0},
+
+    // Layering: includes may only point at the same layer or a strictly
+    // lower rank (common < linalg < opt/runtime < gp < core < apps);
+    // equal-rank cross-layer includes are banned too.
+    {"layering_runtime_includes_core", "layering_violation.cpp",
+     "src/runtime/foo.cpp", "layering@1", 0},
+    {"layering_peer_layer", "layering_peer.cpp", "src/runtime/x.cpp",
+     "layering@1", 0},
+    {"layering_downward_ok", "layering_ok.cpp", "src/core/foo.cpp", "", 0},
+
+    // lock-discipline blanket rule: records() hands out the HistoryDb
+    // store without the mutex; only its home file gets it for free.
+    {"lock_records_outside_home", "lock_records.cpp", "src/core/mla.cpp",
+     "lock-discipline@1", 0},
+    {"lock_records_home_ok", "lock_records.cpp", "src/core/history.hpp", "",
+     0},
+    {"lock_records_suppressed", "lock_records_suppressed.cpp",
+     "src/core/mla.cpp", "", 1},
+};
+
+class LintFixtureTest : public ::testing::TestWithParam<FixtureCase> {};
+
+TEST_P(LintFixtureTest, MatchesExpectedFindings) {
+  const FixtureCase& c = GetParam();
+  const std::string content = read_fixture(c.fixture);
+  ASSERT_FALSE(content.empty()) << c.fixture;
+  std::size_t suppressed = 0;
+  const auto findings = lint::lint_source(c.mock_path, content, &suppressed);
+  EXPECT_EQ(findings_key(findings), c.expect)
+      << c.fixture << " at " << c.mock_path;
+  EXPECT_EQ(suppressed, c.suppressed) << c.fixture;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, LintFixtureTest, ::testing::ValuesIn(kCases),
+                         [](const ::testing::TestParamInfo<FixtureCase>& i) {
+                           return std::string(i.param.name);
+                         });
+
+// --- cross-file passes ------------------------------------------------------
+
+TEST(LintCrossFile, GuardedFieldAccessOutsideAccessors) {
+  const std::vector<lint::SourceFile> files = {
+      {"src/core/decl.hpp", read_fixture("crossfile/decl.hpp")},
+      {"src/core/use_bad.cpp", read_fixture("crossfile/use_bad.cpp")},
+      {"src/core/use_ok.cpp", read_fixture("crossfile/use_ok.cpp")},
+      {"src/core/use_shadow.cpp", read_fixture("crossfile/use_shadow.cpp")},
+  };
+  // A HistoryDb declared in one file, misused through a non-accessor member
+  // in another: only the cross-file pass can see it. The accessor calls in
+  // use_ok and the same-named-but-different-type local in use_shadow stay
+  // clean.
+  const lint::Result r = lint::lint_sources(files);
+  ASSERT_EQ(r.findings.size(), 1u) << findings_key(r.findings);
+  EXPECT_EQ(r.findings[0].rule, "lock-discipline");
+  EXPECT_EQ(r.findings[0].file, "src/core/use_bad.cpp");
+  EXPECT_EQ(r.findings[0].line, 2u);
+
+  // Single-TU linting of the misuse alone cannot know the type of
+  // `history` and must stay silent — that is what lint_sources adds.
+  EXPECT_TRUE(lint::lint_source("src/core/use_bad.cpp",
+                                read_fixture("crossfile/use_bad.cpp"))
+                  .empty());
+}
+
+TEST(LintCrossFile, IncludeCycleIsReported) {
+  const std::vector<lint::SourceFile> files = {
+      {"src/core/cycle_a.hpp", read_fixture("crossfile/cycle_a.hpp")},
+      {"src/core/cycle_b.hpp", read_fixture("crossfile/cycle_b.hpp")},
+  };
+  const lint::Result r = lint::lint_sources(files);
+  ASSERT_FALSE(r.findings.empty());
+  EXPECT_EQ(r.findings[0].rule, "layering");
+  EXPECT_NE(r.findings[0].message.find("cycle"), std::string::npos)
+      << r.findings[0].message;
+}
+
+// --- catalog and reporting --------------------------------------------------
+
+TEST(LintCatalog, ListsEveryRule) {
+  const auto& rules = lint::rules();
+  std::vector<std::string> names;
+  for (const auto& r : rules) {
+    EXPECT_FALSE(r.name.empty());
+    EXPECT_FALSE(r.summary.empty()) << r.name;
+    names.push_back(r.name);
+  }
+  for (const char* required :
+       {"random-device", "time-seed", "rand", "raw-thread", "wall-clock",
+        "full-refactor", "arrival-recv", "layering", "lock-discipline",
+        "suppression-audit", "unordered-iter"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << required << " missing from the catalog";
+  }
+}
+
+TEST(LintCatalog, JsonSummaryIsMachineReadable) {
+  lint::Result result;
+  result.files_scanned = 2;
+  result.findings.push_back(
+      {"rand", "src/x.cpp", 3, "banned", "int v = rand();"});
+  const std::string json = lint::to_json(result);
+  EXPECT_NE(json.find("\"files_scanned\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rand\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos) << json;
+}
+
+TEST(LintCatalog, FixtureDirectoryIsSkippedByPathScan) {
+  // The corpus is full of deliberate violations; a path scan over it must
+  // skip the directory wholesale (lint_tree depends on this).
+  const lint::Result r = lint::lint_paths({GPTUNE_LINT_FIXTURE_DIR});
+  EXPECT_EQ(r.files_scanned, 0u);
+  EXPECT_TRUE(r.findings.empty()) << findings_key(r.findings);
+}
+
+}  // namespace

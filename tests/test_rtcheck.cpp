@@ -1,11 +1,11 @@
-// Tests for the rtcheck protocol checker (src/runtime/rtcheck.hpp) and the
-// gptune_lint rule engine (tools/gptune_lint/linter.hpp).
+// Tests for the rtcheck protocol checker (src/runtime/rtcheck.hpp).
 //
 // Each checker test seeds one misuse class — deadlock cycle, collective
 // mismatch, message leak, invalid send, unjoined spawn — and asserts the
 // checker *reports* it (and unwinds the group) instead of hanging. The
-// checker tests skip in a plain build; the lint tests always run. Built in
-// every configuration so the plain build also compiles the API surface.
+// checker tests skip in a plain build; the binary is built in every
+// configuration so the plain build also compiles the API surface. The
+// gptune_lint analyzer's tests live in tests/test_lint.cpp.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -15,13 +15,11 @@
 #include <thread>
 #include <vector>
 
-#include "linter.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/rtcheck.hpp"
 
 namespace rt = gptune::rt;
 namespace rtcheck = gptune::rt::rtcheck;
-namespace lint = gptune::lint;
 
 using std::chrono::milliseconds;
 
@@ -312,202 +310,3 @@ TEST_F(RtCheckTest, AsyncOwnerDestroyedWithInFlightItemsIsAFinding) {
 
 #endif  // GPTUNE_RTCHECK
 
-// --- lint rule engine (runs in every build) ---------------------------------
-
-namespace {
-
-std::vector<lint::Finding> lint_snippet(const std::string& path,
-                                        const std::string& code,
-                                        std::size_t* suppressed = nullptr) {
-  return lint::lint_source(path, code, suppressed);
-}
-
-}  // namespace
-
-TEST(GptuneLint, FlagsRandomDevice) {
-  auto f = lint_snippet("src/core/x.cpp",
-                        "std::mt19937 gen{std::random_device{}()};\n");
-  ASSERT_EQ(f.size(), 1u);
-  EXPECT_EQ(f[0].rule, "random-device");
-  EXPECT_EQ(f[0].line, 1u);
-}
-
-TEST(GptuneLint, FlagsTimeSeedAndRand) {
-  auto f = lint_snippet("src/core/x.cpp",
-                        "srand(time(nullptr));\n"
-                        "int v = rand();\n");
-  ASSERT_EQ(f.size(), 3u);  // srand(, time(nullptr), rand()
-  EXPECT_EQ(f[0].rule, "rand");
-  EXPECT_EQ(f[1].rule, "time-seed");
-  EXPECT_EQ(f[2].rule, "rand");
-}
-
-TEST(GptuneLint, FlagsRawThreadOutsideRuntimeOnly) {
-  const std::string code = "std::thread t([] {});\n";
-  EXPECT_EQ(lint_snippet("src/core/x.cpp", code).size(), 1u);
-  EXPECT_EQ(lint_snippet("src/core/x.cpp", code)[0].rule, "raw-thread");
-  // The runtime layer is the one place raw threads are allowed.
-  EXPECT_TRUE(lint_snippet("src/runtime/comm.cpp", code).empty());
-}
-
-TEST(GptuneLint, FlagsArrivalOrderRecvOutsideSanctionedFiles) {
-  const std::string wildcard = "rt::Message m = comm.recv();\n";
-  const std::string any_source = "auto m = comm.recv(rt::kAnySource, 3);\n";
-  auto f = lint_snippet("src/core/x.cpp", wildcard);
-  ASSERT_EQ(f.size(), 1u);
-  EXPECT_EQ(f[0].rule, "arrival-recv");
-  EXPECT_EQ(lint_snippet("src/core/x.cpp", any_source).size(), 1u);
-  // Pinned-source receives are deterministic and stay legal everywhere.
-  EXPECT_TRUE(lint_snippet("src/core/x.cpp", "auto m = comm.recv(0);\n")
-                  .empty());
-  // The runtime layer and the completion-log delivery policy are the two
-  // sanctioned homes of arrival-order receives; tests are out of scope.
-  EXPECT_TRUE(lint_snippet("src/runtime/comm.cpp", wildcard).empty());
-  EXPECT_TRUE(
-      lint_snippet("src/core/completion_log.cpp", wildcard).empty());
-  EXPECT_TRUE(lint_snippet("tests/test_runtime.cpp", wildcard).empty());
-}
-
-TEST(GptuneLint, FlagsHistoryDirectOutsideHistoryOnly) {
-  const std::string code = "for (const auto& r : db.records()) use(r);\n";
-  auto f = lint_snippet("src/core/mla.cpp", code);
-  ASSERT_EQ(f.size(), 1u);
-  EXPECT_EQ(f[0].rule, "history-direct");
-  EXPECT_TRUE(lint_snippet("src/core/history.hpp", code).empty());
-}
-
-TEST(GptuneLint, FlagsUnorderedIterationIncludingAliases) {
-  auto direct = lint_snippet("src/core/x.cpp",
-                             "std::unordered_map<int, int> counts;\n"
-                             "for (const auto& [k, v] : counts) use(k, v);\n");
-  ASSERT_EQ(direct.size(), 1u);
-  EXPECT_EQ(direct[0].rule, "unordered-iter");
-  EXPECT_EQ(direct[0].line, 2u);
-
-  auto aliased =
-      lint_snippet("src/core/x.cpp",
-                   "using ConfigSet = std::unordered_set<Config, Hash>;\n"
-                   "ConfigSet seen;\n"
-                   "for (const auto& c : seen) use(c);\n");
-  ASSERT_EQ(aliased.size(), 1u);
-  EXPECT_EQ(aliased[0].line, 3u);
-
-  // Membership tests and ordered-container iteration stay clean.
-  EXPECT_TRUE(lint_snippet("src/core/x.cpp",
-                           "std::unordered_set<int> seen;\n"
-                           "if (seen.count(3)) use();\n"
-                           "std::vector<int> v;\n"
-                           "for (int x : v) use(x);\n")
-                  .empty());
-}
-
-TEST(GptuneLint, FlagsFullRefactorInRefitHotPath) {
-  // Direct O(N^3) factorizations in the gp/core refit path must go through
-  // IncrementalFitState (DESIGN.md §3.10) or carry a deliberate
-  // suppression; the linalg layer implements the factorizations and the
-  // tests/benches compare against them on purpose.
-  const std::string blocked = "auto f = linalg::blocked_cholesky(k, 128);\n";
-  const std::string jittered =
-      "auto f = CholeskyFactor::factor_with_jitter(k, 1e-10, 1e-2, &j);\n";
-  auto f = lint_snippet("src/gp/x.cpp", blocked);
-  ASSERT_EQ(f.size(), 1u);
-  EXPECT_EQ(f[0].rule, "full-refactor");
-  EXPECT_EQ(lint_snippet("src/core/x.cpp", jittered).size(), 1u);
-  // The extension entry points are the sanctioned alternative, not a hit.
-  EXPECT_TRUE(lint_snippet("src/gp/x.cpp",
-                           "ok = linalg::blocked_cholesky_extend(w, n0, 128);\n")
-                  .empty());
-  // Out-of-scope layers: factorization home, tests, tools.
-  EXPECT_TRUE(lint_snippet("src/linalg/blocked_cholesky.cpp", blocked).empty());
-  EXPECT_TRUE(lint_snippet("tests/test_linalg.cpp", blocked).empty());
-  // Deliberate from-scratch sites annotate themselves.
-  std::size_t suppressed = 0;
-  EXPECT_TRUE(lint_snippet("src/gp/x.cpp",
-                           "// gptune-lint: allow(full-refactor)\n" + blocked,
-                           &suppressed)
-                  .empty());
-  EXPECT_EQ(suppressed, 1u);
-}
-
-TEST(GptuneLint, SuppressionOnSameOrPrecedingLine) {
-  std::size_t suppressed = 0;
-  EXPECT_TRUE(lint_snippet("src/core/x.cpp",
-                           "int v = rand();  // gptune-lint: allow(rand)\n",
-                           &suppressed)
-                  .empty());
-  EXPECT_EQ(suppressed, 1u);
-
-  suppressed = 0;
-  EXPECT_TRUE(lint_snippet("src/core/x.cpp",
-                           "// gptune-lint: allow(rand)\n"
-                           "int v = rand();\n",
-                           &suppressed)
-                  .empty());
-  EXPECT_EQ(suppressed, 1u);
-
-  // A suppression two lines up does not reach, and the wrong rule name
-  // suppresses nothing.
-  EXPECT_EQ(lint_snippet("src/core/x.cpp",
-                         "// gptune-lint: allow(rand)\n"
-                         "\n"
-                         "int v = rand();\n")
-                .size(),
-            1u);
-  EXPECT_EQ(lint_snippet("src/core/x.cpp",
-                         "int v = rand();  // gptune-lint: allow(time-seed)\n")
-                .size(),
-            1u);
-  // allow(all) wildcards every rule on the line.
-  EXPECT_TRUE(
-      lint_snippet("src/core/x.cpp",
-                   "srand(time(nullptr));  // gptune-lint: allow(all)\n")
-          .empty());
-}
-
-TEST(GptuneLint, FlagsWallClockOutsideSanctionedFiles) {
-  const std::string code =
-      "auto t0 = std::chrono::steady_clock::now();\n"
-      "auto t1 = std::chrono::system_clock::now();\n";
-  auto f = lint_snippet("src/core/x.cpp", code);
-  ASSERT_EQ(f.size(), 2u);
-  EXPECT_EQ(f[0].rule, "wall-clock");
-  EXPECT_EQ(f[0].line, 1u);
-  EXPECT_EQ(f[1].line, 2u);
-
-  // The sanctioned consumers: the timer wrapper, the telemetry layer, and
-  // the runtime (mailbox deadlines).
-  EXPECT_TRUE(lint_snippet("src/common/timer.hpp", code).empty());
-  EXPECT_TRUE(
-      lint_snippet("src/common/telemetry/telemetry.cpp", code).empty());
-  EXPECT_TRUE(lint_snippet("src/runtime/comm.cpp", code).empty());
-
-  // Annotated suppressions work as for every other rule.
-  std::size_t suppressed = 0;
-  EXPECT_TRUE(
-      lint_snippet("src/core/x.cpp",
-                   "auto t = std::chrono::steady_clock::now();"
-                   "  // gptune-lint: allow(wall-clock)\n",
-                   &suppressed)
-          .empty());
-  EXPECT_EQ(suppressed, 1u);
-}
-
-TEST(GptuneLint, IgnoresCommentsAndStringLiterals) {
-  EXPECT_TRUE(lint_snippet("src/core/x.cpp",
-                           "// std::random_device in a comment\n"
-                           "/* rand() in a block\n"
-                           "   comment spanning lines */\n"
-                           "const char* s = \"std::thread rand()\";\n")
-                  .empty());
-}
-
-TEST(GptuneLint, JsonSummaryIsMachineReadable) {
-  lint::Result result;
-  result.files_scanned = 2;
-  result.findings.push_back(
-      {"rand", "src/x.cpp", 3, "banned", "int v = rand();"});
-  const std::string json = lint::to_json(result);
-  EXPECT_NE(json.find("\"files_scanned\": 2"), std::string::npos) << json;
-  EXPECT_NE(json.find("\"rand\": 1"), std::string::npos) << json;
-  EXPECT_NE(json.find("\"line\": 3"), std::string::npos) << json;
-}

@@ -14,93 +14,194 @@ namespace gptune::lint {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Lexing: split each physical line into code text (strings/chars blanked,
-// comments removed) and comment text (for allow() directives). Block
-// comments and raw string literals carry state across lines.
+// Lexing. The whole translation unit is scanned as one character stream so
+// that constructs spanning physical lines — block comments, raw string
+// literals, backslash-newline splices — carry state correctly. The output
+// is one LexedLine per *physical* line: `code` holds the line's code text
+// with string/char literal contents blanked to spaces, `comment` holds the
+// line's comment text (where allow() directives live). Spliced logical
+// lines accumulate onto the physical line where they start; the
+// continuation lines lex as empty.
 
 struct LexedLine {
   std::string code;     ///< literals blanked with spaces, comments removed
   std::string comment;  ///< concatenated comment text on this line
 };
 
-struct LexState {
-  bool in_block_comment = false;
-  bool in_raw_string = false;
-  std::string raw_delim;  ///< the `)delim"` terminator we are scanning for
+struct LexedFile {
+  std::vector<LexedLine> lines;
+  std::vector<std::string> raw;  ///< physical lines, for excerpts/includes
 };
 
-LexedLine lex_line(const std::string& line, LexState& st) {
-  LexedLine out;
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+LexedFile lex(const std::string& content) {
+  LexedFile out;
+
+  // Physical lines (split on '\n', CR stripped). A trailing newline yields
+  // a final empty line; the lexer below produces the same count.
+  {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= content.size(); ++i) {
+      if (i == content.size() || content[i] == '\n') {
+        std::string line = content.substr(start, i - start);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        out.raw.push_back(std::move(line));
+        start = i + 1;
+        if (i == content.size()) break;
+      }
+    }
+  }
+
+  enum class Mode { kCode, kLineComment, kBlockComment, kString, kChar,
+                    kRawString };
+  Mode mode = Mode::kCode;
+  std::string raw_end;  ///< `)delim"` closing the current raw string
+
+  out.lines.emplace_back();
+  std::size_t target = 0;  ///< line receiving lexed text (logical start)
+  auto code = [&]() -> std::string& { return out.lines[target].code; };
+  auto comment = [&]() -> std::string& { return out.lines[target].comment; };
+
+  const std::size_t n = content.size();
   std::size_t i = 0;
-  const std::size_t n = line.size();
   while (i < n) {
-    if (st.in_block_comment) {
-      std::size_t end = line.find("*/", i);
-      if (end == std::string::npos) {
-        out.comment += line.substr(i);
-        return out;
-      }
-      out.comment += line.substr(i, end - i);
-      st.in_block_comment = false;
-      i = end + 2;
+    const char c = content[i];
+    if (c == '\r') {  // CRLF: fold into the '\n' that follows
+      ++i;
       continue;
     }
-    if (st.in_raw_string) {
-      std::size_t end = line.find(st.raw_delim, i);
-      if (end == std::string::npos) {
-        out.code.append(n - i, ' ');
-        return out;
-      }
-      out.code.append(end + st.raw_delim.size() - i, ' ');
-      st.in_raw_string = false;
-      i = end + st.raw_delim.size();
-      continue;
-    }
-    const char c = line[i];
-    if (c == '/' && i + 1 < n && line[i + 1] == '/') {
-      out.comment += line.substr(i + 2);
-      return out;
-    }
-    if (c == '/' && i + 1 < n && line[i + 1] == '*') {
-      st.in_block_comment = true;
-      i += 2;
-      continue;
-    }
-    // Raw string literal: R"delim( ... )delim"
-    if (c == 'R' && i + 1 < n && line[i + 1] == '"' &&
-        (i == 0 || (!std::isalnum(static_cast<unsigned char>(line[i - 1])) &&
-                    line[i - 1] != '_'))) {
-      std::size_t open = line.find('(', i + 2);
-      if (open != std::string::npos) {
-        st.raw_delim = ")" + line.substr(i + 2, open - i - 2) + "\"";
-        st.in_raw_string = true;
-        out.code.append(open + 1 - i, ' ');
-        i = open + 1;
+    // Backslash-newline splice (translation phase 2): the logical line
+    // continues, the physical line advances. Not inside raw strings, where
+    // the backslash is literal.
+    if (c == '\\' && mode != Mode::kRawString) {
+      std::size_t j = i + 1;
+      if (j < n && content[j] == '\r') ++j;
+      if (j < n && content[j] == '\n') {
+        out.lines.emplace_back();  // continuation physical line lexes empty
+        i = j + 1;
         continue;
       }
     }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      out.code += ' ';
+    if (c == '\n') {
+      if (mode == Mode::kLineComment) mode = Mode::kCode;
+      // An unterminated plain string/char literal cannot span lines in
+      // C++; recover instead of desyncing the rest of the file.
+      if (mode == Mode::kString || mode == Mode::kChar) mode = Mode::kCode;
+      out.lines.emplace_back();
+      target = out.lines.size() - 1;
       ++i;
-      while (i < n) {
-        if (line[i] == '\\' && i + 1 < n) {
-          out.code += "  ";
+      continue;
+    }
+    switch (mode) {
+      case Mode::kCode: {
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+          mode = Mode::kLineComment;
           i += 2;
           continue;
         }
-        out.code += ' ';
-        if (line[i] == quote) {
+        if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+          mode = Mode::kBlockComment;
+          i += 2;
+          continue;
+        }
+        if (c == '"') {
+          // Raw string literal? The already-lexed code text ends with the
+          // encoding prefix as a standalone token.
+          std::string& cd = code();
+          std::size_t e = cd.size();
+          while (e > 0 && is_ident_char(cd[e - 1])) --e;
+          const std::string tail = cd.substr(e);
+          static const std::set<std::string> kRawPrefixes = {"R", "u8R",
+                                                             "uR", "UR",
+                                                             "LR"};
+          if (kRawPrefixes.count(tail) > 0) {
+            std::size_t open = i + 1;
+            while (open < n && open - (i + 1) <= 16 &&
+                   content[open] != '(' && content[open] != '\n' &&
+                   content[open] != ')' && content[open] != '\\') {
+              ++open;
+            }
+            if (open < n && content[open] == '(') {
+              raw_end = ")" + content.substr(i + 1, open - i - 1) + "\"";
+              mode = Mode::kRawString;
+              cd.append(open + 1 - i, ' ');
+              i = open + 1;
+              continue;
+            }
+          }
+          mode = Mode::kString;
+          cd += ' ';
           ++i;
-          break;
+          continue;
+        }
+        if (c == '\'') {
+          // Digit separator (1'000'000, 0xFF'FF) vs char literal: a quote
+          // continuing a token that starts with a digit is a separator.
+          std::string& cd = code();
+          std::size_t e = cd.size();
+          while (e > 0 && is_ident_char(cd[e - 1])) --e;
+          const bool separator =
+              e < cd.size() && std::isdigit(static_cast<unsigned char>(cd[e]));
+          if (separator) {
+            cd += '\'';
+            ++i;
+            continue;
+          }
+          mode = Mode::kChar;
+          cd += ' ';
+          ++i;
+          continue;
+        }
+        code() += c;
+        ++i;
+        continue;
+      }
+      case Mode::kLineComment:
+        comment() += c;
+        ++i;
+        continue;
+      case Mode::kBlockComment:
+        if (c == '*' && i + 1 < n && content[i + 1] == '/') {
+          mode = Mode::kCode;
+          i += 2;
+          continue;
+        }
+        comment() += c;
+        ++i;
+        continue;
+      case Mode::kString:
+      case Mode::kChar:
+        if (c == '\\') {  // escape; a splice was already handled above
+          code() += "  ";
+          i += 2;
+          continue;
+        }
+        code() += ' ';
+        if ((mode == Mode::kString && c == '"') ||
+            (mode == Mode::kChar && c == '\'')) {
+          mode = Mode::kCode;
         }
         ++i;
-      }
-      continue;
+        continue;
+      case Mode::kRawString:
+        if (content.compare(i, raw_end.size(), raw_end) == 0) {
+          code().append(raw_end.size(), ' ');
+          mode = Mode::kCode;
+          i += raw_end.size();
+          continue;
+        }
+        code() += ' ';
+        ++i;
+        continue;
     }
-    out.code += c;
-    ++i;
   }
+
+  // The splitter and the lexer count lines identically by construction.
+  while (out.lines.size() < out.raw.size()) out.lines.emplace_back();
+  while (out.lines.size() > out.raw.size()) out.lines.pop_back();
   return out;
 }
 
@@ -114,24 +215,23 @@ std::string trim(const std::string& s) {
   return s.substr(a, b - a + 1);
 }
 
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
 std::string normalize(const std::string& path) {
   std::string p = path;
   std::replace(p.begin(), p.end(), '\\', '/');
   return p;
 }
 
-/// Parses `gptune-lint: allow(rule-a, rule-b)` directives out of one line's
-/// comment text. Returns the allowed rule names ("all" wildcards).
+const std::regex& directive_regex() {
+  static const std::regex kDirective("gptune-lint:\\s*allow\\(([^)]*)\\)");
+  return kDirective;
+}
+
+/// Parses the `allow(rule-a, rule-b)` suppression directives out of one
+/// line's comment text. Returns the allowed rule names ("all" wildcards).
 std::set<std::string> parse_allows(const std::string& comment) {
   std::set<std::string> allowed;
-  static const std::regex kDirective(
-      "gptune-lint:\\s*allow\\(([^)]*)\\)");
   auto begin = std::sregex_iterator(comment.begin(), comment.end(),
-                                    kDirective);
+                                    directive_regex());
   for (auto it = begin; it != std::sregex_iterator(); ++it) {
     std::string list = (*it)[1].str();
     std::string name;
@@ -145,14 +245,9 @@ std::set<std::string> parse_allows(const std::string& comment) {
 }
 
 // ---------------------------------------------------------------------------
-// unordered-iter support: per-file tracking of names declared with unordered
-// container types (including local `using` aliases). A purely lexical
-// heuristic — file-scoped, no nesting — which is exactly as much as the
-// repo's style needs; DESIGN.md §3.6 documents the limits.
-
-const char* const kUnorderedTypes[] = {"unordered_map", "unordered_set",
-                                       "unordered_multimap",
-                                       "unordered_multiset"};
+// Declared-name tracking, shared by unordered-iter and lock-discipline: a
+// purely lexical, per-line heuristic (no nesting, no scopes) — exactly as
+// much as the repo's style needs; DESIGN.md §3.6/§3.11 document the limits.
 
 /// Position just past a balanced `<...>` starting at `open` (which must
 /// index a '<'), or npos if unbalanced on this line.
@@ -204,6 +299,13 @@ std::vector<std::size_t> find_tokens(const std::string& code,
   }
   return out;
 }
+
+// ---------------------------------------------------------------------------
+// unordered-iter support
+
+const char* const kUnorderedTypes[] = {"unordered_map", "unordered_set",
+                                       "unordered_multimap",
+                                       "unordered_multiset"};
 
 struct UnorderedNames {
   std::set<std::string> aliases;  ///< `using X = std::unordered_map<...>`
@@ -286,6 +388,163 @@ std::string range_for_expr(const std::string& code) {
 }
 
 // ---------------------------------------------------------------------------
+// layering support: the include DAG. Layers are ranked; a file may include
+// its own layer or any strictly lower rank. Equal-rank *different* layers
+// (runtime vs opt, apps vs baselines) are siblings and must not include
+// each other. Files outside src/, and angle-bracket includes, are exempt.
+
+int layer_rank(const std::string& layer) {
+  static const std::map<std::string, int> kRank = {
+      {"common", 0},  {"linalg", 1}, {"opt", 2},  {"runtime", 2},
+      {"gp", 3},      {"core", 4},   {"apps", 5}, {"baselines", 5}};
+  auto it = kRank.find(layer);
+  return it == kRank.end() ? -1 : it->second;
+}
+
+/// Layer of a tree file from its path (`.../src/<layer>/...`), or "" if it
+/// is not under a recognized src/ layer.
+std::string src_layer(const std::string& npath) {
+  std::size_t at = std::string::npos;
+  if (npath.rfind("src/", 0) == 0) {
+    at = 4;
+  } else {
+    std::size_t p = npath.rfind("/src/");
+    if (p != std::string::npos) at = p + 5;
+  }
+  if (at == std::string::npos) return "";
+  std::size_t slash = npath.find('/', at);
+  if (slash == std::string::npos) return "";
+  std::string layer = npath.substr(at, slash - at);
+  return layer_rank(layer) >= 0 ? layer : "";
+}
+
+/// Layer of a quoted include path (first component, src-relative by repo
+/// convention), or "" if it does not name a known layer.
+std::string include_layer(const std::string& inc) {
+  const std::string p = normalize(inc);
+  std::size_t slash = p.find('/');
+  if (slash == std::string::npos) return "";
+  std::string layer = p.substr(0, slash);
+  return layer_rank(layer) >= 0 ? layer : "";
+}
+
+struct IncludeRef {
+  std::size_t line0 = 0;  ///< 0-based line of the directive
+  std::string path;       ///< the quoted include path, as written
+};
+
+std::vector<IncludeRef> quoted_includes(const LexedFile& lf) {
+  // The quoted path is blanked in the code text (it is a string literal,
+  // quotes included), so match the directive shape on code and pull the
+  // path from raw. The code-side check rejects commented-out directives;
+  // the raw-side capture rejects angle-bracket includes.
+  static const std::regex kCodeInclude("^\\s*#\\s*include\\b");
+  static const std::regex kRawInclude("^\\s*#\\s*include\\s*\"([^\"]+)\"");
+  std::vector<IncludeRef> out;
+  for (std::size_t i = 0; i < lf.lines.size(); ++i) {
+    if (!std::regex_search(lf.lines[i].code, kCodeInclude)) continue;
+    std::smatch m;
+    if (std::regex_search(lf.raw[i], m, kRawInclude)) {
+      out.push_back({i, m[1].str()});
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// lock-discipline support: types whose fields are mutex-guarded. Member
+// access on variables of these types is only legal through the
+// guard-holding accessor API, except inside the type's home files (which
+// implement the locking and are covered by the Clang thread-safety
+// annotations, DESIGN.md §3.11).
+
+struct GuardedType {
+  const char* type;  ///< class name whose declarations are tracked
+  std::vector<const char*> homes;  ///< path fragments with free access
+  std::set<std::string> allowed;   ///< guard-holding members
+};
+
+const std::vector<GuardedType>& guarded_types() {
+  static const std::vector<GuardedType> kTypes = {
+      {"HistoryDb",
+       {"src/core/history."},
+       {"add", "size", "for_task", "best_for_task", "merge", "save",
+        "load"}},
+      // The telemetry metrics registry and the rtcheck registry: every
+      // field is guarded by the registry mutex, and no access at all is
+      // legal outside the owning translation units.
+      {"Registry",
+       {"src/common/telemetry/", "src/runtime/rtcheck."},
+       {}},
+  };
+  return kTypes;
+}
+
+bool in_home(const GuardedType& gt, const std::string& npath) {
+  for (const char* home : gt.homes) {
+    if (npath.find(home) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Per-type tracked variable names: guarded_names[type] = {names}.
+using GuardedNames = std::map<std::string, std::set<std::string>>;
+
+/// True if `name` is declared in this file with a type other than `type` —
+/// a cross-file tracked name (say, MlaOptions::history, a HistoryDb*) is
+/// dropped for files that reuse the identifier for something else (a
+/// baseline's `TaskHistory& history`, an `auto history = ...` local).
+/// Declarations are recognized lexically: an identifier token (skipping
+/// cv words and ref/pointer decorations) immediately before the name.
+bool shadowed_in_file(const LexedFile& lf, const std::string& name,
+                      const std::string& type) {
+  static const std::set<std::string> kNotTypes = {
+      "return",  "co_return", "co_yield", "co_await", "throw", "delete",
+      "new",     "typename",  "using",    "namespace", "goto", "case",
+      "sizeof",  "decltype",  "else",     "do",        "if",   "while",
+      "typedef", "struct",    "class",    "public",    "private",
+      "protected"};
+  for (const LexedLine& ln : lf.lines) {
+    const std::string& code = ln.code;
+    for (std::size_t pos : find_tokens(code, name)) {
+      std::size_t p = pos;
+      std::string prev;
+      for (;;) {  // read identifiers backwards, skipping cv words
+        while (p > 0 && (code[p - 1] == ' ' || code[p - 1] == '\t' ||
+                         code[p - 1] == '&' || code[p - 1] == '*')) {
+          --p;
+        }
+        std::size_t e = p;
+        while (p > 0 && is_ident_char(code[p - 1])) --p;
+        prev = code.substr(p, e - p);
+        if (prev != "const" && prev != "volatile") break;
+      }
+      if (prev.empty() || prev == type) continue;
+      if (kNotTypes.count(prev) > 0) continue;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Collects names declared with a guarded type in this file. Home files
+/// are skipped (their locals — `Registry& r` — are implementation detail
+/// and must not poison the cross-file set).
+void collect_guarded_names(const std::string& npath, const LexedFile& lf,
+                           GuardedNames* names) {
+  for (const GuardedType& gt : guarded_types()) {
+    if (in_home(gt, npath)) continue;
+    for (const LexedLine& ln : lf.lines) {
+      for (std::size_t pos : find_tokens(ln.code, gt.type)) {
+        std::string name =
+            read_declared_name(ln.code, pos + std::string(gt.type).size());
+        if (!name.empty()) (*names)[gt.type].insert(name);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule catalog
 
 struct Rule {
@@ -317,11 +576,6 @@ const std::vector<Rule>& pattern_rules() {
        "raw std::thread/std::async bypasses the deterministic runtime; use "
        "rt::World/Comm::spawn or rt::ThreadPool (src/runtime/)",
        std::regex("\\bstd\\s*::\\s*(thread\\b|async\\s*\\()")},
-      {"history-direct",
-       "bans HistoryDb .records() access outside src/core/history.*",
-       "records() hands out the store without the HistoryDb mutex; use the "
-       "guarded query API, or annotate a deliberate snapshot read",
-       std::regex("(\\.|->)\\s*records\\s*\\(\\s*\\)")},
       {"wall-clock",
        "bans steady_clock/system_clock ::now() outside common/timer.hpp, "
        "common/telemetry/ and src/runtime/",
@@ -356,9 +610,6 @@ bool rule_applies(const std::string& rule, const std::string& path) {
   if (rule == "raw-thread") {
     return path.find("src/runtime/") == std::string::npos;
   }
-  if (rule == "history-direct") {
-    return path.find("src/core/history.") == std::string::npos;
-  }
   if (rule == "wall-clock") {
     // The sanctioned wall-clock consumers: the timer wrapper, the telemetry
     // layer, and the runtime (timeouts/deadlines on mailbox waits).
@@ -382,7 +633,293 @@ bool rule_applies(const std::string& rule, const std::string& path) {
            path.find("src/runtime/") == std::string::npos &&
            path.find("src/core/completion_log") == std::string::npos;
   }
+  if (rule == "lock-discipline") {
+    // The blanket records() check; field-level scoping (per-type homes) is
+    // handled in the rule body.
+    return path.find("src/core/history.") == std::string::npos;
+  }
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file analysis
+
+struct FileAnalysis {
+  std::string path;   ///< as given, for reporting
+  std::string npath;  ///< normalized, for path-scoped rules
+  LexedFile lex;
+  std::vector<std::set<std::string>> allows;  ///< per 0-based line
+  std::vector<IncludeRef> includes;
+};
+
+FileAnalysis prepare(const std::string& path, const std::string& content) {
+  FileAnalysis fa;
+  fa.path = path;
+  fa.npath = normalize(path);
+  fa.lex = lex(content);
+  fa.allows.resize(fa.lex.lines.size());
+  for (std::size_t i = 0; i < fa.lex.lines.size(); ++i) {
+    fa.allows[i] = parse_allows(fa.lex.lines[i].comment);
+  }
+  fa.includes = quoted_includes(fa.lex);
+  return fa;
+}
+
+bool is_allowed(const FileAnalysis& fa, std::size_t line0,
+                const std::string& rule) {
+  auto match = [&](std::size_t l) {
+    return fa.allows[l].count(rule) > 0 || fa.allows[l].count("all") > 0;
+  };
+  if (match(line0)) return true;
+  // A directive reaches the next code line through a contiguous run of
+  // comment-only lines (so a directive's `reason:` text may wrap), plus
+  // the immediately preceding line even if it holds code.
+  std::size_t l = line0;
+  while (l > 0) {
+    --l;
+    if (match(l)) return true;
+    const bool comment_only = trim(fa.lex.lines[l].code).empty() &&
+                              !fa.lex.lines[l].comment.empty();
+    if (!comment_only) break;
+  }
+  return false;
+}
+
+std::vector<Finding> analyze_file(const FileAnalysis& fa,
+                                  const GuardedNames& cross_file_names,
+                                  std::size_t* suppressed) {
+  const std::vector<LexedLine>& lines = fa.lex.lines;
+  std::vector<Finding> findings;
+  auto emit = [&](std::size_t line0, const std::string& rule,
+                  const std::string& message) {
+    if (is_allowed(fa, line0, rule)) {
+      if (suppressed != nullptr) ++*suppressed;
+      return;
+    }
+    findings.push_back(
+        {rule, fa.path, line0 + 1, message, trim(fa.lex.raw[line0])});
+  };
+
+  // Pattern rules.
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (const Rule& r : pattern_rules()) {
+      if (!rule_applies(r.name, fa.npath)) continue;
+      if (std::regex_search(lines[i].code, r.pattern)) {
+        emit(i, r.name, r.message);
+      }
+    }
+  }
+
+  // layering: every quoted include must stay within the layer DAG.
+  const std::string my_layer = src_layer(fa.npath);
+  if (!my_layer.empty()) {
+    const int my_rank = layer_rank(my_layer);
+    for (const IncludeRef& inc : fa.includes) {
+      const std::string dep = include_layer(inc.path);
+      if (dep.empty() || dep == my_layer) continue;
+      if (layer_rank(dep) < my_rank) continue;
+      emit(inc.line0, "layering",
+           "layer '" + my_layer + "' must not include layer '" + dep +
+               "' (\"" + inc.path +
+               "\"); the DAG is common -> linalg -> {opt, runtime} -> gp "
+               "-> core -> {apps, baselines}, and includes may only point "
+               "at the same or a strictly lower layer");
+    }
+  }
+
+  // lock-discipline, blanket part: records() hands out the HistoryDb store
+  // without its mutex, anywhere outside the implementation.
+  static const std::regex kRecords("(\\.|->)\\s*records\\s*\\(\\s*\\)");
+  if (rule_applies("lock-discipline", fa.npath)) {
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (std::regex_search(lines[i].code, kRecords)) {
+        emit(i, "lock-discipline",
+             "records() hands out the store without the HistoryDb mutex; "
+             "use the guarded query API, or annotate a deliberate snapshot "
+             "read");
+      }
+    }
+  }
+
+  // lock-discipline, field-level part: member access on a tracked
+  // guarded-type variable must go through the guard-holding API.
+  {
+    GuardedNames local;
+    collect_guarded_names(fa.npath, fa.lex, &local);
+    for (const GuardedType& gt : guarded_types()) {
+      if (in_home(gt, fa.npath)) continue;
+      std::set<std::string> tracked = local[gt.type];
+      if (auto it = cross_file_names.find(gt.type);
+          it != cross_file_names.end()) {
+        for (const std::string& n : it->second) {
+          if (tracked.count(n) > 0) continue;
+          if (shadowed_in_file(fa.lex, n, gt.type)) continue;
+          tracked.insert(n);
+        }
+      }
+      if (tracked.empty()) continue;
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string& code = lines[i].code;
+        for (const std::string& name : tracked) {
+          for (std::size_t pos : find_tokens(code, name)) {
+            std::size_t after = pos + name.size();
+            while (after < code.size() &&
+                   (code[after] == ' ' || code[after] == '\t')) {
+              ++after;
+            }
+            std::size_t member_at = std::string::npos;
+            if (after < code.size() && code[after] == '.' &&
+                (after + 1 >= code.size() || code[after + 1] != '.')) {
+              member_at = after + 1;
+            } else if (after + 1 < code.size() && code[after] == '-' &&
+                       code[after + 1] == '>') {
+              member_at = after + 2;
+            }
+            if (member_at == std::string::npos) continue;
+            while (member_at < code.size() &&
+                   (code[member_at] == ' ' || code[member_at] == '\t')) {
+              ++member_at;
+            }
+            std::size_t mend = member_at;
+            while (mend < code.size() && is_ident_char(code[mend])) ++mend;
+            if (mend == member_at) continue;
+            const std::string member = code.substr(member_at,
+                                                   mend - member_at);
+            if (member == "records") continue;  // the blanket check owns it
+            if (gt.allowed.count(member) > 0) continue;
+            emit(i, "lock-discipline",
+                 "'" + name + "." + member + "' touches a " + gt.type +
+                     " field outside its guard-holding API; the fields are "
+                     "mutex-guarded (GPTUNE_GUARDED_BY) and only the "
+                     "accessor methods take the lock");
+          }
+        }
+      }
+    }
+  }
+
+  // suppression-audit: every allow() directive must carry a written
+  // reason. Findings are emitted directly — a suppression cannot vouch
+  // for itself.
+  {
+    static const std::regex kReason("\\breason\\s*:\\s*\\S");
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const std::string& comment = lines[i].comment;
+      if (comment.empty()) continue;
+      if (!std::regex_search(comment, directive_regex())) continue;
+      if (std::regex_search(comment, kReason)) continue;
+      findings.push_back(
+          {"suppression-audit", fa.path, i + 1,
+           "allow() directive without a justification; append `reason: "
+           "<why this exemption is sound>` to the suppression comment",
+           trim(fa.lex.raw[i])});
+    }
+  }
+
+  // unordered-iter.
+  UnorderedNames names;
+  collect_unordered_names(lines, &names);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string expr = range_for_expr(lines[i].code);
+    if (expr.empty()) continue;
+    const bool direct = expr.find("unordered_") != std::string::npos;
+    const bool tracked =
+        std::all_of(expr.begin(), expr.end(), is_ident_char) &&
+        names.vars.count(expr) > 0;
+    if (direct || tracked) {
+      emit(i, "unordered-iter",
+           "iterating an unordered container ('" + expr +
+               "') feeds hash order into the trajectory; use an ordered "
+               "container or sort first");
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-file passes
+
+/// Include-cycle detection over the scanned set. Quoted include paths are
+/// resolved against the scanned files by path suffix; cycles are reported
+/// on the include line that closes them.
+void detect_cycles(const std::vector<FileAnalysis>& fas,
+                   std::vector<std::vector<Finding>>* extra) {
+  const std::size_t n = fas.size();
+
+  // Resolve includes to scanned-file indices (deterministic: first match
+  // in sorted path order wins).
+  struct Edge {
+    std::size_t to;
+    std::size_t line0;
+    std::string inc;
+  };
+  std::vector<std::vector<Edge>> edges(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const IncludeRef& inc : fas[u].includes) {
+      const std::string suffix = "/" + normalize(inc.path);
+      for (std::size_t v = 0; v < n; ++v) {
+        const std::string& cand = fas[v].npath;
+        const bool match =
+            cand == normalize(inc.path) ||
+            (cand.size() > suffix.size() &&
+             cand.compare(cand.size() - suffix.size(), suffix.size(),
+                          suffix) == 0);
+        if (match) {
+          edges[u].push_back({v, inc.line0, inc.path});
+          break;
+        }
+      }
+    }
+  }
+
+  // Iterative three-color DFS; a grey→grey edge closes a cycle.
+  enum : unsigned char { kWhite, kGrey, kBlack };
+  std::vector<unsigned char> color(n, kWhite);
+  std::vector<std::size_t> on_stack;  // current grey chain, root first
+  struct Frame {
+    std::size_t node;
+    std::size_t next_edge;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (color[root] != kWhite) continue;
+    std::vector<Frame> stack{{root, 0}};
+    color[root] = kGrey;
+    on_stack.push_back(root);
+    while (!stack.empty()) {
+      Frame& fr = stack.back();
+      if (fr.next_edge >= edges[fr.node].size()) {
+        color[fr.node] = kBlack;
+        on_stack.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const Edge& e = edges[fr.node][fr.next_edge++];
+      if (color[e.to] == kWhite) {
+        color[e.to] = kGrey;
+        on_stack.push_back(e.to);
+        stack.push_back({e.to, 0});
+      } else if (color[e.to] == kGrey) {
+        // Reconstruct the cycle for the message.
+        std::string chain;
+        bool in_cycle = false;
+        for (std::size_t node : on_stack) {
+          if (node == e.to) in_cycle = true;
+          if (in_cycle) chain += fas[node].npath + " -> ";
+        }
+        chain += fas[e.to].npath;
+        (*extra)[fr.node].push_back(
+            {"layering", fas[fr.node].path, e.line0 + 1,
+             "include cycle: " + chain +
+                 "; the include graph must stay a DAG",
+             trim(fas[fr.node].lex.raw[e.line0])});
+      }
+    }
+  }
 }
 
 void json_escape(std::ostringstream& os, const std::string& s) {
@@ -417,6 +954,19 @@ const std::vector<RuleInfo>& rules() {
     std::vector<RuleInfo> out;
     for (const Rule& r : pattern_rules()) out.push_back({r.name, r.summary});
     out.push_back(
+        {"layering",
+         "enforces the include-layer DAG (common -> linalg -> {opt, "
+         "runtime} -> gp -> core -> {apps, baselines}) and an acyclic "
+         "include graph"});
+    out.push_back(
+        {"lock-discipline",
+         "bans HistoryDb/registry field access outside the guard-holding "
+         "accessor API (and .records() outside src/core/history.*)"});
+    out.push_back(
+        {"suppression-audit",
+         "requires every gptune-lint allow() directive to carry a "
+         "`reason:` justification"});
+    out.push_back(
         {"unordered-iter",
          "bans range-for over unordered containers (iteration order feeds "
          "the trajectory)"});
@@ -428,77 +978,47 @@ const std::vector<RuleInfo>& rules() {
 std::vector<Finding> lint_source(const std::string& path,
                                  const std::string& content,
                                  std::size_t* suppressed) {
-  const std::string npath = normalize(path);
+  FileAnalysis fa = prepare(path, content);
+  return analyze_file(fa, GuardedNames{}, suppressed);
+}
 
-  // Lex every line once.
-  std::vector<LexedLine> lines;
-  {
-    LexState st;
-    std::istringstream is(content);
-    std::string raw;
-    while (std::getline(is, raw)) lines.push_back(lex_line(raw, st));
+Result lint_sources(const std::vector<SourceFile>& files) {
+  Result result;
+  std::vector<FileAnalysis> fas;
+  fas.reserve(files.size());
+  for (const SourceFile& f : files) fas.push_back(prepare(f.path, f.content));
+  result.files_scanned = fas.size();
+
+  // Pass 1: guarded-type names from src/ files, shared across the set so
+  // a member declared in a header is policed in every consumer.
+  GuardedNames cross_file;
+  for (const FileAnalysis& fa : fas) {
+    if (fa.npath.find("src/") == std::string::npos) continue;
+    collect_guarded_names(fa.npath, fa.lex, &cross_file);
   }
-  std::vector<std::string> raw_lines;
-  {
-    std::istringstream is(content);
-    std::string raw;
-    while (std::getline(is, raw)) raw_lines.push_back(raw);
-  }
 
-  // allow() directives, by 0-based line.
-  std::vector<std::set<std::string>> allows(lines.size());
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    allows[i] = parse_allows(lines[i].comment);
-  }
-  auto allowed = [&](std::size_t line0, const std::string& rule) {
-    for (std::size_t l : {line0, line0 == 0 ? line0 : line0 - 1}) {
-      if (allows[l].count(rule) || allows[l].count("all")) return true;
-    }
-    return false;
-  };
+  // Cross-file include-graph cycles.
+  std::vector<std::vector<Finding>> extra(fas.size());
+  detect_cycles(fas, &extra);
 
-  std::vector<Finding> findings;
-  auto emit = [&](std::size_t line0, const std::string& rule,
-                  const std::string& message) {
-    if (allowed(line0, rule)) {
-      if (suppressed != nullptr) ++*suppressed;
-      return;
-    }
-    findings.push_back(
-        {rule, path, line0 + 1, message, trim(raw_lines[line0])});
-  };
-
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    for (const Rule& r : pattern_rules()) {
-      if (!rule_applies(r.name, npath)) continue;
-      if (std::regex_search(lines[i].code, r.pattern)) {
-        emit(i, r.name, r.message);
+  // Pass 2: per-file rules, with the cycle findings folded into each
+  // file's (suppression-aware, sorted) result.
+  for (std::size_t i = 0; i < fas.size(); ++i) {
+    std::vector<Finding> f = analyze_file(fas[i], cross_file,
+                                          &result.suppressed);
+    for (Finding& cf : extra[i]) {
+      if (is_allowed(fas[i], cf.line - 1, cf.rule)) {
+        ++result.suppressed;
+      } else {
+        f.push_back(std::move(cf));
       }
     }
+    std::sort(f.begin(), f.end(), [](const Finding& a, const Finding& b) {
+      return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+    });
+    result.findings.insert(result.findings.end(), f.begin(), f.end());
   }
-
-  UnorderedNames names;
-  collect_unordered_names(lines, &names);
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    std::string expr = range_for_expr(lines[i].code);
-    if (expr.empty()) continue;
-    const bool direct = expr.find("unordered_") != std::string::npos;
-    const bool tracked =
-        std::all_of(expr.begin(), expr.end(), is_ident_char) &&
-        names.vars.count(expr) > 0;
-    if (direct || tracked) {
-      emit(i, "unordered-iter",
-           "iterating an unordered container ('" + expr +
-               "') feeds hash order into the trajectory; use an ordered "
-               "container or sort first");
-    }
-  }
-
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
-            });
-  return findings;
+  return result;
 }
 
 Result lint_paths(const std::vector<std::string>& paths) {
@@ -509,13 +1029,28 @@ Result lint_paths(const std::vector<std::string>& paths) {
   for (const std::string& p : paths) {
     std::error_code ec;
     if (fs::is_directory(p, ec)) {
-      for (const auto& entry :
-           fs::recursive_directory_iterator(p, ec)) {
-        if (entry.is_regular_file() && is_cpp_source(entry.path())) {
-          files.push_back(entry.path().string());
+      if (fs::path(p).filename() == "lint_fixtures") continue;  // see below
+      fs::recursive_directory_iterator it(p, ec), end;
+      if (ec) {
+        result.errors.push_back(p + ": " + ec.message());
+        continue;
+      }
+      for (; it != end; it.increment(ec)) {
+        if (ec) {
+          result.errors.push_back(p + ": " + ec.message());
+          break;
+        }
+        if (it->is_directory() &&
+            it->path().filename() == "lint_fixtures") {
+          // Deliberate rule violations for the lint test corpus; the
+          // corpus is linted by tests/test_lint, not by tree scans.
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && is_cpp_source(it->path())) {
+          files.push_back(it->path().string());
         }
       }
-      if (ec) result.errors.push_back(p + ": " + ec.message());
     } else if (fs::is_regular_file(p, ec)) {
       files.push_back(p);
     } else {
@@ -525,6 +1060,8 @@ Result lint_paths(const std::vector<std::string>& paths) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
   for (const std::string& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -533,11 +1070,13 @@ Result lint_paths(const std::vector<std::string>& paths) {
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    ++result.files_scanned;
-    std::vector<Finding> f =
-        lint_source(file, buf.str(), &result.suppressed);
-    result.findings.insert(result.findings.end(), f.begin(), f.end());
+    sources.push_back({file, buf.str()});
   }
+
+  Result scanned = lint_sources(sources);
+  result.findings = std::move(scanned.findings);
+  result.suppressed = scanned.suppressed;
+  result.files_scanned = scanned.files_scanned;
   return result;
 }
 

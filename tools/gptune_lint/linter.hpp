@@ -1,17 +1,26 @@
-// gptune_lint — determinism lint for the GPTune C++ tree.
+// gptune_lint — determinism + concurrency-discipline lint for the GPTune
+// C++ tree.
 //
 // The tuner's core guarantee (DESIGN.md §3.4–3.5) is that a trajectory is
 // bitwise-reproducible from its seed at any worker count. That property is
 // easy to destroy with one careless line — an ambient-entropy RNG, a raw
 // std::thread racing the runtime's deterministic scheduling, an iteration
-// over an unordered container feeding the search — and none of those are
-// compile errors. This linter bans them mechanically.
+// over an unordered container feeding the search, an unguarded HistoryDb
+// field read racing a worker's add() — and none of those are compile
+// errors. This linter bans them mechanically.
 //
-// It is a from-scratch line-oriented scanner (no libclang): comments and
-// string/char literals are stripped with a small lexer, rules match on the
-// remaining code text, and `// gptune-lint: allow(<rule>)` on the same or
-// the immediately preceding line suppresses a finding. See DESIGN.md §3.6
-// for the rule catalog.
+// It is a from-scratch analyzer (no libclang) in two stages. A full-content
+// lexer splits every translation unit into per-line code text (string/char
+// literals blanked, raw strings and backslash line continuations handled)
+// and comment text (for `gptune-lint:` directives). Per-line rules match on
+// the code text; cross-file rules (the include-layering DAG, include-cycle
+// detection, and guarded-type name collection for the lock-discipline rule)
+// run over the whole file set handed to lint_sources()/lint_paths().
+//
+// `// gptune-lint: allow(<rule>) reason: <why>` on the same or the
+// immediately preceding line suppresses a finding; the suppression-audit
+// rule rejects any allow() directive that does not carry a reason. See
+// DESIGN.md §3.6 and §3.11 for the rule catalog.
 #pragma once
 
 #include <cstddef>
@@ -43,20 +52,36 @@ struct RuleInfo {
   std::string summary;
 };
 
+/// One in-memory translation unit for lint_sources(). `path` is used for
+/// reporting and for path-scoped rules, so tests can mock tree locations.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
 /// The rule catalog, in reporting order.
 const std::vector<RuleInfo>& rules();
 
 /// Lints one translation unit given as a string. `path` is used for
 /// reporting and for path-scoped rules (raw-thread is allowed under
-/// src/runtime/; history-direct is allowed in src/core/history.*).
-/// Returns unsuppressed findings; `suppressed`, when non-null, is
-/// incremented for each allow()-silenced finding.
+/// src/runtime/; lock-discipline field access is allowed in each guarded
+/// type's home files). Returns unsuppressed findings; `suppressed`, when
+/// non-null, is incremented for each allow()-silenced finding. Cross-file
+/// rules see only this one file.
 std::vector<Finding> lint_source(const std::string& path,
                                  const std::string& content,
                                  std::size_t* suppressed = nullptr);
 
+/// Lints a set of in-memory files together: per-line rules plus the
+/// cross-file passes (guarded-type names are collected across the whole
+/// set before the lock-discipline rule runs; the include graph is checked
+/// for cycles among the given files).
+Result lint_sources(const std::vector<SourceFile>& files);
+
 /// Lints files and directories (recursed for C++ sources, deterministic
-/// sorted order). Nonexistent/unreadable paths land in Result::errors.
+/// sorted order; directories named `lint_fixtures` are skipped — they hold
+/// deliberate rule violations for the lint test corpus). Nonexistent or
+/// unreadable paths land in Result::errors.
 Result lint_paths(const std::vector<std::string>& paths);
 
 /// Machine-readable summary of a run (stable key order).
