@@ -1,0 +1,61 @@
+// Post-mortem demo: the quickstart run wired for observability.
+//
+// Run it clean and every observability artifact appears:
+//
+//   GPTUNE_MANIFEST=manifest.json GPTUNE_DUMP_DIR=. GPTUNE_HEARTBEAT=2
+//     ... ./fault_report_demo
+//   gptune_report --ci --manifest manifest.json --dump-dir .
+//
+// Run it with --crash and a deterministically chosen configuration aborts
+// the process mid-tuning (apps::FaultSpec::hard_crash): the flight
+// recorder's SIGABRT handler writes flight_dump_crash.json into
+// GPTUNE_DUMP_DIR, the manifest is left at status "running", and
+// gptune_report renders the per-thread last-events timeline and flags
+// [incomplete-run] + [crash-dump]. This is the demo — and the CI fixture
+// (scripts/check.sh report) — for the post-mortem flow in DESIGN.md §3.12.
+#include <cstdio>
+#include <cstring>
+
+#include "apps/analytical.hpp"
+#include "apps/fault_injection.hpp"
+#include "core/mla.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gptune;
+
+  const bool crash = argc > 1 && std::strcmp(argv[1], "--crash") == 0;
+
+  core::Space space;
+  space.add_real("x", 0.0, 1.0);
+
+  core::MultiObjectiveFn objective = [](const core::TaskVector& task,
+                                        const core::Config& config) {
+    return std::vector<double>{
+        apps::analytical_objective(task[0], config[0])};
+  };
+  if (crash) {
+    // High enough that one of the 20 evaluations per task is near-certain
+    // to hit it; hard_crash turns that hit into SIGABRT.
+    apps::FaultSpec spec;
+    spec.crash_rate = 0.3;
+    spec.hard_crash = true;
+    spec.seed = 7;
+    objective = apps::with_faults(std::move(objective), spec);
+  }
+
+  core::MlaOptions options;
+  options.budget_per_task = 20;
+  options.seed = 2021;
+  options.objective_workers = 4;
+
+  core::MultitaskTuner tuner(space, objective, options);
+  std::vector<core::TaskVector> tasks = {{0.0}, {2.0}, {4.5}, {9.5}};
+  core::MlaResult result = tuner.run(tasks);
+
+  std::printf("task     best x    best y\n");
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    std::printf("t=%-5.1f  %8.5f  %8.5f\n", tasks[i][0],
+                result.tasks[i].best_config()[0], result.tasks[i].best());
+  }
+  return 0;
+}

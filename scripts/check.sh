@@ -31,6 +31,16 @@
 #           of a plain configure (build-tidy/); .clang-tidy sets
 #           WarningsAsErrors '*', so every finding fails the lane.
 #           Skip-passes when clang-tidy is not installed.
+#   report — plain build tree (build-trace/, shared with the trace lane):
+#           post-mortem/observability smoke (DESIGN.md §3.12). A clean
+#           quickstart-shaped run with GPTUNE_MANIFEST + GPTUNE_DUMP_DIR +
+#           GPTUNE_HEARTBEAT must (a) land on results bitwise identical to
+#           the uninstrumented run, (b) write a finalized manifest that
+#           gptune_report --ci accepts with zero anomaly flags while
+#           passing the committed BENCH_*.json baselines, and (c) a
+#           fault-injected hard crash (fault_report_demo --crash) must
+#           leave a flight_dump_crash.json that gptune_report renders and
+#           flags ([incomplete-run] + [crash-dump], exit 1 under --ci).
 #   bench — bench build tree (build-bench/): runs the fast bench axes
 #           (bench_incremental_refit; GPTUNE_BENCH_FULL=1 adds
 #           fig3_parallel_scaling) and gates their speedup/occupancy
@@ -56,7 +66,7 @@ LANE="${1:-asan}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 # The one list every usage/error message — and the CI matrix — derives from.
-LANES="asan tsan lint threadsafety tidy trace replay bench"
+LANES="asan tsan lint threadsafety tidy trace replay report bench"
 LANES_HELP="$(echo "${LANES}" | tr ' ' '|')|all"
 
 if [ "${LANE}" = --list-lanes ]; then
@@ -238,6 +248,71 @@ run_replay_lane() {
   echo "replay lane: replayed trajectory bitwise identical ($(wc -l < "${tmp}/recorded.results") evaluations)"
 }
 
+# Post-mortem/report smoke (DESIGN.md §3.12): manifest + flight recorder +
+# heartbeat must be observe-only on a clean run, produce a report
+# gptune_report --ci accepts, and a hard crash must leave a dump the
+# report renders and flags. Shares the trace lane's plain build tree.
+run_report_lane() {
+  local build_dir="$1"
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGPTUNE_WERROR=ON \
+    -DGPTUNE_BUILD_BENCH=OFF \
+    -DGPTUNE_BUILD_EXAMPLES=ON
+  cmake --build "${build_dir}" -j "${JOBS}" \
+    --target quickstart fault_report_demo gptune_report
+
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  local report="${build_dir}/tools/gptune_report/gptune_report"
+
+  "${report}" --selftest
+
+  # Clean run: full observability on. The recorder, heartbeat, and
+  # manifest observe — the tuning trajectory must be bitwise identical to
+  # the uninstrumented run.
+  "${build_dir}/examples/quickstart" > "${tmp}/plain.out"
+  mkdir "${tmp}/clean"
+  GPTUNE_MANIFEST="${tmp}/clean/manifest.json" \
+  GPTUNE_DUMP_DIR="${tmp}/clean" GPTUNE_HEARTBEAT=0.2 \
+    "${build_dir}/examples/quickstart" > "${tmp}/observed.out"
+  grep '^t=' "${tmp}/plain.out" > "${tmp}/plain.results"
+  grep '^t=' "${tmp}/observed.out" > "${tmp}/observed.results"
+  [ -s "${tmp}/plain.results" ] || { echo "report lane: quickstart printed no results" >&2; exit 1; }
+  if ! diff -u "${tmp}/plain.results" "${tmp}/observed.results"; then
+    echo "report lane: manifest/recorder/heartbeat perturbed the tuning results" >&2
+    exit 1
+  fi
+  [ -s "${tmp}/clean/manifest.json" ] || { echo "report lane: no manifest written" >&2; exit 1; }
+  [ -s "${tmp}/clean/heartbeat.json" ] || { echo "report lane: no heartbeat snapshot written" >&2; exit 1; }
+  # Clean manifest + dumps + committed bench baselines: zero anomaly flags.
+  "${report}" --ci --manifest "${tmp}/clean/manifest.json" \
+    --dump-dir "${tmp}/clean" --bench-dir . > "${tmp}/clean.report"
+  grep -q 'report: clean' "${tmp}/clean.report" || { echo "report lane: clean run not reported clean" >&2; cat "${tmp}/clean.report"; exit 1; }
+
+  # Crash run: the injected hard crash must leave a crash dump that the
+  # report renders with per-thread timelines and flags under --ci.
+  mkdir "${tmp}/crash"
+  local rc=0
+  # The child bash absorbs the "Aborted (core dumped)" job notice into the
+  # redirected stderr — the SIGABRT is the expected fixture, not noise.
+  bash -c "GPTUNE_MANIFEST='${tmp}/crash/manifest.json' \
+    GPTUNE_DUMP_DIR='${tmp}/crash' \
+    '${build_dir}/examples/fault_report_demo' --crash; exit \$?" \
+    > /dev/null 2>&1 || rc=$?
+  [ "${rc}" -ne 0 ] || { echo "report lane: fault_report_demo --crash exited 0" >&2; exit 1; }
+  [ -s "${tmp}/crash/flight_dump_crash.json" ] || { echo "report lane: no crash dump written" >&2; exit 1; }
+  rc=0
+  "${report}" --ci --manifest "${tmp}/crash/manifest.json" \
+    --dump-dir "${tmp}/crash" > "${tmp}/crash.report" || rc=$?
+  [ "${rc}" -eq 1 ] || { echo "report lane: crashed run passed --ci (rc=${rc})" >&2; cat "${tmp}/crash.report"; exit 1; }
+  grep -q '\[crash-dump\]' "${tmp}/crash.report" || { echo "report lane: crash-dump flag missing" >&2; cat "${tmp}/crash.report"; exit 1; }
+  grep -q '\[incomplete-run\]' "${tmp}/crash.report" || { echo "report lane: incomplete-run flag missing" >&2; cat "${tmp}/crash.report"; exit 1; }
+  grep -q 'last .* event(s)' "${tmp}/crash.report" || { echo "report lane: per-thread timeline missing from report" >&2; cat "${tmp}/crash.report"; exit 1; }
+  echo "report lane: clean run observe-only + reported clean; crash run dumped + flagged"
+}
+
 # Bench-regression gate: run the fast bench axes in a scratch CWD and
 # compare the speedup/occupancy metrics they emit against the committed
 # BENCH_*.json baselines (scripts/bench_gate.py).
@@ -275,6 +350,7 @@ case "${LANE}" in
     run_tidy_lane "${2:-build-tidy}"
     run_trace_lane "${2:-build-trace}"
     run_replay_lane "${2:-build-trace}"
+    run_report_lane "${2:-build-trace}"
     run_bench_lane "${2:-build-bench}"
     ;;
   asan)
@@ -297,6 +373,9 @@ case "${LANE}" in
     ;;
   replay)
     run_replay_lane "${2:-build-trace}"
+    ;;
+  report)
+    run_report_lane "${2:-build-trace}"
     ;;
   bench)
     run_bench_lane "${2:-build-bench}"

@@ -1,5 +1,6 @@
 #include "apps/fault_injection.hpp"
 
+#include <cstdlib>
 #include <limits>
 #include <memory>
 #include <stdexcept>
@@ -50,6 +51,12 @@ std::vector<double> FaultInjector::operator()(
       if (!healed) ++faults_injected_;
     }
     if (!healed) {
+      if (crash && spec_.hard_crash) {
+        // Process-fatal variant: SIGABRT reaches the flight recorder's
+        // signal handler, which dumps the last events per thread before
+        // the default disposition kills the process.
+        std::abort();
+      }
       if (crash) throw std::runtime_error("injected application crash");
       auto y = inner_(task, config);
       if (nan) {

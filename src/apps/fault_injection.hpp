@@ -36,6 +36,12 @@ struct FaultSpec {
   /// cost will kill it.
   double hang_rate = 0.0;
   double hang_factor = 1.0e3;
+  /// When true, a crash fault aborts the whole process (SIGABRT) instead
+  /// of throwing — the throw models an application failure the evaluation
+  /// engine handles, the abort models the tuner process itself dying.
+  /// Exercises the flight recorder's fatal-signal dump path
+  /// (GPTUNE_DUMP_DIR; DESIGN.md §3.12) and the post-mortem report flow.
+  bool hard_crash = false;
   /// Mixed into the fault hash; different seeds fault different configs.
   std::uint64_t seed = 0;
   /// 0 = faults are permanent. k > 0 = a faulty (task, config) succeeds on

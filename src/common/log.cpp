@@ -7,6 +7,7 @@
 
 #include "common/annotations.hpp"
 #include "common/sync.hpp"
+#include "common/telemetry/flight_recorder.hpp"
 #include "common/telemetry/telemetry.hpp"
 
 namespace gptune::common {
@@ -67,6 +68,10 @@ void set_log_sink(LogSink sink) {
 void log_message(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
   const telemetry::Identity id = telemetry::identity();
+  // Every emitted line also lands in the flight-recorder ring, so crash
+  // dumps and rtcheck timelines carry the most recent log context.
+  telemetry::flight_recorder::note_text(
+      telemetry::flight_recorder::EventKind::kLog, "log", message.c_str());
   std::ostringstream os;
   os << "[" << level_name(level) << "][" << id.role << "/" << id.rank << "] "
      << message;

@@ -1,0 +1,618 @@
+#include "common/telemetry/flight_recorder.hpp"
+
+#if defined(GPTUNE_TELEMETRY)
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
+#include "common/telemetry/json.hpp"
+#include "common/telemetry/telemetry.hpp"
+
+namespace gptune::telemetry::flight_recorder {
+
+namespace {
+
+// --- storage ---------------------------------------------------------------
+//
+// A fixed pool of per-thread rings in one leaked allocation. Everything the
+// fatal-signal path touches is preallocated and reachable through a single
+// atomic pointer: no heap, no registry growth, no locks on that path. The
+// cooperative paths (note/dump_now/timeline_text/heartbeat) serialize on a
+// tiny per-ring mutex, which keeps ThreadSanitizer and the thread-safety
+// analysis on — only the dying-process signal writer reads racily.
+
+struct Entry {
+  EventKind kind = EventKind::kInstant;
+  const char* cat = nullptr;    ///< string literal, may be null
+  const char* name = nullptr;   ///< string literal, may be null
+  double wall_us = 0.0;         ///< wall microseconds since recorder epoch
+  double vt = 0.0;              ///< recording thread's virtual clock
+  char text[kTextCapacity];     ///< copied payload ('\0'-terminated)
+};
+
+/// Ring lifecycle: kFree (never used) -> kLive (owned by a thread) ->
+/// kReleased at thread exit (contents kept for post-mortem; a later thread
+/// may reclaim the slot, resetting it).
+enum : int { kFree = 0, kLive = 1, kReleased = 2 };
+
+struct Ring {
+  std::atomic<int> state{kFree};
+  common::Mutex mu;
+  const char* role GPTUNE_GUARDED_BY(mu) = "main";
+  int rank GPTUNE_GUARDED_BY(mu) = 0;
+  std::uint64_t head GPTUNE_GUARDED_BY(mu) = 0;  ///< events ever written
+  Entry entries[kRingCapacity] GPTUNE_GUARDED_BY(mu) = {};
+};
+
+struct FrState {
+  Ring rings[kMaxRings];
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> dump_seq{0};
+  std::atomic<std::uint64_t> heartbeat_seq{0};
+
+  common::Mutex cfg_mu;
+  std::string dump_dir GPTUNE_GUARDED_BY(cfg_mu);
+  std::atomic<int> dump_dir_on{0};  ///< 1 when dump_dir is non-empty
+  std::atomic<bool> handlers_installed{false};
+  /// Crash-dump path, precomputed so the signal handler never allocates.
+  char crash_path[768] GPTUNE_GUARDED_BY(cfg_mu) = {};
+
+  std::atomic<std::uint64_t> hb_period_bits{0};  ///< double bits; 0.0 = off
+  std::atomic<std::uint64_t> hb_total_bits{0};   ///< global virtual clock
+  std::atomic<std::uint64_t> hb_next_bits{0};    ///< next dump threshold
+
+  std::atomic<int> env_state{-1};  ///< -1 unread, 1 read
+};
+
+/// Reached from the signal handler through one relaxed atomic load; set
+/// exactly once, before any handler can be installed.
+std::atomic<FrState*> g_fr{nullptr};
+
+FrState& fr() {
+  static FrState* s = [] {
+    auto* created = new FrState;  // leaked: dumps may run during teardown
+    g_fr.store(created, std::memory_order_release);
+    return created;
+  }();
+  return *s;
+}
+
+double now_us() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+double bits_to_double(std::uint64_t bits) {
+  return std::bit_cast<double>(bits);
+}
+std::uint64_t double_to_bits(double v) {
+  return std::bit_cast<std::uint64_t>(v);
+}
+
+const char* kind_label(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSpanBegin: return "span_begin";
+    case EventKind::kSpanEnd: return "span_end";
+    case EventKind::kInstant: return "instant";
+    case EventKind::kLog: return "log";
+  }
+  return "?";
+}
+
+// --- per-thread ring claim -------------------------------------------------
+
+struct TlsRing {
+  Ring* ring = nullptr;
+  ~TlsRing() {
+    // Keep the contents for post-mortem dumps; the slot becomes reusable
+    // only for threads started after this one exited.
+    if (ring != nullptr) ring->state.store(kReleased, std::memory_order_release);
+  }
+};
+thread_local TlsRing t_ring;
+
+void init_from_env();  // forward
+
+Ring* claim_ring() {
+  if (t_ring.ring != nullptr) return t_ring.ring;
+  FrState& s = fr();
+  init_from_env();
+  // Prefer never-used slots so released threads' history survives as long
+  // as possible; fall back to reclaiming a released slot (its events are
+  // forgotten — they belonged to a thread that exited cleanly).
+  for (const int want : {kFree, kReleased}) {
+    for (std::size_t i = 0; i < kMaxRings; ++i) {
+      int expected = want;
+      if (s.rings[i].state.compare_exchange_strong(
+              expected, kLive, std::memory_order_acq_rel)) {
+        Ring* r = &s.rings[i];
+        const Identity id = identity();
+        common::MutexLock lock(r->mu);
+        if (want == kReleased) r->head = 0;
+        r->role = id.role;
+        r->rank = id.rank;
+        t_ring.ring = r;
+        return r;
+      }
+    }
+  }
+  s.dropped.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void record(EventKind kind, const char* cat, const char* name,
+            const char* text) {
+  Ring* r = claim_ring();
+  if (r == nullptr) return;
+  const double wall = now_us();
+  const double vt = virtual_clock();
+  common::MutexLock lock(r->mu);
+  Entry& e = r->entries[r->head % kRingCapacity];
+  e.kind = kind;
+  e.cat = cat;
+  e.name = name;
+  e.wall_us = wall;
+  e.vt = vt;
+  if (text != nullptr) {
+    std::size_t n = std::strlen(text);
+    if (n >= kTextCapacity) n = kTextCapacity - 1;
+    std::memcpy(e.text, text, n);
+    e.text[n] = '\0';
+  } else {
+    e.text[0] = '\0';
+  }
+  ++r->head;
+}
+
+// --- cooperative snapshot --------------------------------------------------
+
+struct RingSnapshot {
+  std::string label;  ///< "role/rank"
+  std::uint64_t total = 0;
+  std::vector<Entry> recent;  ///< oldest first
+};
+
+std::vector<RingSnapshot> snapshot_rings() {
+  FrState& s = fr();
+  std::vector<RingSnapshot> out;
+  for (std::size_t i = 0; i < kMaxRings; ++i) {
+    Ring& r = s.rings[i];
+    if (r.state.load(std::memory_order_acquire) == kFree) continue;
+    common::MutexLock lock(r.mu);
+    if (r.head == 0) continue;
+    RingSnapshot snap;
+    std::ostringstream label;
+    label << r.role << "/" << r.rank;
+    snap.label = label.str();
+    snap.total = r.head;
+    const std::uint64_t n = std::min<std::uint64_t>(r.head, kRingCapacity);
+    snap.recent.reserve(n);
+    for (std::uint64_t k = r.head - n; k < r.head; ++k) {
+      snap.recent.push_back(r.entries[k % kRingCapacity]);
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void append_entry_json(std::ostringstream& os, const Entry& e) {
+  os << "{\"kind\":\"" << kind_label(e.kind) << "\"";
+  if (e.cat != nullptr) os << ",\"cat\":\"" << json_escape(e.cat) << "\"";
+  if (e.name != nullptr) os << ",\"name\":\"" << json_escape(e.name) << "\"";
+  if (e.text[0] != '\0') {
+    os << ",\"text\":\"" << json_escape(e.text) << "\"";
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", e.wall_us);
+  os << ",\"wall_us\":" << buf;
+  std::snprintf(buf, sizeof(buf), "%.9g", e.vt);
+  os << ",\"vt\":" << buf << "}";
+}
+
+// --- configuration ---------------------------------------------------------
+
+void crash_handler(int sig) {
+  // First thing: restore default disposition, so a second fault inside the
+  // handler (or the re-raise below) terminates instead of recursing.
+  std::signal(sig, SIG_DFL);
+  FrState* s = g_fr.load(std::memory_order_relaxed);
+  if (s != nullptr && s->dump_dir_on.load(std::memory_order_relaxed) == 1) {
+    // crash_path is written once at configure time and never reallocated;
+    // reading it here races only with a reconfigure, which tests don't do
+    // while also crashing. Reason for the analysis escape: a signal
+    // handler cannot take cfg_mu.
+    const char* path = [](FrState& state) GPTUNE_NO_THREAD_SAFETY_ANALYSIS {
+      return state.crash_path;
+    }(*s);
+    const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      dump_signal_safe(fd,
+                       sig == SIGSEGV ? "signal:SIGSEGV" : "signal:SIGABRT");
+      ::close(fd);
+    }
+  }
+  ::raise(sig);
+}
+
+void install_handlers_once(FrState& s) {
+  bool expected = false;
+  if (!s.handlers_installed.compare_exchange_strong(expected, true)) return;
+  struct sigaction action = {};
+  action.sa_handler = &crash_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ::sigaction(SIGSEGV, &action, nullptr);
+  ::sigaction(SIGABRT, &action, nullptr);
+}
+
+/// Reads GPTUNE_DUMP_DIR / GPTUNE_HEARTBEAT once, on the first recorded
+/// event (or the first explicit query).
+void init_from_env() {
+  FrState& s = fr();
+  if (s.env_state.load(std::memory_order_acquire) != -1) return;
+  common::MutexLock lock(s.cfg_mu);
+  if (s.env_state.load(std::memory_order_relaxed) != -1) return;
+  if (const char* dir = std::getenv("GPTUNE_DUMP_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    s.dump_dir = dir;
+    std::snprintf(s.crash_path, sizeof(s.crash_path),
+                  "%s/flight_dump_crash.json", dir);
+    s.dump_dir_on.store(1, std::memory_order_relaxed);
+    install_handlers_once(s);
+  }
+  if (const char* hb = std::getenv("GPTUNE_HEARTBEAT");
+      hb != nullptr && hb[0] != '\0') {
+    const double period = std::strtod(hb, nullptr);
+    if (period > 0.0) {
+      s.hb_period_bits.store(double_to_bits(period), std::memory_order_relaxed);
+      s.hb_next_bits.store(double_to_bits(period), std::memory_order_relaxed);
+    }
+  }
+  s.env_state.store(1, std::memory_order_release);
+}
+
+std::string heartbeat_path_locked(FrState& s) GPTUNE_REQUIRES(s.cfg_mu) {
+  return (s.dump_dir.empty() ? std::string(".") : s.dump_dir) +
+         "/heartbeat.json";
+}
+
+void write_heartbeat(double total_virtual) {
+  FrState& s = fr();
+  std::string path;
+  {
+    common::MutexLock lock(s.cfg_mu);
+    path = heartbeat_path_locked(s);
+  }
+  const std::uint64_t seq =
+      s.heartbeat_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::ostringstream os;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", total_virtual);
+  os << "{\"schema\":\"gptune-heartbeat/1\",\"seq\":" << seq
+     << ",\"virtual_seconds\":" << buf << ",\n\"metrics\":";
+  std::string metrics = metrics_json();
+  while (!metrics.empty() && (metrics.back() == '\n' || metrics.back() == ' ')) {
+    metrics.pop_back();
+  }
+  os << metrics << ",\n\"flight\":" << dump_json("heartbeat") << "}\n";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (out) out << os.str();
+}
+
+// --- async-signal-safe writer ---------------------------------------------
+
+void sig_write(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ::ssize_t w = ::write(fd, data, n);
+    if (w <= 0) return;
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void sig_write_str(int fd, const char* s) { sig_write(fd, s, std::strlen(s)); }
+
+void sig_write_u64(int fd, std::uint64_t v) {
+  char buf[24];
+  char* p = buf + sizeof(buf);
+  *--p = '\0';
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  sig_write_str(fd, p);
+}
+
+/// Fixed-point rendering with 3 decimals — enough for microsecond stamps
+/// and virtual seconds, and free of locale/allocation concerns.
+void sig_write_fixed(int fd, double v) {
+  if (!(v == v) || v > 9.0e15 || v < -9.0e15) {  // NaN or out of range
+    sig_write_str(fd, "null");
+    return;
+  }
+  if (v < 0) {
+    sig_write_str(fd, "-");
+    v = -v;
+  }
+  const auto whole = static_cast<std::uint64_t>(v);
+  const auto milli =
+      static_cast<std::uint64_t>((v - static_cast<double>(whole)) * 1000.0);
+  sig_write_u64(fd, whole);
+  sig_write_str(fd, ".");
+  char frac[4] = {static_cast<char>('0' + milli / 100 % 10),
+                  static_cast<char>('0' + milli / 10 % 10),
+                  static_cast<char>('0' + milli % 10), '\0'};
+  sig_write_str(fd, frac);
+}
+
+void sig_write_escaped(int fd, const char* s) {
+  static const char* hex = "0123456789abcdef";
+  sig_write_str(fd, "\"");
+  for (; *s != '\0'; ++s) {
+    const auto u = static_cast<unsigned char>(*s);
+    if (*s == '"' || *s == '\\') {
+      const char pair[3] = {'\\', *s, '\0'};
+      sig_write_str(fd, pair);
+    } else if (u < 0x20) {
+      const char esc[7] = {'\\', 'u', '0', '0', hex[(u >> 4) & 0xF],
+                           hex[u & 0xF], '\0'};
+      sig_write_str(fd, esc);
+    } else {
+      sig_write(fd, s, 1);
+    }
+  }
+  sig_write_str(fd, "\"");
+}
+
+}  // namespace
+
+// --- public API ------------------------------------------------------------
+
+void set_identity(const char* role, int rank) {
+  Ring* r = claim_ring();
+  if (r == nullptr) return;
+  common::MutexLock lock(r->mu);
+  r->role = role;
+  r->rank = rank;
+}
+
+void note(EventKind kind, const char* cat, const char* name) {
+  record(kind, cat, name, nullptr);
+}
+
+void note_text(EventKind kind, const char* cat, const char* text) {
+  record(kind, cat, nullptr, text);
+}
+
+void configure_dump_dir(std::string dir) {
+  FrState& s = fr();
+  common::MutexLock lock(s.cfg_mu);
+  s.env_state.store(1, std::memory_order_relaxed);  // explicit config wins
+  s.dump_dir = std::move(dir);
+  if (s.dump_dir.empty()) {
+    s.dump_dir_on.store(0, std::memory_order_relaxed);
+    return;
+  }
+  std::snprintf(s.crash_path, sizeof(s.crash_path), "%s/flight_dump_crash.json",
+                s.dump_dir.c_str());
+  s.dump_dir_on.store(1, std::memory_order_relaxed);
+  install_handlers_once(s);
+}
+
+bool dump_dir_configured() {
+  init_from_env();
+  return fr().dump_dir_on.load(std::memory_order_relaxed) == 1;
+}
+
+void configure_heartbeat(double virtual_seconds) {
+  FrState& s = fr();
+  common::MutexLock lock(s.cfg_mu);
+  s.env_state.store(1, std::memory_order_relaxed);
+  const double period = virtual_seconds > 0.0 ? virtual_seconds : 0.0;
+  s.hb_period_bits.store(double_to_bits(period), std::memory_order_relaxed);
+  const double total = bits_to_double(s.hb_total_bits.load(std::memory_order_relaxed));
+  s.hb_next_bits.store(double_to_bits(total + period), std::memory_order_relaxed);
+}
+
+void heartbeat_tick(double seconds) {
+  if (!(seconds > 0.0)) return;
+  FrState& s = fr();
+  init_from_env();
+  const double period =
+      bits_to_double(s.hb_period_bits.load(std::memory_order_relaxed));
+  // One relaxed load when the heartbeat is off — cheap enough for the
+  // virtual-clock hot path.
+  if (!(period > 0.0)) return;
+  std::uint64_t old = s.hb_total_bits.load(std::memory_order_relaxed);
+  double total = 0.0;
+  for (;;) {
+    total = bits_to_double(old) + seconds;
+    if (s.hb_total_bits.compare_exchange_weak(old, double_to_bits(total),
+                                              std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  // First crosser claims the snapshot by advancing the threshold; losers
+  // see the raised threshold and skip.
+  std::uint64_t next_bits = s.hb_next_bits.load(std::memory_order_relaxed);
+  for (;;) {
+    const double next = bits_to_double(next_bits);
+    if (total < next) return;
+    double raised = next + period;
+    while (raised <= total) raised += period;
+    if (s.hb_next_bits.compare_exchange_weak(next_bits,
+                                             double_to_bits(raised),
+                                             std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  write_heartbeat(total);
+}
+
+std::string dump_json(const char* reason) {
+  init_from_env();
+  const auto rings = snapshot_rings();
+  std::ostringstream os;
+  os << "{\"schema\":\"gptune-flight-dump/1\",\"reason\":\""
+     << json_escape(reason == nullptr ? "" : reason) << "\",\"dropped_events\":"
+     << fr().dropped.load(std::memory_order_relaxed) << ",\"rings\":[";
+  bool first_ring = true;
+  for (const auto& snap : rings) {
+    os << (first_ring ? "\n" : ",\n");
+    first_ring = false;
+    os << "{\"thread\":\"" << json_escape(snap.label)
+       << "\",\"total_events\":" << snap.total << ",\"events\":[";
+    bool first_event = true;
+    for (const Entry& e : snap.recent) {
+      os << (first_event ? "\n" : ",\n");
+      first_event = false;
+      append_entry_json(os, e);
+    }
+    os << "]}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool dump_now(const char* reason) {
+  if (!dump_dir_configured()) return false;
+  FrState& s = fr();
+  std::string dir;
+  {
+    common::MutexLock lock(s.cfg_mu);
+    dir = s.dump_dir;
+  }
+  const std::uint64_t seq =
+      s.dump_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::string path =
+      dir + "/flight_dump_" + std::to_string(seq) + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << dump_json(reason);
+  return static_cast<bool>(out);
+}
+
+std::string timeline_text(std::size_t last_n) {
+  std::ostringstream os;
+  for (const auto& snap : snapshot_rings()) {
+    os << "  [" << snap.label << "] last "
+       << std::min<std::uint64_t>(last_n, snap.recent.size()) << " of "
+       << snap.total << " event(s):\n";
+    const std::size_t skip =
+        snap.recent.size() > last_n ? snap.recent.size() - last_n : 0;
+    for (std::size_t i = skip; i < snap.recent.size(); ++i) {
+      const Entry& e = snap.recent[i];
+      char stamp[48];
+      std::snprintf(stamp, sizeof(stamp), "%+12.3fms", e.wall_us / 1000.0);
+      os << "    " << stamp << " " << kind_label(e.kind);
+      if (e.cat != nullptr) {
+        os << " " << e.cat;
+        if (e.name != nullptr) os << "/" << e.name;
+      }
+      if (e.text[0] != '\0') os << " " << e.text;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+// Reads ring fields without their mutexes: only reachable from a fatal
+// signal, where taking locks could self-deadlock and the process is about
+// to die — racy reads are the best available evidence. Reason for the
+// analysis escape: a signal handler cannot acquire the rings' mutexes.
+void dump_signal_safe(int fd, const char* reason)
+    GPTUNE_NO_THREAD_SAFETY_ANALYSIS {
+  FrState* s = g_fr.load(std::memory_order_acquire);
+  if (s == nullptr) {
+    sig_write_str(fd, "{\"schema\":\"gptune-flight-dump/1\",\"rings\":[]}\n");
+    return;
+  }
+  sig_write_str(fd, "{\"schema\":\"gptune-flight-dump/1\",\"reason\":");
+  sig_write_escaped(fd, reason == nullptr ? "" : reason);
+  sig_write_str(fd, ",\"dropped_events\":");
+  sig_write_u64(fd, s->dropped.load(std::memory_order_relaxed));
+  sig_write_str(fd, ",\"rings\":[");
+  bool first_ring = true;
+  for (std::size_t i = 0; i < kMaxRings; ++i) {
+    Ring& r = s->rings[i];
+    if (r.state.load(std::memory_order_relaxed) == kFree) continue;
+    const std::uint64_t head = r.head;
+    if (head == 0) continue;
+    sig_write_str(fd, first_ring ? "\n" : ",\n");
+    first_ring = false;
+    sig_write_str(fd, "{\"thread\":");
+    char label[64];
+    std::snprintf(label, sizeof(label), "%s/%d",
+                  r.role == nullptr ? "?" : r.role, r.rank);
+    sig_write_escaped(fd, label);
+    sig_write_str(fd, ",\"total_events\":");
+    sig_write_u64(fd, head);
+    sig_write_str(fd, ",\"events\":[");
+    const std::uint64_t n = head < kRingCapacity ? head : kRingCapacity;
+    for (std::uint64_t k = head - n; k < head; ++k) {
+      const Entry& e = r.entries[k % kRingCapacity];
+      sig_write_str(fd, k == head - n ? "\n" : ",\n");
+      sig_write_str(fd, "{\"kind\":\"");
+      sig_write_str(fd, kind_label(e.kind));
+      sig_write_str(fd, "\"");
+      if (e.cat != nullptr) {
+        sig_write_str(fd, ",\"cat\":");
+        sig_write_escaped(fd, e.cat);
+      }
+      if (e.name != nullptr) {
+        sig_write_str(fd, ",\"name\":");
+        sig_write_escaped(fd, e.name);
+      }
+      if (e.text[0] != '\0') {
+        sig_write_str(fd, ",\"text\":");
+        sig_write_escaped(fd, e.text);
+      }
+      sig_write_str(fd, ",\"wall_us\":");
+      sig_write_fixed(fd, e.wall_us);
+      sig_write_str(fd, ",\"vt\":");
+      sig_write_fixed(fd, e.vt);
+      sig_write_str(fd, "}");
+    }
+    sig_write_str(fd, "]}");
+  }
+  sig_write_str(fd, "\n]}\n");
+}
+
+std::uint64_t dropped_events() {
+  return fr().dropped.load(std::memory_order_relaxed);
+}
+
+void reset_for_testing() {
+  FrState& s = fr();
+  common::MutexLock lock(s.cfg_mu);
+  s.dump_dir.clear();
+  s.dump_dir_on.store(0, std::memory_order_relaxed);
+  s.hb_period_bits.store(0, std::memory_order_relaxed);
+  s.hb_total_bits.store(0, std::memory_order_relaxed);
+  s.hb_next_bits.store(0, std::memory_order_relaxed);
+  s.env_state.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace gptune::telemetry::flight_recorder
+
+#else  // !GPTUNE_TELEMETRY
+
+// All hooks are inline no-ops in the header; nothing to define.
+
+#endif  // GPTUNE_TELEMETRY

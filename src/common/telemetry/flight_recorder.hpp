@@ -1,0 +1,131 @@
+// Flight recorder — always-on post-mortem ring buffers (DESIGN.md §3.12).
+//
+// The trace/metrics layer (telemetry.hpp) flushes at clean exit, which is
+// exactly when a crashed, hung, or killed run never arrives. The flight
+// recorder keeps a *fixed-size* per-thread ring of the most recent
+// spans/instants/log lines — always, even when GPTUNE_TRACE is unset —
+// and dumps it in three situations:
+//
+//   * fatal signals (SIGSEGV/SIGABRT): an async-signal-safe writer walks
+//     the rings and writes `<GPTUNE_DUMP_DIR>/flight_dump_crash.json`
+//     before the process dies;
+//   * rtcheck findings: deadlock/collective-mismatch reports embed the
+//     last-N-events timeline per rank (timeline_text()) and, when a dump
+//     dir is configured, write a full `flight_dump_<seq>.json`;
+//   * heartbeat: with `GPTUNE_HEARTBEAT=<virtual-secs>` set, every time
+//     the process-wide virtual clock advances by that much a snapshot
+//     (`heartbeat.json`: metrics + recent events) is rewritten, so a
+//     service-style run emits progress without waiting for exit.
+//
+// Cost model: one bounded ring write per span/instant/log line (a memcpy
+// into preallocated storage under an uncontended per-ring mutex) — cheap
+// enough to leave on everywhere. Like the rest of the telemetry layer it
+// is observe-only (nothing reads it back into tuner decisions; trajectory
+// bitwise identical on/off, tier-1 asserted) and compiles away entirely
+// under -DGPTUNE_TELEMETRY=OFF.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gptune::telemetry::flight_recorder {
+
+/// What one ring entry records. Span begin/end pair up a scope; kInstant
+/// is a point event; kLog carries a copied log line in the entry text.
+enum class EventKind : std::uint8_t {
+  kSpanBegin = 0,
+  kSpanEnd = 1,
+  kInstant = 2,
+  kLog = 3,
+};
+
+#if defined(GPTUNE_TELEMETRY)
+
+/// Events per thread ring; the ring keeps the most recent kRingCapacity
+/// and overwrites the oldest (wraparound is tier-1 tested).
+inline constexpr std::size_t kRingCapacity = 64;
+/// Max text payload copied into one entry (longer text is truncated).
+inline constexpr std::size_t kTextCapacity = 96;
+/// Max concurrently tracked thread rings; rings of exited threads are
+/// reused, rings of live threads past the cap drop events (counted).
+inline constexpr std::size_t kMaxRings = 128;
+
+/// Mirrors telemetry::set_identity for the calling thread's ring, so dump
+/// timelines group events under the same "role/rank" labels as traces.
+/// Called by telemetry::set_identity — instrumented code never needs to.
+void set_identity(const char* role, int rank);
+
+/// Records one event with literal category/name (`cat`/`name` must point
+/// at process-lifetime storage, like telemetry::Span arguments).
+void note(EventKind kind, const char* cat, const char* name);
+
+/// Records one event whose text is *copied* (truncated to kTextCapacity)
+/// into the ring entry — for log lines and formatted detail.
+void note_text(EventKind kind, const char* cat, const char* text);
+
+/// Dump directory. configure_dump_dir("") disables file dumps (recording
+/// continues); a non-empty dir enables them and installs the
+/// SIGSEGV/SIGABRT handlers. Reads GPTUNE_DUMP_DIR on first use.
+void configure_dump_dir(std::string dir);
+bool dump_dir_configured();
+
+/// Heartbeat period in *virtual* seconds (0 disables). Reads
+/// GPTUNE_HEARTBEAT on first use. Called by telemetry::advance_virtual;
+/// when the process-wide virtual clock crosses the next threshold,
+/// `<dir>/heartbeat.json` is rewritten with metrics + recent events.
+void configure_heartbeat(double virtual_seconds);
+
+/// Internal: accumulates `seconds` onto the process-wide virtual clock
+/// and writes a heartbeat snapshot when a threshold is crossed.
+void heartbeat_tick(double seconds);
+
+/// Cooperative dump (takes ring locks): writes
+/// `<dir>/flight_dump_<seq>.json` with `reason` and every ring's recent
+/// events. Returns false when no dump dir is configured or the write
+/// failed. Safe from any thread; NOT safe from a signal handler.
+bool dump_now(const char* reason);
+
+/// The dump document as a JSON string (what dump_now writes) — for tests
+/// and the heartbeat snapshot.
+std::string dump_json(const char* reason);
+
+/// Human-readable per-rank timeline of the last `last_n` events of every
+/// ring ("  [role/rank] kind cat/name ..."), newest last. Embedded into
+/// rtcheck deadlock/collective-mismatch reports.
+std::string timeline_text(std::size_t last_n = 16);
+
+/// Async-signal-safe dump: walks the rings without locks or allocation
+/// and write(2)s JSON to `fd`. Only for fatal-signal handlers (reads may
+/// race with writers — the process is dying); reentrancy is tier-1
+/// tested via a raised signal.
+void dump_signal_safe(int fd, const char* reason);
+
+/// Events dropped because more than kMaxRings threads were live at once.
+std::uint64_t dropped_events();
+
+/// Forgets dump dir/heartbeat configuration and un-latches the env reads
+/// (ring contents and claims survive — they are thread-owned). Tests only.
+void reset_for_testing();
+
+#else  // !defined(GPTUNE_TELEMETRY) — every hook collapses to a no-op.
+
+inline void set_identity(const char*, int) {}
+inline void note(EventKind, const char*, const char*) {}
+inline void note_text(EventKind, const char*, const char*) {}
+inline void configure_dump_dir(std::string) {}
+inline bool dump_dir_configured() { return false; }
+inline void configure_heartbeat(double) {}
+inline void heartbeat_tick(double) {}
+inline bool dump_now(const char*) { return false; }
+inline std::string dump_json(const char*) {
+  return "{\"schema\":\"gptune-flight-dump/1\",\"events\":[]}\n";
+}
+inline std::string timeline_text(std::size_t = 16) { return ""; }
+inline void dump_signal_safe(int, const char*) {}
+inline std::uint64_t dropped_events() { return 0; }
+inline void reset_for_testing() {}
+
+#endif  // GPTUNE_TELEMETRY
+
+}  // namespace gptune::telemetry::flight_recorder

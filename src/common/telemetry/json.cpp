@@ -6,6 +6,38 @@
 
 namespace gptune::telemetry {
 
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (u < 0x20) {
+      // Control characters are invalid raw inside JSON strings; use the
+      // short escapes where they exist, \u00XX elsewhere.
+      switch (c) {
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default: {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(u >> 4) & 0xF];
+          out += hex[u & 0xF];
+          break;
+        }
+      }
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 class JsonParser {
  public:
   const std::string& text;

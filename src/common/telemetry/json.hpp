@@ -13,6 +13,14 @@
 
 namespace gptune::telemetry {
 
+/// Writer-side escaping shared by every JSON emitter in the tree
+/// (telemetry traces/metrics, flight-recorder dumps, run manifests):
+/// `"` and `\` are backslash-escaped and every control character below
+/// 0x20 is rendered as `\u00XX`, so span names and log lines containing
+/// newlines/tabs can never corrupt a snapshot. Returns the escaped text
+/// WITHOUT surrounding quotes.
+std::string json_escape(const std::string& raw);
+
 class JsonValue {
  public:
   enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };

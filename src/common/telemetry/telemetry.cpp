@@ -16,6 +16,9 @@
 #include <fstream>
 #include <limits>
 #include <sstream>
+
+#include "common/telemetry/flight_recorder.hpp"
+#include "common/telemetry/json.hpp"
 #endif
 
 namespace gptune::telemetry {
@@ -155,13 +158,10 @@ void record(const TraceEvent& event) {
 // --- JSON helpers ----------------------------------------------------------
 
 void append_escaped(std::ostringstream& os, const char* s) {
-  os << '"';
-  for (; *s != '\0'; ++s) {
-    const char c = *s;
-    if (c == '"' || c == '\\') os << '\\';
-    os << c;
-  }
-  os << '"';
+  // Shared with every other JSON emitter (json.hpp): also escapes control
+  // characters below 0x20, so a span name or log line containing a newline
+  // or tab cannot corrupt the trace/metrics snapshot.
+  os << '"' << json_escape(s) << '"';
 }
 
 void append_number(std::ostringstream& os, double v) {
@@ -215,6 +215,7 @@ void set_identity(const char* role, int rank) {
     r.tracks.push_back({role, rank});
   }
   t_tls.track = id;
+  flight_recorder::set_identity(role, rank);
 }
 
 Identity identity() {
@@ -275,7 +276,10 @@ void configure_metrics(std::string path) {
 // --- shadow virtual clock --------------------------------------------------
 
 void advance_virtual(double seconds) {
-  if (seconds > 0.0) t_tls.vclock += seconds;
+  if (seconds > 0.0) {
+    t_tls.vclock += seconds;
+    flight_recorder::heartbeat_tick(seconds);
+  }
 }
 
 double virtual_clock() { return t_tls.vclock; }
@@ -284,12 +288,18 @@ double virtual_clock() { return t_tls.vclock; }
 
 Span::Span(const char* category, const char* name)
     : category_(category), name_(name), active_(trace_enabled()) {
+  // The flight recorder sees every span, traced or not — its rings are the
+  // post-mortem record for runs where GPTUNE_TRACE was never set.
+  flight_recorder::note(flight_recorder::EventKind::kSpanBegin, category,
+                        name);
   if (!active_) return;
   start_us_ = now_us();
   vstart_ = t_tls.vclock;
 }
 
 Span::~Span() {
+  flight_recorder::note(flight_recorder::EventKind::kSpanEnd, category_,
+                        name_);
   if (!active_) return;
   TraceEvent event;
   event.ph = 'X';
@@ -311,6 +321,7 @@ void Span::arg(const char* key, double value) {
 }
 
 void instant(const char* category, const char* name) {
+  flight_recorder::note(flight_recorder::EventKind::kInstant, category, name);
   if (!trace_enabled()) return;
   TraceEvent event;
   event.ph = 'i';
@@ -370,6 +381,35 @@ double Histogram::max() const {
 }
 std::uint64_t Histogram::bucket_count(std::size_t bucket) const {
   return buckets_[bucket].load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(n);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const auto c = static_cast<double>(bucket_count(b));
+    if (c == 0.0) continue;
+    if (cum + c >= target) {
+      // Interpolate linearly inside the bucket's [floor, next floor) span;
+      // the last bucket interpolates toward the observed max instead of
+      // its (clamped) upper bound.
+      const double lo = bucket_floor(b);
+      const double hi = b + 1 < kBuckets ? bucket_floor(b + 1) : max();
+      const double frac = (target - cum) / c;
+      double estimate = lo + (hi - lo) * frac;
+      const double observed_min = min();
+      const double observed_max = max();
+      if (estimate < observed_min) estimate = observed_min;
+      if (estimate > observed_max) estimate = observed_max;
+      return estimate;
+    }
+    cum += c;
+  }
+  return max();
 }
 
 Counter& counter(const std::string& name) {
@@ -483,6 +523,12 @@ std::string metrics_json() {
     append_number(os, h.count() > 0 ? h.min() : 0.0);
     os << ", \"max\": ";
     append_number(os, h.count() > 0 ? h.max() : 0.0);
+    os << ", \"p50\": ";
+    append_number(os, h.quantile(0.50));
+    os << ", \"p95\": ";
+    append_number(os, h.quantile(0.95));
+    os << ", \"p99\": ";
+    append_number(os, h.quantile(0.99));
     os << ", \"buckets\": [";
     bool first_bucket = true;
     for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {

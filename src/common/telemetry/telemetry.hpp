@@ -151,6 +151,10 @@ class Histogram {
   double min() const;
   double max() const;
   std::uint64_t bucket_count(std::size_t bucket) const;
+  /// Bucket-interpolated quantile estimate (q in [0,1], clamped), exact to
+  /// within one power-of-two bucket and clamped to the observed [min, max].
+  /// Snapshots p50/p95/p99 into metrics_json(). Returns 0 when empty.
+  double quantile(double q) const;
   /// Inclusive lower bound of `bucket` (0 for the nonpositive bucket).
   static double bucket_floor(std::size_t bucket);
   /// Bucket index a value lands in.
@@ -230,6 +234,7 @@ class Histogram {
   void record(double) {}
   std::uint64_t count() const { return 0; }
   double sum() const { return 0.0; }
+  double quantile(double) const { return 0.0; }
 };
 
 Counter& counter(const std::string& name);

@@ -36,6 +36,17 @@ AsyncPipeline::Report AsyncPipeline::run(
   }
   std::vector<Config> id_config;  // dispatch id -> configuration
 
+  // Observe-only depth instrumentation: one gauge per task (current
+  // in-flight count, readable live from a heartbeat snapshot) plus a
+  // histogram of the depth at every dispatch — gptune_report's starvation
+  // rule compares its mean against the configured cap.
+  std::vector<telemetry::Gauge*> inflight_gauges(delta, nullptr);
+  for (std::size_t i = 0; i < delta; ++i) {
+    inflight_gauges[i] =
+        &telemetry::gauge("async.in_flight.task" + std::to_string(i));
+  }
+  static auto& depth_hist = telemetry::histogram("async.in_flight.depth");
+
   // Virtual-clock model (see file comment of async_pipeline.hpp): items
   // list-schedule onto the earliest-free virtual rank in delivery order;
   // follow-up candidates are stamped at the virtual finish of the
@@ -58,6 +69,8 @@ AsyncPipeline::Report AsyncPipeline::run(
     ++inflight_task[task];
     ++committed[task];
     ++report.dispatched;
+    inflight_gauges[task]->set(static_cast<double>(inflight_task[task]));
+    depth_hist.record(static_cast<double>(inflight_task[task]));
   };
 
   // Tops every eligible task back up to the in-flight cap, preferring the
@@ -111,9 +124,11 @@ AsyncPipeline::Report AsyncPipeline::run(
   bool fitted = false;
   auto maybe_fit = [&] {
     static auto& fits_counter = telemetry::counter("async.fits");
+    static auto& refit_trigger = telemetry::counter("async.refit.trigger");
     const bool due = fitted ? since_fit >= options_.refit_samples
                             : report.completions >= total_initial;
     if (!due) return;
+    refit_trigger.add(1);
     const bool refit = options_.refit_period == 0
                            ? report.fits == 0
                            : report.fits % options_.refit_period == 0;
@@ -155,6 +170,8 @@ AsyncPipeline::Report AsyncPipeline::run(
     histories[c.task_index].evals.push_back(
         {std::move(id_config[c.id]), std::move(c.outcome.objectives)});
     --inflight_task[c.task_index];
+    inflight_gauges[c.task_index]->set(
+        static_cast<double>(inflight_task[c.task_index]));
     auto& task_busy = busy[c.task_index];
     for (auto it = task_busy.begin(); it != task_busy.end(); ++it) {
       if (it->first == c.id) {

@@ -15,6 +15,7 @@
 #include "core/acquisition.hpp"
 #include "core/async_pipeline.hpp"
 #include "core/config_set.hpp"
+#include "core/run_manifest.hpp"
 #include "core/search_workers.hpp"
 #include "gp/incremental.hpp"
 #include "runtime/thread_pool.hpp"
@@ -522,6 +523,12 @@ void MultitaskTuner::evaluate_batch(
 
 MlaResult MultitaskTuner::run(const std::vector<TaskVector>& tasks) {
   assert(!tasks.empty());
+  // Provenance first: the status:"running" manifest hits disk before any
+  // tuning work, so even a crashed run leaves its configuration behind.
+  // Observe-only — nothing below reads it back.
+  RunManifest manifest = RunManifest::from_env();
+  manifest.begin(space_, options_, tasks);
+
   State state;
   state.tasks = tasks;
   state.rng = common::Rng(options_.seed);
@@ -532,6 +539,7 @@ MlaResult MultitaskTuner::run(const std::vector<TaskVector>& tasks) {
   if (options_.async) {
     if (options_.num_objectives == 1) {
       run_async(state);
+      manifest.finalize(state.result);
       return state.result;
     }
     common::log_warn("mla: async pipeline supports a single objective; "
@@ -606,6 +614,7 @@ MlaResult MultitaskTuner::run(const std::vector<TaskVector>& tasks) {
   profiles.push_back({"search", state.search_invocations,
                       state.result.times.search,
                       state.result.virtual_times.search});
+  manifest.finalize(state.result);
   return state.result;
 }
 

@@ -1,0 +1,308 @@
+#include "core/run_manifest.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/telemetry/json.hpp"
+#include "common/telemetry/telemetry.hpp"
+
+namespace gptune::core {
+
+namespace {
+
+// The version the binary was built from, baked in at configure time (see
+// src/core/CMakeLists.txt). "unknown" outside a git checkout.
+#if !defined(GPTUNE_GIT_DESCRIBE)
+#define GPTUNE_GIT_DESCRIBE "unknown"
+#endif
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) { fnv_bytes(h, &v, sizeof(v)); }
+
+void fnv_double(std::uint64_t& h, double v) {
+  // Bit pattern, not value: the digest certifies bitwise identity.
+  fnv_bytes(h, &v, sizeof(v));
+}
+
+void fnv_string(std::uint64_t& h, const std::string& s) {
+  fnv_u64(h, s.size());
+  fnv_bytes(h, s.data(), s.size());
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void append_number(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+void append_string(std::ostringstream& os, const std::string& s) {
+  os << '"' << telemetry::json_escape(s) << '"';
+}
+
+const char* param_type_name(ParamType type) {
+  switch (type) {
+    case ParamType::kReal: return "real";
+    case ParamType::kInteger: return "integer";
+    case ParamType::kCategorical: return "categorical";
+  }
+  return "?";
+}
+
+/// Environment toggles worth recording for reproduction. Values are copied
+/// verbatim (they are paths and small scalars, not secrets).
+constexpr const char* kRecordedEnv[] = {
+    "GPTUNE_TRACE",   "GPTUNE_METRICS",  "GPTUNE_DUMP_DIR",
+    "GPTUNE_HEARTBEAT", "GPTUNE_MANIFEST", "GPTUNE_LOG",
+    "GPTUNE_RECORD",  "GPTUNE_REPLAY",
+};
+
+void append_header(std::ostringstream& os, const Space& space,
+                   const MlaOptions& o,
+                   const std::vector<TaskVector>& tasks,
+                   const char* status) {
+  os << "{\n  \"schema\": \"gptune-run-manifest/1\",\n  \"status\": \""
+     << status << "\",\n";
+  os << "  \"git_describe\": ";
+  append_string(os, GPTUNE_GIT_DESCRIBE);
+  os << ",\n  \"build\": {\"compiler\": ";
+  append_string(os, __VERSION__);
+  os << ", \"telemetry\": "
+#if defined(GPTUNE_TELEMETRY)
+     << "true"
+#else
+     << "false"
+#endif
+     << ", \"rtcheck\": "
+#if defined(GPTUNE_RTCHECK)
+     << "true"
+#else
+     << "false"
+#endif
+     << ", \"ndebug\": "
+#if defined(NDEBUG)
+     << "true"
+#else
+     << "false"
+#endif
+     << "},\n";
+
+  os << "  \"env\": {";
+  bool first = true;
+  for (const char* name : kRecordedEnv) {
+    const char* value = std::getenv(name);
+    if (value == nullptr || value[0] == '\0') continue;
+    os << (first ? "" : ", ");
+    append_string(os, name);
+    os << ": ";
+    append_string(os, value);
+    first = false;
+  }
+  os << "},\n";
+
+  os << "  \"seed\": " << o.seed << ",\n  \"options\": {"
+     << "\"num_objectives\": " << o.num_objectives
+     << ", \"budget_per_task\": " << o.budget_per_task
+     << ", \"initial_samples\": " << o.initial_samples
+     << ", \"num_latent\": " << o.num_latent
+     << ", \"model_restarts\": " << o.model_restarts
+     << ", \"max_lbfgs_iterations\": " << o.max_lbfgs_iterations
+     << ", \"refit_period\": " << o.refit_period
+     << ", \"incremental_refit\": " << (o.incremental_refit ? "true" : "false")
+     << ", \"model_workers\": " << o.model_workers
+     << ", \"search_workers\": " << o.search_workers
+     << ", \"objective_workers\": " << o.objective_workers
+     << ", \"batch_k\": " << o.batch_k
+     << ", \"use_ei\": " << (o.use_ei ? "true" : "false")
+     << ", \"log_objective\": " << (o.log_objective ? "true" : "false")
+     << ", \"async\": " << (o.async ? "true" : "false")
+     << ", \"async_inflight\": " << o.async_inflight
+     << ", \"async_refit_samples\": " << o.async_refit_samples
+     << ", \"performance_model\": "
+     << (o.performance_model != nullptr ? "true" : "false")
+     << ", \"history\": " << (o.history != nullptr ? "true" : "false")
+     << ", \"replay\": " << (o.replay != nullptr ? "true" : "false") << "},\n";
+
+  os << "  \"tasks\": [";
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << "[";
+    for (std::size_t j = 0; j < tasks[i].size(); ++j) {
+      os << (j == 0 ? "" : ", ");
+      append_number(os, tasks[i][j]);
+    }
+    os << "]";
+  }
+  os << "],\n";
+
+  os << "  \"space\": {\"dim\": " << space.dim() << ", \"hash\": \""
+     << hex64(RunManifest::space_hash(space)) << "\", \"constraints\": [";
+  for (std::size_t i = 0; i < space.constraints().size(); ++i) {
+    os << (i == 0 ? "" : ", ");
+    append_string(os, space.constraints()[i].name);
+  }
+  os << "], \"params\": [";
+  for (std::size_t i = 0; i < space.dim(); ++i) {
+    const Parameter& p = space.parameter(i);
+    os << (i == 0 ? "" : ", ") << "{\"name\": ";
+    append_string(os, p.name);
+    os << ", \"type\": \"" << param_type_name(p.type) << "\"";
+    if (p.type == ParamType::kCategorical) {
+      os << ", \"categories\": [";
+      for (std::size_t c = 0; c < p.categories.size(); ++c) {
+        os << (c == 0 ? "" : ", ");
+        append_string(os, p.categories[c]);
+      }
+      os << "]";
+    } else {
+      os << ", \"lo\": ";
+      append_number(os, p.lo);
+      os << ", \"hi\": ";
+      append_number(os, p.hi);
+      os << ", \"log_scale\": " << (p.log_scale ? "true" : "false");
+    }
+    os << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+RunManifest RunManifest::from_env() {
+  const char* path = std::getenv("GPTUNE_MANIFEST");
+  if (path == nullptr || path[0] == '\0') return RunManifest{};
+  return RunManifest{std::string(path)};
+}
+
+std::uint64_t RunManifest::space_hash(const Space& space) {
+  std::uint64_t h = kFnvOffset;
+  fnv_u64(h, space.dim());
+  for (std::size_t i = 0; i < space.dim(); ++i) {
+    const Parameter& p = space.parameter(i);
+    fnv_string(h, p.name);
+    fnv_u64(h, static_cast<std::uint64_t>(p.type));
+    fnv_double(h, p.lo);
+    fnv_double(h, p.hi);
+    fnv_u64(h, p.log_scale ? 1 : 0);
+    fnv_u64(h, p.num_categories());
+    for (const auto& c : p.categories) fnv_string(h, c);
+  }
+  fnv_u64(h, space.constraints().size());
+  for (const auto& c : space.constraints()) fnv_string(h, c.name);
+  return h;
+}
+
+std::uint64_t RunManifest::trajectory_digest(const MlaResult& result) {
+  std::uint64_t h = kFnvOffset;
+  fnv_u64(h, result.tasks.size());
+  for (const auto& th : result.tasks) {
+    const auto curve = th.best_so_far(0);
+    fnv_u64(h, curve.size());
+    for (const double v : curve) fnv_double(h, v);
+  }
+  return h;
+}
+
+void RunManifest::begin(const Space& space, const MlaOptions& options,
+                        const std::vector<TaskVector>& tasks) {
+  space_ = &space;
+  options_ = options;
+  tasks_ = tasks;
+  if (!enabled()) return;
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  if (out) out << begin_json();
+}
+
+void RunManifest::finalize(const MlaResult& result) {
+  if (!enabled() || space_ == nullptr) return;
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  if (out) out << final_json(result);
+}
+
+std::string RunManifest::begin_json() const {
+  std::ostringstream os;
+  append_header(os, *space_, options_, tasks_, "running");
+  os << "\n}\n";
+  return os.str();
+}
+
+std::string RunManifest::final_json(const MlaResult& result) const {
+  std::ostringstream os;
+  append_header(os, *space_, options_, tasks_, "complete");
+  os << ",\n  \"evaluations\": " << result.evaluations
+     << ",\n  \"model_refits\": " << result.model_refits
+     << ",\n  \"trajectory_digest\": \"" << hex64(trajectory_digest(result))
+     << "\",\n";
+
+  os << "  \"best\": [";
+  for (std::size_t i = 0; i < result.tasks.size(); ++i) {
+    os << (i == 0 ? "" : ", ");
+    append_number(os, result.tasks[i].evals.empty() ? 0.0
+                                                    : result.tasks[i].best(0));
+  }
+  os << "],\n";
+
+  os << "  \"profiles\": [";
+  for (std::size_t i = 0; i < result.profiles.size(); ++i) {
+    const PhaseProfile& p = result.profiles[i];
+    os << (i == 0 ? "" : ", ") << "{\"phase\": ";
+    append_string(os, p.phase);
+    os << ", \"invocations\": " << p.invocations << ", \"wall_seconds\": ";
+    append_number(os, p.wall_seconds);
+    os << ", \"virtual_seconds\": ";
+    append_number(os, p.virtual_seconds);
+    os << "}";
+  }
+  os << "],\n";
+
+  const EvalStats& es = result.eval_stats;
+  os << "  \"eval_stats\": {\"batches\": " << es.batches
+     << ", \"items\": " << es.items << ", \"attempts\": " << es.attempts
+     << ", \"failed_attempts\": " << es.failed_attempts
+     << ", \"retries\": " << es.retries << ", \"timeouts\": " << es.timeouts
+     << ", \"penalized\": " << es.penalized << ", \"virtual_makespan\": ";
+  append_number(os, es.virtual_makespan);
+  os << ", \"virtual_work\": ";
+  append_number(os, es.virtual_work);
+  os << "},\n";
+
+  os << "  \"worker_occupancy\": ";
+  append_number(os, result.worker_occupancy);
+  os << ",\n  \"async_virtual_makespan\": ";
+  append_number(os, result.async_virtual_makespan);
+  os << ",\n";
+
+  // Embedded metrics snapshot (same document GPTUNE_METRICS would write),
+  // so the report tool needs only the manifest for counter-based rules.
+  std::string metrics = telemetry::metrics_json();
+  while (!metrics.empty() &&
+         (metrics.back() == '\n' || metrics.back() == ' ')) {
+    metrics.pop_back();
+  }
+  os << "  \"metrics\": " << metrics << "\n}\n";
+  return os.str();
+}
+
+}  // namespace gptune::core

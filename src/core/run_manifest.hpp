@@ -1,0 +1,74 @@
+// Run manifest — schema-versioned provenance record for one MLA run
+// (DESIGN.md §3.12).
+//
+// A tuning run that crashed, hung, or simply finished a week ago is only
+// diagnosable if the run itself recorded what it was: which options, which
+// seed, which space, which binary. The manifest is that record — a JSON
+// artifact written *at run start* (status "running", so an interrupted run
+// still leaves its configuration behind) and rewritten at exit (status
+// "complete") with the outcome: per-phase profiles, evaluation statistics,
+// a metrics snapshot, and a trajectory digest (an FNV-1a hash of each
+// task's best-so-far curve) that lets two runs be compared for bitwise
+// trajectory identity without storing the trajectories.
+//
+// Enabled by `GPTUNE_MANIFEST=<path>` (or programmatically); when disabled
+// every call is a cheap no-op. Like telemetry, the manifest is
+// observe-only: nothing in the tuner reads it back, so trajectories are
+// bitwise identical with the manifest on or off (tier-1 asserted). This is
+// the provenance format the future multi-tenant HistoryDb will ingest
+// (ROADMAP: production tuning service).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mla.hpp"
+#include "core/space.hpp"
+
+namespace gptune::core {
+
+class RunManifest {
+ public:
+  /// Disabled manifest: begin()/finalize() are no-ops.
+  RunManifest() = default;
+  /// Writes to `path` ("" disables).
+  explicit RunManifest(std::string path) : path_(std::move(path)) {}
+  /// Path from GPTUNE_MANIFEST (unset/empty disables).
+  static RunManifest from_env();
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  /// Captures the run's identity and writes the status:"running" document.
+  /// `space` must outlive the manifest (it belongs to the tuner).
+  void begin(const Space& space, const MlaOptions& options,
+             const std::vector<TaskVector>& tasks);
+
+  /// Rewrites the manifest with status:"complete" plus the outcome:
+  /// profiles, eval stats, best objectives, trajectory digest, and the
+  /// current telemetry metrics snapshot.
+  void finalize(const MlaResult& result);
+
+  /// Pure renderers behind begin()/finalize(), for tests: the exact JSON
+  /// document each one writes. Valid only after begin() captured the run.
+  std::string begin_json() const;
+  std::string final_json(const MlaResult& result) const;
+
+  /// FNV-1a over the space's structure: parameter names/kinds/bounds/
+  /// log-scale/categories and the constraint names. Two runs with equal
+  /// hashes searched the same space.
+  static std::uint64_t space_hash(const Space& space);
+
+  /// FNV-1a over each task's best-so-far curve (objective 0) — the
+  /// "optimum sequence". Equal digests == bitwise-identical trajectories.
+  static std::uint64_t trajectory_digest(const MlaResult& result);
+
+ private:
+  std::string path_;
+  const Space* space_ = nullptr;
+  MlaOptions options_;
+  std::vector<TaskVector> tasks_;
+};
+
+}  // namespace gptune::core

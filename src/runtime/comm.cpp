@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
+#include "common/telemetry/flight_recorder.hpp"
 #include "common/telemetry/telemetry.hpp"
 #include "runtime/rtcheck.hpp"
 
@@ -244,6 +246,15 @@ void Comm::send(std::size_t dest, int tag, std::vector<double> data) {
   static auto& sends = telemetry::counter("runtime.sends");
   sends.add();
   telemetry::instant("comm", "send");
+  {
+    // Endpoint detail for post-mortem timelines: a deadlock report that
+    // shows "send dst=2 tag=7" beats a bare "send".
+    char detail[64];
+    std::snprintf(detail, sizeof(detail), "send dst=%d tag=%d",
+                  static_cast<int>(dest), tag);
+    telemetry::flight_recorder::note_text(
+        telemetry::flight_recorder::EventKind::kInstant, "comm", detail);
+  }
   assert(dest < size());
   Message m;
   m.source = static_cast<int>(rank_);
@@ -254,6 +265,12 @@ void Comm::send(std::size_t dest, int tag, std::vector<double> data) {
 
 Message Comm::recv(int source, int tag) {
   telemetry::Span span("comm", "recv");
+  {
+    char detail[64];
+    std::snprintf(detail, sizeof(detail), "recv src=%d tag=%d", source, tag);
+    telemetry::flight_recorder::note_text(
+        telemetry::flight_recorder::EventKind::kInstant, "comm", detail);
+  }
   return group_->mailboxes[rank_].take(source, tag);
 }
 

@@ -19,6 +19,7 @@
 #include "common/annotations.hpp"
 #include "common/log.hpp"
 #include "common/sync.hpp"
+#include "common/telemetry/flight_recorder.hpp"
 #include "runtime/comm.hpp"
 
 namespace gptune::rt::rtcheck {
@@ -193,6 +194,20 @@ std::string describe_wait(Registry& r, const WaitToken& t)
 
 void record_finding(Registry& r, FindingKind kind, std::string message)
     GPTUNE_REQUIRES(r.mu) {
+  // Liveness findings gain the flight recorder's per-rank tail: the report
+  // then shows not just who is stuck but what everyone last did. The ring
+  // mutexes are leaves (the recorder never calls back into rtcheck), so
+  // reading them under r.mu cannot cycle.
+  if (kind == FindingKind::kDeadlock || kind == FindingKind::kTimeout ||
+      kind == FindingKind::kCollectiveMismatch) {
+    const std::string timeline = telemetry::flight_recorder::timeline_text();
+    if (!timeline.empty()) {
+      message += "\nflight recorder (last events per thread):\n";
+      message += timeline;
+    }
+    const std::string reason = std::string("rtcheck:") + kind_name(kind);
+    telemetry::flight_recorder::dump_now(reason.c_str());
+  }
   common::log_warn("rtcheck [", kind_name(kind), "] ", message);
   r.findings.push_back(Finding{kind, std::move(message)});
 }

@@ -1,0 +1,330 @@
+// Flight recorder + run manifest tests (DESIGN.md §3.12): ring
+// wraparound keeps the newest events, the async-signal-safe dump writes
+// parseable JSON (exercised both directly and through a real fatal
+// signal in a death test), heartbeat snapshots fire on virtual-clock
+// thresholds, the manifest schema round-trips through the telemetry JSON
+// reader, and — the observe-only contract — a tuning run with recorder +
+// heartbeat + manifest enabled lands on a bitwise-identical trajectory.
+//
+// gtest_discover_tests runs each TEST in its own process under ctest, so
+// global recorder config never leaks between ctest entries; tests that
+// change config still reset_for_testing() to stay order-independent when
+// the whole binary runs at once.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/analytical.hpp"
+#include "common/telemetry/flight_recorder.hpp"
+#include "common/telemetry/json.hpp"
+#include "common/telemetry/telemetry.hpp"
+#include "core/mla.hpp"
+#include "core/run_manifest.hpp"
+
+#if defined(GPTUNE_TELEMETRY)
+
+namespace {
+
+using namespace gptune;
+namespace fr = telemetry::flight_recorder;
+using telemetry::JsonValue;
+
+std::string make_temp_dir() {
+  char tmpl[] = "/tmp/gptune_fr_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir != nullptr ? dir : ".";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// The calling thread's ring in a parsed dump, located by its label.
+const JsonValue* find_ring(const JsonValue& dump, const std::string& label) {
+  const JsonValue* rings = dump.find("rings");
+  if (rings == nullptr || !rings->is_array()) return nullptr;
+  for (const JsonValue& ring : rings->items()) {
+    const JsonValue* thread = ring.find("thread");
+    if (thread != nullptr && thread->as_string() == label) return &ring;
+  }
+  return nullptr;
+}
+
+TEST(FlightRecorder, RingWrapsKeepingTheMostRecentEvents) {
+  telemetry::set_identity("wrap", 7);
+  const std::size_t total = fr::kRingCapacity * 3 + 8;
+  for (std::size_t i = 0; i < total; ++i) {
+    char text[32];
+    std::snprintf(text, sizeof(text), "ev%zu", i);
+    fr::note_text(fr::EventKind::kInstant, "wraptest", text);
+  }
+
+  std::string error;
+  const JsonValue dump = JsonValue::parse(fr::dump_json("unit"), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(dump.find("schema")->as_string(), "gptune-flight-dump/1");
+
+  const JsonValue* ring = find_ring(dump, "wrap/7");
+  ASSERT_NE(ring, nullptr) << "no ring labeled wrap/7 in dump";
+  const JsonValue* events = ring->find("events");
+  ASSERT_NE(events, nullptr);
+  // Full ring: exactly kRingCapacity survivors, and they are the *last*
+  // kRingCapacity notes in order — "ev0" has been overwritten.
+  ASSERT_EQ(events->items().size(), fr::kRingCapacity);
+  char expect[32];
+  std::snprintf(expect, sizeof(expect), "ev%zu", total - 1);
+  EXPECT_EQ(events->items().back().find("text")->as_string(), expect);
+  std::snprintf(expect, sizeof(expect), "ev%zu", total - fr::kRingCapacity);
+  EXPECT_EQ(events->items().front().find("text")->as_string(), expect);
+  EXPECT_GE(ring->find("total_events")->as_number(),
+            static_cast<double>(total));
+}
+
+TEST(FlightRecorder, TextIsTruncatedNotOverflowed) {
+  telemetry::set_identity("trunc", 0);
+  const std::string longtext(fr::kTextCapacity * 4, 'x');
+  fr::note_text(fr::EventKind::kLog, "truncate", longtext.c_str());
+
+  std::string error;
+  const JsonValue dump = JsonValue::parse(fr::dump_json("unit"), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const JsonValue* ring = find_ring(dump, "trunc/0");
+  ASSERT_NE(ring, nullptr);
+  const auto& events = ring->find("events")->items();
+  ASSERT_FALSE(events.empty());
+  const std::string& text = events.back().find("text")->as_string();
+  EXPECT_LT(text.size(), fr::kTextCapacity);
+  EXPECT_EQ(text, std::string(text.size(), 'x'));
+}
+
+TEST(FlightRecorder, SignalSafeDumpIsParseableJsonWithEscaping) {
+  telemetry::set_identity("sigsafe", 3);
+  // Text with every class the escaper must handle: quote, backslash,
+  // short-escape control chars, and a raw \u00XX control char.
+  fr::note_text(fr::EventKind::kInstant, "esc", "q\" b\\ n\n t\t x\x01 end");
+
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/signal_safe.json";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  fr::dump_signal_safe(fileno(f), "unit-signal-safe");
+  std::fclose(f);
+
+  std::string error;
+  const JsonValue dump = JsonValue::parse(slurp(path), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(dump.find("schema")->as_string(), "gptune-flight-dump/1");
+  EXPECT_EQ(dump.find("reason")->as_string(), "unit-signal-safe");
+  const JsonValue* ring = find_ring(dump, "sigsafe/3");
+  ASSERT_NE(ring, nullptr);
+  const auto& events = ring->find("events")->items();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().find("text")->as_string(),
+            "q\" b\\ n\n t\t x\x01 end");
+}
+
+// The real crash path: a fatal signal in a child process must leave
+// flight_dump_crash.json behind — the handler re-raises, so the child
+// still dies by SIGABRT. Reentrancy: the dump itself runs *inside* the
+// signal handler over rings the dying threads may still own.
+TEST(FlightRecorderDeathTest, FatalSignalWritesCrashDump) {
+  const std::string dir = make_temp_dir();
+  fr::configure_dump_dir(dir);
+  telemetry::set_identity("doomed", 1);
+  fr::note_text(fr::EventKind::kInstant, "crash", "last words");
+
+  EXPECT_EXIT(std::abort(), ::testing::KilledBySignal(SIGABRT), "");
+
+  std::string error;
+  const JsonValue dump =
+      JsonValue::parse(slurp(dir + "/flight_dump_crash.json"), &error);
+  ASSERT_TRUE(error.empty())
+      << "crash dump missing or unparseable: " << error;
+  EXPECT_EQ(dump.find("schema")->as_string(), "gptune-flight-dump/1");
+  EXPECT_EQ(dump.find("reason")->as_string(), "signal:SIGABRT");
+  const JsonValue* ring = find_ring(dump, "doomed/1");
+  ASSERT_NE(ring, nullptr);
+  const auto& events = ring->find("events")->items();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().find("text")->as_string(), "last words");
+  fr::reset_for_testing();
+}
+
+TEST(FlightRecorder, TimelineTextShowsRecentEventsPerThread) {
+  telemetry::set_identity("timeline", 5);
+  fr::note(fr::EventKind::kSpanBegin, "phase", "modeling");
+  const std::string text = fr::timeline_text(8);
+  EXPECT_NE(text.find("[timeline/5]"), std::string::npos) << text;
+  EXPECT_NE(text.find("phase/modeling"), std::string::npos) << text;
+}
+
+TEST(FlightRecorder, HeartbeatFiresOnVirtualThreshold) {
+  const std::string dir = make_temp_dir();
+  fr::reset_for_testing();
+  fr::configure_dump_dir(dir);
+  fr::configure_heartbeat(0.5);
+
+  fr::heartbeat_tick(0.2);
+  EXPECT_FALSE(std::ifstream(dir + "/heartbeat.json").good())
+      << "heartbeat fired below the threshold";
+  fr::heartbeat_tick(0.4);  // total 0.6 crosses 0.5
+
+  std::string error;
+  const JsonValue hb = JsonValue::parse(slurp(dir + "/heartbeat.json"), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(hb.find("schema")->as_string(), "gptune-heartbeat/1");
+  EXPECT_GE(hb.find("virtual_seconds")->as_number(), 0.5);
+  ASSERT_NE(hb.find("metrics"), nullptr);
+  EXPECT_TRUE(hb.find("metrics")->is_object());
+  ASSERT_NE(hb.find("flight"), nullptr);
+  EXPECT_EQ(hb.find("flight")->find("schema")->as_string(),
+            "gptune-flight-dump/1");
+  fr::reset_for_testing();
+}
+
+// --- Run manifest -----------------------------------------------------------
+
+core::Space demo_space() {
+  core::Space space;
+  space.add_real("x", 0.0, 1.0);
+  space.add_integer("nb", 1, 64, /*log_scale=*/true);
+  space.add_categorical("layout", {"row", "col"});
+  space.add_constraint("nb_small",
+                       [](const core::Config& c) { return c[1] <= 32.0; });
+  return space;
+}
+
+core::MlaResult tiny_run(core::MlaOptions options) {
+  core::Space space;
+  space.add_real("x", 0.0, 1.0);
+  core::MultiObjectiveFn objective = [](const core::TaskVector& task,
+                                        const core::Config& config) {
+    return std::vector<double>{
+        apps::analytical_objective(task[0], config[0])};
+  };
+  core::MultitaskTuner tuner(space, objective, options);
+  std::vector<core::TaskVector> tasks = {{1.0}, {6.0}};
+  return tuner.run(tasks);
+}
+
+core::MlaOptions tiny_options() {
+  core::MlaOptions options;
+  options.budget_per_task = 8;
+  options.initial_samples = 4;
+  options.seed = 99;
+  options.objective_workers = 2;
+  return options;
+}
+
+TEST(RunManifest, SchemaRoundTripsThroughJsonReader) {
+  const core::Space space = demo_space();
+  core::MlaOptions options = tiny_options();
+  const std::vector<core::TaskVector> tasks = {{1.0}, {6.0}};
+
+  core::RunManifest manifest;  // disabled: pure rendering, no file IO
+  manifest.begin(space, options, tasks);
+
+  std::string error;
+  const JsonValue begin = JsonValue::parse(manifest.begin_json(), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(begin.find("schema")->as_string(), "gptune-run-manifest/1");
+  EXPECT_EQ(begin.find("status")->as_string(), "running");
+  EXPECT_EQ(begin.find("seed")->as_number(), 99.0);
+  ASSERT_NE(begin.find("options"), nullptr);
+  EXPECT_EQ(begin.find("options")->find("budget_per_task")->as_number(), 8.0);
+  const JsonValue* sp = begin.find("space");
+  ASSERT_NE(sp, nullptr);
+  EXPECT_EQ(sp->find("dim")->as_number(), 3.0);
+  ASSERT_EQ(sp->find("params")->items().size(), 3u);
+  const auto& params = sp->find("params")->items();
+  EXPECT_EQ(params[0].find("type")->as_string(), "real");
+  EXPECT_EQ(params[1].find("type")->as_string(), "integer");
+  EXPECT_TRUE(params[1].find("log_scale")->as_bool());
+  EXPECT_EQ(params[2].find("type")->as_string(), "categorical");
+  ASSERT_EQ(params[2].find("categories")->items().size(), 2u);
+  EXPECT_EQ(sp->find("constraints")->items()[0].as_string(), "nb_small");
+
+  // The finalized document for a real (tiny) run.
+  const core::MlaResult result = tiny_run(tiny_options());
+  const JsonValue final_doc =
+      JsonValue::parse(manifest.final_json(result), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(final_doc.find("status")->as_string(), "complete");
+  EXPECT_EQ(final_doc.find("evaluations")->as_number(),
+            static_cast<double>(result.evaluations));
+  ASSERT_EQ(final_doc.find("best")->items().size(), 2u);
+  EXPECT_FALSE(final_doc.find("profiles")->items().empty());
+  EXPECT_EQ(final_doc.find("trajectory_digest")->as_string().rfind("0x", 0),
+            0u);
+  ASSERT_NE(final_doc.find("metrics"), nullptr);
+  EXPECT_TRUE(final_doc.find("metrics")->is_object());
+}
+
+TEST(RunManifest, SpaceHashSeparatesSpacesAndIsStable) {
+  const core::Space a = demo_space();
+  const core::Space b = demo_space();
+  EXPECT_EQ(core::RunManifest::space_hash(a), core::RunManifest::space_hash(b));
+
+  core::Space c;
+  c.add_real("x", 0.0, 2.0);  // one bound differs from demo_space's "x"
+  c.add_integer("nb", 1, 64, true);
+  c.add_categorical("layout", {"row", "col"});
+  c.add_constraint("nb_small",
+                   [](const core::Config& cc) { return cc[1] <= 32.0; });
+  EXPECT_NE(core::RunManifest::space_hash(a), core::RunManifest::space_hash(c));
+}
+
+// The §3.12 observe-only contract: recorder + heartbeat + manifest all on
+// must leave the tuning trajectory bitwise identical.
+TEST(RunManifest, FullObservabilityIsObserveOnly) {
+  const core::MlaResult plain = tiny_run(tiny_options());
+
+  const std::string dir = make_temp_dir();
+  const std::string manifest_path = dir + "/manifest.json";
+  fr::reset_for_testing();
+  fr::configure_dump_dir(dir);
+  fr::configure_heartbeat(0.001);
+  setenv("GPTUNE_MANIFEST", manifest_path.c_str(), 1);
+  const core::MlaResult observed = tiny_run(tiny_options());
+  unsetenv("GPTUNE_MANIFEST");
+  fr::reset_for_testing();
+
+  EXPECT_EQ(core::RunManifest::trajectory_digest(plain),
+            core::RunManifest::trajectory_digest(observed));
+  ASSERT_EQ(plain.tasks.size(), observed.tasks.size());
+  for (std::size_t i = 0; i < plain.tasks.size(); ++i) {
+    EXPECT_EQ(plain.tasks[i].best(), observed.tasks[i].best());
+    EXPECT_EQ(plain.tasks[i].best_config(), observed.tasks[i].best_config());
+  }
+
+  // And the instrumented run left a complete, parseable manifest behind.
+  std::string error;
+  const JsonValue doc = JsonValue::parse(slurp(manifest_path), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(doc.find("status")->as_string(), "complete");
+  EXPECT_EQ(doc.find("schema")->as_string(), "gptune-run-manifest/1");
+}
+
+}  // namespace
+
+#else  // !GPTUNE_TELEMETRY
+
+TEST(FlightRecorder, CompiledOut) {
+  // The OFF build still links: every hook is an inline no-op.
+  gptune::telemetry::flight_recorder::note(
+      gptune::telemetry::flight_recorder::EventKind::kInstant, "x", "y");
+  EXPECT_FALSE(gptune::telemetry::flight_recorder::dump_now("unit"));
+}
+
+#endif  // GPTUNE_TELEMETRY

@@ -66,6 +66,13 @@ TEST_F(RtCheckTest, MutualRecvCycleIsReportedAndUnwound) {
   EXPECT_NE(report.find("rank 0"), std::string::npos) << report;
   EXPECT_NE(report.find("rank 1"), std::string::npos) << report;
   EXPECT_NE(report.find("tag=7"), std::string::npos) << report;
+#if defined(GPTUNE_TELEMETRY)
+  // The report embeds the flight recorder's per-rank timeline — the last
+  // events of every thread, including the recv instants each rank logged
+  // right before getting stuck (DESIGN.md §3.12).
+  EXPECT_NE(report.find("flight recorder"), std::string::npos) << report;
+  EXPECT_NE(report.find("recv src="), std::string::npos) << report;
+#endif
 }
 
 TEST_F(RtCheckTest, RecvFromSelfIsProvablyStuck) {

@@ -120,6 +120,56 @@ TEST(TelemetryMetrics, HistogramBucketsAndMoments) {
   EXPECT_GT(telemetry::Histogram::bucket_floor(b + 1), 13.0);
 }
 
+TEST(TelemetryMetrics, HistogramQuantiles) {
+  auto& h = telemetry::histogram("test.quantiles");
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  // Bucket-interpolated estimates: exact ranks are not promised, but every
+  // quantile must be monotone, clamped to [min, max], and in the right
+  // region of the distribution.
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p99, h.max());
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GT(p50, 25.0);
+  EXPECT_LT(p50, 75.0);
+  EXPECT_GT(p95, 64.0);  // the top power-of-two bucket holds 65..100
+  // Out-of-range q clamps instead of misbehaving.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+
+  // The snapshot surfaces them per histogram.
+  std::string error;
+  const JsonValue v = JsonValue::parse(telemetry::metrics_json(), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const JsonValue* row = v.find("histograms")->find("test.quantiles");
+  ASSERT_NE(row, nullptr);
+  EXPECT_DOUBLE_EQ(row->find("p50")->as_number(), p50);
+  EXPECT_DOUBLE_EQ(row->find("p95")->as_number(), p95);
+  EXPECT_DOUBLE_EQ(row->find("p99")->as_number(), p99);
+}
+
+TEST(TelemetryJson, WriterEscapesControlCharacters) {
+  // Regression: raw control characters (< 0x20) in a span name or log line
+  // must never corrupt a snapshot — the shared writer escapes them, and
+  // the reader decodes them back.
+  std::string nasty = "q\" b\\ n\n r\r t\t f\f b\b";
+  for (char c = 1; c < 0x20; ++c) nasty.push_back(c);
+  const std::string escaped = telemetry::json_escape(nasty);
+  for (char c : escaped) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control char leaked into escaped output";
+  }
+  std::string error;
+  const JsonValue round =
+      JsonValue::parse("\"" + escaped + "\"", &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(round.as_string(), nasty);
+}
+
 TEST(TelemetryMetrics, SnapshotIsValidJsonWithStableOrder) {
   telemetry::counter("b.counter").add(2);
   telemetry::counter("a.counter").add(1);

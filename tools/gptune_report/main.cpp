@@ -1,0 +1,591 @@
+// gptune_report CLI — merges a run manifest (GPTUNE_MANIFEST), a metrics
+// snapshot (GPTUNE_METRICS or the manifest's embedded copy), an optional
+// trace, and any flight-recorder dumps (GPTUNE_DUMP_DIR) into one
+// human/CI-readable run report with rule-based anomaly flags
+// (DESIGN.md §3.12):
+//
+//   incomplete-run       manifest status is not "complete"
+//   crash-dump           a fatal-signal flight dump is present
+//   flight-dump          an rtcheck/cooperative flight dump is present
+//   low-occupancy        async worker occupancy below --min-occupancy
+//   retry-storm          eval retries per attempt above --max-retry-rate
+//   timeout-storm        eval timeouts per attempt above --max-timeout-rate
+//   gram-collapse        Gram-cache hit rate collapsed (volume-floored)
+//   refit-share          modeling share of virtual time above --max-refit-share
+//   inflight-starvation  async in-flight depth mean far below the cap
+//   bench-regression     a committed BENCH_*.json refit speedup below 1.0
+//
+//   gptune_report [--ci] --manifest FILE [--metrics FILE] [--trace FILE]
+//                 [--dump-dir DIR] [--bench-dir DIR] [--last N] [thresholds]
+//   gptune_report --selftest
+//
+// Exit status: 0 clean (or informational mode), 1 with --ci when any flag
+// fired (or invalid input), 2 usage/IO error.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/telemetry/json.hpp"
+
+namespace {
+
+using gptune::telemetry::JsonValue;
+
+struct Thresholds {
+  double min_occupancy = 0.5;     ///< async worker occupancy floor
+  double max_retry_rate = 0.5;    ///< retries / attempts ceiling
+  double max_timeout_rate = 0.25; ///< timeouts / attempts ceiling
+  double min_gram_hit_rate = 0.3; ///< Gram-cache hits/(hits+misses) floor
+  double max_refit_share = 0.75;  ///< modeling share of virtual time ceiling
+  double min_depth_fraction = 0.25; ///< mean in-flight depth / cap floor
+};
+
+struct Flag {
+  std::string rule;
+  std::string detail;
+};
+
+double num_or(const JsonValue* obj, const char* key, double fallback) {
+  if (obj == nullptr || !obj->is_object()) return fallback;
+  const JsonValue* v = obj->find(key);
+  return v != nullptr ? v->as_number() : fallback;
+}
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+/// The rule engine: pure over parsed documents, exercised by --selftest.
+std::vector<Flag> analyze(const JsonValue& manifest, const JsonValue* metrics,
+                          const Thresholds& t) {
+  std::vector<Flag> flags;
+  auto flag = [&flags](std::string rule, std::string detail) {
+    flags.push_back({std::move(rule), std::move(detail)});
+  };
+
+  const JsonValue* status = manifest.find("status");
+  if (status == nullptr || status->as_string() != "complete") {
+    flag("incomplete-run",
+         "manifest status is \"" +
+             (status != nullptr ? status->as_string() : std::string("?")) +
+             "\" — the run never finalized (crash, hang, or kill)");
+  }
+
+  const JsonValue* options = manifest.find("options");
+  const bool is_async =
+      options != nullptr && options->find("async") != nullptr &&
+      options->find("async")->as_bool();
+
+  if (is_async) {
+    const double occupancy = num_or(&manifest, "worker_occupancy", 0.0);
+    if (occupancy > 0.0 && occupancy < t.min_occupancy) {
+      flag("low-occupancy",
+           "async worker occupancy " + fmt(occupancy) + " < " +
+               fmt(t.min_occupancy) +
+               " — objective workers starved (deep queues or a slow manager)");
+    }
+  }
+
+  const JsonValue* eval_stats = manifest.find("eval_stats");
+  const double attempts = num_or(eval_stats, "attempts", 0.0);
+  if (attempts > 0.0) {
+    const double retry_rate = num_or(eval_stats, "retries", 0.0) / attempts;
+    if (retry_rate > t.max_retry_rate) {
+      flag("retry-storm", "eval retries/attempt " + fmt(retry_rate) + " > " +
+                              fmt(t.max_retry_rate));
+    }
+    const double timeout_rate = num_or(eval_stats, "timeouts", 0.0) / attempts;
+    if (timeout_rate > t.max_timeout_rate) {
+      flag("timeout-storm", "eval timeouts/attempt " + fmt(timeout_rate) +
+                                " > " + fmt(t.max_timeout_rate));
+    }
+  }
+
+  // Virtual-time share of modeling vs the whole run.
+  const JsonValue* profiles = manifest.find("profiles");
+  if (profiles != nullptr && profiles->is_array()) {
+    double modeling = 0.0;
+    double total = 0.0;
+    for (const JsonValue& p : profiles->items()) {
+      const double v = num_or(&p, "virtual_seconds", 0.0);
+      total += v;
+      const JsonValue* phase = p.find("phase");
+      if (phase != nullptr && phase->as_string() == "modeling") modeling = v;
+    }
+    if (total > 0.0 && modeling / total > t.max_refit_share) {
+      flag("refit-share",
+           "modeling is " + fmt(modeling / total) +
+               " of virtual run time (> " + fmt(t.max_refit_share) +
+               ") — refits dominate; check refit_period/incremental_refit");
+    }
+  }
+
+  // Metrics-driven rules (from --metrics or the manifest's embedded copy).
+  const JsonValue* counters =
+      metrics != nullptr ? metrics->find("counters") : nullptr;
+  const double gram_hits = num_or(counters, "trainer.gram.hits", 0.0);
+  const double gram_misses = num_or(counters, "trainer.gram.misses", 0.0);
+  if (gram_hits + gram_misses >= 100.0) {
+    const double rate = gram_hits / (gram_hits + gram_misses);
+    if (rate < t.min_gram_hit_rate) {
+      flag("gram-collapse", "Gram-cache hit rate " + fmt(rate) + " < " +
+                                fmt(t.min_gram_hit_rate) + " over " +
+                                fmt(gram_hits + gram_misses) + " lookups");
+    }
+  }
+
+  if (is_async && metrics != nullptr) {
+    const JsonValue* histograms = metrics->find("histograms");
+    const JsonValue* depth =
+        histograms != nullptr ? histograms->find("async.in_flight.depth")
+                              : nullptr;
+    const double count = num_or(depth, "count", 0.0);
+    if (count > 0.0) {
+      const double mean = num_or(depth, "sum", 0.0) / count;
+      double cap = num_or(options, "async_inflight", 0.0);
+      if (cap <= 0.0) cap = num_or(options, "batch_k", 0.0);
+      if (cap > 0.0 && mean < t.min_depth_fraction * cap) {
+        flag("inflight-starvation",
+             "mean async in-flight depth " + fmt(mean) + " < " +
+                 fmt(t.min_depth_fraction) + " x cap " + fmt(cap) +
+                 " — the manager cannot keep the pipeline full");
+      }
+    }
+  }
+
+  return flags;
+}
+
+/// BENCH_*.json gate: committed refit-speedup baselines must stay >= 1.
+/// Returns rows checked; regressions are appended as flags.
+std::size_t check_bench_baselines(const std::string& dir,
+                                  std::vector<Flag>& flags) {
+  namespace fs = std::filesystem;
+  std::size_t rows = 0;
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && entry.path().extension() == ".json") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    const JsonValue root = JsonValue::parse(buffer.str(), &error);
+    if (!error.empty() || !root.is_array()) continue;
+    for (const JsonValue& row : root.items()) {
+      const JsonValue* metric = row.find("metric");
+      if (metric == nullptr) continue;
+      const std::string& name = metric->as_string();
+      if (name.rfind("refit_speedup", 0) != 0) continue;
+      ++rows;
+      const double value = num_or(&row, "value", 0.0);
+      if (value < 1.0) {
+        flags.push_back(
+            {"bench-regression", path.filename().string() + ": " + name +
+                                     " = " + fmt(value) + " < 1.0"});
+      }
+    }
+  }
+  return rows;
+}
+
+/// Renders one flight dump: reason plus the per-thread (per-rank) last-N
+/// event timelines — what everyone did right before the end.
+bool print_dump(const JsonValue& dump, const std::string& label,
+                std::size_t last_n) {
+  const JsonValue* schema = dump.find("schema");
+  const JsonValue* rings = dump.find("rings");
+  if (schema == nullptr ||
+      schema->as_string().rfind("gptune-flight-dump/", 0) != 0 ||
+      rings == nullptr || !rings->is_array()) {
+    return false;
+  }
+  const JsonValue* reason = dump.find("reason");
+  std::printf("\nflight dump %s (reason: %s, dropped %.0f)\n", label.c_str(),
+              reason != nullptr ? reason->as_string().c_str() : "?",
+              num_or(&dump, "dropped_events", 0.0));
+  for (const JsonValue& ring : rings->items()) {
+    const JsonValue* thread = ring.find("thread");
+    const JsonValue* events = ring.find("events");
+    if (events == nullptr || !events->is_array()) continue;
+    const auto& items = events->items();
+    const std::size_t n = std::min(last_n, items.size());
+    std::printf("  [%s] last %zu of %.0f event(s):\n",
+                thread != nullptr ? thread->as_string().c_str() : "?", n,
+                num_or(&ring, "total_events",
+                       static_cast<double>(items.size())));
+    for (std::size_t i = items.size() - n; i < items.size(); ++i) {
+      const JsonValue& e = items[i];
+      const JsonValue* kind = e.find("kind");
+      const JsonValue* cat = e.find("cat");
+      const JsonValue* name = e.find("name");
+      const JsonValue* text = e.find("text");
+      std::printf("    %12.3fms %-10s", num_or(&e, "wall_us", 0.0) / 1000.0,
+                  kind != nullptr ? kind->as_string().c_str() : "?");
+      if (cat != nullptr) std::printf(" %s", cat->as_string().c_str());
+      if (name != nullptr) std::printf("/%s", name->as_string().c_str());
+      if (text != nullptr) std::printf(" %s", text->as_string().c_str());
+      std::printf("\n");
+    }
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+void print_manifest_summary(const JsonValue& manifest) {
+  const JsonValue* status = manifest.find("status");
+  const JsonValue* git = manifest.find("git_describe");
+  std::printf("run: status %s, git %s, seed %.0f, evaluations %.0f, "
+              "model refits %.0f\n",
+              status != nullptr ? status->as_string().c_str() : "?",
+              git != nullptr ? git->as_string().c_str() : "?",
+              num_or(&manifest, "seed", 0.0),
+              num_or(&manifest, "evaluations", 0.0),
+              num_or(&manifest, "model_refits", 0.0));
+  const JsonValue* digest = manifest.find("trajectory_digest");
+  const JsonValue* space = manifest.find("space");
+  if (digest != nullptr || space != nullptr) {
+    const JsonValue* hash = space != nullptr ? space->find("hash") : nullptr;
+    std::printf("  space hash %s, trajectory digest %s\n",
+                hash != nullptr ? hash->as_string().c_str() : "?",
+                digest != nullptr ? digest->as_string().c_str() : "-");
+  }
+  const JsonValue* profiles = manifest.find("profiles");
+  if (profiles != nullptr && profiles->is_array()) {
+    for (const JsonValue& p : profiles->items()) {
+      const JsonValue* phase = p.find("phase");
+      std::printf("  phase %-10s invocations %6.0f  wall %9.4fs  "
+                  "virtual %9.4fs\n",
+                  phase != nullptr ? phase->as_string().c_str() : "?",
+                  num_or(&p, "invocations", 0.0),
+                  num_or(&p, "wall_seconds", 0.0),
+                  num_or(&p, "virtual_seconds", 0.0));
+    }
+  }
+  if (manifest.find("worker_occupancy") != nullptr) {
+    std::printf("  worker occupancy %s\n",
+                fmt(num_or(&manifest, "worker_occupancy", 0.0)).c_str());
+  }
+}
+
+/// Brief trace digest: event counts per category (the full breakdown
+/// belongs to trace_summarize).
+void print_trace_summary(const JsonValue& root) {
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::printf("trace: not a Chrome trace\n");
+    return;
+  }
+  std::vector<std::pair<std::string, std::size_t>> counts;
+  for (const JsonValue& e : events->items()) {
+    const JsonValue* cat = e.find("cat");
+    if (cat == nullptr) continue;
+    const std::string& name = cat->as_string();
+    bool found = false;
+    for (auto& [c, n] : counts) {
+      if (c == name) {
+        ++n;
+        found = true;
+        break;
+      }
+    }
+    if (!found) counts.emplace_back(name, 1);
+  }
+  std::sort(counts.begin(), counts.end());
+  std::printf("trace: %zu events (", events->items().size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    std::printf("%s%s %zu", i == 0 ? "" : ", ", counts[i].first.c_str(),
+                counts[i].second);
+  }
+  std::printf(")\n");
+}
+
+int selftest() {
+  const Thresholds t;
+  // A healthy async run: complete, busy workers, deep queues, warm cache.
+  const std::string clean =
+      "{\"schema\": \"gptune-run-manifest/1\", \"status\": \"complete\","
+      " \"options\": {\"async\": true, \"async_inflight\": 4, \"batch_k\": 4},"
+      " \"worker_occupancy\": 0.8,"
+      " \"eval_stats\": {\"attempts\": 100, \"retries\": 2, \"timeouts\": 1},"
+      " \"profiles\": [{\"phase\": \"objective\", \"virtual_seconds\": 6},"
+      "                {\"phase\": \"modeling\", \"virtual_seconds\": 3},"
+      "                {\"phase\": \"search\", \"virtual_seconds\": 1}]}";
+  const std::string clean_metrics =
+      "{\"counters\": {\"trainer.gram.hits\": 900,"
+      " \"trainer.gram.misses\": 100},"
+      " \"gauges\": {},"
+      " \"histograms\": {\"async.in_flight.depth\":"
+      " {\"count\": 10, \"sum\": 35, \"min\": 2, \"max\": 4}}}";
+  // The pathological one: starved workers and queues, cold cache, storms.
+  const std::string sick =
+      "{\"schema\": \"gptune-run-manifest/1\", \"status\": \"running\","
+      " \"options\": {\"async\": true, \"async_inflight\": 8, \"batch_k\": 4},"
+      " \"worker_occupancy\": 0.12,"
+      " \"eval_stats\": {\"attempts\": 100, \"retries\": 80, \"timeouts\": 40},"
+      " \"profiles\": [{\"phase\": \"objective\", \"virtual_seconds\": 1},"
+      "                {\"phase\": \"modeling\", \"virtual_seconds\": 9},"
+      "                {\"phase\": \"search\", \"virtual_seconds\": 0}]}";
+  const std::string sick_metrics =
+      "{\"counters\": {\"trainer.gram.hits\": 10,"
+      " \"trainer.gram.misses\": 190},"
+      " \"gauges\": {},"
+      " \"histograms\": {\"async.in_flight.depth\":"
+      " {\"count\": 10, \"sum\": 10, \"min\": 1, \"max\": 1}}}";
+
+  std::string error;
+  const JsonValue clean_m = JsonValue::parse(clean, &error);
+  const JsonValue clean_x = JsonValue::parse(clean_metrics, &error);
+  const JsonValue sick_m = JsonValue::parse(sick, &error);
+  const JsonValue sick_x = JsonValue::parse(sick_metrics, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "selftest: parse failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  const auto clean_flags = analyze(clean_m, &clean_x, t);
+  if (!clean_flags.empty()) {
+    std::fprintf(stderr, "selftest: clean run flagged: %s\n",
+                 clean_flags[0].rule.c_str());
+    return 1;
+  }
+
+  const auto sick_flags = analyze(sick_m, &sick_x, t);
+  auto has = [&sick_flags](const char* rule) {
+    for (const auto& f : sick_flags) {
+      if (f.rule == rule) return true;
+    }
+    return false;
+  };
+  const bool ok = has("incomplete-run") && has("low-occupancy") &&
+                  has("retry-storm") && has("timeout-storm") &&
+                  has("gram-collapse") && has("refit-share") &&
+                  has("inflight-starvation");
+  if (!ok) {
+    std::fprintf(stderr, "selftest: expected flags missing; got:\n");
+    for (const auto& f : sick_flags) {
+      std::fprintf(stderr, "  [%s] %s\n", f.rule.c_str(), f.detail.c_str());
+    }
+    return 1;
+  }
+
+  // Dump rendering round-trip.
+  const std::string dump =
+      "{\"schema\": \"gptune-flight-dump/1\", \"reason\": \"rtcheck:deadlock\","
+      " \"dropped_events\": 0, \"rings\": [{\"thread\": \"rank/0\","
+      " \"total_events\": 2, \"events\": ["
+      " {\"kind\": \"instant\", \"cat\": \"comm\", \"text\": \"send dst=1 "
+      "tag=3\", \"wall_us\": 12.5, \"vt\": 0},"
+      " {\"kind\": \"span_begin\", \"cat\": \"comm\", \"name\": \"recv\","
+      " \"wall_us\": 14.5, \"vt\": 0}]}]}";
+  const JsonValue dump_v = JsonValue::parse(dump, &error);
+  if (!error.empty() || !print_dump(dump_v, "selftest", 16)) {
+    std::fprintf(stderr, "selftest: dump rendering failed\n");
+    return 1;
+  }
+
+  std::printf("selftest ok\n");
+  return 0;
+}
+
+void print_usage() {
+  std::fprintf(
+      stderr,
+      "usage: gptune_report [--ci] --manifest FILE [--metrics FILE]\n"
+      "                     [--trace FILE] [--dump-dir DIR] [--bench-dir "
+      "DIR]\n"
+      "                     [--last N] [--min-occupancy X] [--max-retry-rate "
+      "X]\n"
+      "                     [--max-timeout-rate X] [--min-gram-hit-rate X]\n"
+      "                     [--max-refit-share X] [--min-depth-fraction X]\n"
+      "       gptune_report --selftest\n"
+      "Merges a run manifest + metrics + trace + flight dumps into one\n"
+      "report with rule-based anomaly flags; --ci exits 1 when any flag\n"
+      "fires.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool ci = false;
+  std::size_t last_n = 16;
+  std::string manifest_path, metrics_path, trace_path, dump_dir, bench_dir;
+  Thresholds t;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        print_usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--selftest") {
+      return selftest();
+    } else if (arg == "--ci") {
+      ci = true;
+    } else if (arg == "--manifest") {
+      manifest_path = value();
+    } else if (arg == "--metrics") {
+      metrics_path = value();
+    } else if (arg == "--trace") {
+      trace_path = value();
+    } else if (arg == "--dump-dir") {
+      dump_dir = value();
+    } else if (arg == "--bench-dir") {
+      bench_dir = value();
+    } else if (arg == "--last") {
+      last_n = static_cast<std::size_t>(std::strtoul(value(), nullptr, 10));
+      if (last_n == 0) last_n = 16;
+    } else if (arg == "--min-occupancy") {
+      t.min_occupancy = std::strtod(value(), nullptr);
+    } else if (arg == "--max-retry-rate") {
+      t.max_retry_rate = std::strtod(value(), nullptr);
+    } else if (arg == "--max-timeout-rate") {
+      t.max_timeout_rate = std::strtod(value(), nullptr);
+    } else if (arg == "--min-gram-hit-rate") {
+      t.min_gram_hit_rate = std::strtod(value(), nullptr);
+    } else if (arg == "--max-refit-share") {
+      t.max_refit_share = std::strtod(value(), nullptr);
+    } else if (arg == "--min-depth-fraction") {
+      t.min_depth_fraction = std::strtod(value(), nullptr);
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "gptune_report: unknown option '%s'\n",
+                   arg.c_str());
+      print_usage();
+      return 2;
+    }
+  }
+  if (manifest_path.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  std::string text;
+  if (!read_file(manifest_path, text)) {
+    std::fprintf(stderr, "gptune_report: cannot read %s\n",
+                 manifest_path.c_str());
+    return 2;
+  }
+  std::string error;
+  const JsonValue manifest = JsonValue::parse(text, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "gptune_report: %s: invalid JSON: %s\n",
+                 manifest_path.c_str(), error.c_str());
+    return 1;
+  }
+  const JsonValue* schema = manifest.find("schema");
+  if (schema == nullptr ||
+      schema->as_string().rfind("gptune-run-manifest/", 0) != 0) {
+    std::fprintf(stderr, "gptune_report: %s: not a gptune run manifest\n",
+                 manifest_path.c_str());
+    return 1;
+  }
+  print_manifest_summary(manifest);
+
+  // Metrics: an explicit file wins over the manifest's embedded snapshot.
+  JsonValue metrics_owned;
+  const JsonValue* metrics = manifest.find("metrics");
+  if (!metrics_path.empty()) {
+    if (!read_file(metrics_path, text)) {
+      std::fprintf(stderr, "gptune_report: cannot read %s\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    metrics_owned = JsonValue::parse(text, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "gptune_report: %s: invalid JSON: %s\n",
+                   metrics_path.c_str(), error.c_str());
+      return 1;
+    }
+    metrics = &metrics_owned;
+  }
+
+  std::vector<Flag> flags = analyze(manifest, metrics, t);
+
+  if (!trace_path.empty()) {
+    if (!read_file(trace_path, text)) {
+      std::fprintf(stderr, "gptune_report: cannot read %s\n",
+                   trace_path.c_str());
+      return 2;
+    }
+    const JsonValue trace = JsonValue::parse(text, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "gptune_report: %s: invalid JSON: %s\n",
+                   trace_path.c_str(), error.c_str());
+      return 1;
+    }
+    print_trace_summary(trace);
+  }
+
+  if (!dump_dir.empty()) {
+    namespace fs = std::filesystem;
+    std::vector<fs::path> dumps;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dump_dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("flight_dump", 0) == 0 &&
+          entry.path().extension() == ".json") {
+        dumps.push_back(entry.path());
+      }
+    }
+    std::sort(dumps.begin(), dumps.end());
+    for (const auto& path : dumps) {
+      if (!read_file(path.string(), text)) continue;
+      const JsonValue dump = JsonValue::parse(text, &error);
+      if (!error.empty() || !print_dump(dump, path.filename().string(),
+                                        last_n)) {
+        std::fprintf(stderr, "gptune_report: %s: not a flight dump\n",
+                     path.string().c_str());
+        continue;
+      }
+      const JsonValue* reason = dump.find("reason");
+      const std::string why =
+          reason != nullptr ? reason->as_string() : std::string("?");
+      const bool crash = path.filename().string() == "flight_dump_crash.json";
+      flags.push_back({crash ? "crash-dump" : "flight-dump",
+                       path.filename().string() + " (reason: " + why + ")"});
+    }
+  }
+
+  if (!bench_dir.empty()) {
+    const std::size_t rows = check_bench_baselines(bench_dir, flags);
+    std::printf("bench baselines: %zu refit-speedup row(s) checked\n", rows);
+  }
+
+  if (flags.empty()) {
+    std::printf("\nreport: clean — no anomaly flags\n");
+    return 0;
+  }
+  std::printf("\nreport: %zu anomaly flag(s)\n", flags.size());
+  for (const auto& f : flags) {
+    std::printf("  [%s] %s\n", f.rule.c_str(), f.detail.c_str());
+  }
+  return ci ? 1 : 0;
+}

@@ -3,8 +3,12 @@
 // top-N span names by total and self time, per category (model / search /
 // objective / comm / pool), plus the thread identities seen.
 //
-//   trace_summarize [--top N] <trace.json>
+//   trace_summarize [--top N] [--metrics metrics.json] [<trace.json>]
 //   trace_summarize --selftest
+//
+// --metrics prints a GPTUNE_METRICS snapshot as tables: counters, gauges,
+// and histograms with their p50/p95/p99 quantile estimates. It can be
+// combined with a trace file or used alone.
 //
 // Self time = a span's duration minus the duration of spans nested inside
 // it on the same thread (computed with a per-tid interval stack; complete
@@ -162,6 +166,53 @@ void print_summary(const Summary& s, std::size_t top_n) {
   }
 }
 
+/// Prints a metrics snapshot (counters/gauges/histograms); histograms
+/// surface the p50/p95/p99 estimates the telemetry layer now emits.
+bool print_metrics(const JsonValue& root, std::string& error) {
+  if (!root.is_object()) {
+    error = "not a metrics snapshot: expected an object";
+    return false;
+  }
+  const JsonValue* counters = root.find("counters");
+  const JsonValue* gauges = root.find("gauges");
+  const JsonValue* histograms = root.find("histograms");
+  if (counters == nullptr || gauges == nullptr || histograms == nullptr) {
+    error = "not a metrics snapshot: missing counters/gauges/histograms";
+    return false;
+  }
+  if (!counters->members().empty()) {
+    std::printf("\n[counters]\n");
+    for (const auto& [name, v] : counters->members()) {
+      std::printf("  %-32s %14.0f\n", name.c_str(), v.as_number());
+    }
+  }
+  if (!gauges->members().empty()) {
+    std::printf("\n[gauges]\n");
+    for (const auto& [name, v] : gauges->members()) {
+      std::printf("  %-32s %14.6g\n", name.c_str(), v.as_number());
+    }
+  }
+  if (!histograms->members().empty()) {
+    std::printf("\n[histograms]\n");
+    std::printf("  %-28s %8s %10s %10s %10s %10s %10s\n", "name", "count",
+                "min", "p50", "p95", "p99", "max");
+    for (const auto& [name, h] : histograms->members()) {
+      if (!h.is_object()) {
+        error = "histogram \"" + name + "\" is not an object";
+        return false;
+      }
+      auto num = [&h](const char* key) {
+        const JsonValue* v = h.find(key);
+        return v != nullptr ? v->as_number() : 0.0;
+      };
+      std::printf("  %-28s %8.0f %10.4g %10.4g %10.4g %10.4g %10.4g\n",
+                  name.c_str(), num("count"), num("min"), num("p50"),
+                  num("p95"), num("p99"), num("max"));
+    }
+  }
+  return true;
+}
+
 /// End-to-end smoke: synthesize a tiny trace in-process, round-trip it
 /// through the JSON parser and the summarizer, and verify nesting math.
 int selftest() {
@@ -203,17 +254,43 @@ int selftest() {
     return 1;
   }
   print_summary(s, 10);
+
+  // Metrics snapshot round-trip, including the histogram quantile columns.
+  const std::string metrics =
+      "{\"counters\": {\"eval.items\": 12},\n"
+      " \"gauges\": {\"async.occupancy\": 0.75},\n"
+      " \"histograms\": {\"eval.seconds\": {\"count\": 4, \"sum\": 10,"
+      " \"min\": 1, \"max\": 4, \"p50\": 2.5, \"p95\": 3.9, \"p99\": 4,"
+      " \"buckets\": [{\"floor\": 1, \"count\": 4}]}}}\n";
+  const JsonValue mroot = JsonValue::parse(metrics, &error);
+  if (!error.empty() || !print_metrics(mroot, error)) {
+    std::fprintf(stderr, "selftest: metrics failed: %s\n", error.c_str());
+    return 1;
+  }
   std::printf("selftest ok\n");
   return 0;
 }
 
 void print_usage() {
   std::fprintf(stderr,
-               "usage: trace_summarize [--top N] <trace.json>\n"
+               "usage: trace_summarize [--top N] [--metrics metrics.json] "
+               "[<trace.json>]\n"
                "       trace_summarize --selftest\n"
                "Summarizes a GPTUNE_TRACE Chrome trace_event file: top-N\n"
                "spans by total/self time per category, plus thread "
-               "identities.\n");
+               "identities.\n"
+               "--metrics additionally (or alone) prints a GPTUNE_METRICS\n"
+               "snapshot: counters, gauges, histograms with p50/p95/p99.\n");
+}
+
+/// Reads a whole file; false (with message) when unreadable.
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
 }
 
 }  // namespace
@@ -221,6 +298,7 @@ void print_usage() {
 int main(int argc, char** argv) {
   std::size_t top_n = 10;
   std::string path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--selftest") {
@@ -232,6 +310,12 @@ int main(int argc, char** argv) {
       }
       top_n = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
       if (top_n == 0) top_n = 10;
+    } else if (arg == "--metrics") {
+      if (i + 1 >= argc) {
+        print_usage();
+        return 2;
+      }
+      metrics_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       print_usage();
       return 0;
@@ -247,32 +331,52 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (path.empty()) {
+  if (path.empty() && metrics_path.empty()) {
     print_usage();
     return 2;
   }
 
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "trace_summarize: cannot read %s\n", path.c_str());
-    return 2;
+  if (!path.empty()) {
+    std::string text;
+    if (!read_file(path, text)) {
+      std::fprintf(stderr, "trace_summarize: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    std::string error;
+    const JsonValue root = JsonValue::parse(text, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "trace_summarize: %s: invalid JSON: %s\n",
+                   path.c_str(), error.c_str());
+      return 1;
+    }
+    Summary s;
+    if (!summarize(root, s, error)) {
+      std::fprintf(stderr, "trace_summarize: %s: %s\n", path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    print_summary(s, top_n);
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
 
-  std::string error;
-  const JsonValue root = JsonValue::parse(buffer.str(), &error);
-  if (!error.empty()) {
-    std::fprintf(stderr, "trace_summarize: %s: invalid JSON: %s\n",
-                 path.c_str(), error.c_str());
-    return 1;
+  if (!metrics_path.empty()) {
+    std::string text;
+    if (!read_file(metrics_path, text)) {
+      std::fprintf(stderr, "trace_summarize: cannot read %s\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    std::string error;
+    const JsonValue root = JsonValue::parse(text, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "trace_summarize: %s: invalid JSON: %s\n",
+                   metrics_path.c_str(), error.c_str());
+      return 1;
+    }
+    if (!print_metrics(root, error)) {
+      std::fprintf(stderr, "trace_summarize: %s: %s\n", metrics_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
   }
-  Summary s;
-  if (!summarize(root, s, error)) {
-    std::fprintf(stderr, "trace_summarize: %s: %s\n", path.c_str(),
-                 error.c_str());
-    return 1;
-  }
-  print_summary(s, top_n);
   return 0;
 }
